@@ -1,0 +1,607 @@
+(* Benchmark harness: regenerates every figure and quantitative claim
+   of the paper (see EXPERIMENTS.md for the index).
+
+   Output has two parts:
+   - macro experiments (multi-domain throughput, access counts, crash
+     injection, model checking) with plain wall-clock timing;
+   - micro benchmarks (Bechamel, one Test per operation) for operation
+     latencies of the protocol and the baselines.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let line () = Fmt.pr "%s@." (String.make 72 '-')
+
+let section name =
+  line ();
+  Fmt.pr "%s@." name;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Claim C1/C2: access counts and space, from live counters.           *)
+
+let bench_access_counts () =
+  section "claims/access-counts (C1, C2) - real accesses per operation";
+  let spec =
+    { Harness.Workload.writers = 2; readers = 2; writes_each = 50; reads_each = 50 }
+  in
+  let trace =
+    Registers.Run_coarse.run ~seed:7
+      (Core.Protocol.bloom ~init:0 ~other_init:0 ())
+      (Harness.Workload.unique_scripts spec)
+  in
+  Fmt.pr "%a@." Harness.Stats.pp_access_summary
+    (Harness.Stats.summarise_accesses trace);
+  Fmt.pr "paper claims: read = 3 reads + 0 writes; write = 1 read + 1 write@.";
+  Fmt.pr "space: %d extra bit(s) per real register (paper claims 1)@.@."
+    (Registers.Tagged.extra_bits (Registers.Tagged.initial 0));
+  let w = 4 in
+  let ts = Baselines.Timestamp_mwmr.build ~writers:w ~init:0 in
+  Fmt.pr
+    "timestamp MWMR baseline (%d writers): read = %d reads, write = %d \
+     accesses, and unbounded stamps@.@."
+    w
+    (Registers.Vm.steps ~probe:(0, 0, -1) (ts.Registers.Vm.read ~proc:9))
+    (Registers.Vm.steps ~probe:(0, 0, -1) (ts.Registers.Vm.write ~proc:0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: throughput of the simulated register under real           *)
+(* multicore contention, against the baselines.                        *)
+
+let throughput ~label ~read ~write0 ~write1 =
+  let duration = 0.4 in
+  let stop = Atomic.make false in
+  let counts = Array.init 4 (fun _ -> Atomic.make 0) in
+  let worker i op =
+    Domain.spawn (fun () ->
+        let k = ref 0 in
+        while not (Atomic.get stop) do
+          op !k;
+          incr k;
+          Atomic.incr counts.(i)
+        done)
+  in
+  let ds =
+    [ worker 0 (fun k -> write0 k); worker 1 (fun k -> write1 k);
+      worker 2 (fun _ -> read ()); worker 3 (fun _ -> read ()) ]
+  in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts in
+  let wr = Atomic.get counts.(0) + Atomic.get counts.(1) in
+  Fmt.pr "  %-28s %8.2f Mops/s  (%d writes, %d reads)@." label
+    (float_of_int total /. duration /. 1e6)
+    wr (total - wr)
+
+let bench_throughput () =
+  section
+    "fig2/contended-throughput - 2 writer + 2 reader domains, 0.4s each";
+  (let reg, w0, w1 = Core.Shm.create ~init:0 in
+   throughput ~label:"bloom two-writer register"
+     ~read:(fun () -> ignore (Core.Shm.read reg))
+     ~write0:(fun k -> Core.Shm.write w0 k)
+     ~write1:(fun k -> Core.Shm.write w1 k));
+  (let reg, w0, w1 = Core.Shm.create ~init:0 in
+   let c0 = Core.Shm.Local_copy.attach w0 in
+   let c1 = Core.Shm.Local_copy.attach w1 in
+   throughput ~label:"bloom + local-copy writers"
+     ~read:(fun () -> ignore (Core.Shm.read reg))
+     ~write0:(fun k -> Core.Shm.Local_copy.write c0 k)
+     ~write1:(fun k -> Core.Shm.Local_copy.write c1 k));
+  (let reg = Baselines.Mutex_register.create 0 in
+   throughput ~label:"mutex register"
+     ~read:(fun () -> ignore (Baselines.Mutex_register.read reg))
+     ~write0:(fun k -> Baselines.Mutex_register.write reg k)
+     ~write1:(fun k -> Baselines.Mutex_register.write reg k));
+  (let reg = Baselines.Timestamp_mwmr.Shm.create ~writers:2 ~init:0 in
+   throughput ~label:"timestamp MWMR (2 writers)"
+     ~read:(fun () -> ignore (Baselines.Timestamp_mwmr.Shm.read reg))
+     ~write0:(fun k -> Baselines.Timestamp_mwmr.Shm.write reg ~writer:0 k)
+     ~write1:(fun k -> Baselines.Timestamp_mwmr.Shm.write reg ~writer:1 k));
+  (let cell = Atomic.make 0 in
+   throughput ~label:"raw Atomic.t (no protocol)"
+     ~read:(fun () -> ignore (Atomic.get cell))
+     ~write0:(fun k -> Atomic.set cell k)
+     ~write1:(fun k -> Atomic.set cell k));
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Claim C3: wait-freedom vs the blocking baseline.                    *)
+
+let bench_stalled_writer () =
+  section "claims/stalled-writer (C3) - reads while a writer is stalled";
+  (* mutex: stall the lock holder for 100ms, measure one read *)
+  let mx = Baselines.Mutex_register.create 0 in
+  let release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        ignore
+          (Baselines.Mutex_register.read_while_stalled mx ~stall:(fun () ->
+               while not (Atomic.get release) do
+                 Domain.cpu_relax ()
+               done)))
+  in
+  Unix.sleepf 0.02;
+  let t0 = Unix.gettimeofday () in
+  let reader = Domain.spawn (fun () -> Baselines.Mutex_register.read mx) in
+  Unix.sleepf 0.1;
+  Atomic.set release true;
+  ignore (Domain.join reader);
+  Domain.join holder;
+  Fmt.pr "  mutex register: read latency with stalled holder: %.1f ms@."
+    ((Unix.gettimeofday () -. t0) *. 1e3);
+  (* bloom: a writer stopped forever mid-protocol costs readers nothing *)
+  let reg, w0, _w1 = Core.Shm.create ~init:0 in
+  Core.Shm.write w0 1;
+  let t0 = Unix.gettimeofday () in
+  let n = 100_000 in
+  for _ = 1 to n do
+    ignore (Core.Shm.read reg)
+  done;
+  Fmt.pr
+    "  bloom register: mean read latency with a writer stopped forever: \
+     %.0f ns@.@."
+    ((Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Claim C4: crash injection.                                          *)
+
+let bench_crash () =
+  section "claims/crash-injection (C4) - writer killed at every step";
+  let processes =
+    [ { Registers.Vm.proc = 0; script = [ Histories.Event.Write 7 ] };
+      { Registers.Vm.proc = 1;
+        script = [ Histories.Event.Write 8; Histories.Event.Write 9 ] };
+      { Registers.Vm.proc = 2;
+        script = List.init 3 (fun _ -> Histories.Event.Read) } ]
+  in
+  let results =
+    Harness.Failure.crash_writer_everywhere ~seed:3 ~init:0 ~victim:0
+      ~processes ~build:(fun () -> Core.Protocol.bloom ~init:0 ~other_init:0 ())
+  in
+  List.iter
+    (fun (k, fate, trace) ->
+      let verdict =
+        match Core.Certifier.certify (Core.Gamma.analyse ~init:0 trace) with
+        | Core.Certifier.Certified _ -> "certified atomic"
+        | Core.Certifier.Failed m -> "FAILED: " ^ m
+      in
+      Fmt.pr "  crash after %d accesses: write %s; execution %s@." k
+        (match fate with
+         | Harness.Failure.Never_happened -> "never happened"
+         | Harness.Failure.Took_effect -> "took effect  ")
+        verdict)
+    results;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-5 and the theorem: model checking.                        *)
+
+let bench_modelcheck () =
+  section "fig3+fig4+theorem/modelcheck - exhaustive verification";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let w2r2 =
+    [ { Registers.Vm.proc = 0; script = [ Histories.Event.Write 10 ] };
+      { Registers.Vm.proc = 1; script = [ Histories.Event.Write 20 ] };
+      { Registers.Vm.proc = 2; script = [ Histories.Event.Read ] };
+      { Registers.Vm.proc = 3; script = [ Histories.Event.Read ] } ]
+  in
+  let reg () = Core.Protocol.bloom ~init:0 ~other_init:0 () in
+  let (good, total), dt =
+    time (fun () -> Modelcheck.Explorer.count_atomic ~init:0 (reg ()) w2r2)
+  in
+  Fmt.pr "  theorem: %d/%d executions atomic (%.2fs, %.0f exec/s)@." good total
+    dt
+    (float_of_int total /. dt);
+  let n, dt =
+    time (fun () ->
+        Modelcheck.Explorer.explore (reg ()) w2r2 ~on_leaf:(fun trace ->
+            let g = Core.Gamma.analyse ~init:0 trace in
+            match Core.Gamma.check_lemmas g with
+            | Ok () -> ()
+            | Error e -> failwith e))
+  in
+  Fmt.pr "  fig3/fig4: lemmas 1-2 hold on all %d executions (%.2fs)@." n dt;
+  let v, dt =
+    time (fun () ->
+        Modelcheck.Explorer.find_violation ~init:0
+          (Core.Tournament.flat ~init:0 ~other_init:0 ())
+          [ { Registers.Vm.proc = 0; script = [ Histories.Event.Write 10 ] };
+            { Registers.Vm.proc = 1; script = [ Histories.Event.Write 20 ] };
+            { Registers.Vm.proc = 3; script = [ Histories.Event.Write 30 ] };
+            { Registers.Vm.proc = 4; script = [ Histories.Event.Read ] } ])
+  in
+  (match v with
+   | Some v ->
+     Fmt.pr "  fig5: tournament violation found after %d executions (%.3fs)@."
+       v.Modelcheck.Explorer.executions_checked dt
+   | None -> Fmt.pr "  fig5: NO VIOLATION (unexpected)@.");
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: which ingredients of the protocol are load-bearing.      *)
+
+let bench_ablations () =
+  section "ablations - perturb one protocol ingredient, model-check it";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let w v = Histories.Event.Write v and r = Histories.Event.Read in
+  let p proc script = { Registers.Vm.proc; script } in
+  let w2r2 = [ p 0 [ w 10 ]; p 1 [ w 20 ]; p 2 [ r ]; p 3 [ r ] ] in
+  let check name reg procs =
+    let v, dt =
+      time (fun () -> Modelcheck.Explorer.find_violation ~init:0 reg procs)
+    in
+    match v with
+    | Some v ->
+      Fmt.pr "  %-24s BROKEN   (violation after %7d executions, %.2fs)@."
+        name v.Modelcheck.Explorer.executions_checked dt
+    | None -> Fmt.pr "  %-24s survives (exhaustive, %.2fs)@." name dt
+  in
+  check "bloom (the real thing)"
+    (Core.Protocol.bloom ~init:0 ~other_init:0 ())
+    w2r2;
+  check "no-third-read"
+    (Core.Variants.no_third_read ~init:0 ~other_init:0 ())
+    [ p 0 [ w 10 ]; p 1 [ w 20; w 21 ]; p 2 [ r ]; p 3 [ r ] ];
+  check "copy-tag (no xor)" (Core.Variants.copy_tag ~init:0 ~other_init:0 ())
+    w2r2;
+  check "read-own-register"
+    (Core.Variants.read_own_register ~init:0 ~other_init:0 ())
+    w2r2;
+  check "split-write tag-first"
+    (Core.Variants.split_write_tag_first ~init:0 ~other_init:0 ())
+    w2r2;
+  check "split-write value-first"
+    (Core.Variants.split_write_value_first ~init:0 ~other_init:0 ())
+    w2r2;
+  check "mod-3, three writers"
+    (Core.Variants.mod3 ~init:0 ~others:(0, 0) ())
+    [ p 0 [ w 10 ]; p 1 [ w 20 ]; p 2 [ w 30 ]; p 3 [ r ] ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis: model-check the whole 256-candidate protocol family.     *)
+
+let bench_synthesis () =
+  section "synthesis - all 256 Bloom-shaped protocols, model-checked";
+  let t0 = Unix.gettimeofday () in
+  let s = Modelcheck.Synthesis_check.survivors () in
+  Fmt.pr "  %d of %d candidates are atomic (%.1fs):@." (List.length s)
+    (List.length Core.Synthesis.all)
+    (Unix.gettimeofday () -. t0);
+  List.iter (fun c -> Fmt.pr "    %a@." Core.Synthesis.pp c) s;
+  Fmt.pr "  the paper's protocol is unique up to complementing the tags.@.@.";
+  Fmt.pr "  extended family (writers may consult their own tag): 4096@.";
+  let t0 = Unix.gettimeofday () in
+  let es = Modelcheck.Synthesis_check.extended_survivors () in
+  Fmt.pr "  %d survive the depth-2 screening (%.0fs):@." (List.length es)
+    (Unix.gettimeofday () -. t0);
+  List.iter
+    (fun e ->
+      let deep = Modelcheck.Synthesis_check.survives_deep e in
+      Fmt.pr "    %a%s -> %s@." Core.Synthesis.pp_extended e
+        (if Core.Synthesis.uses_own_tag e then " (uses own tag)" else "")
+        (if deep then "survives depth 3" else "KILLED at depth 3"))
+    es;
+  Fmt.pr
+    "  the own-tag survivors are artifacts of insufficient depth; the@.";
+  Fmt.pr "  refined answer is again the paper's protocol and its dual.@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2, state space: reachability of the automaton model.         *)
+
+let bench_reachability () =
+  section "fig2/state-space - reachability of the I/O-automaton system";
+  let run label scripts readers =
+    let t0 = Unix.gettimeofday () in
+    let auto = Core.Ioa_system.system ~init:0 ~readers ~scripts in
+    let s = Ioa.Reachability.explore ~key:Ioa.Composition.state_key auto in
+    Fmt.pr
+      "  %-24s %7d states, %8d transitions, quiesces: %b (%.2fs)@."
+      label s.Ioa.Reachability.states s.Ioa.Reachability.transitions
+      s.Ioa.Reachability.always_quiesces
+      (Unix.gettimeofday () -. t0)
+  in
+  let open Histories.Event in
+  run "1 write each, 1 read"
+    [ (0, [ Write 10 ]); (1, [ Write 20 ]); (2, [ Read ]) ]
+    [ 2 ];
+  run "2+1 writes, 3 reads"
+    [ (0, [ Write 10; Write 11 ]); (1, [ Write 20 ]); (2, [ Read ]);
+      (3, [ Read; Read ]) ]
+    [ 2; 3 ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Latency distributions under contention (uses Harness.Stats).        *)
+
+let bench_latency_distribution () =
+  section "fig2/latency-distribution - contended op latencies (ns)";
+  let percentiles samples =
+    ( Harness.Stats.percentile samples 50.0,
+      Harness.Stats.percentile samples 99.0,
+      Harness.Stats.percentile samples 99.9 )
+  in
+  let measure ~label ~op =
+    let n = 50_000 in
+    let samples = Array.make n 0.0 in
+    let stop = Atomic.make false in
+    (* background contention: one writer domain *)
+    let reg, w0, _w1 = Core.Shm.create ~init:0 in
+    ignore reg;
+    let noise =
+      Domain.spawn (fun () ->
+          let k = ref 0 in
+          while not (Atomic.get stop) do
+            incr k;
+            Core.Shm.write w0 !k
+          done)
+    in
+    let target = op reg in
+    (* batch 64 operations per sample: gettimeofday is microsecond-
+       grained, the operations are nanoseconds *)
+    let batch = 64 in
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do
+        target ()
+      done;
+      samples.(i) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+    done;
+    Atomic.set stop true;
+    Domain.join noise;
+    let p50, p99, p999 = percentiles samples in
+    Fmt.pr "  %-24s p50 %7.0f   p99 %7.0f   p99.9 %7.0f@." label p50 p99 p999
+  in
+  measure ~label:"bloom read" ~op:(fun reg () -> ignore (Core.Shm.read reg));
+  (let mx = Baselines.Mutex_register.create 0 in
+   measure ~label:"mutex read (uncontended)" ~op:(fun _ () ->
+       ignore (Baselines.Mutex_register.read mx)));
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Section 8 extension: the double-collect snapshot.                   *)
+
+let bench_snapshot () =
+  section "extension/snapshot - double-collect scans (Section 8)";
+  (* cost of one scan (cell accesses) as a function of write pressure:
+     between any two scanner steps, a writer completes an update with
+     probability p *)
+  let scan_cost ~seed ~p =
+    let rng = Random.State.make [| seed |] in
+    let cells = [| (0, 0); (1000, 0) |] in
+    let fresh = ref 1 in
+    let rec go prog accesses =
+      if accesses > 100_000 then accesses
+      else begin
+        if Random.State.float rng 1.0 < p then begin
+          let w = Random.State.int rng 2 in
+          let _, seq = cells.(w) in
+          incr fresh;
+          cells.(w) <- (!fresh, seq + 1)
+        end;
+        match prog with
+        | Registers.Vm.Ret _ -> accesses
+        | Registers.Vm.Read (c, k) -> go (k cells.(c)) (accesses + 1)
+        | Registers.Vm.Write (c, v, k) ->
+          cells.(c) <- v;
+          go (k ()) (accesses + 1)
+      end
+    in
+    go (Core.Snapshot.scan_prog ()) 0
+  in
+  List.iter
+    (fun p ->
+      let n = 2000 in
+      let samples =
+        Array.init n (fun seed -> float_of_int (scan_cost ~seed ~p))
+      in
+      Fmt.pr
+        "  write probability %.2f: scan costs mean %5.1f accesses, p99 %5.0f@."
+        p (Harness.Stats.mean samples)
+        (Harness.Stats.percentile samples 99.0))
+    [ 0.0; 0.1; 0.3; 0.6; 0.9 ];
+  Fmt.pr "  updates stay at 2 accesses; scans grow unboundedly with@.";
+  Fmt.pr "  contention - lock-free, not wait-free (test/test_snapshot.ml).@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks (Bechamel).                                        *)
+
+let make_trace n_ops =
+  let spec =
+    {
+      Harness.Workload.writers = 2;
+      readers = 2;
+      writes_each = n_ops / 4;
+      reads_each = n_ops / 4;
+    }
+  in
+  Registers.Run_coarse.run ~seed:11
+    (Core.Protocol.bloom ~init:0 ~other_init:0 ())
+    (Harness.Workload.unique_scripts spec)
+
+let micro_tests () =
+  let reg, w0, _w1 = Core.Shm.create ~init:0 in
+  let c0 = Core.Shm.Local_copy.attach w0 in
+  let mx = Baselines.Mutex_register.create 0 in
+  let ts2 = Baselines.Timestamp_mwmr.Shm.create ~writers:2 ~init:0 in
+  let ts8 = Baselines.Timestamp_mwmr.Shm.create ~writers:8 ~init:0 in
+  let atomic_cell = Atomic.make 0 in
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter
+  in
+  let fig2 =
+    Test.make_grouped ~name:"fig2"
+      [
+        Test.make ~name:"bloom-read"
+          (Staged.stage (fun () -> ignore (Core.Shm.read reg)));
+        Test.make ~name:"bloom-write"
+          (Staged.stage (fun () -> Core.Shm.write w0 (next ())));
+        Test.make ~name:"bloom-local-copy-read"
+          (Staged.stage (fun () -> ignore (Core.Shm.Local_copy.read c0)));
+        Test.make ~name:"bloom-local-copy-write"
+          (Staged.stage (fun () -> Core.Shm.Local_copy.write c0 (next ())));
+      ]
+  in
+  let baselines =
+    Test.make_grouped ~name:"baselines"
+      [
+        Test.make ~name:"raw-atomic-read"
+          (Staged.stage (fun () -> ignore (Atomic.get atomic_cell)));
+        Test.make ~name:"raw-atomic-write"
+          (Staged.stage (fun () -> Atomic.set atomic_cell 1));
+        Test.make ~name:"mutex-read"
+          (Staged.stage (fun () -> ignore (Baselines.Mutex_register.read mx)));
+        Test.make ~name:"mutex-write"
+          (Staged.stage (fun () -> Baselines.Mutex_register.write mx 1));
+        Test.make ~name:"timestamp2-read"
+          (Staged.stage (fun () ->
+               ignore (Baselines.Timestamp_mwmr.Shm.read ts2)));
+        Test.make ~name:"timestamp2-write"
+          (Staged.stage (fun () ->
+               Baselines.Timestamp_mwmr.Shm.write ts2 ~writer:0 (next ())));
+        Test.make ~name:"timestamp8-read"
+          (Staged.stage (fun () ->
+               ignore (Baselines.Timestamp_mwmr.Shm.read ts8)));
+        Test.make ~name:"timestamp8-write"
+          (Staged.stage (fun () ->
+               Baselines.Timestamp_mwmr.Shm.write ts8 ~writer:0 (next ())));
+      ]
+  in
+  let trace100 = make_trace 100 in
+  let trace400 = make_trace 400 in
+  let fig5_reg () = Core.Tournament.flat ~init:'a' ~other_init:'b' () in
+  let theorem =
+    Test.make_grouped ~name:"theorem"
+      [
+        Test.make ~name:"gamma-analyse-100op"
+          (Staged.stage (fun () ->
+               ignore (Core.Gamma.analyse ~init:0 trace100)));
+        Test.make ~name:"certify-100op"
+          (Staged.stage (fun () ->
+               match
+                 Core.Certifier.certify (Core.Gamma.analyse ~init:0 trace100)
+               with
+               | Core.Certifier.Certified _ -> ()
+               | Core.Certifier.Failed m -> failwith m));
+        Test.make ~name:"certify-400op"
+          (Staged.stage (fun () ->
+               match
+                 Core.Certifier.certify (Core.Gamma.analyse ~init:0 trace400)
+               with
+               | Core.Certifier.Certified _ -> ()
+               | Core.Certifier.Failed m -> failwith m));
+        Test.make ~name:"fastcheck-100op"
+          (Staged.stage (fun () ->
+               let ops =
+                 Histories.Operation.of_events_exn
+                   (Registers.Vm.history_of_trace trace100)
+               in
+               ignore (Histories.Fastcheck.is_atomic ~init:0 ops)));
+        Test.make ~name:"monitor-100op"
+          (Staged.stage (fun () ->
+               let m = Histories.Monitor.create ~init:0 in
+               ignore
+                 (Histories.Monitor.observe_all m
+                    (Registers.Vm.history_of_trace trace100))));
+        Test.make ~name:"brute-force-100op"
+          (Staged.stage (fun () ->
+               let ops =
+                 Histories.Operation.of_events_exn
+                   (Registers.Vm.history_of_trace trace100)
+               in
+               ignore (Histories.Linearize.is_atomic ~init:0 ops)));
+      ]
+  in
+  let fig5 =
+    Test.make_grouped ~name:"fig5"
+      [
+        Test.make ~name:"replay-and-reject"
+          (Staged.stage (fun () ->
+               let r = fig5_reg () in
+               let trace =
+                 Registers.Run_coarse.run_scheduled
+                   ~schedule:Core.Tournament.figure5_schedule r
+                   Core.Tournament.figure5_scripts
+               in
+               let ops =
+                 Histories.Operation.of_events_exn
+                   (Registers.Vm.history_of_trace trace)
+               in
+               assert (not (Histories.Linearize.is_atomic ~init:'a' ops))));
+      ]
+  in
+  let model =
+    Test.make_grouped ~name:"model"
+      [
+        Test.make ~name:"run-coarse-100op"
+          (Staged.stage (fun () -> ignore (make_trace 100)));
+        Test.make ~name:"ioa-run-12op"
+          (Staged.stage (fun () ->
+               ignore
+                 (Core.Ioa_system.run ~seed:3 ~init:0 ~readers:[ 2 ]
+                    [ (0, [ Histories.Event.Write 1; Histories.Event.Write 2 ]);
+                      (1, [ Histories.Event.Write 3 ]);
+                      (2, List.init 3 (fun _ -> Histories.Event.Read)) ])));
+      ]
+  in
+  [ fig2; baselines; theorem; fig5; model ]
+
+let run_micro () =
+  section "micro benchmarks (Bechamel; ns per operation)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      let rows =
+        Hashtbl.fold
+          (fun name v acc ->
+            let ns =
+              match Analyze.OLS.estimates v with
+              | Some [ e ] -> e
+              | Some _ | None -> nan
+            in
+            (name, ns) :: acc)
+          analysis []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ns) -> Fmt.pr "  %-40s %12.1f ns/op@." name ns)
+        rows)
+    (micro_tests ());
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr
+    "Reproduction benches for 'Constructing Two-Writer Atomic Registers' \
+     (Bloom, PODC 1987)@.@.";
+  bench_access_counts ();
+  bench_throughput ();
+  bench_stalled_writer ();
+  bench_crash ();
+  bench_modelcheck ();
+  bench_ablations ();
+  bench_synthesis ();
+  bench_reachability ();
+  bench_latency_distribution ();
+  bench_snapshot ();
+  run_micro ();
+  Fmt.pr "done.@."

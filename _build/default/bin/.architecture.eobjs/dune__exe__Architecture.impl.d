@@ -1,0 +1,1 @@
+bin/architecture.ml: Arg Array Cmd Cmdliner Core Fmt Histories List String Term

@@ -1,0 +1,1 @@
+bin/counterexample.ml: Arg Array Cmd Cmdliner Core Dump Fmt Histories List Modelcheck Registers Term

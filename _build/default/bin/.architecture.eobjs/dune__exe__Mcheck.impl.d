@@ -1,0 +1,1 @@
+bin/mcheck.ml: Arg Baselines Cmd Cmdliner Core Fmt Histories List Modelcheck Registers Term Unix

@@ -1,0 +1,1 @@
+bin/run_model.ml: Arg Cmd Cmdliner Core Fmt Harness Histories List Registers Term

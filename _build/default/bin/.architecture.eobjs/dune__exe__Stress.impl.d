@@ -1,0 +1,1 @@
+bin/stress.ml: Arg Array Atomic Baselines Cmd Cmdliner Core Domain Fmt Harness Histories List Registers Term Unix

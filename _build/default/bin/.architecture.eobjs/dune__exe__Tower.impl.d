@@ -1,0 +1,1 @@
+bin/tower.ml: Arg Cmd Cmdliner Core Fmt Histories List Random Registers Term

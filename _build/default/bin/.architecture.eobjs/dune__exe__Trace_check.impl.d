@@ -1,0 +1,1 @@
+bin/trace_check.ml: Arg Cmd Cmdliner Fmt Histories List String Term

@@ -1,0 +1,1 @@
+bin/trace_check.mli:

@@ -1,0 +1,165 @@
+(* Exhaustive bounded model checking from the command line.
+
+     modelcheck --protocol bloom --writes 2 --readers 2 --reads 1
+     modelcheck --protocol tournament
+     modelcheck --protocol timestamp --writers 3
+     modelcheck --protocol bloom --invariant lemmas *)
+
+module Vm = Registers.Vm
+module E = Modelcheck.Explorer
+
+type protocol =
+  | Bloom
+  | Bloom_cached
+  | Tournament
+  | Timestamp
+  | Mod3
+  | Ablation of string
+
+let ablations =
+  [ ("no-third-read", Core.Variants.no_third_read);
+    ("copy-tag", Core.Variants.copy_tag);
+    ("read-own", Core.Variants.read_own_register);
+    ("split-tag-first", Core.Variants.split_write_tag_first);
+    ("split-value-first", Core.Variants.split_write_value_first) ]
+
+let scripts ~writer_procs ~writes ~reader_procs ~reads =
+  List.map
+    (fun p ->
+      {
+        Vm.proc = p;
+        script =
+          List.init writes (fun k ->
+              Histories.Event.Write ((1000 * (p + 1)) + k));
+      })
+    writer_procs
+  @ List.map
+      (fun p ->
+        { Vm.proc = p; script = List.init reads (fun _ -> Histories.Event.Read) })
+      reader_procs
+
+let check_invariants trace =
+  let g = Core.Gamma.analyse ~init:0 trace in
+  (match Core.Gamma.check_lemmas g with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  match Core.Certifier.certify g with
+  | Core.Certifier.Certified _ -> ()
+  | Core.Certifier.Failed m -> failwith m
+
+let run protocol writes reads writers readers invariant =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match protocol with
+    | Bloom ->
+      let reg = Core.Protocol.bloom ~init:0 ~other_init:0 () in
+      let procs =
+        scripts ~writer_procs:[ 0; 1 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 2))
+          ~reads
+      in
+      Fmt.pr "checking the two-writer protocol: 2 writers x %d writes, %d \
+              readers x %d reads@."
+        writes readers reads;
+      if invariant then begin
+        let n =
+          E.explore reg procs ~on_leaf:(fun trace -> check_invariants trace)
+        in
+        Fmt.pr
+          "lemmas 1-2 and the certifier validated on all %d executions@." n;
+        None
+      end
+      else E.find_violation ~init:0 reg procs
+    | Tournament ->
+      let reg = Core.Tournament.flat ~init:0 ~other_init:0 () in
+      let procs =
+        scripts ~writer_procs:[ 0; 1; 3 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 4))
+          ~reads
+      in
+      Fmt.pr "checking the (broken) four-writer tournament: writers 0,1,3@.";
+      E.find_violation ~init:0 reg procs
+    | Bloom_cached ->
+      let reg = Core.Protocol.bloom_cached ~init:0 ~other_init:0 () in
+      let procs =
+        scripts ~writer_procs:[ 0; 1 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 2))
+          ~reads
+      in
+      Fmt.pr "checking the local-copy optimisation (Section 5)@.";
+      E.find_violation ~init:0 reg procs
+    | Mod3 ->
+      let reg = Core.Variants.mod3 ~init:0 ~others:(0, 0) () in
+      let procs =
+        scripts ~writer_procs:[ 0; 1; 2 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 3))
+          ~reads
+      in
+      Fmt.pr "checking the natural mod-3 three-writer extension@.";
+      E.find_violation ~init:0 reg procs
+    | Ablation name ->
+      let build = List.assoc name ablations in
+      let reg = build ~init:0 ~other_init:0 () in
+      let procs =
+        scripts ~writer_procs:[ 0; 1 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 2))
+          ~reads
+      in
+      Fmt.pr "checking ablation %s@." name;
+      E.find_violation ~init:0 reg procs
+    | Timestamp ->
+      let reg = Baselines.Timestamp_mwmr.build ~writers ~init:0 in
+      let procs =
+        scripts
+          ~writer_procs:(List.init writers (fun i -> i))
+          ~writes
+          ~reader_procs:(List.init readers (fun i -> i + writers))
+          ~reads
+      in
+      Fmt.pr "checking the timestamp MWMR baseline: %d writers@." writers;
+      E.find_violation ~init:0 reg procs
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  match result with
+  | None ->
+    Fmt.pr "no violation (%.2fs)@." dt;
+    0
+  | Some v ->
+    Fmt.pr "VIOLATION after %d executions (%.2fs):@." v.E.executions_checked dt;
+    List.iter
+      (fun e -> Fmt.pr "  %a@." (Histories.Event.pp Fmt.int) e)
+      v.E.trace_events;
+    1
+
+open Cmdliner
+
+let protocol_enum =
+  Arg.enum
+    ([ ("bloom", Bloom); ("bloom-cached", Bloom_cached);
+       ("tournament", Tournament); ("timestamp", Timestamp); ("mod3", Mod3) ]
+    @ List.map (fun (n, _) -> (n, Ablation n)) ablations)
+
+let protocol =
+  Arg.(value & opt protocol_enum Bloom
+       & info [ "protocol" ] ~doc:"Protocol to check.")
+
+let writes = Arg.(value & opt int 1 & info [ "writes" ] ~doc:"Writes per writer.")
+let reads = Arg.(value & opt int 1 & info [ "reads" ] ~doc:"Reads per reader.")
+
+let writers =
+  Arg.(value & opt int 2 & info [ "writers" ] ~doc:"Writers (timestamp only).")
+
+let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Readers.")
+
+let invariant =
+  Arg.(value & flag
+       & info [ "invariant" ]
+           ~doc:"Also check lemmas 1-2 and the certifier on every execution \
+                 (bloom only).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mcheck" ~doc:"Exhaustively model-check register protocols")
+    Term.(const run $ protocol $ writes $ reads $ writers $ readers $ invariant)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,143 @@
+(* Run a protocol on the model and emit the γ-trace, timeline, or
+   analysis — composable with the other tools:
+
+     run_model --protocol bloom --seed 3 --writes 2 --reads 2
+     run_model --protocol bloom --output trace --seed 3 > t.txt
+     trace_check t.txt
+     run_model --protocol no-third-read --until-violation *)
+
+module Vm = Registers.Vm
+
+type protocol =
+  | Bloom
+  | Bloom_cached
+  | Tournament
+  | Variant of string
+
+let variants =
+  [ ("no-third-read", Core.Variants.no_third_read);
+    ("copy-tag", Core.Variants.copy_tag);
+    ("read-own", Core.Variants.read_own_register);
+    ("split-tag-first", Core.Variants.split_write_tag_first);
+    ("split-value-first", Core.Variants.split_write_value_first) ]
+
+let build = function
+  | Bloom -> Core.Protocol.bloom ~init:0 ~other_init:0 ()
+  | Bloom_cached -> Core.Protocol.bloom_cached ~init:0 ~other_init:0 ()
+  | Tournament -> Core.Tournament.flat ~init:0 ~other_init:0 ()
+  | Variant name -> (List.assoc name variants) ~init:0 ~other_init:0 ()
+
+let writer_procs = function
+  | Bloom | Bloom_cached | Variant _ -> [ 0; 1 ]
+  | Tournament -> [ 0; 1; 3 ]
+
+let scripts protocol ~writes ~readers ~reads =
+  let ws = writer_procs protocol in
+  let base = 1 + List.fold_left max 0 ws in
+  List.map
+    (fun p ->
+      {
+        Vm.proc = p;
+        script =
+          List.init writes (fun k ->
+              Histories.Event.Write ((1000 * (p + 1)) + k));
+      })
+    ws
+  @ List.init readers (fun i ->
+        {
+          Vm.proc = base + i;
+          script = List.init reads (fun _ -> Histories.Event.Read);
+        })
+
+let analyse protocol trace =
+  let history = Registers.Vm.history_of_trace trace in
+  let ops = Histories.Operation.of_events_exn history in
+  let atomic = Histories.Linearize.is_atomic ~init:0 ops in
+  Fmt.pr "history: %d operations, atomic: %b@." (List.length ops) atomic;
+  match protocol with
+  | Bloom ->
+    (match Core.Certifier.certify (Core.Gamma.analyse ~init:0 trace) with
+     | Core.Certifier.Certified c ->
+       Fmt.pr "certificate: VALID (%d points)@."
+         (List.length c.Core.Certifier.order)
+     | Core.Certifier.Failed m -> Fmt.pr "certificate: FAILED — %s@." m);
+    if atomic then 0 else 1
+  | Bloom_cached | Tournament | Variant _ -> if atomic then 0 else 1
+
+let run protocol seed writes readers reads output until_violation =
+  if until_violation then begin
+    let procs = scripts protocol ~writes ~readers ~reads in
+    let rec hunt seed =
+      if seed > 100_000 then begin
+        Fmt.pr "no violation in 100000 seeds@.";
+        1
+      end
+      else
+        let trace = Registers.Run_coarse.run ~seed (build protocol) procs in
+        let ops =
+          Histories.Operation.of_events_exn
+            (Registers.Vm.history_of_trace trace)
+        in
+        if Histories.Linearize.is_atomic ~init:0 ops then hunt (seed + 1)
+        else begin
+          Fmt.pr "violating run at seed %d:@.@." seed;
+          Harness.Timeline.pp Fmt.stdout trace;
+          Fmt.pr "@.";
+          ignore (analyse protocol trace);
+          0
+        end
+    in
+    hunt 1
+  end
+  else begin
+    let trace =
+      Registers.Run_coarse.run ~seed (build protocol)
+        (scripts protocol ~writes ~readers ~reads)
+    in
+    match output with
+    | `Trace ->
+      print_string (Harness.Trace_io.to_string trace);
+      0
+    | `Timeline ->
+      Harness.Timeline.pp Fmt.stdout trace;
+      0
+    | `Analysis -> analyse protocol trace
+  end
+
+open Cmdliner
+
+let protocol_enum =
+  Arg.enum
+    ([ ("bloom", Bloom); ("bloom-cached", Bloom_cached);
+       ("tournament", Tournament) ]
+    @ List.map (fun (n, _) -> (n, Variant n)) variants)
+
+let protocol =
+  Arg.(value & opt protocol_enum Bloom & info [ "protocol" ] ~doc:"Protocol.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+let writes = Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per writer.")
+let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Readers.")
+let reads = Arg.(value & opt int 2 & info [ "reads" ] ~doc:"Reads per reader.")
+
+let output =
+  let e =
+    Arg.enum [ ("trace", `Trace); ("timeline", `Timeline); ("analysis", `Analysis) ]
+  in
+  Arg.(value & opt e `Analysis
+       & info [ "output" ]
+           ~doc:"trace: the gamma-trace file format; timeline: ASCII \
+                 timeline; analysis: checker + certifier verdicts.")
+
+let until_violation =
+  Arg.(value & flag
+       & info [ "until-violation" ]
+           ~doc:"Scan seeds until a non-atomic run is found; print it.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "run_model" ~doc:"Run register protocols on the model")
+    Term.(const run $ protocol $ seed $ writes $ readers $ reads $ output
+          $ until_violation)
+
+let () = exit (Cmd.eval' cmd)

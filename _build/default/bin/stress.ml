@@ -1,0 +1,151 @@
+(* Multicore stress testing with online atomicity checking.
+
+   Spawns writer and reader domains against a register implementation,
+   records the full history (stamped with a linearizable clock), then
+   streams it through the incremental monitor.
+
+     stress --register bloom --seconds 2
+     stress --register timestamp --writers 4 --readers 4
+     stress --register mutex *)
+
+type which =
+  | Bloom
+  | Bloom_cached
+  | Mutex
+  | Timestamp
+  | Broken
+
+type ops = {
+  write : writer:int -> int -> unit;
+  read : unit -> int;
+}
+
+let make_register which writers =
+  match which with
+  | Bloom | Bloom_cached ->
+    if writers > 2 then
+      failwith "the two-writer register supports at most --writers 2";
+    let reg, w0, w1 = Core.Shm.create ~init:0 in
+    if which = Bloom_cached then begin
+      let c0 = Core.Shm.Local_copy.attach w0 in
+      let c1 = Core.Shm.Local_copy.attach w1 in
+      {
+        write =
+          (fun ~writer v ->
+            Core.Shm.Local_copy.write (if writer = 0 then c0 else c1) v);
+        read = (fun () -> Core.Shm.read reg);
+      }
+    end
+    else
+      {
+        write =
+          (fun ~writer v -> Core.Shm.write (if writer = 0 then w0 else w1) v);
+        read = (fun () -> Core.Shm.read reg);
+      }
+  | Mutex ->
+    let reg = Baselines.Mutex_register.create 0 in
+    {
+      write = (fun ~writer:_ v -> Baselines.Mutex_register.write reg v);
+      read = (fun () -> Baselines.Mutex_register.read reg);
+    }
+  | Timestamp ->
+    let reg = Baselines.Timestamp_mwmr.Shm.create ~writers ~init:0 in
+    {
+      write = (fun ~writer v -> Baselines.Timestamp_mwmr.Shm.write reg ~writer v);
+      read = (fun () -> Baselines.Timestamp_mwmr.Shm.read reg);
+    }
+  | Broken ->
+    (* the copy-tag ablation on real shared memory: drops the [i xor],
+       so writer 1's values can vanish / resurrect — the monitor should
+       flag it within a moment of contention *)
+    if writers > 2 then failwith "broken register supports at most 2 writers";
+    let module T = Registers.Tagged in
+    let cells = [| Atomic.make (T.initial 0); Atomic.make (T.initial 0) |] in
+    {
+      write =
+        (fun ~writer v ->
+          let other = Atomic.get cells.(1 - writer) in
+          Atomic.set cells.(writer) (T.make v (T.tag other)));
+      read =
+        (fun () ->
+          let c0 = Atomic.get cells.(0) in
+          let c1 = Atomic.get cells.(1) in
+          let r = T.tag_sum c0 c1 in
+          T.v (Atomic.get cells.(if r = 0 then 0 else 1)));
+    }
+
+let run which writers readers seconds =
+  let ops = make_register which writers in
+  let recorder = Harness.Recorder.create () in
+  let stop = Atomic.make false in
+  let writer_domain w =
+    let buf = Harness.Recorder.buffer recorder in
+    Domain.spawn (fun () ->
+        let k = ref 0 in
+        while not (Atomic.get stop) do
+          incr k;
+          (* unique value: writer id in the low bits *)
+          let v = (!k * 64) + w + 1 in
+          Harness.Recorder.wrap_write buf ~proc:w ~value:v (fun () ->
+              ops.write ~writer:w v)
+        done)
+  in
+  let reader_domain p =
+    let buf = Harness.Recorder.buffer recorder in
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (Harness.Recorder.wrap_read buf ~proc:p (fun () -> ops.read ()))
+        done)
+  in
+  Fmt.pr "stress: %d writer + %d reader domains for %.1fs...@." writers readers
+    seconds;
+  let ds =
+    List.init writers writer_domain
+    @ List.init readers (fun i -> reader_domain (writers + i))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  let history = Harness.Recorder.history recorder in
+  let n_events = List.length history in
+  Fmt.pr "recorded %d events (%.2f Mops/s)@." n_events
+    (float_of_int n_events /. 2.0 /. seconds /. 1e6);
+  let t0 = Unix.gettimeofday () in
+  let monitor = Histories.Monitor.create ~init:0 in
+  let verdict = Histories.Monitor.observe_all monitor history in
+  let dt = Unix.gettimeofday () -. t0 in
+  let nodes, edges = Histories.Monitor.stats monitor in
+  Fmt.pr "monitor: %d nodes, %d edges, checked in %.2fs (%.2f Mevents/s)@."
+    nodes edges dt
+    (float_of_int n_events /. dt /. 1e6);
+  match verdict with
+  | Histories.Monitor.Ok_so_far ->
+    Fmt.pr "verdict: ATOMIC@.";
+    0
+  | Histories.Monitor.Violation v ->
+    Fmt.pr "verdict: VIOLATION — %a@."
+      (Histories.Fastcheck.pp_violation Fmt.int) v;
+    1
+
+open Cmdliner
+
+let which_enum =
+  Arg.enum
+    [ ("bloom", Bloom); ("bloom-cached", Bloom_cached); ("mutex", Mutex);
+      ("timestamp", Timestamp); ("broken", Broken) ]
+
+let which =
+  Arg.(value & opt which_enum Bloom & info [ "register" ] ~doc:"Register kind.")
+
+let writers = Arg.(value & opt int 2 & info [ "writers" ] ~doc:"Writer domains.")
+let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Reader domains.")
+
+let seconds =
+  Arg.(value & opt float 1.0 & info [ "seconds" ] ~doc:"Run duration.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Multicore stress test with online atomicity checking")
+    Term.(const run $ which $ writers $ readers $ seconds)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,104 @@
+(* Standalone atomicity checker for register histories.
+
+   Reads a history from a file (or stdin), one event per line:
+
+     inv  <proc> read
+     inv  <proc> write <int>
+     resp <proc>            (write acknowledgment)
+     resp <proc> <int>      (read returning <int>)
+
+   Blank lines and lines starting with '#' are ignored.
+
+     trace_check history.txt
+     trace_check --init 5 --brute history.txt *)
+
+let parse_line lineno line =
+  let line = String.trim line in
+  (* '*' lines are the real registers' *-actions in the gamma-trace
+     format (see Harness.Trace_io); only the history matters here *)
+  if line = "" || line.[0] = '#' || line.[0] = '*' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "inv"; p; "read" ] ->
+      Some (Histories.Event.Invoke (int_of_string p, Histories.Event.Read))
+    | [ "inv"; p; "write"; v ] ->
+      Some
+        (Histories.Event.Invoke
+           (int_of_string p, Histories.Event.Write (int_of_string v)))
+    | [ "resp"; p ] -> Some (Histories.Event.Respond (int_of_string p, None))
+    | [ "resp"; p; v ] ->
+      Some
+        (Histories.Event.Respond (int_of_string p, Some (int_of_string v)))
+    | _ -> Fmt.failwith "line %d: cannot parse %S" lineno line
+
+let read_events ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      (match parse_line lineno line with
+       | Some e -> go (e :: acc) (lineno + 1)
+       | None -> go acc (lineno + 1))
+  in
+  go [] 1
+
+let run file init brute =
+  let ic = if file = "-" then stdin else open_in file in
+  let events = read_events ic in
+  if file <> "-" then close_in ic;
+  Fmt.pr "%d events, " (List.length events);
+  match Histories.Operation.of_events events with
+  | Error e ->
+    Fmt.pr "not input-correct (%a) — vacuously atomic@."
+      Histories.Operation.pp_error e;
+    0
+  | Ok ops ->
+    Fmt.pr "%d operations@." (List.length ops);
+    if brute then begin
+      match Histories.Linearize.check ~init ops with
+      | Histories.Linearize.Atomic w ->
+        Fmt.pr "ATOMIC (brute force); a witness linearization:@.";
+        List.iter (fun o -> Fmt.pr "  %a@." (Histories.Operation.pp Fmt.int) o) w;
+        0
+      | Histories.Linearize.Not_atomic ->
+        Fmt.pr "NOT ATOMIC (brute force)@.";
+        1
+    end
+    else begin
+      match Histories.Fastcheck.check_unique ~init ops with
+      | Histories.Fastcheck.Atomic w ->
+        Fmt.pr "ATOMIC; a witness linearization:@.";
+        List.iter (fun o -> Fmt.pr "  %a@." (Histories.Operation.pp Fmt.int) o) w;
+        0
+      | Histories.Fastcheck.Violation (Histories.Fastcheck.Duplicate_write _) ->
+        Fmt.pr
+          "written values are not unique; falling back to brute force...@.";
+        if Histories.Linearize.is_atomic ~init ops then begin
+          Fmt.pr "ATOMIC (brute force)@.";
+          0
+        end
+        else begin
+          Fmt.pr "NOT ATOMIC (brute force)@.";
+          1
+        end
+      | Histories.Fastcheck.Violation v ->
+        Fmt.pr "NOT ATOMIC: %a@." (Histories.Fastcheck.pp_violation Fmt.int) v;
+        1
+    end
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"History file ('-' for stdin).")
+
+let init = Arg.(value & opt int 0 & info [ "init" ] ~doc:"Initial register value.")
+
+let brute =
+  Arg.(value & flag & info [ "brute" ] ~doc:"Force the brute-force checker.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trace_check" ~doc:"Decide atomicity of a register history")
+    Term.(const run $ file $ init $ brute)
+
+let () = exit (Cmd.eval' cmd)

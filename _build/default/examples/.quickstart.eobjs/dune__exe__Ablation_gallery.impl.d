@@ -1,0 +1,1 @@
+examples/ablation_gallery.ml: Core Fmt Harness Histories List Modelcheck Registers

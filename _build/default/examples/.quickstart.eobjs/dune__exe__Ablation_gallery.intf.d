@@ -1,0 +1,1 @@
+examples/ablation_gallery.mli:

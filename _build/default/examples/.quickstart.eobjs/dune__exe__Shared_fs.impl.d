@@ -1,0 +1,1 @@
+examples/shared_fs.ml: Array Atomic Core Domain Fmt Hashtbl Histories List Registers

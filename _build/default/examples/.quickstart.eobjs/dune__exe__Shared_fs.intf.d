@@ -1,0 +1,1 @@
+examples/shared_fs.mli:

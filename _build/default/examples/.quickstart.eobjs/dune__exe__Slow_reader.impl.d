@@ -1,0 +1,1 @@
+examples/slow_reader.ml: Array Core Fmt Harness Histories List Registers

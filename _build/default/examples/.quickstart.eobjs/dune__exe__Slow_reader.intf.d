@@ -1,0 +1,1 @@
+examples/slow_reader.mli:

@@ -1,0 +1,1 @@
+examples/tournament_counterexample.ml: Array Core Fmt Harness Histories List Modelcheck Registers

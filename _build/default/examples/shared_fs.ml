@@ -1,0 +1,109 @@
+(* The paper's motivating application (Section 1): "consider a
+   collection of computers, each permitted to read all the others' file
+   systems, but only able to write on their own.  Multi-writer register
+   algorithms could allow them to simulate a shared file system."
+
+   Two file servers each own one real register (their local disk, which
+   the others can only read).  The two-writer protocol turns the pair
+   into a single atomic "published filesystem image" that both servers
+   can update and any number of clients can read — without locks, and
+   with a server crash never corrupting the image.
+
+     dune exec examples/shared_fs.exe *)
+
+type manifest = {
+  version : int;
+  publisher : string;
+  files : (string * string) list;  (* filename -> contents *)
+}
+
+let pp_manifest ppf m =
+  Fmt.pf ppf "v%d by %s: {%a}" m.version m.publisher
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string string))
+    m.files
+
+let empty = { version = 0; publisher = "init"; files = [] }
+
+let () =
+  let image, server_a, server_b = Core.Shm.create ~init:empty in
+
+  (* Each server publishes a new image derived from what it last saw
+     plus its own local edits.  Publishing is a single simulated write:
+     atomic, wait-free, all-or-nothing under crashes. *)
+  let versions = Atomic.make 1 in
+  let publish cap name files =
+    let version = Atomic.fetch_and_add versions 1 in
+    Core.Shm.write cap { version; publisher = name; files }
+  in
+
+  let server cap name my_files =
+    Domain.spawn (fun () ->
+        List.iteri
+          (fun i fs ->
+            publish cap name fs;
+            if i mod 2 = 0 then
+              (* servers also read the shared image *)
+              ignore (Core.Shm.read image))
+          my_files)
+  in
+  let observed = Array.make 64 empty in
+  let client =
+    Domain.spawn (fun () ->
+        for i = 0 to 63 do
+          observed.(i) <- Core.Shm.read image;
+          Domain.cpu_relax ()
+        done)
+  in
+  let a_files =
+    List.init 8 (fun i ->
+        [ ("motd", Fmt.str "hello %d from A" i); ("a.conf", string_of_int i) ])
+  and b_files =
+    List.init 8 (fun i ->
+        [ ("motd", Fmt.str "greetings %d from B" i); ("b.log", string_of_int i) ])
+  in
+  Fmt.pr "two file servers publishing concurrently, one client reading...@.";
+  let ds = [ server server_a "A" a_files; server server_b "B" b_files ] in
+  List.iter Domain.join ds;
+  Domain.join client;
+
+  Fmt.pr "final image: %a@." pp_manifest (Core.Shm.read image);
+
+  (* Atomicity pays off observably: the client's view never goes back
+     in time on one publisher's stream, and never mixes two images. *)
+  let monotone = ref true in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun m ->
+      (match Hashtbl.find_opt seen m.publisher with
+       | Some v when m.version < v -> monotone := false
+       | _ -> ());
+      Hashtbl.replace seen m.publisher m.version)
+    observed;
+  Fmt.pr "client observed %d snapshots; per-publisher versions monotone: %b@."
+    (Array.length observed) !monotone;
+
+  (* And the paper's crash guarantee: a server dying mid-publish leaves
+     either the old image or the new one, never a torn mix — because
+     the protocol performs a single real write.  We demonstrate on the
+     model: kill writer 0 at every point of its publish. *)
+  Fmt.pr "@.crash-injection on the model (write of value 7 by server 0):@.";
+  let open Histories.Event in
+  List.iter
+    (fun k ->
+      let reg = Core.Protocol.bloom ~init:0 ~other_init:0 () in
+      let trace =
+        Registers.Run_coarse.run ~crash:[ (0, k) ] ~seed:42 reg
+          [ { Registers.Vm.proc = 0; script = [ Write 7 ] };
+            { Registers.Vm.proc = 2; script = [ Read ] } ]
+      in
+      let read_back =
+        List.find_map
+          (function
+            | Registers.Vm.Sim (Respond (2, Some v)) -> Some v
+            | _ -> None)
+          trace
+      in
+      Fmt.pr "  crash after %d real accesses -> reader sees %a@." k
+        Fmt.(option int) read_back)
+    [ 0; 1; 2 ];
+  Fmt.pr "either nothing of the write is visible or everything is.@."

@@ -1,0 +1,1 @@
+lib/baselines/mutex_register.ml: Mutex

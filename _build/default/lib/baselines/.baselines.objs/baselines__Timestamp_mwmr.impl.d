@@ -1,0 +1,1 @@
+lib/baselines/timestamp_mwmr.ml: Array Registers

@@ -1,0 +1,24 @@
+type 'v t = {
+  lock : Mutex.t;
+  mutable value : 'v;
+}
+
+let create v = { lock = Mutex.create (); value = v }
+
+let read t =
+  Mutex.lock t.lock;
+  let v = t.value in
+  Mutex.unlock t.lock;
+  v
+
+let write t v =
+  Mutex.lock t.lock;
+  t.value <- v;
+  Mutex.unlock t.lock
+
+let read_while_stalled t ~stall =
+  Mutex.lock t.lock;
+  stall ();
+  let v = t.value in
+  Mutex.unlock t.lock;
+  v

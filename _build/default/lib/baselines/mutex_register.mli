@@ -1,0 +1,21 @@
+(** The baseline the paper argues {e against} (Section 4: "a protocol
+    could be cobbled together from a fair mutual exclusion protocol.
+    This would require processes to wait for each other, an undesirable
+    trait for memory.  Furthermore, one processor could crash while
+    reading the register and block all further access").
+
+    A multi-writer multi-reader register guarded by a lock: trivially
+    atomic, but blocking — a stalled holder stalls everyone.  Used as a
+    comparison point in the benchmarks and in the wait-freedom tests. *)
+
+type 'v t
+
+val create : 'v -> 'v t
+val read : 'v t -> 'v
+val write : 'v t -> 'v -> unit
+
+val read_while_stalled : 'v t -> stall:(unit -> unit) -> 'v
+(** Acquire the lock, run [stall] while holding it, then read — the
+    crash-while-holding scenario.  Concurrent [read]/[write] calls
+    block until [stall] returns; the tests use this to measure the
+    blocking the paper's construction avoids. *)

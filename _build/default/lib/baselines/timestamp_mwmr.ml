@@ -1,0 +1,59 @@
+module Vm = Registers.Vm
+module Shm_atomic = Registers.Shm_atomic
+
+type 'v stamped = 'v * int * int
+
+let better (_, t1, w1) (_, t2, w2) = t2 > t1 || (t2 = t1 && w2 > w1)
+
+let build ~writers ~init =
+  if writers <= 0 then invalid_arg "Timestamp_mwmr.build";
+  let spec = Array.init writers (fun _ -> Vm.atomic_cell (init, 0, -1)) in
+  let collect k =
+    let rec go best i =
+      if i >= writers then k best
+      else
+        Vm.bind (Vm.read i) (fun s ->
+            go (if better best s then s else best) (i + 1))
+    in
+    go (init, 0, -1) 0
+  in
+  let read ~proc:_ = collect (fun (v, _, _) -> Vm.return v) in
+  let write ~proc v =
+    if proc < 0 || proc >= writers then
+      invalid_arg "Timestamp_mwmr.write: not a writer";
+    collect (fun (_, ts, _) -> Vm.write proc (v, ts + 1, proc))
+  in
+  { Vm.spec; read; write }
+
+module Shm = struct
+  type 'v t = {
+    cells : ('v stamped Shm_atomic.t * Shm_atomic.writer) array;
+  }
+
+  let create ~writers ~init =
+    if writers <= 0 then invalid_arg "Timestamp_mwmr.Shm.create";
+    { cells = Array.init writers (fun _ -> Shm_atomic.create (init, 0, -1)) }
+
+  let scan t =
+    let best = ref (Shm_atomic.read (fst t.cells.(0))) in
+    for i = 1 to Array.length t.cells - 1 do
+      let s = Shm_atomic.read (fst t.cells.(i)) in
+      if better !best s then best := s
+    done;
+    !best
+
+  let read t =
+    let v, _, _ = scan t in
+    v
+
+  let write t ~writer v =
+    let _, ts, _ = scan t in
+    let cell, cap = t.cells.(writer) in
+    Shm_atomic.write cap cell (v, ts + 1, writer)
+
+  let real_accesses t =
+    Array.fold_left
+      (fun (r, w) (cell, _) ->
+        (r + Shm_atomic.read_count cell, w + Shm_atomic.write_count cell))
+      (0, 0) t.cells
+end

@@ -1,0 +1,31 @@
+(** The classic unbounded-timestamp multi-writer register built from
+    one SWMR atomic cell per writer — the construction the paper's
+    reference [VA] line of work develops, used here as the baseline
+    that {e does} generalize to many writers, at the price of unbounded
+    timestamps (versus Bloom's single extra bit, but only two writers).
+
+    Writer [w]: read every writer's cell, take the maximum timestamp,
+    write [(v, max+1, w)] to its own cell.
+    Reader: read every cell, return the value with the lexicographically
+    greatest [(timestamp, writer)] stamp.
+
+    A write costs [W] real reads + 1 real write and a read costs [W]
+    real reads, against Bloom's 1+1 and 3. *)
+
+type 'v stamped = 'v * int * int
+(** value, timestamp, writer id *)
+
+val build : writers:int -> init:'v -> ('v stamped, 'v) Registers.Vm.built
+(** VM version (pure — safe for exhaustive model checking).  Writer
+    processors are [0 .. writers-1]; any processor may read. *)
+
+(** Shared-memory version on OCaml domains. *)
+module Shm : sig
+  type 'v t
+
+  val create : writers:int -> init:'v -> 'v t
+  val read : 'v t -> 'v
+  val write : 'v t -> writer:int -> 'v -> unit
+  val real_accesses : 'v t -> int * int
+  (** total (reads, writes) of the underlying cells *)
+end

@@ -1,0 +1,1 @@
+lib/core/certifier.ml: Array Fmt Gamma Histories List Option

@@ -1,0 +1,1 @@
+lib/core/certifier.mli: Fmt Gamma Histories

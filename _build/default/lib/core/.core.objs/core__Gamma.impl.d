@@ -1,0 +1,1 @@
+lib/core/gamma.ml: Array Fmt Hashtbl Histories List Option Registers

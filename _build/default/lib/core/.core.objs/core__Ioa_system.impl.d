@@ -1,0 +1,1 @@
+lib/core/ioa_system.ml: Fmt Histories Ioa List Option Registers

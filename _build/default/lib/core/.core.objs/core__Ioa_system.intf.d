@@ -1,0 +1,1 @@
+lib/core/ioa_system.mli: Fmt Histories Ioa Registers

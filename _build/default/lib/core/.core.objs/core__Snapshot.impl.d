@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Atomic Fmt Hashtbl Histories List Random Registers

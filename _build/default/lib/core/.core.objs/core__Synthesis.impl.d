@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Fmt Fun List Registers

@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Fmt Registers

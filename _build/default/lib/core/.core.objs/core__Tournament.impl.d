@@ -1,0 +1,1 @@
+lib/core/tournament.ml: Histories Protocol Registers

@@ -1,0 +1,1 @@
+lib/core/tournament.mli: Histories Registers

@@ -1,0 +1,1 @@
+lib/core/variants.ml: Protocol Registers

@@ -1,0 +1,195 @@
+type 'v point =
+  | Write_point of int
+  | Read_point of int
+
+type 'v certificate = {
+  order : 'v point list;
+  gamma : 'v Gamma.t;
+}
+
+type 'v outcome =
+  | Certified of 'v certificate
+  | Failed of string
+
+exception Fail of string
+
+let failf fmt = Fmt.kstr (fun s -> raise (Fail s)) fmt
+
+(* The sequence under construction: original trace events interleaved
+   with inserted *-actions. *)
+type 'v item =
+  | Evt of int
+  | Star of 'v point
+
+let insert_after items ~anchor ~star =
+  let rec go = function
+    | [] -> failf "certifier: anchor not found"
+    | x :: rest when x = anchor -> x :: star :: rest
+    | x :: rest -> x :: go rest
+  in
+  go items
+
+let insert_before items ~anchor ~star =
+  let rec go = function
+    | [] -> failf "certifier: anchor not found"
+    | x :: rest when x = anchor -> star :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  go items
+
+let position items x =
+  let rec go i = function
+    | [] -> failf "certifier: item not found"
+    | y :: _ when y = x -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 items
+
+let certify (g : 'v Gamma.t) =
+  try
+    (match Gamma.check_lemmas g with
+     | Ok () -> ()
+     | Error e -> failf "%s" e);
+    let items =
+      ref (List.init (Array.length g.Gamma.trace) (fun i -> Evt i))
+    in
+    (* Step 1: potent writes first (their *-actions anchor the impotent
+       ones), in trace order of their real writes. *)
+    let completed_writes =
+      Array.to_list g.Gamma.writes
+      |> List.filter (fun (w : 'v Gamma.write) -> w.Gamma.write_star <> None)
+    in
+    List.iter
+      (fun (w : 'v Gamma.write) ->
+        if w.Gamma.potent then
+          let ws = Option.get w.Gamma.write_star in
+          items :=
+            insert_after !items ~anchor:(Evt ws)
+              ~star:(Star (Write_point w.Gamma.w_id)))
+      completed_writes;
+    List.iter
+      (fun (w : 'v Gamma.write) ->
+        if not w.Gamma.potent then
+          match w.Gamma.prefinisher with
+          | None -> failf "impotent write #%d lacks a prefinisher" w.Gamma.w_id
+          | Some p ->
+            items :=
+              insert_before !items ~anchor:(Star (Write_point p))
+                ~star:(Star (Write_point w.Gamma.w_id)))
+      completed_writes;
+    (* Steps 2-4, one pass over the reads. *)
+    Array.iteri
+      (fun i (r : 'v Gamma.read) ->
+        let star = Star (Read_point r.Gamma.r_id) in
+        match g.Gamma.reads_from.(i) with
+        | Gamma.Initial ->
+          (* Step 4: after the second real read. *)
+          items := insert_after !items ~anchor:(Evt r.Gamma.star1) ~star
+        | Gamma.From w_id ->
+          let w = g.Gamma.writes.(w_id) in
+          if w.Gamma.potent then begin
+            (* Step 2: after the later of R's first real read and W's
+               *-action. *)
+            let a0 = Evt r.Gamma.star0 in
+            let aw = Star (Write_point w_id) in
+            let anchor =
+              if position !items a0 > position !items aw then a0 else aw
+            in
+            items := insert_after !items ~anchor ~star
+          end
+          else
+            (* Step 3: after the impotent write's *-action. *)
+            items := insert_after !items ~anchor:(Star (Write_point w_id)) ~star)
+      g.Gamma.reads;
+    let items = !items in
+    (* Validation 1: every *-action lies inside its operation's
+       interval. *)
+    let pos = position items in
+    List.iteri
+      (fun idx item ->
+        match item with
+        | Evt _ -> ()
+        | Star (Write_point w_id) ->
+          let w = g.Gamma.writes.(w_id) in
+          if idx < pos (Evt w.Gamma.w_inv) then
+            failf "write #%d linearized before its request" w_id;
+          (match w.Gamma.w_resp with
+           | Some resp ->
+             if idx > pos (Evt resp) then
+               failf "write #%d linearized after its acknowledgment" w_id
+           | None -> ())
+        | Star (Read_point r_id) ->
+          let r = g.Gamma.reads.(r_id) in
+          if idx < pos (Evt r.Gamma.r_inv) then
+            failf "read #%d linearized before its request" r_id;
+          if idx > pos (Evt r.Gamma.r_resp) then
+            failf "read #%d linearized after its acknowledgment" r_id)
+      items;
+    (* Validation of Lemma 4: the *-action of an impotent write read by
+       R falls inside R's interval. *)
+    Array.iteri
+      (fun i (r : 'v Gamma.read) ->
+        match g.Gamma.reads_from.(i) with
+        | Gamma.From w_id when not g.Gamma.writes.(w_id).Gamma.potent ->
+          let p = pos (Star (Write_point w_id)) in
+          if p < pos (Evt r.Gamma.r_inv) || p > pos (Evt r.Gamma.r_resp) then
+            failf
+              "lemma 4 violated: *-action of impotent write #%d outside \
+               read #%d"
+              w_id r.Gamma.r_id
+        | Gamma.From _ | Gamma.Initial -> ())
+      g.Gamma.reads;
+    (* Validation 2: the *-actions satisfy the register property. *)
+    let order =
+      List.filter_map
+        (function
+          | Star p -> Some p
+          | Evt _ -> None)
+        items
+    in
+    let value = ref g.Gamma.init in
+    List.iter
+      (function
+        | Write_point w_id -> value := g.Gamma.writes.(w_id).Gamma.w_value
+        | Read_point r_id ->
+          let r = g.Gamma.reads.(r_id) in
+          if r.Gamma.returned <> !value then
+            failf "register property violated: read #%d returned a stale value"
+              r_id)
+      order;
+    Certified { order; gamma = g }
+  with Fail msg -> Failed msg
+
+let linearization (c : 'v certificate) =
+  List.mapi
+    (fun i p ->
+      match p with
+      | Write_point w_id ->
+        let w = c.gamma.Gamma.writes.(w_id) in
+        {
+          Histories.Operation.id = i;
+          proc = w.Gamma.writer;
+          kind = Histories.Operation.Write_op w.Gamma.w_value;
+          result = None;
+          inv = i;
+          resp = Some i;
+        }
+      | Read_point r_id ->
+        let r = c.gamma.Gamma.reads.(r_id) in
+        {
+          Histories.Operation.id = i;
+          proc = r.Gamma.reader;
+          kind = Histories.Operation.Read_op;
+          result = Some r.Gamma.returned;
+          inv = i;
+          resp = Some i;
+        })
+    c.order
+
+let pp_outcome pp_v ppf = function
+  | Certified c ->
+    Fmt.pf ppf "certified: %d writes, %d reads linearized"
+      (Array.length c.gamma.Gamma.writes)
+      (Array.length c.gamma.Gamma.reads);
+    ignore pp_v
+  | Failed msg -> Fmt.pf ppf "FAILED: %s" msg

@@ -1,0 +1,50 @@
+(** The correctness proof of Section 7, run as an algorithm.
+
+    Given the γ-analysis of an execution, insert a *-action for every
+    simulated operation following the proof's four steps:
+
+    + a potent write immediately after the *-action of its real write;
+      an impotent write immediately before the *-action of its
+      prefinisher (Step 1);
+    + a read of a potent write [W] immediately after the later of its
+      own first real read and [W]'s *-action (Step 2);
+    + a read of an impotent write immediately after that write's
+      *-action (Step 3);
+    + a read of the initial value immediately after its second real
+      read (Step 4).
+
+    The result is then {e independently validated}: every inserted
+    *-action must lie inside its operation's request/acknowledgment
+    interval, and the sequence of *-actions must satisfy the register
+    property.  A validated certificate is a constructive witness that
+    the execution is atomic — the paper's theorem, checked anew on
+    every run. *)
+
+type 'v point =
+  | Write_point of int  (** [w_id] *)
+  | Read_point of int  (** [r_id] *)
+
+type 'v certificate = {
+  order : 'v point list;  (** all *-actions, in linearization order *)
+  gamma : 'v Gamma.t;
+}
+
+type 'v outcome =
+  | Certified of 'v certificate
+  | Failed of string
+      (** the proof steps could not be carried out or their output did
+          not validate — on the two-writer protocol this indicates a
+          bug (or a deliberately broken protocol variant under test) *)
+
+val certify : 'v Gamma.t -> 'v outcome
+(** Run Steps 1–4 and validate.  Also checks Lemmas 1 and 2 on the way
+    (they are prerequisites of Step 1) and Lemma 4 during validation.
+    Crashed writes that performed their real write are treated as
+    having occurred; other crashed operations are dropped — the
+    paper's remark that a write "either occurs or does not occur". *)
+
+val linearization : 'v certificate -> 'v Histories.Operation.t list
+(** The certified order as history operations (writes carry their
+    value, reads their result), suitable for {!Histories.Seq_spec}. *)
+
+val pp_outcome : 'v Fmt.t -> 'v outcome Fmt.t

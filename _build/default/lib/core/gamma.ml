@@ -1,0 +1,256 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+type 'v write = {
+  w_id : int;
+  writer : int;
+  w_value : 'v;
+  w_tag : bool;
+  w_inv : int;
+  read_star : int option;
+  write_star : int option;
+  w_resp : int option;
+  potent : bool;
+  prefinisher : int option;
+}
+
+type 'v read = {
+  r_id : int;
+  reader : int;
+  star0 : int;
+  star1 : int;
+  star2 : int;
+  reg2 : int;
+  returned : 'v;
+  r_inv : int;
+  r_resp : int;
+}
+
+type 'v from =
+  | Initial
+  | From of int
+
+type 'v t = {
+  trace : ('v Tagged.t, 'v) Vm.trace_event array;
+  writes : 'v write array;
+  reads : 'v read array;
+  reads_from : 'v from array;
+  init : 'v;
+}
+
+(* Assembly state of one processor's in-flight simulated operation. *)
+type 'v building = {
+  b_inv : int;
+  b_op : 'v Histories.Event.op;
+  mutable b_prims : (int * [ `R | `W ] * int * 'v Tagged.t) list;
+      (* (trace index, kind, register, tagged value), reverse order *)
+}
+
+let bad fmt = Fmt.kstr invalid_arg ("Gamma.analyse: " ^^ fmt)
+
+let analyse ~init trace_list =
+  let trace = Array.of_list trace_list in
+  let inflight : (int, 'v building) Hashtbl.t = Hashtbl.create 8 in
+  let writes = ref [] and reads = ref [] in
+  let finish_op p (b : 'v building) resp =
+    let prims = List.rev b.b_prims in
+    match b.b_op with
+    | Histories.Event.Write w_value ->
+      if p <> 0 && p <> 1 then bad "processor %d is not a writer" p;
+      let read_star, write_star, w_tag =
+        match prims with
+        | [] -> (None, None, false)
+        | [ (i, `R, r, _) ] ->
+          if r <> 1 - p then bad "writer %d read its own register" p;
+          (Some i, None, false)
+        | [ (i, `R, r, _); (j, `W, r', tv) ] ->
+          if r <> 1 - p || r' <> p then bad "writer %d accessed wrong registers" p;
+          (Some i, Some j, Tagged.tag tv)
+        | _ -> bad "writer %d performed %d accesses" p (List.length prims)
+      in
+      writes :=
+        {
+          w_id = 0;
+          writer = p;
+          w_value;
+          w_tag;
+          w_inv = b.b_inv;
+          read_star;
+          write_star;
+          w_resp = resp;
+          potent = false;
+          prefinisher = None;
+        }
+        :: !writes
+    | Histories.Event.Read ->
+      (match resp, prims with
+       | Some r_resp, [ (i0, `R, 0, _); (i1, `R, 1, _); (i2, `R, reg2, tv2) ] ->
+         reads :=
+           {
+             r_id = 0;
+             reader = p;
+             star0 = i0;
+             star1 = i1;
+             star2 = i2;
+             reg2;
+             returned = Tagged.v tv2;
+             r_inv = b.b_inv;
+             r_resp;
+           }
+           :: !reads
+       | Some _, _ -> bad "reader %d performed a malformed read" p
+       | None, _ -> () (* crashed read: dropped *))
+  in
+  Array.iteri
+    (fun idx ev ->
+      match ev with
+      | Vm.Sim (Histories.Event.Invoke (p, op)) ->
+        if Hashtbl.mem inflight p then bad "processor %d not sequential" p;
+        Hashtbl.replace inflight p { b_inv = idx; b_op = op; b_prims = [] }
+      | Vm.Sim (Histories.Event.Respond (p, _)) ->
+        (match Hashtbl.find_opt inflight p with
+         | None -> bad "response without request on %d" p
+         | Some b ->
+           Hashtbl.remove inflight p;
+           finish_op p b (Some idx))
+      | Vm.Prim_read (p, reg, tv) ->
+        (match Hashtbl.find_opt inflight p with
+         | None -> bad "stray access by %d" p
+         | Some b -> b.b_prims <- (idx, `R, reg, tv) :: b.b_prims)
+      | Vm.Prim_write (p, reg, tv) ->
+        (match Hashtbl.find_opt inflight p with
+         | None -> bad "stray access by %d" p
+         | Some b -> b.b_prims <- (idx, `W, reg, tv) :: b.b_prims))
+    trace;
+  (* Crashed / unfinished operations. *)
+  Hashtbl.iter (fun p b -> finish_op p b None) inflight;
+  let by_inv f = List.sort (fun a b -> compare (f a) (f b)) in
+  let writes =
+    Array.of_list (by_inv (fun w -> w.w_inv) !writes)
+    |> Array.mapi (fun i w -> { w with w_id = i })
+  in
+  let reads =
+    Array.of_list (by_inv (fun r -> r.r_inv) !reads)
+    |> Array.mapi (fun i r -> { r with r_id = i })
+  in
+  (* Tag bits of both registers after each trace prefix. *)
+  let n = Array.length trace in
+  let tags_after = Array.make (n + 1) (false, false) in
+  let cur = ref (false, false) in
+  Array.iteri
+    (fun idx ev ->
+      (match ev with
+       | Vm.Prim_write (_, reg, tv) ->
+         let t0, t1 = !cur in
+         cur := if reg = 0 then (Tagged.tag tv, t1) else (t0, Tagged.tag tv)
+       | Vm.Prim_read _ | Vm.Sim _ -> ());
+      tags_after.(idx + 1) <- !cur)
+    trace;
+  tags_after.(0) <- (false, false);
+  let tag_sum i =
+    let t0, t1 = tags_after.(i + 1) in
+    if t0 <> t1 then 1 else 0
+  in
+  (* Potency. *)
+  let writes =
+    Array.map
+      (fun w ->
+        match w.write_star with
+        | Some ws -> { w with potent = tag_sum ws = w.writer }
+        | None -> w)
+      writes
+  in
+  (* Prefinishers: the last real write by the other writer strictly
+     between this write's real read and real write. *)
+  let writes =
+    Array.map
+      (fun w ->
+        match w.read_star, w.write_star with
+        | Some rs, Some ws ->
+          let best = ref None in
+          Array.iter
+            (fun (w' : 'v write) ->
+              if w'.writer = 1 - w.writer then
+                match w'.write_star with
+                | Some ws' when rs < ws' && ws' < ws ->
+                  (match !best with
+                   | Some (prev, _) when prev >= ws' -> ()
+                   | Some _ | None -> best := Some (ws', w'.w_id))
+                | Some _ | None -> ())
+            writes;
+          { w with prefinisher = Option.map snd !best }
+        | _, _ -> w)
+      writes
+  in
+  (* Reads-from. *)
+  let last_write_to reg before =
+    let best = ref None in
+    Array.iter
+      (fun (w : 'v write) ->
+        if w.writer = reg then
+          match w.write_star with
+          | Some ws when ws < before ->
+            (match !best with
+             | Some (prev, _) when prev >= ws -> ()
+             | Some _ | None -> best := Some (ws, w.w_id))
+          | Some _ | None -> ())
+      writes;
+    Option.map snd !best
+  in
+  let reads_from =
+    Array.map
+      (fun r ->
+        match last_write_to r.reg2 r.star2 with
+        | Some id -> From id
+        | None -> Initial)
+      reads
+  in
+  { trace; writes; reads; reads_from; init }
+
+let tag_sum_after t i =
+  let cur = ref (false, false) in
+  Array.iteri
+    (fun idx ev ->
+      if idx <= i then
+        match ev with
+        | Vm.Prim_write (_, reg, tv) ->
+          let t0, t1 = !cur in
+          cur := if reg = 0 then (Tagged.tag tv, t1) else (t0, Tagged.tag tv)
+        | Vm.Prim_read _ | Vm.Sim _ -> ())
+    t.trace;
+  let t0, t1 = !cur in
+  if t0 <> t1 then 1 else 0
+
+let lemma1 t =
+  Array.fold_left
+    (fun acc (w : 'v write) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if w.write_star <> None && not w.potent && w.prefinisher = None then
+          Error
+            (Fmt.str "lemma 1 violated: impotent write #%d has no prefinisher"
+               w.w_id)
+        else Ok ())
+    (Ok ()) t.writes
+
+let lemma2 t =
+  Array.fold_left
+    (fun acc (w : 'v write) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        (match w.write_star, w.potent, w.prefinisher with
+         | Some _, false, Some p when not t.writes.(p).potent ->
+           Error
+             (Fmt.str
+                "lemma 2 violated: impotent write #%d has impotent \
+                 prefinisher #%d"
+                w.w_id p)
+         | _, _, _ -> Ok ()))
+    (Ok ()) t.writes
+
+let check_lemmas t =
+  match lemma1 t with
+  | Error _ as e -> e
+  | Ok () -> lemma2 t

@@ -1,0 +1,75 @@
+(** The γ-sequence of the correctness proof (Sections 6–7): an
+    execution of the simulated register with the *-actions of the real
+    registers made explicit, parsed into the objects the proof
+    manipulates — simulated writes with their potency and prefinishers,
+    simulated reads with the write they read from.
+
+    Input is a {!Registers.Run_coarse} trace of a register built by
+    {!Protocol.bloom} (level 0): each [Prim_read]/[Prim_write] is the
+    *-action of a real-register access, which is exactly the paper's
+    convention of "speak[ing] of the *-actions of real register
+    accesses as if they were the whole access". *)
+
+type 'v write = {
+  w_id : int;  (** dense index among simulated writes *)
+  writer : int;  (** 0 or 1 *)
+  w_value : 'v;
+  w_tag : bool;  (** tag bit the writer chose (if it got that far) *)
+  w_inv : int;  (** trace index of the request *)
+  read_star : int option;  (** index of its real read; [None]: crashed first *)
+  write_star : int option;  (** index of its real write; [None]: crashed first *)
+  w_resp : int option;
+  potent : bool;
+      (** tag-bit sum immediately after the real write equals the
+          writer's index (meaningless if [write_star = None]) *)
+  prefinisher : int option;
+      (** [w_id] of the last write by the other writer whose real write
+          falls strictly between this write's real read and real write *)
+}
+
+type 'v read = {
+  r_id : int;
+  reader : int;
+  star0 : int;  (** real read of Reg0 *)
+  star1 : int;  (** real read of Reg1 *)
+  star2 : int;  (** final real read *)
+  reg2 : int;  (** which register the final read hit *)
+  returned : 'v;
+  r_inv : int;
+  r_resp : int;
+}
+
+type 'v from =
+  | Initial
+  | From of int  (** [w_id] of the write whose real write was the last
+                     to [reg2] before [star2] *)
+
+type 'v t = {
+  trace : ('v Registers.Tagged.t, 'v) Registers.Vm.trace_event array;
+  writes : 'v write array;
+  reads : 'v read array;  (** completed reads only *)
+  reads_from : 'v from array;  (** indexed like [reads] *)
+  init : 'v;
+}
+
+val analyse :
+  init:'v -> ('v Registers.Tagged.t, 'v) Registers.Vm.trace_event list -> 'v t
+(** Parse and analyse a trace.  Writer processors are 0 and 1 (the
+    [Protocol.bloom] convention); every other processor is a reader.
+    Crashed/pending reads are dropped; crashed writes are kept with
+    whatever *-actions they performed.
+    @raise Invalid_argument if the trace is not a level-0 run (e.g. a
+    writer's accesses do not follow the read-other-write-own shape). *)
+
+(** {1 Proof obligations} *)
+
+val lemma1 : 'v t -> (unit, string) result
+(** Every impotent write is prefinished by precisely one write. *)
+
+val lemma2 : 'v t -> (unit, string) result
+(** The prefinisher of an impotent write is potent. *)
+
+val check_lemmas : 'v t -> (unit, string) result
+
+val tag_sum_after : 'v t -> int -> int
+(** Mod-2 sum of the two registers' tag bits after trace index [i]. *)

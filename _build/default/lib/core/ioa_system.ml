@@ -1,0 +1,338 @@
+module Tagged = Registers.Tagged
+module A = Ioa.Automaton
+
+type proc = Histories.Event.proc
+
+type 'v action =
+  | Sim_read_start of proc
+  | Sim_read_finish of proc * 'v
+  | Sim_write_start of proc * 'v
+  | Sim_write_finish of proc
+  | Real_read_start of proc * int
+  | Real_read_finish of proc * int * 'v Tagged.t
+  | Real_write_start of proc * int * 'v Tagged.t
+  | Real_write_finish of proc * int
+  | Star_read of proc * int * 'v Tagged.t
+  | Star_write of proc * int * 'v Tagged.t
+
+let pp_action pp_v ppf a =
+  let pp_t = Tagged.pp pp_v in
+  match a with
+  | Sim_read_start p -> Fmt.pf ppf "R_start^%d" p
+  | Sim_read_finish (p, v) -> Fmt.pf ppf "R_finish^%d(%a)" p pp_v v
+  | Sim_write_start (p, v) -> Fmt.pf ppf "W_start^%d(%a)" p pp_v v
+  | Sim_write_finish p -> Fmt.pf ppf "W_finish^%d" p
+  | Real_read_start (p, r) -> Fmt.pf ppf "r_start^%d[Reg%d]" p r
+  | Real_read_finish (p, r, tv) -> Fmt.pf ppf "r_finish^%d[Reg%d](%a)" p r pp_t tv
+  | Real_write_start (p, r, tv) -> Fmt.pf ppf "w_start^%d[Reg%d](%a)" p r pp_t tv
+  | Real_write_finish (p, r) -> Fmt.pf ppf "w_finish^%d[Reg%d]" p r
+  | Star_read (p, r, tv) -> Fmt.pf ppf "*r^%d[Reg%d](%a)" p r pp_t tv
+  | Star_write (p, r, tv) -> Fmt.pf ppf "*w^%d[Reg%d](%a)" p r pp_t tv
+
+(* ------------------------------------------------------------------ *)
+(* Real register automaton                                             *)
+
+type ('v, 'k) entry =
+  | Rpend of proc
+  | Rdone of proc * 'v Tagged.t
+  | Wpend of proc * 'v Tagged.t
+  | Wdone of proc
+
+type 'v reg_state = {
+  contents : 'v Tagged.t;
+  queue : ('v, unit) entry list;
+}
+
+let register ~index:r ~init =
+  let classify = function
+    | Real_read_start (_, r') when r' = r -> Some A.Input
+    | Real_write_start (p, r', _) when r' = r && p = r ->
+      Some A.Input (* only Wr_r has a write channel to Reg_r *)
+    | Star_read (_, r', _) | Star_write (_, r', _) when r' = r ->
+      Some A.Internal
+    | Real_read_finish (_, r', _) | Real_write_finish (_, r') when r' = r ->
+      Some A.Output
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ | Real_read_start _ | Real_write_start _
+    | Real_read_finish _ | Real_write_finish _ | Star_read _ | Star_write _ ->
+      None
+  in
+  let enabled st =
+    List.map
+      (function
+        | Rpend p -> Star_read (p, r, st.contents)
+        | Rdone (p, tv) -> Real_read_finish (p, r, tv)
+        | Wpend (p, tv) -> Star_write (p, r, tv)
+        | Wdone p -> Real_write_finish (p, r))
+      st.queue
+  in
+  (* Replace the first queue entry matched by [f]. *)
+  let update_queue st f =
+    let rec go = function
+      | [] -> None
+      | e :: rest ->
+        (match f e with
+         | Some e' -> Some (e' :: rest)
+         | None -> Option.map (fun q -> e :: q) (go rest))
+    in
+    Option.map (fun queue -> { st with queue }) (go st.queue)
+  in
+  let remove_entry st f =
+    let rec go = function
+      | [] -> None
+      | e :: rest -> if f e then Some rest else Option.map (fun q -> e :: q) (go rest)
+    in
+    Option.map (fun queue -> { st with queue }) (go st.queue)
+  in
+  let step st = function
+    | Real_read_start (p, _) -> Some { st with queue = st.queue @ [ Rpend p ] }
+    | Real_write_start (p, _, tv) ->
+      Some { st with queue = st.queue @ [ Wpend (p, tv) ] }
+    | Star_read (p, _, tv) ->
+      if tv = st.contents then
+        update_queue st (function
+          | Rpend p' when p' = p -> Some (Rdone (p, st.contents))
+          | Rpend _ | Rdone _ | Wpend _ | Wdone _ -> None)
+      else None
+    | Star_write (p, _, tv) ->
+      Option.map
+        (fun st' -> { st' with contents = tv })
+        (update_queue st (function
+           | Wpend (p', tv') when p' = p && tv' = tv -> Some (Wdone p)
+           | Rpend _ | Rdone _ | Wpend _ | Wdone _ -> None))
+    | Real_read_finish (p, _, tv) ->
+      remove_entry st (function
+        | Rdone (p', tv') -> p' = p && tv' = tv
+        | Rpend _ | Wpend _ | Wdone _ -> false)
+    | Real_write_finish (p, _) ->
+      remove_entry st (function
+        | Wdone p' -> p' = p
+        | Rpend _ | Rdone _ | Wpend _ -> false)
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ -> None
+  in
+  {
+    A.name = Fmt.str "Reg%d" r;
+    init = { contents = init; queue = [] };
+    classify;
+    enabled;
+    step;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer automaton                                                    *)
+
+type 'v wstate =
+  | WIdle
+  | WGotReq of 'v
+  | WAwaitRead of 'v
+  | WGotTag of 'v * bool
+  | WAwaitWrite
+  | WDone
+
+let writer ~index:i =
+  let classify = function
+    | Sim_write_start (p, _) when p = i -> Some A.Input
+    | Real_read_finish (p, r, _) when p = i && r = 1 - i -> Some A.Input
+    | Real_write_finish (p, r) when p = i && r = i -> Some A.Input
+    | Real_read_start (p, r) when p = i && r = 1 - i -> Some A.Output
+    | Real_write_start (p, r, _) when p = i && r = i -> Some A.Output
+    | Sim_write_finish p when p = i -> Some A.Output
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ | Real_read_start _ | Real_read_finish _
+    | Real_write_start _ | Real_write_finish _ | Star_read _ | Star_write _ ->
+      None
+  in
+  let enabled = function
+    | WGotReq _ -> [ Real_read_start (i, 1 - i) ]
+    | WGotTag (v, t) -> [ Real_write_start (i, i, Tagged.make v t) ]
+    | WDone -> [ Sim_write_finish i ]
+    | WIdle | WAwaitRead _ | WAwaitWrite -> []
+  in
+  let step st a =
+    match a, st with
+    | Sim_write_start (_, v), WIdle -> Some (WGotReq v)
+    | Sim_write_start _, _ -> Some st (* improper input: ignored *)
+    | Real_read_start _, WGotReq v -> Some (WAwaitRead v)
+    | Real_read_start _, _ -> None
+    | Real_read_finish (_, _, tv), WAwaitRead v ->
+      (* t := i (+) t' *)
+      Some (WGotTag (v, (i = 1) <> Tagged.tag tv))
+    | Real_read_finish _, _ -> Some st
+    | Real_write_start (_, _, tv), WGotTag (v, t)
+      when tv = Tagged.make v t -> Some WAwaitWrite
+    | Real_write_start _, _ -> None
+    | Real_write_finish _, WAwaitWrite -> Some WDone
+    | Real_write_finish _, _ -> Some st
+    | Sim_write_finish _, WDone -> Some WIdle
+    | Sim_write_finish _, _ -> None
+    | (Sim_read_start _ | Sim_read_finish _ | Star_read _ | Star_write _), _ ->
+      None
+  in
+  { A.name = Fmt.str "Wr%d" i; init = WIdle; classify; enabled; step }
+
+(* ------------------------------------------------------------------ *)
+(* Reader automaton                                                    *)
+
+type 'v rstate =
+  | RIdle
+  | RGotReq
+  | RAwait0
+  | RGot0 of bool
+  | RAwait1 of bool
+  | RGot1 of int
+  | RAwait2 of int
+  | RDone of 'v
+
+let reader ~proc:p =
+  let classify = function
+    | Sim_read_start p' when p' = p -> Some A.Input
+    | Real_read_finish (p', _, _) when p' = p -> Some A.Input
+    | Real_read_start (p', _) when p' = p -> Some A.Output
+    | Sim_read_finish (p', _) when p' = p -> Some A.Output
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ | Real_read_start _ | Real_read_finish _
+    | Real_write_start _ | Real_write_finish _ | Star_read _ | Star_write _ ->
+      None
+  in
+  let enabled = function
+    | RGotReq -> [ Real_read_start (p, 0) ]
+    | RGot0 _ -> [ Real_read_start (p, 1) ]
+    | RGot1 r -> [ Real_read_start (p, r) ]
+    | RDone v -> [ Sim_read_finish (p, v) ]
+    | RIdle | RAwait0 | RAwait1 _ | RAwait2 _ -> []
+  in
+  let step st a =
+    match a, st with
+    | Sim_read_start _, RIdle -> Some RGotReq
+    | Sim_read_start _, _ -> Some st
+    | Real_read_start (_, 0), RGotReq -> Some RAwait0
+    | Real_read_start (_, 1), RGot0 t0 -> Some (RAwait1 t0)
+    | Real_read_start (_, r), RGot1 r' when r = r' -> Some (RAwait2 r)
+    | Real_read_start _, _ -> None
+    | Real_read_finish (_, 0, tv), RAwait0 -> Some (RGot0 (Tagged.tag tv))
+    | Real_read_finish (_, 1, tv), RAwait1 t0 ->
+      (* r := t0 (+) t1 *)
+      Some (RGot1 (if t0 <> Tagged.tag tv then 1 else 0))
+    | Real_read_finish (_, r, tv), RAwait2 r' when r = r' ->
+      Some (RDone (Tagged.v tv))
+    | Real_read_finish _, _ -> Some st
+    | Sim_read_finish (_, v), RDone v' when v = v' -> Some RIdle
+    | Sim_read_finish _, _ -> None
+    | (Sim_write_start _ | Sim_write_finish _ | Real_write_start _
+      | Real_write_finish _ | Star_read _ | Star_write _), _ -> None
+  in
+  { A.name = Fmt.str "Rd%d" p; init = RIdle; classify; enabled; step }
+
+(* ------------------------------------------------------------------ *)
+(* Client (environment) automaton                                      *)
+
+type 'v cstate = {
+  to_issue : 'v Histories.Event.op list;
+  awaiting : bool;
+}
+
+let client ~proc:p ~script =
+  let open Histories.Event in
+  let classify = function
+    | Sim_read_start p' | Sim_write_start (p', _) when p' = p -> Some A.Output
+    | Sim_read_finish (p', _) | Sim_write_finish p' when p' = p -> Some A.Input
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ | Real_read_start _ | Real_read_finish _
+    | Real_write_start _ | Real_write_finish _ | Star_read _ | Star_write _ ->
+      None
+  in
+  let enabled st =
+    if st.awaiting then []
+    else
+      match st.to_issue with
+      | [] -> []
+      | Read :: _ -> [ Sim_read_start p ]
+      | Write v :: _ -> [ Sim_write_start (p, v) ]
+  in
+  let step st a =
+    match a, st.awaiting, st.to_issue with
+    | Sim_read_start _, false, Read :: rest ->
+      Some { to_issue = rest; awaiting = true }
+    | Sim_write_start (_, v), false, Write v' :: rest when v = v' ->
+      Some { to_issue = rest; awaiting = true }
+    | (Sim_read_start _ | Sim_write_start _), _, _ -> None
+    | (Sim_read_finish _ | Sim_write_finish _), true, _ ->
+      Some { st with awaiting = false }
+    | (Sim_read_finish _ | Sim_write_finish _), false, _ -> Some st
+    | (Real_read_start _ | Real_read_finish _ | Real_write_start _
+      | Real_write_finish _ | Star_read _ | Star_write _), _, _ -> None
+  in
+  {
+    A.name = Fmt.str "Client%d" p;
+    init = { to_issue = script; awaiting = false };
+    classify;
+    enabled;
+    step;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The composed system                                                 *)
+
+let system ~init ~readers ~scripts =
+  let open Histories.Event in
+  List.iter
+    (fun (p, script) ->
+      let is_writer = p = 0 || p = 1 in
+      List.iter
+        (fun op ->
+          match op, is_writer with
+          | Write _, true | Read, false -> ()
+          | Write _, false ->
+            invalid_arg (Fmt.str "Ioa_system: processor %d cannot write" p)
+          | Read, true ->
+            invalid_arg
+              (Fmt.str
+                 "Ioa_system: writer %d cannot read (use a separate reader \
+                  port)"
+                 p))
+        script)
+    scripts;
+  let components =
+    [
+      Ioa.Composition.Component (register ~index:0 ~init:(Tagged.initial init));
+      Ioa.Composition.Component (register ~index:1 ~init:(Tagged.initial init));
+      Ioa.Composition.Component (writer ~index:0);
+      Ioa.Composition.Component (writer ~index:1);
+    ]
+    @ List.map
+        (fun p -> Ioa.Composition.Component (reader ~proc:p))
+        readers
+    @ List.map
+        (fun (p, script) -> Ioa.Composition.Component (client ~proc:p ~script))
+        scripts
+  in
+  let composed = Ioa.Composition.compose ~name:"Figure2" components in
+  (* Channel actions are internal to the composition; only the
+     simulated register's ports stay visible. *)
+  Ioa.Composition.hide composed (function
+    | Real_read_start _ | Real_read_finish _ | Real_write_start _
+    | Real_write_finish _ -> true
+    | Sim_read_start _ | Sim_read_finish _ | Sim_write_start _
+    | Sim_write_finish _ | Star_read _ | Star_write _ -> false)
+
+let run ?(max_steps = 200_000) ~seed ~init ~readers scripts =
+  let auto = system ~init ~readers ~scripts in
+  let _, schedule =
+    Ioa.Exec.run ~max_steps ~scheduler:(Ioa.Exec.random_scheduler ~seed) auto
+  in
+  schedule
+
+let to_vm_trace schedule =
+  let open Histories.Event in
+  List.filter_map
+    (function
+      | Sim_read_start p -> Some (Registers.Vm.Sim (Invoke (p, Read)))
+      | Sim_read_finish (p, v) -> Some (Registers.Vm.Sim (Respond (p, Some v)))
+      | Sim_write_start (p, v) -> Some (Registers.Vm.Sim (Invoke (p, Write v)))
+      | Sim_write_finish p -> Some (Registers.Vm.Sim (Respond (p, None)))
+      | Star_read (p, r, tv) -> Some (Registers.Vm.Prim_read (p, r, tv))
+      | Star_write (p, r, tv) -> Some (Registers.Vm.Prim_write (p, r, tv))
+      | Real_read_start _ | Real_read_finish _ | Real_write_start _
+      | Real_write_finish _ -> None)
+    schedule

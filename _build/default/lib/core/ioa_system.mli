@@ -1,0 +1,88 @@
+(** The architecture of Figure 2 as a composition of I/O automata:
+    n + 4 automata — two real registers [Reg0]/[Reg1], writers
+    [Wr0]/[Wr1], readers [Rd1..Rdn] — plus client automata driving the
+    external ports with scripted workloads (so the composition is a
+    closed system).
+
+    Actions follow the paper's Figure 1 vocabulary; the registers'
+    internal [Star_read]/[Star_write] actions are the *-actions of the
+    real-register accesses, which is what makes the γ-sequence of the
+    proof directly observable in a schedule. *)
+
+type proc = Histories.Event.proc
+
+type 'v action =
+  | Sim_read_start of proc
+  | Sim_read_finish of proc * 'v
+  | Sim_write_start of proc * 'v
+  | Sim_write_finish of proc
+  | Real_read_start of proc * int
+  | Real_read_finish of proc * int * 'v Registers.Tagged.t
+  | Real_write_start of proc * int * 'v Registers.Tagged.t
+  | Real_write_finish of proc * int
+  | Star_read of proc * int * 'v Registers.Tagged.t
+  | Star_write of proc * int * 'v Registers.Tagged.t
+
+val pp_action : 'v Fmt.t -> 'v action Fmt.t
+
+(** {1 Component automata}
+
+    State types are abstract; the components are exposed for unit
+    tests, [system] assembles everything. *)
+
+type 'v reg_state
+type 'v wstate
+type 'v rstate
+type 'v cstate
+
+val register :
+  index:int ->
+  init:'v Registers.Tagged.t ->
+  ('v reg_state, 'v action) Ioa.Automaton.t
+(** The real register [Reg_index]: buffers requests, serves each with
+    one internal *-action, then acknowledges — a 1-writer,
+    (n+1)-reader atomic register by construction. *)
+
+val writer : index:int -> ('v wstate, 'v action) Ioa.Automaton.t
+(** [Wr_index]: the three-line write protocol as a state machine. *)
+
+val reader : proc:proc -> ('v rstate, 'v action) Ioa.Automaton.t
+(** [Rd_proc]: the three-real-read protocol. *)
+
+val client :
+  proc:proc ->
+  script:'v Histories.Event.op list ->
+  ('v cstate, 'v action) Ioa.Automaton.t
+(** Environment automaton issuing the scripted operations on the
+    processor's port, sequentially (input-correct by construction). *)
+
+(** {1 The composed system} *)
+
+val system :
+  init:'v ->
+  readers:proc list ->
+  scripts:(proc * 'v Histories.Event.op list) list ->
+  ('v action Ioa.Composition.state, 'v action) Ioa.Automaton.t
+(** The full Figure 2 system: writers are processors 0 and 1, readers
+    are the given processors; [scripts] drive the ports.  All channel
+    actions are internal to the composition; only the [Sim_*] port
+    actions remain external. *)
+
+val run :
+  ?max_steps:int ->
+  seed:int ->
+  init:'v ->
+  readers:proc list ->
+  (proc * 'v Histories.Event.op list) list ->
+  'v action list
+(** [run ~seed ~init ~readers scripts] composes and runs to quiescence
+    under a random fair scheduler;
+    returns the full schedule (with internal actions). *)
+
+val to_vm_trace :
+  'v action list ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.trace_event list
+(** Project a schedule to the γ-trace format consumed by
+    {!Gamma.analyse}: [Sim_*] actions become history events, *-actions
+    become primitive accesses; the real-register request/response
+    actions are dropped. *)

@@ -1,0 +1,62 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+let writer_index ~level proc = (proc lsr level) land 1
+
+let write_prog ~level ~proc w =
+  let i = writer_index ~level proc in
+  Vm.bind (Vm.read (1 - i)) (fun other ->
+      (* t := i (+) t' *)
+      let t = (i = 1) <> Tagged.tag other in
+      Vm.write i (Tagged.make w t))
+
+let read_prog () =
+  Vm.bind (Vm.read 0) (fun c0 ->
+      Vm.bind (Vm.read 1) (fun c1 ->
+          let r = Tagged.tag_sum c0 c1 in
+          Vm.bind (Vm.read r) (fun c2 -> Vm.return (Tagged.v c2))))
+
+let bloom ?(level = 0) ~init ~other_init () =
+  {
+    Vm.spec =
+      [|
+        Vm.atomic_cell (Tagged.initial init);
+        Vm.atomic_cell (Tagged.initial other_init);
+      |];
+    read = (fun ~proc:_ -> read_prog ());
+    write = (fun ~proc w -> write_prog ~level ~proc w);
+  }
+
+let real_reads_per_read = 3
+let real_accesses_per_write = (1, 1)
+
+let is_local_cell c = c >= 2
+
+let bloom_cached ~init ~other_init () =
+  let cached_read ~proc:i =
+    Vm.bind (Vm.read (2 + i)) (fun own ->
+        Vm.bind (Vm.read (1 - i)) (fun other ->
+            let c0, c1 = if i = 0 then (own, other) else (other, own) in
+            let r = Tagged.tag_sum c0 c1 in
+            if r = i then Vm.return (Tagged.v own)
+            else Vm.bind (Vm.read (1 - i)) (fun c2 -> Vm.return (Tagged.v c2))))
+  in
+  let cached_write ~proc:i w =
+    Vm.bind (Vm.read (1 - i)) (fun other ->
+        let t = (i = 1) <> Tagged.tag other in
+        let tagged = Tagged.make w t in
+        Vm.bind (Vm.write i tagged) (fun () -> Vm.write (2 + i) tagged))
+  in
+  {
+    Vm.spec =
+      [|
+        Vm.atomic_cell (Tagged.initial init);
+        Vm.atomic_cell (Tagged.initial other_init);
+        Vm.atomic_cell (Tagged.initial init);       (* Wr0's copy of Reg0 *)
+        Vm.atomic_cell (Tagged.initial other_init); (* Wr1's copy of Reg1 *)
+      |];
+    read =
+      (fun ~proc ->
+        if proc = 0 || proc = 1 then cached_read ~proc else read_prog ());
+    write = (fun ~proc w -> cached_write ~proc:(proc land 1) w);
+  }

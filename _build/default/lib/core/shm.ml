@@ -1,0 +1,72 @@
+module Shm_atomic = Registers.Shm_atomic
+module Tagged = Registers.Tagged
+
+type 'v t = {
+  reg0 : 'v Tagged.t Shm_atomic.t;
+  reg1 : 'v Tagged.t Shm_atomic.t;
+}
+
+type 'v writer = {
+  index : int;
+  own : 'v Tagged.t Shm_atomic.t;
+  own_cap : Shm_atomic.writer;
+  other : 'v Tagged.t Shm_atomic.t;
+}
+
+let create ~init =
+  let reg0, cap0 = Shm_atomic.create (Tagged.initial init) in
+  let reg1, cap1 = Shm_atomic.create (Tagged.initial init) in
+  let t = { reg0; reg1 } in
+  ( t,
+    { index = 0; own = reg0; own_cap = cap0; other = reg1 },
+    { index = 1; own = reg1; own_cap = cap1; other = reg0 } )
+
+let read t =
+  let c0 = Shm_atomic.read t.reg0 in
+  let c1 = Shm_atomic.read t.reg1 in
+  let r = Tagged.tag_sum c0 c1 in
+  let c2 = Shm_atomic.read (if r = 0 then t.reg0 else t.reg1) in
+  Tagged.v c2
+
+let write w v =
+  let other = Shm_atomic.read w.other in
+  (* t := i (+) t' *)
+  let t = (w.index = 1) <> Tagged.tag other in
+  Shm_atomic.write w.own_cap w.own (Tagged.make v t)
+
+let writer_index w = w.index
+
+let real_access_counts t =
+  ( (Shm_atomic.read_count t.reg0, Shm_atomic.write_count t.reg0),
+    (Shm_atomic.read_count t.reg1, Shm_atomic.write_count t.reg1) )
+
+let reset_counts t =
+  Shm_atomic.reset_counts t.reg0;
+  Shm_atomic.reset_counts t.reg1
+
+module Local_copy = struct
+  type 'v cached = {
+    w : 'v writer;
+    mutable copy : 'v Tagged.t;
+  }
+
+  let attach w = { w; copy = Shm_atomic.read w.own }
+
+  let write c v =
+    let other = Shm_atomic.read c.w.other in
+    let t = (c.w.index = 1) <> Tagged.tag other in
+    let tagged = Tagged.make v t in
+    c.copy <- tagged;
+    Shm_atomic.write c.w.own_cap c.w.own tagged
+
+  let read c =
+    let own = c.copy in
+    let other = Shm_atomic.read c.w.other in
+    let r = if Tagged.tag own <> Tagged.tag other then 1 else 0 in
+    (* Registers are indexed so that the writer owns [c.w.index]. *)
+    let points_at_own =
+      if c.w.index = 0 then r = 0 else r = 1
+    in
+    if points_at_own then Tagged.v own
+    else Tagged.v (Shm_atomic.read c.w.other)
+end

@@ -1,0 +1,57 @@
+(** The two-writer register on real shared memory (OCaml 5 domains).
+
+    The two real registers are {!Registers.Shm_atomic} cells holding
+    tagged values; the protocol code mirrors {!Protocol} line for line.
+    Writer capabilities enforce that only two writers exist and that
+    each writes only its own real register — the paper's architecture
+    (Figure 2: "Wr{_i} can write to Reg{_i} and read (but not write)
+    Reg{_{-i}}"). *)
+
+type 'v t
+
+type 'v writer
+(** Capability held by one of the two writers. *)
+
+val create : init:'v -> 'v t * 'v writer * 'v writer
+(** A register with initial value [init] (both real registers hold
+    [(init, 0)]), and the writer capabilities of Wr0 and Wr1. *)
+
+val read : 'v t -> 'v
+(** The three-real-read simulated read.  Any number of concurrent
+    readers. *)
+
+val write : 'v writer -> 'v -> unit
+(** The simulated write: one real read of the other register, one real
+    write of its own.  Each capability must be used by one sequential
+    caller at a time (the paper's input-correctness assumption). *)
+
+val writer_index : 'v writer -> int
+
+val real_access_counts : 'v t -> (int * int) * (int * int)
+(** ((reads of Reg0, writes of Reg0), (reads of Reg1, writes of Reg1))
+    — for the paper's access-count claims. *)
+
+val reset_counts : 'v t -> unit
+
+(** {1 The Section 5 optimisation}
+
+    "The number of real reads that such a writer performs in a
+    simulated read may be reduced to one or two by having the writer
+    keep a local copy of its own real register." *)
+
+module Local_copy : sig
+  type 'v cached
+
+  val attach : 'v writer -> 'v cached
+  (** Wrap a writer capability with a local copy of its own real
+      register (one real read to initialise).  The underlying
+      capability must not be used directly afterwards. *)
+
+  val write : 'v cached -> 'v -> unit
+  (** As {!val:write}, also refreshing the local copy.  Still exactly
+      one real read and one real write. *)
+
+  val read : 'v cached -> 'v
+  (** Simulated read by the writer: one real read if the tag sum points
+      at its own register, two if it points at the other. *)
+end

@@ -1,0 +1,192 @@
+module Vm = Registers.Vm
+
+type 'v stamped = 'v * int
+
+type 'v op =
+  | Update of 'v
+  | Scan
+
+type 'v res =
+  | Ack
+  | View of 'v * 'v
+
+type 'v event =
+  | Inv of int * 'v op
+  | Res of int * 'v res
+
+let scan_is_bounded_when_quiescent = 4
+
+(* One collect of both components, threaded through [k]. *)
+let collect k =
+  Vm.bind (Vm.read 0) (fun a -> Vm.bind (Vm.read 1) (fun b -> k (a, b)))
+
+let scan_prog () =
+  collect (fun c1 ->
+      let rec retry c1 =
+        collect (fun c2 ->
+            if c1 = c2 then
+              let (v0, _), (v1, _) = c2 in
+              Vm.return (View (v0, v1))
+            else retry c2)
+      in
+      retry c1)
+
+let write_prog ~proc v =
+  if proc <> 0 && proc <> 1 then
+    invalid_arg "Snapshot.write_prog: only processors 0 and 1 update";
+  (* the writer is the only writer of its cell, so reading its own
+     stamp keeps the program pure *)
+  Vm.bind (Vm.read proc) (fun (_, seq) ->
+      Vm.bind (Vm.write proc (v, seq + 1)) (fun () -> Vm.return Ack))
+
+let cells ~init0 ~init1 =
+  [| Vm.atomic_cell (init0, 0); Vm.atomic_cell (init1, 0) |]
+
+type ('v, 'r) pstate = {
+  proc : int;
+  mutable script : 'v op list;
+  mutable cur : ('v stamped, 'v res) Vm.prog option;
+}
+
+(* Glued coarse engine, as in Registers.Run_coarse but over snapshot
+   operations.  [pick] selects the next processor among the runnable
+   ones; [strict] turns an unrunnable pick into an error. *)
+let exec ?(max_steps = 100_000) ~pick ~strict ~init0 ~init1 scripts =
+  let cell_state =
+    Array.map (fun (s : _ Vm.cell_spec) -> s.Vm.init) (cells ~init0 ~init1)
+  in
+  let procs =
+    List.map (fun (proc, script) -> { proc; script; cur = None }) scripts
+  in
+  let trace = ref [] in
+  let emit e = trace := e :: !trace in
+  let op_prog proc = function
+    | Update v -> write_prog ~proc v
+    | Scan -> scan_prog ()
+  in
+  let step st =
+    let prog =
+      match st.cur with
+      | Some p -> p
+      | None ->
+        (match st.script with
+         | [] -> assert false
+         | op :: rest ->
+           st.script <- rest;
+           emit (Inv (st.proc, op));
+           op_prog st.proc op)
+    in
+    let settle = function
+      | Vm.Ret r ->
+        st.cur <- None;
+        emit (Res (st.proc, r))
+      | (Vm.Read _ | Vm.Write _) as p -> st.cur <- Some p
+    in
+    match prog with
+    | Vm.Ret r ->
+      st.cur <- None;
+      emit (Res (st.proc, r))
+    | Vm.Read (c, k) -> settle (k cell_state.(c))
+    | Vm.Write (c, v, k) ->
+      cell_state.(c) <- v;
+      settle (k ())
+  in
+  let runnable st = st.cur <> None || st.script <> [] in
+  let rec loop n =
+    if n < max_steps then
+      match pick (List.filter runnable procs) with
+      | None -> ()
+      | Some st ->
+        if runnable st then begin
+          step st;
+          loop (n + 1)
+        end
+        else if strict then
+          invalid_arg
+            (Fmt.str "Snapshot: processor %d cannot take a step" st.proc)
+        else loop (n + 1)
+  in
+  loop 0;
+  List.rev !trace
+
+let run ?max_steps ~seed ~init0 ~init1 scripts =
+  let rng = Random.State.make [| seed |] in
+  let pick = function
+    | [] -> None
+    | live -> Some (List.nth live (Random.State.int rng (List.length live)))
+  in
+  exec ?max_steps ~pick ~strict:false ~init0 ~init1 scripts
+
+let run_scheduled ~schedule ~init0 ~init1 scripts =
+  let remaining = ref schedule in
+  let by_proc = Hashtbl.create 8 in
+  let pick live =
+    List.iter (fun st -> Hashtbl.replace by_proc st.proc st) live;
+    match !remaining with
+    | [] -> None
+    | p :: rest ->
+      remaining := rest;
+      (match Hashtbl.find_opt by_proc p with
+       | Some st -> Some st
+       | None -> invalid_arg (Fmt.str "Snapshot: unknown processor %d" p))
+  in
+  exec ~pick ~strict:true ~init0 ~init1 scripts
+
+let is_linearizable ~init0 ~init1 events =
+  let pending = Hashtbl.create 8 in
+  let spans = ref [] in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Inv (p, op) -> Hashtbl.replace pending p (op, i)
+      | Res (p, r) ->
+        (match Hashtbl.find_opt pending p with
+         | Some (op, inv) ->
+           Hashtbl.remove pending p;
+           spans := (p, op, Some r, inv, Some i) :: !spans
+         | None -> invalid_arg "Snapshot.is_linearizable: orphan response"))
+    events;
+  Hashtbl.iter
+    (fun p (op, inv) -> spans := (p, op, None, inv, None) :: !spans)
+    pending;
+  let ops =
+    Histories.Linearize_generic.operations_of_spans (List.rev !spans)
+  in
+  (* thread the updating processor through the op for [apply] *)
+  let ops =
+    List.map
+      (fun (o : ('v op, 'v res) Histories.Linearize_generic.operation) ->
+        { o with Histories.Linearize_generic.op = (o.op, o.proc) })
+      ops
+  in
+  let apply (s0, s1) (op, proc) =
+    match op with
+    | Update v -> (if proc = 0 then ((v, s1), Ack) else ((s0, v), Ack))
+    | Scan -> ((s0, s1), View (s0, s1))
+  in
+  Histories.Linearize_generic.check ~init:(init0, init1) ~apply ops
+
+module Shm = struct
+  type 'v t = {
+    comps : 'v stamped Atomic.t array;
+  }
+
+  let create ~init0 ~init1 =
+    { comps = [| Atomic.make (init0, 0); Atomic.make (init1, 0) |] }
+
+  let update t ~writer v =
+    if writer <> 0 && writer <> 1 then invalid_arg "Snapshot.Shm.update";
+    let _, seq = Atomic.get t.comps.(writer) in
+    Atomic.set t.comps.(writer) (v, seq + 1)
+
+  let scan t =
+    let collect () = (Atomic.get t.comps.(0), Atomic.get t.comps.(1)) in
+    let rec go c1 =
+      let c2 = collect () in
+      if c1 = c2 then
+        let (v0, _), (v1, _) = c2 in
+        (v0, v1)
+      else go c2
+    in
+    go (collect ())
+end

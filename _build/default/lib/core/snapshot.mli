@@ -1,0 +1,80 @@
+(** Towards the paper's closing question (Section 8): "It would be
+    interesting to find protocols allowing more general data types ...
+    to be shared atomically without waiting."
+
+    This module takes the first classical step beyond single registers:
+    an {e atomic snapshot} of the two writers' latest values, built by
+    the double-collect technique over stamped per-writer registers.  A
+    scan repeatedly collects both components until two consecutive
+    collects are identical; equal collects can be linearized at any
+    point between them, so the returned pair is an atomic view.
+
+    The construction is lock-free but {e not} wait-free: a scanner can
+    be starved by writers that keep moving (demonstrated by an
+    adversarial schedule in the tests) — which is exactly why the
+    question was still open in 1987, and why the later snapshot
+    literature needed helping mechanisms.
+
+    Scans carry an unbounded loop, so they run under the randomized
+    runner with a step bound, not under the exhaustive explorer. *)
+
+type 'v stamped = 'v * int
+(** value with the writer's private sequence number *)
+
+type 'v op =
+  | Update of 'v  (** by processors 0 and 1 only *)
+  | Scan
+
+type 'v res =
+  | Ack
+  | View of 'v * 'v  (** both components, atomically *)
+
+type 'v event =
+  | Inv of int * 'v op
+  | Res of int * 'v res
+
+val scan_prog : unit -> ('v stamped, 'v res) Registers.Vm.prog
+val write_prog : proc:int -> 'v -> ('v stamped, 'v res) Registers.Vm.prog
+
+val cells : init0:'v -> init1:'v -> 'v stamped Registers.Vm.cell_spec array
+
+val scan_is_bounded_when_quiescent : int
+(** = 4: with no concurrent writer, a scan is two identical collects of
+    two cells. *)
+
+val run :
+  ?max_steps:int ->
+  seed:int ->
+  init0:'v ->
+  init1:'v ->
+  (int * 'v op list) list ->
+  'v event list
+(** Random fair execution of the scripts (like
+    {!Registers.Run_coarse.run}, specialised to snapshot operations).
+    A scan still spinning at [max_steps] stays pending. *)
+
+val run_scheduled :
+  schedule:int list ->
+  init0:'v ->
+  init1:'v ->
+  (int * 'v op list) list ->
+  'v event list
+(** Deterministic replay: one primitive access per schedule entry. *)
+
+val is_linearizable : init0:'v -> init1:'v -> 'v event list -> bool
+(** Decide linearizability against the sequential snapshot
+    specification, via {!Histories.Linearize_generic}. *)
+
+(** Shared-memory version on OCaml domains. *)
+module Shm : sig
+  type 'v t
+
+  val create : init0:'v -> init1:'v -> 'v t
+
+  val update : 'v t -> writer:int -> 'v -> unit
+  (** Writers 0 and 1, one sequential caller each.  Wait-free: one read
+      and one write of the writer's own cell. *)
+
+  val scan : 'v t -> 'v * 'v
+  (** Double collect until stable.  Lock-free, not wait-free. *)
+end

@@ -1,0 +1,121 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+type candidate = {
+  f0 : int;
+  f1 : int;
+  g : int;
+}
+
+let all =
+  List.concat_map
+    (fun f0 ->
+      List.concat_map
+        (fun f1 -> List.init 16 (fun g -> { f0; f1; g }))
+        (List.init 4 Fun.id))
+    (List.init 4 Fun.id)
+
+(* truth-table application *)
+let fapp table t' = table land (1 lsl if t' then 1 else 0) <> 0
+let gapp table t0 t1 =
+  let idx = (if t0 then 2 else 0) + if t1 then 1 else 0 in
+  if table land (1 lsl idx) <> 0 then 1 else 0
+
+(* id: f(0)=0, f(1)=1 -> bits 10b = 2; not: f(0)=1, f(1)=0 -> 01b = 1 *)
+let bloom_candidate = { f0 = 2; f1 = 1; g = 0b0110 }
+let dual_candidate = { f0 = 1; f1 = 2; g = 0b1001 }
+
+let build c ~init =
+  {
+    Vm.spec =
+      [| Vm.atomic_cell (Tagged.initial init); Vm.atomic_cell (Tagged.initial init) |];
+    read =
+      (fun ~proc:_ ->
+        Vm.bind (Vm.read 0) (fun c0 ->
+            Vm.bind (Vm.read 1) (fun c1 ->
+                let r = gapp c.g (Tagged.tag c0) (Tagged.tag c1) in
+                Vm.bind (Vm.read r) (fun c2 -> Vm.return (Tagged.v c2)))));
+    write =
+      (fun ~proc v ->
+        let i = proc land 1 in
+        let f = if i = 0 then c.f0 else c.f1 in
+        Vm.bind (Vm.read (1 - i)) (fun other ->
+            Vm.write i (Tagged.make v (fapp f (Tagged.tag other)))));
+  }
+
+let pp_f ppf = function
+  | 0 -> Fmt.string ppf "const 0"
+  | 1 -> Fmt.string ppf "not"
+  | 2 -> Fmt.string ppf "id"
+  | 3 -> Fmt.string ppf "const 1"
+  | n -> Fmt.pf ppf "f#%d" n
+
+let pp_g ppf = function
+  | 0b0110 -> Fmt.string ppf "xor"
+  | 0b1001 -> Fmt.string ppf "not xor"
+  | 0b0000 -> Fmt.string ppf "const Reg0"
+  | 0b1111 -> Fmt.string ppf "const Reg1"
+  | n -> Fmt.pf ppf "g#%x" n
+
+let pp ppf c =
+  Fmt.pf ppf "{f0 = %a; f1 = %a; g = %a}" pp_f c.f0 pp_f c.f1 pp_g c.g
+
+type extended = {
+  ef0 : int;
+  ef1 : int;
+  eg : int;
+}
+
+let all_extended =
+  List.concat_map
+    (fun ef0 ->
+      List.concat_map
+        (fun ef1 -> List.init 16 (fun eg -> { ef0; ef1; eg }))
+        (List.init 16 Fun.id))
+    (List.init 16 Fun.id)
+
+let fapp2 table t_own t_other =
+  let idx = (if t_own then 2 else 0) + if t_other then 1 else 0 in
+  table land (1 lsl idx) <> 0
+
+(* a 2-bit table f lifted to ignore t_own *)
+let lift f =
+  (* bit (2*o + t) = f(t) *)
+  List.fold_left
+    (fun acc (o, t) ->
+      let idx = (if o then 2 else 0) + if t then 1 else 0 in
+      if fapp f t then acc lor (1 lsl idx) else acc)
+    0
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let extend c = { ef0 = lift c.f0; ef1 = lift c.f1; eg = c.g }
+
+let uses_own_tag e =
+  let depends table =
+    fapp2 table false false <> fapp2 table true false
+    || fapp2 table false true <> fapp2 table true true
+  in
+  depends e.ef0 || depends e.ef1
+
+let build_extended e ~init =
+  {
+    Vm.spec =
+      [| Vm.atomic_cell (Tagged.initial init); Vm.atomic_cell (Tagged.initial init) |];
+    read =
+      (fun ~proc:_ ->
+        Vm.bind (Vm.read 0) (fun c0 ->
+            Vm.bind (Vm.read 1) (fun c1 ->
+                let r = gapp e.eg (Tagged.tag c0) (Tagged.tag c1) in
+                Vm.bind (Vm.read r) (fun c2 -> Vm.return (Tagged.v c2)))));
+    write =
+      (fun ~proc v ->
+        let i = proc land 1 in
+        let f = if i = 0 then e.ef0 else e.ef1 in
+        Vm.bind (Vm.read i) (fun own ->
+            Vm.bind (Vm.read (1 - i)) (fun other ->
+                Vm.write i
+                  (Tagged.make v (fapp2 f (Tagged.tag own) (Tagged.tag other))))));
+  }
+
+let pp_extended ppf e =
+  Fmt.pf ppf "{F0 = %0x; F1 = %0x; g = %a}" e.ef0 e.ef1 pp_g e.eg

@@ -1,0 +1,69 @@
+(** Exhaustive synthesis over the family of Bloom-shaped protocols.
+
+    The paper's protocol has a rigid shape: writer [i] reads the other
+    register's tag [t'] and writes its value with tag [f_i t']; a
+    reader reads both tags, re-reads register [g (t0, t1)] and returns
+    its value.  The only freedom is in the boolean functions:
+    [f_0], [f_1] : bool -> bool (4 choices each) and
+    [g] : bool * bool -> register index (16 choices) — 256 candidate
+    protocols, of which the paper picks one.
+
+    {!Modelcheck.Synthesis_check} model-checks every candidate
+    exhaustively and returns the atomic ones — an empirical answer to
+    "how special is the choice [t := i xor t'], [r := t0 xor t1]?"
+    (Spoiler, asserted by the tests: exactly the paper's protocol and
+    its dual — steering the sum to [not i] and complementing the
+    reader's choice — survive.) *)
+
+type candidate = {
+  f0 : int;  (** truth table of writer 0's tag choice: bit [t'] *)
+  f1 : int;  (** writer 1's *)
+  g : int;  (** reader's register choice: bit [2*t0 + t1] *)
+}
+
+val all : candidate list
+(** All 256 candidates. *)
+
+val bloom_candidate : candidate
+(** The paper's choice: [f0 = id], [f1 = not], [g = xor]. *)
+
+val dual_candidate : candidate
+(** The tag-complemented dual: [f0 = not], [f1 = id], [g = not xor]. *)
+
+val build : candidate -> init:'v -> ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** The candidate as a register over two atomic cells, both initialised
+    to [(init, 0)]. *)
+
+val pp : candidate Fmt.t
+(** Prints like [{f0 = id; f1 = not; g = xor}], naming the recognisable
+    boolean functions. *)
+
+(** {1 The extended family}
+
+    Let the writers consult their {e own} register's tag too:
+    [t := F_i (t_own, t_other)] with [F_i : bool * bool -> bool]
+    (16 tables each; the writer's own cell is written only by itself,
+    so the extra read is always accurate) — 16 x 16 x 16 = 4096
+    candidates, at the cost of one extra real read per write.  The
+    base family embeds as the tables that ignore [t_own]. *)
+
+type extended = {
+  ef0 : int;  (** F_0 truth table: bit [2*t_own + t_other] *)
+  ef1 : int;
+  eg : int;  (** reader's choice, as in {!candidate} *)
+}
+
+val all_extended : extended list
+(** All 4096. *)
+
+val extend : candidate -> extended
+(** Embed a base candidate (its writer tables ignore [t_own]). *)
+
+val build_extended :
+  extended -> init:'v -> ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** Writer cost here is 2 real reads + 1 real write. *)
+
+val uses_own_tag : extended -> bool
+(** Does either writer's table actually depend on [t_own]? *)
+
+val pp_extended : extended Fmt.t

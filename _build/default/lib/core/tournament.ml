@@ -1,0 +1,46 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+let flat ~init ~other_init () = Protocol.bloom ~level:1 ~init ~other_init ()
+
+let stacked ~init ~other_init () =
+  let outer = Protocol.bloom ~level:1 ~init ~other_init () in
+  Vm.stack outer
+    ~inner:(fun g ->
+      let iv = if g = 0 then init else other_init in
+      (* The inner two-writer register holds the outer cells' tagged
+         values; writers 2g and 2g+1 are distinguished by bit 0. *)
+      Protocol.bloom ~level:0 ~init:(Tagged.initial iv)
+        ~other_init:(Tagged.initial iv) ())
+
+(* Figure 5, step by step.  A write is two primitive accesses (its real
+   read then its real write); a read is three. *)
+let figure5_schedule =
+  [
+    0;          (* Wr00: real reads, then goes to sleep *)
+    3; 3;       (* Wr11: sim. writes 'c'  -> Reg1 = ('c',1) *)
+    1; 1;       (* Wr01: sim. writes 'd'  -> Reg0 = ('d',1) *)
+    0;          (* Wr00: wakes, real-writes -> Reg0 = ('x',0) *)
+    4; 4; 4;    (* reader: tags 0,1 -> reads Reg1 -> 'c' reappears *)
+  ]
+
+let figure5_scripts =
+  let open Histories.Event in
+  [
+    { Vm.proc = 0; script = [ Write 'x' ] };
+    { Vm.proc = 1; script = [ Write 'd' ] };
+    { Vm.proc = 3; script = [ Write 'c' ] };
+    { Vm.proc = 4; script = [ Read ] };
+  ]
+
+let flat8 ~init ~other_init () = Protocol.bloom ~level:2 ~init ~other_init ()
+
+let stacked8 ~init ~other_init () =
+  let outer = Protocol.bloom ~level:2 ~init ~other_init () in
+  Vm.stack outer
+    ~inner:(fun g ->
+      let iv = if g = 0 then init else other_init in
+      (* each top-level register is a four-writer tournament whose
+         writers are distinguished by bits 0-1 of the processor id *)
+      Protocol.bloom ~level:1 ~init:(Tagged.initial iv)
+        ~other_init:(Tagged.initial iv) ())

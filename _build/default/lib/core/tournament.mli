@@ -1,0 +1,60 @@
+(** The natural — and incorrect — extension of the protocol to four
+    writers (Section 8): writers are paired into a tournament; each
+    pair shares one register, and the pairs run the two-writer protocol
+    over two {e two-writer} registers.
+
+    Two variants are provided, matching the paper's two readings of the
+    counterexample:
+
+    - {!flat}: the two shared registers are hardware-atomic two-writer
+      cells ("it works for any protocol, or even hardware atomic
+      two-writer registers") — this is [Protocol.bloom ~level:1].
+    - {!stacked}: the two shared registers are themselves simulated by
+      the two-writer protocol, i.e. the full tournament of Bloom
+      registers.
+
+    Writers are processors 0–3; writers [2g] and [2g+1] share register
+    [g].  Readers are any other processors. *)
+
+val flat :
+  init:'v ->
+  other_init:'v ->
+  unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+
+val stacked :
+  init:'v ->
+  other_init:'v ->
+  unit ->
+  ('v Registers.Tagged.t Registers.Tagged.t, 'v) Registers.Vm.built
+
+val figure5_schedule : Histories.Event.proc list
+(** The exact interleaving of the paper's Figure 5 for {!flat} with
+    processors Wr00 = 0, Wr01 = 1, Wr11 = 3 and a reader 4:
+    Wr00 performs its real read, sleeps; Wr11 writes 'c'; Wr01 writes
+    'd'; Wr00 wakes and performs its real write; the reader then reads
+    — and gets the resurrected 'c'. *)
+
+val figure5_scripts : char Registers.Vm.process list
+(** The scripts driven by {!figure5_schedule}: Wr00 writes 'x', Wr01
+    writes 'd', Wr11 writes 'c', processor 4 reads. *)
+
+(** {1 Deeper tournaments}
+
+    The failure is not specific to four writers: every tournament depth
+    is broken.  Eight writers, processors 0–7; writers [4g .. 4g+3]
+    share top-level register [g]. *)
+
+val flat8 :
+  init:'v ->
+  other_init:'v ->
+  unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** Top level only, over two multi-writer atomic cells. *)
+
+val stacked8 :
+  init:'v ->
+  other_init:'v ->
+  unit ->
+  ('v Registers.Tagged.t Registers.Tagged.t, 'v) Registers.Vm.built
+(** Top level over two four-writer {!flat} tournaments. *)

@@ -1,0 +1,109 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+let two_cells ~init ~other_init =
+  [|
+    Vm.atomic_cell (Tagged.initial init);
+    Vm.atomic_cell (Tagged.initial other_init);
+  |]
+
+let no_third_read ~init ~other_init () =
+  {
+    Vm.spec = two_cells ~init ~other_init;
+    read =
+      (fun ~proc:_ ->
+        Vm.bind (Vm.read 0) (fun c0 ->
+            Vm.bind (Vm.read 1) (fun c1 ->
+                let r = Tagged.tag_sum c0 c1 in
+                Vm.return (Tagged.v (if r = 0 then c0 else c1)))));
+    write = (fun ~proc w -> Protocol.write_prog ~level:0 ~proc w);
+  }
+
+let copy_tag ~init ~other_init () =
+  {
+    Vm.spec = two_cells ~init ~other_init;
+    read = (fun ~proc:_ -> Protocol.read_prog ());
+    write =
+      (fun ~proc w ->
+        let i = proc land 1 in
+        Vm.bind (Vm.read (1 - i)) (fun other ->
+            Vm.write i (Tagged.make w (Tagged.tag other))));
+  }
+
+let read_own_register ~init ~other_init () =
+  {
+    Vm.spec = two_cells ~init ~other_init;
+    read = (fun ~proc:_ -> Protocol.read_prog ());
+    write =
+      (fun ~proc w ->
+        let i = proc land 1 in
+        Vm.bind (Vm.read i) (fun own ->
+            let t = (i = 1) <> Tagged.tag own in
+            Vm.write i (Tagged.make w t)));
+  }
+
+(* Split-write layouts: cells 0/1 are register 0's value and tag cells,
+   cells 2/3 register 1's.  Value cells carry the value with a dummy
+   tag; tag cells carry the tag with a dummy value. *)
+let split_cells ~init ~other_init =
+  [|
+    Vm.atomic_cell (Tagged.initial init);        (* value of Reg0 *)
+    Vm.atomic_cell (Tagged.initial init);        (* tag of Reg0 *)
+    Vm.atomic_cell (Tagged.initial other_init);  (* value of Reg1 *)
+    Vm.atomic_cell (Tagged.initial other_init);  (* tag of Reg1 *)
+  |]
+
+let value_cell i = 2 * i
+let tag_cell i = (2 * i) + 1
+
+let split_read ~init =
+  Vm.bind (Vm.read (tag_cell 0)) (fun t0 ->
+      Vm.bind (Vm.read (tag_cell 1)) (fun t1 ->
+          let r = Tagged.tag_sum t0 t1 in
+          Vm.bind (Vm.read (value_cell r)) (fun c2 ->
+              ignore init;
+              Vm.return (Tagged.v c2))))
+
+let split_write ~tag_first ~init ~other_init () =
+  {
+    Vm.spec = split_cells ~init ~other_init;
+    read = (fun ~proc:_ -> split_read ~init);
+    write =
+      (fun ~proc w ->
+        let i = proc land 1 in
+        Vm.bind (Vm.read (tag_cell (1 - i))) (fun other ->
+            let t = (i = 1) <> Tagged.tag other in
+            let write_value () = Vm.write (value_cell i) (Tagged.make w t) in
+            let write_tag () = Vm.write (tag_cell i) (Tagged.make w t) in
+            if tag_first then Vm.bind (write_tag ()) write_value
+            else Vm.bind (write_value ()) write_tag));
+  }
+
+let split_write_tag_first ~init ~other_init () =
+  split_write ~tag_first:true ~init ~other_init ()
+
+let split_write_value_first ~init ~other_init () =
+  split_write ~tag_first:false ~init ~other_init ()
+
+(* The natural mod-3 generalisation: three registers holding
+   (value, trit); writer i steers the mod-3 sum of the trits to i. *)
+let mod3 ~init ~others:(o1, o2) () =
+  let spec =
+    [| Vm.atomic_cell (init, 0); Vm.atomic_cell (o1, 0); Vm.atomic_cell (o2, 0) |]
+  in
+  let read ~proc:_ =
+    Vm.bind (Vm.read 0) (fun (_, t0) ->
+        Vm.bind (Vm.read 1) (fun (_, t1) ->
+            Vm.bind (Vm.read 2) (fun (_, t2) ->
+                let r = (t0 + t1 + t2) mod 3 in
+                Vm.bind (Vm.read r) (fun (v, _) -> Vm.return v))))
+  in
+  let write ~proc w =
+    if proc < 0 || proc > 2 then invalid_arg "Variants.mod3: writer 0..2";
+    let j = (proc + 1) mod 3 and k = (proc + 2) mod 3 in
+    Vm.bind (Vm.read j) (fun (_, tj) ->
+        Vm.bind (Vm.read k) (fun (_, tk) ->
+            let t = ((proc - tj - tk) mod 3 + 3) mod 3 in
+            Vm.write proc (w, t)))
+  in
+  { Vm.spec; read; write }

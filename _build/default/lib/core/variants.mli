@@ -1,0 +1,67 @@
+(** Protocol ablations and failed extensions.
+
+    The paper's protocol is minimal: three lines for the writer, four
+    for the reader.  These variants remove or perturb one ingredient at
+    a time; the model checker decides which ingredients are
+    load-bearing (see [test/test_variants.ml] and EXPERIMENTS.md).
+
+    Also here: the {e natural} extension to three writers with mod-3
+    tag arithmetic — one of the "several obvious ways to try to extend
+    this algorithm to more than two writers; none of them work"
+    (Section 8). *)
+
+(** {1 Two-writer ablations} *)
+
+val no_third_read :
+  init:'v -> other_init:'v -> unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** The reader returns the value it saw in its {e first} round instead
+    of re-reading register [t0 xor t1].  Broken: a slow reader whose
+    snapshot of [Reg0] predates every write can return the initial
+    value after completed writes. *)
+
+val copy_tag :
+  init:'v -> other_init:'v -> unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** Both writers copy the other register's tag ([t := t'], dropping the
+    [i (+)]).  Broken: the tag sum never leaves 0, so writer 1's values
+    are invisible. *)
+
+val read_own_register :
+  init:'v -> other_init:'v -> unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** The writer derives its tag from its {e own} register instead of the
+    other writer's.  Broken. *)
+
+(** {1 Split-write ablations}
+
+    The paper stresses that the writer "writes only once, at the end of
+    its protocol", so a write is visible atomically.  These variants
+    split the real write in two: the value cell and the tag cell are
+    written separately, in one order or the other. *)
+
+val split_write_tag_first :
+  init:'v -> other_init:'v -> unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** Tag cell first, then value cell.  Broken: a reader steered to the
+    register between the two writes returns the {e previous} value of
+    that register, which may never have been the register's value. *)
+
+val split_write_value_first :
+  init:'v -> other_init:'v -> unit ->
+  ('v Registers.Tagged.t, 'v) Registers.Vm.built
+(** Value cell first, then tag cell.  Subtler: whether this survives
+    small bounded configurations is decided by the model checker (it
+    still costs an extra real write and loses the all-or-nothing crash
+    guarantee either way). *)
+
+(** {1 The natural three-writer extension} *)
+
+val mod3 :
+  init:'v -> others:'v * 'v -> unit ->
+  ('v * int, 'v) Registers.Vm.built
+(** Three writers 0, 1, 2, three real registers holding (value, trit).
+    Writer [i] reads the other two tags and writes
+    [t := (i - t_j - t_k) mod 3]; a reader reads all three tags and
+    re-reads register [(t0 + t1 + t2) mod 3].  The direct
+    generalisation of the two-writer protocol — and not atomic. *)

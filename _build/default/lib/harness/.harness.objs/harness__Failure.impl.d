@@ -1,0 +1,1 @@
+lib/harness/failure.ml: Array Histories List Registers

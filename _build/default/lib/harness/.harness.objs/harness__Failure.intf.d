@@ -1,0 +1,1 @@
+lib/harness/failure.mli: Histories Registers

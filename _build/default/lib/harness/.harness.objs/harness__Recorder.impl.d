@@ -1,0 +1,1 @@
+lib/harness/recorder.ml: Atomic Histories List

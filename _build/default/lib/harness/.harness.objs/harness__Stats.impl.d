@@ -1,0 +1,1 @@
+lib/harness/stats.ml: Array Float Fmt Histories List Registers

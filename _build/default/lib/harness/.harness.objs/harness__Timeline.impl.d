@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Array Bytes Format Histories List Registers

@@ -1,0 +1,1 @@
+lib/harness/timeline.mli: Format Histories Registers

@@ -1,0 +1,1 @@
+lib/harness/trace_io.ml: Fmt Histories List Registers String

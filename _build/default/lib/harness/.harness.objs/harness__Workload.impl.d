@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Histories List Random Registers

@@ -1,0 +1,58 @@
+module Vm = Registers.Vm
+
+type write_fate =
+  | Never_happened
+  | Took_effect
+
+let fate_of_crashed_write ~victim trace =
+  (* Find the victim's last Invoke; if it has no matching Respond, the
+     operation is the interrupted one: its fate is decided by whether a
+     primitive write by the victim follows the Invoke. *)
+  let events = Array.of_list trace in
+  let n = Array.length events in
+  let last_inv = ref None and responded = ref true in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Vm.Sim (Histories.Event.Invoke (p, _)) when p = victim ->
+        last_inv := Some i;
+        responded := false
+      | Vm.Sim (Histories.Event.Respond (p, _)) when p = victim ->
+        responded := true
+      | Vm.Sim _ | Vm.Prim_read _ | Vm.Prim_write _ -> ())
+    events;
+  match !last_inv, !responded with
+  | None, _ | Some _, true -> None
+  | Some inv, false ->
+    let wrote = ref false in
+    for i = inv + 1 to n - 1 do
+      match events.(i) with
+      | Vm.Prim_write (p, _, _) when p = victim -> wrote := true
+      | Vm.Prim_write _ | Vm.Prim_read _ | Vm.Sim _ -> ()
+    done;
+    Some (if !wrote then Took_effect else Never_happened)
+
+let crash_writer_everywhere ~seed ~init ~victim ~processes ~build =
+  ignore init;
+  let victim_accesses =
+    (* run once uncrashed to count the victim's accesses *)
+    let trace = Registers.Run_coarse.run ~seed (build ()) processes in
+    List.fold_left
+      (fun n ev ->
+        match ev with
+        | Vm.Prim_read (p, _, _) | Vm.Prim_write (p, _, _) when p = victim ->
+          n + 1
+        | Vm.Prim_read _ | Vm.Prim_write _ | Vm.Sim _ -> n)
+      0 trace
+  in
+  List.init (victim_accesses + 1) (fun k ->
+      let trace =
+        Registers.Run_coarse.run ~crash:[ (victim, k) ] ~seed (build ())
+          processes
+      in
+      let fate =
+        match fate_of_crashed_write ~victim trace with
+        | Some f -> f
+        | None -> Never_happened (* victim finished everything before k *)
+      in
+      (k, fate, trace))

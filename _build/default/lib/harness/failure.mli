@@ -1,0 +1,31 @@
+(** Crash-failure scenarios (Section 5: "if the writer crashes at some
+    point in the protocol, the write either occurs or does not occur;
+    it does not leave the register in an inconsistent state").
+
+    Built on {!Registers.Run_coarse}'s crash injection: a processor is
+    killed after its k-th primitive access and never acknowledges. *)
+
+type write_fate =
+  | Never_happened  (** crashed before its real write *)
+  | Took_effect  (** crashed at/after its real write *)
+
+val crash_writer_everywhere :
+  seed:int ->
+  init:int ->
+  victim:Histories.Event.proc ->
+  processes:int Registers.Vm.process list ->
+  build:(unit -> (int Registers.Tagged.t, int) Registers.Vm.built) ->
+  (int * write_fate * (int Registers.Tagged.t, int) Registers.Vm.trace_event list) list
+(** Run the workload once per crash point [k = 0, 1, 2, ...] of the
+    victim writer (until the crash point exceeds the victim's total
+    accesses), returning for each the crash point, the fate of the
+    victim's in-flight write, and the trace.  The fate is derived from
+    the trace: [Took_effect] iff the victim's interrupted write
+    performed its primitive write. *)
+
+val fate_of_crashed_write :
+  victim:Histories.Event.proc ->
+  (int Registers.Tagged.t, int) Registers.Vm.trace_event list ->
+  write_fate option
+(** [None] when the victim has no pending (unacknowledged) write in the
+    trace. *)

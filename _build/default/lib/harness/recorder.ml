@@ -1,0 +1,44 @@
+type stamped = {
+  stamp : int;
+  event : int Histories.Event.t;
+}
+
+type buffer = {
+  clock : int Atomic.t;
+  mutable events : stamped list;  (* reversed *)
+}
+
+type t = {
+  global_clock : int Atomic.t;
+  mutable buffers : buffer list;
+}
+
+let create () = { global_clock = Atomic.make 0; buffers = [] }
+
+let buffer t =
+  let b = { clock = t.global_clock; events = [] } in
+  t.buffers <- b :: t.buffers;
+  b
+
+let record b event =
+  let stamp = Atomic.fetch_and_add b.clock 1 in
+  b.events <- { stamp; event } :: b.events
+
+let invoked b proc op = record b (Histories.Event.Invoke (proc, op))
+let responded b proc res = record b (Histories.Event.Respond (proc, res))
+
+let wrap_read b ~proc f =
+  invoked b proc Histories.Event.Read;
+  let v = f () in
+  responded b proc (Some v);
+  v
+
+let wrap_write b ~proc ~value f =
+  invoked b proc (Histories.Event.Write value);
+  f ();
+  responded b proc None
+
+let history t =
+  List.concat_map (fun b -> b.events) t.buffers
+  |> List.sort (fun a b -> compare a.stamp b.stamp)
+  |> List.map (fun s -> s.event)

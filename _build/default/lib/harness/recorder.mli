@@ -1,0 +1,38 @@
+(** Sound recording of concurrent histories from real OCaml domains.
+
+    Each domain records invocation and response events into its own
+    buffer, stamped from one global linearizable counter
+    ([Atomic.fetch_and_add]).  The invocation stamp is taken before the
+    operation's first shared access and the response stamp after its
+    last, so if operation A's response precedes operation B's
+    invocation in real time then A's response stamp is smaller than
+    B's invocation stamp — merging the buffers by stamp therefore
+    yields a history whose precedence order contains the real-time one,
+    making any checker verdict on it sound. *)
+
+type t
+
+type buffer
+(** One domain's private event buffer. *)
+
+val create : unit -> t
+
+val buffer : t -> buffer
+(** A fresh buffer; create one per domain, before spawning. *)
+
+val invoked : buffer -> Histories.Event.proc -> int Histories.Event.op -> unit
+(** Record an invocation (call immediately {e before} the operation). *)
+
+val responded : buffer -> Histories.Event.proc -> int option -> unit
+(** Record the response (call immediately {e after} the operation). *)
+
+val wrap_read :
+  buffer -> proc:Histories.Event.proc -> (unit -> int) -> int
+(** [wrap_read buf ~proc f] records [Invoke]/[Respond] around [f ()]. *)
+
+val wrap_write :
+  buffer -> proc:Histories.Event.proc -> value:int -> (unit -> unit) -> unit
+
+val history : t -> int Histories.Event.t list
+(** Merge all buffers by stamp.  Call only after the domains have
+    joined. *)

@@ -1,0 +1,67 @@
+type access_summary = {
+  op_reads : int * int;
+  op_read_writes : int * int;
+  wr_reads : int * int;
+  wr_writes : int * int;
+  n_reads : int;
+  n_writes : int;
+}
+
+let widen (lo, hi) x = (min lo x, max hi x)
+
+let empty_range = (max_int, min_int)
+
+let summarise_accesses trace =
+  let counts = Registers.Vm.prim_counts trace in
+  List.fold_left
+    (fun acc (_, op, r, w) ->
+      match op with
+      | Histories.Event.Read ->
+        {
+          acc with
+          op_reads = widen acc.op_reads r;
+          op_read_writes = widen acc.op_read_writes w;
+          n_reads = acc.n_reads + 1;
+        }
+      | Histories.Event.Write _ ->
+        {
+          acc with
+          wr_reads = widen acc.wr_reads r;
+          wr_writes = widen acc.wr_writes w;
+          n_writes = acc.n_writes + 1;
+        })
+    {
+      op_reads = empty_range;
+      op_read_writes = empty_range;
+      wr_reads = empty_range;
+      wr_writes = empty_range;
+      n_reads = 0;
+      n_writes = 0;
+    }
+    counts
+
+let pp_range ppf (lo, hi) =
+  if lo > hi then Fmt.string ppf "-"
+  else if lo = hi then Fmt.int ppf lo
+  else Fmt.pf ppf "%d..%d" lo hi
+
+let pp_access_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>simulated read : %a real reads, %a real writes  (%d ops)@,\
+     simulated write: %a real reads, %a real writes  (%d ops)@]"
+    pp_range s.op_reads pp_range s.op_read_writes s.n_reads pp_range s.wr_reads
+    pp_range s.wr_writes s.n_writes
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: out of range";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5) in
+  sorted.(max 0 (min (n - 1) idx))
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int n

@@ -1,0 +1,28 @@
+(** Summaries for the paper's quantitative claims and for the
+    benchmark output. *)
+
+type access_summary = {
+  op_reads : int * int;
+      (** (min, max) primitive reads over all simulated reads *)
+  op_read_writes : int * int;
+      (** (min, max) primitive writes over all simulated reads *)
+  wr_reads : int * int;  (** same, over simulated writes *)
+  wr_writes : int * int;
+  n_reads : int;
+  n_writes : int;
+}
+
+val summarise_accesses :
+  ('c, 'v) Registers.Vm.trace_event list -> access_summary
+(** Fold {!Registers.Vm.prim_counts} into the claims table: the paper
+    says every simulated read costs exactly 3 real reads and every
+    simulated write exactly 1 real read + 1 real write, i.e. all four
+    ranges are degenerate. *)
+
+val pp_access_summary : access_summary Fmt.t
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [0 <= p <= 100]; sorts a copy.
+    @raise Invalid_argument on an empty array. *)
+
+val mean : float array -> float

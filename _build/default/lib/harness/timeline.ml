@@ -1,0 +1,39 @@
+module Vm = Registers.Vm
+
+let render trace =
+  let events = Array.of_list trace in
+  let n = Array.length events in
+  let procs =
+    Array.to_list events
+    |> List.filter_map (fun ev ->
+           match ev with
+           | Vm.Sim e -> Some (Histories.Event.proc e)
+           | Vm.Prim_read (p, _, _) | Vm.Prim_write (p, _, _) -> Some p)
+    |> List.sort_uniq compare
+  in
+  let row p =
+    let buf = Bytes.make n ' ' in
+    let in_op = ref false in
+    Array.iteri
+      (fun i ev ->
+        let mark c = Bytes.set buf i c in
+        match ev with
+        | Vm.Sim (Histories.Event.Invoke (q, _)) when q = p ->
+          in_op := true;
+          mark '['
+        | Vm.Sim (Histories.Event.Respond (q, _)) when q = p ->
+          in_op := false;
+          mark ']'
+        | Vm.Prim_read (q, _, _) when q = p -> mark 'r'
+        | Vm.Prim_write (q, _, _) when q = p -> mark 'w'
+        | Vm.Sim _ | Vm.Prim_read _ | Vm.Prim_write _ ->
+          if !in_op then mark '.')
+      events;
+    (p, Bytes.to_string buf)
+  in
+  List.map row procs
+
+let pp ppf trace =
+  List.iter
+    (fun (p, row) -> Format.fprintf ppf "p%-3d %s@." p row)
+    (render trace)

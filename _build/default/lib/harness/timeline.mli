@@ -1,0 +1,22 @@
+(** ASCII timelines of executions — the textual cousin of the paper's
+    Figures 3–5 timing diagrams.
+
+    One row per processor, one column per trace event:
+
+    {v
+    Wr0   [r...........w]......
+    Wr1   ...[r....w]..........
+    Rd2   ......[r.r........r].
+    v}
+
+    ['['] request, [']'] acknowledgment, ['r']/['w'] primitive accesses
+    of the real registers (the *-actions), ['.'] elapsed time inside an
+    operation, [' '] idle. *)
+
+val render :
+  ('c, 'v) Registers.Vm.trace_event list -> (Histories.Event.proc * string) list
+(** One (processor, row) per processor, in processor order.  Rows all
+    have the trace's length. *)
+
+val pp : Format.formatter -> ('c, 'v) Registers.Vm.trace_event list -> unit
+(** Print the rows with processor labels. *)

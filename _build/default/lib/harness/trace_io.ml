@@ -1,0 +1,58 @@
+module Vm = Registers.Vm
+module Tagged = Registers.Tagged
+
+type trace = (int Tagged.t, int) Vm.trace_event list
+
+let line_of_event = function
+  | Vm.Sim (Histories.Event.Invoke (p, Histories.Event.Read)) ->
+    Fmt.str "inv %d read" p
+  | Vm.Sim (Histories.Event.Invoke (p, Histories.Event.Write v)) ->
+    Fmt.str "inv %d write %d" p v
+  | Vm.Sim (Histories.Event.Respond (p, None)) -> Fmt.str "resp %d" p
+  | Vm.Sim (Histories.Event.Respond (p, Some v)) -> Fmt.str "resp %d %d" p v
+  | Vm.Prim_read (p, c, tv) ->
+    Fmt.str "*r %d %d %d %d" p c (Tagged.v tv) (if Tagged.tag tv then 1 else 0)
+  | Vm.Prim_write (p, c, tv) ->
+    Fmt.str "*w %d %d %d %d" p c (Tagged.v tv) (if Tagged.tag tv then 1 else 0)
+
+let write oc trace =
+  List.iter
+    (fun ev ->
+      output_string oc (line_of_event ev);
+      output_char oc '\n')
+    trace
+
+let to_string trace =
+  String.concat "" (List.map (fun ev -> line_of_event ev ^ "\n") trace)
+
+let event_of_line lineno line =
+  let fail () = Fmt.failwith "Trace_io: line %d: cannot parse %S" lineno line in
+  let int s = try int_of_string s with Failure _ -> fail () in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ "inv"; p; "read" ] ->
+    Vm.Sim (Histories.Event.Invoke (int p, Histories.Event.Read))
+  | [ "inv"; p; "write"; v ] ->
+    Vm.Sim (Histories.Event.Invoke (int p, Histories.Event.Write (int v)))
+  | [ "resp"; p ] -> Vm.Sim (Histories.Event.Respond (int p, None))
+  | [ "resp"; p; v ] -> Vm.Sim (Histories.Event.Respond (int p, Some (int v)))
+  | [ "*r"; p; c; v; t ] ->
+    Vm.Prim_read (int p, int c, Tagged.make (int v) (int t = 1))
+  | [ "*w"; p; c; v; t ] ->
+    Vm.Prim_write (int p, int c, Tagged.make (int v) (int t = 1))
+  | _ -> fail ()
+
+let parse_lines lines =
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter_map (fun (i, l) ->
+         if l = "" || l.[0] = '#' then None else Some (event_of_line i l))
+
+let read ic =
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | l -> go (l :: acc)
+  in
+  parse_lines (go [])
+
+let of_string s = parse_lines (String.split_on_char '\n' s)

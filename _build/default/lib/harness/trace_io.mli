@@ -1,0 +1,28 @@
+(** Text serialisation of γ-traces (integer-valued, tagged cells), so
+    model runs can be saved, inspected, and re-checked by the CLI
+    tools.
+
+    Format, one event per line:
+
+    {v
+    inv  <proc> read
+    inv  <proc> write <int>
+    resp <proc>            (write acknowledgment)
+    resp <proc> <int>      (read result)
+    *r   <proc> <cell> <value> <tag01>
+    *w   <proc> <cell> <value> <tag01>
+    v}
+
+    Blank lines and [#] comments are ignored.  The history lines are
+    compatible with [bin/trace_check.exe]'s input (which simply skips
+    the [*]-lines). *)
+
+type trace = (int Registers.Tagged.t, int) Registers.Vm.trace_event list
+
+val write : out_channel -> trace -> unit
+val to_string : trace -> string
+
+val read : in_channel -> trace
+(** @raise Failure on a malformed line, with its number. *)
+
+val of_string : string -> trace

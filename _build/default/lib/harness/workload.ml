@@ -1,0 +1,44 @@
+type spec = {
+  writers : int;
+  readers : int;
+  writes_each : int;
+  reads_each : int;
+}
+
+let unique_value ~proc ~k = (1000 * (proc + 1)) + k
+
+let unique_scripts spec =
+  let open Histories.Event in
+  let writer p =
+    {
+      Registers.Vm.proc = p;
+      script = List.init spec.writes_each (fun k -> Write (unique_value ~proc:p ~k));
+    }
+  in
+  let reader p =
+    { Registers.Vm.proc = p; script = List.init spec.reads_each (fun _ -> Read) }
+  in
+  List.init spec.writers writer
+  @ List.init spec.readers (fun i -> reader (spec.writers + i))
+
+let random_scripts ~seed ~procs ~ops_each ~writer =
+  let open Histories.Event in
+  let rng = Random.State.make [| seed |] in
+  List.init procs (fun p ->
+      let script =
+        List.init ops_each (fun k ->
+            if writer p && Random.State.bool rng then
+              Write (unique_value ~proc:p ~k)
+            else Read)
+      in
+      { Registers.Vm.proc = p; script })
+
+let values_written processes =
+  List.concat_map
+    (fun (p : int Registers.Vm.process) ->
+      List.filter_map
+        (function
+          | Histories.Event.Write v -> Some v
+          | Histories.Event.Read -> None)
+        p.Registers.Vm.script)
+    processes

@@ -1,0 +1,26 @@
+(** Workload generation for model runs, model checking and
+    shared-memory stress tests. *)
+
+type spec = {
+  writers : int;  (** processors [0 .. writers-1] write *)
+  readers : int;  (** processors [writers ..] read *)
+  writes_each : int;
+  reads_each : int;
+}
+
+val unique_scripts : spec -> int Registers.Vm.process list
+(** Scripts whose written values are pairwise distinct and non-zero
+    (initial value 0), so the fast unique-value checker applies:
+    writer [p]'s [k]-th write writes [1000 * (p + 1) + k]. *)
+
+val random_scripts :
+  seed:int ->
+  procs:int ->
+  ops_each:int ->
+  writer:(Histories.Event.proc -> bool) ->
+  int Registers.Vm.process list
+(** Random mix: writer processors write unique values or read; readers
+    only read.  Operation counts are exactly [ops_each] per
+    processor. *)
+
+val values_written : int Registers.Vm.process list -> int list

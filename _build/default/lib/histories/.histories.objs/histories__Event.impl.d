@@ -1,0 +1,1 @@
+lib/histories/event.ml: Fmt List

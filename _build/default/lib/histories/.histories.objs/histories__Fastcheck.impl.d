@@ -1,0 +1,1 @@
+lib/histories/fastcheck.ml: Array Dump Fmt Hashtbl List Operation Seq_spec

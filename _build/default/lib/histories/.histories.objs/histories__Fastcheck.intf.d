@@ -1,0 +1,1 @@
+lib/histories/fastcheck.mli: Fmt Operation

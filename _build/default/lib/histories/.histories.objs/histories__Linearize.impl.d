@@ -1,0 +1,1 @@
+lib/histories/linearize.ml: Array Bytes Char Fun Hashtbl List Operation

@@ -1,0 +1,1 @@
+lib/histories/linearize.mli: Event Operation

@@ -1,0 +1,1 @@
+lib/histories/linearize_generic.ml: Array Bytes Char Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/histories/linearize_generic.mli:

@@ -1,0 +1,1 @@
+lib/histories/monitor.ml: Event Fastcheck Hashtbl List Option

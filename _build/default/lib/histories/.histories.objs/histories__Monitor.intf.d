@@ -1,0 +1,1 @@
+lib/histories/monitor.mli: Event Fastcheck

@@ -1,0 +1,1 @@
+lib/histories/operation.ml: Event Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/histories/operation.mli: Event Fmt

@@ -1,0 +1,1 @@
+lib/histories/seq_spec.mli: Fmt Operation

@@ -1,0 +1,1 @@
+lib/histories/weakcheck.ml: Dump Fmt List Operation

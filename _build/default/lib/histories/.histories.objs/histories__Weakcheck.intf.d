@@ -1,0 +1,1 @@
+lib/histories/weakcheck.mli: Fmt Operation

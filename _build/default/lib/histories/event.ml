@@ -1,0 +1,26 @@
+type proc = int
+
+type 'v op =
+  | Read
+  | Write of 'v
+
+type 'v t =
+  | Invoke of proc * 'v op
+  | Respond of proc * 'v option
+
+let proc = function
+  | Invoke (p, _) -> p
+  | Respond (p, _) -> p
+
+let is_invoke = function
+  | Invoke _ -> true
+  | Respond _ -> false
+
+let pp pp_v ppf = function
+  | Invoke (p, Read) -> Fmt.pf ppf "R_start^%d" p
+  | Invoke (p, Write v) -> Fmt.pf ppf "W_start^%d(%a)" p pp_v v
+  | Respond (p, Some v) -> Fmt.pf ppf "R_finish^%d(%a)" p pp_v v
+  | Respond (p, None) -> Fmt.pf ppf "W_finish^%d" p
+
+let pp_history pp_v ppf events =
+  List.iteri (fun i e -> Fmt.pf ppf "%4d %a@." i (pp pp_v) e) events

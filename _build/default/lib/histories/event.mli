@@ -1,0 +1,36 @@
+(** Invocation/response events of register histories.
+
+    This is the vocabulary of the paper's Section 3 ("Formal Model"):
+    a register schedule is a sequence of read/write requests and
+    acknowledgments on per-processor channels.  [Invoke (p, Read)]
+    corresponds to the paper's {i R{^c}{_start}}, [Respond (p, Some v)]
+    to {i R{^c}{_finish}(v)}, [Invoke (p, Write v)] to
+    {i W{^c}{_start}(v)} and [Respond (p, None)] to
+    {i W{^c}{_finish}}. *)
+
+type proc = int
+(** Processor (channel) identifier.  Each processor is sequential: it
+    never has two operations in flight at once. *)
+
+type 'v op =
+  | Read
+  | Write of 'v  (** the value being written *)
+
+type 'v t =
+  | Invoke of proc * 'v op
+      (** A request on processor [proc]'s channel. *)
+  | Respond of proc * 'v option
+      (** An acknowledgment: [Some v] for a read returning [v], [None]
+          for a write acknowledgment. *)
+
+val proc : 'v t -> proc
+(** Processor an event belongs to. *)
+
+val is_invoke : 'v t -> bool
+
+val pp : 'v Fmt.t -> 'v t Fmt.t
+(** Pretty-print an event in the paper's Figure 1 notation, e.g.
+    [W_start^Wr0('x')], [R_finish^Rd1('x')]. *)
+
+val pp_history : 'v Fmt.t -> 'v t list Fmt.t
+(** Print a whole history, one event per line, numbered. *)

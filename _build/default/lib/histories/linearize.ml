@@ -1,0 +1,103 @@
+type 'v verdict =
+  | Atomic of 'v Operation.t list
+  | Not_atomic
+
+(* State of the search: the set of already-linearized operations (a
+   bitset over dense operation ids) plus the register value they leave
+   behind.  The reachable future depends only on this pair, so visited
+   states are memoised and never re-explored. *)
+
+module Bitset = struct
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+
+  let mem t i =
+    Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let add t i =
+    let t = Bytes.copy t in
+    let j = i lsr 3 in
+    Bytes.set t j (Char.chr (Char.code (Bytes.get t j) lor (1 lsl (i land 7))));
+    t
+
+  let key t = Bytes.to_string t
+end
+
+let check ~init ops =
+  (* Pending reads are dropped up front: they constrain nothing. *)
+  let ops =
+    List.filter
+      (fun o -> not (Operation.is_read o && Operation.is_pending o))
+      ops
+  in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  (* preds.(i) = dense indices that must be linearized before i
+     (real-time precedence). *)
+  let preds =
+    Array.map
+      (fun o ->
+        List.init n Fun.id
+        |> List.filter (fun j -> Operation.precedes arr.(j) o))
+      arr
+  in
+  let completed_mask =
+    List.init n Fun.id
+    |> List.filter (fun i -> not (Operation.is_pending arr.(i)))
+  in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let value_tag = Hashtbl.create 16 in
+  let value_id v =
+    match Hashtbl.find_opt value_tag v with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length value_tag in
+      Hashtbl.replace value_tag v i;
+      i
+  in
+  let state_key set value = Bitset.key set ^ "#" ^ string_of_int (value_id value) in
+  let rec search set value acc =
+    if List.for_all (fun i -> Bitset.mem set i) completed_mask then
+      Some (List.rev acc)
+    else
+      let k = state_key set value in
+      if Hashtbl.mem visited k then None
+      else begin
+        Hashtbl.replace visited k ();
+        let try_op i =
+          let o = arr.(i) in
+          if Bitset.mem set i then None
+          else if not (List.for_all (fun j -> Bitset.mem set j) preds.(i))
+          then None
+          else
+            match o.Operation.kind with
+            | Operation.Write_op v ->
+              search (Bitset.add set i) v (o :: acc)
+            | Operation.Read_op ->
+              (match o.Operation.result with
+               | Some r when r = value ->
+                 search (Bitset.add set i) value (o :: acc)
+               | Some _ | None -> None)
+        in
+        let rec first i =
+          if i >= n then None
+          else
+            match try_op i with
+            | Some _ as w -> w
+            | None -> first (i + 1)
+        in
+        first 0
+      end
+  in
+  match search (Bitset.create n) init [] with
+  | Some w -> Atomic w
+  | None -> Not_atomic
+
+let is_atomic ~init ops =
+  match check ~init ops with
+  | Atomic _ -> true
+  | Not_atomic -> false
+
+let is_atomic_events ~init events =
+  match Operation.of_events events with
+  | Error _ -> true
+  | Ok ops -> is_atomic ~init ops

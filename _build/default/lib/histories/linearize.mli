@@ -1,0 +1,34 @@
+(** Brute-force linearizability (atomicity) decision procedure.
+
+    This decides the paper's Section 3 atomicity condition for an
+    arbitrary register history: can the operations be shrunk to points
+    — one point per operation, inside its interval — so that the
+    resulting sequence satisfies the register property?
+
+    The search is a Wing–Gong style exploration of the partial order,
+    memoised on (set of linearized operations, current register value),
+    which makes it fast on the low-contention histories produced by a
+    handful of processors even when they are hundreds of operations
+    long.  It is exponential in the worst case; use
+    {!Fastcheck.check_unique} for long histories with distinct written
+    values.
+
+    Pending operations are handled per the standard completion rule: a
+    pending write may be linearized (it may have taken effect) or
+    dropped; a pending read is dropped. *)
+
+type 'v verdict =
+  | Atomic of 'v Operation.t list
+      (** witness: the operations in a legal sequential order *)
+  | Not_atomic
+
+val check : init:'v -> 'v Operation.t list -> 'v verdict
+(** Decide atomicity of a (possibly concurrent) history given as its
+    matched operations, with initial register value [init]. *)
+
+val is_atomic : init:'v -> 'v Operation.t list -> bool
+
+val is_atomic_events : init:'v -> 'v Event.t list -> bool
+(** Convenience: match the events, then decide.  A non-input-correct
+    history is vacuously atomic, as in the paper ("any behavior by the
+    register is legitimate"). *)

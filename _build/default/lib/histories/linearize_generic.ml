@@ -1,0 +1,65 @@
+type ('o, 'r) operation = {
+  id : int;
+  proc : int;
+  op : 'o;
+  result : 'r option;
+  inv : int;
+  resp : int option;
+}
+
+let operations_of_spans spans =
+  List.mapi
+    (fun id (proc, op, result, inv, resp) -> { id; proc; op; result; inv; resp })
+    spans
+
+let precedes a b =
+  match a.resp with
+  | None -> false
+  | Some r -> r < b.inv
+
+module Bitset = struct
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+  let mem t i = Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let add t i =
+    let t = Bytes.copy t in
+    let j = i lsr 3 in
+    Bytes.set t j (Char.chr (Char.code (Bytes.get t j) lor (1 lsl (i land 7))));
+    t
+end
+
+let check ~init ~apply ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let preds =
+    Array.map
+      (fun o -> List.init n Fun.id |> List.filter (fun j -> precedes arr.(j) o))
+      arr
+  in
+  let completed =
+    List.init n Fun.id |> List.filter (fun i -> arr.(i).resp <> None)
+  in
+  let visited = Hashtbl.create 1024 in
+  let rec search set state =
+    if List.for_all (fun i -> Bitset.mem set i) completed then true
+    else
+      let key = (Bytes.to_string set, state) in
+      if Hashtbl.mem visited key then false
+      else begin
+        Hashtbl.replace visited key ();
+        let try_op i =
+          let o = arr.(i) in
+          if Bitset.mem set i then false
+          else if not (List.for_all (fun j -> Bitset.mem set j) preds.(i)) then
+            false
+          else
+            let state', r = apply state o.op in
+            match o.result with
+            | Some expected when expected <> r -> false
+            | Some _ | None -> search (Bitset.add set i) state'
+        in
+        let rec first i = i < n && (try_op i || first (i + 1)) in
+        first 0
+      end
+  in
+  search (Bitset.create n) init

@@ -1,0 +1,35 @@
+(** Linearizability for arbitrary sequential data types — the
+    generalisation the paper's conclusion asks about ("an atomic
+    register may be considered an object with abstract data type
+    register[V] ... it would be interesting to find protocols allowing
+    more general data types").
+
+    Same Wing–Gong search as {!Linearize}, but parameterized by a
+    sequential specification: a state type, an [apply] function, and
+    result equality.  Memoised on (set of linearized operations,
+    state), so the state type must support structural equality and
+    hashing. *)
+
+type ('o, 'r) operation = {
+  id : int;
+  proc : int;
+  op : 'o;
+  result : 'r option;  (** [None] for pending operations *)
+  inv : int;
+  resp : int option;
+}
+
+val check :
+  init:'s ->
+  apply:('s -> 'o -> 's * 'r) ->
+  ('o, 'r) operation list ->
+  bool
+(** Is there a linearization?  Completed operations must be placed
+    inside their intervals with results matching the specification
+    (structural equality); pending operations may take effect or be
+    dropped. *)
+
+val operations_of_spans :
+  (int * 'o * 'r option * int * int option) list -> ('o, 'r) operation list
+(** Convenience constructor from (proc, op, result, inv, resp)
+    tuples. *)

@@ -1,0 +1,272 @@
+type 'v verdict =
+  | Ok_so_far
+  | Violation of 'v Fastcheck.violation
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic constraint graph with a Pearce-Kelly online topological     *)
+(* order: each edge insertion either respects the current order or     *)
+(* triggers a local reordering of the affected region; a cycle is      *)
+(* detected when the forward search from the edge's head reaches its   *)
+(* tail.                                                               *)
+
+module Graph = struct
+  type t = {
+    out_edges : (int, int list) Hashtbl.t;
+    in_edges : (int, int list) Hashtbl.t;
+    ord : (int, int) Hashtbl.t;
+    mutable next_ord : int;
+    mutable n_edges : int;
+  }
+
+  let create () =
+    {
+      out_edges = Hashtbl.create 64;
+      in_edges = Hashtbl.create 64;
+      ord = Hashtbl.create 64;
+      next_ord = 0;
+      n_edges = 0;
+    }
+
+  let add_node g n =
+    if not (Hashtbl.mem g.ord n) then begin
+      Hashtbl.replace g.ord n g.next_ord;
+      g.next_ord <- g.next_ord + 1
+    end
+
+  let succs g n = Option.value ~default:[] (Hashtbl.find_opt g.out_edges n)
+  let preds g n = Option.value ~default:[] (Hashtbl.find_opt g.in_edges n)
+  let ord g n = Hashtbl.find g.ord n
+
+  (* Forward DFS from [start] among nodes with ord <= ub; returns
+     [Error ()] if [target] is reached (a cycle), otherwise the set of
+     visited nodes. *)
+  let dfs_forward g ~start ~target ~ub =
+    let visited = Hashtbl.create 16 in
+    let rec go n =
+      if n = target then Error ()
+      else if Hashtbl.mem visited n then Ok ()
+      else begin
+        Hashtbl.replace visited n ();
+        List.fold_left
+          (fun acc m ->
+            match acc with
+            | Error () -> acc
+            | Ok () -> if ord g m <= ub then go m else Ok ())
+          (Ok ()) (succs g n)
+      end
+    in
+    match go start with
+    | Error () -> Error ()
+    | Ok () -> Ok visited
+
+  let dfs_backward g ~start ~lb =
+    let visited = Hashtbl.create 16 in
+    let rec go n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        List.iter (fun m -> if ord g m >= lb then go m) (preds g n)
+      end
+    in
+    go start;
+    visited
+
+  (* [add_edge g x y]: returns [Error ()] when the edge closes a
+     cycle. *)
+  let add_edge g x y =
+    if x = y then Error ()
+    else begin
+      add_node g x;
+      add_node g y;
+      Hashtbl.replace g.out_edges x (y :: succs g x);
+      Hashtbl.replace g.in_edges y (x :: preds g y);
+      g.n_edges <- g.n_edges + 1;
+      let ox = ord g x and oy = ord g y in
+      if ox < oy then Ok ()
+      else
+        match dfs_forward g ~start:y ~target:x ~ub:ox with
+        | Error () -> Error ()
+        | Ok forward ->
+          let backward = dfs_backward g ~start:x ~lb:oy in
+          (* reassign the affected positions: backward block first,
+             then forward block, keeping each block's relative order *)
+          let by_ord set =
+            Hashtbl.fold (fun n () acc -> (ord g n, n) :: acc) set []
+            |> List.sort compare |> List.map snd
+          in
+          let bs = by_ord backward and fs = by_ord forward in
+          let pool =
+            List.sort compare
+              (List.map (ord g) bs @ List.map (ord g) fs)
+          in
+          List.iter2
+            (fun n o -> Hashtbl.replace g.ord n o)
+            (bs @ fs) pool;
+          Ok ()
+    end
+
+  let n_nodes g = Hashtbl.length g.ord
+end
+
+(* ------------------------------------------------------------------ *)
+
+type 'v pending =
+  | Pending_write of {
+      node : int;
+      wfrontier : int list;  (* write frontier at invocation (rule a) *)
+      obligations : 'v obligation list;  (* to retire at completion *)
+    }
+  | Pending_read of {
+      wfrontier : int list;  (* rule b *)
+      rfrontier : int list;  (* sigma nodes of the read frontier (rule d) *)
+    }
+
+and 'v obligation = {
+  ob_sigma : int;
+  mutable retired : bool;
+}
+
+type 'v read_entry = {
+  re_sigma : int;
+  re_id : int;  (* unique, for frontier removal *)
+}
+
+type 'v t = {
+  init : 'v;
+  graph : Graph.t;
+  value_node : ('v, int) Hashtbl.t;
+  mutable next_node : int;
+  inflight : (Event.proc, 'v pending) Hashtbl.t;
+  mutable write_frontier : int list;
+  mutable read_frontier : 'v read_entry list;
+  mutable read_frontier_snapshots : (int, int list) Hashtbl.t;
+      (* proc -> read-entry ids seen at invocation (for removal) *)
+  mutable obligations : 'v obligation list;
+  mutable next_read_entry : int;
+  mutable state : 'v verdict;
+}
+
+let create ~init =
+  let graph = Graph.create () in
+  Graph.add_node graph 0 (* the virtual initial write *);
+  {
+    init;
+    graph;
+    value_node = Hashtbl.create 64;
+    next_node = 1;
+    inflight = Hashtbl.create 8;
+    write_frontier = [];
+    read_frontier = [];
+    read_frontier_snapshots = Hashtbl.create 8;
+    obligations = [];
+    next_read_entry = 0;
+    state = Ok_so_far;
+  }
+
+let verdict t = t.state
+
+let stats t = (Graph.n_nodes t.graph, t.graph.Graph.n_edges)
+
+let fail t v =
+  t.state <- Violation v;
+  t.state
+
+let edge t x y =
+  match t.state with
+  | Violation _ -> ()
+  | Ok_so_far ->
+    (match Graph.add_edge t.graph x y with
+     | Ok () -> ()
+     | Error () -> ignore (fail t (Fastcheck.Cycle [ x - 1; y - 1 ])))
+
+let handle_invoke t p op =
+  if Hashtbl.mem t.inflight p then
+    invalid_arg "Monitor.observe: processor not sequential";
+  match op with
+  | Event.Write v ->
+    if v = t.init || Hashtbl.mem t.value_node v then
+      ignore (fail t (Fastcheck.Duplicate_write v))
+    else begin
+      let node = t.next_node in
+      t.next_node <- t.next_node + 1;
+      Hashtbl.replace t.value_node v node;
+      Graph.add_node t.graph node;
+      (* the virtual initial write precedes every write *)
+      edge t 0 node;
+      (* rule c: completed reads' sources precede every later write *)
+      let obligations =
+        List.filter (fun ob -> not ob.retired) t.obligations
+      in
+      t.obligations <- obligations;
+      List.iter (fun ob -> edge t ob.ob_sigma node) obligations;
+      Hashtbl.replace t.inflight p
+        (Pending_write { node; wfrontier = t.write_frontier; obligations })
+    end
+  | Event.Read ->
+    Hashtbl.replace t.read_frontier_snapshots p
+      (List.map (fun re -> re.re_id) t.read_frontier);
+    Hashtbl.replace t.inflight p
+      (Pending_read
+         {
+           wfrontier = t.write_frontier;
+           rfrontier = List.map (fun re -> re.re_sigma) t.read_frontier;
+         })
+
+let handle_respond t p res =
+  match Hashtbl.find_opt t.inflight p with
+  | None -> invalid_arg "Monitor.observe: response without request"
+  | Some (Pending_write { node; wfrontier; obligations }) ->
+    if res <> None then invalid_arg "Monitor.observe: write acked with value";
+    Hashtbl.remove t.inflight p;
+    (* rule a: maximal writes completed before our invocation precede us *)
+    List.iter (fun w -> edge t w node) wfrontier;
+    (* this completion dominates the snapshot frontier *)
+    t.write_frontier <-
+      node :: List.filter (fun w -> not (List.memq w wfrontier)) t.write_frontier;
+    (* retire rule-c obligations that predate our invocation *)
+    List.iter (fun ob -> ob.retired <- true) obligations
+  | Some (Pending_read { wfrontier; rfrontier }) ->
+    Hashtbl.remove t.inflight p;
+    let v =
+      match res with
+      | Some v -> v
+      | None -> invalid_arg "Monitor.observe: read acked without value"
+    in
+    let sigma =
+      if v = t.init then Some 0 else Hashtbl.find_opt t.value_node v
+    in
+    (match sigma with
+     | None -> ignore (fail t (Fastcheck.Thin_air (-1)))
+     | Some sigma ->
+       (* rule b: completed writes before our invocation precede sigma *)
+       List.iter (fun w -> if w <> sigma then edge t w sigma) wfrontier;
+       (* rule d: sources of reads completed before our invocation
+          precede our source *)
+       List.iter (fun s -> if s <> sigma then edge t s sigma) rfrontier;
+       (* rule c: register an obligation against future writes *)
+       let ob = { ob_sigma = sigma; retired = false } in
+       t.obligations <- ob :: t.obligations;
+       (* update the read frontier: we dominate the snapshot *)
+       let snapshot =
+         Option.value ~default:[]
+           (Hashtbl.find_opt t.read_frontier_snapshots p)
+       in
+       Hashtbl.remove t.read_frontier_snapshots p;
+       let entry = { re_sigma = sigma; re_id = t.next_read_entry } in
+       t.next_read_entry <- t.next_read_entry + 1;
+       t.read_frontier <-
+         entry
+         :: List.filter
+              (fun re -> not (List.mem re.re_id snapshot))
+              t.read_frontier)
+
+let observe t ev =
+  match t.state with
+  | Violation _ -> t.state
+  | Ok_so_far ->
+    (match ev with
+     | Event.Invoke (p, op) -> handle_invoke t p op
+     | Event.Respond (p, res) -> handle_respond t p res);
+    t.state
+
+let observe_all t evs =
+  List.fold_left (fun _ ev -> observe t ev) t.state evs

@@ -1,0 +1,55 @@
+(** Online atomicity monitoring for unique-value register histories.
+
+    {!Fastcheck} decides atomicity of a complete history by building a
+    constraint graph over the writes and testing it for cycles.  This
+    module maintains the same constraints {e incrementally}, one event
+    at a time, so that multi-million-operation histories (e.g. from
+    long multicore stress runs) can be checked as they happen:
+
+    - real-time order among writes, writes-before-reads,
+      reads-before-writes and the no-new-old-inversion rule are each
+      generated from a small {e frontier} of currently-maximal
+      completed operations, so the number of edges is linear in the
+      history length times the concurrency (not quadratic in the
+      history length);
+    - cycles are detected online with the Pearce–Kelly dynamic
+      topological-order algorithm, so each new edge costs amortized
+      far less than a full recheck.
+
+    The monitor is cross-validated against {!Fastcheck} by property
+    tests: on every prefix-closed history the final verdicts agree.
+
+    Precondition (as for {!Fastcheck}): written values are pairwise
+    distinct and distinct from the initial value.
+
+    {[
+      let m = Monitor.create ~init:0 in
+      List.iter
+        (fun ev ->
+          match Monitor.observe m ev with
+          | Monitor.Ok_so_far -> ()
+          | Monitor.Violation v ->
+            Fmt.epr "not atomic: %a@." (Fastcheck.pp_violation Fmt.int) v)
+        events
+    ]} *)
+
+type 'v t
+
+type 'v verdict =
+  | Ok_so_far
+  | Violation of 'v Fastcheck.violation
+
+val create : init:'v -> 'v t
+
+val observe : 'v t -> 'v Event.t -> 'v verdict
+(** Feed the next event.  Once a violation is reported the monitor
+    stays in that state.  Events must form an input-correct sequence;
+    improper sequences raise [Invalid_argument]. *)
+
+val observe_all : 'v t -> 'v Event.t list -> 'v verdict
+
+val verdict : 'v t -> 'v verdict
+
+val stats : 'v t -> int * int
+(** (nodes, edges) of the internal constraint graph — for tests and
+    reporting. *)

@@ -1,0 +1,115 @@
+type proc = Event.proc
+
+type 'v kind =
+  | Read_op
+  | Write_op of 'v
+
+type 'v t = {
+  id : int;
+  proc : proc;
+  kind : 'v kind;
+  result : 'v option;
+  inv : int;
+  resp : int option;
+}
+
+type 'v error =
+  | Double_invoke of proc * int
+  | Orphan_response of proc * int
+  | Kind_mismatch of proc * int
+
+let pp_error ppf = function
+  | Double_invoke (p, i) ->
+    Fmt.pf ppf "processor %d issues a second request at event %d" p i
+  | Orphan_response (p, i) ->
+    Fmt.pf ppf "processor %d acknowledged at event %d with no request" p i
+  | Kind_mismatch (p, i) ->
+    Fmt.pf ppf "processor %d: acknowledgment at event %d has wrong kind" p i
+
+let of_events events =
+  (* [pending] maps each processor to its in-flight operation, if any.
+     Processors are sequential, so one slot per processor suffices. *)
+  let pending = Hashtbl.create 16 in
+  let finished = ref [] in
+  let next_id = ref 0 in
+  let err = ref None in
+  let record_error e = if !err = None then err := Some e in
+  let handle i ev =
+    match ev with
+    | Event.Invoke (p, op) ->
+      if Hashtbl.mem pending p then record_error (Double_invoke (p, i))
+      else begin
+        let kind =
+          match op with
+          | Event.Read -> Read_op
+          | Event.Write v -> Write_op v
+        in
+        let o = { id = !next_id; proc = p; kind; result = None; inv = i; resp = None } in
+        incr next_id;
+        Hashtbl.replace pending p o
+      end
+    | Event.Respond (p, res) ->
+      (match Hashtbl.find_opt pending p with
+       | None -> record_error (Orphan_response (p, i))
+       | Some o ->
+         let ok =
+           match o.kind, res with
+           | Read_op, Some _ -> true
+           | Write_op _, None -> true
+           | Read_op, None | Write_op _, Some _ -> false
+         in
+         if not ok then record_error (Kind_mismatch (p, i))
+         else begin
+           Hashtbl.remove pending p;
+           finished := { o with result = res; resp = Some i } :: !finished
+         end)
+  in
+  List.iteri handle events;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    let pendings = Hashtbl.fold (fun _ o acc -> o :: acc) pending [] in
+    let ops =
+      List.sort (fun a b -> compare a.id b.id) (pendings @ !finished)
+    in
+    Ok ops
+
+let of_events_exn events =
+  match of_events events with
+  | Ok ops -> ops
+  | Error e -> invalid_arg (Fmt.str "Operation.of_events_exn: %a" pp_error e)
+
+let precedes a b =
+  match a.resp with
+  | None -> false
+  | Some r -> r < b.inv
+
+let is_pending o = o.resp = None
+
+let is_read o =
+  match o.kind with
+  | Read_op -> true
+  | Write_op _ -> false
+
+let is_write o = not (is_read o)
+
+let value_written o =
+  match o.kind with
+  | Write_op v -> Some v
+  | Read_op -> None
+
+let pp pp_v ppf o =
+  let pp_kind ppf = function
+    | Read_op -> Fmt.pf ppf "read"
+    | Write_op v -> Fmt.pf ppf "write(%a)" pp_v v
+  in
+  let pp_result ppf = function
+    | Some v -> Fmt.pf ppf " -> %a" pp_v v
+    | None -> ()
+  in
+  let pp_resp ppf = function
+    | Some r -> Fmt.pf ppf "%d" r
+    | None -> Fmt.pf ppf "pending"
+  in
+  Fmt.pf ppf "#%d p%d %a%a [%d,%a]" o.id o.proc pp_kind o.kind pp_result
+    o.result o.inv pp_resp o.resp

@@ -1,0 +1,56 @@
+(** Operations: matched request/acknowledgment pairs of a history.
+
+    Condition 1 of the paper's atomicity definition requires a
+    bijection between requests and acknowledgments on each channel such
+    that the acknowledgment matching a request is the first action on
+    that channel following it.  [of_events] computes exactly that
+    matching, rejecting histories that are not {i input-correct} (two
+    requests on one channel without an intervening acknowledgment, or
+    an acknowledgment with no outstanding request). *)
+
+type proc = Event.proc
+
+type 'v kind =
+  | Read_op
+  | Write_op of 'v
+
+type 'v t = {
+  id : int;  (** dense identifier, [0 .. n-1], in invocation order *)
+  proc : proc;
+  kind : 'v kind;
+  result : 'v option;
+      (** value returned by a completed read; [None] for writes and for
+          pending reads *)
+  inv : int;  (** index of the [Invoke] event in the history *)
+  resp : int option;  (** index of the matching [Respond], if any *)
+}
+
+type 'v error =
+  | Double_invoke of proc * int  (** second request with one in flight *)
+  | Orphan_response of proc * int  (** acknowledgment with no request *)
+  | Kind_mismatch of proc * int
+      (** read acknowledged as a write or vice versa *)
+
+val pp_error : 'v error Fmt.t
+
+val of_events : 'v Event.t list -> ('v t list, 'v error) result
+(** Match requests with acknowledgments.  Operations are returned in
+    invocation order; pending operations (no acknowledgment) have
+    [resp = None]. *)
+
+val of_events_exn : 'v Event.t list -> 'v t list
+(** @raise Invalid_argument on a non-input-correct history. *)
+
+val precedes : 'v t -> 'v t -> bool
+(** [precedes a b] iff [a]'s acknowledgment occurs before [b]'s request
+    — the paper's real-time precedence on operations.  Pending
+    operations precede nothing. *)
+
+val is_pending : 'v t -> bool
+val is_read : 'v t -> bool
+val is_write : 'v t -> bool
+
+val value_written : 'v t -> 'v option
+(** [Some v] for a write of [v], [None] for reads. *)
+
+val pp : 'v Fmt.t -> 'v t Fmt.t

@@ -1,0 +1,26 @@
+type 'v outcome =
+  | Legal
+  | Bad_read of { id : int; expected : 'v; got : 'v }
+
+let run ~init ops =
+  let rec go value = function
+    | [] -> Legal
+    | (o : 'v Operation.t) :: rest ->
+      (match o.Operation.kind with
+       | Operation.Write_op v -> go v rest
+       | Operation.Read_op ->
+         (match o.Operation.result with
+          | None -> go value rest (* pending read constrains nothing *)
+          | Some got ->
+            if got = value then go value rest
+            else Bad_read { id = o.Operation.id; expected = value; got }))
+  in
+  go init ops
+
+let is_legal ~init ops = run ~init ops = Legal
+
+let pp_outcome pp_v ppf = function
+  | Legal -> Fmt.pf ppf "legal"
+  | Bad_read { id; expected; got } ->
+    Fmt.pf ppf "operation #%d read %a but the register held %a" id pp_v got
+      pp_v expected

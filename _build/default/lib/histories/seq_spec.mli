@@ -1,0 +1,18 @@
+(** The sequential register specification — the paper's
+    {i register property}: a read returns the value written by the
+    latest preceding write, or the initial value if there is none. *)
+
+type 'v outcome =
+  | Legal
+  | Bad_read of { id : int; expected : 'v; got : 'v }
+      (** operation [id] read [got] where the register held
+          [expected] *)
+
+val run : init:'v -> 'v Operation.t list -> 'v outcome
+(** Interpret the operations as a {e sequential} execution, in list
+    order, against a single-processor register initialised to [init].
+    Only the order of the list matters; event indices are ignored. *)
+
+val is_legal : init:'v -> 'v Operation.t list -> bool
+
+val pp_outcome : 'v Fmt.t -> 'v outcome Fmt.t

@@ -1,0 +1,95 @@
+type 'v violation = {
+  read_id : int;
+  got : 'v;
+  allowed : 'v list;
+}
+
+type 'v verdict =
+  | Ok_weak
+  | Not_single_writer
+  | Bad_read of 'v violation
+
+let pp_verdict pp_v ppf = function
+  | Ok_weak -> Fmt.pf ppf "ok"
+  | Not_single_writer -> Fmt.pf ppf "writes are concurrent (not SWMR)"
+  | Bad_read { read_id; got; allowed } ->
+    Fmt.pf ppf "read #%d returned %a, allowed: %a" read_id pp_v got
+      Fmt.(Dump.list pp_v) allowed
+
+(* Writes must be totally ordered in real time (single writer). *)
+let sorted_writes ops =
+  let writes = List.filter Operation.is_write ops in
+  let sorted =
+    List.sort (fun (a : 'v Operation.t) b -> compare a.Operation.inv b.Operation.inv) writes
+  in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) ->
+      if Operation.precedes a b then disjoint rest else None
+    | [ _ ] | [] -> Some sorted
+  in
+  disjoint sorted
+
+let analyse ~init ops ~judge =
+  match sorted_writes ops with
+  | None -> Not_single_writer
+  | Some writes ->
+    let value_of (w : 'v Operation.t) =
+      match w.Operation.kind with
+      | Operation.Write_op v -> v
+      | Operation.Read_op -> assert false
+    in
+    let reads =
+      List.filter
+        (fun o -> Operation.is_read o && not (Operation.is_pending o))
+        ops
+    in
+    let check_read acc (r : 'v Operation.t) =
+      match acc with
+      | Bad_read _ | Not_single_writer -> acc
+      | Ok_weak ->
+        let preceding =
+          List.fold_left
+            (fun last w -> if Operation.precedes w r then Some w else last)
+            None writes
+        in
+        let overlapping =
+          List.filter
+            (fun w ->
+              (not (Operation.precedes w r)) && not (Operation.precedes r w))
+            writes
+        in
+        let preceding_value =
+          match preceding with
+          | Some w -> value_of w
+          | None -> init
+        in
+        let got =
+          match r.Operation.result with
+          | Some v -> v
+          | None -> assert false
+        in
+        judge ~read_id:r.Operation.id ~got ~preceding_value
+          ~overlapping_values:(List.map value_of overlapping)
+    in
+    List.fold_left check_read Ok_weak reads
+
+let check_regular ~init ops =
+  let judge ~read_id ~got ~preceding_value ~overlapping_values =
+    if got = preceding_value || List.mem got overlapping_values then Ok_weak
+    else
+      Bad_read { read_id; got; allowed = preceding_value :: overlapping_values }
+  in
+  analyse ~init ops ~judge
+
+let check_safe ~init ops =
+  let judge ~read_id ~got ~preceding_value ~overlapping_values =
+    match overlapping_values with
+    | _ :: _ -> Ok_weak (* overlapped: any value in the domain is legal *)
+    | [] ->
+      if got = preceding_value then Ok_weak
+      else Bad_read { read_id; got; allowed = [ preceding_value ] }
+  in
+  analyse ~init ops ~judge
+
+let is_regular ~init ops = check_regular ~init ops = Ok_weak
+let is_safe ~init ops = check_safe ~init ops = Ok_weak

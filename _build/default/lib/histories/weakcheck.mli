@@ -1,0 +1,37 @@
+(** Checkers for Lamport's two weaker single-writer register models,
+    used to validate the register-simulation tower the paper's
+    footnote 3 alludes to.
+
+    Both models are defined for a {e single} writer, so the writes of a
+    history are totally ordered in real time; we verify that and then
+    check each completed read [r] against
+
+    - the {e preceding} write: the last write acknowledged before [r]
+      was invoked (or the initial value);
+    - the {e overlapping} writes: writes neither entirely before nor
+      entirely after [r].
+
+    A {b regular} register must return the preceding value or the value
+    of an overlapping write.  A {b safe} register must return the
+    preceding value whenever no write overlaps the read, and may return
+    anything (within the domain, which we do not restrict here) when
+    one does. *)
+
+type 'v violation = {
+  read_id : int;
+  got : 'v;
+  allowed : 'v list;  (** the values the model permitted *)
+}
+
+type 'v verdict =
+  | Ok_weak
+  | Not_single_writer
+  | Bad_read of 'v violation
+
+val check_regular : init:'v -> 'v Operation.t list -> 'v verdict
+val check_safe : init:'v -> 'v Operation.t list -> 'v verdict
+
+val is_regular : init:'v -> 'v Operation.t list -> bool
+val is_safe : init:'v -> 'v Operation.t list -> bool
+
+val pp_verdict : 'v Fmt.t -> 'v verdict Fmt.t

@@ -1,0 +1,1 @@
+lib/ioa/automaton.ml: Fmt List

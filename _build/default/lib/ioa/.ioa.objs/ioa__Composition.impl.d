@@ -1,0 +1,1 @@
+lib/ioa/composition.ml: Array Automaton Fmt List Marshal Obj

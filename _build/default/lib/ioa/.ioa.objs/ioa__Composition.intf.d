@@ -1,0 +1,1 @@
+lib/ioa/composition.mli: Automaton

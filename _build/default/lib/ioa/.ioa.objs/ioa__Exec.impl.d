@@ -1,0 +1,1 @@
+lib/ioa/exec.ml: Automaton List Random

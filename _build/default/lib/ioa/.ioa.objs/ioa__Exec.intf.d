@@ -1,0 +1,1 @@
+lib/ioa/exec.mli: Automaton

@@ -1,0 +1,1 @@
+lib/ioa/reachability.ml: Array Automaton Composition Hashtbl List Option Queue

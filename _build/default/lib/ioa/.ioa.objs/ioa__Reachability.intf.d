@@ -1,0 +1,1 @@
+lib/ioa/reachability.mli: Automaton Composition

@@ -1,0 +1,35 @@
+type kind =
+  | Input
+  | Output
+  | Internal
+
+type ('s, 'a) t = {
+  name : string;
+  init : 's;
+  classify : 'a -> kind option;
+  enabled : 's -> 'a list;
+  step : 's -> 'a -> 's option;
+}
+
+let kind_of t a = t.classify a
+
+let in_signature t a = t.classify a <> None
+
+let check_input_enabled t ~states ~actions =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun a ->
+          match t.classify a with
+          | Some Input ->
+            if t.step s a = None then
+              invalid_arg
+                (Fmt.str "automaton %s is not input-enabled" t.name)
+          | Some Output | Some Internal | None -> ())
+        actions)
+    states
+
+let pp_kind ppf = function
+  | Input -> Fmt.string ppf "input"
+  | Output -> Fmt.string ppf "output"
+  | Internal -> Fmt.string ppf "internal"

@@ -1,0 +1,42 @@
+(** The simplified Lynch–Tuttle I/O automaton model of the paper's
+    Section 2.
+
+    An automaton has a state, an action alphabet partitioned into
+    input, output and internal actions, and a labelled transition
+    relation.  Inputs must be enabled in every state
+    ({e input-enabledness}); outputs and internal actions are
+    {e locally controlled}.
+
+    The action type ['a] is shared by all automata of a system; an
+    automaton's signature is carried by its [classify] function, which
+    returns [None] for actions outside its alphabet. *)
+
+type kind =
+  | Input
+  | Output
+  | Internal
+
+type ('s, 'a) t = {
+  name : string;
+  init : 's;
+  classify : 'a -> kind option;
+      (** [None] when the action is not in this automaton's alphabet *)
+  enabled : 's -> 'a list;
+      (** the locally-controlled (output/internal) actions enabled in a
+          state; input actions are always enabled and not listed *)
+  step : 's -> 'a -> 's option;
+      (** the transition relation; [None] when there is no [a]-labelled
+          transition from the state.  Deterministic per (state, action)
+          — sufficient for register protocols. *)
+}
+
+val kind_of : ('s, 'a) t -> 'a -> kind option
+
+val in_signature : ('s, 'a) t -> 'a -> bool
+
+val check_input_enabled : ('s, 'a) t -> states:'s list -> actions:'a list -> unit
+(** Spot-check input-enabledness on given states and actions.
+    @raise Invalid_argument naming the automaton and action on a
+    violation. *)
+
+val pp_kind : kind Fmt.t

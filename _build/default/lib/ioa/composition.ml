@@ -1,0 +1,103 @@
+type 'a component = Component : ('s, 'a) Automaton.t -> 'a component
+
+type 'a bound = B : ('s, 'a) Automaton.t * 's -> 'a bound
+
+type 'a state = 'a bound array
+
+let size = Array.length
+
+let state_key st =
+  let payloads = Array.map (fun (B (_, s)) -> Obj.repr s) st in
+  Marshal.to_string payloads []
+
+let component_names st =
+  Array.to_list (Array.map (fun (B (auto, _)) -> auto.Automaton.name) st)
+
+let classify_one (Component auto) a = auto.Automaton.classify a
+
+let compose ~name components =
+  let components = Array.of_list components in
+  let init =
+    Array.map (fun (Component auto) -> B (auto, auto.Automaton.init)) components
+  in
+  let classify a =
+    let fold (outs, ints, ins) c =
+      match classify_one c a with
+      | Some Automaton.Output -> (outs + 1, ints, ins)
+      | Some Automaton.Internal -> (outs, ints + 1, ins)
+      | Some Automaton.Input -> (outs, ints, ins + 1)
+      | None -> (outs, ints, ins)
+    in
+    let outs, ints, ins = Array.fold_left fold (0, 0, 0) components in
+    if outs > 1 then
+      invalid_arg (Fmt.str "composition %s: two components output one action" name)
+    else if ints > 0 && (outs > 0 || ins > 0 || ints > 1) then
+      invalid_arg
+        (Fmt.str "composition %s: internal action shared between components"
+           name)
+    else if outs = 1 then Some Automaton.Output
+    else if ints = 1 then Some Automaton.Internal
+    else if ins > 0 then Some Automaton.Input
+    else None
+  in
+  let enabled st =
+    Array.to_list st
+    |> List.concat_map (fun (B (auto, s)) -> auto.Automaton.enabled s)
+  in
+  let step st a =
+    (* The owner (output/internal component) must be able to take the
+       action; every component with it as input must accept it
+       (input-enabledness); others do not move. *)
+    let blocked = ref false in
+    let st' =
+      Array.map
+        (fun (B (auto, s) as b) ->
+          match auto.Automaton.classify a with
+          | None -> b
+          | Some k ->
+            (match auto.Automaton.step s a with
+             | Some s' -> B (auto, s')
+             | None ->
+               (match k with
+                | Automaton.Input ->
+                  invalid_arg
+                    (Fmt.str "automaton %s is not input-enabled"
+                       auto.Automaton.name)
+                | Automaton.Output | Automaton.Internal ->
+                  blocked := true;
+                  b)))
+        st
+    in
+    if !blocked then None else Some st'
+  in
+  { Automaton.name; init; classify; enabled; step }
+
+let hide auto pred =
+  {
+    auto with
+    Automaton.classify =
+      (fun a ->
+        match auto.Automaton.classify a with
+        | Some Automaton.Output when pred a -> Some Automaton.Internal
+        | other -> other);
+  }
+
+let check_compatible components ~actions =
+  List.iter
+    (fun a ->
+      let owners =
+        List.filter
+          (fun c -> classify_one c a = Some Automaton.Output)
+          components
+      and internals =
+        List.filter
+          (fun c -> classify_one c a = Some Automaton.Internal)
+          components
+      and touching =
+        List.filter (fun c -> classify_one c a <> None) components
+      in
+      if List.length owners > 1 then
+        invalid_arg "check_compatible: shared output action";
+      if List.length internals > 0 && List.length touching > 1 then
+        invalid_arg "check_compatible: internal action not private")
+    actions

@@ -1,0 +1,43 @@
+(** Composition of I/O automata (Section 2): components synchronise on
+    shared actions — one component's output is everyone else's input —
+    and the composite's locally-controlled actions are the union of the
+    components'.
+
+    Heterogeneous state types are packed existentially; the composite
+    is itself an [Automaton.t] whose state is the vector of component
+    states, so compositions nest. *)
+
+type 'a component = Component : ('s, 'a) Automaton.t -> 'a component
+
+type 'a state
+(** Vector of component states. *)
+
+val compose : name:string -> 'a component list -> ('a state, 'a) Automaton.t
+(** Compose.  An action is an output (resp. internal) of the composite
+    iff it is an output (internal) of some component; shared
+    output/input pairs remain outputs here — use {!hide} for the
+    channel convention that shared actions become internal.
+
+    @raise Invalid_argument if two components share an output action or
+    an internal action of one is in another's alphabet, detected lazily
+    at [step]/[classify] time on the offending action. *)
+
+val hide : ('s, 'a) Automaton.t -> ('a -> bool) -> ('s, 'a) Automaton.t
+(** Reclassify matching output actions as internal (the paper's
+    "channel" convention: actions shared between two automata of the
+    system are internal to the composition). *)
+
+val check_compatible : 'a component list -> actions:'a list -> unit
+(** Check signature compatibility on a given action list.
+    @raise Invalid_argument on two components sharing an output, or on
+    an internal action appearing in another component's alphabet. *)
+
+val size : 'a state -> int
+(** Number of components. *)
+
+val state_key : 'a state -> string
+(** Serialise the vector of component states for hashing/deduplication
+    (used by {!Reachability}).  Requires component states to contain no
+    functional values — true of ordinary record/variant state types. *)
+
+val component_names : 'a state -> string list

@@ -1,0 +1,43 @@
+type 'a scheduler = step:int -> 'a list -> 'a option
+
+let random_scheduler ~seed =
+  let rng = Random.State.make [| seed |] in
+  fun ~step:_ enabled ->
+    match enabled with
+    | [] -> None
+    | _ -> Some (List.nth enabled (Random.State.int rng (List.length enabled)))
+
+let rotating_scheduler () =
+  fun ~step enabled ->
+    match enabled with
+    | [] -> None
+    | _ -> Some (List.nth enabled (step mod List.length enabled))
+
+let scripted_scheduler script =
+  let remaining = ref script in
+  fun ~step:_ enabled ->
+    match !remaining with
+    | [] -> None
+    | pred :: rest ->
+      remaining := rest;
+      (match List.find_opt pred enabled with
+       | Some a -> Some a
+       | None -> invalid_arg "scripted_scheduler: no enabled action matches")
+
+let run ?(max_steps = 100_000) ~scheduler auto =
+  let rec go state n acc =
+    if n >= max_steps then (state, List.rev acc)
+    else
+      match scheduler ~step:n (auto.Automaton.enabled state) with
+      | None -> (state, List.rev acc)
+      | Some a ->
+        (match auto.Automaton.step state a with
+         | None -> invalid_arg "Exec.run: scheduler chose a disabled action"
+         | Some state' -> go state' (n + 1) (a :: acc))
+  in
+  go auto.Automaton.init 0 []
+
+let external_schedule auto schedule =
+  List.filter
+    (fun a -> auto.Automaton.classify a <> Some Automaton.Internal)
+    schedule

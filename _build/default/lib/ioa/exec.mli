@@ -1,0 +1,35 @@
+(** Executions, schedules and external schedules (Section 2).
+
+    An execution is an alternating sequence of states and actions; a
+    schedule drops the states; an external schedule additionally drops
+    the internal actions.  A fair execution lets every component that
+    wants to take a step eventually take one — the random and
+    round-robin schedulers below are fair with probability 1 /
+    deterministically on finite runs to quiescence. *)
+
+type 'a scheduler = step:int -> 'a list -> 'a option
+(** Given the step number and the currently enabled locally-controlled
+    actions, choose one ([None] stops the run). *)
+
+val random_scheduler : seed:int -> 'a scheduler
+(** Uniform choice — fair with probability 1. *)
+
+val rotating_scheduler : unit -> 'a scheduler
+(** Deterministically fair: cycles through enabled actions by
+    position offset. *)
+
+val scripted_scheduler : ('a -> bool) list -> 'a scheduler
+(** Adversarial replay: step [k] picks the first enabled action
+    matching the [k]-th predicate; stops when the script ends.
+    @raise Invalid_argument when no enabled action matches. *)
+
+val run :
+  ?max_steps:int ->
+  scheduler:'a scheduler ->
+  ('s, 'a) Automaton.t ->
+  's * 'a list
+(** Run from the initial state until quiescence, scheduler stop, or
+    [max_steps]; returns the final state and the schedule. *)
+
+val external_schedule : ('s, 'a) Automaton.t -> 'a list -> 'a list
+(** Drop the automaton's internal actions. *)

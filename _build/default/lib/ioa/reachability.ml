@@ -1,0 +1,78 @@
+type summary = {
+  states : int;
+  transitions : int;
+  quiescent : int;
+  always_quiesces : bool;
+  truncated : bool;
+}
+
+let composition_key = Composition.state_key
+
+let explore ?(max_states = 1_000_000) ~key auto =
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let preds : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+  let quiescent = ref [] in
+  let transitions = ref 0 in
+  let truncated = ref false in
+  let next_id = ref 0 in
+  let queue = Queue.create () in
+  let intern s =
+    let k = key s in
+    match Hashtbl.find_opt seen k with
+    | Some id -> (id, false)
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace seen k id;
+      (id, true)
+  in
+  let id0, _ = intern auto.Automaton.init in
+  Queue.add (auto.Automaton.init, id0) queue;
+  while not (Queue.is_empty queue) do
+    let s, id = Queue.pop queue in
+    if !next_id > max_states then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
+      let enabled = auto.Automaton.enabled s in
+      if enabled = [] then quiescent := id :: !quiescent;
+      List.iter
+        (fun a ->
+          match auto.Automaton.step s a with
+          | None -> ()
+          | Some s' ->
+            incr transitions;
+            let id', fresh = intern s' in
+            Hashtbl.replace preds id'
+              (id :: Option.value ~default:[] (Hashtbl.find_opt preds id'));
+            if fresh then Queue.add (s', id') queue)
+        enabled
+    end
+  done;
+  (* backward reachability from the quiescent states *)
+  let n = !next_id in
+  let can_quiesce = Array.make n false in
+  let stack = ref !quiescent in
+  let rec sweep () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+      stack := rest;
+      if not can_quiesce.(id) then begin
+        can_quiesce.(id) <- true;
+        List.iter
+          (fun p -> if not can_quiesce.(p) then stack := p :: !stack)
+          (Option.value ~default:[] (Hashtbl.find_opt preds id))
+      end;
+      sweep ()
+  in
+  sweep ();
+  {
+    states = n;
+    transitions = !transitions;
+    quiescent = List.length !quiescent;
+    always_quiesces =
+      (not !truncated) && Array.for_all (fun b -> b) can_quiesce;
+    truncated = !truncated;
+  }

@@ -1,0 +1,35 @@
+(** Explicit-state reachability analysis of closed I/O-automaton
+    systems.
+
+    Explores every state reachable through locally-controlled actions
+    (a closed composition has no free inputs), deduplicating via a
+    caller-supplied key.  On the explored graph it decides the
+    progress property behind the paper's termination claim ("each call
+    to the subroutines of the protocol returns; therefore each request
+    is eventually acknowledged"):
+
+    {e from every reachable state, a quiescent state is reachable} —
+    together with fairness this implies every fair execution of the
+    system quiesces, i.e. no deadlock and no livelock. *)
+
+type summary = {
+  states : int;  (** reachable states *)
+  transitions : int;
+  quiescent : int;  (** states with no enabled action *)
+  always_quiesces : bool;
+      (** every reachable state can reach a quiescent one *)
+  truncated : bool;  (** hit [max_states] before finishing *)
+}
+
+val explore :
+  ?max_states:int ->
+  key:('s -> string) ->
+  ('s, 'a) Automaton.t ->
+  summary
+(** Breadth-first exploration from the initial state
+    ([max_states] defaults to 1_000_000). *)
+
+val composition_key : 'a Composition.state -> string
+(** A state key for compositions whose component states contain no
+    functional values (true of all automata in this repository):
+    marshals the vector of component states. *)

@@ -1,0 +1,1 @@
+lib/modelcheck/explorer.ml: Array Atomic Domain Histories List Mutex Registers

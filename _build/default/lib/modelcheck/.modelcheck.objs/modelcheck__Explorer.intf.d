@@ -1,0 +1,1 @@
+lib/modelcheck/explorer.mli: Histories Registers

@@ -1,0 +1,1 @@
+lib/modelcheck/synthesis_check.ml: Core Explorer Histories List Registers

@@ -1,0 +1,1 @@
+lib/modelcheck/synthesis_check.mli: Core Registers

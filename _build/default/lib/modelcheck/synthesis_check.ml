@@ -1,0 +1,69 @@
+module Vm = Registers.Vm
+
+let screening_workloads =
+  let open Histories.Event in
+  [
+    [ { Vm.proc = 0; script = [ Write 10 ] };
+      { Vm.proc = 1; script = [ Write 20 ] };
+      { Vm.proc = 2; script = [ Read ] };
+      { Vm.proc = 3; script = [ Read ] } ];
+    [ { Vm.proc = 0; script = [ Write 10; Write 11 ] };
+      { Vm.proc = 1; script = [ Write 20; Write 21 ] };
+      { Vm.proc = 2; script = [ Read; Read ] } ];
+  ]
+
+let survives c =
+  List.for_all
+    (fun procs ->
+      Explorer.find_violation ~init:0 (Core.Synthesis.build c ~init:0) procs
+      = None)
+    screening_workloads
+
+let survivors () = List.filter survives Core.Synthesis.all
+
+let extended_workloads =
+  let open Histories.Event in
+  [
+    [ { Vm.proc = 0; script = [ Write 10 ] };
+      { Vm.proc = 1; script = [ Write 20 ] };
+      { Vm.proc = 2; script = [ Read ] };
+      { Vm.proc = 3; script = [ Read ] } ];
+    [ { Vm.proc = 0; script = [ Write 10; Write 11 ] };
+      { Vm.proc = 1; script = [ Write 20; Write 21 ] };
+      { Vm.proc = 2; script = [ Read ] } ];
+  ]
+
+let survives_extended e =
+  List.for_all
+    (fun procs ->
+      Explorer.find_violation ~init:0
+        (Core.Synthesis.build_extended e ~init:0)
+        procs
+      = None)
+    extended_workloads
+
+let extended_survivors () =
+  List.filter survives_extended Core.Synthesis.all_extended
+
+let deep_workloads =
+  let open Histories.Event in
+  [
+    [ { Vm.proc = 0; script = [ Write 10; Write 11; Write 12 ] };
+      { Vm.proc = 1; script = [ Write 20 ] };
+      { Vm.proc = 2; script = [ Read ] } ];
+    [ { Vm.proc = 0; script = [ Write 10 ] };
+      { Vm.proc = 1; script = [ Write 20; Write 21; Write 22 ] };
+      { Vm.proc = 2; script = [ Read ] } ];
+    [ { Vm.proc = 0; script = [ Write 10; Write 11; Write 12 ] };
+      { Vm.proc = 1; script = [ Write 20; Write 21 ] };
+      { Vm.proc = 2; script = [ Read ] } ];
+  ]
+
+let survives_deep e =
+  List.for_all
+    (fun procs ->
+      Explorer.find_violation ~init:0
+        (Core.Synthesis.build_extended e ~init:0)
+        procs
+      = None)
+    deep_workloads

@@ -1,0 +1,35 @@
+(** Model checking over the {!Core.Synthesis} candidate family.
+
+    Lives here (rather than in [core]) to keep the dependency direction
+    protocol -> checker. *)
+
+val survives : Core.Synthesis.candidate -> bool
+(** Exhaustively atomic on two screening workloads: one write each with
+    two readers (25 200 interleavings), then two writes each with one
+    reader (210 210 interleavings). *)
+
+val survivors : unit -> Core.Synthesis.candidate list
+(** Filter all 256 candidates through {!survives} — a few seconds of
+    model checking. *)
+
+val survives_extended : Core.Synthesis.extended -> bool
+(** Two screening workloads: one write each with two readers (369 600
+    interleavings) and two writes each with one reader (420 420). *)
+
+val extended_survivors : unit -> Core.Synthesis.extended list
+(** Filter all 4096 extended candidates (a minute or two of model
+    checking — most die within a few hundred executions).
+
+    Four candidates survive this screening: the embeddings of the
+    paper's protocol and its dual, plus two NAND-based tables that
+    genuinely consult the writer's own tag.  The NAND pair is a
+    {e bounded-checking artifact}: it passes every workload with at
+    most two writes per writer and is killed by {!survives_deep}'s
+    three-writes-deep workloads — a caution about exhaustive checking
+    at insufficient depth. *)
+
+val deep_workloads : int Registers.Vm.process list list
+(** Asymmetric-depth workloads (up to three writes by one writer) that
+    separate the true survivors from the depth-2 artifacts. *)
+
+val survives_deep : Core.Synthesis.extended -> bool

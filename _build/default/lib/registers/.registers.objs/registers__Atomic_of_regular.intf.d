@@ -1,0 +1,1 @@
+lib/registers/atomic_of_regular.mli: Vm

@@ -1,0 +1,1 @@
+lib/registers/dup_mrsw.ml: Array Vm

@@ -1,0 +1,1 @@
+lib/registers/mrsw_of_srsw.ml: Array Vm

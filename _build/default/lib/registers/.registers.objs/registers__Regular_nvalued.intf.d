@@ -1,0 +1,1 @@
+lib/registers/regular_nvalued.mli: Vm

@@ -1,0 +1,1 @@
+lib/registers/regular_of_safe.mli: Vm

@@ -1,0 +1,1 @@
+lib/registers/run_coarse.mli: Histories Vm

@@ -1,0 +1,1 @@
+lib/registers/run_fine.ml: Array Fmt Hashtbl Histories List Random Vm

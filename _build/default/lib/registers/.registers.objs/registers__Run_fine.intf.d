@@ -1,0 +1,1 @@
+lib/registers/run_fine.mli: Histories Vm

@@ -1,0 +1,1 @@
+lib/registers/safe_nvalued.ml: Array Vm

@@ -1,0 +1,1 @@
+lib/registers/shm_atomic.mli:

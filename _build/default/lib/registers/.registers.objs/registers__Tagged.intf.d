@@ -1,0 +1,1 @@
+lib/registers/tagged.mli: Fmt

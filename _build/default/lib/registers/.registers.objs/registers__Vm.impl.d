@@ -1,0 +1,1 @@
+lib/registers/vm.ml: Array Fmt Hashtbl Histories List

@@ -1,0 +1,1 @@
+lib/registers/vm.mli: Fmt Histories

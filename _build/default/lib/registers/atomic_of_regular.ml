@@ -1,0 +1,19 @@
+let build ~init =
+  let seq = ref 0 in
+  let seen = ref (init, 0) in
+  {
+    Vm.spec = [| { Vm.sem = Vm.Regular; init = (init, 0); domain = [] } |];
+    read =
+      (fun ~proc:_ ->
+        Vm.bind (Vm.read 0) (fun (v, s) ->
+            let _, s_seen = !seen in
+            if s > s_seen then begin
+              seen := (v, s);
+              Vm.return v
+            end
+            else Vm.return (fst !seen)));
+    write =
+      (fun ~proc:_ v ->
+        incr seq;
+        Vm.write 0 (v, !seq));
+  }

@@ -1,0 +1,19 @@
+(** An {e atomic} SRSW register from one {e regular} SRSW cell, using
+    unbounded sequence numbers.
+
+    The writer stamps each value with an increasing sequence number.
+    The single reader remembers the highest-stamped pair it has
+    returned and never goes back: a regular read returns either the
+    last preceding write or an overlapping one, so stamps seen by the
+    reader can only repeat or grow, and the monotonic filter rules out
+    the sole non-atomic behaviour of a regular register — new-then-old
+    across two reads.
+
+    (Lamport gives a bounded construction; the unbounded-stamp version
+    is the textbook one and keeps the tower simple.  The paper never
+    relies on how its real registers are implemented.) *)
+
+val build : init:'v -> ('v * int, 'v) Vm.built
+(** One writer, {b one} reader (the reader's memory is the single local
+    state; with several readers each would need its own — use
+    {!Mrsw_of_srsw} on top for that). *)

@@ -1,0 +1,16 @@
+let build ~sem ~readers ~init ~domain =
+  if readers <= 0 then invalid_arg "Dup_mrsw.build";
+  let spec = Array.init readers (fun _ -> { Vm.sem; init; domain }) in
+  let read ~proc =
+    if proc < 0 || proc >= readers then
+      invalid_arg "Dup_mrsw.read: proc out of range";
+    Vm.read proc
+  in
+  let write ~proc:_ v =
+    let rec fan i =
+      if i >= readers then Vm.return ()
+      else Vm.bind (Vm.write i v) (fun () -> fan (i + 1))
+    in
+    fan 0
+  in
+  { Vm.spec; read; write }

@@ -1,0 +1,15 @@
+(** n-reader safe/regular registers from 1-reader cells by duplication
+    ([L2], construction 1): one cell per reader; the writer writes all
+    of them, reader [i] reads only cell [i].
+
+    This preserves safeness and regularity (each reader's cell receives
+    exactly the writer's sequence of values) but {e not} atomicity —
+    two readers can disagree about the order of a write, which is the
+    gap the rest of the simulation tower exists to close. *)
+
+val build :
+  sem:Vm.sem -> readers:int -> init:'c -> domain:'c list -> ('c, 'c) Vm.built
+(** Reader processors are [0 .. readers-1]; a read's [~proc] must be
+    the reader index.  [sem] is the semantics of the underlying cells
+    (and hence of the result).
+    @raise Invalid_argument if [readers <= 0]. *)

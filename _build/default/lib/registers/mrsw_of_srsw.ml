@@ -1,0 +1,44 @@
+(* Cell layout: w2r.(i) = i for i < n; r2r.(i).(j) = n + i*n + j. *)
+let build ~readers:n ~init =
+  if n <= 0 then invalid_arg "Mrsw_of_srsw.build";
+  let w2r i = i in
+  let r2r i j = n + (i * n) + j in
+  let ncells = n + (n * n) in
+  let spec =
+    Array.init ncells (fun _ ->
+        { Vm.sem = Vm.Atomic; init = (init, 0); domain = [] })
+  in
+  let seq = ref 0 in
+  let read ~proc =
+    if proc < 0 || proc >= n then
+      invalid_arg "Mrsw_of_srsw.read: proc out of range";
+    (* Collect the writer's cell and the other readers' announcements. *)
+    let rec collect best j =
+      if j > n then Vm.return best
+      else
+        let cell = if j = n then w2r proc else r2r j proc in
+        if j < n && j = proc then collect best (j + 1)
+        else
+          Vm.bind (Vm.read cell) (fun (v, s) ->
+              let _, s_best = best in
+              collect (if s > s_best then (v, s) else best) (j + 1))
+    in
+    Vm.bind (collect (init, min_int) 0) (fun (v, s) ->
+        (* Announce before returning. *)
+        let rec announce j =
+          if j >= n then Vm.return v
+          else if j = proc then announce (j + 1)
+          else Vm.bind (Vm.write (r2r proc j) (v, s)) (fun () -> announce (j + 1))
+        in
+        announce 0)
+  in
+  let write ~proc:_ v =
+    incr seq;
+    let stamped = (v, !seq) in
+    let rec fan i =
+      if i >= n then Vm.return ()
+      else Vm.bind (Vm.write (w2r i) stamped) (fun () -> fan (i + 1))
+    in
+    fan 0
+  in
+  { Vm.spec; read; write }

@@ -1,0 +1,18 @@
+(** An [n]-reader atomic register from SRSW atomic cells — the classic
+    construction with reader-to-reader communication (cf. the paper's
+    reference [BP] and the standard textbook algorithm).
+
+    Cells: [w2r.(i)] carries the writer's latest stamped value to
+    reader [i]; [r2r.(i).(j)] carries the stamped value reader [i] last
+    returned, to reader [j].  A reader takes the maximum stamp among
+    its incoming cells, {e announces} it to the other readers, and
+    returns it; announcing is what prevents a new-then-old inversion
+    between two sequential readers.
+
+    The stamped values make every written value unique, so histories
+    can be checked with the fast unique-value checker. *)
+
+val build : readers:int -> init:'v -> ('v * int, 'v) Vm.built
+(** Register readable by processors [0 .. readers-1]; the [~proc]
+    argument of a read {b must} be the reader's index.  Any single
+    processor may write.  Fresh local state per call. *)

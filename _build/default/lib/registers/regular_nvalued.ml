@@ -1,0 +1,22 @@
+let build ~n ~init =
+  if init < 0 || init >= n then invalid_arg "Regular_nvalued.build";
+  let spec =
+    Array.init n (fun i ->
+        { Vm.sem = Vm.Regular; init = (i = init); domain = [ false; true ] })
+  in
+  let read ~proc:_ =
+    let rec scan i =
+      if i >= n then assert false (* some bit is always set *)
+      else Vm.bind (Vm.read i) (fun b -> if b then Vm.return i else scan (i + 1))
+    in
+    scan 0
+  in
+  let write ~proc:_ v =
+    if v < 0 || v >= n then invalid_arg "Regular_nvalued.write: out of range";
+    let rec clear i =
+      if i < 0 then Vm.return ()
+      else Vm.bind (Vm.write i false) (fun () -> clear (i - 1))
+    in
+    Vm.bind (Vm.write v true) (fun () -> clear (v - 1))
+  in
+  { Vm.spec; read; write }

@@ -1,0 +1,13 @@
+(** Lamport's construction of an [n]-valued regular SRSW register from
+    [n] regular boolean cells ([L2], construction 4): value [v] is
+    represented in unary by bit [v].
+
+    Write [v]: set bit [v], then clear bits [v-1] down to [0].
+    Read: scan bits upward from [0] and return the index of the first
+    set bit.  Clearing happens only below a freshly set bit, so a
+    reader that saw only zeroes below always finds a set bit at or
+    below the top. *)
+
+val build : n:int -> init:int -> (bool, int) Vm.built
+(** Register over values [0 .. n-1], initially [init].
+    @raise Invalid_argument unless [0 <= init < n]. *)

@@ -1,0 +1,13 @@
+let build ~init =
+  let last = ref init in
+  {
+    Vm.spec = [| { Vm.sem = Vm.Safe; init; domain = [ false; true ] } |];
+    read = (fun ~proc:_ -> Vm.read 0);
+    write =
+      (fun ~proc:_ v ->
+        if v = !last then Vm.return ()
+        else begin
+          last := v;
+          Vm.write 0 v
+        end);
+  }

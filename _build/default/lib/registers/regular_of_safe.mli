@@ -1,0 +1,14 @@
+(** Lamport's construction of a {e regular} boolean SRSW register from
+    one {e safe} boolean SRSW cell ([L2], construction 3).
+
+    The writer keeps a local copy of the last value it wrote and only
+    touches the shared cell when the value actually changes.  A read
+    that overlaps a write may then return either boolean — but both are
+    legal regular answers, because a write that changes the value makes
+    its old and new values the preceding and overlapping values, and a
+    skipped write leaves the cell untouched (no overlap at the cell at
+    all). *)
+
+val build : init:bool -> (bool, bool) Vm.built
+(** Single writer, any number of readers.  Fresh local state per call:
+    build one per run. *)

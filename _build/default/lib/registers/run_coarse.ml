@@ -1,0 +1,149 @@
+exception Not_atomic_cells
+
+type ('c, 'v) proc_state = {
+  proc : Histories.Event.proc;
+  mutable script : 'v Histories.Event.op list;
+  mutable cur : ('c, 'v option) Vm.prog option;
+      (* invariant: never [Some (Ret _)] *)
+  mutable prims : int;
+  mutable crashed : bool;
+}
+
+let check_atomic (built : ('c, 'v) Vm.built) =
+  Array.iter
+    (fun (s : 'c Vm.cell_spec) ->
+      match s.Vm.sem with
+      | Vm.Atomic -> ()
+      | Vm.Safe | Vm.Regular -> raise Not_atomic_cells)
+    built.Vm.spec
+
+let op_prog (built : ('c, 'v) Vm.built) ~proc op =
+  match op with
+  | Histories.Event.Read ->
+    Vm.bind (built.Vm.read ~proc) (fun v -> Vm.return (Some v))
+  | Histories.Event.Write v ->
+    Vm.bind (built.Vm.write ~proc v) (fun () -> Vm.return None)
+
+(* Generic engine: [pick] chooses the next processor among the runnable
+   ones; [strict] makes an unrunnable pick an error (for replays). *)
+let exec ?(crash = []) ?(max_steps = max_int) ~pick ~strict built processes =
+  check_atomic built;
+  let cells = Array.map (fun (s : 'c Vm.cell_spec) -> s.Vm.init) built.Vm.spec in
+  let states =
+    List.map
+      (fun (p : 'v Vm.process) ->
+        {
+          proc = p.Vm.proc;
+          script = p.Vm.script;
+          cur = None;
+          prims = 0;
+          crashed = false;
+        })
+      processes
+  in
+  let trace = ref [] in
+  let emit e = trace := e :: !trace in
+  let runnable st =
+    (not st.crashed) && (st.cur <> None || st.script <> [])
+  in
+  let crash_limit p =
+    List.fold_left
+      (fun acc (q, k) -> if q = p then Some k else acc)
+      None crash
+  in
+  List.iter
+    (fun st ->
+      if crash_limit st.proc = Some 0 then st.crashed <- true)
+    states;
+  (* One primitive access by [st], gluing Invoke to the first access
+     and Respond to the last. *)
+  let step st =
+    let prog =
+      match st.cur with
+      | Some p -> p
+      | None ->
+        (match st.script with
+         | [] -> assert false
+         | op :: rest ->
+           st.script <- rest;
+           emit (Vm.Sim (Histories.Event.Invoke (st.proc, op)));
+           op_prog built ~proc:st.proc op)
+    in
+    let continue k =
+      st.prims <- st.prims + 1;
+      (match crash_limit st.proc with
+       | Some limit when st.prims >= limit -> st.crashed <- true
+       | Some _ | None -> ());
+      if st.crashed then st.cur <- None
+      else
+        match k () with
+        | Vm.Ret r ->
+          st.cur <- None;
+          emit (Vm.Sim (Histories.Event.Respond (st.proc, r)))
+        | (Vm.Read _ | Vm.Write _) as p -> st.cur <- Some p
+    in
+    match prog with
+    | Vm.Ret r ->
+      (* operation with no primitive accesses *)
+      st.cur <- None;
+      emit (Vm.Sim (Histories.Event.Respond (st.proc, r)))
+    | Vm.Read (c, k) ->
+      let v = cells.(c) in
+      emit (Vm.Prim_read (st.proc, c, v));
+      continue (fun () -> k v)
+    | Vm.Write (c, v, k) ->
+      cells.(c) <- v;
+      emit (Vm.Prim_write (st.proc, c, v));
+      continue k
+  in
+  let rec loop n =
+    if n >= max_steps then ()
+    else
+      let live = List.filter runnable states in
+      match pick live with
+      | None -> ()
+      | Some st ->
+        if runnable st then begin
+          step st;
+          loop (n + 1)
+        end
+        else if strict then
+          invalid_arg
+            (Fmt.str "Run_coarse: processor %d cannot take a step" st.proc)
+        else loop (n + 1)
+  in
+  loop 0;
+  List.rev !trace
+
+let run ?crash ?max_steps ~seed built processes =
+  let rng = Random.State.make [| seed |] in
+  let pick = function
+    | [] -> None
+    | live -> Some (List.nth live (Random.State.int rng (List.length live)))
+  in
+  exec ?crash ?max_steps ~pick ~strict:false built processes
+
+let run_scheduled ~schedule built processes =
+  let remaining = ref schedule in
+  let states_by_proc = Hashtbl.create 8 in
+  let pick live =
+    List.iter (fun st -> Hashtbl.replace states_by_proc st.proc st) live;
+    match !remaining with
+    | [] -> None
+    | p :: rest ->
+      remaining := rest;
+      (match Hashtbl.find_opt states_by_proc p with
+       | Some st -> Some st
+       | None ->
+         invalid_arg (Fmt.str "Run_coarse: unknown or finished processor %d" p))
+  in
+  exec ~pick ~strict:true built processes
+
+let cells_after (built : ('c, 'v) Vm.built) trace =
+  let cells = Array.map (fun (s : 'c Vm.cell_spec) -> s.Vm.init) built.Vm.spec in
+  List.iter
+    (function
+      | Vm.Prim_write (_, c, v) -> cells.(c) <- v
+      | Vm.Prim_read _ | Vm.Sim _ -> ())
+    trace;
+  cells

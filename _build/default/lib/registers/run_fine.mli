@@ -1,0 +1,39 @@
+(** Randomized executions over cells with {e weak} (safe / regular)
+    semantics, at the granularity of two scheduler steps per primitive
+    access — a begin step and an end step — so that primitive reads can
+    genuinely overlap primitive writes.
+
+    On an overlapped read, a [Regular] cell may return the value of the
+    last preceding write or of any overlapping write; a [Safe] cell may
+    return any value of its declared domain.  The adversarial choice is
+    resolved pseudo-randomly from [seed].  [Atomic] cells resolve reads
+    to the committed value at the read's end step, and commit writes at
+    the write's end step. *)
+
+val run :
+  ?max_steps:int ->
+  seed:int ->
+  ('c, 'v) Vm.built ->
+  'v Vm.process list ->
+  ('c, 'v) Vm.trace_event list
+(** Run all scripts to completion under a random fair scheduler.  The
+    returned trace contains the simulated-level events plus one
+    [Prim_read]/[Prim_write] entry per primitive access (emitted at its
+    end step; for weak cells this is informational only — weak accesses
+    have no single serialization point). *)
+
+val run_scheduled :
+  schedule:Histories.Event.proc list ->
+  choices:'c list ->
+  ('c, 'v) Vm.built ->
+  'v Vm.process list ->
+  ('c, 'v) Vm.trace_event list
+(** Deterministic replay: each schedule entry advances the named
+    processor by one {e phase} (begin or end of a primitive access;
+    an idle processor's entry also starts its next operation).  When a
+    weak cell must resolve an overlapped read, the resolution is taken
+    from [choices] (in order; it must be a legal candidate, otherwise
+    [Invalid_argument]).  Used to build the weak-register scenarios
+    deterministically.
+    @raise Invalid_argument when the schedule names a processor that
+    cannot step or a choice is not among the legal candidates. *)

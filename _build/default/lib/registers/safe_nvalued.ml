@@ -1,0 +1,30 @@
+let build ~bits ~init =
+  if bits <= 0 || bits > 20 then invalid_arg "Safe_nvalued.build: bits";
+  if init < 0 || init lsr bits <> 0 then invalid_arg "Safe_nvalued.build: init";
+  let spec =
+    Array.init bits (fun i ->
+        {
+          Vm.sem = Vm.Safe;
+          init = (init lsr i) land 1 = 1;
+          domain = [ false; true ];
+        })
+  in
+  let read ~proc:_ =
+    let rec collect acc i =
+      if i >= bits then Vm.return acc
+      else
+        Vm.bind (Vm.read i) (fun b ->
+            collect (if b then acc lor (1 lsl i) else acc) (i + 1))
+    in
+    collect 0 0
+  in
+  let write ~proc:_ v =
+    if v < 0 || v lsr bits <> 0 then invalid_arg "Safe_nvalued.write: range";
+    let rec put i =
+      if i >= bits then Vm.return ()
+      else
+        Vm.bind (Vm.write i ((v lsr i) land 1 = 1)) (fun () -> put (i + 1))
+    in
+    put 0
+  in
+  { Vm.spec; read; write }

@@ -1,0 +1,13 @@
+(** Lamport's construction of an m-valued {e safe} SRSW register from
+    [log2 m] safe boolean cells ([L2], construction 2): the value is
+    stored in binary, one bit per cell.
+
+    A read overlapping a write may see any mixture of old and new bits
+    — any bit pattern at all — which is exactly what safeness permits,
+    {e provided} every pattern decodes to a domain value.  Hence the
+    domain must be the full binary space: [m] a power of two. *)
+
+val build : bits:int -> init:int -> (bool, int) Vm.built
+(** Register over values [0 .. 2^bits - 1].
+    @raise Invalid_argument unless [0 < bits <= 20] and [init] is in
+    range. *)

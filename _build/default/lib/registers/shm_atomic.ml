@@ -1,0 +1,37 @@
+type writer = int
+
+type 'v t = {
+  cell : 'v Atomic.t;
+  owner : writer;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+}
+
+let next_owner = Atomic.make 0
+
+let create init =
+  let owner = Atomic.fetch_and_add next_owner 1 in
+  ( {
+      cell = Atomic.make init;
+      owner;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
+    },
+    owner )
+
+let read t =
+  ignore (Atomic.fetch_and_add t.reads 1);
+  Atomic.get t.cell
+
+let write w t v =
+  if w <> t.owner then
+    invalid_arg "Shm_atomic.write: wrong writer capability";
+  ignore (Atomic.fetch_and_add t.writes 1);
+  Atomic.set t.cell v
+
+let read_count t = Atomic.get t.reads
+let write_count t = Atomic.get t.writes
+
+let reset_counts t =
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0

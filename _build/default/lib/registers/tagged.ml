@@ -1,0 +1,16 @@
+type 'v t = {
+  value : 'v;
+  tag : bool;
+}
+
+let make value tag = { value; tag }
+let v t = t.value
+let tag t = t.tag
+
+let tag_sum a b = if a.tag <> b.tag then 1 else 0
+
+let initial value = { value; tag = false }
+
+let extra_bits _ = 1
+
+let pp pp_v ppf t = Fmt.pf ppf "%a,%d" pp_v t.value (if t.tag then 1 else 0)

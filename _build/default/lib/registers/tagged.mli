@@ -1,0 +1,30 @@
+(** The contents of the paper's real registers: one value of the
+    simulated domain plus a single tag bit (Section 5: "registers
+    [Reg0] and [Reg1] with enough space to hold one value in [Val] and
+    a single tag bit"). *)
+
+type 'v t = {
+  value : 'v;
+  tag : bool;
+}
+
+val make : 'v -> bool -> 'v t
+val v : 'v t -> 'v
+val tag : 'v t -> bool
+
+val tag_sum : 'v t -> 'v t -> int
+(** The mod-2 sum of two tag bits — the quantity the writers steer
+    (writer [i] tries to make it equal [i]). *)
+
+val initial : 'v -> 'v t
+(** Initial contents: the initial value with tag bit 0, the paper's
+    initialisation ("two real registers both initialized to value v0
+    and tag bit 0"). *)
+
+val extra_bits : 'v t -> int
+(** Space overhead over a bare value, in bits.  Always 1 — the paper's
+    Claim that the simulation costs a single extra bit per real
+    register. *)
+
+val pp : 'v Fmt.t -> 'v t Fmt.t
+(** Prints like the paper's Figure 5 rows, e.g. ['x',0]. *)

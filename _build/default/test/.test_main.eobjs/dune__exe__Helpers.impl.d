@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Histories QCheck2 QCheck_alcotest Registers String

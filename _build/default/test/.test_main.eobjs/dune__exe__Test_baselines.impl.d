@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Atomic Baselines Core Domain Fmt Harness Helpers Histories List Modelcheck Registers Unix

@@ -1,0 +1,1 @@
+test/test_cached.ml: Alcotest Core Fmt Helpers Histories List Modelcheck Registers

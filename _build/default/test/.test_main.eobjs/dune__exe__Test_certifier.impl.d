@@ -1,0 +1,1 @@
+test/test_certifier.ml: Alcotest Array Core Fmt Helpers Histories List Registers

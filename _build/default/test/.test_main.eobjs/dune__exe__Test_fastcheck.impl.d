@@ -1,0 +1,1 @@
+test/test_fastcheck.ml: Alcotest Fmt Helpers Histories List

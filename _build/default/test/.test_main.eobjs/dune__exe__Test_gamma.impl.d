@@ -1,0 +1,1 @@
+test/test_gamma.ml: Alcotest Array Core Helpers List Registers

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Domain Fmt Harness Helpers Histories List Registers String

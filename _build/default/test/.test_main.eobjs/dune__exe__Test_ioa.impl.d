@@ -1,0 +1,1 @@
+test/test_ioa.ml: Alcotest Helpers Ioa List

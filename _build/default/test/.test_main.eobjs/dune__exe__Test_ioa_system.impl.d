@@ -1,0 +1,1 @@
+test/test_ioa_system.ml: Alcotest Array Core Fmt Hashtbl Helpers Histories Ioa List Option Registers

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Helpers Histories List

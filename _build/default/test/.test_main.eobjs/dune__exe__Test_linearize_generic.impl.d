@@ -1,0 +1,1 @@
+test/test_linearize_generic.ml: Alcotest Harness Helpers Histories List QCheck2 Registers

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Core Fmt Helpers Histories List Modelcheck Registers

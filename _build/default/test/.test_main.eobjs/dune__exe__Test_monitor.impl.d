@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Core Fmt Harness Helpers Histories Registers

@@ -1,0 +1,1 @@
+test/test_operation.ml: Alcotest Helpers Histories List

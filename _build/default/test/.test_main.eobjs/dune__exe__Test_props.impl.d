@@ -1,0 +1,1 @@
+test/test_props.ml: Array Core Fmt Harness Hashtbl Helpers Histories List Option QCheck2 Random Registers

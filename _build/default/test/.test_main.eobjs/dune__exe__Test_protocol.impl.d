@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Core Fmt Helpers Histories List Registers

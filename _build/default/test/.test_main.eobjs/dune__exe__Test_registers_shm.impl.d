@@ -1,0 +1,1 @@
+test/test_registers_shm.ml: Alcotest Domain Fmt Helpers List Registers

@@ -1,0 +1,1 @@
+test/test_run_coarse.ml: Alcotest Array Helpers Histories List Registers

@@ -1,0 +1,1 @@
+test/test_seq_spec.ml: Alcotest Helpers Histories List

@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Core Domain Fmt Harness Helpers Histories List

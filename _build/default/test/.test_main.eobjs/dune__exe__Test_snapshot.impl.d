@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Atomic Core Domain Helpers List Registers

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Core Fmt Helpers List Modelcheck Registers

@@ -1,0 +1,1 @@
+test/test_tournament.ml: Alcotest Array Core Fmt Helpers Histories List Modelcheck Registers

@@ -1,0 +1,1 @@
+test/test_tower.ml: Alcotest Core Helpers Histories List Random Registers

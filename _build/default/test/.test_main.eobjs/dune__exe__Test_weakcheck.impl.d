@@ -1,0 +1,1 @@
+test/test_weakcheck.ml: Alcotest Helpers Histories List

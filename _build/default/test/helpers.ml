@@ -1,0 +1,42 @@
+(* Shared helpers for the test suites. *)
+
+let ev_invoke p op = Histories.Event.Invoke (p, op)
+let ev_respond p res = Histories.Event.Respond (p, res)
+let read = Histories.Event.Read
+let write v = Histories.Event.Write v
+
+(* Build a history from a compact description and extract operations. *)
+let ops_of_events events = Histories.Operation.of_events_exn events
+
+(* A standard Bloom register over ints. *)
+let bloom ?(init = 0) () = Core.Protocol.bloom ~init ~other_init:init ()
+
+let run_bloom ?crash ~seed processes =
+  Registers.Run_coarse.run ?crash ~seed (bloom ()) processes
+
+let certify_trace ?(init = 0) trace =
+  Core.Certifier.certify (Core.Gamma.analyse ~init trace)
+
+let check_certified ?(init = 0) ~what trace =
+  match certify_trace ~init trace with
+  | Core.Certifier.Certified c -> c
+  | Core.Certifier.Failed msg -> Alcotest.failf "%s: certifier failed: %s" what msg
+
+let history_ops trace =
+  ops_of_events (Registers.Vm.history_of_trace trace)
+
+(* Alcotest shortcuts. *)
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let qc ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* tiny substring check used by a few tests *)
+module Astring_like = struct
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+end

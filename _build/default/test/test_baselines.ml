@@ -1,0 +1,198 @@
+open Helpers
+module Vm = Registers.Vm
+module Ts = Baselines.Timestamp_mwmr
+module Mx = Baselines.Mutex_register
+
+let ts_sequential () =
+  let trace =
+    Registers.Run_coarse.run_scheduled
+      ~schedule:[ 0; 0; 0; 0; 3; 3; 3 ]
+      (Ts.build ~writers:3 ~init:0)
+      [ { Vm.proc = 0; script = [ write 5 ] };
+        { Vm.proc = 3; script = [ read ] } ]
+  in
+  match List.rev (Registers.Vm.history_of_trace trace) with
+  | Histories.Event.Respond (3, Some 5) :: _ -> ()
+  | _ -> Alcotest.fail "read should return 5"
+
+let ts_random_runs_atomic () =
+  for seed = 1 to 200 do
+    let reg = Ts.build ~writers:3 ~init:0 in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 10; write 11 ] };
+        { Vm.proc = 1; script = [ write 20; write 21 ] };
+        { Vm.proc = 2; script = [ write 30; write 31 ] };
+        { Vm.proc = 3; script = List.init 5 (fun _ -> read) };
+        { Vm.proc = 4; script = List.init 5 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_coarse.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops trace)) then
+      Alcotest.failf "timestamp register not atomic (seed %d)" seed
+  done
+
+let ts_exhaustive_two_writers () =
+  (* (3,3,2,2) interleavings, exhaustively *)
+  let reg = Ts.build ~writers:2 ~init:0 in
+  let procs =
+    [ { Vm.proc = 0; script = [ write 10 ] };
+      { Vm.proc = 1; script = [ write 20 ] };
+      { Vm.proc = 2; script = [ read ] };
+      { Vm.proc = 3; script = [ read ] } ]
+  in
+  match Modelcheck.Explorer.find_violation ~init:0 reg procs with
+  | None -> ()
+  | Some v ->
+    Alcotest.failf "violation after %d executions"
+      v.Modelcheck.Explorer.executions_checked
+
+let ts_exhaustive_three_writer_register () =
+  (* a 3-writer register, two writers active, exhaustively — the random
+     test above covers genuine 3-writer concurrency *)
+  let reg = Ts.build ~writers:3 ~init:0 in
+  let procs =
+    [ { Vm.proc = 0; script = [ write 10 ] };
+      { Vm.proc = 2; script = [ write 30 ] };
+      { Vm.proc = 3; script = [ read ] } ]
+  in
+  match Modelcheck.Explorer.find_violation ~init:0 reg procs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "timestamp register should survive 3 writers"
+
+let ts_access_cost () =
+  (* a write is W reads + 1 write; a read is W reads — versus Bloom's
+     1+1 and 3 *)
+  let w = 4 in
+  let reg = Ts.build ~writers:w ~init:0 in
+  Alcotest.(check int) "write cost" (w + 1)
+    (Vm.steps ~probe:(0, 0, -1) (reg.Vm.write ~proc:0 99));
+  Alcotest.(check int) "read cost" w
+    (Vm.steps ~probe:(0, 0, -1) (reg.Vm.read ~proc:5))
+
+let ts_rejects_non_writer () =
+  let reg = Ts.build ~writers:2 ~init:0 in
+  Alcotest.check_raises "non-writer"
+    (Invalid_argument "Timestamp_mwmr.write: not a writer") (fun () ->
+      ignore (reg.Vm.write ~proc:7 5))
+
+let ts_shm_concurrent () =
+  for round = 1 to 5 do
+    ignore round;
+    let reg = Ts.Shm.create ~writers:2 ~init:0 in
+    let rec_ = Harness.Recorder.create () in
+    let bufs = Array.init 4 (fun _ -> Harness.Recorder.buffer rec_) in
+    let writer p =
+      Domain.spawn (fun () ->
+          for k = 1 to 50 do
+            let v = (1000 * (p + 1)) + k in
+            Harness.Recorder.wrap_write bufs.(p) ~proc:p ~value:v (fun () ->
+                Ts.Shm.write reg ~writer:p v)
+          done)
+    in
+    let reader p =
+      Domain.spawn (fun () ->
+          for _ = 1 to 100 do
+            ignore
+              (Harness.Recorder.wrap_read bufs.(p) ~proc:p (fun () ->
+                   Ts.Shm.read reg))
+          done)
+    in
+    let ds = [ writer 0; writer 1; reader 2; reader 3 ] in
+    List.iter Domain.join ds;
+    let ops = Histories.Operation.of_events_exn (Harness.Recorder.history rec_) in
+    if not (Histories.Fastcheck.is_atomic ~init:0 ops) then
+      Alcotest.fail "timestamp shm register not linearizable"
+  done
+
+let mutex_sequential () =
+  let r = Mx.create 0 in
+  Mx.write r 5;
+  Alcotest.(check int) "read" 5 (Mx.read r)
+
+let mutex_concurrent_linearizable () =
+  let r = Mx.create 0 in
+  let rec_ = Harness.Recorder.create () in
+  let bufs = Array.init 3 (fun _ -> Harness.Recorder.buffer rec_) in
+  let writer p =
+    Domain.spawn (fun () ->
+        for k = 1 to 50 do
+          let v = (1000 * (p + 1)) + k in
+          Harness.Recorder.wrap_write bufs.(p) ~proc:p ~value:v (fun () ->
+              Mx.write r v)
+        done)
+  in
+  let reader p =
+    Domain.spawn (fun () ->
+        for _ = 1 to 100 do
+          ignore
+            (Harness.Recorder.wrap_read bufs.(p) ~proc:p (fun () -> Mx.read r))
+        done)
+  in
+  let ds = [ writer 0; writer 1; reader 2 ] in
+  List.iter Domain.join ds;
+  let ops = Histories.Operation.of_events_exn (Harness.Recorder.history rec_) in
+  Alcotest.(check bool) "linearizable" true
+    (Histories.Fastcheck.is_atomic ~init:0 ops)
+
+let mutex_blocks_under_stalled_holder () =
+  (* claim C3's contrast: a stalled lock holder delays readers, while
+     the Bloom register is wait-free by construction *)
+  let r = Mx.create 0 in
+  let release = Atomic.make false in
+  let t_blocked = ref 0.0 in
+  let holder =
+    Domain.spawn (fun () ->
+        ignore
+          (Mx.read_while_stalled r ~stall:(fun () ->
+               while not (Atomic.get release) do
+                 Domain.cpu_relax ()
+               done)))
+  in
+  (* give the holder time to take the lock *)
+  Unix.sleepf 0.05;
+  let reader =
+    Domain.spawn (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let v = Mx.read r in
+        t_blocked := Unix.gettimeofday () -. t0;
+        v)
+  in
+  Unix.sleepf 0.15;
+  Atomic.set release true;
+  let _ = Domain.join reader in
+  Domain.join holder;
+  Alcotest.(check bool)
+    (Fmt.str "reader was blocked %.3fs" !t_blocked)
+    true
+    (!t_blocked > 0.05)
+
+let bloom_never_blocks_under_stalled_writer () =
+  (* the same scenario against the wait-free register: a writer that
+     stops forever mid-protocol cannot delay a reader *)
+  let r, w0, _ = Core.Shm.create ~init:0 in
+  ignore w0;
+  (* "stall" = simply never write; a reader's latency is unaffected *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1000 do
+    ignore (Core.Shm.read r)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) (Fmt.str "1000 reads in %.4fs" dt) true (dt < 1.0)
+
+let suite =
+  [
+    tc "timestamp register: sequential" ts_sequential;
+    tc "timestamp register: random runs atomic" ts_random_runs_atomic;
+    tc "timestamp register: exhaustive, 2 writers" ts_exhaustive_two_writers;
+    tc "timestamp register: exhaustive on a 3-writer register"
+      ts_exhaustive_three_writer_register;
+    tc "timestamp register: access cost grows with writers" ts_access_cost;
+    tc "timestamp register: rejects non-writers" ts_rejects_non_writer;
+    tc "timestamp register: shared-memory concurrent runs" ts_shm_concurrent;
+    tc "mutex register: sequential" mutex_sequential;
+    tc "mutex register: concurrent runs linearizable"
+      mutex_concurrent_linearizable;
+    tc "mutex register blocks under a stalled holder"
+      mutex_blocks_under_stalled_holder;
+    tc "Bloom register never blocks under a stalled writer"
+      bloom_never_blocks_under_stalled_writer;
+  ]

@@ -1,0 +1,212 @@
+open Helpers
+module Vm = Registers.Vm
+module C = Core.Certifier
+
+let procs_std =
+  [ { Vm.proc = 0; script = [ write 10; write 11; write 12 ] };
+    { Vm.proc = 1; script = [ write 20; write 21; write 22 ] };
+    { Vm.proc = 2; script = [ read; read; read; read ] };
+    { Vm.proc = 3; script = [ read; read; read; read ] } ]
+
+let random_runs_certified () =
+  for seed = 1 to 300 do
+    let trace = run_bloom ~seed procs_std in
+    ignore (check_certified ~what:(Fmt.str "seed %d" seed) trace)
+  done
+
+let many_random_runs_certified_slow () =
+  for seed = 301 to 3000 do
+    let trace = run_bloom ~seed procs_std in
+    ignore (check_certified ~what:(Fmt.str "seed %d" seed) trace)
+  done
+
+let certificate_agrees_with_brute_force () =
+  for seed = 1 to 100 do
+    let trace = run_bloom ~seed procs_std in
+    let c = check_certified ~what:(Fmt.str "seed %d" seed) trace in
+    let lin = C.linearization c in
+    Alcotest.(check bool) "witness sequentially legal" true
+      (Histories.Seq_spec.is_legal ~init:0 lin);
+    Alcotest.(check bool) "history atomic by brute force" true
+      (Histories.Linearize.is_atomic ~init:0 (history_ops trace))
+  done
+
+let crashed_runs_certified () =
+  for seed = 1 to 100 do
+    for k = 0 to 4 do
+      let trace = run_bloom ~crash:[ (0, k) ] ~seed procs_std in
+      ignore
+        (check_certified ~what:(Fmt.str "seed %d crash %d" seed k) trace)
+    done
+  done
+
+let both_writers_crash_certified () =
+  for seed = 1 to 50 do
+    let trace = run_bloom ~crash:[ (0, 1); (1, 2) ] ~seed procs_std in
+    ignore (check_certified ~what:(Fmt.str "seed %d" seed) trace)
+  done
+
+let slow_reader_certified () =
+  (* the Section 7.2 scenario: a reader reads stale tags, sleeps
+     through writer activity, and returns an impotent write's value *)
+  let trace =
+    Registers.Run_coarse.run_scheduled
+      ~schedule:[ 2; 2; 0; 1; 1; 0; 2 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 1; script = [ write 20 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let c = check_certified ~what:"slow reader" trace in
+  (* the read linearizes immediately after the impotent write (Step 3) *)
+  let order = c.C.order in
+  let rec adjacent = function
+    | C.Write_point w :: C.Read_point _ :: _
+      when not c.C.gamma.Core.Gamma.writes.(w).Core.Gamma.potent -> true
+    | _ :: rest -> adjacent rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "read right after impotent write" true (adjacent order)
+
+let impotent_write_linearizes_before_prefinisher () =
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 0; 1; 1; 0 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 1; script = [ write 20 ] } ]
+  in
+  let c = check_certified ~what:"impotent" trace in
+  match c.C.order with
+  | [ C.Write_point a; C.Write_point b ] ->
+    let g = c.C.gamma in
+    Alcotest.(check bool) "first is the impotent one" false
+      g.Core.Gamma.writes.(a).Core.Gamma.potent;
+    Alcotest.(check bool) "second is the potent prefinisher" true
+      g.Core.Gamma.writes.(b).Core.Gamma.potent
+  | _ -> Alcotest.fail "expected exactly two write points"
+
+(* A deliberately broken protocol: the writer ignores the other tag and
+   always writes tag 0.  The certifier must refuse its bad runs. *)
+let broken_bloom () =
+  {
+    Vm.spec =
+      [| Vm.atomic_cell (Registers.Tagged.initial 0);
+         Vm.atomic_cell (Registers.Tagged.initial 0) |];
+    read = (fun ~proc:_ -> Core.Protocol.read_prog ());
+    write =
+      (fun ~proc v ->
+        Vm.bind (Vm.read (1 - proc)) (fun _ ->
+            Vm.write proc (Registers.Tagged.make v false)));
+  }
+
+let broken_protocol_rejected () =
+  (* writer 1 writing tag 0 makes the sum 0: readers return Reg0's
+     stale value even after writer 1's completed write *)
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 1; 1; 2; 2; 2 ]
+      (broken_bloom ())
+      [ { Vm.proc = 1; script = [ write 20 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  Alcotest.(check bool) "history is not atomic" false
+    (Histories.Linearize.is_atomic ~init:0 (history_ops trace));
+  match certify_trace trace with
+  | C.Failed _ -> ()
+  | C.Certified _ -> Alcotest.fail "certifier accepted a broken protocol"
+
+let writers_as_readers_certified () =
+  (* the paper allows writers to read the simulated register too *)
+  let procs =
+    [ { Vm.proc = 0; script = [ write 10; read; write 11; read ] };
+      { Vm.proc = 1; script = [ read; write 20; read ] };
+      { Vm.proc = 2; script = [ read; read; read ] } ]
+  in
+  for seed = 1 to 100 do
+    let trace = run_bloom ~seed procs in
+    ignore (check_certified ~what:(Fmt.str "seed %d" seed) trace);
+    Alcotest.(check bool) "brute force agrees" true
+      (Histories.Linearize.is_atomic ~init:0 (history_ops trace))
+  done
+
+let empty_trace_certified () =
+  match certify_trace [] with
+  | C.Certified c -> Alcotest.(check int) "empty order" 0 (List.length c.C.order)
+  | C.Failed m -> Alcotest.fail m
+
+let read_only_trace_certified () =
+  let trace =
+    run_bloom ~seed:3
+      [ { Vm.proc = 2; script = [ read; read ] };
+        { Vm.proc = 3; script = [ read ] } ]
+  in
+  let c = check_certified ~what:"read-only" trace in
+  Alcotest.(check int) "three reads" 3 (List.length c.C.order)
+
+let step2_anchor_is_write_star () =
+  (* the read's first real read happens BEFORE the write's *-action:
+     Step 2 anchors at the write's point *)
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 2; 0; 0; 2; 2 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let c = check_certified ~what:"step2-write-anchor" trace in
+  (* reader returned the potent write's value and linearizes after it *)
+  (match c.C.order with
+   | [ C.Write_point _; C.Read_point _ ] -> ()
+   | _ -> Alcotest.fail "expected write then read");
+  Alcotest.(check int) "read returned 10" 10
+    c.C.gamma.Core.Gamma.reads.(0).Core.Gamma.returned
+
+let step2_anchor_is_first_read () =
+  (* the write's *-action happens BEFORE the read starts: Step 2
+     anchors at the read's own first real read *)
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 0; 0; 2; 2; 2 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let c = check_certified ~what:"step2-read-anchor" trace in
+  match c.C.order with
+  | [ C.Write_point _; C.Read_point _ ] -> ()
+  | _ -> Alcotest.fail "expected write then read"
+
+let step4_initial_read_between_writes () =
+  (* an initial-value read whose interval overlaps a write that has
+     not yet performed its real write: Step 4 places it after the
+     second real read, before the write's point *)
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 0; 2; 2; 2; 0 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let c = check_certified ~what:"step4" trace in
+  match c.C.order with
+  | [ C.Read_point r; C.Write_point _ ] ->
+    Alcotest.(check int) "initial value" 0
+      c.C.gamma.Core.Gamma.reads.(r).Core.Gamma.returned
+  | _ -> Alcotest.fail "expected read (initial) then write"
+
+let suite =
+  [
+    tc "random executions certified" random_runs_certified;
+    tc_slow "2700 more random executions certified"
+      many_random_runs_certified_slow;
+    tc "certificate agrees with brute force" certificate_agrees_with_brute_force;
+    tc "crashed executions certified" crashed_runs_certified;
+    tc "both writers crashing certified" both_writers_crash_certified;
+    tc "slow reader linearized by Step 3" slow_reader_certified;
+    tc "impotent write linearizes right before its prefinisher"
+      impotent_write_linearizes_before_prefinisher;
+    tc "broken protocol rejected" broken_protocol_rejected;
+    tc "writers reading the register certified" writers_as_readers_certified;
+    tc "empty trace certified" empty_trace_certified;
+    tc "read-only trace certified" read_only_trace_certified;
+    tc "Step 2 anchored at the write's *-action" step2_anchor_is_write_star;
+    tc "Step 2 anchored at the read's first real read" step2_anchor_is_first_read;
+    tc "Step 4 places an initial read before an in-flight write"
+      step4_initial_read_between_writes;
+  ]

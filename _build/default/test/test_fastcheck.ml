@@ -1,0 +1,154 @@
+open Helpers
+module F = Histories.Fastcheck
+
+let check ?(init = 0) events = F.check_unique ~init (ops_of_events events)
+
+let is_atomic ?init events =
+  match check ?init events with
+  | F.Atomic _ -> true
+  | F.Violation _ -> false
+
+let sequential_atomic () =
+  Alcotest.(check bool) "atomic" true
+    (is_atomic
+       [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+         ev_respond 2 (Some 1) ])
+
+let thin_air_detected () =
+  match check [ ev_invoke 2 read; ev_respond 2 (Some 42) ] with
+  | F.Violation (F.Thin_air _) -> ()
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Thin_air"
+
+let duplicate_write_precondition () =
+  match
+    check
+      [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 1 (write 1);
+        ev_respond 1 None ]
+  with
+  | F.Violation (F.Duplicate_write 1) -> ()
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Duplicate_write"
+
+let init_collision_is_duplicate () =
+  match check ~init:5 [ ev_invoke 0 (write 5); ev_respond 0 None ] with
+  | F.Violation (F.Duplicate_write 5) -> ()
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Duplicate_write"
+
+let future_read_cycles () =
+  match
+    check
+      [ ev_invoke 2 read; ev_respond 2 (Some 9); ev_invoke 0 (write 9);
+        ev_respond 0 None ]
+  with
+  | F.Violation (F.Cycle _) -> ()
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Cycle"
+
+let stale_read_cycles () =
+  (* w1 ; w2 ; read returns w1 — w2 intervenes *)
+  match
+    check
+      [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 1 (write 2);
+        ev_respond 1 None; ev_invoke 2 read; ev_respond 2 (Some 1) ]
+  with
+  | F.Violation (F.Cycle _) -> ()
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Cycle"
+
+let initial_after_write_cycles () =
+  match
+    check
+      [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+        ev_respond 2 (Some 0) ]
+  with
+  | F.Violation (F.Cycle ids) ->
+    Alcotest.(check bool) "virtual initial write in cycle" true
+      (List.mem (-1) ids)
+  | F.Violation v -> Alcotest.failf "wrong: %a" (F.pp_violation Fmt.int) v
+  | F.Atomic _ -> Alcotest.fail "expected Cycle"
+
+let new_old_inversion_cycles () =
+  Alcotest.(check bool) "inversion" false
+    (is_atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 2 read; ev_respond 2 (Some 1);
+         ev_invoke 2 read; ev_respond 2 (Some 0);
+         ev_respond 0 None ])
+
+let overlap_either_value_ok () =
+  let base v =
+    [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some v);
+      ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "new" true (is_atomic (base 1));
+  Alcotest.(check bool) "old" true (is_atomic (base 0))
+
+let unread_pending_write_dropped () =
+  Alcotest.(check bool) "dropped" true
+    (is_atomic
+       [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 0) ])
+
+let read_pending_write_kept () =
+  Alcotest.(check bool) "kept" true
+    (is_atomic
+       [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 1) ])
+
+let pending_write_resurrection_rejected () =
+  Alcotest.(check bool) "no unhappen" false
+    (is_atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 2 read; ev_respond 2 (Some 1);
+         ev_invoke 2 read; ev_respond 2 (Some 0) ])
+
+let witness_returned_and_legal () =
+  let events =
+    [ ev_invoke 0 (write 1); ev_invoke 1 (write 2); ev_respond 0 None;
+      ev_respond 1 None; ev_invoke 2 read; ev_respond 2 (Some 2) ]
+  in
+  match check events with
+  | F.Atomic w ->
+    Alcotest.(check bool) "legal" true (Histories.Seq_spec.is_legal ~init:0 w)
+  | F.Violation v -> Alcotest.failf "unexpected: %a" (F.pp_violation Fmt.int) v
+
+let figure5_rejected () =
+  Alcotest.(check bool) "figure 5" false
+    (is_atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 3 (write 3); ev_respond 3 None;
+         ev_invoke 1 (write 2); ev_respond 1 None;
+         ev_respond 0 None;
+         ev_invoke 4 read; ev_respond 4 (Some 3) ])
+
+let read_read_constraint_via_different_writes () =
+  (* r1 (from w2) entirely before r2 (from w1), while w1 finished
+     before w2 started: forces w2 < w1 and w1 < w2 — cycle *)
+  Alcotest.(check bool) "cross reads" false
+    (is_atomic
+       [ ev_invoke 0 (write 1); ev_respond 0 None;  (* w1 *)
+         ev_invoke 1 (write 2);                      (* w2, open *)
+         ev_invoke 2 read; ev_respond 2 (Some 2);    (* r1 from w2 *)
+         ev_invoke 3 read; ev_respond 3 (Some 1);    (* r2 from w1 *)
+         ev_respond 1 None ])
+
+let suite =
+  [
+    tc "sequential history atomic" sequential_atomic;
+    tc "thin-air value detected" thin_air_detected;
+    tc "duplicate write precondition reported" duplicate_write_precondition;
+    tc "writing the initial value is a duplicate" init_collision_is_duplicate;
+    tc "read from the future is a cycle" future_read_cycles;
+    tc "intervening write is a cycle" stale_read_cycles;
+    tc "initial value after a write is a cycle" initial_after_write_cycles;
+    tc "new-old inversion rejected" new_old_inversion_cycles;
+    tc "overlapping read may see either value" overlap_either_value_ok;
+    tc "unread pending write dropped" unread_pending_write_dropped;
+    tc "observed pending write kept" read_pending_write_kept;
+    tc "observed pending write cannot unhappen"
+      pending_write_resurrection_rejected;
+    tc "witness returned and sequentially legal" witness_returned_and_legal;
+    tc "figure 5 resurrection rejected" figure5_rejected;
+    tc "read-read ordering across writes enforced"
+      read_read_constraint_via_different_writes;
+  ]

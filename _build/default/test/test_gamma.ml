@@ -1,0 +1,144 @@
+open Helpers
+module Vm = Registers.Vm
+module G = Core.Gamma
+
+let scheduled schedule procs =
+  Registers.Run_coarse.run_scheduled ~schedule (bloom ()) procs
+
+(* W0 reads; W1 performs a full write; W0 then writes: W0 is impotent
+   and W1 is its prefinisher. *)
+let impotent_scenario () =
+  scheduled [ 0; 1; 1; 0 ]
+    [ { Vm.proc = 0; script = [ write 10 ] };
+      { Vm.proc = 1; script = [ write 20 ] } ]
+
+let parse_fields () =
+  let trace =
+    scheduled [ 0; 0; 2; 2; 2 ]
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let g = G.analyse ~init:0 trace in
+  Alcotest.(check int) "one write" 1 (Array.length g.G.writes);
+  Alcotest.(check int) "one read" 1 (Array.length g.G.reads);
+  let w = g.G.writes.(0) in
+  Alcotest.(check int) "writer" 0 w.G.writer;
+  Alcotest.(check int) "value" 10 w.G.w_value;
+  Alcotest.(check bool) "has read star" true (w.G.read_star <> None);
+  Alcotest.(check bool) "has write star" true (w.G.write_star <> None);
+  Alcotest.(check bool) "completed" true (w.G.w_resp <> None);
+  let r = g.G.reads.(0) in
+  Alcotest.(check int) "returned" 10 r.G.returned;
+  Alcotest.(check int) "final read register" 0 r.G.reg2
+
+let solo_write_potent () =
+  let trace =
+    scheduled [ 1; 1 ] [ { Vm.proc = 1; script = [ write 20 ] } ]
+  in
+  let g = G.analyse ~init:0 trace in
+  Alcotest.(check bool) "potent" true g.G.writes.(0).G.potent;
+  Alcotest.(check (option int)) "no prefinisher" None
+    g.G.writes.(0).G.prefinisher
+
+let impotent_write_detected () =
+  let g = G.analyse ~init:0 (impotent_scenario ()) in
+  let w0 = g.G.writes.(0) and w1 = g.G.writes.(1) in
+  Alcotest.(check int) "w0 by writer 0" 0 w0.G.writer;
+  Alcotest.(check bool) "w0 impotent" false w0.G.potent;
+  Alcotest.(check bool) "w1 potent" true w1.G.potent;
+  Alcotest.(check (option int)) "w1 prefinishes w0" (Some w1.G.w_id)
+    w0.G.prefinisher
+
+let lemmas_hold_on_impotent_scenario () =
+  let g = G.analyse ~init:0 (impotent_scenario ()) in
+  (match G.lemma1 g with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match G.lemma2 g with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let reads_from_initial () =
+  let trace =
+    scheduled [ 2; 2; 2 ] [ { Vm.proc = 2; script = [ read ] } ]
+  in
+  let g = G.analyse ~init:0 trace in
+  (match g.G.reads_from.(0) with
+   | G.Initial -> ()
+   | G.From _ -> Alcotest.fail "expected initial");
+  Alcotest.(check int) "returns initial" 0 g.G.reads.(0).G.returned
+
+let reads_from_impotent_write () =
+  (* after the impotent scenario the tag sum is 1, so a reader goes to
+     Reg1 (the potent write); to read the impotent one, read while the
+     sum still points at Reg0...  Instead: reader reads tags before the
+     writes, then finishes after them — the slow-reader scenario. *)
+  let trace =
+    Registers.Run_coarse.run_scheduled
+      ~schedule:[ 2; 2; 0; 1; 1; 0; 2 ]
+      (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 1; script = [ write 20 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let g = G.analyse ~init:0 trace in
+  Alcotest.(check int) "slow reader returns the impotent value" 10
+    g.G.reads.(0).G.returned;
+  match g.G.reads_from.(0) with
+  | G.From id -> Alcotest.(check bool) "impotent" false g.G.writes.(id).G.potent
+  | G.Initial -> Alcotest.fail "expected a write"
+
+let tag_sum_evolution () =
+  let trace = impotent_scenario () in
+  let g = G.analyse ~init:0 trace in
+  let last = Array.length g.G.trace - 1 in
+  (* after everything, the sum is 1: W1's write was last and potent *)
+  Alcotest.(check int) "final sum" 1 (G.tag_sum_after g last)
+
+let crashed_write_kept_with_partial_stars () =
+  let trace =
+    Registers.Run_coarse.run ~crash:[ (0, 1) ] ~seed:5 (bloom ())
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 1; script = [ write 20 ] } ]
+  in
+  let g = G.analyse ~init:0 trace in
+  let w0 =
+    Array.to_list g.G.writes |> List.find (fun w -> w.G.writer = 0)
+  in
+  Alcotest.(check bool) "read star present" true (w0.G.read_star <> None);
+  Alcotest.(check (option int)) "no write star" None w0.G.write_star;
+  Alcotest.(check (option int)) "no ack" None w0.G.w_resp
+
+let malformed_trace_rejected () =
+  Alcotest.check_raises "stray access"
+    (Invalid_argument "Gamma.analyse: stray access by 0") (fun () ->
+      ignore (G.analyse ~init:0 [ Vm.Prim_read (0, 1, Registers.Tagged.initial 0) ]))
+
+let non_writer_write_rejected () =
+  let bogus =
+    [ Vm.Sim (ev_invoke 5 (write 1));
+      Vm.Prim_read (5, 1, Registers.Tagged.initial 0);
+      Vm.Prim_write (5, 0, Registers.Tagged.make 1 false);
+      Vm.Sim (ev_respond 5 None) ]
+  in
+  Alcotest.check_raises "not a writer"
+    (Invalid_argument "Gamma.analyse: processor 5 is not a writer") (fun () ->
+      ignore (G.analyse ~init:0 bogus))
+
+let suite =
+  [
+    tc "trace parsed into proof objects" parse_fields;
+    tc "solo write is potent" solo_write_potent;
+    tc "interleaved write is impotent with the right prefinisher"
+      impotent_write_detected;
+    tc "lemmas 1 and 2 hold on the impotent scenario"
+      lemmas_hold_on_impotent_scenario;
+    tc "reads-from: initial value" reads_from_initial;
+    tc "reads-from: slow reader hits the impotent write"
+      reads_from_impotent_write;
+    tc "tag-sum evolution" tag_sum_evolution;
+    tc "crashed write keeps its partial *-actions"
+      crashed_write_kept_with_partial_stars;
+    tc "stray primitive access rejected" malformed_trace_rejected;
+    tc "write by a non-writer rejected" non_writer_write_rejected;
+  ]

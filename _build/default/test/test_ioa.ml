@@ -1,0 +1,199 @@
+open Helpers
+module A = Ioa.Automaton
+module Comp = Ioa.Composition
+
+(* A tiny ping-pong pair: [Pinger] outputs Ping, [Ponger] replies Pong. *)
+type pp_action =
+  | Ping
+  | Pong
+
+let pinger ~rounds =
+  {
+    A.name = "Pinger";
+    init = (`Ready, rounds);
+    classify =
+      (function
+        | Ping -> Some A.Output
+        | Pong -> Some A.Input);
+    enabled =
+      (fun (st, n) ->
+        match st with
+        | `Ready when n > 0 -> [ Ping ]
+        | `Ready | `Waiting -> []);
+    step =
+      (fun (st, n) a ->
+        match a, st with
+        | Ping, `Ready when n > 0 -> Some (`Waiting, n - 1)
+        | Ping, (`Ready | `Waiting) -> None
+        | Pong, `Waiting -> Some (`Ready, n)
+        | Pong, `Ready -> Some (`Ready, n) (* input-enabled: ignore *));
+  }
+
+let ponger =
+  {
+    A.name = "Ponger";
+    init = false;
+    classify =
+      (function
+        | Pong -> Some A.Output
+        | Ping -> Some A.Input);
+    enabled = (fun owed -> if owed then [ Pong ] else []);
+    step =
+      (fun owed a ->
+        match a, owed with
+        | Ping, _ -> Some true
+        | Pong, true -> Some false
+        | Pong, false -> None);
+  }
+
+let composed rounds =
+  Comp.compose ~name:"pingpong"
+    [ Comp.Component (pinger ~rounds); Comp.Component ponger ]
+
+let ping_pong_alternates () =
+  let auto = composed 3 in
+  let _, sched =
+    Ioa.Exec.run ~scheduler:(Ioa.Exec.random_scheduler ~seed:1) auto
+  in
+  Alcotest.(check (list bool))
+    "strict alternation"
+    [ true; false; true; false; true; false ]
+    (List.map (fun a -> a = Ping) sched)
+
+let composition_classifies_sync_pairs () =
+  let auto = composed 1 in
+  (* Ping is Pinger's output and Ponger's input: output of the composite *)
+  Alcotest.(check bool) "ping output" true
+    (auto.A.classify Ping = Some A.Output);
+  Alcotest.(check bool) "pong output" true
+    (auto.A.classify Pong = Some A.Output)
+
+let hide_makes_internal () =
+  let auto = Comp.hide (composed 1) (fun a -> a = Ping) in
+  Alcotest.(check bool) "ping hidden" true
+    (auto.A.classify Ping = Some A.Internal);
+  let _, sched =
+    Ioa.Exec.run ~scheduler:(Ioa.Exec.random_scheduler ~seed:1) auto
+  in
+  Alcotest.(check (list bool)) "external schedule drops Ping" [ false ]
+    (List.map (fun a -> a = Ping) (Ioa.Exec.external_schedule auto sched))
+
+let input_enabledness_checked () =
+  A.check_input_enabled ponger ~states:[ true; false ] ~actions:[ Ping ];
+  let broken = { ponger with A.step = (fun _ _ -> None) } in
+  Alcotest.check_raises "violation"
+    (Invalid_argument "automaton Ponger is not input-enabled") (fun () ->
+      A.check_input_enabled broken ~states:[ false ] ~actions:[ Ping ])
+
+let incompatible_outputs_detected () =
+  let c = Comp.Component ponger in
+  Alcotest.check_raises "shared output"
+    (Invalid_argument "check_compatible: shared output action") (fun () ->
+      Comp.check_compatible [ c; c ] ~actions:[ Pong ])
+
+let rotating_scheduler_is_deterministic () =
+  let auto = composed 2 in
+  let run () =
+    snd (Ioa.Exec.run ~scheduler:(Ioa.Exec.rotating_scheduler ()) auto)
+  in
+  Alcotest.(check bool) "same schedule" true (run () = run ())
+
+let scripted_scheduler_replays () =
+  let auto = composed 2 in
+  let script = [ (fun a -> a = Ping); (fun a -> a = Pong) ] in
+  let _, sched =
+    Ioa.Exec.run ~scheduler:(Ioa.Exec.scripted_scheduler script) auto
+  in
+  Alcotest.(check int) "two steps" 2 (List.length sched)
+
+let scripted_scheduler_rejects_impossible () =
+  let auto = composed 1 in
+  Alcotest.check_raises "no match"
+    (Invalid_argument "scripted_scheduler: no enabled action matches")
+    (fun () ->
+      ignore
+        (Ioa.Exec.run
+           ~scheduler:(Ioa.Exec.scripted_scheduler [ (fun a -> a = Pong) ])
+           auto))
+
+let max_steps_bounds_run () =
+  let auto = composed 1000 in
+  let _, sched =
+    Ioa.Exec.run ~max_steps:7
+      ~scheduler:(Ioa.Exec.random_scheduler ~seed:2)
+      auto
+  in
+  Alcotest.(check int) "bounded" 7 (List.length sched)
+
+let composition_state_introspection () =
+  let auto = composed 1 in
+  Alcotest.(check int) "two components" 2 (Comp.size auto.A.init);
+  Alcotest.(check (list string)) "names" [ "Pinger"; "Ponger" ]
+    (Comp.component_names auto.A.init)
+
+let reachability_ping_pong () =
+  let auto = composed 2 in
+  let s = Ioa.Reachability.explore ~key:Ioa.Composition.state_key auto in
+  (* 2 rounds: Ready/Waiting x owed x remaining = 5 reachable states *)
+  Alcotest.(check int) "states" 5 s.Ioa.Reachability.states;
+  Alcotest.(check int) "one quiescent state" 1 s.Ioa.Reachability.quiescent;
+  Alcotest.(check bool) "quiesces" true s.Ioa.Reachability.always_quiesces
+
+let reachability_livelock_detected () =
+  (* a spinner never reaches quiescence *)
+  let spinner =
+    {
+      A.name = "Spinner";
+      init = 0;
+      classify = (function Ping -> Some A.Internal | Pong -> None);
+      enabled = (fun _ -> [ Ping ]);
+      step = (fun n a -> if a = Ping then Some ((n + 1) mod 3) else None);
+    }
+  in
+  let s = Ioa.Reachability.explore ~key:string_of_int spinner in
+  Alcotest.(check int) "three states" 3 s.Ioa.Reachability.states;
+  Alcotest.(check int) "no quiescent state" 0 s.Ioa.Reachability.quiescent;
+  Alcotest.(check bool) "livelock detected" false
+    s.Ioa.Reachability.always_quiesces
+
+let reachability_partial_deadlock_detected () =
+  (* from state 1 the automaton may step into a sink 2 (fine) or a
+     state 3 that only loops — quiescence not always reachable *)
+  let trap =
+    {
+      A.name = "Trap";
+      init = 1;
+      classify =
+        (function Ping -> Some A.Internal | Pong -> Some A.Internal);
+      enabled =
+        (fun n -> if n = 1 then [ Ping; Pong ] else if n = 3 then [ Ping ] else []);
+      step =
+        (fun n a ->
+          match n, a with
+          | 1, Ping -> Some 2
+          | 1, Pong -> Some 3
+          | 3, Ping -> Some 3
+          | _ -> None);
+    }
+  in
+  let s = Ioa.Reachability.explore ~key:string_of_int trap in
+  Alcotest.(check bool) "trap detected" false s.Ioa.Reachability.always_quiesces;
+  Alcotest.(check int) "one quiescent" 1 s.Ioa.Reachability.quiescent
+
+let suite =
+  [
+    tc "ping-pong alternates" ping_pong_alternates;
+    tc "composition classifies synchronised pairs" composition_classifies_sync_pairs;
+    tc "hide reclassifies outputs as internal" hide_makes_internal;
+    tc "input-enabledness spot check" input_enabledness_checked;
+    tc "incompatible signatures detected" incompatible_outputs_detected;
+    tc "rotating scheduler is deterministic" rotating_scheduler_is_deterministic;
+    tc "scripted scheduler replays" scripted_scheduler_replays;
+    tc "scripted scheduler rejects impossible scripts"
+      scripted_scheduler_rejects_impossible;
+    tc "max_steps bounds the run" max_steps_bounds_run;
+    tc "composition state introspection" composition_state_introspection;
+    tc "reachability: ping-pong state space" reachability_ping_pong;
+    tc "reachability: livelock detected" reachability_livelock_detected;
+    tc "reachability: trap state detected" reachability_partial_deadlock_detected;
+  ]

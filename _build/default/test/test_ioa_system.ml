@@ -1,0 +1,282 @@
+open Helpers
+module Sys = Core.Ioa_system
+module A = Ioa.Automaton
+
+let std_scripts =
+  [ (0, [ write 10; write 11 ]); (1, [ write 20; write 21 ]);
+    (2, [ read; read; read ]); (3, [ read; read; read ]) ]
+
+let run_std seed = Sys.run ~seed ~init:0 ~readers:[ 2; 3 ] std_scripts
+
+let system_quiesces () =
+  let sched = run_std 1 in
+  (* every request is eventually acknowledged: 4+6 operations *)
+  let acks =
+    List.length
+      (List.filter
+         (function
+           | Sys.Sim_read_finish _ | Sys.Sim_write_finish _ -> true
+           | _ -> false)
+         sched)
+  in
+  Alcotest.(check int) "10 acknowledgments" 10 acks
+
+let schedules_certified () =
+  for seed = 1 to 60 do
+    let trace = Sys.to_vm_trace (run_std seed) in
+    ignore (check_certified ~what:(Fmt.str "ioa seed %d" seed) trace)
+  done
+
+let external_schedule_is_ports_only () =
+  let auto = Sys.system ~init:0 ~readers:[ 2; 3 ] ~scripts:std_scripts in
+  let _, sched =
+    Ioa.Exec.run ~scheduler:(Ioa.Exec.random_scheduler ~seed:4) auto
+  in
+  let ext = Ioa.Exec.external_schedule auto sched in
+  List.iter
+    (fun a ->
+      match a with
+      | Sys.Sim_read_start _ | Sys.Sim_read_finish _ | Sys.Sim_write_start _
+      | Sys.Sim_write_finish _ -> ()
+      | Sys.Real_read_start _ | Sys.Real_read_finish _ | Sys.Real_write_start _
+      | Sys.Real_write_finish _ | Sys.Star_read _ | Sys.Star_write _ ->
+        Alcotest.failf "internal action leaked: %a" (Sys.pp_action Fmt.int) a)
+    ext;
+  (* and the ports alone already form an input-correct history *)
+  let history =
+    List.filter_map
+      (function
+        | Sys.Sim_read_start p -> Some (ev_invoke p read)
+        | Sys.Sim_read_finish (p, v) -> Some (ev_respond p (Some v))
+        | Sys.Sim_write_start (p, v) -> Some (ev_invoke p (write v))
+        | Sys.Sim_write_finish p -> Some (ev_respond p None)
+        | _ -> None)
+      ext
+  in
+  match Histories.Operation.of_events history with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "not input-correct: %a" Histories.Operation.pp_error e
+
+let register_automaton_is_atomic_alone () =
+  (* drive Reg0 directly: request, *-action, acknowledgment *)
+  let reg = Sys.register ~index:0 ~init:(Registers.Tagged.initial 0) in
+  let s0 = reg.A.init in
+  let s1 =
+    match reg.A.step s0 (Sys.Real_read_start (5, 0)) with
+    | Some s -> s
+    | None -> Alcotest.fail "read request refused"
+  in
+  (* the *-action carries the current contents *)
+  (match reg.A.enabled s1 with
+   | [ Sys.Star_read (5, 0, tv) ] ->
+     Alcotest.(check int) "reads current value" 0 (Registers.Tagged.v tv)
+   | _ -> Alcotest.fail "expected one enabled *-action");
+  let s2 =
+    match reg.A.step s1 (Sys.Star_read (5, 0, Registers.Tagged.initial 0)) with
+    | Some s -> s
+    | None -> Alcotest.fail "star refused"
+  in
+  match reg.A.enabled s2 with
+  | [ Sys.Real_read_finish (5, 0, _) ] -> ()
+  | _ -> Alcotest.fail "expected the acknowledgment"
+
+let register_stale_star_refused () =
+  (* a *-action with outdated contents is not a legal transition *)
+  let reg = Sys.register ~index:0 ~init:(Registers.Tagged.initial 7) in
+  let s1 = Option.get (reg.A.step reg.A.init (Sys.Real_read_start (5, 0))) in
+  Alcotest.(check bool) "stale value refused" true
+    (reg.A.step s1 (Sys.Star_read (5, 0, Registers.Tagged.initial 8)) = None)
+
+let register_buffers_concurrent_requests () =
+  let reg = Sys.register ~index:0 ~init:(Registers.Tagged.initial 0) in
+  let s =
+    List.fold_left
+      (fun s a -> Option.get (reg.A.step s a))
+      reg.A.init
+      [ Sys.Real_read_start (5, 0); Sys.Real_read_start (6, 0);
+        Sys.Real_write_start (0, 0, Registers.Tagged.make 3 true) ]
+  in
+  Alcotest.(check int) "three pending" 3 (List.length (reg.A.enabled s))
+
+let register_rejects_foreign_writer () =
+  (* Reg0's write channel belongs to Wr0 only (Figure 2 wiring) *)
+  let reg = Sys.register ~index:0 ~init:(Registers.Tagged.initial 0) in
+  Alcotest.(check bool) "no write channel for proc 1" true
+    (reg.A.classify (Sys.Real_write_start (1, 0, Registers.Tagged.initial 0))
+     = None)
+
+let writer_walks_the_protocol () =
+  let wr = Sys.writer ~index:0 in
+  let s1 = Option.get (wr.A.step wr.A.init (Sys.Sim_write_start (0, 42))) in
+  (match wr.A.enabled s1 with
+   | [ Sys.Real_read_start (0, 1) ] -> ()
+   | _ -> Alcotest.fail "should request a read of Reg1");
+  let s2 = Option.get (wr.A.step s1 (Sys.Real_read_start (0, 1))) in
+  let s3 =
+    Option.get
+      (wr.A.step s2 (Sys.Real_read_finish (0, 1, Registers.Tagged.make 9 true)))
+  in
+  (match wr.A.enabled s3 with
+   | [ Sys.Real_write_start (0, 0, tv) ] ->
+     Alcotest.(check int) "writes 42" 42 (Registers.Tagged.v tv);
+     (* writer 0 copies the other tag: t := 0 (+) 1 = 1 *)
+     Alcotest.(check bool) "tag copied" true (Registers.Tagged.tag tv)
+   | _ -> Alcotest.fail "should request its real write");
+  let s4 = Option.get (wr.A.step s3 (List.hd (wr.A.enabled s3))) in
+  let s5 = Option.get (wr.A.step s4 (Sys.Real_write_finish (0, 0))) in
+  match wr.A.enabled s5 with
+  | [ Sys.Sim_write_finish 0 ] -> ()
+  | _ -> Alcotest.fail "should acknowledge"
+
+let writer_ignores_improper_input () =
+  (* input-enabledness: a second request while busy is absorbed *)
+  let wr = Sys.writer ~index:0 in
+  let s1 = Option.get (wr.A.step wr.A.init (Sys.Sim_write_start (0, 1))) in
+  match wr.A.step s1 (Sys.Sim_write_start (0, 2)) with
+  | Some s -> Alcotest.(check bool) "state unchanged" true (s = s1)
+  | None -> Alcotest.fail "must stay input-enabled"
+
+let reader_scripts_cannot_write () =
+  Alcotest.check_raises "no write port"
+    (Invalid_argument "Ioa_system: processor 2 cannot write") (fun () ->
+      ignore (Sys.system ~init:0 ~readers:[ 2 ] ~scripts:[ (2, [ write 5 ]) ]))
+
+let writer_scripts_cannot_read () =
+  Alcotest.check_raises "no read port"
+    (Invalid_argument
+       "Ioa_system: writer 0 cannot read (use a separate reader port)")
+    (fun () -> ignore (Sys.system ~init:0 ~readers:[] ~scripts:[ (0, [ read ]) ]))
+
+let scripted_impotent_scenario () =
+  (* drive the full automaton system with a scripted scheduler through
+     the impotent-write scenario: Wr0 reads, Wr1 writes completely,
+     Wr0 finishes — then certify and inspect potency at the automaton
+     level *)
+  let auto =
+    Sys.system ~init:0 ~readers:[]
+      ~scripts:[ (0, [ write 10 ]); (1, [ write 20 ]) ]
+  in
+  let is_sim_start p = function
+    | Sys.Sim_write_start (q, _) -> q = p
+    | _ -> false
+  and is_real_read p = function
+    | Sys.Real_read_start (q, _) -> q = p
+    | Sys.Real_read_finish (q, _, _) -> q = p
+    | Sys.Star_read (q, _, _) -> q = p
+    | _ -> false
+  and is_real_write p = function
+    | Sys.Real_write_start (q, _, _) -> q = p
+    | Sys.Real_write_finish (q, _) -> q = p
+    | Sys.Star_write (q, _, _) -> q = p
+    | _ -> false
+  and is_finish p = function
+    | Sys.Sim_write_finish q -> q = p
+    | _ -> false
+  in
+  let script =
+    (* Wr0 requests and performs its real read (start, *-action,
+       finish = 4 automaton steps incl. the port action) *)
+    [ is_sim_start 0 ] @ List.init 3 (fun _ -> is_real_read 0)
+    (* Wr1 runs its whole write *)
+    @ [ is_sim_start 1 ] @ List.init 3 (fun _ -> is_real_read 1)
+    @ List.init 3 (fun _ -> is_real_write 1)
+    @ [ is_finish 1 ]
+    (* Wr0 wakes and finishes *)
+    @ List.init 3 (fun _ -> is_real_write 0)
+    @ [ is_finish 0 ]
+  in
+  let _, sched =
+    Ioa.Exec.run ~scheduler:(Ioa.Exec.scripted_scheduler script) auto
+  in
+  let g = Core.Gamma.analyse ~init:0 (Sys.to_vm_trace sched) in
+  let w0 =
+    Array.to_list g.Core.Gamma.writes
+    |> List.find (fun w -> w.Core.Gamma.writer = 0)
+  and w1 =
+    Array.to_list g.Core.Gamma.writes
+    |> List.find (fun w -> w.Core.Gamma.writer = 1)
+  in
+  Alcotest.(check bool) "w0 impotent" false w0.Core.Gamma.potent;
+  Alcotest.(check bool) "w1 potent" true w1.Core.Gamma.potent;
+  Alcotest.(check (option int)) "w1 prefinishes w0" (Some w1.Core.Gamma.w_id)
+    w0.Core.Gamma.prefinisher;
+  match Core.Certifier.certify g with
+  | Core.Certifier.Certified _ -> ()
+  | Core.Certifier.Failed m -> Alcotest.fail m
+
+let star_actions_stay_inside_operations () =
+  (* in the projected trace, every primitive access lies between its
+     processor's request and acknowledgment *)
+  let trace = Sys.to_vm_trace (run_std 9) in
+  let inflight = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Registers.Vm.Sim (Histories.Event.Invoke (p, _)) ->
+        Hashtbl.replace inflight p ()
+      | Registers.Vm.Sim (Histories.Event.Respond (p, _)) ->
+        Hashtbl.remove inflight p
+      | Registers.Vm.Prim_read (p, _, _) | Registers.Vm.Prim_write (p, _, _) ->
+        if not (Hashtbl.mem inflight p) then
+          Alcotest.failf "access by %d outside its operation" p)
+    trace
+
+let reachability_small () =
+  let auto =
+    Sys.system ~init:0 ~readers:[ 2 ]
+      ~scripts:[ (0, [ write 10 ]); (1, [ write 20 ]); (2, [ read ]) ]
+  in
+  let s = Ioa.Reachability.explore ~key:Ioa.Composition.state_key auto in
+  Alcotest.(check bool) "not truncated" false s.Ioa.Reachability.truncated;
+  (* every fair execution of the closed system quiesces — the paper's
+     "each request is eventually acknowledged" *)
+  Alcotest.(check bool) "always quiesces" true
+    s.Ioa.Reachability.always_quiesces;
+  (* the only nondeterminism left at quiescence is which writer's tag
+     choice happened last: two final states *)
+  Alcotest.(check int) "two quiescent states" 2 s.Ioa.Reachability.quiescent;
+  Alcotest.(check int) "state count is stable" 2169 s.Ioa.Reachability.states
+
+let reachability_empty_scripts () =
+  let auto = Sys.system ~init:0 ~readers:[] ~scripts:[] in
+  let s = Ioa.Reachability.explore ~key:Ioa.Composition.state_key auto in
+  Alcotest.(check int) "initial state only" 1 s.Ioa.Reachability.states;
+  Alcotest.(check int) "already quiescent" 1 s.Ioa.Reachability.quiescent;
+  Alcotest.(check bool) "quiesces" true s.Ioa.Reachability.always_quiesces
+
+let reachability_truncation () =
+  let auto =
+    Sys.system ~init:0 ~readers:[ 2 ]
+      ~scripts:[ (0, [ write 10 ]); (1, [ write 20 ]); (2, [ read ]) ]
+  in
+  let s =
+    Ioa.Reachability.explore ~max_states:50 ~key:Ioa.Composition.state_key auto
+  in
+  Alcotest.(check bool) "truncated" true s.Ioa.Reachability.truncated;
+  Alcotest.(check bool) "no verdict when truncated" false
+    s.Ioa.Reachability.always_quiesces
+
+let suite =
+  [
+    tc "the composed system quiesces with all acks" system_quiesces;
+    tc "schedules certified through the gamma pipeline" schedules_certified;
+    tc "external schedule exposes only the ports" external_schedule_is_ports_only;
+    tc "register automaton serves one request atomically"
+      register_automaton_is_atomic_alone;
+    tc "register refuses stale *-actions" register_stale_star_refused;
+    tc "register buffers concurrent requests" register_buffers_concurrent_requests;
+    tc "register has no write channel for foreign writers"
+      register_rejects_foreign_writer;
+    tc "writer automaton walks the three-line protocol" writer_walks_the_protocol;
+    tc "writer absorbs improper input (input-enabled)"
+      writer_ignores_improper_input;
+    tc "reader ports cannot write" reader_scripts_cannot_write;
+    tc "writer ports cannot read" writer_scripts_cannot_read;
+    tc "scripted adversarial replay: impotent write at automaton level"
+      scripted_impotent_scenario;
+    tc "*-actions stay inside operation intervals"
+      star_actions_stay_inside_operations;
+    tc "reachability: the closed system always quiesces" reachability_small;
+    tc "reachability: empty system is quiescent" reachability_empty_scripts;
+    tc "reachability: truncation is reported" reachability_truncation;
+  ]

@@ -1,0 +1,157 @@
+open Helpers
+module L = Histories.Linearize
+module Op = Histories.Operation
+
+let atomic ?(init = 0) events =
+  L.is_atomic ~init (ops_of_events events)
+
+let sequential_history_atomic () =
+  Alcotest.(check bool) "atomic" true
+    (atomic
+       [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+         ev_respond 2 (Some 1) ])
+
+let overlapping_read_may_see_either () =
+  (* read overlaps the write: old and new value are both legal *)
+  let base v =
+    [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some v);
+      ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "new value" true (atomic (base 1));
+  Alcotest.(check bool) "old value" true (atomic (base 0))
+
+let completed_write_must_be_seen () =
+  Alcotest.(check bool) "stale read" false
+    (atomic
+       [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+         ev_respond 2 (Some 0) ])
+
+let new_old_inversion_rejected () =
+  (* two sequential reads during one write must not see new then old *)
+  Alcotest.(check bool) "inversion" false
+    (atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 2 read; ev_respond 2 (Some 1);
+         ev_invoke 2 read; ev_respond 2 (Some 0);
+         ev_respond 0 None ])
+
+let old_then_new_accepted () =
+  Alcotest.(check bool) "monotone" true
+    (atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 2 read; ev_respond 2 (Some 0);
+         ev_invoke 2 read; ev_respond 2 (Some 1);
+         ev_respond 0 None ])
+
+let future_value_rejected () =
+  Alcotest.(check bool) "thin air / future" false
+    (atomic
+       [ ev_invoke 2 read; ev_respond 2 (Some 9); ev_invoke 0 (write 9);
+         ev_respond 0 None ])
+
+let pending_write_may_take_effect () =
+  Alcotest.(check bool) "effect visible" true
+    (atomic [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 1) ])
+
+let pending_write_may_not_take_effect () =
+  Alcotest.(check bool) "effect invisible" true
+    (atomic [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 0) ])
+
+let pending_write_cannot_unhappen () =
+  (* once read, a pending write stays ordered before later reads *)
+  Alcotest.(check bool) "no resurrection of init" false
+    (atomic
+       [ ev_invoke 0 (write 1);
+         ev_invoke 2 read; ev_respond 2 (Some 1);
+         ev_invoke 2 read; ev_respond 2 (Some 0) ])
+
+let pending_read_dropped () =
+  Alcotest.(check bool) "pending read" true
+    (atomic [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read ])
+
+let non_input_correct_vacuous () =
+  Alcotest.(check bool) "vacuously atomic" true
+    (L.is_atomic_events ~init:0 [ ev_invoke 0 read; ev_invoke 0 read ])
+
+let duplicate_values_supported () =
+  (* same value written twice: the brute-force checker doesn't need
+     uniqueness *)
+  Alcotest.(check bool) "dups" true
+    (atomic
+       [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 1 (write 1);
+         ev_respond 1 None; ev_invoke 2 read; ev_respond 2 (Some 1) ])
+
+let witness_is_sequentially_legal () =
+  let events =
+    [ ev_invoke 0 (write 1); ev_invoke 1 (write 2); ev_invoke 2 read;
+      ev_respond 2 (Some 2); ev_respond 0 None; ev_respond 1 None;
+      ev_invoke 2 read; ev_respond 2 (Some 2) ]
+  in
+  let ops = ops_of_events events in
+  match L.check ~init:0 ops with
+  | L.Atomic w ->
+    Alcotest.(check bool) "legal witness" true
+      (Histories.Seq_spec.is_legal ~init:0 w);
+    (* the witness respects real-time precedence *)
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if j < i && Op.precedes a b then
+              Alcotest.fail "witness violates precedence")
+          w)
+      w
+  | L.Not_atomic -> Alcotest.fail "expected atomic"
+
+let figure5_history_rejected () =
+  (* the shape of the paper's Figure 5: 'c' resurrected after 'd' *)
+  Alcotest.(check bool) "figure 5" false
+    (atomic ~init:0
+       [ ev_invoke 0 (write 1) (* 'x' by Wr00, slow *);
+         ev_invoke 3 (write 3) (* 'c' by Wr11 *); ev_respond 3 None;
+         ev_invoke 1 (write 2) (* 'd' by Wr01 *); ev_respond 1 None;
+         ev_respond 0 None;
+         ev_invoke 4 read; ev_respond 4 (Some 3) ])
+
+let three_writers_contended () =
+  (* all three writes overlap; a read after all of them may return any *)
+  let base v =
+    [ ev_invoke 0 (write 1); ev_invoke 1 (write 2); ev_invoke 3 (write 3);
+      ev_respond 0 None; ev_respond 1 None; ev_respond 3 None;
+      ev_invoke 4 read; ev_respond 4 (Some v) ]
+  in
+  List.iter
+    (fun v -> Alcotest.(check bool) "any final write" true (atomic (base v)))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "but not the initial value" false (atomic (base 0))
+
+let long_low_contention_history () =
+  (* memoisation keeps long histories with little overlap tractable *)
+  let events = ref [] in
+  for k = 1 to 150 do
+    events :=
+      ev_respond 2 (Some k) :: ev_invoke 2 read :: ev_respond 0 None
+      :: ev_invoke 0 (write k) :: !events
+  done;
+  Alcotest.(check bool) "long history" true (atomic (List.rev !events))
+
+let suite =
+  [
+    tc "sequential history is atomic" sequential_history_atomic;
+    tc "overlapping read may see either value" overlapping_read_may_see_either;
+    tc "completed write must be seen" completed_write_must_be_seen;
+    tc "new-old inversion rejected" new_old_inversion_rejected;
+    tc "old-then-new accepted" old_then_new_accepted;
+    tc "future value rejected" future_value_rejected;
+    tc "pending write may take effect" pending_write_may_take_effect;
+    tc "pending write may not take effect" pending_write_may_not_take_effect;
+    tc "pending write cannot unhappen" pending_write_cannot_unhappen;
+    tc "pending read dropped" pending_read_dropped;
+    tc "non-input-correct history vacuously atomic" non_input_correct_vacuous;
+    tc "duplicate written values supported" duplicate_values_supported;
+    tc "witness is sequentially legal and precedence-respecting"
+      witness_is_sequentially_legal;
+    tc "figure 5 resurrection rejected" figure5_history_rejected;
+    tc "three overlapping writers" three_writers_contended;
+    tc "long low-contention history" long_low_contention_history;
+  ]

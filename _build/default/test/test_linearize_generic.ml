@@ -1,0 +1,156 @@
+open Helpers
+module LG = Histories.Linearize_generic
+
+(* --- instance 1: the register, cross-checked against Linearize ----- *)
+
+type rop =
+  | W of int
+  | R
+
+let register_apply s = function
+  | W v -> (v, 0)
+  | R -> (s, s)
+
+(* translate a register history into the generic format *)
+let generic_of_events events =
+  let ops = ops_of_events events in
+  List.map
+    (fun (o : int Histories.Operation.t) ->
+      {
+        LG.id = o.Histories.Operation.id;
+        proc = o.proc;
+        op =
+          (match o.kind with
+           | Histories.Operation.Write_op v -> W v
+           | Histories.Operation.Read_op -> R);
+        result =
+          (match o.kind, o.result with
+           | Histories.Operation.Write_op _, _ ->
+             if o.resp = None then None else Some 0
+           | Histories.Operation.Read_op, Some v -> Some v
+           | Histories.Operation.Read_op, None -> None);
+        inv = o.inv;
+        resp = o.resp;
+      })
+    ops
+
+let register_instance_agrees () =
+  let cases =
+    [ (* atomic *)
+      [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+        ev_respond 2 (Some 1) ];
+      (* stale *)
+      [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+        ev_respond 2 (Some 0) ];
+      (* overlap *)
+      [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 0);
+        ev_respond 0 None ] ]
+  in
+  List.iter
+    (fun events ->
+      let expected =
+        Histories.Linearize.is_atomic ~init:0 (ops_of_events events)
+      in
+      let got =
+        LG.check ~init:0 ~apply:register_apply (generic_of_events events)
+      in
+      Alcotest.(check bool) "agree" expected got)
+    cases
+
+(* --- instance 2: a counter with fetch-and-increment ---------------- *)
+
+type cop =
+  | Incr
+  | Get
+
+let counter_apply s = function
+  | Incr -> (s + 1, s) (* returns the pre-increment value *)
+  | Get -> (s, s)
+
+let counter_sequential_ok () =
+  let ops =
+    LG.operations_of_spans
+      [ (0, Incr, Some 0, 0, Some 1);
+        (1, Incr, Some 1, 2, Some 3);
+        (2, Get, Some 2, 4, Some 5) ]
+  in
+  Alcotest.(check bool) "ok" true (LG.check ~init:0 ~apply:counter_apply ops)
+
+let counter_duplicate_ticket_rejected () =
+  (* two non-overlapping increments cannot both return 0 *)
+  let ops =
+    LG.operations_of_spans
+      [ (0, Incr, Some 0, 0, Some 1); (1, Incr, Some 0, 2, Some 3) ]
+  in
+  Alcotest.(check bool) "rejected" false
+    (LG.check ~init:0 ~apply:counter_apply ops)
+
+let counter_overlapping_either_order () =
+  (* overlapping increments can return 0/1 in either assignment *)
+  let case a b =
+    LG.operations_of_spans
+      [ (0, Incr, Some a, 0, Some 2); (1, Incr, Some b, 1, Some 3) ]
+  in
+  Alcotest.(check bool) "0 then 1" true
+    (LG.check ~init:0 ~apply:counter_apply (case 0 1));
+  Alcotest.(check bool) "1 then 0" true
+    (LG.check ~init:0 ~apply:counter_apply (case 1 0));
+  Alcotest.(check bool) "same ticket rejected" false
+    (LG.check ~init:0 ~apply:counter_apply (case 0 0))
+
+let counter_pending_may_take_effect () =
+  let ops =
+    LG.operations_of_spans
+      [ (0, Incr, None, 0, None); (2, Get, Some 1, 1, Some 2) ]
+  in
+  Alcotest.(check bool) "pending effect visible" true
+    (LG.check ~init:0 ~apply:counter_apply ops);
+  let ops =
+    LG.operations_of_spans
+      [ (0, Incr, None, 0, None); (2, Get, Some 0, 1, Some 2) ]
+  in
+  Alcotest.(check bool) "pending effect invisible" true
+    (LG.check ~init:0 ~apply:counter_apply ops)
+
+let counter_precedence_respected () =
+  (* a Get after a completed Incr must see it *)
+  let ops =
+    LG.operations_of_spans
+      [ (0, Incr, Some 0, 0, Some 1); (2, Get, Some 0, 2, Some 3) ]
+  in
+  Alcotest.(check bool) "stale get rejected" false
+    (LG.check ~init:0 ~apply:counter_apply ops)
+
+let qprop =
+  (* the generic checker instantiated at registers agrees with the
+     specialised one on random histories *)
+  qc ~count:500 "generic checker == register checker"
+    (QCheck2.Gen.map
+       (fun seed ->
+         let trace =
+           run_bloom ~seed
+             (Harness.Workload.unique_scripts
+                { Harness.Workload.writers = 2; readers = 2; writes_each = 2;
+                  reads_each = 2 })
+         in
+         Registers.Vm.history_of_trace trace)
+       QCheck2.Gen.int)
+    (fun events ->
+      let expected =
+        Histories.Linearize.is_atomic ~init:0 (ops_of_events events)
+      in
+      LG.check ~init:0 ~apply:register_apply (generic_of_events events)
+      = expected)
+
+let suite =
+  [
+    tc "register instance agrees with the specialised checker"
+      register_instance_agrees;
+    tc "counter: sequential tickets" counter_sequential_ok;
+    tc "counter: duplicate tickets rejected" counter_duplicate_ticket_rejected;
+    tc "counter: overlapping increments commute" counter_overlapping_either_order;
+    tc "counter: pending increment may or may not show"
+      counter_pending_may_take_effect;
+    tc "counter: precedence respected" counter_precedence_respected;
+    qprop;
+  ]

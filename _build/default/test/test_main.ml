@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "bloom-register"
+    [
+      ("operation", Test_operation.suite);
+      ("seq-spec", Test_seq_spec.suite);
+      ("linearize", Test_linearize.suite);
+      ("fastcheck", Test_fastcheck.suite);
+      ("monitor", Test_monitor.suite);
+      ("linearize-generic", Test_linearize_generic.suite);
+      ("weakcheck", Test_weakcheck.suite);
+      ("vm", Test_vm.suite);
+      ("run-coarse", Test_run_coarse.suite);
+      ("tower", Test_tower.suite);
+      ("registers-shm", Test_registers_shm.suite);
+      ("ioa", Test_ioa.suite);
+      ("protocol", Test_protocol.suite);
+      ("gamma", Test_gamma.suite);
+      ("certifier", Test_certifier.suite);
+      ("ioa-system", Test_ioa_system.suite);
+      ("shm", Test_shm.suite);
+      ("tournament", Test_tournament.suite);
+      ("baselines", Test_baselines.suite);
+      ("modelcheck", Test_modelcheck.suite);
+      ("harness", Test_harness.suite);
+      ("cached", Test_cached.suite);
+      ("synthesis", Test_synthesis.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("variants", Test_variants.suite);
+      ("properties", Test_props.suite);
+    ]

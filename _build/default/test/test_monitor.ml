@@ -1,0 +1,153 @@
+open Helpers
+module M = Histories.Monitor
+
+let ok = function
+  | M.Ok_so_far -> true
+  | M.Violation _ -> false
+
+let feed events =
+  let m = M.create ~init:0 in
+  M.observe_all m events
+
+let sequential_ok () =
+  Alcotest.(check bool) "ok" true
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+            ev_respond 2 (Some 1); ev_invoke 1 (write 2); ev_respond 1 None;
+            ev_invoke 2 read; ev_respond 2 (Some 2) ]))
+
+let stale_read_caught () =
+  Alcotest.(check bool) "violation" false
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+            ev_respond 2 (Some 0) ]))
+
+let new_old_inversion_caught () =
+  Alcotest.(check bool) "violation" false
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1);
+            ev_invoke 2 read; ev_respond 2 (Some 1);
+            ev_invoke 2 read; ev_respond 2 (Some 0);
+            ev_respond 0 None ]))
+
+let overlap_tolerated () =
+  Alcotest.(check bool) "old value under overlap ok" true
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_invoke 2 read; ev_respond 2 (Some 0);
+            ev_respond 0 None ]))
+
+let violation_is_sticky () =
+  let m = M.create ~init:0 in
+  ignore
+    (M.observe_all m
+       [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 2 read;
+         ev_respond 2 (Some 0) ]);
+  Alcotest.(check bool) "violated" false (ok (M.verdict m));
+  (* further legal events do not reset it *)
+  ignore (M.observe m (ev_invoke 2 read));
+  Alcotest.(check bool) "still violated" false (ok (M.verdict m))
+
+let duplicate_write_caught () =
+  Alcotest.(check bool) "duplicate" false
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 1 (write 1) ]))
+
+let thin_air_caught () =
+  Alcotest.(check bool) "thin air" false
+    (ok (feed [ ev_invoke 2 read; ev_respond 2 (Some 42) ]))
+
+let cross_reader_inversion_caught () =
+  (* rule d across two readers *)
+  Alcotest.(check bool) "violation" false
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_respond 0 None;
+            ev_invoke 1 (write 2);
+            ev_invoke 2 read; ev_respond 2 (Some 2);
+            ev_invoke 3 read; ev_respond 3 (Some 1);
+            ev_respond 1 None ]))
+
+let read_before_write_caught () =
+  (* rule c: a read entirely before a write forces the read's source
+     before that write; combined with the write completing before a
+     re-read of the source, it cycles *)
+  Alcotest.(check bool) "violation" false
+    (ok
+       (feed
+          [ ev_invoke 0 (write 1); ev_respond 0 None;
+            (* read 1, then write 2 completes, then read 1 again *)
+            ev_invoke 2 read; ev_respond 2 (Some 1);
+            ev_invoke 1 (write 2); ev_respond 1 None;
+            ev_invoke 2 read; ev_respond 2 (Some 1) ]))
+
+let long_history_linear_growth () =
+  (* frontiers keep the edge count linear: W writes + R reads must not
+     produce O(n^2) edges *)
+  let m = M.create ~init:0 in
+  let n = 2000 in
+  for k = 1 to n do
+    ignore (M.observe m (ev_invoke 0 (write k)));
+    ignore (M.observe m (ev_respond 0 None));
+    ignore (M.observe m (ev_invoke 2 read));
+    ignore (M.observe m (ev_respond 2 (Some k)))
+  done;
+  Alcotest.(check bool) "still ok" true (ok (M.verdict m));
+  let nodes, edges = M.stats m in
+  Alcotest.(check bool)
+    (Fmt.str "edges linear (%d nodes, %d edges)" nodes edges)
+    true
+    (edges < 10 * n)
+
+let bloom_runs_monitored_ok () =
+  for seed = 1 to 100 do
+    let trace =
+      run_bloom ~seed
+        (Harness.Workload.unique_scripts
+           { Harness.Workload.writers = 2; readers = 2; writes_each = 5;
+             reads_each = 6 })
+    in
+    let history = Registers.Vm.history_of_trace trace in
+    if not (ok (feed history)) then
+      Alcotest.failf "monitor flagged a correct run (seed %d)" seed
+  done
+
+let figure5_monitored_violation () =
+  let reg = Core.Tournament.flat ~init:'a' ~other_init:'b' () in
+  let trace =
+    Registers.Run_coarse.run_scheduled
+      ~schedule:Core.Tournament.figure5_schedule reg
+      Core.Tournament.figure5_scripts
+  in
+  let m = M.create ~init:'a' in
+  match M.observe_all m (Registers.Vm.history_of_trace trace) with
+  | M.Violation _ -> ()
+  | M.Ok_so_far -> Alcotest.fail "monitor must catch Figure 5"
+
+let non_sequential_rejected () =
+  let m = M.create ~init:0 in
+  ignore (M.observe m (ev_invoke 0 (write 1)));
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "Monitor.observe: processor not sequential") (fun () ->
+      ignore (M.observe m (ev_invoke 0 (write 2))))
+
+let suite =
+  [
+    tc "sequential history ok" sequential_ok;
+    tc "stale read caught" stale_read_caught;
+    tc "new-old inversion caught" new_old_inversion_caught;
+    tc "overlapping old value tolerated" overlap_tolerated;
+    tc "violations are sticky" violation_is_sticky;
+    tc "duplicate write caught" duplicate_write_caught;
+    tc "thin-air value caught" thin_air_caught;
+    tc "cross-reader inversion caught (rule d)" cross_reader_inversion_caught;
+    tc "read-before-write constraint caught (rule c)" read_before_write_caught;
+    tc "edge count stays linear on long histories" long_history_linear_growth;
+    tc "correct protocol runs stay clean" bloom_runs_monitored_ok;
+    tc "Figure 5 caught online" figure5_monitored_violation;
+    tc "non-sequential input rejected" non_sequential_rejected;
+  ]

@@ -1,0 +1,120 @@
+open Helpers
+module Op = Histories.Operation
+
+let matching_simple () =
+  let ops =
+    ops_of_events
+      [ ev_invoke 1 (write 5); ev_respond 1 None; ev_invoke 2 read;
+        ev_respond 2 (Some 5) ]
+  in
+  Alcotest.(check int) "two ops" 2 (List.length ops);
+  match ops with
+  | [ w; r ] ->
+    Alcotest.(check bool) "w is write" true (Op.is_write w);
+    Alcotest.(check bool) "r is read" true (Op.is_read r);
+    Alcotest.(check (option int)) "w value" (Some 5) (Op.value_written w);
+    Alcotest.(check (option int)) "r result" (Some 5) r.Op.result
+  | _ -> Alcotest.fail "expected two operations"
+
+let pending_has_no_resp () =
+  let ops = ops_of_events [ ev_invoke 1 (write 5) ] in
+  match ops with
+  | [ w ] ->
+    Alcotest.(check bool) "pending" true (Op.is_pending w);
+    Alcotest.(check (option int)) "no resp" None w.Op.resp
+  | _ -> Alcotest.fail "expected one operation"
+
+let double_invoke_rejected () =
+  match Op.of_events [ ev_invoke 1 read; ev_invoke 1 read ] with
+  | Error (Op.Double_invoke (1, 1)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Op.pp_error e
+  | Ok _ -> Alcotest.fail "expected Double_invoke"
+
+let orphan_response_rejected () =
+  match Op.of_events [ ev_respond 1 None ] with
+  | Error (Op.Orphan_response (1, 0)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Op.pp_error e
+  | Ok _ -> Alcotest.fail "expected Orphan_response"
+
+let kind_mismatch_rejected () =
+  (* a read acknowledged as a write *)
+  match Op.of_events [ ev_invoke 1 read; ev_respond 1 None ] with
+  | Error (Op.Kind_mismatch (1, 1)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Op.pp_error e
+  | Ok _ -> Alcotest.fail "expected Kind_mismatch"
+
+let write_with_result_rejected () =
+  match Op.of_events [ ev_invoke 1 (write 3); ev_respond 1 (Some 3) ] with
+  | Error (Op.Kind_mismatch (1, 1)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Op.pp_error e
+  | Ok _ -> Alcotest.fail "expected Kind_mismatch"
+
+let precedes_on_disjoint () =
+  let ops =
+    ops_of_events
+      [ ev_invoke 1 (write 1); ev_respond 1 None; ev_invoke 2 read;
+        ev_respond 2 (Some 1) ]
+  in
+  match ops with
+  | [ w; r ] ->
+    Alcotest.(check bool) "w before r" true (Op.precedes w r);
+    Alcotest.(check bool) "r not before w" false (Op.precedes r w)
+  | _ -> Alcotest.fail "expected two ops"
+
+let no_precedence_on_overlap () =
+  let ops =
+    ops_of_events
+      [ ev_invoke 1 (write 1); ev_invoke 2 read; ev_respond 1 None;
+        ev_respond 2 (Some 1) ]
+  in
+  match ops with
+  | [ w; r ] ->
+    Alcotest.(check bool) "no precedence" false
+      (Op.precedes w r || Op.precedes r w)
+  | _ -> Alcotest.fail "expected two ops"
+
+let pending_precedes_nothing () =
+  let ops = ops_of_events [ ev_invoke 1 (write 1); ev_invoke 2 read ] in
+  match ops with
+  | [ w; r ] -> Alcotest.(check bool) "pending" false (Op.precedes w r)
+  | _ -> Alcotest.fail "expected two ops"
+
+let interleaved_channels_matched () =
+  (* three processors with interleaved operations *)
+  let ops =
+    ops_of_events
+      [ ev_invoke 1 (write 1); ev_invoke 2 (write 2); ev_invoke 3 read;
+        ev_respond 2 None; ev_respond 3 (Some 2); ev_respond 1 None ]
+  in
+  Alcotest.(check int) "three ops" 3 (List.length ops);
+  List.iter
+    (fun o -> Alcotest.(check bool) "completed" false (Op.is_pending o))
+    ops
+
+let ids_in_invocation_order () =
+  let ops =
+    ops_of_events
+      [ ev_invoke 5 read; ev_invoke 3 (write 9); ev_respond 3 None;
+        ev_respond 5 (Some 9) ]
+  in
+  match ops with
+  | [ a; b ] ->
+    Alcotest.(check int) "first id" 0 a.Op.id;
+    Alcotest.(check int) "first is proc 5" 5 a.Op.proc;
+    Alcotest.(check int) "second id" 1 b.Op.id
+  | _ -> Alcotest.fail "expected two ops"
+
+let suite =
+  [
+    tc "match simple request/ack pairs" matching_simple;
+    tc "pending operation has no response" pending_has_no_resp;
+    tc "double invoke rejected" double_invoke_rejected;
+    tc "orphan response rejected" orphan_response_rejected;
+    tc "read acked as write rejected" kind_mismatch_rejected;
+    tc "write acked with value rejected" write_with_result_rejected;
+    tc "precedence on disjoint ops" precedes_on_disjoint;
+    tc "no precedence on overlap" no_precedence_on_overlap;
+    tc "pending op precedes nothing" pending_precedes_nothing;
+    tc "interleaved channels matched" interleaved_channels_matched;
+    tc "ids follow invocation order" ids_in_invocation_order;
+  ]

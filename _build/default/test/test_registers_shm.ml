@@ -1,0 +1,76 @@
+open Helpers
+module Shm_atomic = Registers.Shm_atomic
+module Tagged = Registers.Tagged
+
+let roundtrip () =
+  let r, w = Shm_atomic.create 0 in
+  Shm_atomic.write w r 42;
+  Alcotest.(check int) "read back" 42 (Shm_atomic.read r)
+
+let wrong_writer_rejected () =
+  let r, _w = Shm_atomic.create 0 in
+  let _r2, w2 = Shm_atomic.create 0 in
+  Alcotest.check_raises "capability"
+    (Invalid_argument "Shm_atomic.write: wrong writer capability") (fun () ->
+      Shm_atomic.write w2 r 1)
+
+let counters_track_accesses () =
+  let r, w = Shm_atomic.create 0 in
+  for i = 1 to 5 do
+    Shm_atomic.write w r i
+  done;
+  for _ = 1 to 3 do
+    ignore (Shm_atomic.read r)
+  done;
+  Alcotest.(check int) "writes" 5 (Shm_atomic.write_count r);
+  Alcotest.(check int) "reads" 3 (Shm_atomic.read_count r);
+  Shm_atomic.reset_counts r;
+  Alcotest.(check int) "reset" 0 (Shm_atomic.read_count r + Shm_atomic.write_count r)
+
+let concurrent_counter_consistency () =
+  (* counters are atomic even under concurrent readers *)
+  let r, _w = Shm_atomic.create 0 in
+  let n_domains = 4 and per = 1000 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              ignore (Shm_atomic.read r)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all reads counted" (n_domains * per)
+    (Shm_atomic.read_count r)
+
+let tagged_sum () =
+  let a = Tagged.make 1 false and b = Tagged.make 2 true in
+  Alcotest.(check int) "0+1" 1 (Tagged.tag_sum a b);
+  Alcotest.(check int) "1+1" 0 (Tagged.tag_sum b b);
+  Alcotest.(check int) "0+0" 0 (Tagged.tag_sum a a)
+
+let tagged_initial () =
+  let t = Tagged.initial 9 in
+  Alcotest.(check int) "value" 9 (Tagged.v t);
+  Alcotest.(check bool) "tag 0" false (Tagged.tag t)
+
+let tagged_space_claim () =
+  (* claim C2: one extra bit per real register *)
+  Alcotest.(check int) "one bit" 1 (Tagged.extra_bits (Tagged.initial 0))
+
+let tagged_pp_matches_figure5 () =
+  Alcotest.(check string) "figure 5 notation" "x,0"
+    (Fmt.str "%a" (Tagged.pp Fmt.char) (Tagged.make 'x' false));
+  Alcotest.(check string) "tag shown as 1" "c,1"
+    (Fmt.str "%a" (Tagged.pp Fmt.char) (Tagged.make 'c' true))
+
+let suite =
+  [
+    tc "write/read round-trip" roundtrip;
+    tc "wrong writer capability rejected" wrong_writer_rejected;
+    tc "access counters" counters_track_accesses;
+    tc "counters consistent under concurrency" concurrent_counter_consistency;
+    tc "tag-bit mod-2 sum" tagged_sum;
+    tc "initial tagged value" tagged_initial;
+    tc "one extra bit per register (claim C2)" tagged_space_claim;
+    tc "tagged printing matches Figure 5" tagged_pp_matches_figure5;
+  ]

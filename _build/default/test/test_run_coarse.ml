@@ -1,0 +1,171 @@
+open Helpers
+module Vm = Registers.Vm
+module Rc = Registers.Run_coarse
+
+let single_writer_reader () =
+  let trace =
+    Rc.run_scheduled ~schedule:[ 0; 0; 2; 2; 2 ] (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let hist = Vm.history_of_trace trace in
+  match List.rev hist with
+  | Histories.Event.Respond (2, Some 5) :: _ -> ()
+  | _ -> Alcotest.fail "read should return 5"
+
+let invoke_glued_to_first_access () =
+  let trace =
+    Rc.run_scheduled ~schedule:[ 0; 0 ] (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] } ]
+  in
+  match trace with
+  | Vm.Sim (Histories.Event.Invoke (0, _)) :: Vm.Prim_read (0, 1, _) :: _ -> ()
+  | _ -> Alcotest.fail "invoke must be glued to the first primitive access"
+
+let respond_glued_to_last_access () =
+  let trace =
+    Rc.run_scheduled ~schedule:[ 0; 0 ] (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] } ]
+  in
+  match List.rev trace with
+  | Vm.Sim (Histories.Event.Respond (0, None)) :: Vm.Prim_write (0, 0, _) :: _
+    -> ()
+  | _ -> Alcotest.fail "respond must be glued to the last primitive access"
+
+let scheduled_rejects_bad_proc () =
+  Alcotest.check_raises "unknown proc"
+    (Invalid_argument "Run_coarse: unknown or finished processor 9") (fun () ->
+      ignore
+        (Rc.run_scheduled ~schedule:[ 9 ] (bloom ())
+           [ { Vm.proc = 0; script = [ write 5 ] } ]))
+
+let scheduled_rejects_finished_proc () =
+  Alcotest.check_raises "finished proc"
+    (Invalid_argument "Run_coarse: processor 0 cannot take a step") (fun () ->
+      ignore
+        (Rc.run_scheduled ~schedule:[ 0; 0; 0 ] (bloom ())
+           [ { Vm.proc = 0; script = [ write 5 ] } ]))
+
+let crash_before_write_is_invisible () =
+  (* killed after its real read: value 5 must never be readable *)
+  let trace =
+    Rc.run ~crash:[ (0, 1) ] ~seed:7 (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] };
+        { Vm.proc = 2; script = [ read; read ] } ]
+  in
+  List.iter
+    (function
+      | Vm.Sim (Histories.Event.Respond (2, Some v)) ->
+        Alcotest.(check int) "reads initial value" 0 v
+      | _ -> ())
+    trace
+
+let crash_after_write_is_visible () =
+  (* killed right after its real write: the write happened *)
+  let trace =
+    Rc.run ~crash:[ (0, 2) ] ~seed:7 (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] } ]
+  in
+  (* no acknowledgment, but the register contains the value *)
+  let has_resp =
+    List.exists
+      (function
+        | Vm.Sim (Histories.Event.Respond (0, _)) -> true
+        | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "no ack" false has_resp;
+  let cells = Rc.cells_after (bloom ()) trace in
+  Alcotest.(check int) "value present" 5 (Registers.Tagged.v cells.(0))
+
+let crash_at_zero_never_starts () =
+  let trace =
+    Rc.run ~crash:[ (0, 0) ] ~seed:1 (bloom ())
+      [ { Vm.proc = 0; script = [ write 5 ] };
+        { Vm.proc = 2; script = [ read ] } ]
+  in
+  let victim_events =
+    List.filter
+      (function
+        | Vm.Sim e -> Histories.Event.proc e = 0
+        | Vm.Prim_read (p, _, _) | Vm.Prim_write (p, _, _) -> p = 0)
+      trace
+  in
+  Alcotest.(check int) "victim silent" 0 (List.length victim_events)
+
+let crash_does_not_block_others () =
+  let trace =
+    Rc.run ~crash:[ (0, 1) ] ~seed:3 (bloom ())
+      [ { Vm.proc = 0; script = [ write 5; write 6 ] };
+        { Vm.proc = 1; script = [ write 7; write 8 ] };
+        { Vm.proc = 2; script = [ read; read; read ] } ]
+  in
+  let responses p =
+    List.length
+      (List.filter
+         (function
+           | Vm.Sim (Histories.Event.Respond (q, _)) -> q = p
+           | _ -> false)
+         trace)
+  in
+  Alcotest.(check int) "writer 1 completed" 2 (responses 1);
+  Alcotest.(check int) "reader completed" 3 (responses 2)
+
+let max_steps_truncates () =
+  let trace =
+    Rc.run ~max_steps:3 ~seed:1 (bloom ())
+      [ { Vm.proc = 0; script = [ write 1; write 2; write 3 ] } ]
+  in
+  let prims =
+    List.filter
+      (function
+        | Vm.Prim_read _ | Vm.Prim_write _ -> true
+        | Vm.Sim _ -> false)
+      trace
+  in
+  Alcotest.(check int) "three accesses" 3 (List.length prims)
+
+let cells_after_replays_writes () =
+  let reg = bloom () in
+  let trace =
+    Rc.run ~seed:11 reg
+      [ { Vm.proc = 0; script = [ write 1; write 2 ] };
+        { Vm.proc = 1; script = [ write 3 ] } ]
+  in
+  let cells = Rc.cells_after reg trace in
+  (* each register holds the last value written to it in the trace *)
+  let expected = Array.map (fun (s : _ Vm.cell_spec) -> s.Vm.init) reg.Vm.spec in
+  List.iter
+    (function
+      | Vm.Prim_write (_, c, v) -> expected.(c) <- v
+      | Vm.Prim_read _ | Vm.Sim _ -> ())
+    trace;
+  Alcotest.(check bool) "cells match" true (cells = expected)
+
+let weak_cells_rejected () =
+  let weak =
+    {
+      Vm.spec = [| { Vm.sem = Vm.Regular; init = 0; domain = [] } |];
+      read = (fun ~proc:_ -> Vm.read 0);
+      write = (fun ~proc:_ v -> Vm.write 0 v);
+    }
+  in
+  Alcotest.check_raises "weak cells" Rc.Not_atomic_cells (fun () ->
+      ignore (Rc.run ~seed:1 weak [ { Vm.proc = 0; script = [ write 1 ] } ]))
+
+let suite =
+  [
+    tc "single writer, single reader" single_writer_reader;
+    tc "invoke glued to first access" invoke_glued_to_first_access;
+    tc "respond glued to last access" respond_glued_to_last_access;
+    tc "scheduled replay rejects unknown processor" scheduled_rejects_bad_proc;
+    tc "scheduled replay rejects finished processor"
+      scheduled_rejects_finished_proc;
+    tc "crash before real write leaves no trace" crash_before_write_is_invisible;
+    tc "crash after real write leaves the value" crash_after_write_is_visible;
+    tc "crash at zero suppresses the processor" crash_at_zero_never_starts;
+    tc "a crash never blocks other processors" crash_does_not_block_others;
+    tc "max_steps truncates the run" max_steps_truncates;
+    tc "cells_after replays primitive writes" cells_after_replays_writes;
+    tc "weak cells rejected by the coarse runner" weak_cells_rejected;
+  ]

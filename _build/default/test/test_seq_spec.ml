@@ -1,0 +1,78 @@
+open Helpers
+module Seq_spec = Histories.Seq_spec
+
+(* Build already-sequential operations directly. *)
+let seq_ops kinds =
+  List.mapi
+    (fun i k ->
+      match k with
+      | `W v ->
+        {
+          Histories.Operation.id = i;
+          proc = 0;
+          kind = Histories.Operation.Write_op v;
+          result = None;
+          inv = i;
+          resp = Some i;
+        }
+      | `R v ->
+        {
+          Histories.Operation.id = i;
+          proc = 1;
+          kind = Histories.Operation.Read_op;
+          result = Some v;
+          inv = i;
+          resp = Some i;
+        }
+      | `R_pending ->
+        {
+          Histories.Operation.id = i;
+          proc = 1;
+          kind = Histories.Operation.Read_op;
+          result = None;
+          inv = i;
+          resp = None;
+        })
+    kinds
+
+let legal_sequence () =
+  Alcotest.(check bool) "legal" true
+    (Seq_spec.is_legal ~init:0 (seq_ops [ `W 1; `R 1; `W 2; `R 2; `R 2 ]))
+
+let initial_value_read () =
+  Alcotest.(check bool) "initial" true
+    (Seq_spec.is_legal ~init:7 (seq_ops [ `R 7; `W 1; `R 1 ]))
+
+let bad_read_detected () =
+  match Seq_spec.run ~init:0 (seq_ops [ `W 1; `R 2 ]) with
+  | Seq_spec.Bad_read { id = 1; expected = 1; got = 2 } -> ()
+  | Seq_spec.Bad_read _ -> Alcotest.fail "wrong diagnosis"
+  | Seq_spec.Legal -> Alcotest.fail "expected Bad_read"
+
+let stale_initial_rejected () =
+  Alcotest.(check bool) "stale" false
+    (Seq_spec.is_legal ~init:0 (seq_ops [ `W 1; `R 0 ]))
+
+let pending_read_ignored () =
+  Alcotest.(check bool) "pending ok" true
+    (Seq_spec.is_legal ~init:0 (seq_ops [ `W 1; `R_pending; `R 1 ]))
+
+let empty_legal () =
+  Alcotest.(check bool) "empty" true (Seq_spec.is_legal ~init:0 [])
+
+let first_bad_read_reported () =
+  (* both reads are wrong; the first is reported *)
+  match Seq_spec.run ~init:0 (seq_ops [ `R 5; `R 6 ]) with
+  | Seq_spec.Bad_read { id = 0; got = 5; _ } -> ()
+  | Seq_spec.Bad_read _ | Seq_spec.Legal -> Alcotest.fail "expected first bad read"
+
+let suite =
+  [
+    tc "legal read-your-writes sequence" legal_sequence;
+    tc "read of the initial value" initial_value_read;
+    tc "bad read detected with diagnosis" bad_read_detected;
+    tc "stale initial value rejected" stale_initial_rejected;
+    tc "pending read constrains nothing" pending_read_ignored;
+    tc "empty history is legal" empty_legal;
+    tc "first bad read reported" first_bad_read_reported;
+  ]

@@ -1,0 +1,203 @@
+open Helpers
+module Shm = Core.Shm
+
+let sequential_semantics () =
+  let r, w0, w1 = Shm.create ~init:0 in
+  Alcotest.(check int) "initial" 0 (Shm.read r);
+  Shm.write w0 5;
+  Alcotest.(check int) "w0's write" 5 (Shm.read r);
+  Shm.write w1 6;
+  Alcotest.(check int) "w1's write" 6 (Shm.read r);
+  Shm.write w0 7;
+  Alcotest.(check int) "w0 again" 7 (Shm.read r)
+
+let writer_indices () =
+  let _, w0, w1 = Shm.create ~init:0 in
+  Alcotest.(check int) "w0" 0 (Shm.writer_index w0);
+  Alcotest.(check int) "w1" 1 (Shm.writer_index w1)
+
+(* Claim C1 on real shared memory. *)
+let access_counts_per_read () =
+  let r, _, _ = Shm.create ~init:0 in
+  Shm.reset_counts r;
+  for _ = 1 to 10 do
+    ignore (Shm.read r)
+  done;
+  let (r0r, r0w), (r1r, r1w) = Shm.real_access_counts r in
+  Alcotest.(check int) "3 real reads per simulated read" 30 (r0r + r1r);
+  Alcotest.(check int) "no real writes" 0 (r0w + r1w)
+
+let access_counts_per_write () =
+  let r, w0, w1 = Shm.create ~init:0 in
+  Shm.reset_counts r;
+  for i = 1 to 5 do
+    Shm.write w0 i;
+    Shm.write w1 (100 + i)
+  done;
+  let (r0r, r0w), (r1r, r1w) = Shm.real_access_counts r in
+  Alcotest.(check int) "1 real read per simulated write" 10 (r0r + r1r);
+  Alcotest.(check int) "1 real write per simulated write" 10 (r0w + r1w);
+  (* and each writer touches only its own register *)
+  Alcotest.(check int) "Reg0 written by w0 only" 5 r0w;
+  Alcotest.(check int) "Reg1 written by w1 only" 5 r1w
+
+let unique_values ~writer ~n = List.init n (fun k -> (1000 * (writer + 1)) + k)
+
+(* Record a genuinely concurrent multicore run and check it. *)
+let concurrent_history ~seed ~ops =
+  ignore seed;
+  let r, w0, w1 = Shm.create ~init:0 in
+  let rec_ = Harness.Recorder.create () in
+  let wbuf0 = Harness.Recorder.buffer rec_
+  and wbuf1 = Harness.Recorder.buffer rec_
+  and rbuf2 = Harness.Recorder.buffer rec_
+  and rbuf3 = Harness.Recorder.buffer rec_ in
+  let writer_domain buf cap proc =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun v ->
+            Harness.Recorder.wrap_write buf ~proc ~value:v (fun () ->
+                Shm.write cap v))
+          (unique_values ~writer:proc ~n:ops))
+  in
+  let reader_domain buf proc =
+    Domain.spawn (fun () ->
+        for _ = 1 to 2 * ops do
+          ignore (Harness.Recorder.wrap_read buf ~proc (fun () -> Shm.read r))
+        done)
+  in
+  let ds =
+    [ writer_domain wbuf0 w0 0; writer_domain wbuf1 w1 1;
+      reader_domain rbuf2 2; reader_domain rbuf3 3 ]
+  in
+  List.iter Domain.join ds;
+  Harness.Recorder.history rec_
+
+let concurrent_runs_linearizable () =
+  for round = 1 to 8 do
+    let history = concurrent_history ~seed:round ~ops:60 in
+    let ops = Histories.Operation.of_events_exn history in
+    match Histories.Fastcheck.check_unique ~init:0 ops with
+    | Histories.Fastcheck.Atomic _ -> ()
+    | Histories.Fastcheck.Violation v ->
+      Alcotest.failf "round %d: %a" round
+        (Histories.Fastcheck.pp_violation Fmt.int) v
+  done
+
+let local_copy_sequential () =
+  let r, w0, w1 = Shm.create ~init:0 in
+  let c0 = Shm.Local_copy.attach w0 in
+  Shm.Local_copy.write c0 5;
+  Alcotest.(check int) "own write via cache" 5 (Shm.Local_copy.read c0);
+  Alcotest.(check int) "visible to readers" 5 (Shm.read r);
+  Shm.write w1 6;
+  Alcotest.(check int) "other's write via cache" 6 (Shm.Local_copy.read c0);
+  Shm.Local_copy.write c0 7;
+  Alcotest.(check int) "again" 7 (Shm.Local_copy.read c0);
+  Alcotest.(check int) "readers agree" 7 (Shm.read r)
+
+(* Claim C5: a cached writer reads with 1 or 2 real reads. *)
+let local_copy_read_cost () =
+  let r, w0, w1 = Shm.create ~init:0 in
+  let c0 = Shm.Local_copy.attach w0 in
+  (* tag sum points at Reg0 (w0's own): 1 real read *)
+  Shm.Local_copy.write c0 5;
+  Shm.reset_counts r;
+  ignore (Shm.Local_copy.read c0);
+  let (r0r, _), (r1r, _) = Shm.real_access_counts r in
+  Alcotest.(check int) "1 real read when sum points home" 1 (r0r + r1r);
+  (* after w1 writes, the sum points at Reg1: 2 real reads *)
+  Shm.write w1 6;
+  Shm.reset_counts r;
+  ignore (Shm.Local_copy.read c0);
+  let (r0r, _), (r1r, _) = Shm.real_access_counts r in
+  Alcotest.(check int) "2 real reads when sum points away" 2 (r0r + r1r)
+
+let local_copy_write_cost () =
+  let r, w0, _ = Shm.create ~init:0 in
+  let c0 = Shm.Local_copy.attach w0 in
+  Shm.reset_counts r;
+  Shm.Local_copy.write c0 9;
+  let (r0r, r0w), (r1r, r1w) = Shm.real_access_counts r in
+  Alcotest.(check int) "1 real read" 1 (r0r + r1r);
+  Alcotest.(check int) "1 real write" 1 (r0w + r1w)
+
+let local_copy_concurrent_linearizable () =
+  for round = 1 to 6 do
+    let r, w0, w1 = Shm.create ~init:0 in
+    let c0 = Shm.Local_copy.attach w0 in
+    let rec_ = Harness.Recorder.create () in
+    let b0 = Harness.Recorder.buffer rec_
+    and b1 = Harness.Recorder.buffer rec_
+    and b2 = Harness.Recorder.buffer rec_ in
+    let ops = 50 in
+    let d0 =
+      (* writer 0 interleaves cached writes and cached reads *)
+      Domain.spawn (fun () ->
+          List.iteri
+            (fun k v ->
+              Harness.Recorder.wrap_write b0 ~proc:0 ~value:v (fun () ->
+                  Shm.Local_copy.write c0 v);
+              if k mod 2 = 0 then
+                ignore
+                  (Harness.Recorder.wrap_read b0 ~proc:0 (fun () ->
+                       Shm.Local_copy.read c0)))
+            (unique_values ~writer:0 ~n:ops))
+    in
+    let d1 =
+      Domain.spawn (fun () ->
+          List.iter
+            (fun v ->
+              Harness.Recorder.wrap_write b1 ~proc:1 ~value:v (fun () ->
+                  Shm.write w1 v))
+            (unique_values ~writer:1 ~n:ops))
+    in
+    let d2 =
+      Domain.spawn (fun () ->
+          for _ = 1 to 2 * ops do
+            ignore (Harness.Recorder.wrap_read b2 ~proc:2 (fun () -> Shm.read r))
+          done)
+    in
+    List.iter Domain.join [ d0; d1; d2 ];
+    let ops' = Histories.Operation.of_events_exn (Harness.Recorder.history rec_) in
+    match Histories.Fastcheck.check_unique ~init:0 ops' with
+    | Histories.Fastcheck.Atomic _ -> ()
+    | Histories.Fastcheck.Violation v ->
+      Alcotest.failf "round %d: %a" round
+        (Histories.Fastcheck.pp_violation Fmt.int) v
+  done
+
+let concurrent_run_monitored_online () =
+  let history = concurrent_history ~seed:99 ~ops:80 in
+  let m = Histories.Monitor.create ~init:0 in
+  match Histories.Monitor.observe_all m history with
+  | Histories.Monitor.Ok_so_far -> ()
+  | Histories.Monitor.Violation v ->
+    Alcotest.failf "monitor flagged a real run: %a"
+      (Histories.Fastcheck.pp_violation Fmt.int) v
+
+let stress_slow = tc_slow "stress: 40 concurrent rounds" (fun () ->
+    for round = 1 to 40 do
+      let history = concurrent_history ~seed:round ~ops:120 in
+      let ops = Histories.Operation.of_events_exn history in
+      if not (Histories.Fastcheck.is_atomic ~init:0 ops) then
+        Alcotest.failf "round %d not linearizable" round
+    done)
+
+let suite =
+  [
+    tc "sequential semantics" sequential_semantics;
+    tc "writer indices" writer_indices;
+    tc "read = 3 real reads (claim C1)" access_counts_per_read;
+    tc "write = 1 real read + 1 real write (claim C1)" access_counts_per_write;
+    tc "concurrent multicore histories linearizable" concurrent_runs_linearizable;
+    tc "local copy: sequential semantics (claim C5)" local_copy_sequential;
+    tc "local copy: read costs 1 or 2 real reads (claim C5)"
+      local_copy_read_cost;
+    tc "local copy: write still 1+1" local_copy_write_cost;
+    tc "local copy: concurrent histories linearizable"
+      local_copy_concurrent_linearizable;
+    tc "concurrent run passes the online monitor"
+      concurrent_run_monitored_online;
+    stress_slow;
+  ]

@@ -1,0 +1,165 @@
+open Helpers
+module S = Core.Snapshot
+
+let sequential_scan () =
+  let events =
+    S.run ~seed:1 ~init0:0 ~init1:0
+      [ (0, [ S.Update 5 ]); (2, [ S.Scan ]) ]
+  in
+  Alcotest.(check bool) "linearizable" true
+    (S.is_linearizable ~init0:0 ~init1:0 events)
+
+let scan_sees_initial () =
+  let events = S.run_scheduled ~schedule:[ 2; 2; 2; 2 ] ~init0:7 ~init1:8 [ (2, [ S.Scan ]) ] in
+  match List.rev events with
+  | S.Res (2, S.View (7, 8)) :: _ -> ()
+  | _ -> Alcotest.fail "scan should return the initial pair"
+
+let quiescent_scan_is_bounded () =
+  (* with no concurrent writer, a scan is exactly 4 cell reads *)
+  Alcotest.(check int) "constant" 4 S.scan_is_bounded_when_quiescent;
+  let events =
+    S.run_scheduled ~schedule:[ 2; 2; 2; 2 ] ~init0:0 ~init1:0
+      [ (2, [ S.Scan ]) ]
+  in
+  Alcotest.(check int) "inv + resp" 2 (List.length events)
+
+let random_runs_linearizable () =
+  for seed = 1 to 200 do
+    let events =
+      S.run ~seed ~init0:0 ~init1:0
+        [ (0, [ S.Update 1; S.Update 2; S.Update 3 ]);
+          (1, [ S.Update 11; S.Update 12 ]);
+          (2, [ S.Scan; S.Scan; S.Scan ]);
+          (3, [ S.Scan; S.Scan ]) ]
+    in
+    if not (S.is_linearizable ~init0:0 ~init1:0 events) then
+      Alcotest.failf "snapshot run not linearizable (seed %d)" seed
+  done
+
+let updates_are_wait_free () =
+  (* an update is always exactly 2 accesses *)
+  Alcotest.(check int) "2 accesses" 2
+    (Registers.Vm.steps ~probe:(0, 0) (S.write_prog ~proc:0 9))
+
+let scan_can_be_starved () =
+  (* the adversarial schedule of the lock-freedom caveat: the scanner's
+     two collects are always split by a write, so it never terminates —
+     double-collect is not wait-free *)
+  let spin = 40 in
+  let schedule =
+    (* scanner reads cell0, cell1; writer 0 updates (2 accesses);
+       scanner's next collect differs; repeat *)
+    List.concat (List.init spin (fun _ -> [ 2; 2; 0; 0 ]))
+  in
+  let events =
+    S.run_scheduled ~schedule ~init0:0 ~init1:0
+      [ (0, List.init spin (fun k -> S.Update (k + 1)));
+        (2, [ S.Scan ]) ]
+  in
+  (* the scan never responded *)
+  let scan_responded =
+    List.exists
+      (function
+        | S.Res (2, _) -> true
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "scan starved" false scan_responded;
+  (* ... yet the history with the pending scan is still linearizable *)
+  Alcotest.(check bool) "pending scan is fine" true
+    (S.is_linearizable ~init0:0 ~init1:0 events)
+
+let torn_view_rejected_by_checker () =
+  (* sanity of the specification: a fabricated history in which a scan
+     returns a pair that never coexisted must be rejected *)
+  let events =
+    [ S.Inv (0, S.Update 1); S.Res (0, S.Ack);       (* (1, 0) *)
+      S.Inv (1, S.Update 9); S.Res (1, S.Ack);       (* (1, 9) *)
+      S.Inv (0, S.Update 2); S.Res (0, S.Ack);       (* (2, 9) *)
+      (* claims to have seen (2, 0): component 0 new, component 1 old *)
+      S.Inv (2, S.Scan); S.Res (2, S.View (2, 0)) ]
+  in
+  Alcotest.(check bool) "torn view rejected" false
+    (S.is_linearizable ~init0:0 ~init1:0 events)
+
+let overlapping_scan_may_see_either () =
+  (* a scan overlapping an update may return the old or new value *)
+  let base v =
+    [ S.Inv (2, S.Scan); S.Inv (0, S.Update 1); S.Res (0, S.Ack);
+      S.Res (2, S.View (v, 0)) ]
+  in
+  Alcotest.(check bool) "new" true (S.is_linearizable ~init0:0 ~init1:0 (base 1));
+  Alcotest.(check bool) "old" true (S.is_linearizable ~init0:0 ~init1:0 (base 0))
+
+let scan_inversion_rejected () =
+  (* two sequential scans must not go back in time *)
+  let events =
+    [ S.Inv (0, S.Update 1);
+      S.Inv (2, S.Scan); S.Res (2, S.View (1, 0));
+      S.Inv (2, S.Scan); S.Res (2, S.View (0, 0));
+      S.Res (0, S.Ack) ]
+  in
+  Alcotest.(check bool) "inversion rejected" false
+    (S.is_linearizable ~init0:0 ~init1:0 events)
+
+let shm_sequential () =
+  let t = S.Shm.create ~init0:1 ~init1:2 in
+  Alcotest.(check (pair int int)) "initial" (1, 2) (S.Shm.scan t);
+  S.Shm.update t ~writer:0 7;
+  S.Shm.update t ~writer:1 8;
+  Alcotest.(check (pair int int)) "updated" (7, 8) (S.Shm.scan t)
+
+let shm_concurrent_linearizable () =
+  (* record a real multicore run and check it against the sequential
+     snapshot spec via the generic checker *)
+  let t = S.Shm.create ~init0:0 ~init1:0 in
+  let clock = Atomic.make 0 in
+  let stamp () = Atomic.fetch_and_add clock 1 in
+  let events = Array.init 3 (fun _ -> ref []) in
+  let record i ev = events.(i) := ev :: !(events.(i)) in
+  let writer w =
+    Domain.spawn (fun () ->
+        for k = 1 to 15 do
+          let v = (100 * (w + 1)) + k in
+          let inv = stamp () in
+          S.Shm.update t ~writer:w v;
+          let resp = stamp () in
+          record w ((inv, S.Inv (w, S.Update v)), (resp, S.Res (w, S.Ack)))
+        done)
+  in
+  let scanner =
+    Domain.spawn (fun () ->
+        for _ = 1 to 25 do
+          let inv = stamp () in
+          let v0, v1 = S.Shm.scan t in
+          let resp = stamp () in
+          record 2 ((inv, S.Inv (2, S.Scan)), (resp, S.Res (2, S.View (v0, v1))))
+        done)
+  in
+  List.iter Domain.join [ writer 0; writer 1; scanner ];
+  let stamped =
+    Array.to_list events
+    |> List.concat_map (fun l -> !l)
+    |> List.concat_map (fun (a, b) -> [ a; b ])
+    |> List.sort compare |> List.map snd
+  in
+  Alcotest.(check bool) "linearizable snapshot history" true
+    (S.is_linearizable ~init0:0 ~init1:0 stamped)
+
+let suite =
+  [
+    tc "sequential update then scan" sequential_scan;
+    tc "scan of the initial pair" scan_sees_initial;
+    tc "quiescent scan is bounded" quiescent_scan_is_bounded;
+    tc "random concurrent runs linearizable" random_runs_linearizable;
+    tc "updates are wait-free (2 accesses)" updates_are_wait_free;
+    tc "scans can be starved (double-collect is not wait-free)"
+      scan_can_be_starved;
+    tc "torn views rejected by the sequential spec" torn_view_rejected_by_checker;
+    tc "overlapping scan may see old or new" overlapping_scan_may_see_either;
+    tc "scan inversion rejected" scan_inversion_rejected;
+    tc "shared-memory snapshot: sequential" shm_sequential;
+    tc "shared-memory snapshot: concurrent runs linearizable"
+      shm_concurrent_linearizable;
+  ]

@@ -1,0 +1,145 @@
+open Helpers
+module S = Core.Synthesis
+module SC = Modelcheck.Synthesis_check
+
+let family_size () =
+  Alcotest.(check int) "256 candidates" 256 (List.length S.all);
+  Alcotest.(check int) "all distinct" 256
+    (List.length (List.sort_uniq compare S.all))
+
+let bloom_candidate_is_bloom () =
+  (* the candidate encoding of the paper's protocol behaves exactly
+     like Protocol.bloom on a deterministic schedule *)
+  let procs =
+    [ { Registers.Vm.proc = 0; script = [ write 10 ] };
+      { Registers.Vm.proc = 1; script = [ write 20 ] };
+      { Registers.Vm.proc = 2; script = [ read; read ] } ]
+  in
+  let schedule = [ 0; 0; 2; 2; 2; 1; 1; 2; 2; 2 ] in
+  let run reg = Registers.Run_coarse.run_scheduled ~schedule reg procs in
+  let h1 =
+    Registers.Vm.history_of_trace
+      (run (S.build S.bloom_candidate ~init:0))
+  in
+  let h2 =
+    Registers.Vm.history_of_trace
+      (run (Core.Protocol.bloom ~init:0 ~other_init:0 ()))
+  in
+  Alcotest.(check bool) "identical histories" true (h1 = h2)
+
+let exactly_two_survivors () =
+  let s = SC.survivors () in
+  Alcotest.(check int) "two survivors" 2 (List.length s);
+  Alcotest.(check bool) "the paper's protocol survives" true
+    (List.mem S.bloom_candidate s);
+  Alcotest.(check bool) "its dual survives" true (List.mem S.dual_candidate s)
+
+let survivors_pass_deeper_checks () =
+  (* the two survivors also pass a deeper exhaustive workload with
+     readers on both sides of the writes *)
+  let procs =
+    [ { Registers.Vm.proc = 0; script = [ write 10; write 11 ] };
+      { Registers.Vm.proc = 1; script = [ write 20 ] };
+      { Registers.Vm.proc = 2; script = [ read ] };
+      { Registers.Vm.proc = 3; script = [ read ] } ]
+  in
+  List.iter
+    (fun c ->
+      match
+        Modelcheck.Explorer.find_violation ~init:0 (S.build c ~init:0) procs
+      with
+      | None -> ()
+      | Some _ -> Alcotest.failf "survivor %a failed deeper check" S.pp c)
+    [ S.bloom_candidate; S.dual_candidate ]
+
+let near_misses_die () =
+  (* changing any single ingredient of the paper's protocol kills it *)
+  let dead c = not (SC.survives c) in
+  Alcotest.(check bool) "wrong f0" true
+    (dead { S.bloom_candidate with S.f0 = 1 });
+  Alcotest.(check bool) "wrong f1" true
+    (dead { S.bloom_candidate with S.f1 = 2 });
+  Alcotest.(check bool) "wrong g (const Reg0)" true
+    (dead { S.bloom_candidate with S.g = 0 });
+  Alcotest.(check bool) "wrong g (not xor with Bloom writers)" true
+    (dead { S.bloom_candidate with S.g = 0b1001 })
+
+let nand_artifacts = 
+  [ { S.ef0 = 0x7; ef1 = 0xa; eg = 0b1001 };
+    { S.ef0 = 0xa; ef1 = 0x7; eg = 0b0110 } ]
+
+let extended_family_size () =
+  Alcotest.(check int) "4096 candidates" 4096 (List.length S.all_extended);
+  Alcotest.(check bool) "embeds the base family" true
+    (List.for_all
+       (fun c -> List.mem (S.extend c) S.all_extended)
+       [ S.bloom_candidate; S.dual_candidate ])
+
+let extended_embedding_behaves () =
+  (* the embedded Bloom candidate writes the same tags (one extra own
+     read aside): deterministic replay comparison of final cells *)
+  let procs =
+    [ { Registers.Vm.proc = 0; script = [ write 10 ] };
+      { Registers.Vm.proc = 1; script = [ write 20 ] } ]
+  in
+  let base = S.build S.bloom_candidate ~init:0 in
+  let ext = S.build_extended (S.extend S.bloom_candidate) ~init:0 in
+  let cells_of reg schedule =
+    Registers.Run_coarse.cells_after reg
+      (Registers.Run_coarse.run_scheduled ~schedule reg procs)
+  in
+  Alcotest.(check bool) "same final cells" true
+    (cells_of base [ 0; 0; 1; 1 ] = cells_of ext [ 0; 0; 0; 1; 1; 1 ])
+
+let known_extended_survivors_survive_screening () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "survives screening" true (SC.survives_extended e))
+    (S.extend S.bloom_candidate :: S.extend S.dual_candidate :: nand_artifacts)
+
+let nand_artifacts_die_at_depth_three () =
+  (* the two own-tag survivors of the shallow screening are artifacts:
+     three writes by one writer refute them *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Fmt.str "%a dies" S.pp_extended e)
+        false (SC.survives_deep e))
+    nand_artifacts;
+  (* while the true protocols pass the same deeper workloads *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "true survivor passes deep" true
+        (SC.survives_deep (S.extend c)))
+    [ S.bloom_candidate; S.dual_candidate ]
+
+let uses_own_tag_classification () =
+  Alcotest.(check bool) "bloom embed ignores own" false
+    (S.uses_own_tag (S.extend S.bloom_candidate));
+  List.iter
+    (fun e -> Alcotest.(check bool) "nand uses own" true (S.uses_own_tag e))
+    nand_artifacts
+
+let pp_names () =
+  Alcotest.(check string) "bloom" "{f0 = id; f1 = not; g = xor}"
+    (Fmt.str "%a" S.pp S.bloom_candidate);
+  Alcotest.(check string) "dual" "{f0 = not; f1 = id; g = not xor}"
+    (Fmt.str "%a" S.pp S.dual_candidate)
+
+let suite =
+  [
+    tc "the family has 256 distinct candidates" family_size;
+    tc "the Bloom candidate is the Bloom protocol" bloom_candidate_is_bloom;
+    tc "exactly two candidates survive: the paper's and its dual"
+      exactly_two_survivors;
+    tc "both survivors pass deeper exhaustive checks"
+      survivors_pass_deeper_checks;
+    tc "every single-ingredient change is fatal" near_misses_die;
+    tc "candidate pretty-printing" pp_names;
+    tc "extended family has 4096 candidates" extended_family_size;
+    tc "embedding preserves protocol behaviour" extended_embedding_behaves;
+    tc_slow "known extended survivors pass the shallow screening"
+      known_extended_survivors_survive_screening;
+    tc "NAND artifacts die at depth three" nand_artifacts_die_at_depth_three;
+    tc "own-tag usage classification" uses_own_tag_classification;
+  ]

@@ -1,0 +1,180 @@
+open Helpers
+module Vm = Registers.Vm
+module T = Core.Tournament
+module Tagged = Registers.Tagged
+
+let figure5_replay_flat () =
+  let reg = T.flat ~init:'a' ~other_init:'b' () in
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:T.figure5_schedule reg
+      T.figure5_scripts
+  in
+  (* final registers exactly as the last row of Figure 5 *)
+  let cells = Registers.Run_coarse.cells_after reg trace in
+  Alcotest.(check string) "Reg0" "x,0"
+    (Fmt.str "%a" (Tagged.pp Fmt.char) cells.(0));
+  Alcotest.(check string) "Reg1" "c,1"
+    (Fmt.str "%a" (Tagged.pp Fmt.char) cells.(1));
+  (* the reader gets the resurrected 'c' *)
+  let returned =
+    List.filter_map
+      (function
+        | Vm.Sim (Histories.Event.Respond (4, Some v)) -> Some v
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list char)) "'c' reappears" [ 'c' ] returned;
+  (* and the history is not atomic *)
+  Alcotest.(check bool) "not atomic" false
+    (Histories.Linearize.is_atomic ~init:'a' (history_ops trace))
+
+let figure5_intermediate_rows () =
+  (* replay prefix by prefix and check the register columns of Figure 5 *)
+  let reg () = T.flat ~init:'a' ~other_init:'b' () in
+  let after n =
+    let schedule = List.filteri (fun i _ -> i < n) T.figure5_schedule in
+    let r = reg () in
+    Registers.Run_coarse.cells_after r
+      (Registers.Run_coarse.run_scheduled ~schedule r T.figure5_scripts)
+  in
+  let show cells =
+    Fmt.str "%a %a" (Tagged.pp Fmt.char) cells.(0) (Tagged.pp Fmt.char)
+      cells.(1)
+  in
+  Alcotest.(check string) "initial row" "a,0 b,0" (show (after 0));
+  Alcotest.(check string) "after Wr00's reads" "a,0 b,0" (show (after 1));
+  Alcotest.(check string) "after Wr11 writes 'c'" "a,0 c,1" (show (after 3));
+  Alcotest.(check string) "after Wr01 writes 'd'" "d,1 c,1" (show (after 5));
+  Alcotest.(check string) "after Wr00 real-writes" "x,0 c,1" (show (after 6))
+
+let figure5_value_column () =
+  (* the "Value" column: what a full read would return at each row *)
+  let reg () = T.flat ~init:'a' ~other_init:'b' () in
+  let value_after n =
+    let schedule =
+      List.filteri (fun i _ -> i < n) T.figure5_schedule @ [ 9; 9; 9 ]
+    in
+    let scripts =
+      T.figure5_scripts @ [ { Vm.proc = 9; script = [ read ] } ]
+    in
+    let r = reg () in
+    let trace = Registers.Run_coarse.run_scheduled ~schedule r scripts in
+    List.find_map
+      (function
+        | Vm.Sim (Histories.Event.Respond (9, Some v)) -> Some v
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (option char)) "initially 'a'" (Some 'a') (value_after 0);
+  Alcotest.(check (option char)) "then 'c'" (Some 'c') (value_after 3);
+  Alcotest.(check (option char)) "then 'd'" (Some 'd') (value_after 5);
+  Alcotest.(check (option char)) "then 'c' again — the bug" (Some 'c')
+    (value_after 6)
+
+let figure5_stacked_tournament () =
+  (* same scenario with the two shared registers themselves simulated
+     by the two-writer protocol: outer real reads are 3 inner accesses,
+     outer real writes 2 *)
+  let reg = T.stacked ~init:'a' ~other_init:'b' () in
+  let schedule =
+    [ 0; 0; 0;          (* Wr00's outer real read = inner read, 3 accesses *)
+      3; 3; 3; 3; 3;    (* Wr11 writes 'c': inner read + inner write *)
+      1; 1; 1; 1; 1;    (* Wr01 writes 'd' *)
+      0; 0;             (* Wr00 wakes: outer real write = inner write *)
+      4; 4; 4; 4; 4; 4; 4; 4; 4 (* reader: 3 outer reads x 3 *) ]
+  in
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule reg T.figure5_scripts
+  in
+  let returned =
+    List.filter_map
+      (function
+        | Vm.Sim (Histories.Event.Respond (4, Some v)) -> Some v
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list char)) "'c' reappears through the full stack" [ 'c' ]
+    returned;
+  Alcotest.(check bool) "not atomic" false
+    (Histories.Linearize.is_atomic ~init:'a' (history_ops trace))
+
+let tournament_random_violations_exist () =
+  (* the bug is not schedule-specific: random runs hit it too *)
+  let violations = ref 0 in
+  for seed = 1 to 300 do
+    let reg = T.flat ~init:0 ~other_init:0 () in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 1; script = [ write 20 ] };
+        { Vm.proc = 3; script = [ write 30 ] };
+        { Vm.proc = 4; script = [ read; read ] } ]
+    in
+    let trace = Registers.Run_coarse.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops trace)) then
+      incr violations
+  done;
+  Alcotest.(check bool) "violations found" true (!violations > 0)
+
+let tournament_often_works () =
+  (* most runs are fine — that's what makes the bug insidious *)
+  let ok = ref 0 in
+  for seed = 1 to 100 do
+    let reg = T.flat ~init:0 ~other_init:0 () in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 10 ] };
+        { Vm.proc = 3; script = [ write 30 ] };
+        { Vm.proc = 4; script = [ read ] } ]
+    in
+    let trace = Registers.Run_coarse.run ~seed reg procs in
+    if Histories.Fastcheck.is_atomic ~init:0 (history_ops trace) then incr ok
+  done;
+  Alcotest.(check bool) "mostly atomic" true (!ok > 50)
+
+let eight_writer_tournament_broken () =
+  (* the Figure-5 shape at depth 3: writers 0 (group 0), 2 (group 0),
+     4 (group 1) *)
+  let procs =
+    [ { Vm.proc = 0; script = [ write 10 ] };
+      { Vm.proc = 2; script = [ write 20 ] };
+      { Vm.proc = 4; script = [ write 30 ] };
+      { Vm.proc = 8; script = [ read ] } ]
+  in
+  (match
+     Modelcheck.Explorer.find_violation ~init:0
+       (T.flat8 ~init:0 ~other_init:0 ())
+       procs
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "flat 8-writer tournament should be broken");
+  (* and through the stacked four-writer registers, with the Figure 5
+     interleaving at stacked granularity: a top-level write is an inner
+     read (3 accesses) plus an inner write (2); a read is 3 x 3 *)
+  let reg = T.stacked8 ~init:0 ~other_init:0 () in
+  let schedule =
+    [ 0; 0; 0 ]                     (* Wr0: outer real read, then sleeps *)
+    @ [ 4; 4; 4; 4; 4 ]             (* Wr4 (other group): full write *)
+    @ [ 2; 2; 2; 2; 2 ]             (* Wr2 (same group as 0): full write *)
+    @ [ 0; 0 ]                      (* Wr0 wakes: outer real write *)
+    @ List.init 9 (fun _ -> 8)      (* reader *)
+  in
+  let procs =
+    [ { Vm.proc = 0; script = [ write 10 ] };
+      { Vm.proc = 2; script = [ write 20 ] };
+      { Vm.proc = 4; script = [ write 30 ] };
+      { Vm.proc = 8; script = [ read ] } ]
+  in
+  let trace = Registers.Run_coarse.run_scheduled ~schedule reg procs in
+  Alcotest.(check bool) "stacked 8-writer resurrection" false
+    (Histories.Fastcheck.is_atomic ~init:0 (history_ops trace))
+
+let suite =
+  [
+    tc "Figure 5 final row and resurrected value" figure5_replay_flat;
+    tc "Figure 5 intermediate register columns" figure5_intermediate_rows;
+    tc "Figure 5 value column" figure5_value_column;
+    tc "Figure 5 through the stacked tournament" figure5_stacked_tournament;
+    tc "random schedules also violate atomicity"
+      tournament_random_violations_exist;
+    tc "most tournament runs look fine" tournament_often_works;
+    tc "eight-writer tournaments are broken too" eight_writer_tournament_broken;
+  ]

@@ -1,0 +1,351 @@
+open Helpers
+module Vm = Registers.Vm
+
+(* A register that is just one primitive cell of the given semantics. *)
+let bare_cell ~sem ~init ~domain =
+  {
+    Vm.spec = [| { Vm.sem; init; domain } |];
+    read = (fun ~proc:_ -> Vm.read 0);
+    write = (fun ~proc:_ v -> Vm.write 0 v);
+  }
+
+let bool_script ~seed ~n ~writer_proc ~reader_proc =
+  let rng = Random.State.make [| seed |] in
+  [
+    {
+      Vm.proc = writer_proc;
+      script = List.init n (fun _ -> write (Random.State.bool rng));
+    };
+    { Vm.proc = reader_proc; script = List.init (2 * n) (fun _ -> read) };
+  ]
+
+let history_ops_of trace =
+  Histories.Operation.of_events_exn (Registers.Vm.history_of_trace trace)
+
+(* --- primitive cells under the fine runner ------------------------- *)
+
+let atomic_cell_is_atomic () =
+  for seed = 1 to 60 do
+    let reg = bare_cell ~sem:Vm.Atomic ~init:0 ~domain:[] in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 1; write 2; write 3 ] };
+        { Vm.proc = 1; script = [ read; read; read; read ] } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Linearize.is_atomic ~init:0 (history_ops_of trace)) then
+      Alcotest.failf "atomic cell produced non-atomic history (seed %d)" seed
+  done
+
+let regular_cell_is_regular () =
+  for seed = 1 to 120 do
+    let reg = bare_cell ~sem:Vm.Regular ~init:false ~domain:[ false; true ] in
+    let trace =
+      Registers.Run_fine.run ~seed reg
+        (bool_script ~seed ~n:4 ~writer_proc:0 ~reader_proc:1)
+    in
+    if not (Histories.Weakcheck.is_regular ~init:false (history_ops_of trace))
+    then Alcotest.failf "regular cell not regular (seed %d)" seed
+  done
+
+let safe_cell_is_safe_but_not_regular () =
+  let violations = ref 0 in
+  for seed = 1 to 400 do
+    let reg = bare_cell ~sem:Vm.Safe ~init:false ~domain:[ false; true ] in
+    let procs =
+      [ { Vm.proc = 0; script = [ write true; write true; write true ] };
+        { Vm.proc = 1; script = List.init 6 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    let ops = history_ops_of trace in
+    if not (Histories.Weakcheck.is_safe ~init:false ops) then
+      Alcotest.failf "safe cell not safe (seed %d)" seed;
+    if not (Histories.Weakcheck.is_regular ~init:false ops) then incr violations
+  done;
+  (* writing [true] over [true] may be observed as [false] mid-write:
+     safe allows it, regular does not — the adversary must hit it *)
+  Alcotest.(check bool) "safe is strictly weaker than regular" true
+    (!violations > 0)
+
+(* --- the Lamport tower --------------------------------------------- *)
+
+let regular_of_safe_is_regular () =
+  for seed = 1 to 150 do
+    let reg = Registers.Regular_of_safe.build ~init:false in
+    let trace =
+      Registers.Run_fine.run ~seed reg
+        (bool_script ~seed ~n:5 ~writer_proc:0 ~reader_proc:1)
+    in
+    if not (Histories.Weakcheck.is_regular ~init:false (history_ops_of trace))
+    then Alcotest.failf "regular_of_safe not regular (seed %d)" seed
+  done
+
+let nvalued_over_regular_cells () =
+  for seed = 1 to 120 do
+    let reg = Registers.Regular_nvalued.build ~n:5 ~init:2 in
+    let rng = Random.State.make [| seed |] in
+    let procs =
+      [ { Vm.proc = 0; script = List.init 4 (fun _ -> write (Random.State.int rng 5)) };
+        { Vm.proc = 1; script = List.init 6 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Weakcheck.is_regular ~init:2 (history_ops_of trace))
+    then Alcotest.failf "n-valued register not regular (seed %d)" seed
+  done
+
+let nvalued_stacked_on_safe_bits () =
+  (* int regular register over regular bits over safe bits *)
+  for seed = 1 to 80 do
+    let reg =
+      Vm.stack
+        (Registers.Regular_nvalued.build ~n:4 ~init:1)
+        ~inner:(fun i -> Registers.Regular_of_safe.build ~init:(i = 1))
+    in
+    let rng = Random.State.make [| seed |] in
+    let procs =
+      [ { Vm.proc = 0; script = List.init 3 (fun _ -> write (Random.State.int rng 4)) };
+        { Vm.proc = 1; script = List.init 5 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Weakcheck.is_regular ~init:1 (history_ops_of trace))
+    then Alcotest.failf "stacked n-valued register not regular (seed %d)" seed
+  done
+
+let atomic_of_regular_is_atomic () =
+  for seed = 1 to 150 do
+    let reg = Registers.Atomic_of_regular.build ~init:0 in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 1; write 2; write 3; write 4 ] };
+        { Vm.proc = 1; script = List.init 7 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops_of trace)) then
+      Alcotest.failf "atomic_of_regular not atomic (seed %d)" seed
+  done
+
+let regular_alone_shows_inversion () =
+  (* sanity for the construction above: without the reader's monotonic
+     filter, a regular cell does exhibit new-old inversions *)
+  let inversions = ref 0 in
+  for seed = 1 to 400 do
+    let reg = bare_cell ~sem:Vm.Regular ~init:0 ~domain:[] in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 1; write 2; write 3 ] };
+        { Vm.proc = 1; script = List.init 6 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops_of trace)) then
+      incr inversions
+  done;
+  Alcotest.(check bool) "regular is strictly weaker than atomic" true
+    (!inversions > 0)
+
+let mrsw_of_srsw_is_atomic () =
+  for seed = 1 to 100 do
+    let readers = 3 in
+    let reg = Registers.Mrsw_of_srsw.build ~readers ~init:0 in
+    let procs =
+      { Vm.proc = 0; script = [ write 1; write 2; write 3 ] }
+      :: List.init (readers - 1) (fun i ->
+             { Vm.proc = i + 1; script = List.init 4 (fun _ -> read) })
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops_of trace)) then
+      Alcotest.failf "mrsw_of_srsw not atomic (seed %d)" seed
+  done
+
+let bloom_over_mrsw_full_tower () =
+  (* the footnote-3 scenario: the two "real" registers of the Bloom
+     construction are themselves simulated from SRSW atomic cells *)
+  let total_procs = 4 in
+  for seed = 1 to 40 do
+    let reg =
+      Vm.stack
+        (Core.Protocol.bloom ~init:0 ~other_init:0 ())
+        ~inner:(fun _ ->
+          Registers.Mrsw_of_srsw.build ~readers:total_procs
+            ~init:(Registers.Tagged.initial 0))
+    in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 10; write 11 ] };
+        { Vm.proc = 1; script = [ write 20; write 21 ] };
+        { Vm.proc = 2; script = List.init 4 (fun _ -> read) };
+        { Vm.proc = 3; script = List.init 4 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops_of trace)) then
+      Alcotest.failf "bloom-over-mrsw not atomic (seed %d)" seed
+  done
+
+let safe_nvalued_is_safe () =
+  for seed = 1 to 120 do
+    let reg = Registers.Safe_nvalued.build ~bits:2 ~init:1 in
+    let rng = Random.State.make [| seed |] in
+    let procs =
+      [ { Vm.proc = 0;
+          script = List.init 4 (fun _ -> write (Random.State.int rng 4)) };
+        { Vm.proc = 1; script = List.init 6 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Weakcheck.is_safe ~init:1 (history_ops_of trace)) then
+      Alcotest.failf "safe n-valued register not safe (seed %d)" seed
+  done
+
+let safe_nvalued_torn_reads_exist () =
+  (* a read overlapping a write of 3 over 0 can see the torn values 1
+     or 2 — allowed by safeness, and the reason the construction is
+     only safe *)
+  let torn = ref false in
+  for seed = 1 to 600 do
+    let reg = Registers.Safe_nvalued.build ~bits:2 ~init:0 in
+    let procs =
+      [ { Vm.proc = 0; script = [ write 3; write 0; write 3 ] };
+        { Vm.proc = 1; script = List.init 8 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    List.iter
+      (fun (o : int Histories.Operation.t) ->
+        match o.Histories.Operation.result with
+        | Some (1 | 2) -> torn := true
+        | Some _ | None -> ())
+      (history_ops_of trace)
+  done;
+  Alcotest.(check bool) "torn value observed" true !torn
+
+let safe_nvalued_validates () =
+  Alcotest.check_raises "bits" (Invalid_argument "Safe_nvalued.build: bits")
+    (fun () -> ignore (Registers.Safe_nvalued.build ~bits:0 ~init:0));
+  Alcotest.check_raises "init" (Invalid_argument "Safe_nvalued.build: init")
+    (fun () -> ignore (Registers.Safe_nvalued.build ~bits:2 ~init:4))
+
+let dup_mrsw_regular () =
+  for seed = 1 to 100 do
+    let reg =
+      Registers.Dup_mrsw.build ~sem:Vm.Regular ~readers:3 ~init:0 ~domain:[]
+    in
+    let procs =
+      [ { Vm.proc = 3; script = [ write 1; write 2; write 3 ] };
+        { Vm.proc = 0; script = [ read; read ] };
+        { Vm.proc = 1; script = [ read; read ] };
+        { Vm.proc = 2; script = [ read; read ] } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Weakcheck.is_regular ~init:0 (history_ops_of trace))
+    then Alcotest.failf "duplicated MRSW register not regular (seed %d)" seed
+  done
+
+let dup_mrsw_not_atomic () =
+  (* duplication loses atomicity: two readers can see a write in
+     different orders relative to their reads *)
+  let violations = ref 0 in
+  for seed = 1 to 600 do
+    let reg =
+      Registers.Dup_mrsw.build ~sem:Vm.Regular ~readers:2 ~init:0 ~domain:[]
+    in
+    let procs =
+      [ { Vm.proc = 2; script = [ write 1; write 2; write 3 ] };
+        { Vm.proc = 0; script = List.init 4 (fun _ -> read) };
+        { Vm.proc = 1; script = List.init 4 (fun _ -> read) } ]
+    in
+    let trace = Registers.Run_fine.run ~seed reg procs in
+    if not (Histories.Fastcheck.is_atomic ~init:0 (history_ops_of trace))
+    then incr violations
+  done;
+  Alcotest.(check bool) "atomicity violations observed" true (!violations > 0)
+
+let scheduled_regular_overlap_deterministic () =
+  (* writer begins a write of [true] over initial [false]; reader's
+     read overlaps it; the adversary is told to return the old value,
+     then the new value on a second overlapped read *)
+  let reg = bare_cell ~sem:Vm.Regular ~init:false ~domain:[ false; true ] in
+  let procs =
+    [ { Vm.proc = 0; script = [ write true ] };
+      { Vm.proc = 1; script = [ read; read ] } ]
+  in
+  (* phases: w begins; r1 begins, r1 ends (choice: old=false);
+     r2 begins, r2 ends (choice: new=true); w ends *)
+  let trace =
+    Registers.Run_fine.run_scheduled
+      ~schedule:[ 0; 1; 1; 1; 1; 0 ]
+      ~choices:[ false; true ]
+      reg procs
+  in
+  let returns =
+    List.filter_map
+      (function
+        | Vm.Sim (Histories.Event.Respond (1, Some v)) -> Some v
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list bool)) "old then new" [ false; true ] returns;
+  (* regular tolerates this; so does atomic here (old before new) *)
+  Alcotest.(check bool) "regular" true
+    (Histories.Weakcheck.is_regular ~init:false (history_ops_of trace))
+
+let scheduled_regular_inversion_deterministic () =
+  (* same schedule but the adversary answers new-then-old: still
+     regular, no longer atomic — the precise gap between the models *)
+  let reg = bare_cell ~sem:Vm.Regular ~init:0 ~domain:[] in
+  let procs =
+    [ { Vm.proc = 0; script = [ write 7 ] };
+      { Vm.proc = 1; script = [ read; read ] } ]
+  in
+  let trace =
+    Registers.Run_fine.run_scheduled
+      ~schedule:[ 0; 1; 1; 1; 1; 0 ]
+      ~choices:[ 7; 0 ]
+      reg procs
+  in
+  let ops = history_ops_of trace in
+  Alcotest.(check bool) "regular" true
+    (Histories.Weakcheck.is_regular ~init:0 ops);
+  Alcotest.(check bool) "not atomic" false
+    (Histories.Linearize.is_atomic ~init:0 ops)
+
+let scheduled_rejects_illegal_choice () =
+  let reg = bare_cell ~sem:Vm.Regular ~init:0 ~domain:[] in
+  let procs =
+    [ { Vm.proc = 0; script = [ write 7 ] };
+      { Vm.proc = 1; script = [ read ] } ]
+  in
+  Alcotest.check_raises "illegal candidate"
+    (Invalid_argument "Run_fine: choice is not a legal candidate") (fun () ->
+      ignore
+        (Registers.Run_fine.run_scheduled
+           ~schedule:[ 0; 1; 1 ]
+           ~choices:[ 42 ]
+           reg procs))
+
+let nvalued_validates_range () =
+  Alcotest.check_raises "bad init" (Invalid_argument "Regular_nvalued.build")
+    (fun () -> ignore (Registers.Regular_nvalued.build ~n:3 ~init:3))
+
+let suite =
+  [
+    tc "atomic cell is atomic under the fine runner" atomic_cell_is_atomic;
+    tc "regular cell is regular" regular_cell_is_regular;
+    tc "safe cell is safe but observably not regular"
+      safe_cell_is_safe_but_not_regular;
+    tc "regular-from-safe construction is regular" regular_of_safe_is_regular;
+    tc "n-valued unary construction is regular" nvalued_over_regular_cells;
+    tc "n-valued over regular-from-safe bits is regular"
+      nvalued_stacked_on_safe_bits;
+    tc "atomic-from-regular construction is atomic" atomic_of_regular_is_atomic;
+    tc "a bare regular cell shows new-old inversions"
+      regular_alone_shows_inversion;
+    tc "MRSW-from-SRSW construction is atomic" mrsw_of_srsw_is_atomic;
+    tc "Bloom over MRSW over SRSW cells is atomic (footnote 3)"
+      bloom_over_mrsw_full_tower;
+    tc "n-valued construction validates its range" nvalued_validates_range;
+    tc "safe n-valued binary construction is safe" safe_nvalued_is_safe;
+    tc "safe n-valued construction shows torn reads"
+      safe_nvalued_torn_reads_exist;
+    tc "safe n-valued construction validates input" safe_nvalued_validates;
+    tc "duplicated MRSW register is regular" dup_mrsw_regular;
+    tc "duplicated MRSW register is not atomic" dup_mrsw_not_atomic;
+    tc "scheduled weak run: old-then-new deterministic"
+      scheduled_regular_overlap_deterministic;
+    tc "scheduled weak run: regular-but-not-atomic inversion"
+      scheduled_regular_inversion_deterministic;
+    tc "scheduled weak run rejects illegal adversary choices"
+      scheduled_rejects_illegal_choice;
+  ]

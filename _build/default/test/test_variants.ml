@@ -1,0 +1,160 @@
+open Helpers
+module Vm = Registers.Vm
+module V = Core.Variants
+module E = Modelcheck.Explorer
+
+let p proc script = { Vm.proc; script }
+
+let expect_violation ?(max_execs = 5_000_000) name reg procs =
+  match E.find_violation ~init:0 reg procs with
+  | Some v ->
+    Alcotest.(check bool)
+      (Fmt.str "%s: found within bound" name)
+      true
+      (v.E.executions_checked <= max_execs)
+  | None -> Alcotest.failf "%s: expected a violation" name
+
+let w2r2 =
+  [ p 0 [ write 10 ]; p 1 [ write 20 ]; p 2 [ read ]; p 3 [ read ] ]
+
+(* Removing the third read: a reader whose early snapshot of Reg0
+   predates every write can be steered back to it and return the
+   initial value after a completed write. *)
+let no_third_read_broken () =
+  expect_violation "no_third_read"
+    (V.no_third_read ~init:0 ~other_init:0 ())
+    [ p 0 [ write 10 ]; p 1 [ write 20; write 21 ]; p 2 [ read ]; p 3 [ read ] ]
+
+(* ... and the concrete scenario, replayed deterministically: W1's
+   first write completes; the reader snapshots Reg0 and sleeps; W0 and
+   W1 write again, returning the tag sum to point at the reader's stale
+   snapshot; the reader wakes and returns the initial value — after a
+   completed write. *)
+let no_third_read_scenario () =
+  let reg = V.no_third_read ~init:0 ~other_init:0 () in
+  let trace =
+    Registers.Run_coarse.run_scheduled
+      ~schedule:[ 1; 1; 2; 0; 0; 1; 1; 2 ]
+      reg
+      [ p 0 [ write 10 ]; p 1 [ write 20; write 21 ]; p 2 [ read ] ]
+  in
+  let returned =
+    List.filter_map
+      (function
+        | Vm.Sim (Histories.Event.Respond (2, Some v)) -> Some v
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list int)) "stale initial value returned" [ 0 ] returned;
+  Alcotest.(check bool) "non-atomic" false
+    (Histories.Linearize.is_atomic ~init:0 (history_ops trace))
+
+let copy_tag_broken () =
+  expect_violation "copy_tag" (V.copy_tag ~init:0 ~other_init:0 ()) w2r2
+
+let read_own_register_broken () =
+  expect_violation "read_own_register"
+    (V.read_own_register ~init:0 ~other_init:0 ())
+    w2r2
+
+let split_tag_first_broken () =
+  expect_violation "split_write_tag_first"
+    (V.split_write_tag_first ~init:0 ~other_init:0 ())
+    w2r2
+
+(* The subtle one: writing the value cell before the tag cell looks
+   safe (the tag "commits" the value) but is still not atomic — the
+   new value leaks through the value cell while the old tag still
+   steers readers to it.  The checker needs >100k executions. *)
+let split_value_first_broken () =
+  expect_violation "split_write_value_first"
+    (V.split_write_value_first ~init:0 ~other_init:0 ())
+    w2r2
+
+(* Against the same workloads, the paper's actual protocol survives —
+   the ablations isolate exactly the load-bearing ingredients. *)
+let real_protocol_survives_ablation_workloads () =
+  (match
+     E.find_violation ~init:0 (bloom ())
+       [ p 0 [ write 10 ]; p 1 [ write 20; write 21 ]; p 2 [ read ];
+         p 3 [ read ] ]
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "real protocol failed the no-third-read workload");
+  match E.find_violation ~init:0 (bloom ()) w2r2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "real protocol failed w2r2"
+
+(* Section 8: the natural mod-3 three-writer extension fails. *)
+let mod3_broken () =
+  expect_violation ~max_execs:10_000 "mod3"
+    (V.mod3 ~init:0 ~others:(0, 0) ())
+    [ p 0 [ write 10 ]; p 1 [ write 20 ]; p 2 [ write 30 ]; p 3 [ read ] ]
+
+(* ... but it degenerates correctly: with a single active writer it is
+   sequential and fine. *)
+let mod3_single_writer_fine () =
+  match
+    E.find_violation ~init:0
+      (V.mod3 ~init:0 ~others:(0, 0) ())
+      [ p 0 [ write 10; write 11 ]; p 3 [ read; read ] ]
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "mod3 with one writer should be atomic"
+
+(* mod3 is not even backward compatible: with only two active writers
+   it survives single writes but breaks at two writes each — the third
+   register's stale trit poisons the sum *)
+let mod3_two_writers_shallow_ok () =
+  match
+    E.find_violation ~init:0
+      (V.mod3 ~init:0 ~others:(0, 0) ())
+      [ p 0 [ write 10 ]; p 1 [ write 20 ]; p 3 [ read ]; p 4 [ read ] ]
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "mod3 2-writer single-write should pass"
+
+let mod3_two_writers_deep_broken () =
+  match
+    E.find_violation ~init:0
+      (V.mod3 ~init:0 ~others:(0, 0) ())
+      [ p 0 [ write 10; write 11 ]; p 1 [ write 20; write 21 ]; p 3 [ read ] ]
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "mod3 is broken even as a two-writer register"
+
+let certifier_rejects_broken_variants () =
+  (* when a variant's run is non-atomic, the gamma pipeline must not
+     certify it (copy_tag keeps the two-cell layout, so it parses) *)
+  let reg = V.copy_tag ~init:0 ~other_init:0 () in
+  let trace =
+    Registers.Run_coarse.run_scheduled ~schedule:[ 0; 0; 1; 1; 2; 2; 2 ] reg
+      [ p 0 [ write 10 ]; p 1 [ write 20 ]; p 2 [ read ] ]
+  in
+  Alcotest.(check bool) "history non-atomic" false
+    (Histories.Linearize.is_atomic ~init:0 (history_ops trace));
+  match certify_trace trace with
+  | Core.Certifier.Failed _ -> ()
+  | Core.Certifier.Certified _ -> Alcotest.fail "certified a broken variant"
+
+let suite =
+  [
+    tc "removing the third read breaks atomicity" no_third_read_broken;
+    tc "no-third-read: deterministic stale-snapshot scenario"
+      no_third_read_scenario;
+    tc "dropping the xor (copy tag) breaks atomicity" copy_tag_broken;
+    tc "reading one's own register breaks atomicity" read_own_register_broken;
+    tc "split write, tag first: broken" split_tag_first_broken;
+    tc_slow "split write, value first: broken (subtle, >100k executions)"
+      split_value_first_broken;
+    tc "the real protocol survives the same workloads"
+      real_protocol_survives_ablation_workloads;
+    tc "natural mod-3 three-writer extension is broken (Section 8)"
+      mod3_broken;
+    tc "mod-3 with a single writer degenerates correctly"
+      mod3_single_writer_fine;
+    tc "mod-3 two writers: single writes pass" mod3_two_writers_shallow_ok;
+    tc "mod-3 is broken even as a two-writer register"
+      mod3_two_writers_deep_broken;
+    tc "certifier rejects broken variants" certifier_rejects_broken_variants;
+  ]

@@ -1,0 +1,117 @@
+open Helpers
+module Vm = Registers.Vm
+
+let run_pure prog cells =
+  (* interpret a program against a plain value array, sequentially *)
+  let rec go = function
+    | Vm.Ret a -> a
+    | Vm.Read (c, k) -> go (k cells.(c))
+    | Vm.Write (c, v, k) ->
+      cells.(c) <- v;
+      go (k ())
+  in
+  go prog
+
+let bind_associates () =
+  let p1 =
+    Vm.bind (Vm.bind (Vm.read 0) (fun v -> Vm.return (v + 1))) (fun v ->
+        Vm.return (v * 2))
+  in
+  let p2 =
+    Vm.bind (Vm.read 0) (fun v ->
+        Vm.bind (Vm.return (v + 1)) (fun v -> Vm.return (v * 2)))
+  in
+  Alcotest.(check int) "assoc left" 8 (run_pure p1 [| 3 |]);
+  Alcotest.(check int) "assoc right" 8 (run_pure p2 [| 3 |])
+
+let write_then_read () =
+  let cells = [| 0; 0 |] in
+  let p = Vm.bind (Vm.write 1 42) (fun () -> Vm.read 1) in
+  Alcotest.(check int) "round trip" 42 (run_pure p cells)
+
+let steps_counts_accesses () =
+  let p =
+    Vm.bind (Vm.read 0) (fun _ ->
+        Vm.bind (Vm.write 1 0) (fun () -> Vm.read 1))
+  in
+  Alcotest.(check int) "3 accesses" 3 (Vm.steps ~probe:0 p);
+  Alcotest.(check int) "ret is free" 0 (Vm.steps ~probe:0 (Vm.return ()))
+
+let steps_detects_unbounded () =
+  let rec spin () = Vm.bind (Vm.read 0) (fun _ -> spin ()) in
+  Alcotest.check_raises "non-wait-free"
+    (Invalid_argument "Vm.steps: program exceeds 10000 accesses") (fun () ->
+      ignore (Vm.steps ~probe:0 (spin ())))
+
+let subst_expands_accesses () =
+  (* registers of an abstract machine implemented by two cells each:
+     value is duplicated; reads take the second copy *)
+  let read m = Vm.bind (Vm.read ((2 * m) + 1)) Vm.return in
+  let write m v =
+    Vm.bind (Vm.write (2 * m) v) (fun () -> Vm.write ((2 * m) + 1) v)
+  in
+  let outer = Vm.bind (Vm.write 1 7) (fun () -> Vm.read 1) in
+  let expanded = Vm.subst outer ~read ~write in
+  let cells = [| 0; 0; 0; 0 |] in
+  Alcotest.(check int) "through subst" 7 (run_pure expanded cells);
+  Alcotest.(check (list int)) "both copies written" [ 0; 0; 7; 7 ]
+    (Array.to_list cells)
+
+let stack_lays_out_cells () =
+  (* outer: 2 abstract cells; each inner: 2 real cells *)
+  let inner _ =
+    {
+      Vm.spec = [| Vm.atomic_cell 0; Vm.atomic_cell 0 |];
+      read = (fun ~proc:_ -> Vm.read 1);
+      write =
+        (fun ~proc:_ v -> Vm.bind (Vm.write 0 v) (fun () -> Vm.write 1 v));
+    }
+  in
+  let outer =
+    {
+      Vm.spec = [| Vm.atomic_cell 0; Vm.atomic_cell 0 |];
+      read = (fun ~proc:_ -> Vm.read 1);
+      write = (fun ~proc:_ v -> Vm.write 1 v);
+    }
+  in
+  let stacked = Vm.stack outer ~inner in
+  Alcotest.(check int) "4 cells" 4 (Array.length stacked.Vm.spec);
+  let cells = [| 0; 0; 0; 0 |] in
+  ignore (run_pure (stacked.Vm.write ~proc:0 9) cells);
+  (* outer cell 1 = inner instance 1 = real cells 2,3 *)
+  Alcotest.(check (list int)) "inner 1 written" [ 0; 0; 9; 9 ]
+    (Array.to_list cells);
+  Alcotest.(check int) "read back" 9 (run_pure (stacked.Vm.read ~proc:0) cells)
+
+let history_projection () =
+  let trace =
+    [ Vm.Sim (ev_invoke 0 (write 1)); Vm.Prim_read (0, 1, 9);
+      Vm.Prim_write (0, 0, 1); Vm.Sim (ev_respond 0 None) ]
+  in
+  Alcotest.(check int) "two events" 2
+    (List.length (Vm.history_of_trace trace))
+
+let prim_counts_per_op () =
+  let trace =
+    [ Vm.Sim (ev_invoke 0 (write 1)); Vm.Prim_read (0, 1, 9);
+      Vm.Prim_write (0, 0, 1); Vm.Sim (ev_respond 0 None);
+      Vm.Sim (ev_invoke 2 read); Vm.Prim_read (2, 0, 1);
+      Vm.Prim_read (2, 1, 9); Vm.Prim_read (2, 0, 1);
+      Vm.Sim (ev_respond 2 (Some 1)) ]
+  in
+  match Vm.prim_counts trace with
+  | [ (0, Histories.Event.Write 1, 1, 1); (2, Histories.Event.Read, 3, 0) ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected prim counts"
+
+let suite =
+  [
+    tc "bind associativity" bind_associates;
+    tc "write then read round-trips" write_then_read;
+    tc "steps counts primitive accesses" steps_counts_accesses;
+    tc "steps flags unbounded programs" steps_detects_unbounded;
+    tc "subst expands abstract accesses" subst_expands_accesses;
+    tc "stack lays out inner cells consecutively" stack_lays_out_cells;
+    tc "history projection drops primitives" history_projection;
+    tc "prim counts attribute accesses to operations" prim_counts_per_op;
+  ]

@@ -1,0 +1,94 @@
+open Helpers
+module W = Histories.Weakcheck
+
+let regular ?(init = false) events =
+  W.check_regular ~init (ops_of_events events)
+
+let safe ?(init = false) events = W.check_safe ~init (ops_of_events events)
+
+let bwrite v = write v
+let bread = read
+
+let quiet_read_sees_preceding () =
+  let h =
+    [ ev_invoke 0 (bwrite true); ev_respond 0 None; ev_invoke 1 bread;
+      ev_respond 1 (Some true) ]
+  in
+  Alcotest.(check bool) "regular" true (regular h = W.Ok_weak);
+  Alcotest.(check bool) "safe" true (safe h = W.Ok_weak)
+
+let quiet_read_must_not_lie () =
+  let h =
+    [ ev_invoke 0 (bwrite true); ev_respond 0 None; ev_invoke 1 bread;
+      ev_respond 1 (Some false) ]
+  in
+  (match regular h with
+   | W.Bad_read { got = false; _ } -> ()
+   | _ -> Alcotest.fail "regular should reject");
+  match safe h with
+  | W.Bad_read _ -> ()
+  | _ -> Alcotest.fail "safe should reject (no overlapping write)"
+
+let overlapped_safe_read_anything () =
+  let h =
+    [ ev_invoke 0 (bwrite true); ev_invoke 1 bread; ev_respond 1 (Some false);
+      ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "safe allows junk under overlap" true
+    (safe h = W.Ok_weak)
+
+let overlapped_regular_read_constrained () =
+  (* during a write of [true] over initial [false], both are fine... *)
+  let h v =
+    [ ev_invoke 0 (bwrite true); ev_invoke 1 bread; ev_respond 1 (Some v);
+      ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "old" true (regular (h false) = W.Ok_weak);
+  Alcotest.(check bool) "new" true (regular (h true) = W.Ok_weak)
+
+let regular_rejects_neither_value () =
+  (* ... but an int register mid-write of 2 over 1 must not return 3 *)
+  let h v =
+    [ ev_invoke 0 (write 1); ev_respond 0 None; ev_invoke 0 (write 2);
+      ev_invoke 1 read; ev_respond 1 (Some v); ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "1 ok" true (W.check_regular ~init:0 (ops_of_events (h 1)) = W.Ok_weak);
+  Alcotest.(check bool) "2 ok" true (W.check_regular ~init:0 (ops_of_events (h 2)) = W.Ok_weak);
+  match W.check_regular ~init:0 (ops_of_events (h 3)) with
+  | W.Bad_read { got = 3; allowed; _ } ->
+    Alcotest.(check bool) "allowed = {1,2}" true
+      (List.sort compare allowed = [ 1; 2 ])
+  | _ -> Alcotest.fail "regular should reject 3"
+
+let regular_allows_new_old_inversion () =
+  (* the behaviour regular permits and atomic forbids *)
+  let h =
+    [ ev_invoke 0 (write 2);
+      ev_invoke 1 read; ev_respond 1 (Some 2);
+      ev_invoke 1 read; ev_respond 1 (Some 0);
+      ev_respond 0 None ]
+  in
+  Alcotest.(check bool) "regular tolerates inversion" true
+    (W.check_regular ~init:0 (ops_of_events h) = W.Ok_weak);
+  Alcotest.(check bool) "atomic does not" false
+    (Histories.Linearize.is_atomic ~init:0 (ops_of_events h))
+
+let concurrent_writers_rejected () =
+  let h =
+    [ ev_invoke 0 (write 1); ev_invoke 2 (write 2); ev_respond 0 None;
+      ev_respond 2 None ]
+  in
+  Alcotest.(check bool) "not SWMR" true
+    (W.check_regular ~init:0 (ops_of_events h) = W.Not_single_writer)
+
+let suite =
+  [
+    tc "quiet read sees the preceding write" quiet_read_sees_preceding;
+    tc "quiet read must not lie" quiet_read_must_not_lie;
+    tc "overlapped safe read may return anything" overlapped_safe_read_anything;
+    tc "overlapped regular read: old or new" overlapped_regular_read_constrained;
+    tc "regular rejects values from nowhere" regular_rejects_neither_value;
+    tc "regular permits new-old inversion, atomic does not"
+      regular_allows_new_old_inversion;
+    tc "concurrent writers detected" concurrent_writers_rejected;
+  ]
