@@ -7,7 +7,10 @@
    - micro benchmarks (Bechamel, one Test per operation) for operation
      latencies of the protocol and the baselines.
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe -- [--sections a,b] [--json out.json]
+
+   With --json, every numeric result also lands in a machine-readable
+   file (see the BENCH_*.json baselines at the repo root). *)
 
 open Bechamel
 open Toolkit
@@ -18,6 +21,51 @@ let section name =
   line ();
   Fmt.pr "%s@." name;
   line ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: sections push (name, value) metrics here;  *)
+(* --json dumps them all at exit.                                      *)
+
+module Json = struct
+  let metrics : (string * string * float) list ref = ref []
+
+  let metric ~section name value =
+    metrics := (section, name, value) :: !metrics
+
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let number v =
+    (* JSON has no nan/inf; benches that fail to estimate yield null *)
+    if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+  let write path =
+    let oc = open_out path in
+    let rows = List.rev !metrics in
+    Printf.fprintf oc "{\n  \"schema\": \"bloom-register-bench/1\",\n";
+    Printf.fprintf oc "  \"metrics\": [\n";
+    List.iteri
+      (fun i (s, n, v) ->
+        Printf.fprintf oc
+          "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %s}%s\n"
+          (escape s) (escape n) (number v)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Fmt.pr "wrote %d metrics to %s@." (List.length rows) path
+end
 
 (* ------------------------------------------------------------------ *)
 (* Claim C1/C2: access counts and space, from live counters.           *)
@@ -72,9 +120,10 @@ let throughput ~label ~read ~write0 ~write1 =
   List.iter Domain.join ds;
   let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts in
   let wr = Atomic.get counts.(0) + Atomic.get counts.(1) in
-  Fmt.pr "  %-28s %8.2f Mops/s  (%d writes, %d reads)@." label
-    (float_of_int total /. duration /. 1e6)
-    wr (total - wr)
+  let mops = float_of_int total /. duration /. 1e6 in
+  Json.metric ~section:"throughput" (label ^ " Mops/s") mops;
+  Fmt.pr "  %-28s %8.2f Mops/s  (%d writes, %d reads)@." label mops wr
+    (total - wr)
 
 let bench_throughput () =
   section
@@ -362,6 +411,8 @@ let bench_latency_distribution () =
     Atomic.set stop true;
     Domain.join noise;
     let p50, p99, p999 = percentiles samples in
+    Json.metric ~section:"latency-distribution" (label ^ " p50 ns") p50;
+    Json.metric ~section:"latency-distribution" (label ^ " p99 ns") p99;
     Fmt.pr "  %-24s p50 %7.0f   p99 %7.0f   p99.9 %7.0f@." label p50 p99 p999
   in
   measure ~label:"bloom read" ~op:(fun reg () -> ignore (Core.Shm.read reg));
@@ -414,6 +465,143 @@ let bench_snapshot () =
     [ 0.0; 0.1; 0.3; 0.6; 0.9 ];
   Fmt.pr "  updates stay at 2 accesses; scans grow unboundedly with@.";
   Fmt.pr "  contention - lock-free, not wait-free (test/test_snapshot.ml).@.@."
+
+(* ------------------------------------------------------------------ *)
+(* The message-passing service (lib/net): socket-served ops/sec and    *)
+(* latency, and the fault-rate sweep on the simulated transport.       *)
+
+let net_start_cluster net ~replicas ~audit =
+  let tr = Net.Socket_net.transport net in
+  let replica_nodes = List.init replicas Fun.id in
+  List.iter
+    (fun r ->
+      let rep = Net.Replica.create ~init:0 () in
+      Net.Socket_net.listen net r (fun ~src msg ->
+          List.iter
+            (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+            (Net.Replica.handle rep ~src msg)))
+    replica_nodes;
+  let server =
+    Net.Server.create ~transport:tr ~audit ~me:Net.Transport.server
+      ~replicas:replica_nodes ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
+  server
+
+let bench_net_socket ~audit =
+  let net = Net.Socket_net.create () in
+  let server = net_start_cluster net ~replicas:3 ~audit in
+  let spec =
+    { Harness.Workload.writers = 2; readers = 2; writes_each = 150;
+      reads_each = 150 }
+  in
+  let processes = Harness.Workload.unique_scripts spec in
+  let expected =
+    List.fold_left
+      (fun n { Registers.Vm.script; _ } -> n + List.length script)
+      0 processes
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.map
+      (fun { Registers.Vm.proc; script } ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc
+            in
+            ignore (Net.Client.run_script ~window:8 c script);
+            Net.Client.close c)
+          ())
+      processes
+  in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let served = Net.Server.ops_served server in
+  let ops_s = float_of_int served /. dt in
+  let tag = if audit then "audit on" else "audit off" in
+  Json.metric ~section:"net" (Fmt.str "socket ops/s (%s)" tag) ops_s;
+  Fmt.pr
+    "  socket  %-10s %6d/%d ops in %5.2fs  -> %8.0f ops/s (4 clients, \
+     window 8)@."
+    tag served expected dt ops_s;
+  (* per-operation latency: one unpipelined client, timed per call *)
+  if audit then begin
+    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc:4 in
+    let n = 300 in
+    let sample op =
+      Array.init n (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          op ();
+          (Unix.gettimeofday () -. t0) *. 1e6)
+    in
+    let reads = sample (fun () -> ignore (Net.Client.read c)) in
+    let p50 = Harness.Stats.percentile reads 50.0 in
+    let p99 = Harness.Stats.percentile reads 99.0 in
+    Json.metric ~section:"net" "socket read p50 us" p50;
+    Json.metric ~section:"net" "socket read p99 us" p99;
+    Fmt.pr "  socket  read latency   p50 %7.0f us  p99 %7.0f us@." p50 p99;
+    Net.Client.close c
+  end;
+  Net.Socket_net.shutdown net
+
+let bench_net () =
+  section "net/service - the register as a replicated message-passing service";
+  bench_net_socket ~audit:true;
+  bench_net_socket ~audit:false;
+  (* shared-memory reference point for the same abstraction *)
+  (let reg, _w0, _w1 = Core.Shm.create ~init:0 in
+   let n = 200_000 in
+   let t0 = Unix.gettimeofday () in
+   for _ = 1 to n do
+     ignore (Core.Shm.read reg)
+   done;
+   let ns = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9 in
+   Json.metric ~section:"net" "shm read reference ns" ns;
+   Fmt.pr "  shared-memory reference: read %.0f ns (vs ~ms over sockets)@." ns);
+  (* fault-rate sweep on the simulated transport: virtual-time cost of
+     reliability as the network degrades *)
+  Fmt.pr "  sim transport, 3 replicas, 2 writers + 2 readers:@.";
+  List.iter
+    (fun drop ->
+      let o =
+        Net.Sim_run.run
+          ~faults:(Net.Sim_net.lossy ~drop ~duplicate:(drop /. 2.0) ())
+          ~seed:5 ~init:0
+          ~processes:
+            (Harness.Workload.unique_scripts
+               { Harness.Workload.writers = 2; readers = 2; writes_each = 40;
+                 reads_each = 40 })
+          ()
+      in
+      let lat =
+        Array.of_list (List.map (fun (_, _, l) -> l) o.Net.Sim_run.latencies)
+      in
+      let p50 = Harness.Stats.percentile lat 50.0 in
+      let p99 = Harness.Stats.percentile lat 99.0 in
+      let msgs_per_op =
+        float_of_int o.Net.Sim_run.quorum.Net.Quorum.messages_sent
+        /. float_of_int (max 1 o.Net.Sim_run.completed)
+      in
+      let ops_per_vt =
+        float_of_int o.Net.Sim_run.completed /. o.Net.Sim_run.virtual_span
+      in
+      let pre = Fmt.str "sim drop %.2f" drop in
+      Json.metric ~section:"net" (pre ^ " ops per vtime") ops_per_vt;
+      Json.metric ~section:"net" (pre ^ " latency p50 vt") p50;
+      Json.metric ~section:"net" (pre ^ " latency p99 vt") p99;
+      Json.metric ~section:"net" (pre ^ " msgs per op") msgs_per_op;
+      Fmt.pr
+        "    drop %.2f dup %.2f: %3d/%d ops, %5.2f ops/vtime, latency p50 \
+         %5.1f p99 %5.1f vt, %5.1f msgs/op, %d retransmits%s@."
+        drop (drop /. 2.0) o.Net.Sim_run.completed o.Net.Sim_run.expected
+        ops_per_vt p50 p99 msgs_per_op
+        o.Net.Sim_run.quorum.Net.Quorum.retransmissions
+        (if o.Net.Sim_run.monitor_violation = None && o.Net.Sim_run.fastcheck_ok
+         then ""
+         else "  [NOT ATOMIC!]"))
+    [ 0.0; 0.1; 0.3 ];
+  Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
@@ -584,24 +772,72 @@ let run_micro () =
         |> List.sort compare
       in
       List.iter
-        (fun (name, ns) -> Fmt.pr "  %-40s %12.1f ns/op@." name ns)
+        (fun (name, ns) ->
+          Json.metric ~section:"micro" (name ^ " ns/op") ns;
+          Fmt.pr "  %-40s %12.1f ns/op@." name ns)
         rows)
     (micro_tests ());
   Fmt.pr "@."
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Driver: every section by name, selectable with --sections.          *)
+
+let all_sections =
+  [
+    ("access-counts", bench_access_counts);
+    ("throughput", bench_throughput);
+    ("stalled-writer", bench_stalled_writer);
+    ("crash", bench_crash);
+    ("modelcheck", bench_modelcheck);
+    ("ablations", bench_ablations);
+    ("synthesis", bench_synthesis);
+    ("reachability", bench_reachability);
+    ("latency-distribution", bench_latency_distribution);
+    ("snapshot", bench_snapshot);
+    ("net", bench_net);
+    ("micro", run_micro);
+  ]
+
+let run_bench sections json =
+  let chosen =
+    match sections with
+    | [] -> all_sections
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_sections with
+          | Some f -> (n, f)
+          | None ->
+            Fmt.epr "unknown section %S; known: %a@." n
+              Fmt.(list ~sep:comma string)
+              (List.map fst all_sections);
+            exit 2)
+        names
+  in
   Fmt.pr
     "Reproduction benches for 'Constructing Two-Writer Atomic Registers' \
      (Bloom, PODC 1987)@.@.";
-  bench_access_counts ();
-  bench_throughput ();
-  bench_stalled_writer ();
-  bench_crash ();
-  bench_modelcheck ();
-  bench_ablations ();
-  bench_synthesis ();
-  bench_reachability ();
-  bench_latency_distribution ();
-  bench_snapshot ();
-  run_micro ();
+  List.iter (fun (_, f) -> f ()) chosen;
+  Option.iter Json.write json;
   Fmt.pr "done.@."
+
+open Cmdliner
+
+let sections_arg =
+  Arg.(value
+       & opt (list string) []
+       & info [ "sections" ] ~docv:"NAMES"
+           ~doc:"Comma-separated section names to run (default: all).")
+
+let json_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write every numeric result to $(docv) as JSON.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Reproduction benchmarks for the Bloom register")
+    Term.(const run_bench $ sections_arg $ json_arg)
+
+let () = exit (Cmd.eval cmd)

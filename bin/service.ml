@@ -1,0 +1,280 @@
+(* The message-passing register service CLI.
+
+     net sim    — deterministic simulated cluster under a fault schedule
+     net smoke  — full workload over BOTH transports, audited + re-checked
+     net serve  — replicas + server on Unix-domain sockets in a directory
+     net client — connect to a served directory and run operations
+
+   `dune exec bin/service.exe -- smoke` is the acceptance run: a server, two
+   writer clients and n reader clients over sockets, then the same
+   workload over the simulated transport with drops, reordering,
+   duplication and a replica crash; both histories must pass the live
+   Monitor audit and re-check clean with Fastcheck. *)
+
+module E = Histories.Event
+
+let verdicts ~init history violation =
+  let mon =
+    match violation with
+    | None -> "no violation"
+    | Some v -> Fmt.str "VIOLATION: %a" (Histories.Fastcheck.pp_violation Fmt.int) v
+  in
+  let fc =
+    match Histories.Operation.of_events history with
+    | Error e -> Fmt.str "not input-correct: %a" Histories.Operation.pp_error e
+    | Ok ops ->
+      (match Histories.Fastcheck.check_unique ~init ops with
+       | Histories.Fastcheck.Atomic _ -> "atomic"
+       | Histories.Fastcheck.Violation v ->
+         Fmt.str "NOT ATOMIC: %a" (Histories.Fastcheck.pp_violation Fmt.int) v)
+  in
+  (mon, fc)
+
+let workload ~readers ~writes ~reads =
+  Harness.Workload.unique_scripts
+    { Harness.Workload.writers = 2; readers; writes_each = writes; reads_each = reads }
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+
+let run_sim seed replicas readers writes reads drop dup window crash
+    partition show_history =
+  let faults = Net.Sim_net.lossy ~drop ~duplicate:dup () in
+  let o =
+    Net.Sim_run.run ~faults ~replicas ~window
+      ?crash_replica:(if crash then Some (replicas - 1, 40.0) else None)
+      ?partition_replicas:(if partition then Some (60.0, 120.0) else None)
+      ~seed ~init:0
+      ~processes:(workload ~readers ~writes ~reads)
+      ()
+  in
+  if show_history then
+    Fmt.pr "%a@." (E.pp_history Fmt.int) o.Net.Sim_run.history;
+  Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
+  if
+    o.Net.Sim_run.monitor_violation = None
+    && o.Net.Sim_run.fastcheck_ok
+    && o.Net.Sim_run.completed = o.Net.Sim_run.expected
+  then 0
+  else 1
+
+(* ------------------------------------------------------------------ *)
+(* socket-cluster plumbing shared by smoke/serve                       *)
+
+let start_cluster net ~replicas ~audit =
+  let tr = Net.Socket_net.transport net in
+  let replica_nodes = List.init replicas Fun.id in
+  List.iter
+    (fun r ->
+      let rep = Net.Replica.create ~init:0 () in
+      Net.Socket_net.listen net r (fun ~src msg ->
+          List.iter
+            (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+            (Net.Replica.handle rep ~src msg)))
+    replica_nodes;
+  let server =
+    Net.Server.create ~transport:tr ~audit ~me:Net.Transport.server
+      ~replicas:replica_nodes ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
+  server
+
+let run_socket_workload net ~window processes =
+  let threads =
+    List.map
+      (fun { Registers.Vm.proc; script } ->
+        Thread.create
+          (fun () ->
+            let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc in
+            let r = Net.Client.run_script ~window c script in
+            Net.Client.close c;
+            r)
+          ())
+      processes
+  in
+  List.iter Thread.join threads
+
+(* ------------------------------------------------------------------ *)
+(* smoke                                                               *)
+
+let run_smoke readers writes reads seed =
+  let processes = workload ~readers ~writes ~reads in
+  let expected =
+    List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
+      0 processes
+  in
+  (* --- socket transport --- *)
+  Fmt.pr "== socket transport (Unix-domain, %d replicas, crash 1) ==@." 3;
+  let net = Net.Socket_net.create () in
+  let server = start_cluster net ~replicas:3 ~audit:true in
+  let killer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.2;
+        Net.Socket_net.crash net 2)
+      ()
+  in
+  run_socket_workload net ~window:8 processes;
+  Thread.join killer;
+  let history = Net.Server.history server in
+  let mon, fc = verdicts ~init:0 history (Net.Server.violation server) in
+  let served = Net.Server.ops_served server in
+  Net.Socket_net.shutdown net;
+  Fmt.pr "  %d/%d ops served; live audit: %s; fastcheck: %s@." served expected
+    mon fc;
+  let socket_ok = served = expected && mon = "no violation" && fc = "atomic" in
+  (* --- simulated transport under faults --- *)
+  Fmt.pr
+    "== simulated transport (drop 15%%, dup 10%%, jitter, replica crash) ==@.";
+  let o =
+    Net.Sim_run.run
+      ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
+      ~replicas:3 ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
+  in
+  Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
+  let sim_ok =
+    o.Net.Sim_run.monitor_violation = None
+    && o.Net.Sim_run.fastcheck_ok
+    && o.Net.Sim_run.completed = o.Net.Sim_run.expected
+  in
+  Fmt.pr "smoke: %s@." (if socket_ok && sim_ok then "PASS" else "FAIL");
+  if socket_ok && sim_ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+
+let run_serve dir replicas audit =
+  let net = Net.Socket_net.create ~dir () in
+  let _server = start_cluster net ~replicas ~audit in
+  Fmt.pr "serving the two-writer register in %s (%d replicas)@." dir replicas;
+  Fmt.pr "stop with C-c; clients: dune exec bin/service.exe -- client -d %s ...@."
+    dir;
+  while true do
+    Unix.sleep 3600
+  done;
+  0
+
+let run_client dir proc ops =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "read" ] -> E.Read
+    | [ "write"; v ] -> (
+      match int_of_string_opt v with
+      | Some v -> E.Write v
+      | None -> Fmt.failwith "cannot parse operation %S (read | write:N)" s)
+    | _ -> Fmt.failwith "cannot parse operation %S (read | write:N)" s
+  in
+  match List.map parse ops with
+  | exception Failure msg ->
+    Fmt.epr "service: %s@." msg;
+    2
+  | script ->
+    let net = Net.Socket_net.create ~dir () in
+    let server_sock = Net.Socket_net.path net Net.Transport.server in
+    if not (Sys.file_exists server_sock) then begin
+      Fmt.epr
+        "service: no server socket at %s (is `service serve -d %s` running?)@."
+        server_sock dir;
+      Net.Socket_net.shutdown net;
+      exit 1
+    end;
+    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc in
+    let results = Net.Client.run_script c script in
+    let rejected = ref false in
+    List.iter2
+      (fun op r ->
+        match (op, r) with
+        | E.Read, Some v -> Fmt.pr "read -> %d@." v
+        | E.Write v, None when proc = 0 || proc = 1 ->
+          Fmt.pr "write %d -> ack@." v
+        | E.Write v, None ->
+          (* the server answers rejected writes with the same empty
+             response as an ack; only processors 0 and 1 hold a writer
+             role, so report the rejection instead of a phantom ack *)
+          rejected := true;
+          Fmt.pr "write %d -> rejected (only processors 0 and 1 write)@." v
+        | _ -> Fmt.pr "unexpected response@.")
+      script results;
+    Net.Client.close c;
+    Net.Socket_net.shutdown net;
+    if !rejected then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-schedule seed.")
+let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Reader clients.")
+let writes = Arg.(value & opt int 5 & info [ "writes" ] ~doc:"Writes per writer.")
+let reads = Arg.(value & opt int 8 & info [ "reads" ] ~doc:"Reads per reader.")
+
+let sim_cmd =
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
+  in
+  let drop =
+    Arg.(value & opt float 0.1 & info [ "drop" ] ~doc:"Message drop probability.")
+  in
+  let dup =
+    Arg.(value & opt float 0.05
+         & info [ "dup" ] ~doc:"Message duplication probability.")
+  in
+  let window =
+    Arg.(value & opt int 4 & info [ "window" ] ~doc:"Client pipelining window.")
+  in
+  let crash =
+    Arg.(value & flag & info [ "crash-replica" ] ~doc:"Crash the last replica.")
+  in
+  let partition =
+    Arg.(value & flag
+         & info [ "partition" ] ~doc:"Partition the replicas for a while.")
+  in
+  let history =
+    Arg.(value & flag & info [ "history" ] ~doc:"Print the served history.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a workload over the simulated transport")
+    Term.(const run_sim $ seed $ replicas $ readers $ writes $ reads $ drop
+          $ dup $ window $ crash $ partition $ history)
+
+let smoke_cmd =
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:"Serve a workload over both transports; audit + re-check")
+    Term.(const run_smoke $ readers $ writes $ reads $ seed)
+
+let dir_arg =
+  Arg.(required
+       & opt (some string) None
+       & info [ "d"; "dir" ] ~doc:"Socket directory of the cluster.")
+
+let serve_cmd =
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
+  in
+  let audit =
+    Arg.(value & opt bool true & info [ "audit" ] ~doc:"Live atomicity audit.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve the register over Unix-domain sockets")
+    Term.(const run_serve $ dir_arg $ replicas $ audit)
+
+let client_cmd =
+  let proc =
+    Arg.(value & opt int 2
+         & info [ "proc" ] ~doc:"Processor id (0/1 are the writers).")
+  in
+  let ops =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"OP" ~doc:"Operations: read or write:N.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Run operations against a served register")
+    Term.(const run_client $ dir_arg $ proc $ ops)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "service" ~doc:"The two-writer register as a message-passing service")
+    [ sim_cmd; smoke_cmd; serve_cmd; client_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,95 @@
+type t = {
+  net : Socket_net.t;
+  tr : Transport.t;
+  me : Transport.node;
+  server : Transport.node;
+  proc : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  completed : (int, int option) Hashtbl.t;  (* seq -> result *)
+  mutable next_seq : int;
+}
+
+let connect ~net ~server ~proc =
+  let me = Transport.client proc in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let completed = Hashtbl.create 32 in
+  let rec handler ~src:_ msg =
+    match msg with
+    | Wire.Resp { seq; result } ->
+      Mutex.protect mu (fun () -> Hashtbl.replace completed seq result);
+      Condition.broadcast cond
+    | Wire.Batch msgs -> List.iter (handler ~src:0) msgs
+    | _ -> ()
+  in
+  Socket_net.listen net me handler;
+  let tr = Socket_net.transport net in
+  tr.Transport.send ~src:me ~dst:server (Wire.Hello { proc });
+  { net; tr; me; server; proc; mu; cond; completed; next_seq = 0 }
+
+let fresh_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+let req t op =
+  let seq = fresh_seq t in
+  t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op });
+  seq
+
+let await t seq =
+  Mutex.protect t.mu (fun () ->
+      while not (Hashtbl.mem t.completed seq) do
+        Condition.wait t.cond t.mu
+      done;
+      let r = Hashtbl.find t.completed seq in
+      Hashtbl.remove t.completed seq;
+      r)
+
+let read t =
+  match await t (req t Wire.Read) with
+  | Some v -> v
+  | None -> invalid_arg "Client.read: server returned no value"
+
+let write t v =
+  match await t (req t (Wire.Write v)) with
+  | None when t.proc = 0 || t.proc = 1 -> ()
+  | None -> invalid_arg "Client.write: rejected (not a writer session)"
+  | Some _ -> invalid_arg "Client.write: unexpected read result"
+
+let run_script ?(window = 8) t script =
+  let ops =
+    List.map
+      (function
+        | Histories.Event.Read -> Wire.Read
+        | Histories.Event.Write v -> Wire.Write v)
+      script
+  in
+  let n = List.length ops in
+  let seqs = Array.of_list (List.map (fun op -> (fresh_seq t, op)) ops) in
+  (* ship the initial window as one batched frame *)
+  let initial = min window n in
+  if initial > 0 then
+    t.tr.Transport.send ~src:t.me ~dst:t.server
+      (Wire.Batch
+         (List.init initial (fun i ->
+              let seq, op = seqs.(i) in
+              Wire.Req { seq; op })));
+  let results = ref [] in
+  for i = 0 to n - 1 do
+    results := await t (fst seqs.(i)) :: !results;
+    (* completion of the i-th slides the window forward by one *)
+    let j = i + initial in
+    if j < n then begin
+      let seq, op = seqs.(j) in
+      t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op })
+    end
+  done;
+  List.rev !results
+
+let close t =
+  t.tr.Transport.send ~src:t.me ~dst:t.server Wire.Bye;
+  (* wind down our endpoint so a later connect with the same processor
+     id gets a fresh one (and peers a fresh route to it) *)
+  Socket_net.unlisten t.net t.me

@@ -1,0 +1,35 @@
+(** Blocking client library for the socket-served register.
+
+    A client is itself a node: it listens on its own socket for
+    responses and speaks {!Wire} to the server.  [read]/[write] are
+    the synchronous one-at-a-time API; [run_script] is the pipelined
+    hot path — it opens a window of in-flight requests, ships the
+    initial window as a single [Batch] frame, and tops the window up
+    as responses arrive, which is where the throughput of the service
+    comes from.
+
+    One [t] must be driven by one thread at a time (the paper's
+    input-correctness assumption: a processor is sequential). *)
+
+type t
+
+val connect :
+  net:Socket_net.t -> server:Transport.node -> proc:int -> t
+(** Listen on node {!Transport.client}[ proc] and open a session with
+    the server, declaring this client to be processor [proc] (0 and 1
+    are the two writer roles). *)
+
+val read : t -> int
+val write : t -> int -> unit
+(** @raise Invalid_argument if the server rejects the write (only
+    processors 0 and 1 may write). *)
+
+val run_script :
+  ?window:int -> t -> int Histories.Event.op list -> int option list
+(** Run a whole script with up to [window] (default 8) requests in
+    flight; returns the results in script order ([Some v] per read,
+    [None] per write acknowledgment). *)
+
+val close : t -> unit
+(** Announce session end ([Bye]).  The node's socket is torn down by
+    {!Socket_net.shutdown}. *)

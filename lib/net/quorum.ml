@@ -1,0 +1,154 @@
+type phase =
+  | Collect of {
+      reg : int;
+      born : float;
+      mutable replies : (int * (int * Wire.payload)) list;
+      finish : int * Wire.payload -> unit;
+    }
+  | Store_p of {
+      reg : int;
+      born : float;
+      ts : int;
+      pl : Wire.payload;
+      mutable acks : int list;
+      finish : unit -> unit;
+    }
+
+type stats = {
+  reads : int;
+  writes : int;
+  messages_sent : int;
+  retransmissions : int;
+}
+
+type t = {
+  tr : Transport.t;
+  me : Transport.node;
+  replicas : Transport.node list;
+  quorum : int;
+  pending : (int, phase) Hashtbl.t;
+  wts : int array;
+  mutable next_rid : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable sent : int;
+  mutable retrans : int;
+}
+
+let create ~transport ~me ~replicas ?(nregs = 2) () =
+  {
+    tr = transport;
+    me;
+    replicas;
+    quorum = (List.length replicas / 2) + 1;
+    pending = Hashtbl.create 16;
+    wts = Array.make nregs 0;
+    next_rid = 0;
+    reads = 0;
+    writes = 0;
+    sent = 0;
+    retrans = 0;
+  }
+
+let quorum_size t = t.quorum
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let send_to t dst msg =
+  t.sent <- t.sent + 1;
+  t.tr.Transport.send ~src:t.me ~dst msg
+
+let broadcast t msg = List.iter (fun r -> send_to t r msg) t.replicas
+
+let start_store t ~reg ~ts ~pl ~finish =
+  let rid = fresh_rid t in
+  let born = t.tr.Transport.now () in
+  Hashtbl.replace t.pending rid
+    (Store_p { reg; born; ts; pl; acks = []; finish });
+  broadcast t (Wire.Store { rid; reg; ts; pl })
+
+let read t ~reg ~k =
+  t.reads <- t.reads + 1;
+  let rid = fresh_rid t in
+  let finish (ts, pl) =
+    (* write-back phase: install the freshest pair on a majority before
+       returning it, for reader-reader atomicity *)
+    start_store t ~reg ~ts ~pl ~finish:(fun () -> k pl)
+  in
+  let born = t.tr.Transport.now () in
+  Hashtbl.replace t.pending rid (Collect { reg; born; replies = []; finish });
+  broadcast t (Wire.Query { rid; reg })
+
+let write t ~reg ~value ~k =
+  t.writes <- t.writes + 1;
+  t.wts.(reg) <- t.wts.(reg) + 1;
+  (* the write timestamp dominates every write-back of an earlier read
+     (those reuse timestamps <= wts, by SWMR ownership) *)
+  start_store t ~reg ~ts:t.wts.(reg) ~pl:value ~finish:k
+
+let best replies =
+  List.fold_left
+    (fun acc (_, (ts, pl)) ->
+      match acc with
+      | Some (ts', _) when ts' >= ts -> acc
+      | _ -> Some (ts, pl))
+    None replies
+  |> Option.get
+
+let on_message t ~src msg =
+  let rec go = function
+    | Wire.Query_reply { rid; ts; pl; _ } ->
+      (match Hashtbl.find_opt t.pending rid with
+       | Some (Collect c) when not (List.mem_assoc src c.replies) ->
+         c.replies <- (src, (ts, pl)) :: c.replies;
+         if List.length c.replies >= t.quorum then begin
+           Hashtbl.remove t.pending rid;
+           c.finish (best c.replies)
+         end
+       | _ -> ())
+    | Wire.Store_ack { rid; _ } ->
+      (match Hashtbl.find_opt t.pending rid with
+       | Some (Store_p s) when not (List.mem src s.acks) ->
+         s.acks <- src :: s.acks;
+         if List.length s.acks >= t.quorum then begin
+           Hashtbl.remove t.pending rid;
+           s.finish ()
+         end
+       | _ -> ())
+    | Wire.Batch msgs -> List.iter go msgs
+    | _ -> ()
+  in
+  go msg
+
+let resend_pending ?(older_than = 0.0) t =
+  let cutoff = t.tr.Transport.now () -. older_than in
+  Hashtbl.iter
+    (fun rid phase ->
+      let resend answered msg =
+        List.iter
+          (fun r ->
+            if not (List.mem r answered) then begin
+              t.retrans <- t.retrans + 1;
+              send_to t r msg
+            end)
+          t.replicas
+      in
+      match phase with
+      | Collect c when c.born <= cutoff ->
+        resend (List.map fst c.replies) (Wire.Query { rid; reg = c.reg })
+      | Store_p s when s.born <= cutoff ->
+        resend s.acks (Wire.Store { rid; reg = s.reg; ts = s.ts; pl = s.pl })
+      | Collect _ | Store_p _ -> ())
+    t.pending;
+  Hashtbl.length t.pending > 0
+
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    messages_sent = t.sent;
+    retransmissions = t.retrans;
+  }

@@ -1,0 +1,61 @@
+(** The active half of the ABD-style quorum construction: each of the
+    paper's two "real registers" as an atomic SWMR register over
+    crash-prone replicas.
+
+    A {e write} of register [i] takes the next write-timestamp for [i]
+    and stores the pair on a majority.  A {e read} queries a majority,
+    picks the pair with the highest timestamp, and {e writes it back}
+    to a majority before returning — the write-back is what makes the
+    register atomic rather than merely regular (without it two
+    concurrent reader sessions can exhibit a new–old inversion).  Any
+    minority of replicas may crash, and the network may drop, delay,
+    reorder or duplicate messages: lost messages are retransmitted by
+    {!resend_pending} (driven by a transport timer), and replicas are
+    idempotent, so duplicates are harmless.
+
+    Timestamps are per-register counters owned by this engine; the
+    engine must be the only writer of its registers (exactly the
+    paper's SWMR architecture — Wr{_i} is the sole writer of Reg{_i},
+    and one front-end server hosts both writer sessions).
+
+    Operations are asynchronous: [read]/[write] send the first phase
+    and return; the continuation runs (possibly reentrantly from
+    {!on_message}) once a quorum has answered.  This continuation style
+    is what lets the unchanged {!Core.Protocol} micro-step programs be
+    interpreted over the network by {!Server}. *)
+
+type t
+
+val create :
+  transport:Transport.t ->
+  me:Transport.node ->
+  replicas:Transport.node list ->
+  ?nregs:int ->
+  unit ->
+  t
+
+val quorum_size : t -> int
+(** Majority: [n/2 + 1] of the replicas. *)
+
+val read : t -> reg:int -> k:(Wire.payload -> unit) -> unit
+val write : t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+
+val on_message : t -> src:Transport.node -> Wire.msg -> unit
+(** Feed [Query_reply]/[Store_ack] messages; replies from unknown
+    request ids (stale retransmissions, duplicates) are ignored. *)
+
+val resend_pending : ?older_than:float -> t -> bool
+(** Retransmit every outstanding phase at least [older_than] (default
+    0) clock units old to the replicas that have not yet answered it;
+    returns whether anything is still outstanding.  The age filter
+    keeps a periodic timer from re-sending phases whose first
+    transmission is still legitimately in flight. *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  messages_sent : int;
+  retransmissions : int;
+}
+
+val stats : t -> stats

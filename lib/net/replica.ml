@@ -1,0 +1,27 @@
+type t = {
+  regs : (int * Wire.payload) array;  (* (timestamp, payload) per register *)
+  mutable handled : int;
+}
+
+let create ?(nregs = 2) ~init () =
+  {
+    regs = Array.make nregs (0, Registers.Tagged.initial init);
+    handled = 0;
+  }
+
+let rec handle t ~src msg =
+  t.handled <- t.handled + 1;
+  match msg with
+  | Wire.Query { rid; reg } when reg >= 0 && reg < Array.length t.regs ->
+    let ts, pl = t.regs.(reg) in
+    [ (src, Wire.Query_reply { rid; reg; ts; pl }) ]
+  | Wire.Store { rid; reg; ts; pl } when reg >= 0 && reg < Array.length t.regs
+    ->
+    let cur, _ = t.regs.(reg) in
+    if ts > cur then t.regs.(reg) <- (ts, pl);
+    [ (src, Wire.Store_ack { rid; reg }) ]
+  | Wire.Batch msgs -> List.concat_map (handle t ~src) msgs
+  | _ -> []
+
+let contents t = Array.copy t.regs
+let handled t = t.handled

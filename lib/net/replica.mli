@@ -1,0 +1,30 @@
+(** A crash-prone replica holding one timestamped copy of each of the
+    paper's two real registers.
+
+    Replicas are the passive half of the ABD-style construction
+    (Attiya–Bar-Noy–Dolev; see also Mostéfaoui–Raynal in PAPERS.md):
+    they answer [Query] with their current (timestamp, tagged value)
+    pair and apply [Store] iff its timestamp is newer than what they
+    hold.  Both handlers are idempotent and monotone, so the quorum
+    engine may retransmit freely and the network may duplicate or
+    reorder messages without affecting safety.
+
+    The state machine is pure message-in/messages-out — it runs
+    unchanged under {!Sim_net} and {!Socket_net}. *)
+
+type t
+
+val create : ?nregs:int -> init:int -> unit -> t
+(** [nregs] defaults to 2 (the paper's Reg0/Reg1), each initialised to
+    the tagged value [(init, 0)] at timestamp 0. *)
+
+val handle :
+  t -> src:Transport.node -> Wire.msg -> (Transport.node * Wire.msg) list
+(** Process one message, returning the replies to send.  Unknown
+    message kinds are ignored; [Batch] is flattened. *)
+
+val contents : t -> (int * Wire.payload) array
+(** Current (timestamp, payload) per register — for tests. *)
+
+val handled : t -> int
+(** Number of messages processed. *)

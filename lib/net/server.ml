@@ -1,0 +1,157 @@
+module E = Histories.Event
+module Vm = Registers.Vm
+
+type session = {
+  src : Transport.node;
+  proc : E.proc;
+  mutable next_seq : int;  (* next sequence number to admit *)
+  stash : (int, Wire.op) Hashtbl.t;  (* out-of-order arrivals *)
+  queue : (int * Wire.op) Queue.t;  (* admitted, not yet started *)
+  mutable busy : bool;  (* an operation is executing *)
+}
+
+type t = {
+  tr : Transport.t;
+  me : Transport.node;
+  quorum : Quorum.t;
+  sessions : (Transport.node, session) Hashtbl.t;
+  monitor : int Histories.Monitor.t option;
+  mutable violation : int Histories.Fastcheck.violation option;
+  mutable events_rev : (float * int E.t) list;
+  mutable ops_served : int;
+  mutable rejected : int;
+  mutable timer_armed : bool;
+  resend_every : float;
+}
+
+let create ~transport ?(audit = true) ?(resend_every = 0.05) ~me ~replicas
+    ~init () =
+  {
+    tr = transport;
+    me;
+    quorum = Quorum.create ~transport ~me ~replicas ();
+    sessions = Hashtbl.create 16;
+    monitor = (if audit then Some (Histories.Monitor.create ~init) else None);
+    violation = None;
+    events_rev = [];
+    ops_served = 0;
+    rejected = 0;
+    timer_armed = false;
+    resend_every;
+  }
+
+let record t ev =
+  t.events_rev <- (t.tr.Transport.now (), ev) :: t.events_rev;
+  match t.monitor with
+  | None -> ()
+  | Some m ->
+    (match Histories.Monitor.observe m ev with
+     | Histories.Monitor.Ok_so_far -> ()
+     | Histories.Monitor.Violation v ->
+       if t.violation = None then t.violation <- Some v)
+
+(* Retransmission driver: armed while operations are in flight, quiet
+   when the service is idle.  Re-armed from each operation start. *)
+let rec arm_timer t =
+  if not t.timer_armed then begin
+    t.timer_armed <- true;
+    t.tr.Transport.set_timer ~node:t.me ~delay:t.resend_every (fun () ->
+        t.timer_armed <- false;
+        (* only phases a full period old can have lost a message *)
+        if Quorum.resend_pending ~older_than:t.resend_every t.quorum then
+          arm_timer t)
+  end
+
+(* Interpret a Bloom micro-step program, mapping each primitive cell
+   access to a quorum operation on the replicated real register. *)
+let rec exec : 'a. t -> (Wire.payload, 'a) Vm.prog -> ('a -> unit) -> unit =
+  fun t prog k ->
+  match prog with
+  | Vm.Ret a -> k a
+  | Vm.Read (reg, cont) ->
+    Quorum.read t.quorum ~reg ~k:(fun pl -> exec t (cont pl) k)
+  | Vm.Write (reg, pl, cont) ->
+    Quorum.write t.quorum ~reg ~value:pl ~k:(fun () -> exec t (cont ()) k)
+
+let respond t s seq result =
+  t.ops_served <- t.ops_served + 1;
+  t.tr.Transport.send ~src:t.me ~dst:s.src (Wire.Resp { seq; result })
+
+let rec start_next t s =
+  if not s.busy then
+    match Queue.take_opt s.queue with
+    | None -> ()
+    | Some (seq, op) ->
+      s.busy <- true;
+      arm_timer t;
+      (match op with
+       | Wire.Read ->
+         record t (E.Invoke (s.proc, E.Read));
+         exec t
+           (Core.Protocol.read_prog ())
+           (fun v ->
+             record t (E.Respond (s.proc, Some v));
+             respond t s seq (Some v);
+             s.busy <- false;
+             start_next t s)
+       | Wire.Write v when s.proc = 0 || s.proc = 1 ->
+         record t (E.Invoke (s.proc, E.Write v));
+         exec t
+           (Core.Protocol.write_prog ~level:0 ~proc:s.proc v)
+           (fun () ->
+             record t (E.Respond (s.proc, None));
+             respond t s seq None;
+             s.busy <- false;
+             start_next t s)
+       | Wire.Write _ ->
+         (* only processors 0 and 1 hold the two writer roles *)
+         t.rejected <- t.rejected + 1;
+         t.tr.Transport.send ~src:t.me ~dst:s.src
+           (Wire.Resp { seq; result = None });
+         s.busy <- false;
+         start_next t s)
+
+let admit t s =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt s.stash s.next_seq with
+    | Some op ->
+      Hashtbl.remove s.stash s.next_seq;
+      Queue.add (s.next_seq, op) s.queue;
+      s.next_seq <- s.next_seq + 1;
+      progressed := true
+    | None -> continue := false
+  done;
+  if !progressed then start_next t s
+
+let rec on_message t ~src msg =
+  match msg with
+  | Wire.Hello { proc } ->
+    Hashtbl.replace t.sessions src
+      {
+        src;
+        proc;
+        next_seq = 0;
+        stash = Hashtbl.create 8;
+        queue = Queue.create ();
+        busy = false;
+      }
+  | Wire.Req { seq; op } ->
+    (match Hashtbl.find_opt t.sessions src with
+     | Some s when seq >= s.next_seq ->
+       Hashtbl.replace s.stash seq op;
+       admit t s
+     | Some _ | None -> ())  (* duplicate or sessionless request *)
+  | Wire.Query_reply _ | Wire.Store_ack _ ->
+    Quorum.on_message t.quorum ~src msg
+  | Wire.Batch msgs -> List.iter (fun m -> on_message t ~src m) msgs
+  | Wire.Bye -> Hashtbl.remove t.sessions src
+  | Wire.Resp _ | Wire.Query _ | Wire.Store _ -> ()
+
+let history t = List.rev_map snd t.events_rev
+let timed_history t = List.rev t.events_rev
+let violation t = t.violation
+let ops_served t = t.ops_served
+let rejected t = t.rejected
+let quorum_stats t = Quorum.stats t.quorum

@@ -1,0 +1,64 @@
+(** The register service front-end.
+
+    The server owns both writer roles' real registers as ABD quorum
+    registers over the replicas ({!Quorum}) and executes Bloom's {e
+    unchanged} protocol code on behalf of client sessions: a session's
+    read runs {!Core.Protocol.read_prog}, a writer session's write runs
+    {!Core.Protocol.write_prog}, with every primitive cell access
+    interpreted as a quorum operation on the corresponding replicated
+    real register.  The two-writer construction therefore runs
+    end-to-end over messages, tolerating a minority of replica crashes
+    and a lossy, reordering, duplicating network.
+
+    Sessions are per client ([Hello] opens one, declaring which
+    processor of the history the client plays).  Requests carry
+    sequence numbers; the server executes each session's operations
+    strictly in sequence order (a processor is sequential — the paper's
+    input-correctness assumption) while different sessions' operations
+    interleave freely, so clients can pipeline.  Out-of-order arrivals
+    are buffered.
+
+    With [audit] on, every operation is fed to a live
+    {!Histories.Monitor} at its invocation and response: the serialized
+    server-side event order is a sound witness (server-side intervals
+    are contained in client-observed intervals, so it carries {e more}
+    real-time precedence than any client view — if it is atomic, the
+    clients' history is too).  The first violation is latched; the
+    recorded history can additionally be re-checked post-hoc with
+    {!Histories.Fastcheck} provided written values are unique. *)
+
+type t
+
+val create :
+  transport:Transport.t ->
+  ?audit:bool ->
+  ?resend_every:float ->
+  me:Transport.node ->
+  replicas:Transport.node list ->
+  init:int ->
+  unit ->
+  t
+(** [audit] defaults to [true].  [resend_every] (default 0.05) is the
+    retransmission period in transport-clock units; it should exceed a
+    round trip (for {!Sim_net}, a multiple of [max_delay]). *)
+
+val on_message : t -> src:Transport.node -> Wire.msg -> unit
+
+val history : t -> int Histories.Event.t list
+(** All recorded invocation/response events, oldest first. *)
+
+val timed_history : t -> (float * int Histories.Event.t) list
+(** Same, with the transport-clock instant of each event — latency
+    distributions are derived from this. *)
+
+val violation : t -> int Histories.Fastcheck.violation option
+(** First atomicity violation caught by the live audit, if any. *)
+
+val ops_served : t -> int
+
+val rejected : t -> int
+(** Writes attempted by non-writer sessions (procs other than 0 and
+    1); acknowledged with [Resp { result = None }] but not executed
+    and not recorded in the history. *)
+
+val quorum_stats : t -> Quorum.stats

@@ -1,0 +1,214 @@
+type faults = {
+  drop : float;
+  duplicate : float;
+  min_delay : float;
+  max_delay : float;
+  immune : src:Transport.node -> dst:Transport.node -> bool;
+}
+
+let no_immunity ~src:_ ~dst:_ = false
+
+let reliable =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    min_delay = 1.0;
+    max_delay = 1.0;
+    immune = no_immunity;
+  }
+
+let lossy ?(drop = 0.1) ?(duplicate = 0.05) ?(min_delay = 0.5)
+    ?(max_delay = 2.0) () =
+  { drop; duplicate; min_delay; max_delay; immune = no_immunity }
+
+type stats = {
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  blocked : int;
+  timer_fires : int;
+}
+
+type ev =
+  | Deliver of { src : int; dst : int; msg : Wire.msg }
+  | Timer of { node : int; f : unit -> unit }
+
+type entry = { time : float; seq : int; ev : ev }
+
+(* A plain binary min-heap on (time, seq); seq breaks ties so the order
+   of simultaneous events is the order they were scheduled in. *)
+module Heap = struct
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy = { time = 0.0; seq = 0; ev = Timer { node = -1; f = ignore } }
+  let create () = { a = Array.make 64 dummy; n = 0 }
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- e;
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && lt h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.n && lt h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type t = {
+  rng : Random.State.t;
+  faults : faults;
+  heap : Heap.t;
+  handlers : (int, src:int -> Wire.msg -> unit) Hashtbl.t;
+  dead : (int, unit) Hashtbl.t;
+  mutable cut : (int list * int list) option;
+  mutable clock : float;
+  mutable seqno : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable blocked : int;
+  mutable timer_fires : int;
+}
+
+let create ~seed ~faults () =
+  {
+    rng = Random.State.make [| seed; 0x6e657421 |];
+    faults;
+    heap = Heap.create ();
+    handlers = Hashtbl.create 16;
+    dead = Hashtbl.create 4;
+    cut = None;
+    clock = 0.0;
+    seqno = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    blocked = 0;
+    timer_fires = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~delay ev =
+  let seq = t.seqno in
+  t.seqno <- seq + 1;
+  Heap.push t.heap { time = t.clock +. delay; seq; ev }
+
+let severed t src dst =
+  match t.cut with
+  | None -> false
+  | Some (a, b) ->
+    (List.mem src a && List.mem dst b) || (List.mem src b && List.mem dst a)
+
+let delay_of t =
+  let f = t.faults in
+  f.min_delay +. Random.State.float t.rng (f.max_delay -. f.min_delay +. epsilon_float)
+
+let send t ~src ~dst msg =
+  if Hashtbl.mem t.dead dst then t.dropped <- t.dropped + 1
+  else if severed t src dst then t.blocked <- t.blocked + 1
+  else begin
+    let f = t.faults in
+    let immune = f.immune ~src ~dst in
+    if (not immune) && f.drop > 0.0 && Random.State.float t.rng 1.0 < f.drop
+    then t.dropped <- t.dropped + 1
+    else begin
+      schedule t ~delay:(delay_of t) (Deliver { src; dst; msg });
+      if
+        (not immune) && f.duplicate > 0.0
+        && Random.State.float t.rng 1.0 < f.duplicate
+      then begin
+        t.duplicated <- t.duplicated + 1;
+        schedule t ~delay:(delay_of t) (Deliver { src; dst; msg })
+      end
+    end
+  end
+
+let set_timer t ~node ~delay f = schedule t ~delay (Timer { node; f })
+
+let transport t =
+  {
+    Transport.send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    set_timer = (fun ~node ~delay f -> set_timer t ~node ~delay f);
+    now = (fun () -> now t);
+  }
+
+let register t node handler = Hashtbl.replace t.handlers node handler
+let crash t node = Hashtbl.replace t.dead node ()
+let alive t node = not (Hashtbl.mem t.dead node)
+let partition t a b = t.cut <- Some (a, b)
+let heal t = t.cut <- None
+
+let at t time f =
+  schedule t ~delay:(Float.max 0.0 (time -. t.clock)) (Timer { node = -1; f })
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some { time; ev; _ } ->
+    t.clock <- Float.max t.clock time;
+    (match ev with
+     | Deliver { src; dst; msg } ->
+       if Hashtbl.mem t.dead dst then t.dropped <- t.dropped + 1
+       else begin
+         match Hashtbl.find_opt t.handlers dst with
+         | Some h ->
+           t.delivered <- t.delivered + 1;
+           h ~src msg
+         | None -> t.dropped <- t.dropped + 1
+       end
+     | Timer { node; f } ->
+       if node = -1 || not (Hashtbl.mem t.dead node) then begin
+         t.timer_fires <- t.timer_fires + 1;
+         f ()
+       end);
+    true
+
+let run ?(max_steps = 1_000_000) t =
+  let steps = ref 0 in
+  while !steps < max_steps && step t do
+    incr steps
+  done;
+  !steps
+
+let stats t =
+  {
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    blocked = t.blocked;
+    timer_fires = t.timer_fires;
+  }

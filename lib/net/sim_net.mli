@@ -1,0 +1,87 @@
+(** A deterministic in-process simulated network with seeded fault
+    injection.
+
+    Messages in flight live in a virtual-time priority queue; {!step}
+    pops the earliest event and invokes the destination's handler
+    (which may send further messages and set timers).  All
+    nondeterminism — delivery delays (hence reordering), drops,
+    duplicates — is drawn from one seeded PRNG, so a run is a pure
+    function of [(seed, faults, workload)] and any interleaving found
+    by a fault-schedule sweep can be replayed exactly.
+
+    Faults modelled: message delay/reorder/drop/duplication per link
+    ([faults]), network partition ({!partition}/{!heal}), and process
+    crash ({!crash} — the node stops receiving forever; messages
+    already sent by it still arrive, like packets in flight when a
+    process dies). *)
+
+type faults = {
+  drop : float;  (** per-message drop probability *)
+  duplicate : float;  (** per-message duplication probability *)
+  min_delay : float;
+  max_delay : float;
+      (** per-message delivery delay, uniform in
+          [[min_delay, max_delay]]; jitter is what reorders messages *)
+  immune : src:Transport.node -> dst:Transport.node -> bool;
+      (** links on which drop/duplicate are suppressed (delay still
+          applies).  Client/server sessions assume a reliable link —
+          TCP-like — so harnesses mark them immune; replica links are
+          the crash-prone, lossy medium. *)
+}
+
+val reliable : faults
+(** No drops, no duplicates, constant delay 1.0. *)
+
+val lossy :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  unit ->
+  faults
+(** Defaults: [drop 0.1], [duplicate 0.05], delays in [[0.5, 2.0]],
+    nothing immune. *)
+
+type stats = {
+  delivered : int;
+  dropped : int;  (** lost to fault injection or a dead destination *)
+  duplicated : int;
+  blocked : int;  (** lost to a partition *)
+  timer_fires : int;
+}
+
+type t
+
+val create : seed:int -> faults:faults -> unit -> t
+
+val transport : t -> Transport.t
+
+val register :
+  t -> Transport.node -> (src:Transport.node -> Wire.msg -> unit) -> unit
+(** Install the node's message handler.  Handlers may reentrantly call
+    [send]/[set_timer]. *)
+
+val crash : t -> Transport.node -> unit
+val alive : t -> Transport.node -> bool
+
+val partition : t -> Transport.node list -> Transport.node list -> unit
+(** Sever every link between the two groups (both directions; messages
+    crossing the cut are counted [blocked] and lost). *)
+
+val heal : t -> unit
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute virtual time — fault schedules
+    (crash this replica at t, heal at t') are built from this. *)
+
+val now : t -> float
+
+val step : t -> bool
+(** Deliver the earliest pending event; [false] when the queue is
+    empty (the system is quiescent). *)
+
+val run : ?max_steps:int -> t -> int
+(** Step until quiescent or [max_steps] (default 1_000_000); returns
+    the number of steps taken. *)
+
+val stats : t -> stats

@@ -1,0 +1,167 @@
+module E = Histories.Event
+
+type outcome = {
+  history : int E.t list;
+  timed : (float * int E.t) list;
+  monitor_violation : string option;
+  fastcheck_ok : bool;
+  completed : int;
+  expected : int;
+  steps : int;
+  virtual_span : float;
+  latencies : (E.proc * int E.op * float) list;
+  net : Sim_net.stats;
+  quorum : Quorum.stats;
+}
+
+type client = {
+  proc : E.proc;
+  mutable todo : int E.op list;
+  mutable next_seq : int;
+}
+
+let is_client n = n >= 200
+
+let latencies_of timed =
+  let pending = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (time, ev) ->
+      match ev with
+      | E.Invoke (p, op) ->
+        Hashtbl.replace pending p (time, op);
+        acc
+      | E.Respond (p, _) ->
+        (match Hashtbl.find_opt pending p with
+         | Some (t0, op) ->
+           Hashtbl.remove pending p;
+           (p, op, time -. t0) :: acc
+         | None -> acc))
+    [] timed
+  |> List.rev
+
+let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
+    ?crash_replica ?partition_replicas ?(max_steps = 2_000_000)
+    ?(audit = true) ~seed ~init ~processes () =
+  let faults =
+    {
+      faults with
+      Sim_net.immune =
+        (fun ~src ~dst ->
+          is_client src || is_client dst || faults.Sim_net.immune ~src ~dst);
+    }
+  in
+  let net = Sim_net.create ~seed ~faults () in
+  let tr = Sim_net.transport net in
+  let replica_nodes = List.init replicas Fun.id in
+  (* replicas *)
+  List.iter
+    (fun r ->
+      let rep = Replica.create ~init () in
+      Sim_net.register net r (fun ~src msg ->
+          List.iter
+            (fun (dst, m) -> tr.Transport.send ~src:r ~dst m)
+            (Replica.handle rep ~src msg)))
+    replica_nodes;
+  (* server; retransmission period must exceed a replica round trip *)
+  let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
+  let server =
+    Server.create ~transport:tr ~audit ~resend_every ~me:Transport.server
+      ~replicas:replica_nodes ~init ()
+  in
+  Sim_net.register net Transport.server (Server.on_message server);
+  (* clients: send [Hello; first window] as one batch, then keep the
+     window full as responses arrive *)
+  List.iter
+    (fun { Registers.Vm.proc; script } ->
+      let me = Transport.client proc in
+      let c = { proc; todo = script; next_seq = 0 } in
+      let next_req () =
+        match c.todo with
+        | [] -> None
+        | op :: rest ->
+          c.todo <- rest;
+          let seq = c.next_seq in
+          c.next_seq <- seq + 1;
+          let op =
+            match op with E.Read -> Wire.Read | E.Write v -> Wire.Write v
+          in
+          Some (Wire.Req { seq; op })
+      in
+      Sim_net.register net me (fun ~src:_ msg ->
+          match msg with
+          | Wire.Resp _ ->
+            (match next_req () with
+             | Some req ->
+               tr.Transport.send ~src:me ~dst:Transport.server req
+             | None -> ())
+          | _ -> ());
+      let first = ref [ Wire.Hello { proc } ] in
+      for _ = 1 to window do
+        match next_req () with
+        | Some req -> first := req :: !first
+        | None -> ()
+      done;
+      tr.Transport.send ~src:me ~dst:Transport.server
+        (Wire.Batch (List.rev !first)))
+    processes;
+  (* fault schedule *)
+  (match crash_replica with
+   | Some (r, time) -> Sim_net.at net time (fun () -> Sim_net.crash net r)
+   | None -> ());
+  (match partition_replicas with
+   | Some (t0, t1) ->
+     Sim_net.at net t0 (fun () ->
+         Sim_net.partition net replica_nodes [ Transport.server ]);
+     Sim_net.at net t1 (fun () -> Sim_net.heal net)
+   | None -> ());
+  let steps = Sim_net.run ~max_steps net in
+  let timed = Server.timed_history server in
+  let history = List.map snd timed in
+  let completed =
+    List.length (List.filter (function E.Respond _ -> true | _ -> false) history)
+  in
+  let expected =
+    List.fold_left
+      (fun n { Registers.Vm.script; _ } -> n + List.length script)
+      0 processes
+  in
+  let fastcheck_ok =
+    match Histories.Operation.of_events history with
+    | Error _ -> false
+    | Ok ops ->
+      (match Histories.Fastcheck.check_unique ~init ops with
+       | Histories.Fastcheck.Atomic _ -> true
+       | Histories.Fastcheck.Violation _ -> false)
+  in
+  {
+    history;
+    timed;
+    monitor_violation =
+      Option.map
+        (Fmt.str "%a" (Histories.Fastcheck.pp_violation Fmt.int))
+        (Server.violation server);
+    fastcheck_ok;
+    completed;
+    expected;
+    steps;
+    virtual_span = Sim_net.now net;
+    latencies = latencies_of timed;
+    net = Sim_net.stats net;
+    quorum = Server.quorum_stats server;
+  }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>ops: %d/%d completed in %d steps (virtual span %.1f)@,\
+     live audit: %s@,\
+     fastcheck:  %s@,\
+     network: %d delivered, %d dropped, %d duplicated, %d blocked@,\
+     quorum: %d reads, %d writes, %d msgs, %d retransmissions@]"
+    o.completed o.expected o.steps o.virtual_span
+    (match o.monitor_violation with
+     | None -> "no violation"
+     | Some v -> "VIOLATION: " ^ v)
+    (if o.fastcheck_ok then "atomic" else "NOT ATOMIC")
+    o.net.Sim_net.delivered o.net.Sim_net.dropped o.net.Sim_net.duplicated
+    o.net.Sim_net.blocked o.quorum.Quorum.reads o.quorum.Quorum.writes
+    o.quorum.Quorum.messages_sent o.quorum.Quorum.retransmissions

@@ -1,0 +1,55 @@
+(** One-call harness: run a register workload over a simulated cluster
+    under a seeded fault schedule, audit it live, and re-check the
+    served history.
+
+    Topology: [replicas] replica nodes ([0 .. r-1]), one server
+    ({!Transport.server}), one client node per workload process
+    ({!Transport.client}[ proc]).  Client/server links are made immune
+    to drops and duplicates (they model a TCP-like session; delay
+    jitter — and hence reordering, which the server's sequence-number
+    buffering absorbs — still applies); replica links suffer the full
+    fault schedule.
+
+    The whole run is deterministic in [(seed, faults, workload,
+    schedule)]: sweeping seeds and fault parameters model-checks the
+    transport + quorum + server stack, which is exactly what
+    [test/test_net.ml] does. *)
+
+type outcome = {
+  history : int Histories.Event.t list;  (** as recorded by the server *)
+  timed : (float * int Histories.Event.t) list;
+  monitor_violation : string option;
+      (** live-audit verdict ([None] = no violation observed) *)
+  fastcheck_ok : bool;
+      (** post-hoc {!Histories.Fastcheck} verdict on the history
+          (requires the workload's written values to be unique) *)
+  completed : int;  (** operations that received a response *)
+  expected : int;  (** operations in the workload *)
+  steps : int;  (** simulator events processed *)
+  virtual_span : float;  (** virtual time at quiescence *)
+  latencies : (Histories.Event.proc * int Histories.Event.op * float) list;
+      (** per completed operation, in virtual time units *)
+  net : Sim_net.stats;
+  quorum : Quorum.stats;
+}
+
+val run :
+  ?faults:Sim_net.faults ->
+  ?replicas:int ->
+  ?window:int ->
+  ?crash_replica:(int * float) ->
+  ?partition_replicas:float * float ->
+  ?max_steps:int ->
+  ?audit:bool ->
+  seed:int ->
+  init:int ->
+  processes:int Registers.Vm.process list ->
+  unit ->
+  outcome
+(** [crash_replica (i, t)] crashes replica [i] at virtual time [t];
+    [partition_replicas (t0, t1)] severs all replicas from the server
+    during [[t0, t1)].  Defaults: reliable network, 3 replicas,
+    pipelining window 4, audit on, [max_steps] 2_000_000. *)
+
+val pp_outcome : outcome Fmt.t
+(** One-paragraph summary (completion, verdicts, network stats). *)

@@ -1,0 +1,241 @@
+type endpoint = {
+  node : int;
+  lfd : Unix.file_descr;
+  hmu : Mutex.t;  (* serializes handler + timer callbacks for the node *)
+  handler : src:int -> Wire.msg -> unit;
+  mutable stopped : bool;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;  (* serializes frame writes *)
+}
+
+type t = {
+  dir : string;
+  mu : Mutex.t;  (* guards the tables and thread list *)
+  eps : (int, endpoint) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;  (* outbound, keyed by destination *)
+  mutable threads : Thread.t list;
+  mutable closed : bool;
+}
+
+let poll_period = 0.05
+let max_frame = 16 * 1024 * 1024
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go n =
+    let d =
+      Filename.concat base
+        (Fmt.str "bloomnet-%d-%d" (Unix.getpid ()) (n + Random.bits ()))
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
+  in
+  go 0
+
+let create ?dir () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let dir =
+    match dir with
+    | Some d ->
+      (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      d
+    | None -> fresh_dir ()
+  in
+  {
+    dir;
+    mu = Mutex.create ();
+    eps = Hashtbl.create 8;
+    conns = Hashtbl.create 8;
+    threads = [];
+    closed = false;
+  }
+
+let dir t = t.dir
+let path t node = Filename.concat t.dir (Fmt.str "n%d.sock" node)
+
+let add_thread t th = Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
+
+(* Read exactly [len] bytes, polling so the thread notices [stopped]
+   without relying on close() interrupting a blocked read. *)
+let read_exact ep fd buf len =
+  let got = ref 0 in
+  let ok = ref true in
+  (try
+     while !ok && !got < len do
+       if ep.stopped then ok := false
+       else begin
+         match Unix.select [ fd ] [] [] poll_period with
+         | [], _, _ -> ()
+         | _ ->
+           (match Unix.read fd buf !got (len - !got) with
+            | 0 -> ok := false
+            | k -> got := !got + k)
+       end
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ok := false);
+  !ok
+
+let recv_loop t ep cfd =
+  let hdr = Bytes.create Wire.header_size in
+  let continue = ref true in
+  while !continue do
+    if not (read_exact ep cfd hdr Wire.header_size) then continue := false
+    else begin
+      let len, src = Wire.parse_header hdr in
+      if len < 0 || len > max_frame then continue := false
+      else begin
+        let body = Bytes.create len in
+        if not (read_exact ep cfd body len) then continue := false
+        else
+          match Wire.decode (Bytes.to_string body) with
+          | Error _ -> continue := false
+          | Ok msg ->
+            Mutex.protect ep.hmu (fun () ->
+                if not ep.stopped then ep.handler ~src msg)
+      end
+    end
+  done;
+  ignore t;
+  try Unix.close cfd with Unix.Unix_error _ -> ()
+
+let accept_loop t ep =
+  let continue = ref true in
+  while !continue do
+    if ep.stopped then continue := false
+    else
+      match Unix.select [ ep.lfd ] [] [] poll_period with
+      | [], _, _ -> ()
+      | _ ->
+        (match Unix.accept ep.lfd with
+         | cfd, _ -> add_thread t (Thread.create (fun () -> recv_loop t ep cfd) ())
+         | exception Unix.Unix_error _ -> continue := false)
+  done;
+  try Unix.close ep.lfd with Unix.Unix_error _ -> ()
+
+let listen t node handler =
+  let p = path t node in
+  (try Unix.unlink p with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX p);
+  Unix.listen lfd 64;
+  let ep = { node; lfd; hmu = Mutex.create (); handler; stopped = false } in
+  Mutex.protect t.mu (fun () -> Hashtbl.replace t.eps node ep);
+  add_thread t (Thread.create (fun () -> accept_loop t ep) ())
+
+let drop_conn t dst =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.conns dst with
+      | Some c ->
+        Hashtbl.remove t.conns dst;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ())
+      | None -> ())
+
+let get_conn t dst =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.conns dst with
+      | Some c -> Some c
+      | None ->
+        (match
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_UNIX (path t dst))
+            with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+           fd
+         with
+         | fd ->
+           let c = { fd; wmu = Mutex.create () } in
+           Hashtbl.replace t.conns dst c;
+           Some c
+         | exception (Unix.Unix_error _ | Sys_error _) -> None))
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let send t ~src ~dst msg =
+  let frame = Wire.frame ~src msg in
+  let write_to c = Mutex.protect c.wmu (fun () -> write_all c.fd frame) in
+  match get_conn t dst with
+  | None -> ()  (* dead or absent peer: the link is lossy by contract *)
+  | Some c ->
+    (try write_to c
+     with Unix.Unix_error _ | Sys_error _ ->
+       (* the peer may have restarted behind our cached connection
+          (e.g. a client re-run with the same processor id): retry once
+          on a fresh connection before giving the frame up as lost *)
+       drop_conn t dst;
+       (match get_conn t dst with
+        | None -> ()
+        | Some c ->
+          (try write_to c
+           with Unix.Unix_error _ | Sys_error _ -> drop_conn t dst)))
+
+let set_timer t ~node ~delay f =
+  add_thread t
+    (Thread.create
+       (fun () ->
+         Thread.delay delay;
+         let ep = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) in
+         match ep with
+         | Some ep ->
+           Mutex.protect ep.hmu (fun () -> if not ep.stopped then f ())
+         | None -> if not t.closed then f ())
+       ())
+
+let transport t =
+  {
+    Transport.send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    set_timer = (fun ~node ~delay f -> set_timer t ~node ~delay f);
+    now = Unix.gettimeofday;
+  }
+
+let unlisten t node =
+  (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
+   | Some ep ->
+     ep.stopped <- true;
+     Mutex.protect t.mu (fun () -> Hashtbl.remove t.eps node)
+   | None -> ());
+  (* drop our cached route so a later listener on the same node gets a
+     fresh connection instead of frames sunk into the dead endpoint *)
+  drop_conn t node;
+  try Unix.unlink (path t node) with Unix.Unix_error _ -> ()
+
+let crash t node =
+  (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
+   | Some ep -> ep.stopped <- true
+   | None -> ());
+  drop_conn t node
+
+let shutdown t =
+  t.closed <- true;
+  let eps = Mutex.protect t.mu (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.eps []) in
+  List.iter (fun ep -> ep.stopped <- true) eps;
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.iter
+        (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        t.conns;
+      Hashtbl.reset t.conns);
+  let rec drain () =
+    match
+      Mutex.protect t.mu (fun () ->
+          match t.threads with
+          | [] -> None
+          | th :: rest ->
+            t.threads <- rest;
+            Some th)
+    with
+    | Some th ->
+      Thread.join th;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter
+    (fun ep -> try Unix.unlink (path t ep.node) with Unix.Unix_error _ -> ())
+    eps

@@ -1,0 +1,50 @@
+(** A real transport over Unix-domain sockets (stream, one socket per
+    node), using the [threads.posix] the repo already depends on.
+
+    Every node — replica, server, client — binds a listening socket
+    [<dir>/n<id>.sock]; {!Transport.t}[.send] connects (with per-peer
+    connection caching) and writes length-prefixed {!Wire} frames.
+    Each node's handler invocations are serialized by a per-node lock,
+    so the protocol state machines see the same single-threaded
+    discipline as under {!Sim_net}.  Sends to a dead or absent peer are
+    silently dropped, matching the lossy-transport contract; stream
+    sockets otherwise neither drop nor reorder, so the quorum engine's
+    retransmission timer only matters when replicas crash.
+
+    Multiple processes may share a [dir] (see the [serve]/[client]
+    subcommands of [bin/net.exe]); a single process may equally host
+    the whole cluster, each node on its own socket. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [dir] defaults to a fresh directory under the system temp dir.
+    Ignores [SIGPIPE] process-wide (a must for socket servers). *)
+
+val dir : t -> string
+
+val path : t -> Transport.node -> string
+(** The node's socket file, [<dir>/n<id>.sock] — useful to test for a
+    live peer before connecting. *)
+
+val transport : t -> Transport.t
+
+val listen :
+  t -> Transport.node -> (src:Transport.node -> Wire.msg -> unit) -> unit
+(** Bind the node's socket and start its accept/receive threads.  The
+    handler may reentrantly use the transport. *)
+
+val unlisten : t -> Transport.node -> unit
+(** Orderly stop of a node listened on this [t]: its threads wind
+    down, the cached route to it is dropped and its socket file is
+    removed, so a later {!listen} on the same node id (e.g. a client
+    reconnecting with the same processor) starts clean. *)
+
+val crash : t -> Transport.node -> unit
+(** Stop a node listened on this [t]: its threads wind down, its
+    socket closes, subsequent sends to it are dropped — a process
+    crash as seen by the rest of the cluster. *)
+
+val shutdown : t -> unit
+(** Crash every node, close outbound connections, join all threads and
+    remove the socket files. *)

@@ -1,0 +1,17 @@
+type node = int
+
+let server = 100
+let client p = 200 + p
+
+type t = {
+  send : src:node -> dst:node -> Wire.msg -> unit;
+  set_timer : node:node -> delay:float -> (unit -> unit) -> unit;
+  now : unit -> float;
+}
+
+let null =
+  {
+    send = (fun ~src:_ ~dst:_ _ -> ());
+    set_timer = (fun ~node:_ ~delay:_ _ -> ());
+    now = (fun () -> 0.0);
+  }

@@ -1,0 +1,33 @@
+(** The capability a protocol state machine needs from a network.
+
+    The service's replicas, quorum engine, server and clients are
+    written against this record only, so the same code runs over the
+    deterministic fault-injecting simulator ({!Sim_net}) and over real
+    Unix-domain sockets ({!Socket_net}).  Handlers (how a node {e
+    receives}) are registered with the concrete implementation; the
+    record carries only the send side, timers and a clock.
+
+    [send] never blocks and may silently drop (lossy links, dead
+    peers): every protocol built on it must tolerate loss, which the
+    quorum engine does by retransmitting on a timer. *)
+
+type node = int
+(** Flat node-id space shared by both transports.  By convention in
+    this library: replicas are [0 .. n-1], the server is {!server}, and
+    the client playing processor [p] is [client p]. *)
+
+val server : node
+val client : int -> node
+
+type t = {
+  send : src:node -> dst:node -> Wire.msg -> unit;
+  set_timer : node:node -> delay:float -> (unit -> unit) -> unit;
+      (** One-shot timer; the callback runs serialized with [node]'s
+          message handler (simulated time for {!Sim_net}, wall-clock
+          seconds for {!Socket_net}). *)
+  now : unit -> float;
+}
+
+val null : t
+(** Discards sends, never fires timers; for unit-testing state
+    machines in isolation. *)

@@ -1,0 +1,191 @@
+module Tagged = Registers.Tagged
+
+type payload = int Tagged.t
+
+type op =
+  | Read
+  | Write of int
+
+type msg =
+  | Hello of { proc : int }
+  | Req of { seq : int; op : op }
+  | Resp of { seq : int; result : int option }
+  | Query of { rid : int; reg : int }
+  | Query_reply of { rid : int; reg : int; ts : int; pl : payload }
+  | Store of { rid : int; reg : int; ts : int; pl : payload }
+  | Store_ack of { rid : int; reg : int }
+  | Batch of msg list
+  | Bye
+
+let add_int b n = Buffer.add_int64_le b (Int64.of_int n)
+let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let add_payload b pl =
+  add_int b (Tagged.v pl);
+  add_bool b (Tagged.tag pl)
+
+let rec encode_into b = function
+  | Hello { proc } ->
+    Buffer.add_char b '\000';
+    add_int b proc
+  | Req { seq; op } ->
+    Buffer.add_char b '\001';
+    add_int b seq;
+    (match op with
+     | Read -> Buffer.add_char b '\000'
+     | Write v ->
+       Buffer.add_char b '\001';
+       add_int b v)
+  | Resp { seq; result } ->
+    Buffer.add_char b '\002';
+    add_int b seq;
+    (match result with
+     | None -> Buffer.add_char b '\000'
+     | Some v ->
+       Buffer.add_char b '\001';
+       add_int b v)
+  | Query { rid; reg } ->
+    Buffer.add_char b '\003';
+    add_int b rid;
+    add_int b reg
+  | Query_reply { rid; reg; ts; pl } ->
+    Buffer.add_char b '\004';
+    add_int b rid;
+    add_int b reg;
+    add_int b ts;
+    add_payload b pl
+  | Store { rid; reg; ts; pl } ->
+    Buffer.add_char b '\005';
+    add_int b rid;
+    add_int b reg;
+    add_int b ts;
+    add_payload b pl
+  | Store_ack { rid; reg } ->
+    Buffer.add_char b '\006';
+    add_int b rid;
+    add_int b reg
+  | Batch msgs ->
+    Buffer.add_char b '\007';
+    add_int b (List.length msgs);
+    List.iter
+      (fun m ->
+        let sub = Buffer.create 32 in
+        encode_into sub m;
+        add_int b (Buffer.length sub);
+        Buffer.add_buffer b sub)
+      msgs
+  | Bye -> Buffer.add_char b '\008'
+
+let encode m =
+  let b = Buffer.create 32 in
+  encode_into b m;
+  Buffer.contents b
+
+exception Bad of string
+
+let decode s =
+  let pos = ref 0 in
+  let need n = if !pos + n > String.length s then raise (Bad "truncated") in
+  let int () =
+    need 8;
+    let v = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let byte () =
+    need 1;
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let payload () =
+    let v = int () in
+    let t = byte () <> 0 in
+    Tagged.make v t
+  in
+  let rec msg () =
+    match byte () with
+    | 0 -> Hello { proc = int () }
+    | 1 ->
+      let seq = int () in
+      (match byte () with
+       | 0 -> Req { seq; op = Read }
+       | 1 -> Req { seq; op = Write (int ()) }
+       | _ -> raise (Bad "bad op kind"))
+    | 2 ->
+      let seq = int () in
+      (match byte () with
+       | 0 -> Resp { seq; result = None }
+       | 1 -> Resp { seq; result = Some (int ()) }
+       | _ -> raise (Bad "bad result kind"))
+    | 3 ->
+      let rid = int () in
+      Query { rid; reg = int () }
+    | 4 ->
+      let rid = int () in
+      let reg = int () in
+      let ts = int () in
+      Query_reply { rid; reg; ts; pl = payload () }
+    | 5 ->
+      let rid = int () in
+      let reg = int () in
+      let ts = int () in
+      Store { rid; reg; ts; pl = payload () }
+    | 6 ->
+      let rid = int () in
+      Store_ack { rid; reg = int () }
+    | 7 ->
+      let n = int () in
+      if n < 0 || n > 65536 then raise (Bad "bad batch size");
+      Batch
+        (List.init n (fun _ ->
+             let len = int () in
+             if len < 0 then raise (Bad "bad batch item length");
+             let stop = !pos + len in
+             let m = msg () in
+             if !pos <> stop then raise (Bad "batch item length mismatch");
+             m))
+    | 8 -> Bye
+    | c -> raise (Bad (Fmt.str "unknown tag %d" c))
+  in
+  try
+    let m = msg () in
+    if !pos <> String.length s then Error "trailing bytes" else Ok m
+  with Bad e -> Error e
+
+let decode_exn s =
+  match decode s with
+  | Ok m -> m
+  | Error e -> invalid_arg ("Wire.decode_exn: " ^ e)
+
+let header_size = 8
+
+let frame ~src m =
+  let body = encode m in
+  let n = String.length body in
+  let b = Bytes.create (header_size + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int src);
+  Bytes.blit_string body 0 b header_size n;
+  b
+
+let parse_header b =
+  (Int32.to_int (Bytes.get_int32_le b 0), Int32.to_int (Bytes.get_int32_le b 4))
+
+let pp_payload ppf pl = Registers.Tagged.pp Fmt.int ppf pl
+
+let rec pp ppf = function
+  | Hello { proc } -> Fmt.pf ppf "hello(proc=%d)" proc
+  | Req { seq; op = Read } -> Fmt.pf ppf "req#%d read" seq
+  | Req { seq; op = Write v } -> Fmt.pf ppf "req#%d write(%d)" seq v
+  | Resp { seq; result = Some v } -> Fmt.pf ppf "resp#%d %d" seq v
+  | Resp { seq; result = None } -> Fmt.pf ppf "resp#%d ack" seq
+  | Query { rid; reg } -> Fmt.pf ppf "query#%d reg%d" rid reg
+  | Query_reply { rid; reg; ts; pl } ->
+    Fmt.pf ppf "query-reply#%d reg%d ts=%d %a" rid reg ts pp_payload pl
+  | Store { rid; reg; ts; pl } ->
+    Fmt.pf ppf "store#%d reg%d ts=%d %a" rid reg ts pp_payload pl
+  | Store_ack { rid; reg } -> Fmt.pf ppf "store-ack#%d reg%d" rid reg
+  | Batch msgs ->
+    Fmt.pf ppf "batch[%a]" Fmt.(list ~sep:(any "; ") pp) msgs
+  | Bye -> Fmt.pf ppf "bye"

@@ -1,0 +1,59 @@
+(** The wire protocol of the message-passing register service.
+
+    Two sublanguages share one frame format:
+
+    - {e client <-> server}: [Hello] opens a session, [Req]/[Resp]
+      carry register operations with per-session sequence numbers (the
+      sequence number lets the server reorder requests that a jittery
+      transport delivered out of order, and lets clients pipeline);
+    - {e server <-> replica}: the ABD-style quorum messages.  [Query]
+      asks a replica for its current (timestamp, tagged value) pair for
+      one of the two real registers; [Store] installs a pair if its
+      timestamp is newer.  Both carry a request id [rid] so replies can
+      be matched to the quorum phase that issued them.
+
+    [Batch] packs several messages into one frame — the hot-path
+    batching used by pipelined clients.
+
+    Values on the wire are [int]s (encoded as 64-bit little-endian);
+    the payload of a real register is a tagged value, the paper's
+    (value, tag bit) pair. *)
+
+type payload = int Registers.Tagged.t
+
+type op =
+  | Read
+  | Write of int
+
+type msg =
+  | Hello of { proc : int }
+      (** Open (or reset) a session; [proc] is the processor id the
+          client plays in the register history (0 and 1 are the
+          writers). *)
+  | Req of { seq : int; op : op }
+  | Resp of { seq : int; result : int option }
+      (** [Some v] answers a read, [None] acknowledges a write. *)
+  | Query of { rid : int; reg : int }
+  | Query_reply of { rid : int; reg : int; ts : int; pl : payload }
+  | Store of { rid : int; reg : int; ts : int; pl : payload }
+  | Store_ack of { rid : int; reg : int }
+  | Batch of msg list
+  | Bye
+
+val encode : msg -> string
+val decode : string -> (msg, string) result
+(** Total inverse of {!encode}: [decode (encode m) = Ok m]; any
+    truncated, trailing-garbage or unknown-tag input is an [Error]. *)
+
+val decode_exn : string -> msg
+(** @raise Invalid_argument on undecodable input. *)
+
+val frame : src:int -> msg -> bytes
+(** A stream frame: an 8-byte header ([length, src] as two 32-bit
+    little-endian ints) followed by the encoded message. *)
+
+val header_size : int
+val parse_header : bytes -> int * int
+(** [(body_length, src)] of a frame header. *)
+
+val pp : msg Fmt.t

@@ -1,0 +1,153 @@
+(* Property tests for Harness.Failure.fate_of_crashed_write: across
+   random seeds and workload shapes, every crash point of a writer
+   yields a fate that is consistent with the primitive-write events in
+   the trace and with the cells left behind (Section 5: a crashed write
+   either occurs entirely or not at all). *)
+
+open Helpers
+module F = Harness.Failure
+module Vm = Registers.Vm
+module E = Histories.Event
+module Gen = QCheck2.Gen
+
+let victim = 0
+
+(* The victim's pending (invoked, never acknowledged) write value in a
+   crashed trace, if any.  Workloads use unique values, so a value
+   identifies its write. *)
+let pending_write_value trace =
+  let pending = ref None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Vm.Sim (E.Invoke (p, E.Write v)) when p = victim -> pending := Some v
+      | Vm.Sim (E.Respond (p, _)) when p = victim -> pending := None
+      | Vm.Sim _ | Vm.Prim_read _ | Vm.Prim_write _ -> ())
+    trace;
+  !pending
+
+let prim_written_values trace =
+  List.filter_map
+    (function
+      | Vm.Prim_write (_, _, pl) -> Some (Registers.Tagged.v pl)
+      | Vm.Prim_read _ | Vm.Sim _ -> None)
+    trace
+
+let check_crash_point ~what (k, fate, trace) =
+  let written = prim_written_values trace in
+  let cells = Registers.Run_coarse.cells_after (bloom ()) trace in
+  let in_cells v =
+    Array.exists (fun c -> Registers.Tagged.v c = v) cells
+  in
+  if k = 0 then
+    (* crashed before doing anything at all *)
+    Alcotest.(check bool)
+      (Fmt.str "%s: fate at k=0" what)
+      true (fate = F.Never_happened);
+  match pending_write_value trace with
+  | None ->
+    (* victim completed its whole script before the crash point: the
+       list-level fate defaults to Never_happened *)
+    Alcotest.(check bool)
+      (Fmt.str "%s: no pending -> Never_happened" what)
+      true
+      (fate = F.Never_happened && F.fate_of_crashed_write ~victim trace = None)
+  | Some v ->
+    Alcotest.(check bool)
+      (Fmt.str "%s: fate matches fate_of_crashed_write" what)
+      true
+      (F.fate_of_crashed_write ~victim trace = Some fate);
+    (match fate with
+     | F.Took_effect ->
+       (* the real write happened: the unique value sits in some
+          primitive write and survives in a cell (nobody overwrites the
+          victim's own register) *)
+       Alcotest.(check bool)
+         (Fmt.str "%s: Took_effect value written" what)
+         true (List.mem v written);
+       Alcotest.(check bool)
+         (Fmt.str "%s: Took_effect value in a cell" what)
+         true (in_cells v)
+     | F.Never_happened ->
+       (* the write left no trace: its value appears in no primitive
+          write by anyone and in no cell *)
+       Alcotest.(check bool)
+         (Fmt.str "%s: Never_happened value unwritten" what)
+         true (not (List.mem v written));
+       Alcotest.(check bool)
+         (Fmt.str "%s: Never_happened value not in cells" what)
+         true (not (in_cells v)))
+
+let crash_everywhere ~seed ~spec =
+  let processes = Harness.Workload.unique_scripts spec in
+  F.crash_writer_everywhere ~seed ~init:0 ~victim ~processes
+    ~build:(fun () -> bloom ())
+
+let shape_gen =
+  Gen.(
+    quad (int_bound 10_000) (int_range 1 3) (int_range 1 2) (int_range 1 3))
+
+let fate_consistent_prop =
+  QCheck2.Test.make
+    ~name:"crashed-write fate consistent with trace across seeds" ~count:40
+    ~print:(fun (seed, w, r, re) -> Fmt.str "seed=%d w=%d r=%d re=%d" seed w r re)
+    shape_gen
+    (fun (seed, writes_each, readers, reads_each) ->
+      let spec =
+        { Harness.Workload.writers = 2; readers; writes_each; reads_each }
+      in
+      List.iter
+        (fun point -> check_crash_point ~what:(Fmt.str "seed %d" seed) point)
+        (crash_everywhere ~seed ~spec);
+      true)
+
+let fates_monotone_over_crash_point () =
+  (* sweeping the crash point later through a single write never flips
+     the fate back from Took_effect to Never_happened: once the crash
+     point passes the real write, every later crash point (within that
+     same pending write) also took effect *)
+  for seed = 0 to 9 do
+    let spec =
+      { Harness.Workload.writers = 2; readers = 1; writes_each = 1;
+        reads_each = 2 }
+    in
+    let results = crash_everywhere ~seed ~spec in
+    let fates = List.map (fun (_, f, _) -> f) results in
+    let rec ok = function
+      | F.Took_effect :: (F.Never_happened :: _ as _rest) ->
+        (* single write: once effective, later crash points keep it *)
+        false
+      | _ :: rest -> ok rest
+      | [] -> true
+    in
+    Alcotest.(check bool)
+      (Fmt.str "seed %d: fate monotone in crash point" seed)
+      true (ok fates);
+    (* the sweep must exercise both fates: crash-at-0 never happened,
+       crash after the last access took effect *)
+    Alcotest.(check bool)
+      (Fmt.str "seed %d: first point Never_happened" seed)
+      true
+      (List.length fates = 0 || List.hd fates = F.Never_happened)
+  done
+
+let crashed_traces_still_certify () =
+  for seed = 0 to 4 do
+    let spec =
+      { Harness.Workload.writers = 2; readers = 2; writes_each = 2;
+        reads_each = 2 }
+    in
+    List.iter
+      (fun (k, _, trace) ->
+        ignore
+          (check_certified ~what:(Fmt.str "seed %d crash@%d" seed k) trace))
+      (crash_everywhere ~seed ~spec)
+  done
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest fate_consistent_prop;
+    tc "fate sweep: monotone and starts Never_happened"
+      fates_monotone_over_crash_point;
+    tc_slow "crashed traces certify" crashed_traces_still_certify;
+  ]

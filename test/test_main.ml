@@ -27,4 +27,6 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("variants", Test_variants.suite);
       ("properties", Test_props.suite);
+      ("failure", Test_failure.suite);
+      ("net", Test_net.suite);
     ]
