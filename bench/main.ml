@@ -482,7 +482,8 @@ let net_start_cluster net ~replicas ~audit =
             (Net.Replica.handle rep ~src msg)))
     replica_nodes;
   let server =
-    Net.Server.create ~transport:tr ~audit ~me:Net.Transport.server
+    Net.Server.create ~transport:tr ~audit
+      ~metrics:(Net.Socket_net.metrics net) ~me:Net.Transport.server
       ~replicas:replica_nodes ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
@@ -508,7 +509,7 @@ let bench_net_socket ~audit =
         Thread.create
           (fun () ->
             let c =
-              Net.Client.connect ~net ~server:Net.Transport.server ~proc
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc ()
             in
             ignore (Net.Client.run_script ~window:8 c script);
             Net.Client.close c)
@@ -527,7 +528,7 @@ let bench_net_socket ~audit =
     tag served expected dt ops_s;
   (* per-operation latency: one unpipelined client, timed per call *)
   if audit then begin
-    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc:4 in
+    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc:4 () in
     let n = 300 in
     let sample op =
       Array.init n (fun _ ->
@@ -602,6 +603,102 @@ let bench_net () =
          else "  [NOT ATOMIC!]"))
     [ 0.0; 0.1; 0.3 ];
   Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* net/metrics: the observability layer's own view of the service —    *)
+(* per-op message complexity and per-phase latency percentiles, from   *)
+(* the Metrics registry rather than ad-hoc timing.                     *)
+
+let bench_net_metrics () =
+  section "net/metrics - message complexity and phase latencies";
+  let pf fmt = Fmt.pr fmt in
+  (* --- simulated transport: exact message counts, virtual-time phases --- *)
+  let sim_leg ~label ~faults =
+    let metrics = Net.Metrics.create () in
+    let o =
+      Net.Sim_run.run ~faults ~metrics ~seed:11 ~init:0
+        ~processes:
+          (Harness.Workload.unique_scripts
+             { Harness.Workload.writers = 2; readers = 2; writes_each = 50;
+               reads_each = 50 })
+        ()
+    in
+    let ops = max 1 o.Net.Sim_run.completed in
+    let msgs_per_op =
+      float_of_int (Net.Metrics.get metrics "frames_sent") /. float_of_int ops
+    in
+    let p1 = Net.Metrics.(summarise (histogram metrics "quorum_phase1")) in
+    let p2 = Net.Metrics.(summarise (histogram metrics "quorum_phase2")) in
+    let so = Net.Metrics.(summarise (histogram metrics "server_op")) in
+    let pre = Fmt.str "sim %s" label in
+    Json.metric ~section:"net-metrics" (pre ^ " msgs per op") msgs_per_op;
+    Json.metric ~section:"net-metrics" (pre ^ " phase1 p50 vt") p1.Net.Metrics.p50;
+    Json.metric ~section:"net-metrics" (pre ^ " phase1 p99 vt") p1.Net.Metrics.p99;
+    Json.metric ~section:"net-metrics" (pre ^ " phase2 p50 vt") p2.Net.Metrics.p50;
+    Json.metric ~section:"net-metrics" (pre ^ " phase2 p99 vt") p2.Net.Metrics.p99;
+    Json.metric ~section:"net-metrics" (pre ^ " op p50 vt") so.Net.Metrics.p50;
+    Json.metric ~section:"net-metrics" (pre ^ " op p99 vt") so.Net.Metrics.p99;
+    pf
+      "  sim %-9s %5.1f msgs/op; phase1 p50 %5.2f p99 %6.2f vt; phase2 p50 \
+       %5.2f p99 %6.2f vt; op p50 %6.2f p99 %7.2f vt@."
+      label msgs_per_op p1.Net.Metrics.p50 p1.Net.Metrics.p99
+      p2.Net.Metrics.p50 p2.Net.Metrics.p99 so.Net.Metrics.p50
+      so.Net.Metrics.p99
+  in
+  sim_leg ~label:"reliable" ~faults:Net.Sim_net.reliable;
+  sim_leg ~label:"drop 0.15"
+    ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.075 ());
+  (* --- socket transport: wall-clock RTT and service-time percentiles --- *)
+  let net = Net.Socket_net.create () in
+  let metrics = Net.Socket_net.metrics net in
+  let server = net_start_cluster net ~replicas:3 ~audit:true in
+  let processes =
+    Harness.Workload.unique_scripts
+      { Harness.Workload.writers = 2; readers = 2; writes_each = 100;
+        reads_each = 100 }
+  in
+  let threads =
+    List.map
+      (fun { Registers.Vm.proc; script } ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc ()
+            in
+            ignore (Net.Client.run_script ~window:8 c script);
+            Net.Client.close c)
+          ())
+      processes
+  in
+  List.iter Thread.join threads;
+  let served = max 1 (Net.Server.ops_served server) in
+  Net.Socket_net.shutdown net;
+  let msgs_per_op =
+    float_of_int (Net.Metrics.get metrics "frames_sent") /. float_of_int served
+  in
+  let us x = x *. 1e6 in
+  let rtt = Net.Metrics.(summarise (histogram metrics "client_rtt")) in
+  let so = Net.Metrics.(summarise (histogram metrics "server_op")) in
+  Json.metric ~section:"net-metrics" "socket msgs per op" msgs_per_op;
+  Json.metric ~section:"net-metrics" "socket client rtt p50 us"
+    (us rtt.Net.Metrics.p50);
+  Json.metric ~section:"net-metrics" "socket client rtt p99 us"
+    (us rtt.Net.Metrics.p99);
+  Json.metric ~section:"net-metrics" "socket server op p50 us"
+    (us so.Net.Metrics.p50);
+  Json.metric ~section:"net-metrics" "socket server op p99 us"
+    (us so.Net.Metrics.p99);
+  pf
+    "  socket audited   %5.1f msgs/op; client rtt p50 %6.0f p99 %6.0f us; \
+     server op p50 %6.0f p99 %6.0f us@."
+    msgs_per_op
+    (us rtt.Net.Metrics.p50)
+    (us rtt.Net.Metrics.p99)
+    (us so.Net.Metrics.p50)
+    (us so.Net.Metrics.p99);
+  pf
+    "  (ABD baseline: read = 2 quorum rounds, write = 1; 2 msgs per \
+     replica per round + client req/resp)@.@."
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
@@ -795,6 +892,7 @@ let all_sections =
     ("latency-distribution", bench_latency_distribution);
     ("snapshot", bench_snapshot);
     ("net", bench_net);
+    ("net-metrics", bench_net_metrics);
     ("micro", run_micro);
   ]
 

@@ -4,12 +4,15 @@
      net smoke  — full workload over BOTH transports, audited + re-checked
      net serve  — replicas + server on Unix-domain sockets in a directory
      net client — connect to a served directory and run operations
+     net stats  — fetch live metrics from a served cluster over the wire
+     net replay — re-check a dumped trace (JSONL) with Fastcheck
 
    `dune exec bin/service.exe -- smoke` is the acceptance run: a server, two
    writer clients and n reader clients over sockets, then the same
    workload over the simulated transport with drops, reordering,
    duplication and a replica crash; both histories must pass the live
-   Monitor audit and re-check clean with Fastcheck. *)
+   Monitor audit and re-check clean with Fastcheck — and the socket leg
+   must finish with zero wire decode errors. *)
 
 module E = Histories.Event
 
@@ -38,19 +41,31 @@ let workload ~readers ~writes ~reads =
 (* sim                                                                 *)
 
 let run_sim seed replicas readers writes reads drop dup window crash
-    partition show_history =
+    partition show_history show_metrics trace_file =
   let faults = Net.Sim_net.lossy ~drop ~duplicate:dup () in
+  let trace =
+    (* sized for a whole CLI run: no wrap, so the dump is replayable *)
+    Option.map (fun _ -> Net.Trace.create ~capacity:1_000_000 ()) trace_file
+  in
   let o =
     Net.Sim_run.run ~faults ~replicas ~window
       ?crash_replica:(if crash then Some (replicas - 1, 40.0) else None)
       ?partition_replicas:(if partition then Some (60.0, 120.0) else None)
-      ~seed ~init:0
+      ?trace ~seed ~init:0
       ~processes:(workload ~readers ~writes ~reads)
       ()
   in
   if show_history then
     Fmt.pr "%a@." (E.pp_history Fmt.int) o.Net.Sim_run.history;
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
+  if show_metrics then
+    Fmt.pr "-- metrics --@.%a@." Net.Metrics.pp o.Net.Sim_run.metrics;
+  (match (trace_file, trace) with
+   | Some path, Some tr ->
+     Net.Trace.dump tr path;
+     Fmt.pr "trace: %d events -> %s (replay: service replay %s)@."
+       (Net.Trace.recorded tr) path path
+   | _ -> ());
   if
     o.Net.Sim_run.monitor_violation = None
     && o.Net.Sim_run.fastcheck_ok
@@ -63,6 +78,7 @@ let run_sim seed replicas readers writes reads drop dup window crash
 
 let start_cluster net ~replicas ~audit =
   let tr = Net.Socket_net.transport net in
+  let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
   List.iter
     (fun r ->
@@ -73,7 +89,7 @@ let start_cluster net ~replicas ~audit =
             (Net.Replica.handle rep ~src msg)))
     replica_nodes;
   let server =
-    Net.Server.create ~transport:tr ~audit ~me:Net.Transport.server
+    Net.Server.create ~transport:tr ~audit ~metrics ~me:Net.Transport.server
       ~replicas:replica_nodes ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
@@ -85,7 +101,7 @@ let run_socket_workload net ~window processes =
       (fun { Registers.Vm.proc; script } ->
         Thread.create
           (fun () ->
-            let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc in
+            let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
             let r = Net.Client.run_script ~window c script in
             Net.Client.close c;
             r)
@@ -97,7 +113,7 @@ let run_socket_workload net ~window processes =
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
 
-let run_smoke readers writes reads seed =
+let run_smoke readers writes reads seed show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -106,6 +122,7 @@ let run_smoke readers writes reads seed =
   (* --- socket transport --- *)
   Fmt.pr "== socket transport (Unix-domain, %d replicas, crash 1) ==@." 3;
   let net = Net.Socket_net.create () in
+  let metrics = Net.Socket_net.metrics net in
   let server = start_cluster net ~replicas:3 ~audit:true in
   let killer =
     Thread.create
@@ -120,9 +137,14 @@ let run_smoke readers writes reads seed =
   let mon, fc = verdicts ~init:0 history (Net.Server.violation server) in
   let served = Net.Server.ops_served server in
   Net.Socket_net.shutdown net;
-  Fmt.pr "  %d/%d ops served; live audit: %s; fastcheck: %s@." served expected
-    mon fc;
-  let socket_ok = served = expected && mon = "no violation" && fc = "atomic" in
+  let decode_errors = Net.Metrics.get metrics "decode_errors" in
+  Fmt.pr "  %d/%d ops served; live audit: %s; fastcheck: %s; decode errors: %d@."
+    served expected mon fc decode_errors;
+  if show_metrics then Fmt.pr "-- socket metrics --@.%a@." Net.Metrics.pp metrics;
+  let socket_ok =
+    served = expected && mon = "no violation" && fc = "atomic"
+    && decode_errors = 0
+  in
   (* --- simulated transport under faults --- *)
   Fmt.pr
     "== simulated transport (drop 15%%, dup 10%%, jitter, replica crash) ==@.";
@@ -132,6 +154,8 @@ let run_smoke readers writes reads seed =
       ~replicas:3 ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
   in
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
+  if show_metrics then
+    Fmt.pr "-- sim metrics --@.%a@." Net.Metrics.pp o.Net.Sim_run.metrics;
   let sim_ok =
     o.Net.Sim_run.monitor_violation = None
     && o.Net.Sim_run.fastcheck_ok
@@ -143,16 +167,75 @@ let run_smoke readers writes reads seed =
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
 
-let run_serve dir replicas audit =
+let run_serve dir replicas audit show_metrics =
   let net = Net.Socket_net.create ~dir () in
   let _server = start_cluster net ~replicas ~audit in
   Fmt.pr "serving the two-writer register in %s (%d replicas)@." dir replicas;
   Fmt.pr "stop with C-c; clients: dune exec bin/service.exe -- client -d %s ...@."
     dir;
-  while true do
-    Unix.sleep 3600
-  done;
+  if show_metrics then
+    let metrics = Net.Socket_net.metrics net in
+    while true do
+      Unix.sleep 10;
+      Fmt.pr "-- metrics @@ %s --@.%a@."
+        (let t = Unix.localtime (Unix.time ()) in
+         Fmt.str "%02d:%02d:%02d" t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec)
+        Net.Metrics.pp metrics
+    done
+  else
+    while true do
+      Unix.sleep 3600
+    done;
   0
+
+(* live counters over the wire: connect as an ordinary client node and
+   ask the server for a Stats_reply *)
+let run_stats dir proc =
+  let net = Net.Socket_net.create ~dir () in
+  let server_sock = Net.Socket_net.path net Net.Transport.server in
+  if not (Sys.file_exists server_sock) then begin
+    Fmt.epr
+      "service: no server socket at %s (is `service serve -d %s` running?)@."
+      server_sock dir;
+    Net.Socket_net.shutdown net;
+    exit 1
+  end;
+  let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
+  let stats = Net.Client.stats c in
+  Net.Client.close c;
+  Net.Socket_net.shutdown net;
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 stats
+  in
+  List.iter (fun (n, v) -> Fmt.pr "%-*s %d@." width n v) stats;
+  0
+
+(* offline replay: parse a dumped trace and re-check its operation
+   history for atomicity *)
+let run_replay file init =
+  match Net.Trace.history_of_file file with
+  | exception Sys_error msg ->
+    Fmt.epr "service: %s@." msg;
+    2
+  | history ->
+    let n = List.length history in
+    (match Histories.Operation.of_events history with
+     | Error e ->
+       Fmt.pr "replay: %d events; not input-correct: %a@." n
+         Histories.Operation.pp_error e;
+       1
+     | Ok ops ->
+       (match Histories.Fastcheck.check_unique ~init ops with
+        | Histories.Fastcheck.Atomic _ ->
+          Fmt.pr "replay: %d events, %d operations: atomic@." n
+            (List.length ops);
+          0
+        | Histories.Fastcheck.Violation v ->
+          Fmt.pr "replay: %d events, %d operations: NOT ATOMIC: %a@." n
+            (List.length ops)
+            (Histories.Fastcheck.pp_violation Fmt.int)
+            v;
+          1))
 
 let run_client dir proc ops =
   let parse s =
@@ -178,7 +261,7 @@ let run_client dir proc ops =
       Net.Socket_net.shutdown net;
       exit 1
     end;
-    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc in
+    let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
     let results = Net.Client.run_script c script in
     let rejected = ref false in
     List.iter2
@@ -208,6 +291,11 @@ let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Reader clients."
 let writes = Arg.(value & opt int 5 & info [ "writes" ] ~doc:"Writes per writer.")
 let reads = Arg.(value & opt int 8 & info [ "reads" ] ~doc:"Reads per reader.")
 
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Print a metrics snapshot (counters and \
+                                  latency percentiles).")
+
 let sim_cmd =
   let replicas =
     Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
@@ -232,16 +320,22 @@ let sim_cmd =
   let history =
     Arg.(value & flag & info [ "history" ] ~doc:"Print the served history.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Dump the event trace as JSONL to $(docv) (virtual-time \
+                   stamped; replay with `service replay $(docv)`).")
+  in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a workload over the simulated transport")
     Term.(const run_sim $ seed $ replicas $ readers $ writes $ reads $ drop
-          $ dup $ window $ crash $ partition $ history)
+          $ dup $ window $ crash $ partition $ history $ metrics_flag $ trace)
 
 let smoke_cmd =
   Cmd.v
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
-    Term.(const run_smoke $ readers $ writes $ reads $ seed)
+    Term.(const run_smoke $ readers $ writes $ reads $ seed $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -257,7 +351,7 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the register over Unix-domain sockets")
-    Term.(const run_serve $ dir_arg $ replicas $ audit)
+    Term.(const run_serve $ dir_arg $ replicas $ audit $ metrics_flag)
 
 let client_cmd =
   let proc =
@@ -272,9 +366,30 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Run operations against a served register")
     Term.(const run_client $ dir_arg $ proc $ ops)
 
+let stats_cmd =
+  let proc =
+    Arg.(value & opt int 9 & info [ "proc" ] ~doc:"Processor id to connect as.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Fetch live metrics from a served register")
+    Term.(const run_stats $ dir_arg $ proc)
+
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace dump (JSONL) to re-check.")
+  in
+  let init =
+    Arg.(value & opt int 0 & info [ "init" ] ~doc:"Initial register value.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-check a dumped trace for atomicity with Fastcheck")
+    Term.(const run_replay $ file $ init)
+
 let cmd =
   Cmd.group
     (Cmd.info "service" ~doc:"The two-writer register as a message-passing service")
-    [ sim_cmd; smoke_cmd; serve_cmd; client_cmd ]
+    [ sim_cmd; smoke_cmd; serve_cmd; client_cmd; stats_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -52,6 +52,48 @@ let pp_access_summary ppf s =
     pp_range s.op_reads pp_range s.op_read_writes s.n_reads pp_range s.wr_reads
     pp_range s.wr_writes s.n_writes
 
+module Reservoir = struct
+  type t = {
+    buf : float array;
+    cap : int;
+    rng : Random.State.t;
+    mutable n : int;  (* total observations offered *)
+    mutable sum : float;
+    mutable maxv : float;
+  }
+
+  let create ?(capacity = 2048) ~seed () =
+    if capacity <= 0 then invalid_arg "Stats.Reservoir.create: capacity";
+    {
+      buf = Array.make capacity 0.0;
+      cap = capacity;
+      rng = Random.State.make [| seed; 0x7265731b |];
+      n = 0;
+      sum = 0.0;
+      maxv = neg_infinity;
+    }
+
+  (* Vitter's algorithm R: after n observations each one is retained
+     with probability cap/n, so the kept samples are a uniform sample
+     of the whole stream and percentiles stay unbiased however long
+     the run. *)
+  let add r x =
+    if r.n < r.cap then r.buf.(r.n) <- x
+    else begin
+      let j = Random.State.int r.rng (r.n + 1) in
+      if j < r.cap then r.buf.(j) <- x
+    end;
+    r.n <- r.n + 1;
+    r.sum <- r.sum +. x;
+    if x > r.maxv then r.maxv <- x
+
+  let count r = r.n
+  let sum r = r.sum
+  let max_value r = if r.n = 0 then nan else r.maxv
+  let mean r = if r.n = 0 then nan else r.sum /. float_of_int r.n
+  let samples r = Array.sub r.buf 0 (min r.n r.cap)
+end
+
 let percentile samples p =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.percentile: empty";

@@ -21,6 +21,33 @@ val summarise_accesses :
 
 val pp_access_summary : access_summary Fmt.t
 
+module Reservoir : sig
+  (** Bounded-memory uniform sampling of an unbounded stream of
+      observations (Vitter's algorithm R), for latency percentiles
+      over arbitrarily long runs.  Deterministic in [seed]. *)
+
+  type t
+
+  val create : ?capacity:int -> seed:int -> unit -> t
+  (** [capacity] defaults to 2048 samples. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Observations offered, not retained. *)
+
+  val sum : t -> float
+
+  val max_value : t -> float
+  (** [nan] when empty. *)
+
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val samples : t -> float array
+  (** The retained sample (a fresh array); feed to {!percentile}. *)
+end
+
 val percentile : float array -> float -> float
 (** [percentile samples p] with [0 <= p <= 100]; sorts a copy.
     @raise Invalid_argument on an empty array. *)

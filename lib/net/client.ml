@@ -7,18 +7,36 @@ type t = {
   mu : Mutex.t;
   cond : Condition.t;
   completed : (int, int option) Hashtbl.t;  (* seq -> result *)
+  stats_replies : (int, (string * int) list) Hashtbl.t;  (* rid -> stats *)
+  sent_at : (int, float) Hashtbl.t;  (* seq -> send instant, for RTT *)
+  h_rtt : Metrics.histogram;
   mutable next_seq : int;
 }
 
-let connect ~net ~server ~proc =
+let connect ?metrics ~net ~server ~proc () =
+  let metrics =
+    match metrics with Some m -> m | None -> Socket_net.metrics net
+  in
   let me = Transport.client proc in
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let completed = Hashtbl.create 32 in
+  let stats_replies = Hashtbl.create 4 in
+  let sent_at = Hashtbl.create 32 in
+  let h_rtt = Metrics.histogram metrics "client_rtt" in
   let rec handler ~src:_ msg =
     match msg with
     | Wire.Resp { seq; result } ->
-      Mutex.protect mu (fun () -> Hashtbl.replace completed seq result);
+      Mutex.protect mu (fun () ->
+          (match Hashtbl.find_opt sent_at seq with
+           | Some t0 ->
+             Hashtbl.remove sent_at seq;
+             Metrics.observe h_rtt (Unix.gettimeofday () -. t0)
+           | None -> ());
+          Hashtbl.replace completed seq result);
+      Condition.broadcast cond
+    | Wire.Stats_reply { rid; stats } ->
+      Mutex.protect mu (fun () -> Hashtbl.replace stats_replies rid stats);
       Condition.broadcast cond
     | Wire.Batch msgs -> List.iter (handler ~src:0) msgs
     | _ -> ()
@@ -26,15 +44,33 @@ let connect ~net ~server ~proc =
   Socket_net.listen net me handler;
   let tr = Socket_net.transport net in
   tr.Transport.send ~src:me ~dst:server (Wire.Hello { proc });
-  { net; tr; me; server; proc; mu; cond; completed; next_seq = 0 }
+  {
+    net;
+    tr;
+    me;
+    server;
+    proc;
+    mu;
+    cond;
+    completed;
+    stats_replies;
+    sent_at;
+    h_rtt;
+    next_seq = 0;
+  }
 
 let fresh_seq t =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   seq
 
+let mark_sent t seq =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.replace t.sent_at seq (Unix.gettimeofday ()))
+
 let req t op =
   let seq = fresh_seq t in
+  mark_sent t seq;
   t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op });
   seq
 
@@ -58,6 +94,17 @@ let write t v =
   | None -> invalid_arg "Client.write: rejected (not a writer session)"
   | Some _ -> invalid_arg "Client.write: unexpected read result"
 
+let stats t =
+  let rid = fresh_seq t in
+  t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Stats_req { rid });
+  Mutex.protect t.mu (fun () ->
+      while not (Hashtbl.mem t.stats_replies rid) do
+        Condition.wait t.cond t.mu
+      done;
+      let r = Hashtbl.find t.stats_replies rid in
+      Hashtbl.remove t.stats_replies rid;
+      r)
+
 let run_script ?(window = 8) t script =
   let ops =
     List.map
@@ -70,12 +117,16 @@ let run_script ?(window = 8) t script =
   let seqs = Array.of_list (List.map (fun op -> (fresh_seq t, op)) ops) in
   (* ship the initial window as one batched frame *)
   let initial = min window n in
-  if initial > 0 then
+  if initial > 0 then begin
+    for i = 0 to initial - 1 do
+      mark_sent t (fst seqs.(i))
+    done;
     t.tr.Transport.send ~src:t.me ~dst:t.server
       (Wire.Batch
          (List.init initial (fun i ->
               let seq, op = seqs.(i) in
-              Wire.Req { seq; op })));
+              Wire.Req { seq; op })))
+  end;
   let results = ref [] in
   for i = 0 to n - 1 do
     results := await t (fst seqs.(i)) :: !results;
@@ -83,6 +134,7 @@ let run_script ?(window = 8) t script =
     let j = i + initial in
     if j < n then begin
       let seq, op = seqs.(j) in
+      mark_sent t seq;
       t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op })
     end
   done;

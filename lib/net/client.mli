@@ -14,10 +14,20 @@
 type t
 
 val connect :
-  net:Socket_net.t -> server:Transport.node -> proc:int -> t
+  ?metrics:Metrics.t ->
+  net:Socket_net.t ->
+  server:Transport.node ->
+  proc:int ->
+  unit ->
+  t
 (** Listen on node {!Transport.client}[ proc] and open a session with
     the server, declaring this client to be processor [proc] (0 and 1
-    are the two writer roles). *)
+    are the two writer roles).
+
+    [metrics] (default: the transport's own instance,
+    {!Socket_net.metrics}[ net]) receives the [client_rtt] histogram:
+    wall-clock seconds from each request transmission to its response,
+    as observed from this side of the wire. *)
 
 val read : t -> int
 val write : t -> int -> unit
@@ -29,6 +39,13 @@ val run_script :
 (** Run a whole script with up to [window] (default 8) requests in
     flight; returns the results in script order ([Some v] per read,
     [None] per write acknowledgment). *)
+
+val stats : t -> (string * int) list
+(** Ask the server for a live {!Metrics.wire_stats} snapshot
+    ([Stats_req]/[Stats_reply]) and block for the answer.  Counters
+    come back verbatim; histograms as [name_count], [name_p50_us] and
+    [name_p99_us].  The server appends [sessions] and
+    [audit_violation] (0/1). *)
 
 val close : t -> unit
 (** Announce session end ([Bye]).  The node's socket is torn down by

@@ -1,0 +1,89 @@
+(** Lock-cheap runtime observability for the message-passing service.
+
+    One {!t} is shared by every layer of a cluster instance (transport,
+    quorum engine, server, clients): each layer interns the counters
+    and histograms it needs {e once} at construction time and then
+    updates them on the hot path with a single [Atomic] operation
+    (counters) or a short mutex-protected reservoir insert
+    (histograms, {!Harness.Stats.Reservoir}).
+
+    Counter names used by the library (all monotonic):
+
+    - [frames_sent] / [frames_delivered] / [frames_dropped] /
+      [frames_blocked] / [frames_duplicated] — per-frame fates at the
+      transport.  At quiescence
+      [frames_sent = frames_delivered + frames_dropped + frames_blocked]
+      (duplicated frames count as sent).
+    - [frames_retried] — socket sends retried on a fresh connection.
+    - [frames_oversized] — sends rejected by the {!Wire.frame} bound.
+    - [decode_errors] — undecodable frame bodies received.
+    - [conn_opened] / [conn_closed] / [conn_failed] — outbound
+      connection churn ({!Socket_net} only).
+    - [conn_stall] — connect attempts that would have blocked (peer
+      not accepting) or timed out; each one is a send the caller did
+      {e not} stall on.
+    - [timer_fires] / [timers_dropped] — timer callbacks run /
+      discarded because their node was gone.
+    - [quorum_queries] / [quorum_stores] / [quorum_retransmissions] —
+      phase-1 and phase-2 rounds started, and per-replica resends.
+    - [crashes] — nodes crashed (fault injection or real).
+    - [ops_served] / [ops_rejected] — server-level operations.
+
+    Histogram names (values in transport clock units — seconds over
+    sockets, virtual time in the simulator):
+
+    - [client_rtt] — request send to response receipt, per operation;
+    - [quorum_phase1] / [quorum_phase2] — quorum round latencies;
+    - [server_op] — server-side invoke-to-respond service time;
+    - [handler_service] — per-message handler execution time
+      ({!Socket_net} only). *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Intern (find or create) the named counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val get : t -> string -> int
+(** Current value by name; [0] if the counter was never interned. *)
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+
+type summary = {
+  count : int;  (** observations offered (reservoir may hold fewer) *)
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;  (** all [nan] when [count = 0] *)
+}
+
+val summarise : histogram -> summary
+
+(** {2 Snapshots} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * summary) list
+
+val wire_stats : t -> (string * int) list
+(** The flat snapshot shipped in {!Wire.msg.Stats_reply}: every
+    counter, plus [<hist>_count]/[<hist>_p50_us]/[<hist>_p99_us] per
+    histogram (latencies scaled to integer microseconds). *)
+
+val pp : t Fmt.t

@@ -21,6 +21,14 @@ type stats = {
   retransmissions : int;
 }
 
+type ctrs = {
+  m_queries : Metrics.counter;
+  m_stores : Metrics.counter;
+  m_retrans : Metrics.counter;
+  h_phase1 : Metrics.histogram;
+  h_phase2 : Metrics.histogram;
+}
+
 type t = {
   tr : Transport.t;
   me : Transport.node;
@@ -33,9 +41,20 @@ type t = {
   mutable writes : int;
   mutable sent : int;
   mutable retrans : int;
+  c : ctrs;
 }
 
-let create ~transport ~me ~replicas ?(nregs = 2) () =
+let create ~transport ~me ~replicas ?(nregs = 2) ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c =
+    {
+      m_queries = Metrics.counter metrics "quorum_queries";
+      m_stores = Metrics.counter metrics "quorum_stores";
+      m_retrans = Metrics.counter metrics "quorum_retransmissions";
+      h_phase1 = Metrics.histogram metrics "quorum_phase1";
+      h_phase2 = Metrics.histogram metrics "quorum_phase2";
+    }
+  in
   {
     tr = transport;
     me;
@@ -48,6 +67,7 @@ let create ~transport ~me ~replicas ?(nregs = 2) () =
     writes = 0;
     sent = 0;
     retrans = 0;
+    c;
   }
 
 let quorum_size t = t.quorum
@@ -66,12 +86,14 @@ let broadcast t msg = List.iter (fun r -> send_to t r msg) t.replicas
 let start_store t ~reg ~ts ~pl ~finish =
   let rid = fresh_rid t in
   let born = t.tr.Transport.now () in
+  Metrics.incr t.c.m_stores;
   Hashtbl.replace t.pending rid
     (Store_p { reg; born; ts; pl; acks = []; finish });
   broadcast t (Wire.Store { rid; reg; ts; pl })
 
 let read t ~reg ~k =
   t.reads <- t.reads + 1;
+  Metrics.incr t.c.m_queries;
   let rid = fresh_rid t in
   let finish (ts, pl) =
     (* write-back phase: install the freshest pair on a majority before
@@ -106,6 +128,7 @@ let on_message t ~src msg =
          c.replies <- (src, (ts, pl)) :: c.replies;
          if List.length c.replies >= t.quorum then begin
            Hashtbl.remove t.pending rid;
+           Metrics.observe t.c.h_phase1 (t.tr.Transport.now () -. c.born);
            c.finish (best c.replies)
          end
        | _ -> ())
@@ -115,6 +138,7 @@ let on_message t ~src msg =
          s.acks <- src :: s.acks;
          if List.length s.acks >= t.quorum then begin
            Hashtbl.remove t.pending rid;
+           Metrics.observe t.c.h_phase2 (t.tr.Transport.now () -. s.born);
            s.finish ()
          end
        | _ -> ())
@@ -132,6 +156,7 @@ let resend_pending ?(older_than = 0.0) t =
           (fun r ->
             if not (List.mem r answered) then begin
               t.retrans <- t.retrans + 1;
+              Metrics.incr t.c.m_retrans;
               send_to t r msg
             end)
           t.replicas

@@ -31,8 +31,14 @@ val create :
   me:Transport.node ->
   replicas:Transport.node list ->
   ?nregs:int ->
+  ?metrics:Metrics.t ->
   unit ->
   t
+(** [metrics] (default: a fresh, private instance) receives
+    [quorum_queries]/[quorum_stores]/[quorum_retransmissions] counters
+    and the [quorum_phase1]/[quorum_phase2] round-latency histograms
+    (transport clock units, measured from first transmission to quorum
+    completion). *)
 
 val quorum_size : t -> int
 (** Majority: [n/2 + 1] of the replicas. *)

@@ -22,14 +22,20 @@ type t = {
   mutable rejected : int;
   mutable timer_armed : bool;
   resend_every : float;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  m_served : Metrics.counter;
+  m_rejected : Metrics.counter;
+  h_op : Metrics.histogram;
 }
 
-let create ~transport ?(audit = true) ?(resend_every = 0.05) ~me ~replicas
-    ~init () =
+let create ~transport ?(audit = true) ?(resend_every = 0.05) ?metrics ?trace
+    ~me ~replicas ~init () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
     tr = transport;
     me;
-    quorum = Quorum.create ~transport ~me ~replicas ();
+    quorum = Quorum.create ~transport ~me ~replicas ~metrics ();
     sessions = Hashtbl.create 16;
     monitor = (if audit then Some (Histories.Monitor.create ~init) else None);
     violation = None;
@@ -38,10 +44,27 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ~me ~replicas
     rejected = 0;
     timer_armed = false;
     resend_every;
+    metrics;
+    trace;
+    m_served = Metrics.counter metrics "ops_served";
+    m_rejected = Metrics.counter metrics "ops_rejected";
+    h_op = Metrics.histogram metrics "server_op";
   }
 
+let metrics t = t.metrics
+
 let record t ev =
-  t.events_rev <- (t.tr.Transport.now (), ev) :: t.events_rev;
+  let time = t.tr.Transport.now () in
+  t.events_rev <- (time, ev) :: t.events_rev;
+  (match t.trace with
+   | None -> ()
+   | Some tr ->
+     let kind =
+       match ev with
+       | E.Invoke (proc, op) -> Trace.Invoke { proc; op }
+       | E.Respond (proc, result) -> Trace.Respond { proc; result }
+     in
+     Trace.record tr ~time kind);
   match t.monitor with
   | None -> ()
   | Some m ->
@@ -75,6 +98,7 @@ let rec exec : 'a. t -> (Wire.payload, 'a) Vm.prog -> ('a -> unit) -> unit =
 
 let respond t s seq result =
   t.ops_served <- t.ops_served + 1;
+  Metrics.incr t.m_served;
   t.tr.Transport.send ~src:t.me ~dst:s.src (Wire.Resp { seq; result })
 
 let rec start_next t s =
@@ -84,6 +108,10 @@ let rec start_next t s =
     | Some (seq, op) ->
       s.busy <- true;
       arm_timer t;
+      let t0 = t.tr.Transport.now () in
+      let done_op () =
+        Metrics.observe t.h_op (t.tr.Transport.now () -. t0)
+      in
       (match op with
        | Wire.Read ->
          record t (E.Invoke (s.proc, E.Read));
@@ -92,6 +120,7 @@ let rec start_next t s =
            (fun v ->
              record t (E.Respond (s.proc, Some v));
              respond t s seq (Some v);
+             done_op ();
              s.busy <- false;
              start_next t s)
        | Wire.Write v when s.proc = 0 || s.proc = 1 ->
@@ -101,11 +130,13 @@ let rec start_next t s =
            (fun () ->
              record t (E.Respond (s.proc, None));
              respond t s seq None;
+             done_op ();
              s.busy <- false;
              start_next t s)
        | Wire.Write _ ->
          (* only processors 0 and 1 hold the two writer roles *)
          t.rejected <- t.rejected + 1;
+         Metrics.incr t.m_rejected;
          t.tr.Transport.send ~src:t.me ~dst:s.src
            (Wire.Resp { seq; result = None });
          s.busy <- false;
@@ -147,7 +178,18 @@ let rec on_message t ~src msg =
     Quorum.on_message t.quorum ~src msg
   | Wire.Batch msgs -> List.iter (fun m -> on_message t ~src m) msgs
   | Wire.Bye -> Hashtbl.remove t.sessions src
-  | Wire.Resp _ | Wire.Query _ | Wire.Store _ -> ()
+  | Wire.Stats_req { rid } ->
+    (* live observability over the wire: no session needed, safe to
+       answer anyone who can reach the socket *)
+    let stats =
+      Metrics.wire_stats t.metrics
+      @ [
+          ("sessions", Hashtbl.length t.sessions);
+          ("audit_violation", if t.violation = None then 0 else 1);
+        ]
+    in
+    t.tr.Transport.send ~src:t.me ~dst:src (Wire.Stats_reply { rid; stats })
+  | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _ -> ()
 
 let history t = List.rev_map snd t.events_rev
 let timed_history t = List.rev t.events_rev

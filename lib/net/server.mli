@@ -33,6 +33,8 @@ val create :
   transport:Transport.t ->
   ?audit:bool ->
   ?resend_every:float ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -40,7 +42,16 @@ val create :
   t
 (** [audit] defaults to [true].  [resend_every] (default 0.05) is the
     retransmission period in transport-clock units; it should exceed a
-    round trip (for {!Sim_net}, a multiple of [max_delay]). *)
+    round trip (for {!Sim_net}, a multiple of [max_delay]).
+
+    [metrics] (default: a fresh instance — pass the cluster-wide one)
+    receives [ops_served]/[ops_rejected] counters, the [server_op]
+    invoke-to-respond histogram, and (through the embedded {!Quorum})
+    the quorum counters and phase histograms; its {!Metrics.wire_stats}
+    snapshot is what a {!Wire.msg.Stats_req} is answered with.  With
+    [trace], every operation invoke/respond is appended to the ring. *)
+
+val metrics : t -> Metrics.t
 
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
 

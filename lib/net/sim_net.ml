@@ -87,6 +87,19 @@ module Heap = struct
     end
 end
 
+(* Metric handles interned once at [create]: the same counter names as
+   {!Socket_net}, so harness code reads one schema over either
+   transport. *)
+type ctrs = {
+  m_sent : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_dropped : Metrics.counter;
+  m_duplicated : Metrics.counter;
+  m_blocked : Metrics.counter;
+  m_timer_fires : Metrics.counter;
+  m_crashes : Metrics.counter;
+}
+
 type t = {
   rng : Random.State.t;
   faults : faults;
@@ -101,9 +114,24 @@ type t = {
   mutable duplicated : int;
   mutable blocked : int;
   mutable timer_fires : int;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  c : ctrs;
 }
 
-let create ~seed ~faults () =
+let create ~seed ~faults ?metrics ?trace () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c =
+    {
+      m_sent = Metrics.counter metrics "frames_sent";
+      m_delivered = Metrics.counter metrics "frames_delivered";
+      m_dropped = Metrics.counter metrics "frames_dropped";
+      m_duplicated = Metrics.counter metrics "frames_duplicated";
+      m_blocked = Metrics.counter metrics "frames_blocked";
+      m_timer_fires = Metrics.counter metrics "timer_fires";
+      m_crashes = Metrics.counter metrics "crashes";
+    }
+  in
   {
     rng = Random.State.make [| seed; 0x6e657421 |];
     faults;
@@ -118,7 +146,17 @@ let create ~seed ~faults () =
     duplicated = 0;
     blocked = 0;
     timer_fires = 0;
+    metrics;
+    trace;
+    c;
   }
+
+let metrics t = t.metrics
+
+let trace_ev t kind =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~time:t.clock kind
 
 let now t = t.clock
 
@@ -137,21 +175,37 @@ let delay_of t =
   let f = t.faults in
   f.min_delay +. Random.State.float t.rng (f.max_delay -. f.min_delay +. epsilon_float)
 
+let drop t ~src ~dst reason =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr t.c.m_dropped;
+  trace_ev t (Trace.Drop { src; dst; reason })
+
 let send t ~src ~dst msg =
-  if Hashtbl.mem t.dead dst then t.dropped <- t.dropped + 1
-  else if severed t src dst then t.blocked <- t.blocked + 1
+  (* every frame offered to the network counts as sent, duplicates
+     included, so that at quiescence
+     sent = delivered + dropped + blocked *)
+  Metrics.incr t.c.m_sent;
+  if Hashtbl.mem t.dead dst then drop t ~src ~dst "dead"
+  else if severed t src dst then begin
+    t.blocked <- t.blocked + 1;
+    Metrics.incr t.c.m_blocked;
+    trace_ev t (Trace.Drop { src; dst; reason = "partition" })
+  end
   else begin
     let f = t.faults in
     let immune = f.immune ~src ~dst in
     if (not immune) && f.drop > 0.0 && Random.State.float t.rng 1.0 < f.drop
-    then t.dropped <- t.dropped + 1
+    then drop t ~src ~dst "loss"
     else begin
       schedule t ~delay:(delay_of t) (Deliver { src; dst; msg });
+      trace_ev t (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg });
       if
         (not immune) && f.duplicate > 0.0
         && Random.State.float t.rng 1.0 < f.duplicate
       then begin
         t.duplicated <- t.duplicated + 1;
+        Metrics.incr t.c.m_duplicated;
+        Metrics.incr t.c.m_sent;
         schedule t ~delay:(delay_of t) (Deliver { src; dst; msg })
       end
     end
@@ -167,7 +221,10 @@ let transport t =
   }
 
 let register t node handler = Hashtbl.replace t.handlers node handler
-let crash t node = Hashtbl.replace t.dead node ()
+
+let crash t node =
+  if not (Hashtbl.mem t.dead node) then Metrics.incr t.c.m_crashes;
+  Hashtbl.replace t.dead node ()
 let alive t node = not (Hashtbl.mem t.dead node)
 let partition t a b = t.cut <- Some (a, b)
 let heal t = t.cut <- None
@@ -182,17 +239,22 @@ let step t =
     t.clock <- Float.max t.clock time;
     (match ev with
      | Deliver { src; dst; msg } ->
-       if Hashtbl.mem t.dead dst then t.dropped <- t.dropped + 1
+       if Hashtbl.mem t.dead dst then drop t ~src ~dst "dead"
        else begin
          match Hashtbl.find_opt t.handlers dst with
          | Some h ->
            t.delivered <- t.delivered + 1;
+           Metrics.incr t.c.m_delivered;
+           trace_ev t
+             (Trace.Deliver { src; dst; info = Fmt.str "%a" Wire.pp msg });
            h ~src msg
-         | None -> t.dropped <- t.dropped + 1
+         | None -> drop t ~src ~dst "no-handler"
        end
      | Timer { node; f } ->
        if node = -1 || not (Hashtbl.mem t.dead node) then begin
          t.timer_fires <- t.timer_fires + 1;
+         Metrics.incr t.c.m_timer_fires;
+         trace_ev t (Trace.Timer_fire { node });
          f ()
        end);
     true

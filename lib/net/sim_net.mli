@@ -52,7 +52,16 @@ type stats = {
 
 type t
 
-val create : seed:int -> faults:faults -> unit -> t
+val create :
+  seed:int -> faults:faults -> ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
+(** [metrics] (default: a fresh, private instance) receives the
+    transport counters under the same names as {!Socket_net}
+    ([frames_sent], [frames_delivered], …); at quiescence
+    [frames_sent = frames_delivered + frames_dropped + frames_blocked].
+    With [trace], every send/deliver/drop/timer-fire is appended to
+    the ring stamped with its virtual time. *)
+
+val metrics : t -> Metrics.t
 
 val transport : t -> Transport.t
 

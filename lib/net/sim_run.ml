@@ -12,6 +12,7 @@ type outcome = {
   latencies : (E.proc * int E.op * float) list;
   net : Sim_net.stats;
   quorum : Quorum.stats;
+  metrics : Metrics.t;
 }
 
 type client = {
@@ -41,7 +42,8 @@ let latencies_of timed =
 
 let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     ?crash_replica ?partition_replicas ?(max_steps = 2_000_000)
-    ?(audit = true) ~seed ~init ~processes () =
+    ?(audit = true) ?metrics ?trace ~seed ~init ~processes () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let faults =
     {
       faults with
@@ -50,7 +52,7 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
           is_client src || is_client dst || faults.Sim_net.immune ~src ~dst);
     }
   in
-  let net = Sim_net.create ~seed ~faults () in
+  let net = Sim_net.create ~seed ~faults ~metrics ?trace () in
   let tr = Sim_net.transport net in
   let replica_nodes = List.init replicas Fun.id in
   (* replicas *)
@@ -65,8 +67,8 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   (* server; retransmission period must exceed a replica round trip *)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
   let server =
-    Server.create ~transport:tr ~audit ~resend_every ~me:Transport.server
-      ~replicas:replica_nodes ~init ()
+    Server.create ~transport:tr ~audit ~resend_every ~metrics ?trace
+      ~me:Transport.server ~replicas:replica_nodes ~init ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
   (* clients: send [Hello; first window] as one batch, then keep the
@@ -148,6 +150,7 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     latencies = latencies_of timed;
     net = Sim_net.stats net;
     quorum = Server.quorum_stats server;
+    metrics;
   }
 
 let pp_outcome ppf o =

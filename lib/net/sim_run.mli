@@ -31,6 +31,10 @@ type outcome = {
       (** per completed operation, in virtual time units *)
   net : Sim_net.stats;
   quorum : Quorum.stats;
+  metrics : Metrics.t;
+      (** the cluster-wide metrics registry (transport counters, quorum
+          phase histograms, server op latencies) — the one passed in,
+          or a fresh instance if none was *)
 }
 
 val run :
@@ -41,6 +45,8 @@ val run :
   ?partition_replicas:float * float ->
   ?max_steps:int ->
   ?audit:bool ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
   seed:int ->
   init:int ->
   processes:int Registers.Vm.process list ->
@@ -49,7 +55,13 @@ val run :
 (** [crash_replica (i, t)] crashes replica [i] at virtual time [t];
     [partition_replicas (t0, t1)] severs all replicas from the server
     during [[t0, t1)].  Defaults: reliable network, 3 replicas,
-    pipelining window 4, audit on, [max_steps] 2_000_000. *)
+    pipelining window 4, audit on, [max_steps] 2_000_000.
+
+    [metrics] and [trace] are shared by the transport and the server:
+    the trace (virtual-time stamped) records sends, deliveries, drops,
+    timer fires and every operation invoke/respond, and can be dumped
+    with {!Trace.dump} and replayed through the checker with
+    {!Trace.history_of_file}. *)
 
 val pp_outcome : outcome Fmt.t
 (** One-paragraph summary (completion, verdicts, network stats). *)

@@ -3,12 +3,31 @@ type endpoint = {
   lfd : Unix.file_descr;
   hmu : Mutex.t;  (* serializes handler + timer callbacks for the node *)
   handler : src:int -> Wire.msg -> unit;
-  mutable stopped : bool;
+  stopped : bool Atomic.t;
 }
 
 type conn = {
   fd : Unix.file_descr;
   wmu : Mutex.t;  (* serializes frame writes *)
+}
+
+(* Counters and histograms interned once at [create]; hot paths touch
+   only the resolved handles. *)
+type ctrs = {
+  frames_sent : Metrics.counter;
+  frames_delivered : Metrics.counter;
+  frames_dropped : Metrics.counter;
+  frames_retried : Metrics.counter;
+  frames_oversized : Metrics.counter;
+  decode_errors : Metrics.counter;
+  conn_opened : Metrics.counter;
+  conn_closed : Metrics.counter;
+  conn_failed : Metrics.counter;
+  conn_stall : Metrics.counter;
+  timer_fires : Metrics.counter;
+  timers_dropped : Metrics.counter;
+  crashes : Metrics.counter;
+  handler_service : Metrics.histogram;
 }
 
 type t = {
@@ -17,11 +36,15 @@ type t = {
   eps : (int, endpoint) Hashtbl.t;
   conns : (int, conn) Hashtbl.t;  (* outbound, keyed by destination *)
   mutable threads : Thread.t list;
-  mutable closed : bool;
+  closed : bool Atomic.t;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  c : ctrs;
 }
 
 let poll_period = 0.05
-let max_frame = 16 * 1024 * 1024
+let max_frame = Wire.max_frame
+let connect_timeout = 1.0
 
 let fresh_dir () =
   let base = Filename.get_temp_dir_name () in
@@ -36,7 +59,7 @@ let fresh_dir () =
   in
   go 0
 
-let create ?dir () =
+let create ?dir ?metrics ?trace () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let dir =
     match dir with
@@ -45,17 +68,45 @@ let create ?dir () =
       d
     | None -> fresh_dir ()
   in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c =
+    {
+      frames_sent = Metrics.counter metrics "frames_sent";
+      frames_delivered = Metrics.counter metrics "frames_delivered";
+      frames_dropped = Metrics.counter metrics "frames_dropped";
+      frames_retried = Metrics.counter metrics "frames_retried";
+      frames_oversized = Metrics.counter metrics "frames_oversized";
+      decode_errors = Metrics.counter metrics "decode_errors";
+      conn_opened = Metrics.counter metrics "conn_opened";
+      conn_closed = Metrics.counter metrics "conn_closed";
+      conn_failed = Metrics.counter metrics "conn_failed";
+      conn_stall = Metrics.counter metrics "conn_stall";
+      timer_fires = Metrics.counter metrics "timer_fires";
+      timers_dropped = Metrics.counter metrics "timers_dropped";
+      crashes = Metrics.counter metrics "crashes";
+      handler_service = Metrics.histogram metrics "handler_service";
+    }
+  in
   {
     dir;
     mu = Mutex.create ();
     eps = Hashtbl.create 8;
     conns = Hashtbl.create 8;
     threads = [];
-    closed = false;
+    closed = Atomic.make false;
+    metrics;
+    trace;
+    c;
   }
 
 let dir t = t.dir
+let metrics t = t.metrics
 let path t node = Filename.concat t.dir (Fmt.str "n%d.sock" node)
+
+let trace_ev t kind =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~time:(Unix.gettimeofday ()) kind
 
 let add_thread t th = Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
 
@@ -66,7 +117,7 @@ let read_exact ep fd buf len =
   let ok = ref true in
   (try
      while !ok && !got < len do
-       if ep.stopped then ok := false
+       if Atomic.get ep.stopped then ok := false
        else begin
          match Unix.select [ fd ] [] [] poll_period with
          | [], _, _ -> ()
@@ -92,20 +143,32 @@ let recv_loop t ep cfd =
         if not (read_exact ep cfd body len) then continue := false
         else
           match Wire.decode (Bytes.to_string body) with
-          | Error _ -> continue := false
+          | Error _ ->
+            (* a framing bug or corrupted stream: count it, then kill
+               the connection — the stream can no longer be trusted *)
+            Metrics.incr t.c.decode_errors;
+            continue := false
           | Ok msg ->
+            Metrics.incr t.c.frames_delivered;
+            trace_ev t
+              (Trace.Deliver
+                 { src; dst = ep.node; info = Fmt.str "%a" Wire.pp msg });
             Mutex.protect ep.hmu (fun () ->
-                if not ep.stopped then ep.handler ~src msg)
+                if not (Atomic.get ep.stopped) then begin
+                  let t0 = Unix.gettimeofday () in
+                  ep.handler ~src msg;
+                  Metrics.observe t.c.handler_service
+                    (Unix.gettimeofday () -. t0)
+                end)
       end
     end
   done;
-  ignore t;
   try Unix.close cfd with Unix.Unix_error _ -> ()
 
 let accept_loop t ep =
   let continue = ref true in
   while !continue do
-    if ep.stopped then continue := false
+    if Atomic.get ep.stopped then continue := false
     else
       match Unix.select [ ep.lfd ] [] [] poll_period with
       | [], _, _ -> ()
@@ -122,7 +185,7 @@ let listen t node handler =
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX p);
   Unix.listen lfd 64;
-  let ep = { node; lfd; hmu = Mutex.create (); handler; stopped = false } in
+  let ep = { node; lfd; hmu = Mutex.create (); handler; stopped = Atomic.make false } in
   Mutex.protect t.mu (fun () -> Hashtbl.replace t.eps node ep);
   add_thread t (Thread.create (fun () -> accept_loop t ep) ())
 
@@ -131,25 +194,78 @@ let drop_conn t dst =
       match Hashtbl.find_opt t.conns dst with
       | Some c ->
         Hashtbl.remove t.conns dst;
+        Metrics.incr t.c.conn_closed;
         (try Unix.close c.fd with Unix.Unix_error _ -> ())
       | None -> ())
 
+(* Connect without ever blocking the caller for long: the socket is
+   non-blocking, and a connection that cannot complete within
+   [connect_timeout] (or at all — on Unix-domain sockets a full
+   listener backlog surfaces as EAGAIN) is abandoned and counted as a
+   [conn_stall].  Crucially this runs with NO lock held. *)
+let try_connect t dst =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close_quietly () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match
+    Unix.set_nonblock fd;
+    Unix.connect fd (Unix.ADDR_UNIX (path t dst))
+  with
+  | () ->
+    Unix.clear_nonblock fd;
+    Some fd
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+    (* not the documented Unix-domain behaviour, but cheap to handle:
+       wait (bounded) for the connect to resolve *)
+    (match Unix.select [] [ fd ] [] connect_timeout with
+     | _, [ _ ], _ ->
+       (match Unix.getsockopt_error fd with
+        | None ->
+          Unix.clear_nonblock fd;
+          Some fd
+        | Some _ ->
+          close_quietly ();
+          Metrics.incr t.c.conn_failed;
+          None)
+     | _ ->
+       close_quietly ();
+       Metrics.incr t.c.conn_stall;
+       None
+     | exception (Unix.Unix_error _ | Sys_error _) ->
+       close_quietly ();
+       Metrics.incr t.c.conn_failed;
+       None)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (* the peer exists but is not accepting (backlog full): dropping
+       the frame beats stalling every sender behind this destination *)
+    close_quietly ();
+    Metrics.incr t.c.conn_stall;
+    None
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    close_quietly ();
+    Metrics.incr t.c.conn_failed;
+    None
+
 let get_conn t dst =
-  Mutex.protect t.mu (fun () ->
-      match Hashtbl.find_opt t.conns dst with
-      | Some c -> Some c
-      | None ->
-        (match
-           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-           (try Unix.connect fd (Unix.ADDR_UNIX (path t dst))
-            with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-           fd
-         with
-         | fd ->
-           let c = { fd; wmu = Mutex.create () } in
-           Hashtbl.replace t.conns dst c;
-           Some c
-         | exception (Unix.Unix_error _ | Sys_error _) -> None))
+  match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.conns dst) with
+  | Some c -> Some c
+  | None ->
+    (* connect OUTSIDE the table lock: a slow or unreachable peer must
+       not stall sends to every other destination (the lock is only
+       retaken to install the result, tolerating a racing winner) *)
+    (match try_connect t dst with
+     | None -> None
+     | Some fd ->
+       Mutex.protect t.mu (fun () ->
+           match Hashtbl.find_opt t.conns dst with
+           | Some winner ->
+             (* another sender connected while we did; keep theirs *)
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             Some winner
+           | None ->
+             let c = { fd; wmu = Mutex.create () } in
+             Hashtbl.replace t.conns dst c;
+             Metrics.incr t.c.conn_opened;
+             Some c))
 
 let write_all fd b =
   let n = Bytes.length b in
@@ -159,33 +275,60 @@ let write_all fd b =
   done
 
 let send t ~src ~dst msg =
-  let frame = Wire.frame ~src msg in
-  let write_to c = Mutex.protect c.wmu (fun () -> write_all c.fd frame) in
-  match get_conn t dst with
-  | None -> ()  (* dead or absent peer: the link is lossy by contract *)
-  | Some c ->
-    (try write_to c
-     with Unix.Unix_error _ | Sys_error _ ->
-       (* the peer may have restarted behind our cached connection
-          (e.g. a client re-run with the same processor id): retry once
-          on a fresh connection before giving the frame up as lost *)
-       drop_conn t dst;
-       (match get_conn t dst with
-        | None -> ()
-        | Some c ->
-          (try write_to c
-           with Unix.Unix_error _ | Sys_error _ -> drop_conn t dst)))
+  match Wire.frame ~src msg with
+  | exception Invalid_argument _ ->
+    (* over [Wire.max_frame]: surfaced as a counted drop rather than a
+       truncated header the receiver would choke on *)
+    Metrics.incr t.c.frames_oversized;
+    trace_ev t (Trace.Drop { src; dst; reason = "oversized" })
+  | frame ->
+    Metrics.incr t.c.frames_sent;
+    let write_to c = Mutex.protect c.wmu (fun () -> write_all c.fd frame) in
+    let dropped reason =
+      Metrics.incr t.c.frames_dropped;
+      trace_ev t (Trace.Drop { src; dst; reason })
+    in
+    (match get_conn t dst with
+     | None -> dropped "no-conn"  (* dead or absent peer: lossy by contract *)
+     | Some c ->
+       (try
+          write_to c;
+          trace_ev t (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg })
+        with Unix.Unix_error _ | Sys_error _ ->
+          (* the peer may have restarted behind our cached connection
+             (e.g. a client re-run with the same processor id): retry
+             once on a fresh connection before giving the frame up *)
+          drop_conn t dst;
+          Metrics.incr t.c.frames_retried;
+          (match get_conn t dst with
+           | None -> dropped "no-conn"
+           | Some c ->
+             (try
+                write_to c;
+                trace_ev t
+                  (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg })
+              with Unix.Unix_error _ | Sys_error _ ->
+                drop_conn t dst;
+                dropped "write-failed"))))
 
 let set_timer t ~node ~delay f =
   add_thread t
     (Thread.create
        (fun () ->
          Thread.delay delay;
-         let ep = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) in
-         match ep with
+         match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
          | Some ep ->
-           Mutex.protect ep.hmu (fun () -> if not ep.stopped then f ())
-         | None -> if not t.closed then f ())
+           Mutex.protect ep.hmu (fun () ->
+               if not (Atomic.get ep.stopped) then begin
+                 Metrics.incr t.c.timer_fires;
+                 trace_ev t (Trace.Timer_fire { node });
+                 f ()
+               end)
+         | None ->
+           (* the node is gone (or was never registered here): firing
+              [f] anyway would race it against the node's handlers with
+              no mutex held — drop the timer instead, and count it *)
+           Metrics.incr t.c.timers_dropped)
        ())
 
 let transport t =
@@ -198,7 +341,7 @@ let transport t =
 let unlisten t node =
   (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
    | Some ep ->
-     ep.stopped <- true;
+     Atomic.set ep.stopped true;
      Mutex.protect t.mu (fun () -> Hashtbl.remove t.eps node)
    | None -> ());
   (* drop our cached route so a later listener on the same node gets a
@@ -208,14 +351,16 @@ let unlisten t node =
 
 let crash t node =
   (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
-   | Some ep -> ep.stopped <- true
+   | Some ep ->
+     Atomic.set ep.stopped true;
+     Metrics.incr t.c.crashes
    | None -> ());
   drop_conn t node
 
 let shutdown t =
-  t.closed <- true;
+  Atomic.set t.closed true;
   let eps = Mutex.protect t.mu (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.eps []) in
-  List.iter (fun ep -> ep.stopped <- true) eps;
+  List.iter (fun ep -> Atomic.set ep.stopped true) eps;
   Mutex.protect t.mu (fun () ->
       Hashtbl.iter
         (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())

@@ -11,17 +11,30 @@
     sockets otherwise neither drop nor reorder, so the quorum engine's
     retransmission timer only matters when replicas crash.
 
+    Sending never blocks on a sick peer: outbound connects are
+    non-blocking and bounded, run with no table lock held, and a peer
+    that is not accepting (full backlog, hung process) costs the
+    sender one counted [conn_stall] and a dropped frame instead of
+    stalling every other destination behind the connection table.
+
     Multiple processes may share a [dir] (see the [serve]/[client]
     subcommands of [bin/net.exe]); a single process may equally host
     the whole cluster, each node on its own socket. *)
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
 (** [dir] defaults to a fresh directory under the system temp dir.
-    Ignores [SIGPIPE] process-wide (a must for socket servers). *)
+    Ignores [SIGPIPE] process-wide (a must for socket servers).
+    [metrics] (default: a fresh, private {!Metrics.t}) receives the
+    transport's counters and its handler-service histogram — pass the
+    cluster-wide instance so one snapshot covers every layer.  With
+    [trace], every send/deliver/drop/timer event is appended to the
+    ring with its wall-clock time. *)
 
 val dir : t -> string
+
+val metrics : t -> Metrics.t
 
 val path : t -> Transport.node -> string
 (** The node's socket file, [<dir>/n<id>.sock] — useful to test for a

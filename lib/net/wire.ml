@@ -16,9 +16,21 @@ type msg =
   | Store_ack of { rid : int; reg : int }
   | Batch of msg list
   | Bye
+  | Stats_req of { rid : int }
+  | Stats_reply of { rid : int; stats : (string * int) list }
+
+let max_frame = 16 * 1024 * 1024
+let max_batch_depth = 8
+let max_batch = 65536
+let max_stat_name = 1024
+let max_stats = 4096
 
 let add_int b n = Buffer.add_int64_le b (Int64.of_int n)
 let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let add_string b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
 
 let add_payload b pl =
   add_int b (Tagged.v pl);
@@ -75,6 +87,18 @@ let rec encode_into b = function
         Buffer.add_buffer b sub)
       msgs
   | Bye -> Buffer.add_char b '\008'
+  | Stats_req { rid } ->
+    Buffer.add_char b '\009';
+    add_int b rid
+  | Stats_reply { rid; stats } ->
+    Buffer.add_char b '\010';
+    add_int b rid;
+    add_int b (List.length stats);
+    List.iter
+      (fun (name, v) ->
+        add_string b name;
+        add_int b v)
+      stats
 
 let encode m =
   let b = Buffer.create 32 in
@@ -103,7 +127,15 @@ let decode s =
     let t = byte () <> 0 in
     Tagged.make v t
   in
-  let rec msg () =
+  let str () =
+    let len = int () in
+    if len < 0 || len > max_stat_name then raise (Bad "bad string length");
+    need len;
+    let s = String.sub s !pos len in
+    pos := !pos + len;
+    s
+  in
+  let rec msg depth =
     match byte () with
     | 0 -> Hello { proc = int () }
     | 1 ->
@@ -135,21 +167,36 @@ let decode s =
       let rid = int () in
       Store_ack { rid; reg = int () }
     | 7 ->
+      (* cap the nesting depth: an adversarial frame must not be able
+         to recurse the decoder arbitrarily deep *)
+      if depth >= max_batch_depth then raise (Bad "batch nested too deep");
       let n = int () in
-      if n < 0 || n > 65536 then raise (Bad "bad batch size");
+      if n < 0 || n > max_batch then raise (Bad "bad batch size");
       Batch
         (List.init n (fun _ ->
              let len = int () in
              if len < 0 then raise (Bad "bad batch item length");
              let stop = !pos + len in
-             let m = msg () in
+             let m = msg (depth + 1) in
              if !pos <> stop then raise (Bad "batch item length mismatch");
              m))
     | 8 -> Bye
+    | 9 -> Stats_req { rid = int () }
+    | 10 ->
+      let rid = int () in
+      let n = int () in
+      if n < 0 || n > max_stats then raise (Bad "bad stats size");
+      Stats_reply
+        { rid;
+          stats =
+            List.init n (fun _ ->
+                let name = str () in
+                (name, int ()))
+        }
     | c -> raise (Bad (Fmt.str "unknown tag %d" c))
   in
   try
-    let m = msg () in
+    let m = msg 0 in
     if !pos <> String.length s then Error "trailing bytes" else Ok m
   with Bad e -> Error e
 
@@ -163,6 +210,13 @@ let header_size = 8
 let frame ~src m =
   let body = encode m in
   let n = String.length body in
+  (* the receiver enforces [max_frame] on read; enforcing it here too
+     turns an oversized message into a clean error at the sender
+     instead of a length that the receiver rejects — and keeps the
+     32-bit header length field from ever silently truncating *)
+  if n > max_frame then
+    invalid_arg
+      (Fmt.str "Wire.frame: %d-byte message exceeds max_frame (%d)" n max_frame);
   let b = Bytes.create (header_size + n) in
   Bytes.set_int32_le b 0 (Int32.of_int n);
   Bytes.set_int32_le b 4 (Int32.of_int src);
@@ -189,3 +243,6 @@ let rec pp ppf = function
   | Batch msgs ->
     Fmt.pf ppf "batch[%a]" Fmt.(list ~sep:(any "; ") pp) msgs
   | Bye -> Fmt.pf ppf "bye"
+  | Stats_req { rid } -> Fmt.pf ppf "stats-req#%d" rid
+  | Stats_reply { rid; stats } ->
+    Fmt.pf ppf "stats-reply#%d (%d entries)" rid (List.length stats)

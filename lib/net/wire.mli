@@ -39,18 +39,41 @@ type msg =
   | Store_ack of { rid : int; reg : int }
   | Batch of msg list
   | Bye
+  | Stats_req of { rid : int }
+      (** Ask the server for its live metrics snapshot. *)
+  | Stats_reply of { rid : int; stats : (string * int) list }
+      (** Counter name/value pairs (see {!Metrics.wire_stats}). *)
+
+val max_frame : int
+(** Upper bound on an encoded message body (16 MiB), enforced
+    symmetrically: {!frame} refuses to emit a larger body and the
+    stream receivers refuse to read one. *)
+
+val max_batch_depth : int
+(** Decoder bound on [Batch] nesting; deeper frames are an [Error]
+    (the encoder is not bounded — bound your producers). *)
+
+val max_batch : int
+(** Decoder bound on [Batch] length and {!frame} keeps bodies under
+    {!max_frame}, so a frame can never make the decoder allocate
+    unboundedly. *)
 
 val encode : msg -> string
 val decode : string -> (msg, string) result
-(** Total inverse of {!encode}: [decode (encode m) = Ok m]; any
-    truncated, trailing-garbage or unknown-tag input is an [Error]. *)
+(** Total inverse of {!encode} for messages within the decoder bounds
+    ([decode (encode m) = Ok m]); any truncated, trailing-garbage,
+    unknown-tag, over-long or over-deep input is an [Error] — never an
+    exception. *)
 
 val decode_exn : string -> msg
 (** @raise Invalid_argument on undecodable input. *)
 
 val frame : src:int -> msg -> bytes
 (** A stream frame: an 8-byte header ([length, src] as two 32-bit
-    little-endian ints) followed by the encoded message. *)
+    little-endian ints) followed by the encoded message.
+    @raise Invalid_argument if the body exceeds {!max_frame} (a body
+    length must never overflow the 32-bit header field, and a frame
+    the receiver would reject should fail at the sender). *)
 
 val header_size : int
 val parse_header : bytes -> int * int

@@ -19,6 +19,10 @@ let payload_gen =
     (Gen.int_range (-1000000) 1000000)
     Gen.bool
 
+(* exercise the boundary: full-width ints must survive the wire *)
+let int_gen =
+  Gen.oneof [ Gen.int; Gen.pure min_int; Gen.pure max_int; Gen.pure 0 ]
+
 let msg_gen =
   let base =
     Gen.oneof
@@ -38,21 +42,37 @@ let msg_gen =
           (Gen.int_range 0 1);
         Gen.map3
           (fun rid ts pl -> W.Query_reply { rid; reg = rid mod 2; ts; pl })
-          Gen.small_nat Gen.small_nat payload_gen;
+          Gen.small_nat int_gen payload_gen;
         Gen.map3
           (fun rid ts pl -> W.Store { rid; reg = rid mod 2; ts; pl })
-          Gen.small_nat Gen.small_nat payload_gen;
+          Gen.small_nat int_gen payload_gen;
         Gen.map2 (fun rid reg -> W.Store_ack { rid; reg }) Gen.small_nat
           (Gen.int_range 0 1);
+        Gen.map (fun rid -> W.Stats_req { rid }) Gen.small_nat;
+        Gen.map2
+          (fun rid stats -> W.Stats_reply { rid; stats })
+          Gen.small_nat
+          (Gen.list_size (Gen.int_range 0 6)
+             (Gen.pair
+                (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 24))
+                int_gen));
         Gen.pure W.Bye;
       ]
   in
-  Gen.oneof [ base; Gen.map (fun l -> W.Batch l) (Gen.list_size (Gen.int_range 0 5) base) ]
+  (* batches nest (empty, and up to three levels deep) *)
+  let batch g = Gen.map (fun l -> W.Batch l) (Gen.list_size (Gen.int_range 0 5) g) in
+  Gen.oneof [ base; batch base; batch (Gen.oneof [ base; batch base ]) ]
 
 let wire_roundtrip =
   QCheck2.Test.make ~name:"wire encode/decode round-trip" ~count:500
     ~print:(Fmt.str "%a" W.pp) msg_gen
     (fun m -> W.decode (W.encode m) = Ok m)
+
+let wire_decode_total =
+  (* the decoder is total: junk yields [Error], never an exception *)
+  QCheck2.Test.make ~name:"wire: decode never raises on junk" ~count:2000
+    Gen.(string_size (int_range 0 200))
+    (fun s -> match W.decode s with Ok _ | Error _ -> true)
 
 let wire_rejects_garbage () =
   (match W.decode "" with
@@ -79,6 +99,45 @@ let wire_frame () =
   Alcotest.(check int) "len" (Bytes.length f - W.header_size) len;
   let body = Bytes.sub_string f W.header_size len in
   Alcotest.(check bool) "body" true (W.decode body = Ok m)
+
+let rec deep_batch n = if n = 0 then W.Bye else W.Batch [ deep_batch (n - 1) ]
+
+let wire_oversized_frame () =
+  (* regression: [frame] used to stamp any length into the header
+     unchecked, shipping a frame no receiver would ever accept *)
+  let huge = W.Batch (List.init 1_100_000 (fun _ -> W.Hello { proc = 0 })) in
+  (match W.frame ~src:0 huge with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "oversized frame accepted");
+  ignore (W.frame ~src:0 (W.Req { seq = 0; op = W.Write max_int }))
+
+let wire_batch_depth () =
+  let m = deep_batch W.max_batch_depth in
+  Alcotest.(check bool) "at the cap round-trips" true
+    (W.decode (W.encode m) = Ok m);
+  match W.decode (W.encode (deep_batch (W.max_batch_depth + 1))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-deep batch decoded"
+
+let wire_boundary_values () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Fmt.str "%a" W.pp m)
+        true
+        (W.decode (W.encode m) = Ok m))
+    [
+      W.Req { seq = max_int; op = W.Write min_int };
+      W.Resp { seq = 0; result = Some max_int };
+      W.Query_reply
+        { rid = max_int; reg = 1; ts = max_int;
+          pl = Registers.Tagged.make min_int true };
+      W.Batch [];
+      W.Batch [ W.Batch []; W.Batch [ W.Batch [] ] ];
+      W.Stats_req { rid = max_int };
+      W.Stats_reply
+        { rid = 0; stats = [ ("", min_int); ("frames_sent", max_int) ] };
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Replica                                                             *)
@@ -252,6 +311,76 @@ let sim_random_schedules =
       && o.Net.Sim_run.completed = o.Net.Sim_run.expected)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics and tracing                                                 *)
+
+let sim_metrics_reconcile () =
+  (* every frame the transport accepts meets exactly one fate, so at
+     quiescence sent = delivered + dropped + blocked (duplicates are
+     extra sends and count on both sides) *)
+  List.iter
+    (fun (what, faults, partition) ->
+      let metrics = Net.Metrics.create () in
+      ignore
+        (Net.Sim_run.run ~faults ?partition_replicas:partition ~metrics
+           ~seed:3 ~init:0
+           ~processes:(spec ~readers:2 ~writes:3 ~reads:4)
+           ());
+      let g = Net.Metrics.get metrics in
+      Alcotest.(check int)
+        (what ^ ": sent = delivered + dropped + blocked")
+        (g "frames_sent")
+        (g "frames_delivered" + g "frames_dropped" + g "frames_blocked");
+      Alcotest.(check bool) (what ^ ": traffic counted") true (g "frames_sent" > 0))
+    [
+      ("reliable", Net.Sim_net.reliable, None);
+      ("lossy", Net.Sim_net.lossy ~drop:0.2 ~duplicate:0.1 (), None);
+      ("partitioned", Net.Sim_net.lossy ~drop:0.1 (), Some (20.0, 60.0));
+    ]
+
+let trace_ring_wraps () =
+  let tr = Net.Trace.create ~capacity:8 () in
+  for k = 1 to 20 do
+    Net.Trace.record tr ~time:(float_of_int k) (Net.Trace.Note (string_of_int k))
+  done;
+  Alcotest.(check int) "recorded" 20 (Net.Trace.recorded tr);
+  Alcotest.(check int) "overwritten" 12 (Net.Trace.overwritten tr);
+  match Net.Trace.events tr with
+  | { Net.Trace.time = t0; _ } :: _ as evs ->
+    Alcotest.(check int) "window size" 8 (List.length evs);
+    Alcotest.(check (float 0.0)) "oldest survivor" 13.0 t0
+  | [] -> Alcotest.fail "empty window"
+
+let sim_trace_replay () =
+  (* a faulty run's trace, dumped to JSONL and parsed back, must yield
+     the exact served history — and re-check atomic offline *)
+  let trace = Net.Trace.create ~capacity:200_000 () in
+  let o =
+    Net.Sim_run.run
+      ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
+      ~trace ~seed:2 ~init:0
+      ~processes:(spec ~readers:2 ~writes:3 ~reads:4)
+      ()
+  in
+  Alcotest.(check int) "no wrap" 0 (Net.Trace.overwritten trace);
+  Alcotest.(check bool) "in-memory history matches served" true
+    (Net.Trace.history trace = o.Net.Sim_run.history);
+  let file = Filename.temp_file "bloom-trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Net.Trace.dump trace file;
+      let parsed = Net.Trace.history_of_file file in
+      Alcotest.(check bool) "parsed history round-trips" true
+        (parsed = o.Net.Sim_run.history);
+      let ops = Histories.Operation.of_events_exn parsed in
+      match Histories.Fastcheck.check_unique ~init:0 ops with
+      | Histories.Fastcheck.Atomic _ -> ()
+      | Histories.Fastcheck.Violation v ->
+        Alcotest.failf "replayed history: %a"
+          (Histories.Fastcheck.pp_violation Fmt.int)
+          v)
+
+(* ------------------------------------------------------------------ *)
 (* The audit actually fires: feed the monitor a corrupted history      *)
 
 let audit_catches_corruption () =
@@ -284,7 +413,8 @@ let socket_cluster () =
             (Net.Replica.handle rep ~src msg)))
     replicas;
   let server =
-    Net.Server.create ~transport:tr ~audit:true ~me:Net.Transport.server
+    Net.Server.create ~transport:tr ~audit:true
+      ~metrics:(Net.Socket_net.metrics net) ~me:Net.Transport.server
       ~replicas ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
@@ -302,7 +432,7 @@ let socket_smoke () =
       (fun { Registers.Vm.proc; script } ->
         Thread.create
           (fun () ->
-            let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc in
+            let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
             ignore (Net.Client.run_script ~window:4 c script);
             Net.Client.close c)
           ())
@@ -332,8 +462,8 @@ let socket_replica_crash () =
         Net.Socket_net.crash net 2)
       ()
   in
-  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 in
-  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 in
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
   for k = 1 to 10 do
     Net.Client.write c0 k;
     let v = Net.Client.read c2 in
@@ -352,24 +482,108 @@ let socket_reconnect_same_proc () =
      yield a working session: the old endpoint and the peers' cached
      route to it are torn down by [close] *)
   let net, _server = socket_cluster () in
-  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 in
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
   Net.Client.write c0 41;
   Net.Client.close c0;
-  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 in
+  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
   Alcotest.(check int) "first session's write visible" 41 (Net.Client.read c2);
   Net.Client.close c2;
-  let c2' = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 in
+  let c2' = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
   Alcotest.(check int) "reconnected reader works" 41 (Net.Client.read c2');
-  let c0' = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 in
+  let c0' = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
   Net.Client.write c0' 42;
   Alcotest.(check int) "reconnected writer works" 42 (Net.Client.read c2');
   Net.Client.close c0';
   Net.Client.close c2';
   Net.Socket_net.shutdown net
 
+let socket_timer_unregistered_dropped () =
+  (* regression: the timer fallback used to run the callback anyway —
+     outside any handler mutex — when its node was already gone *)
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  let fired = Atomic.make false in
+  tr.Net.Transport.set_timer ~node:77 ~delay:0.02 (fun () ->
+      Atomic.set fired true);
+  Thread.delay 0.2;
+  let dropped = Net.Metrics.get (Net.Socket_net.metrics net) "timers_dropped" in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check bool) "callback not fired" false (Atomic.get fired);
+  Alcotest.(check int) "accounted as dropped" 1 dropped
+
+let socket_connect_stall_does_not_block () =
+  (* regression: get_conn used to hold the transport mutex across a
+     blocking [Unix.connect]; one peer with a full accept backlog
+     stalled every other send on the transport *)
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  let got = Atomic.make false in
+  Net.Socket_net.listen net 58 (fun ~src:_ _ -> Atomic.set got true);
+  (* a silent peer at node 57's address: listening, never accepting *)
+  let addr = Unix.ADDR_UNIX (Net.Socket_net.path net 57) in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd addr;
+  Unix.listen lfd 1;
+  let fillers = ref [] in
+  (try
+     for _ = 1 to 16 do
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.set_nonblock fd;
+       fillers := fd :: !fillers;
+       Unix.connect fd addr
+     done
+   with
+   | Unix.Unix_error
+       ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINPROGRESS
+         | Unix.ECONNREFUSED ),
+         _,
+         _ )
+   -> ());
+  let stall_sender =
+    Thread.create (fun () -> tr.Net.Transport.send ~src:58 ~dst:57 W.Bye) ()
+  in
+  Thread.delay 0.05;
+  (* a healthy send on the same transport must still get through *)
+  tr.Net.Transport.send ~src:57 ~dst:58 W.Bye;
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while (not (Atomic.get got)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "healthy send delivered while peer stalls" true
+    (Atomic.get got);
+  Thread.join stall_sender;
+  Alcotest.(check bool) "stall counted" true
+    (Net.Metrics.get (Net.Socket_net.metrics net) "conn_stall" >= 1);
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) !fillers;
+  Unix.close lfd;
+  Net.Socket_net.shutdown net
+
+let socket_stats_over_wire () =
+  let net, _server = socket_cluster () in
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+  Net.Client.write c0 7;
+  Net.Client.write c0 8;
+  Alcotest.(check int) "read back" 8 (Net.Client.read c0);
+  let stats = Net.Client.stats c0 in
+  let get name =
+    match List.assoc_opt name stats with
+    | Some v -> v
+    | None -> Alcotest.failf "stat %s missing from the reply" name
+  in
+  Alcotest.(check int) "ops served" 3 (get "ops_served");
+  Alcotest.(check int) "no decode errors" 0 (get "decode_errors");
+  Alcotest.(check int) "one session" 1 (get "sessions");
+  Alcotest.(check int) "no violation" 0 (get "audit_violation");
+  Alcotest.(check bool) "quorum counters live" true
+    (get "quorum_queries" >= 1 && get "quorum_stores" >= 3);
+  Alcotest.(check bool) "rtt histogram populated" true
+    (get "client_rtt_count" >= 3);
+  Net.Client.close c0;
+  Net.Socket_net.shutdown net
+
 let socket_rejects_rogue_writer () =
   let net, _server = socket_cluster () in
-  let c5 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:5 in
+  let c5 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:5 () in
   (try
      Net.Client.write c5 99;
      Net.Socket_net.shutdown net;
@@ -380,7 +594,11 @@ let suite =
   [
     tc "wire: reject garbage" wire_rejects_garbage;
     tc "wire: framing" wire_frame;
+    tc "wire: oversized frame rejected" wire_oversized_frame;
+    tc "wire: batch depth capped" wire_batch_depth;
+    tc "wire: boundary values round-trip" wire_boundary_values;
     QCheck_alcotest.to_alcotest wire_roundtrip;
+    QCheck_alcotest.to_alcotest wire_decode_total;
     tc "replica: monotone timestamps" replica_monotone;
     tc "replica: batches" replica_batch;
     tc "sim: reliable run" sim_reliable;
@@ -391,9 +609,16 @@ let suite =
     tc "sim: partition then heal" sim_partition_heals;
     tc "sim: deterministic replay" sim_deterministic;
     QCheck_alcotest.to_alcotest sim_random_schedules;
+    tc "metrics: sim frame fates reconcile" sim_metrics_reconcile;
+    tc "trace: ring wraps" trace_ring_wraps;
+    tc "trace: dump, parse back, re-check" sim_trace_replay;
     tc "audit plumbing catches inversions" audit_catches_corruption;
     tc_slow "socket: served workload atomic" socket_smoke;
     tc_slow "socket: replica crash mid-run" socket_replica_crash;
     tc_slow "socket: reconnect with same proc" socket_reconnect_same_proc;
     tc "socket: rogue writer rejected" socket_rejects_rogue_writer;
+    tc "socket: timer for gone node dropped" socket_timer_unregistered_dropped;
+    tc_slow "socket: stalled peer does not block the transport"
+      socket_connect_stall_does_not_block;
+    tc_slow "socket: stats over the wire" socket_stats_over_wire;
   ]
