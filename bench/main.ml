@@ -578,8 +578,13 @@ let bench_net () =
       let lat =
         Array.of_list (List.map (fun (_, _, l) -> l) o.Net.Sim_run.latencies)
       in
-      let p50 = Harness.Stats.percentile lat 50.0 in
-      let p99 = Harness.Stats.percentile lat 99.0 in
+      (* a run that completed nothing has no latency distribution: nan
+         here becomes null in the JSON rather than a garbage p99 *)
+      let pct p =
+        Option.value ~default:Float.nan (Harness.Stats.percentile_opt lat p)
+      in
+      let p50 = pct 50.0 in
+      let p99 = pct 99.0 in
       let msgs_per_op =
         float_of_int o.Net.Sim_run.quorum.Net.Quorum.messages_sent
         /. float_of_int (max 1 o.Net.Sim_run.completed)
@@ -602,6 +607,112 @@ let bench_net () =
          then ""
          else "  [NOT ATOMIC!]"))
     [ 0.0; 0.1; 0.3 ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* net/shard: throughput scaling of the sharded keyspace — shard count *)
+(* x pipelining window on the simulator (deterministic, the baseline   *)
+(* BENCH_003.json tracks this), shard count x client batch size over   *)
+(* real sockets.                                                       *)
+
+let bench_net_shard () =
+  section "net/shard - sharded keyspace scaling";
+  (* --- simulator: ops per virtual time as shards grow.  Each process
+     round-robins its script over one key per shard; the server
+     serializes per (session, key), so more shards = more of each
+     window executing concurrently. --- *)
+  Fmt.pr "  sim transport, 3 replicas, 2 writers + 2 readers:@.";
+  List.iter
+    (fun window ->
+      List.iter
+        (fun shards ->
+          let o =
+            Net.Sim_run.run ~shards ~window ~seed:21 ~init:0
+              ~processes:
+                (Harness.Workload.unique_scripts
+                   { Harness.Workload.writers = 2; readers = 2;
+                     writes_each = 60; reads_each = 60 })
+              ()
+          in
+          let ops_per_vt =
+            float_of_int o.Net.Sim_run.completed /. o.Net.Sim_run.virtual_span
+          in
+          let all_ok =
+            o.Net.Sim_run.key_violations = [] && o.Net.Sim_run.fastcheck_ok
+          in
+          Json.metric ~section:"net-shard"
+            (Fmt.str "sim shards %d window %d ops per vtime" shards window)
+            ops_per_vt;
+          Fmt.pr
+            "    shards %d window %2d: %3d/%d ops in vt %7.1f -> %5.2f \
+             ops/vtime, %d keys%s@."
+            shards window o.Net.Sim_run.completed o.Net.Sim_run.expected
+            o.Net.Sim_run.virtual_span ops_per_vt
+            (List.length o.Net.Sim_run.key_fastcheck)
+            (if all_ok then "" else "  [NOT ATOMIC!]"))
+        [ 1; 2; 4; 8 ])
+    [ 8; 16 ];
+  (* --- sockets: wall-clock ops/s as shards and client batching vary;
+     keyed windowed scripts, every key audited live --- *)
+  Fmt.pr "  socket transport, 3 replicas, 4 clients, window 16:@.";
+  List.iter
+    (fun (shards, batch_max) ->
+      let net = Net.Socket_net.create () in
+      let tr = Net.Socket_net.transport net in
+      let replica_nodes = [ 0; 1; 2 ] in
+      List.iter
+        (fun r ->
+          let rep = Net.Replica.create ~init:0 () in
+          Net.Socket_net.listen net r (fun ~src msg ->
+              List.iter
+                (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+                (Net.Replica.handle rep ~src msg)))
+        replica_nodes;
+      let server =
+        Net.Server.create ~transport:tr ~audit:true
+          ~metrics:(Net.Socket_net.metrics net)
+          ~map:(Net.Shard_map.create ~shards ())
+          ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
+      in
+      Net.Socket_net.listen net Net.Transport.server
+        (Net.Server.on_message server);
+      let nkeys = max shards 1 in
+      let processes =
+        Harness.Workload.unique_scripts
+          { Harness.Workload.writers = 2; readers = 2; writes_each = 100;
+            reads_each = 100 }
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.map
+          (fun { Registers.Vm.proc; script } ->
+            Thread.create
+              (fun () ->
+                let c =
+                  Net.Client.connect ~net ~server:Net.Transport.server
+                    ~batch_max ~proc ()
+                in
+                ignore
+                  (Net.Client.run_keyed ~window:16 c
+                     (List.mapi (fun i op -> (i mod nkeys, op)) script));
+                Net.Client.close c)
+              ())
+          processes
+      in
+      List.iter Thread.join threads;
+      let dt = Unix.gettimeofday () -. t0 in
+      let served = Net.Server.ops_served server in
+      let clean = Net.Server.violations server = [] in
+      Net.Socket_net.shutdown net;
+      let ops_s = float_of_int served /. dt in
+      Json.metric ~section:"net-shard"
+        (Fmt.str "socket shards %d batch %d ops per s" shards batch_max)
+        ops_s;
+      Fmt.pr
+        "    shards %d batch %2d: %4d ops in %5.2fs -> %8.0f ops/s%s@."
+        shards batch_max served dt ops_s
+        (if clean then "" else "  [AUDIT VIOLATION!]"))
+    [ (1, 1); (1, 32); (4, 1); (4, 32) ];
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
@@ -892,6 +1003,7 @@ let all_sections =
     ("latency-distribution", bench_latency_distribution);
     ("snapshot", bench_snapshot);
     ("net", bench_net);
+    ("net-shard", bench_net_shard);
     ("net-metrics", bench_net_metrics);
     ("micro", run_micro);
   ]

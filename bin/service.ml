@@ -16,31 +16,33 @@
 
 module E = Histories.Event
 
-let verdicts ~init history violation =
-  let mon =
-    match violation with
-    | None -> "no violation"
-    | Some v -> Fmt.str "VIOLATION: %a" (Histories.Fastcheck.pp_violation Fmt.int) v
-  in
-  let fc =
-    match Histories.Operation.of_events history with
-    | Error e -> Fmt.str "not input-correct: %a" Histories.Operation.pp_error e
-    | Ok ops ->
-      (match Histories.Fastcheck.check_unique ~init ops with
-       | Histories.Fastcheck.Atomic _ -> "atomic"
-       | Histories.Fastcheck.Violation v ->
-         Fmt.str "NOT ATOMIC: %a" (Histories.Fastcheck.pp_violation Fmt.int) v)
-  in
-  (mon, fc)
-
 let workload ~readers ~writes ~reads =
   Harness.Workload.unique_scripts
     { Harness.Workload.writers = 2; readers; writes_each = writes; reads_each = reads }
 
+(* per-key verdicts over a keyed history: each key is an independent
+   two-writer register and must certify on its own *)
+let keyed_fastcheck ~init keyed =
+  let keys = List.sort_uniq compare (List.map fst keyed) in
+  List.map
+    (fun key ->
+      let h = List.filter_map (fun (k, e) -> if k = key then Some e else None) keyed in
+      let verdict =
+        match Histories.Operation.of_events h with
+        | Error e -> Fmt.str "not input-correct: %a" Histories.Operation.pp_error e
+        | Ok ops ->
+          (match Histories.Fastcheck.check_unique ~init ops with
+           | Histories.Fastcheck.Atomic _ -> "atomic"
+           | Histories.Fastcheck.Violation v ->
+             Fmt.str "NOT ATOMIC: %a" (Histories.Fastcheck.pp_violation Fmt.int) v)
+      in
+      (key, verdict))
+    keys
+
 (* ------------------------------------------------------------------ *)
 (* sim                                                                 *)
 
-let run_sim seed replicas readers writes reads drop dup window crash
+let run_sim seed replicas shards readers writes reads drop dup window crash
     partition show_history show_metrics trace_file =
   let faults = Net.Sim_net.lossy ~drop ~duplicate:dup () in
   let trace =
@@ -48,7 +50,7 @@ let run_sim seed replicas readers writes reads drop dup window crash
     Option.map (fun _ -> Net.Trace.create ~capacity:1_000_000 ()) trace_file
   in
   let o =
-    Net.Sim_run.run ~faults ~replicas ~window
+    Net.Sim_run.run ~faults ~replicas ~shards ~window
       ?crash_replica:(if crash then Some (replicas - 1, 40.0) else None)
       ?partition_replicas:(if partition then Some (60.0, 120.0) else None)
       ?trace ~seed ~init:0
@@ -58,6 +60,11 @@ let run_sim seed replicas readers writes reads drop dup window crash
   if show_history then
     Fmt.pr "%a@." (E.pp_history Fmt.int) o.Net.Sim_run.history;
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
+  if shards > 1 then
+    List.iter
+      (fun (k, ok) ->
+        Fmt.pr "  key %d: %s@." k (if ok then "atomic" else "NOT ATOMIC"))
+      o.Net.Sim_run.key_fastcheck;
   if show_metrics then
     Fmt.pr "-- metrics --@.%a@." Net.Metrics.pp o.Net.Sim_run.metrics;
   (match (trace_file, trace) with
@@ -67,7 +74,7 @@ let run_sim seed replicas readers writes reads drop dup window crash
        (Net.Trace.recorded tr) path path
    | _ -> ());
   if
-    o.Net.Sim_run.monitor_violation = None
+    o.Net.Sim_run.key_violations = []
     && o.Net.Sim_run.fastcheck_ok
     && o.Net.Sim_run.completed = o.Net.Sim_run.expected
   then 0
@@ -76,7 +83,7 @@ let run_sim seed replicas readers writes reads drop dup window crash
 (* ------------------------------------------------------------------ *)
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
-let start_cluster net ~replicas ~audit =
+let start_cluster net ~replicas ~shards ~audit =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
@@ -89,20 +96,26 @@ let start_cluster net ~replicas ~audit =
             (Net.Replica.handle rep ~src msg)))
     replica_nodes;
   let server =
-    Net.Server.create ~transport:tr ~audit ~metrics ~me:Net.Transport.server
-      ~replicas:replica_nodes ~init:0 ()
+    Net.Server.create ~transport:tr ~audit ~metrics
+      ~map:(Net.Shard_map.create ~shards ())
+      ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
   server
 
-let run_socket_workload net ~window processes =
+let run_socket_workload net ~window ~nkeys processes =
   let threads =
     List.map
       (fun { Registers.Vm.proc; script } ->
         Thread.create
           (fun () ->
             let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
-            let r = Net.Client.run_script ~window c script in
+            let r =
+              if nkeys <= 1 then Net.Client.run_script ~window c script
+              else
+                Net.Client.run_keyed ~window c
+                  (List.mapi (fun i op -> (i mod nkeys, op)) script)
+            in
             Net.Client.close c;
             r)
           ())
@@ -113,17 +126,19 @@ let run_socket_workload net ~window processes =
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
 
-let run_smoke readers writes reads seed show_metrics =
+let run_smoke shards readers writes reads seed show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
       0 processes
   in
+  let nkeys = max 1 shards in
   (* --- socket transport --- *)
-  Fmt.pr "== socket transport (Unix-domain, %d replicas, crash 1) ==@." 3;
+  Fmt.pr "== socket transport (Unix-domain, %d replicas, %d shard%s, crash 1) ==@."
+    3 shards (if shards = 1 then "" else "s");
   let net = Net.Socket_net.create () in
   let metrics = Net.Socket_net.metrics net in
-  let server = start_cluster net ~replicas:3 ~audit:true in
+  let server = start_cluster net ~replicas:3 ~shards ~audit:true in
   let killer =
     Thread.create
       (fun () ->
@@ -131,19 +146,30 @@ let run_smoke readers writes reads seed show_metrics =
         Net.Socket_net.crash net 2)
       ()
   in
-  run_socket_workload net ~window:8 processes;
+  run_socket_workload net ~window:8 ~nkeys processes;
   Thread.join killer;
-  let history = Net.Server.history server in
-  let mon, fc = verdicts ~init:0 history (Net.Server.violation server) in
+  let keyed = Net.Server.keyed_history server in
+  let violations = Net.Server.violations server in
   let served = Net.Server.ops_served server in
   Net.Socket_net.shutdown net;
   let decode_errors = Net.Metrics.get metrics "decode_errors" in
-  Fmt.pr "  %d/%d ops served; live audit: %s; fastcheck: %s; decode errors: %d@."
-    served expected mon fc decode_errors;
+  let mon =
+    match violations with
+    | [] -> "no violation"
+    | (k, v) :: _ ->
+      Fmt.str "VIOLATION on key %d: %a" k
+        (Histories.Fastcheck.pp_violation Fmt.int) v
+  in
+  let per_key = keyed_fastcheck ~init:0 keyed in
+  let fc_ok = List.for_all (fun (_, v) -> v = "atomic") per_key in
+  Fmt.pr "  %d/%d ops served; live audit: %s; decode errors: %d@."
+    served expected mon decode_errors;
+  List.iter (fun (k, v) -> Fmt.pr "  key %d: %s@." k v) per_key;
   if show_metrics then Fmt.pr "-- socket metrics --@.%a@." Net.Metrics.pp metrics;
+  (* the gate: every op served, every shard's audit accepting, every
+     key's history re-checked atomic, a byte-clean wire *)
   let socket_ok =
-    served = expected && mon = "no violation" && fc = "atomic"
-    && decode_errors = 0
+    served = expected && violations = [] && fc_ok && decode_errors = 0
   in
   (* --- simulated transport under faults --- *)
   Fmt.pr
@@ -151,13 +177,13 @@ let run_smoke readers writes reads seed show_metrics =
   let o =
     Net.Sim_run.run
       ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
-      ~replicas:3 ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
+      ~replicas:3 ~shards ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
   in
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
   if show_metrics then
     Fmt.pr "-- sim metrics --@.%a@." Net.Metrics.pp o.Net.Sim_run.metrics;
   let sim_ok =
-    o.Net.Sim_run.monitor_violation = None
+    o.Net.Sim_run.key_violations = []
     && o.Net.Sim_run.fastcheck_ok
     && o.Net.Sim_run.completed = o.Net.Sim_run.expected
   in
@@ -167,10 +193,11 @@ let run_smoke readers writes reads seed show_metrics =
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
 
-let run_serve dir replicas audit show_metrics =
+let run_serve dir replicas shards audit show_metrics =
   let net = Net.Socket_net.create ~dir () in
-  let _server = start_cluster net ~replicas ~audit in
-  Fmt.pr "serving the two-writer register in %s (%d replicas)@." dir replicas;
+  let _server = start_cluster net ~replicas ~shards ~audit in
+  Fmt.pr "serving the two-writer keyspace in %s (%d replicas, %d shard%s)@."
+    dir replicas shards (if shards = 1 then "" else "s");
   Fmt.pr "stop with C-c; clients: dune exec bin/service.exe -- client -d %s ...@."
     dir;
   if show_metrics then
@@ -210,42 +237,39 @@ let run_stats dir proc =
   List.iter (fun (n, v) -> Fmt.pr "%-*s %d@." width n v) stats;
   0
 
-(* offline replay: parse a dumped trace and re-check its operation
-   history for atomicity *)
+(* offline replay: parse a dumped trace and re-check every key's
+   operation history for atomicity (old unkeyed dumps parse as key 0) *)
 let run_replay file init =
-  match Net.Trace.history_of_file file with
+  match Net.Trace.keyed_history_of_file file with
   | exception Sys_error msg ->
     Fmt.epr "service: %s@." msg;
     2
-  | history ->
-    let n = List.length history in
-    (match Histories.Operation.of_events history with
-     | Error e ->
-       Fmt.pr "replay: %d events; not input-correct: %a@." n
-         Histories.Operation.pp_error e;
-       1
-     | Ok ops ->
-       (match Histories.Fastcheck.check_unique ~init ops with
-        | Histories.Fastcheck.Atomic _ ->
-          Fmt.pr "replay: %d events, %d operations: atomic@." n
-            (List.length ops);
-          0
-        | Histories.Fastcheck.Violation v ->
-          Fmt.pr "replay: %d events, %d operations: NOT ATOMIC: %a@." n
-            (List.length ops)
-            (Histories.Fastcheck.pp_violation Fmt.int)
-            v;
-          1))
+  | keyed ->
+    let n = List.length keyed in
+    let per_key = keyed_fastcheck ~init keyed in
+    List.iter (fun (k, v) -> Fmt.pr "replay: key %d: %s@." k v) per_key;
+    let ok = List.for_all (fun (_, v) -> v = "atomic") per_key in
+    Fmt.pr "replay: %d events over %d key%s: %s@." n (List.length per_key)
+      (if List.length per_key = 1 then "" else "s")
+      (if ok then "atomic" else "NOT ATOMIC");
+    if ok then 0 else 1
 
 let run_client dir proc ops =
+  (* unkeyed ops address key 0; get/put name a key of the keyspace *)
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "read" ] -> E.Read
-    | [ "write"; v ] -> (
+    let int_or_fail what v =
       match int_of_string_opt v with
-      | Some v -> E.Write v
-      | None -> Fmt.failwith "cannot parse operation %S (read | write:N)" s)
-    | _ -> Fmt.failwith "cannot parse operation %S (read | write:N)" s
+      | Some v -> v
+      | None -> Fmt.failwith "cannot parse %s in %S" what s
+    in
+    match String.split_on_char ':' s with
+    | [ "read" ] -> (0, E.Read)
+    | [ "write"; v ] -> (0, E.Write (int_or_fail "value" v))
+    | [ "get"; k ] -> (int_or_fail "key" k, E.Read)
+    | [ "put"; k; v ] -> (int_or_fail "key" k, E.Write (int_or_fail "value" v))
+    | _ ->
+      Fmt.failwith
+        "cannot parse operation %S (read | write:N | get:K | put:K:N)" s
   in
   match List.map parse ops with
   | exception Failure msg ->
@@ -262,20 +286,27 @@ let run_client dir proc ops =
       exit 1
     end;
     let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
-    let results = Net.Client.run_script c script in
+    let results = Net.Client.run_keyed c script in
     let rejected = ref false in
     List.iter2
-      (fun op r ->
+      (fun (key, op) r ->
+        let pk ppf () =
+          if key <> 0 then Fmt.pf ppf "[%d] " key else Fmt.pf ppf ""
+        in
         match (op, r) with
-        | E.Read, Some v -> Fmt.pr "read -> %d@." v
+        | E.Read, Some v -> Fmt.pr "read %a-> %d@." pk () v
         | E.Write v, None when proc = 0 || proc = 1 ->
-          Fmt.pr "write %d -> ack@." v
+          Fmt.pr "write %a%d -> ack@." pk () v
         | E.Write v, None ->
           (* the server answers rejected writes with the same empty
              response as an ack; only processors 0 and 1 hold a writer
              role, so report the rejection instead of a phantom ack *)
           rejected := true;
-          Fmt.pr "write %d -> rejected (only processors 0 and 1 write)@." v
+          Fmt.pr "write %a%d -> rejected (only processors 0 and 1 write)@."
+            pk () v
+        | E.Read, None ->
+          rejected := true;
+          Fmt.pr "read %a-> rejected@." pk ()
         | _ -> Fmt.pr "unexpected response@.")
       script results;
     Net.Client.close c;
@@ -287,6 +318,11 @@ let run_client dir proc ops =
 open Cmdliner
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-schedule seed.")
+
+let shards =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~doc:"Shards of the keyspace (1 = the classic \
+                                 single two-writer register).")
 let readers = Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Reader clients.")
 let writes = Arg.(value & opt int 5 & info [ "writes" ] ~doc:"Writes per writer.")
 let reads = Arg.(value & opt int 8 & info [ "reads" ] ~doc:"Reads per reader.")
@@ -328,14 +364,16 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a workload over the simulated transport")
-    Term.(const run_sim $ seed $ replicas $ readers $ writes $ reads $ drop
-          $ dup $ window $ crash $ partition $ history $ metrics_flag $ trace)
+    Term.(const run_sim $ seed $ replicas $ shards $ readers $ writes $ reads
+          $ drop $ dup $ window $ crash $ partition $ history $ metrics_flag
+          $ trace)
 
 let smoke_cmd =
   Cmd.v
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
-    Term.(const run_smoke $ readers $ writes $ reads $ seed $ metrics_flag)
+    Term.(const run_smoke $ shards $ readers $ writes $ reads $ seed
+          $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -350,8 +388,8 @@ let serve_cmd =
     Arg.(value & opt bool true & info [ "audit" ] ~doc:"Live atomicity audit.")
   in
   Cmd.v
-    (Cmd.info "serve" ~doc:"Serve the register over Unix-domain sockets")
-    Term.(const run_serve $ dir_arg $ replicas $ audit $ metrics_flag)
+    (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
+    Term.(const run_serve $ dir_arg $ replicas $ shards $ audit $ metrics_flag)
 
 let client_cmd =
   let proc =
@@ -360,10 +398,11 @@ let client_cmd =
   in
   let ops =
     Arg.(value & pos_all string []
-         & info [] ~docv:"OP" ~doc:"Operations: read or write:N.")
+         & info [] ~docv:"OP"
+             ~doc:"Operations: read, write:N (key 0), get:K, put:K:N.")
   in
   Cmd.v
-    (Cmd.info "client" ~doc:"Run operations against a served register")
+    (Cmd.info "client" ~doc:"Run operations against a served keyspace")
     Term.(const run_client $ dir_arg $ proc $ ops)
 
 let stats_cmd =

@@ -103,6 +103,9 @@ let percentile samples p =
   let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5) in
   sorted.(max 0 (min (n - 1) idx))
 
+let percentile_opt samples p =
+  if Array.length samples = 0 then None else Some (percentile samples p)
+
 let mean samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.mean: empty";

@@ -52,4 +52,11 @@ val percentile : float array -> float -> float
 (** [percentile samples p] with [0 <= p <= 100]; sorts a copy.
     @raise Invalid_argument on an empty array. *)
 
+val percentile_opt : float array -> float -> float option
+(** Total version of {!percentile}: [None] on an empty sample — the
+    honest answer for a run that recorded nothing, where a made-up
+    number (or a crash) in a latency report would be a lie.
+    @raise Invalid_argument if [p] is out of range on a non-empty
+    array. *)
+
 val mean : float array -> float

@@ -10,10 +10,39 @@ type t = {
   stats_replies : (int, (string * int) list) Hashtbl.t;  (* rid -> stats *)
   sent_at : (int, float) Hashtbl.t;  (* seq -> send instant, for RTT *)
   h_rtt : Metrics.histogram;
+  c_batches : Metrics.counter;
   mutable next_seq : int;
+  batch_max : int;
+  flush_every : float;
+  mutable pending_rev : Wire.msg list;  (* queued Req frames, newest first *)
+  mutable npending : int;
+  mutable closed : bool;
+  mutable flusher : Thread.t option;
 }
 
-let connect ?metrics ~net ~server ~proc () =
+(* Callers hold t.mu.  Detach the queued frames as one wire message;
+   the actual send happens outside the lock so a full socket buffer
+   can never wedge the reply handler. *)
+let take_pending_locked t =
+  match t.pending_rev with
+  | [] -> None
+  | [ m ] ->
+    t.pending_rev <- [];
+    t.npending <- 0;
+    Some m
+  | ms ->
+    t.pending_rev <- [];
+    t.npending <- 0;
+    Metrics.incr t.c_batches;
+    Some (Wire.Batch (List.rev ms))
+
+let flush t =
+  match Mutex.protect t.mu (fun () -> take_pending_locked t) with
+  | None -> ()
+  | Some msg -> t.tr.Transport.send ~src:t.me ~dst:t.server msg
+
+let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
+    ~proc () =
   let metrics =
     match metrics with Some m -> m | None -> Socket_net.metrics net
   in
@@ -44,37 +73,66 @@ let connect ?metrics ~net ~server ~proc () =
   Socket_net.listen net me handler;
   let tr = Socket_net.transport net in
   tr.Transport.send ~src:me ~dst:server (Wire.Hello { proc });
-  {
-    net;
-    tr;
-    me;
-    server;
-    proc;
-    mu;
-    cond;
-    completed;
-    stats_replies;
-    sent_at;
-    h_rtt;
-    next_seq = 0;
-  }
+  let t =
+    {
+      net;
+      tr;
+      me;
+      server;
+      proc;
+      mu;
+      cond;
+      completed;
+      stats_replies;
+      sent_at;
+      h_rtt;
+      c_batches = Metrics.counter metrics "client_batches";
+      next_seq = 0;
+      batch_max = max 1 (min batch_max Wire.max_batch);
+      flush_every;
+      pending_rev = [];
+      npending = 0;
+      closed = false;
+      flusher = None;
+    }
+  in
+  (* deadline flusher: bounds how long a lone queued op can sit waiting
+     for enough company to fill a batch *)
+  if flush_every > 0.0 then
+    t.flusher <-
+      Some
+        (Thread.create
+           (fun () ->
+             while not t.closed do
+               Thread.delay t.flush_every;
+               if not t.closed then try flush t with _ -> ()
+             done)
+           ());
+  t
 
 let fresh_seq t =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   seq
 
-let mark_sent t seq =
-  Mutex.protect t.mu (fun () ->
-      Hashtbl.replace t.sent_at seq (Unix.gettimeofday ()))
-
+(* Queue an operation; ship the batch eagerly once it is full. *)
 let req t op =
   let seq = fresh_seq t in
-  mark_sent t seq;
-  t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op });
+  let full =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.replace t.sent_at seq (Unix.gettimeofday ());
+        t.pending_rev <- Wire.Req { seq; op } :: t.pending_rev;
+        t.npending <- t.npending + 1;
+        if t.npending >= t.batch_max then take_pending_locked t else None)
+  in
+  (match full with
+   | None -> ()
+   | Some msg -> t.tr.Transport.send ~src:t.me ~dst:t.server msg);
   seq
 
 let await t seq =
+  (* everything queued must be on the wire before we block on it *)
+  flush t;
   Mutex.protect t.mu (fun () ->
       while not (Hashtbl.mem t.completed seq) do
         Condition.wait t.cond t.mu
@@ -82,6 +140,17 @@ let await t seq =
       let r = Hashtbl.find t.completed seq in
       Hashtbl.remove t.completed seq;
       r)
+
+let read_k t ~key =
+  match await t (req t (Wire.Read_k { key })) with
+  | Some v -> v
+  | None -> invalid_arg "Client.read_k: server rejected the read"
+
+let write_k t ~key v =
+  match await t (req t (Wire.Write_k { key; value = v })) with
+  | None when t.proc = 0 || t.proc = 1 -> ()
+  | None -> invalid_arg "Client.write_k: rejected (not a writer session)"
+  | Some _ -> invalid_arg "Client.write_k: unexpected read result"
 
 let read t =
   match await t (req t Wire.Read) with
@@ -95,6 +164,7 @@ let write t v =
   | Some _ -> invalid_arg "Client.write: unexpected read result"
 
 let stats t =
+  flush t;
   let rid = fresh_seq t in
   t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Stats_req { rid });
   Mutex.protect t.mu (fun () ->
@@ -105,42 +175,45 @@ let stats t =
       Hashtbl.remove t.stats_replies rid;
       r)
 
-let run_script ?(window = 8) t script =
-  let ops =
-    List.map
-      (function
-        | Histories.Event.Read -> Wire.Read
-        | Histories.Event.Write v -> Wire.Write v)
-      script
-  in
-  let n = List.length ops in
-  let seqs = Array.of_list (List.map (fun op -> (fresh_seq t, op)) ops) in
-  (* ship the initial window as one batched frame *)
+(* Pipelined execution with a bounded number of outstanding ops; the
+   batcher under [req] coalesces whatever the window admits. *)
+let run_ops ?(window = 8) t ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let seqs = Array.make n (-1) in
   let initial = min window n in
-  if initial > 0 then begin
-    for i = 0 to initial - 1 do
-      mark_sent t (fst seqs.(i))
-    done;
-    t.tr.Transport.send ~src:t.me ~dst:t.server
-      (Wire.Batch
-         (List.init initial (fun i ->
-              let seq, op = seqs.(i) in
-              Wire.Req { seq; op })))
-  end;
+  for i = 0 to initial - 1 do
+    seqs.(i) <- req t ops.(i)
+  done;
   let results = ref [] in
   for i = 0 to n - 1 do
-    results := await t (fst seqs.(i)) :: !results;
+    results := await t seqs.(i) :: !results;
     (* completion of the i-th slides the window forward by one *)
     let j = i + initial in
-    if j < n then begin
-      let seq, op = seqs.(j) in
-      mark_sent t seq;
-      t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Req { seq; op })
-    end
+    if j < n then seqs.(j) <- req t ops.(j)
   done;
   List.rev !results
 
+let run_script ?window t script =
+  run_ops ?window t
+    (List.map
+       (function
+         | Histories.Event.Read -> Wire.Read
+         | Histories.Event.Write v -> Wire.Write v)
+       script)
+
+let run_keyed ?window t script =
+  run_ops ?window t
+    (List.map
+       (function
+         | key, Histories.Event.Read -> Wire.Read_k { key }
+         | key, Histories.Event.Write v -> Wire.Write_k { key; value = v })
+       script)
+
 let close t =
+  flush t;
+  t.closed <- true;
+  (match t.flusher with None -> () | Some th -> Thread.join th);
   t.tr.Transport.send ~src:t.me ~dst:t.server Wire.Bye;
   (* wind down our endpoint so a later connect with the same processor
      id gets a fresh one (and peers a fresh route to it) *)

@@ -1,20 +1,32 @@
-(** Blocking client library for the socket-served register.
+(** Blocking client library for the socket-served keyspace.
 
     A client is itself a node: it listens on its own socket for
-    responses and speaks {!Wire} to the server.  [read]/[write] are
-    the synchronous one-at-a-time API; [run_script] is the pipelined
-    hot path — it opens a window of in-flight requests, ships the
-    initial window as a single [Batch] frame, and tops the window up
-    as responses arrive, which is where the throughput of the service
-    comes from.
+    responses and speaks {!Wire} to the server.  [read]/[write] (and
+    their keyed forms [read_k]/[write_k]) are the synchronous
+    one-at-a-time API; [run_script]/[run_keyed] are the pipelined hot
+    path — they keep a window of requests in flight and top it up as
+    responses arrive.
+
+    Underneath, every request goes through a {e batcher}: operations
+    are queued and shipped as a single [Batch] frame once [batch_max]
+    of them have coalesced, when the caller is about to block in an
+    await (nothing queued may outlive the caller's patience), or when
+    the [flush_every] deadline expires (a background flusher thread
+    bounds the latency a lone op can pay waiting for company).  With a
+    window open, that turns the request stream into a few large frames
+    per round trip instead of one syscall per op.
 
     One [t] must be driven by one thread at a time (the paper's
-    input-correctness assumption: a processor is sequential). *)
+    input-correctness assumption: a processor is sequential); the
+    response handler and the flusher run on their own threads, and the
+    shared tables are mutex-protected. *)
 
 type t
 
 val connect :
   ?metrics:Metrics.t ->
+  ?batch_max:int ->
+  ?flush_every:float ->
   net:Socket_net.t ->
   server:Transport.node ->
   proc:int ->
@@ -24,29 +36,61 @@ val connect :
     the server, declaring this client to be processor [proc] (0 and 1
     are the two writer roles).
 
+    [batch_max] (default 32, clamped to [1 .. ]{!Wire.max_batch})
+    bounds how many queued requests coalesce into one [Batch] frame;
+    [flush_every] (default 0.002 s) is the flusher deadline — pass 0 to
+    disable the flusher thread entirely (flushes then happen only on
+    full batches and before blocking awaits).
+
     [metrics] (default: the transport's own instance,
-    {!Socket_net.metrics}[ net]) receives the [client_rtt] histogram:
-    wall-clock seconds from each request transmission to its response,
-    as observed from this side of the wire. *)
+    {!Socket_net.metrics}[ net]) receives the [client_rtt] histogram —
+    wall-clock seconds from each request's {e queueing} to its
+    response, as observed from this side of the wire — and the
+    [client_batches] counter of multi-op frames shipped. *)
 
 val read : t -> int
+(** Blocking atomic read of key 0 (the legacy single-register API).
+    @raise Invalid_argument if the server rejects the read. *)
+
 val write : t -> int -> unit
-(** @raise Invalid_argument if the server rejects the write (only
+(** Blocking atomic write to key 0.
+    @raise Invalid_argument if the server rejects the write (only
     processors 0 and 1 may write). *)
+
+val read_k : t -> key:int -> int
+(** Blocking atomic read of one key of the keyspace.  Keys are
+    independent two-writer registers; the server routes by
+    {!Shard_map.shard_of_key}.
+    @raise Invalid_argument if the server rejects (negative key). *)
+
+val write_k : t -> key:int -> int -> unit
+(** Blocking atomic write to one key.
+    @raise Invalid_argument if the server rejects the write (non-writer
+    session or negative key). *)
 
 val run_script :
   ?window:int -> t -> int Histories.Event.op list -> int option list
-(** Run a whole script with up to [window] (default 8) requests in
-    flight; returns the results in script order ([Some v] per read,
-    [None] per write acknowledgment). *)
+(** Run a whole script against key 0 with up to [window] (default 8)
+    requests in flight; returns the results in script order ([Some v]
+    per read, [None] per write acknowledgment).  Blocks until every op
+    has completed. *)
+
+val run_keyed :
+  ?window:int -> t -> (int * int Histories.Event.op) list -> int option list
+(** [run_script] over keyed operations: each element names the key its
+    op addresses.  Ops on distinct keys may execute concurrently
+    server-side (per-key serialization only), which is what makes a
+    windowed keyed script scale with the shard count. *)
 
 val stats : t -> (string * int) list
-(** Ask the server for a live {!Metrics.wire_stats} snapshot
-    ([Stats_req]/[Stats_reply]) and block for the answer.  Counters
-    come back verbatim; histograms as [name_count], [name_p50_us] and
-    [name_p99_us].  The server appends [sessions] and
-    [audit_violation] (0/1). *)
+(** Flush the batcher, ask the server for a live {!Metrics.wire_stats}
+    snapshot ([Stats_req]/[Stats_reply]) and block for the answer.
+    Counters come back verbatim; histograms as [name_count],
+    [name_p50_us] and [name_p99_us].  The server appends [sessions],
+    [shards] and [audit_violation] (0/1). *)
 
 val close : t -> unit
-(** Announce session end ([Bye]).  The node's socket is torn down by
+(** Flush anything still queued, stop the flusher thread, announce
+    session end ([Bye]) and stop listening.  Blocks for at most one
+    [flush_every] period.  The node's socket is torn down by
     {!Socket_net.shutdown}. *)

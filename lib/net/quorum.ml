@@ -35,7 +35,7 @@ type t = {
   replicas : Transport.node list;
   quorum : int;
   pending : (int, phase) Hashtbl.t;
-  wts : int array;
+  wts : (int, int) Hashtbl.t;  (* global reg -> write timestamp *)
   mutable next_rid : int;
   mutable reads : int;
   mutable writes : int;
@@ -44,7 +44,7 @@ type t = {
   c : ctrs;
 }
 
-let create ~transport ~me ~replicas ?(nregs = 2) ?metrics () =
+let create ~transport ~me ~replicas ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let c =
     {
@@ -61,7 +61,7 @@ let create ~transport ~me ~replicas ?(nregs = 2) ?metrics () =
     replicas;
     quorum = (List.length replicas / 2) + 1;
     pending = Hashtbl.create 16;
-    wts = Array.make nregs 0;
+    wts = Hashtbl.create 16;
     next_rid = 0;
     reads = 0;
     writes = 0;
@@ -106,10 +106,11 @@ let read t ~reg ~k =
 
 let write t ~reg ~value ~k =
   t.writes <- t.writes + 1;
-  t.wts.(reg) <- t.wts.(reg) + 1;
+  let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
+  Hashtbl.replace t.wts reg ts;
   (* the write timestamp dominates every write-back of an earlier read
      (those reuse timestamps <= wts, by SWMR ownership) *)
-  start_store t ~reg ~ts:t.wts.(reg) ~pl:value ~finish:k
+  start_store t ~reg ~ts ~pl:value ~finish:k
 
 let best replies =
   List.fold_left

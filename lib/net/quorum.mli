@@ -1,28 +1,38 @@
-(** The active half of the ABD-style quorum construction: each of the
-    paper's two "real registers" as an atomic SWMR register over
+(** The active half of the ABD-style quorum construction: every real
+    register of the keyspace as an atomic SWMR register over
     crash-prone replicas.
 
-    A {e write} of register [i] takes the next write-timestamp for [i]
-    and stores the pair on a majority.  A {e read} queries a majority,
-    picks the pair with the highest timestamp, and {e writes it back}
-    to a majority before returning — the write-back is what makes the
-    register atomic rather than merely regular (without it two
-    concurrent reader sessions can exhibit a new–old inversion).  Any
-    minority of replicas may crash, and the network may drop, delay,
-    reorder or duplicate messages: lost messages are retransmitted by
-    {!resend_pending} (driven by a transport timer), and replicas are
-    idempotent, so duplicates are harmless.
+    A {e write} of global register [reg] takes the next
+    write-timestamp for [reg] and stores the pair on a majority.  A {e
+    read} queries a majority, picks the pair with the highest
+    timestamp, and {e writes it back} to a majority before returning —
+    the write-back is what makes the register atomic rather than
+    merely regular (without it two concurrent reader sessions can
+    exhibit a new–old inversion).  Any minority of replicas may crash,
+    and the network may drop, delay, reorder or duplicate messages:
+    lost messages are retransmitted by {!resend_pending} (driven by a
+    transport timer), and replicas are idempotent, so duplicates are
+    harmless.
 
-    Timestamps are per-register counters owned by this engine; the
-    engine must be the only writer of its registers (exactly the
-    paper's SWMR architecture — Wr{_i} is the sole writer of Reg{_i},
-    and one front-end server hosts both writer sessions).
+    Registers are addressed by the flat index of
+    {!Shard_map.global_reg}; timestamps are per-register counters
+    owned by this engine, so the engine must be the only writer of its
+    registers (exactly the paper's SWMR architecture — Wr{_i} is the
+    sole writer of Reg{_i}, and one front-end server hosts both writer
+    sessions of every key).  In the sharded service, the {!Registry}
+    owns one engine per shard, each the exclusive writer of its
+    shard's keys.
 
     Operations are asynchronous: [read]/[write] send the first phase
     and return; the continuation runs (possibly reentrantly from
-    {!on_message}) once a quorum has answered.  This continuation style
-    is what lets the unchanged {!Core.Protocol} micro-step programs be
-    interpreted over the network by {!Server}. *)
+    {!on_message}) once a quorum has answered.  This continuation
+    style is what lets the unchanged {!Core.Protocol} micro-step
+    programs be interpreted over the network by {!Server}.
+
+    A [t] is {e not} internally locked: drive it from one thread, or
+    from one transport node's handler (both transports serialize
+    handler invocations per node).  No call here blocks — sends go
+    through the non-blocking {!Transport.t} contract. *)
 
 type t
 
@@ -30,32 +40,43 @@ val create :
   transport:Transport.t ->
   me:Transport.node ->
   replicas:Transport.node list ->
-  ?nregs:int ->
   ?metrics:Metrics.t ->
   unit ->
   t
-(** [metrics] (default: a fresh, private instance) receives
+(** An engine speaking from node [me] to the quorum group [replicas].
+    Never blocks; performs no I/O until the first operation.
+    [metrics] (default: a fresh, private instance) receives
     [quorum_queries]/[quorum_stores]/[quorum_retransmissions] counters
     and the [quorum_phase1]/[quorum_phase2] round-latency histograms
     (transport clock units, measured from first transmission to quorum
     completion). *)
 
 val quorum_size : t -> int
-(** Majority: [n/2 + 1] of the replicas. *)
+(** Majority: [n/2 + 1] of the replicas.  Pure. *)
 
 val read : t -> reg:int -> k:(Wire.payload -> unit) -> unit
+(** Start an atomic read of global register [reg]; [k] runs exactly
+    once, after quorum + write-back — possibly {e before} [read]
+    returns (reentrantly, under a zero-delay transport) or never (if a
+    majority is permanently unreachable).  Does not block. *)
+
 val write : t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+(** Start an atomic write; same continuation contract as {!read}.
+    Must only be called by the register's owning engine (SWMR). *)
 
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
 (** Feed [Query_reply]/[Store_ack] messages; replies from unknown
-    request ids (stale retransmissions, duplicates) are ignored. *)
+    request ids (stale retransmissions, duplicates, other engines'
+    rids) are ignored, other message kinds are no-ops.  May run
+    pending continuations reentrantly; never raises on well-typed
+    input. *)
 
 val resend_pending : ?older_than:float -> t -> bool
 (** Retransmit every outstanding phase at least [older_than] (default
     0) clock units old to the replicas that have not yet answered it;
     returns whether anything is still outstanding.  The age filter
     keeps a periodic timer from re-sending phases whose first
-    transmission is still legitimately in flight. *)
+    transmission is still legitimately in flight.  Does not block. *)
 
 type stats = {
   reads : int;
@@ -65,3 +86,6 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Monotone operation/message counters since {!create}.  Reads
+    mutable state without locking — call from the engine's driving
+    thread, or accept a torn-but-monotone snapshot. *)

@@ -1,0 +1,57 @@
+(** The server-side owner of the sharded keyspace.
+
+    A registry holds one {!Quorum} engine per shard of its
+    {!Shard_map}.  Each engine is the exclusive writer of the real
+    registers of the keys its shard owns (the SWMR ownership the
+    construction requires), talks to its shard's replica group, and
+    keeps its own pending-phase table — so operations on different
+    shards share nothing and proceed fully concurrently through the
+    pipelined server.  All engines speak from the same transport node;
+    incoming replies are routed to the owning engine by the global
+    register index they carry, which is why overlapping request-id
+    spaces across engines are harmless.
+
+    Same threading contract as {!Quorum}: not internally locked, drive
+    from one transport handler; nothing here blocks. *)
+
+type t
+
+val create :
+  transport:Transport.t ->
+  me:Transport.node ->
+  replicas:Transport.node list ->
+  map:Shard_map.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
+(** One engine per shard of [map], over
+    {!Shard_map.group}[ map ~replicas s].  [metrics] receives the
+    shared quorum counters/histograms plus one [shard<i>_quorum_ops]
+    counter per shard — the per-shard load (and skew) signal. *)
+
+val map : t -> Shard_map.t
+val shards : t -> int
+val shard_of_key : t -> int -> int
+
+val engine : t -> int -> Quorum.t
+(** The shard's engine — for tests and stats.
+    @raise Invalid_argument on an out-of-range shard. *)
+
+val read : t -> key:int -> reg:int -> k:(Wire.payload -> unit) -> unit
+(** Atomic read of register bit [reg] (the paper's Reg{_0}/Reg{_1}) of
+    [key], routed to the owning shard's engine; continuation contract
+    as {!Quorum.read}. *)
+
+val write :
+  t -> key:int -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+
+val on_message : t -> src:Transport.node -> Wire.msg -> unit
+(** Route [Query_reply]/[Store_ack] (possibly batched) to the engine
+    owning the register they name; everything else is ignored. *)
+
+val resend_pending : ?older_than:float -> t -> bool
+(** {!Quorum.resend_pending} on every engine; true if any engine still
+    has phases outstanding. *)
+
+val stats : t -> Quorum.stats
+(** Aggregate of every engine's counters. *)

@@ -1,27 +1,35 @@
 type t = {
-  regs : (int * Wire.payload) array;  (* (timestamp, payload) per register *)
+  init : Wire.payload;
+  regs : (int, int * Wire.payload) Hashtbl.t;
+      (* global reg index -> (timestamp, payload); absent = never
+         stored, i.e. (0, initial) *)
   mutable handled : int;
 }
 
-let create ?(nregs = 2) ~init () =
-  {
-    regs = Array.make nregs (0, Registers.Tagged.initial init);
-    handled = 0;
-  }
+let create ~init () =
+  { init = Registers.Tagged.initial init; regs = Hashtbl.create 16; handled = 0 }
+
+let lookup t reg =
+  match Hashtbl.find_opt t.regs reg with
+  | Some p -> p
+  | None -> (0, t.init)
 
 let rec handle t ~src msg =
   t.handled <- t.handled + 1;
   match msg with
-  | Wire.Query { rid; reg } when reg >= 0 && reg < Array.length t.regs ->
-    let ts, pl = t.regs.(reg) in
+  | Wire.Query { rid; reg } when reg >= 0 ->
+    let ts, pl = lookup t reg in
     [ (src, Wire.Query_reply { rid; reg; ts; pl }) ]
-  | Wire.Store { rid; reg; ts; pl } when reg >= 0 && reg < Array.length t.regs
-    ->
-    let cur, _ = t.regs.(reg) in
-    if ts > cur then t.regs.(reg) <- (ts, pl);
+  | Wire.Store { rid; reg; ts; pl } when reg >= 0 ->
+    let cur, _ = lookup t reg in
+    if ts > cur then Hashtbl.replace t.regs reg (ts, pl);
     [ (src, Wire.Store_ack { rid; reg }) ]
   | Wire.Batch msgs -> List.concat_map (handle t ~src) msgs
   | _ -> []
 
-let contents t = Array.copy t.regs
+let contents t =
+  Hashtbl.fold (fun reg p acc -> (reg, p) :: acc) t.regs []
+  |> List.sort compare
+
+let lookup_reg t reg = lookup t reg
 let handled t = t.handled

@@ -1,5 +1,5 @@
-(** A crash-prone replica holding one timestamped copy of each of the
-    paper's two real registers.
+(** A crash-prone replica holding one timestamped copy of every real
+    register of the keyspace.
 
     Replicas are the passive half of the ABD-style construction
     (Attiya–Bar-Noy–Dolev; see also Mostéfaoui–Raynal in PAPERS.md):
@@ -9,22 +9,36 @@
     engine may retransmit freely and the network may duplicate or
     reorder messages without affecting safety.
 
+    Registers are addressed by the flat global index of
+    {!Shard_map.global_reg} — key [k]'s Reg{_0}/Reg{_1} live at
+    [2k]/[2k+1] — and are materialized lazily: an index never stored
+    reads back as [(0, initial)], so the replica's footprint is
+    proportional to the keys actually written, not to the keyspace.
+
     The state machine is pure message-in/messages-out — it runs
-    unchanged under {!Sim_net} and {!Socket_net}. *)
+    unchanged under {!Sim_net} and {!Socket_net}.  A [t] is not
+    internally locked: drive it from one thread (or one transport
+    handler, which both transports serialize per node). *)
 
 type t
 
-val create : ?nregs:int -> init:int -> unit -> t
-(** [nregs] defaults to 2 (the paper's Reg0/Reg1), each initialised to
-    the tagged value [(init, 0)] at timestamp 0. *)
+val create : init:int -> unit -> t
+(** Every register of the keyspace starts as the tagged value
+    [(init, false)] at timestamp 0. *)
 
 val handle :
   t -> src:Transport.node -> Wire.msg -> (Transport.node * Wire.msg) list
 (** Process one message, returning the replies to send.  Unknown
-    message kinds are ignored; [Batch] is flattened. *)
+    message kinds (and negative register indices) are ignored;
+    [Batch] is flattened. *)
 
-val contents : t -> (int * Wire.payload) array
-(** Current (timestamp, payload) per register — for tests. *)
+val contents : t -> (int * (int * Wire.payload)) list
+(** Materialized registers as [(global_reg, (timestamp, payload))],
+    sorted by register index — for tests. *)
+
+val lookup_reg : t -> int -> int * Wire.payload
+(** Current (timestamp, payload) of one global register index,
+    materialized or not. *)
 
 val handled : t -> int
 (** Number of messages processed. *)

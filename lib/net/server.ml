@@ -1,23 +1,34 @@
 module E = Histories.Event
 module Vm = Registers.Vm
 
+(* Per-session, per-key execution state.  A session's operations are
+   admitted strictly in sequence-number order, then queued per key:
+   operations on the same key (the same two-writer register) execute
+   one at a time — the paper's a-processor-is-sequential assumption,
+   which is per register — while operations on different keys proceed
+   concurrently.  That per-key independence is where the sharded
+   service's throughput comes from. *)
 type session = {
   src : Transport.node;
   proc : E.proc;
   mutable next_seq : int;  (* next sequence number to admit *)
   stash : (int, Wire.op) Hashtbl.t;  (* out-of-order arrivals *)
-  queue : (int * Wire.op) Queue.t;  (* admitted, not yet started *)
-  mutable busy : bool;  (* an operation is executing *)
+  queues : (int, (int * Wire.op) Queue.t) Hashtbl.t;
+      (* key -> admitted, not yet started *)
+  busy : (int, unit) Hashtbl.t;  (* keys with an operation executing *)
 }
 
 type t = {
   tr : Transport.t;
   me : Transport.node;
-  quorum : Quorum.t;
+  registry : Registry.t;
   sessions : (Transport.node, session) Hashtbl.t;
-  monitor : int Histories.Monitor.t option;
-  mutable violation : int Histories.Fastcheck.violation option;
-  mutable events_rev : (float * int E.t) list;
+  audit : bool;
+  init : int;
+  monitors : (int, int Histories.Monitor.t) Hashtbl.t;  (* per key *)
+  mutable violations_rev : (int * int Histories.Fastcheck.violation) list;
+      (* first violation per key, newest first *)
+  mutable events_rev : (float * (int * int E.t)) list;  (* (key, event) *)
   mutable ops_served : int;
   mutable rejected : int;
   mutable timer_armed : bool;
@@ -27,18 +38,24 @@ type t = {
   m_served : Metrics.counter;
   m_rejected : Metrics.counter;
   h_op : Metrics.histogram;
+  c_shard_ops : Metrics.counter array;
 }
 
 let create ~transport ?(audit = true) ?(resend_every = 0.05) ?metrics ?trace
-    ~me ~replicas ~init () =
+    ?map ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let map =
+    match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
+  in
   {
     tr = transport;
     me;
-    quorum = Quorum.create ~transport ~me ~replicas ~metrics ();
+    registry = Registry.create ~transport ~me ~replicas ~map ~metrics ();
     sessions = Hashtbl.create 16;
-    monitor = (if audit then Some (Histories.Monitor.create ~init) else None);
-    violation = None;
+    audit;
+    init;
+    monitors = Hashtbl.create 8;
+    violations_rev = [];
     events_rev = [];
     ops_served = 0;
     rejected = 0;
@@ -49,29 +66,41 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?metrics ?trace
     m_served = Metrics.counter metrics "ops_served";
     m_rejected = Metrics.counter metrics "ops_rejected";
     h_op = Metrics.histogram metrics "server_op";
+    c_shard_ops =
+      Array.init (Shard_map.shards map) (fun s ->
+          Metrics.counter metrics (Fmt.str "shard%d_ops" s));
   }
 
 let metrics t = t.metrics
+let registry t = t.registry
+let shards t = Registry.shards t.registry
 
-let record t ev =
+let monitor_of t key =
+  match Hashtbl.find_opt t.monitors key with
+  | Some m -> m
+  | None ->
+    let m = Histories.Monitor.create ~init:t.init in
+    Hashtbl.replace t.monitors key m;
+    m
+
+let record t key ev =
   let time = t.tr.Transport.now () in
-  t.events_rev <- (time, ev) :: t.events_rev;
+  t.events_rev <- (time, (key, ev)) :: t.events_rev;
   (match t.trace with
    | None -> ()
    | Some tr ->
      let kind =
        match ev with
-       | E.Invoke (proc, op) -> Trace.Invoke { proc; op }
-       | E.Respond (proc, result) -> Trace.Respond { proc; result }
+       | E.Invoke (proc, op) -> Trace.Invoke { key; proc; op }
+       | E.Respond (proc, result) -> Trace.Respond { key; proc; result }
      in
      Trace.record tr ~time kind);
-  match t.monitor with
-  | None -> ()
-  | Some m ->
-    (match Histories.Monitor.observe m ev with
-     | Histories.Monitor.Ok_so_far -> ()
-     | Histories.Monitor.Violation v ->
-       if t.violation = None then t.violation <- Some v)
+  if t.audit then
+    match Histories.Monitor.observe (monitor_of t key) ev with
+    | Histories.Monitor.Ok_so_far -> ()
+    | Histories.Monitor.Violation v ->
+      if not (List.mem_assoc key t.violations_rev) then
+        t.violations_rev <- (key, v) :: t.violations_rev
 
 (* Retransmission driver: armed while operations are in flight, quiet
    when the service is idle.  Re-armed from each operation start. *)
@@ -81,80 +110,103 @@ let rec arm_timer t =
     t.tr.Transport.set_timer ~node:t.me ~delay:t.resend_every (fun () ->
         t.timer_armed <- false;
         (* only phases a full period old can have lost a message *)
-        if Quorum.resend_pending ~older_than:t.resend_every t.quorum then
+        if Registry.resend_pending ~older_than:t.resend_every t.registry then
           arm_timer t)
   end
 
-(* Interpret a Bloom micro-step program, mapping each primitive cell
-   access to a quorum operation on the replicated real register. *)
-let rec exec : 'a. t -> (Wire.payload, 'a) Vm.prog -> ('a -> unit) -> unit =
-  fun t prog k ->
+(* Interpret a Bloom micro-step program for one key, mapping each
+   primitive cell access to a quorum operation on the corresponding
+   replicated real register of that key. *)
+let rec exec :
+  'a. t -> int -> (Wire.payload, 'a) Vm.prog -> ('a -> unit) -> unit =
+  fun t key prog k ->
   match prog with
   | Vm.Ret a -> k a
   | Vm.Read (reg, cont) ->
-    Quorum.read t.quorum ~reg ~k:(fun pl -> exec t (cont pl) k)
+    Registry.read t.registry ~key ~reg ~k:(fun pl -> exec t key (cont pl) k)
   | Vm.Write (reg, pl, cont) ->
-    Quorum.write t.quorum ~reg ~value:pl ~k:(fun () -> exec t (cont ()) k)
+    Registry.write t.registry ~key ~reg ~value:pl ~k:(fun () ->
+        exec t key (cont ()) k)
 
 let respond t s seq result =
   t.ops_served <- t.ops_served + 1;
   Metrics.incr t.m_served;
   t.tr.Transport.send ~src:t.me ~dst:s.src (Wire.Resp { seq; result })
 
-let rec start_next t s =
-  if not s.busy then
-    match Queue.take_opt s.queue with
+(* Every client-visible operation, keyed: the legacy unkeyed ops are
+   the key-0 register. *)
+let key_of_op = function
+  | Wire.Read | Wire.Write _ -> 0
+  | Wire.Read_k { key } | Wire.Write_k { key; _ } -> key
+
+let queue_of s key =
+  match Hashtbl.find_opt s.queues key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace s.queues key q;
+    q
+
+let rec start_next t s key =
+  if not (Hashtbl.mem s.busy key) then
+    match Queue.take_opt (queue_of s key) with
     | None -> ()
     | Some (seq, op) ->
-      s.busy <- true;
+      Hashtbl.replace s.busy key ();
       arm_timer t;
+      Metrics.incr t.c_shard_ops.(Registry.shard_of_key t.registry key);
       let t0 = t.tr.Transport.now () in
-      let done_op () =
-        Metrics.observe t.h_op (t.tr.Transport.now () -. t0)
+      let finish () =
+        Metrics.observe t.h_op (t.tr.Transport.now () -. t0);
+        Hashtbl.remove s.busy key;
+        start_next t s key
+      in
+      let reject () =
+        t.rejected <- t.rejected + 1;
+        Metrics.incr t.m_rejected;
+        t.tr.Transport.send ~src:t.me ~dst:s.src
+          (Wire.Resp { seq; result = None });
+        Hashtbl.remove s.busy key;
+        start_next t s key
       in
       (match op with
-       | Wire.Read ->
-         record t (E.Invoke (s.proc, E.Read));
-         exec t
+       | Wire.Read | Wire.Read_k _ when key < 0 -> reject ()
+       | Wire.Read | Wire.Read_k _ ->
+         record t key (E.Invoke (s.proc, E.Read));
+         exec t key
            (Core.Protocol.read_prog ())
            (fun v ->
-             record t (E.Respond (s.proc, Some v));
+             record t key (E.Respond (s.proc, Some v));
              respond t s seq (Some v);
-             done_op ();
-             s.busy <- false;
-             start_next t s)
-       | Wire.Write v when s.proc = 0 || s.proc = 1 ->
-         record t (E.Invoke (s.proc, E.Write v));
-         exec t
+             finish ())
+       | Wire.Write v | Wire.Write_k { value = v; _ }
+         when key >= 0 && (s.proc = 0 || s.proc = 1) ->
+         record t key (E.Invoke (s.proc, E.Write v));
+         exec t key
            (Core.Protocol.write_prog ~level:0 ~proc:s.proc v)
            (fun () ->
-             record t (E.Respond (s.proc, None));
+             record t key (E.Respond (s.proc, None));
              respond t s seq None;
-             done_op ();
-             s.busy <- false;
-             start_next t s)
-       | Wire.Write _ ->
+             finish ())
+       | Wire.Write _ | Wire.Write_k _ ->
          (* only processors 0 and 1 hold the two writer roles *)
-         t.rejected <- t.rejected + 1;
-         Metrics.incr t.m_rejected;
-         t.tr.Transport.send ~src:t.me ~dst:s.src
-           (Wire.Resp { seq; result = None });
-         s.busy <- false;
-         start_next t s)
+         reject ())
 
 let admit t s =
-  let progressed = ref false in
+  (* collect the newly in-order ops, then kick each touched key once *)
+  let touched = ref [] in
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt s.stash s.next_seq with
     | Some op ->
       Hashtbl.remove s.stash s.next_seq;
-      Queue.add (s.next_seq, op) s.queue;
-      s.next_seq <- s.next_seq + 1;
-      progressed := true
+      let key = key_of_op op in
+      Queue.add (s.next_seq, op) (queue_of s key);
+      if not (List.mem key !touched) then touched := key :: !touched;
+      s.next_seq <- s.next_seq + 1
     | None -> continue := false
   done;
-  if !progressed then start_next t s
+  List.iter (fun key -> start_next t s key) (List.rev !touched)
 
 let rec on_message t ~src msg =
   match msg with
@@ -165,8 +217,8 @@ let rec on_message t ~src msg =
         proc;
         next_seq = 0;
         stash = Hashtbl.create 8;
-        queue = Queue.create ();
-        busy = false;
+        queues = Hashtbl.create 4;
+        busy = Hashtbl.create 4;
       }
   | Wire.Req { seq; op } ->
     (match Hashtbl.find_opt t.sessions src with
@@ -175,7 +227,7 @@ let rec on_message t ~src msg =
        admit t s
      | Some _ | None -> ())  (* duplicate or sessionless request *)
   | Wire.Query_reply _ | Wire.Store_ack _ ->
-    Quorum.on_message t.quorum ~src msg
+    Registry.on_message t.registry ~src msg
   | Wire.Batch msgs -> List.iter (fun m -> on_message t ~src m) msgs
   | Wire.Bye -> Hashtbl.remove t.sessions src
   | Wire.Stats_req { rid } ->
@@ -185,15 +237,31 @@ let rec on_message t ~src msg =
       Metrics.wire_stats t.metrics
       @ [
           ("sessions", Hashtbl.length t.sessions);
-          ("audit_violation", if t.violation = None then 0 else 1);
+          ("shards", shards t);
+          ("audit_violation", if t.violations_rev = [] then 0 else 1);
         ]
     in
     t.tr.Transport.send ~src:t.me ~dst:src (Wire.Stats_reply { rid; stats })
   | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _ -> ()
 
-let history t = List.rev_map snd t.events_rev
-let timed_history t = List.rev t.events_rev
-let violation t = t.violation
+let keyed_history t = List.rev_map (fun (_, kev) -> kev) t.events_rev
+let history t = List.rev_map (fun (_, (_, ev)) -> ev) t.events_rev
+
+let key_history t key =
+  List.rev
+    (List.filter_map
+       (fun (_, (k, ev)) -> if k = key then Some ev else None)
+       t.events_rev)
+
+let keys t =
+  List.sort_uniq compare (List.rev_map (fun (_, (k, _)) -> k) t.events_rev)
+
+let timed_history t = List.rev_map (fun (time, (_, ev)) -> (time, ev)) t.events_rev
+let violations t = List.rev t.violations_rev
+
+let violation t =
+  match List.rev t.violations_rev with [] -> None | (_, v) :: _ -> Some v
+
 let ops_served t = t.ops_served
 let rejected t = t.rejected
-let quorum_stats t = Quorum.stats t.quorum
+let quorum_stats t = Registry.stats t.registry

@@ -1,30 +1,38 @@
-(** The register service front-end.
+(** The register service front-end: a sharded keyspace of two-writer
+    atomic registers.
 
-    The server owns both writer roles' real registers as ABD quorum
-    registers over the replicas ({!Quorum}) and executes Bloom's {e
-    unchanged} protocol code on behalf of client sessions: a session's
-    read runs {!Core.Protocol.read_prog}, a writer session's write runs
-    {!Core.Protocol.write_prog}, with every primitive cell access
-    interpreted as a quorum operation on the corresponding replicated
-    real register.  The two-writer construction therefore runs
-    end-to-end over messages, tolerating a minority of replica crashes
-    and a lossy, reordering, duplicating network.
+    Every key of the keyspace is an independent instance of Bloom's
+    two-writer construction.  The server owns both writer roles' real
+    registers of every key as ABD quorum registers over the replicas
+    (one {!Quorum} engine per shard, via {!Registry}) and executes
+    Bloom's {e unchanged} protocol code on behalf of client sessions: a
+    session's read of [key] runs {!Core.Protocol.read_prog}, a writer
+    session's write runs {!Core.Protocol.write_prog}, with every
+    primitive cell access interpreted as a quorum operation on the
+    corresponding replicated real register of that key.  The
+    construction therefore runs end-to-end over messages, tolerating a
+    minority of replica crashes and a lossy, reordering, duplicating
+    network.
 
     Sessions are per client ([Hello] opens one, declaring which
     processor of the history the client plays).  Requests carry
-    sequence numbers; the server executes each session's operations
-    strictly in sequence order (a processor is sequential — the paper's
-    input-correctness assumption) while different sessions' operations
-    interleave freely, so clients can pipeline.  Out-of-order arrivals
-    are buffered.
+    sequence numbers; the server admits each session's operations
+    strictly in sequence order, then executes them serially {e per key}
+    (a processor is sequential — the paper's input-correctness
+    assumption, which holds per register) while operations on different
+    keys — and different sessions — interleave freely.  A pipelined
+    session spreading ops over many keys therefore keeps many shards
+    busy at once; that per-key concurrency is the sharded service's
+    throughput lever.  The legacy unkeyed [Read]/[Write] ops address
+    key 0.  Out-of-order arrivals are buffered.
 
-    With [audit] on, every operation is fed to a live
+    With [audit] on, every operation is fed to a live, {e per-key}
     {!Histories.Monitor} at its invocation and response: the serialized
     server-side event order is a sound witness (server-side intervals
     are contained in client-observed intervals, so it carries {e more}
     real-time precedence than any client view — if it is atomic, the
-    clients' history is too).  The first violation is latched; the
-    recorded history can additionally be re-checked post-hoc with
+    clients' history is too).  The first violation per key is latched;
+    recorded histories can additionally be re-checked post-hoc with
     {!Histories.Fastcheck} provided written values are unique. *)
 
 type t
@@ -35,6 +43,7 @@ val create :
   ?resend_every:float ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
+  ?map:Shard_map.t ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -42,34 +51,67 @@ val create :
   t
 (** [audit] defaults to [true].  [resend_every] (default 0.05) is the
     retransmission period in transport-clock units; it should exceed a
-    round trip (for {!Sim_net}, a multiple of [max_delay]).
+    round trip (for {!Sim_net}, a multiple of [max_delay]).  [map]
+    (default: a single shard owning every key) fixes the key → shard →
+    replica-group placement for the server's lifetime.
 
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]
-    invoke-to-respond histogram, and (through the embedded {!Quorum})
-    the quorum counters and phase histograms; its {!Metrics.wire_stats}
-    snapshot is what a {!Wire.msg.Stats_req} is answered with.  With
-    [trace], every operation invoke/respond is appended to the ring. *)
+    invoke-to-respond histogram, one [shard<i>_ops] counter per shard,
+    and (through the embedded {!Registry}) the quorum counters, phase
+    histograms and per-shard [shard<i>_quorum_ops]; its
+    {!Metrics.wire_stats} snapshot is what a {!Wire.msg.Stats_req} is
+    answered with.  With [trace], every operation invoke/respond is
+    appended to the ring, tagged with its key.  Does not block. *)
 
 val metrics : t -> Metrics.t
 
+val registry : t -> Registry.t
+(** The shard engines — for tests and stats. *)
+
+val shards : t -> int
+(** Shard count of the server's {!Shard_map}. *)
+
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
+(** Feed one incoming message (possibly a [Batch]).  May execute
+    protocol steps and send replies reentrantly; never blocks, never
+    raises on well-typed input.  Not internally locked — drive from one
+    transport handler (both transports serialize handler invocations
+    per node). *)
 
 val history : t -> int Histories.Event.t list
-(** All recorded invocation/response events, oldest first. *)
+(** All recorded invocation/response events across all keys, oldest
+    first (the server-side serialization order). *)
+
+val keyed_history : t -> (int * int Histories.Event.t) list
+(** Same, with each event tagged by its key. *)
+
+val key_history : t -> int -> int Histories.Event.t list
+(** The events of one key only — the history a per-key checker
+    certifies. *)
+
+val keys : t -> int list
+(** Every key that has recorded at least one event, ascending. *)
 
 val timed_history : t -> (float * int Histories.Event.t) list
-(** Same, with the transport-clock instant of each event — latency
+(** All events with the transport-clock instant of each — latency
     distributions are derived from this. *)
 
 val violation : t -> int Histories.Fastcheck.violation option
-(** First atomicity violation caught by the live audit, if any. *)
+(** First atomicity violation caught by any key's live audit, if
+    any. *)
+
+val violations : t -> (int * int Histories.Fastcheck.violation) list
+(** First latched violation of each offending key, in the order they
+    were caught.  Empty iff every per-key audit accepts. *)
 
 val ops_served : t -> int
 
 val rejected : t -> int
-(** Writes attempted by non-writer sessions (procs other than 0 and
-    1); acknowledged with [Resp { result = None }] but not executed
-    and not recorded in the history. *)
+(** Operations refused without execution: writes attempted by
+    non-writer sessions (procs other than 0 and 1) and ops naming a
+    negative key.  Acknowledged with [Resp { result = None }] but not
+    recorded in any history. *)
 
 val quorum_stats : t -> Quorum.stats
+(** Aggregate counters over every shard's engine. *)

@@ -1,0 +1,50 @@
+(** Static sharding of the register keyspace.
+
+    The service hosts one independent two-writer register per {e key}.
+    A [Shard_map] decides, once and deterministically, (a) which {e
+    shard} — which {!Quorum} engine of the server's {!Registry} — owns
+    a key, and (b) which replicas form that shard's quorum group.
+    Placement is a pure function of the key and the map parameters
+    (a fixed SplitMix64 hash, no per-process salt), so every node of a
+    cluster computes the same answer without coordination.
+
+    A value of this type is immutable after {!create}: all functions
+    here are pure, non-blocking and safe to call from any thread. *)
+
+type t
+
+val regs_per_key : int
+(** Real registers per key: [2], the paper's Reg{_0}/Reg{_1} pair. *)
+
+val create : ?group_size:int -> shards:int -> unit -> t
+(** A map over [shards] shards.  [group_size] (default: every replica)
+    bounds each shard's quorum group; groups are overlapping windows
+    rotated by shard index, so load spreads when the replica pool is
+    larger than one group.
+    @raise Invalid_argument if [shards <= 0] or [group_size <= 0]. *)
+
+val shards : t -> int
+
+val shard_of_key : t -> int -> int
+(** The shard owning a key, in [[0, shards)].  Static hash placement:
+    for a fixed shard count the assignment is consistent across every
+    node and every run — resharding (changing [shards]) is a
+    whole-cluster reconfiguration, not an online operation. *)
+
+val global_reg : int -> int -> int
+(** [global_reg key i] flattens (key, register bit [i]) into the
+    global real-register index carried by {!Wire.msg.Query} /
+    {!Wire.msg.Store}: [key * regs_per_key + i].
+    @raise Invalid_argument if [key < 0] or [i] is not a valid
+    register bit. *)
+
+val key_of_reg : int -> int
+(** Inverse of {!global_reg} up to the register bit: the key a global
+    register index belongs to. *)
+
+val group : t -> replicas:Transport.node list -> int -> Transport.node list
+(** The quorum group of a shard, as a sublist of [replicas] (the whole
+    pool when [group_size] is unset or not smaller than the pool).
+    @raise Invalid_argument if the shard is out of range. *)
+
+val pp : t Fmt.t

@@ -5,6 +5,8 @@ type outcome = {
   timed : (float * int E.t) list;
   monitor_violation : string option;
   fastcheck_ok : bool;
+  key_fastcheck : (int * bool) list;
+  key_violations : (int * string) list;
   completed : int;
   expected : int;
   steps : int;
@@ -40,10 +42,32 @@ let latencies_of timed =
     [] timed
   |> List.rev
 
+(* Per-key post-hoc verdicts: each key's subsequence of the server
+   history is an independent two-writer history, checked on its own. *)
+let fastcheck_by_key ~init keyed =
+  let keys =
+    List.sort_uniq compare (List.map fst keyed)
+  in
+  List.map
+    (fun key ->
+      let h = List.filter_map (fun (k, e) -> if k = key then Some e else None) keyed in
+      let ok =
+        match Histories.Operation.of_events h with
+        | Error _ -> false
+        | Ok ops ->
+          (match Histories.Fastcheck.check_unique ~init ops with
+           | Histories.Fastcheck.Atomic _ -> true
+           | Histories.Fastcheck.Violation _ -> false)
+      in
+      (key, ok))
+    keys
+
 let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
-    ?crash_replica ?partition_replicas ?(max_steps = 2_000_000)
-    ?(audit = true) ?metrics ?trace ~seed ~init ~processes () =
+    ?(shards = 1) ?keys ?crash_replica ?partition_replicas
+    ?(max_steps = 2_000_000) ?(audit = true) ?metrics ?trace ~seed ~init
+    ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   let faults =
     {
       faults with
@@ -66,13 +90,16 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     replica_nodes;
   (* server; retransmission period must exceed a replica round trip *)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
+  let map = Shard_map.create ~shards () in
   let server =
-    Server.create ~transport:tr ~audit ~resend_every ~metrics ?trace
+    Server.create ~transport:tr ~audit ~resend_every ~metrics ?trace ~map
       ~me:Transport.server ~replicas:replica_nodes ~init ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
   (* clients: send [Hello; first window] as one batch, then keep the
-     window full as responses arrive *)
+     window full as responses arrive.  With a multi-key keyspace each
+     process round-robins its script over the keys, so a window > 1
+     keeps several per-key pipelines busy at once. *)
   List.iter
     (fun { Registers.Vm.proc; script } ->
       let me = Transport.client proc in
@@ -85,7 +112,13 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
           let seq = c.next_seq in
           c.next_seq <- seq + 1;
           let op =
-            match op with E.Read -> Wire.Read | E.Write v -> Wire.Write v
+            if nkeys = 1 then
+              match op with E.Read -> Wire.Read | E.Write v -> Wire.Write v
+            else
+              let key = seq mod nkeys in
+              match op with
+              | E.Read -> Wire.Read_k { key }
+              | E.Write v -> Wire.Write_k { key; value = v }
           in
           Some (Wire.Req { seq; op })
       in
@@ -119,6 +152,7 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   let steps = Sim_net.run ~max_steps net in
   let timed = Server.timed_history server in
   let history = List.map snd timed in
+  let keyed = Server.keyed_history server in
   let completed =
     List.length (List.filter (function E.Respond _ -> true | _ -> false) history)
   in
@@ -127,22 +161,22 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
       (fun n { Registers.Vm.script; _ } -> n + List.length script)
       0 processes
   in
-  let fastcheck_ok =
-    match Histories.Operation.of_events history with
-    | Error _ -> false
-    | Ok ops ->
-      (match Histories.Fastcheck.check_unique ~init ops with
-       | Histories.Fastcheck.Atomic _ -> true
-       | Histories.Fastcheck.Violation _ -> false)
+  let key_fastcheck = fastcheck_by_key ~init keyed in
+  let key_violations =
+    List.map
+      (fun (k, v) ->
+        (k, Fmt.str "%a" (Histories.Fastcheck.pp_violation Fmt.int) v))
+      (Server.violations server)
   in
   {
     history;
     timed;
     monitor_violation =
-      Option.map
-        (Fmt.str "%a" (Histories.Fastcheck.pp_violation Fmt.int))
-        (Server.violation server);
-    fastcheck_ok;
+      (match key_violations with [] -> None | (k, v) :: _ ->
+        Some (Fmt.str "key %d: %s" k v));
+    fastcheck_ok = List.for_all snd key_fastcheck;
+    key_fastcheck;
+    key_violations;
     completed;
     expected;
     steps;
@@ -157,7 +191,7 @@ let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>ops: %d/%d completed in %d steps (virtual span %.1f)@,\
      live audit: %s@,\
-     fastcheck:  %s@,\
+     fastcheck:  %s (%d key%s)@,\
      network: %d delivered, %d dropped, %d duplicated, %d blocked@,\
      quorum: %d reads, %d writes, %d msgs, %d retransmissions@]"
     o.completed o.expected o.steps o.virtual_span
@@ -165,6 +199,8 @@ let pp_outcome ppf o =
      | None -> "no violation"
      | Some v -> "VIOLATION: " ^ v)
     (if o.fastcheck_ok then "atomic" else "NOT ATOMIC")
+    (List.length o.key_fastcheck)
+    (if List.length o.key_fastcheck = 1 then "" else "s")
     o.net.Sim_net.delivered o.net.Sim_net.dropped o.net.Sim_net.duplicated
     o.net.Sim_net.blocked o.quorum.Quorum.reads o.quorum.Quorum.writes
     o.quorum.Quorum.messages_sent o.quorum.Quorum.retransmissions

@@ -10,7 +10,12 @@
     buffering absorbs — still applies); replica links suffer the full
     fault schedule.
 
-    The whole run is deterministic in [(seed, faults, workload,
+    With [shards] > 1 the server hosts a sharded keyspace and each
+    process round-robins its script over [keys] (default: one key per
+    shard) distinct keys, so a pipelining window keeps several per-key
+    engines busy at once; every key is audited independently.
+
+    The whole run is deterministic in [(seed, faults, shards, workload,
     schedule)]: sweeping seeds and fault parameters model-checks the
     transport + quorum + server stack, which is exactly what
     [test/test_net.ml] does. *)
@@ -19,10 +24,15 @@ type outcome = {
   history : int Histories.Event.t list;  (** as recorded by the server *)
   timed : (float * int Histories.Event.t) list;
   monitor_violation : string option;
-      (** live-audit verdict ([None] = no violation observed) *)
+      (** first live-audit violation of any key ([None] = every
+          per-key audit accepts) *)
   fastcheck_ok : bool;
-      (** post-hoc {!Histories.Fastcheck} verdict on the history
-          (requires the workload's written values to be unique) *)
+      (** conjunction of the per-key post-hoc {!Histories.Fastcheck}
+          verdicts (requires written values to be unique) *)
+  key_fastcheck : (int * bool) list;
+      (** post-hoc verdict per key, ascending key order *)
+  key_violations : (int * string) list;
+      (** rendered first live violation per offending key *)
   completed : int;  (** operations that received a response *)
   expected : int;  (** operations in the workload *)
   steps : int;  (** simulator events processed *)
@@ -30,17 +40,19 @@ type outcome = {
   latencies : (Histories.Event.proc * int Histories.Event.op * float) list;
       (** per completed operation, in virtual time units *)
   net : Sim_net.stats;
-  quorum : Quorum.stats;
+  quorum : Quorum.stats;  (** aggregated over every shard's engine *)
   metrics : Metrics.t;
       (** the cluster-wide metrics registry (transport counters, quorum
-          phase histograms, server op latencies) — the one passed in,
-          or a fresh instance if none was *)
+          phase histograms, server op latencies, per-shard counters) —
+          the one passed in, or a fresh instance if none was *)
 }
 
 val run :
   ?faults:Sim_net.faults ->
   ?replicas:int ->
   ?window:int ->
+  ?shards:int ->
+  ?keys:int ->
   ?crash_replica:(int * float) ->
   ?partition_replicas:float * float ->
   ?max_steps:int ->
@@ -55,13 +67,14 @@ val run :
 (** [crash_replica (i, t)] crashes replica [i] at virtual time [t];
     [partition_replicas (t0, t1)] severs all replicas from the server
     during [[t0, t1)].  Defaults: reliable network, 3 replicas,
-    pipelining window 4, audit on, [max_steps] 2_000_000.
+    pipelining window 4, 1 shard (the unsharded single-register
+    service), audit on, [max_steps] 2_000_000.
 
     [metrics] and [trace] are shared by the transport and the server:
     the trace (virtual-time stamped) records sends, deliveries, drops,
-    timer fires and every operation invoke/respond, and can be dumped
-    with {!Trace.dump} and replayed through the checker with
-    {!Trace.history_of_file}. *)
+    timer fires and every operation invoke/respond with its key, and
+    can be dumped with {!Trace.dump} and replayed through the checker
+    with {!Trace.keyed_history_of_file}. *)
 
 val pp_outcome : outcome Fmt.t
 (** One-paragraph summary (completion, verdicts, network stats). *)

@@ -5,8 +5,8 @@ type kind =
   | Deliver of { src : int; dst : int; info : string }
   | Drop of { src : int; dst : int; reason : string }
   | Timer_fire of { node : int }
-  | Invoke of { proc : int; op : int E.op }
-  | Respond of { proc : int; result : int option }
+  | Invoke of { key : int; proc : int; op : int E.op }
+  | Respond of { key : int; proc : int; result : int option }
   | Note of string
 
 type event = { time : float; kind : kind }
@@ -71,17 +71,19 @@ let line_of_event { time; kind } =
       (escape reason)
   | Timer_fire { node } ->
     Printf.sprintf "{%s,\"kind\":\"timer\",\"node\":%d}" t node
-  | Invoke { proc; op = E.Read } ->
-    Printf.sprintf "{%s,\"kind\":\"invoke\",\"proc\":%d,\"op\":\"read\"}" t proc
-  | Invoke { proc; op = E.Write v } ->
+  | Invoke { key; proc; op = E.Read } ->
     Printf.sprintf
-      "{%s,\"kind\":\"invoke\",\"proc\":%d,\"op\":\"write\",\"value\":%d}" t
-      proc v
-  | Respond { proc; result = Some v } ->
-    Printf.sprintf "{%s,\"kind\":\"respond\",\"proc\":%d,\"result\":%d}" t proc
+      "{%s,\"kind\":\"invoke\",\"key\":%d,\"proc\":%d,\"op\":\"read\"}" t key proc
+  | Invoke { key; proc; op = E.Write v } ->
+    Printf.sprintf
+      "{%s,\"kind\":\"invoke\",\"key\":%d,\"proc\":%d,\"op\":\"write\",\"value\":%d}"
+      t key proc v
+  | Respond { key; proc; result = Some v } ->
+    Printf.sprintf
+      "{%s,\"kind\":\"respond\",\"key\":%d,\"proc\":%d,\"result\":%d}" t key proc
       v
-  | Respond { proc; result = None } ->
-    Printf.sprintf "{%s,\"kind\":\"respond\",\"proc\":%d}" t proc
+  | Respond { key; proc; result = None } ->
+    Printf.sprintf "{%s,\"kind\":\"respond\",\"key\":%d,\"proc\":%d}" t key proc
   | Note s -> Printf.sprintf "{%s,\"kind\":\"note\",\"text\":\"%s\"}" t (escape s)
 
 let to_jsonl t =
@@ -97,14 +99,16 @@ let dump t path =
 (* from a dumped JSONL file) so it can be re-run through the           *)
 (* atomicity checkers offline.                                         *)
 
-let history t =
+let keyed_history t =
   List.filter_map
     (fun { kind; _ } ->
       match kind with
-      | Invoke { proc; op } -> Some (E.Invoke (proc, op))
-      | Respond { proc; result } -> Some (E.Respond (proc, result))
+      | Invoke { key; proc; op } -> Some (key, E.Invoke (proc, op))
+      | Respond { key; proc; result } -> Some (key, E.Respond (proc, result))
       | _ -> None)
     (events t)
+
+let history t = List.map snd (keyed_history t)
 
 (* A scanner for exactly the key/value shapes [line_of_event] emits —
    not a general JSON parser. *)
@@ -143,25 +147,34 @@ let string_field line key =
      | Some stop -> Some (String.sub line start (stop - start)))
 
 let parse_line line =
+  (* [key] is absent from pre-keyspace dumps: default to register 0 *)
+  let key = Option.value ~default:0 (int_field line "key") in
   match string_field line "kind" with
   | Some "invoke" ->
     (match (int_field line "proc", string_field line "op") with
-     | Some proc, Some "read" -> Some (E.Invoke (proc, E.Read))
+     | Some proc, Some "read" -> Some (key, E.Invoke (proc, E.Read))
      | Some proc, Some "write" ->
-       Option.map (fun v -> E.Invoke (proc, E.Write v)) (int_field line "value")
+       Option.map
+         (fun v -> (key, E.Invoke (proc, E.Write v)))
+         (int_field line "value")
      | _ -> None)
   | Some "respond" ->
     Option.map
-      (fun proc -> E.Respond (proc, int_field line "result"))
+      (fun proc -> (key, E.Respond (proc, int_field line "result")))
       (int_field line "proc")
   | _ -> None
 
-let history_of_jsonl s =
+let keyed_history_of_jsonl s =
   String.split_on_char '\n' s |> List.filter_map parse_line
 
-let history_of_file path =
+let history_of_jsonl s = List.map snd (keyed_history_of_jsonl s)
+
+let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  history_of_jsonl s
+  s
+
+let keyed_history_of_file path = keyed_history_of_jsonl (read_file path)
+let history_of_file path = history_of_jsonl (read_file path)

@@ -20,8 +20,10 @@ type kind =
   | Deliver of { src : int; dst : int; info : string }
   | Drop of { src : int; dst : int; reason : string }
   | Timer_fire of { node : int }
-  | Invoke of { proc : int; op : int Histories.Event.op }
-  | Respond of { proc : int; result : int option }
+  | Invoke of { key : int; proc : int; op : int Histories.Event.op }
+      (** Operation invocation on the register named [key] (0 for the
+          legacy single-register service). *)
+  | Respond of { key : int; proc : int; result : int option }
   | Note of string
 
 type event = { time : float; kind : kind }
@@ -49,9 +51,21 @@ val dump : t -> string -> unit
 
 val history : t -> int Histories.Event.t list
 (** The operation events ([Invoke]/[Respond]) of the retained window,
-    ready for {!Histories.Operation.of_events}. *)
+    ready for {!Histories.Operation.of_events}.  Mixes every key —
+    meaningful as a register history only for single-key runs; use
+    {!keyed_history} otherwise. *)
+
+val keyed_history : t -> (int * int Histories.Event.t) list
+(** Same window, each operation event tagged with the register id it
+    addressed — group by key before checking atomicity (each key is an
+    independent register). *)
 
 val history_of_jsonl : string -> int Histories.Event.t list
 val history_of_file : string -> int Histories.Event.t list
 (** Parse a dump back into operation events (non-operation lines and
     unparseable lines are skipped). *)
+
+val keyed_history_of_jsonl : string -> (int * int Histories.Event.t) list
+val keyed_history_of_file : string -> (int * int Histories.Event.t) list
+(** Keyed variants of the parsers; dumps from before the keyspace
+    carry no [key] field and parse as key 0. *)

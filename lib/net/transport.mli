@@ -1,6 +1,6 @@
 (** The capability a protocol state machine needs from a network.
 
-    The service's replicas, quorum engine, server and clients are
+    The service's replicas, quorum engines, server and clients are
     written against this record only, so the same code runs over the
     deterministic fault-injecting simulator ({!Sim_net}) and over real
     Unix-domain sockets ({!Socket_net}).  Handlers (how a node {e
@@ -17,17 +17,35 @@ type node = int
     the client playing processor [p] is [client p]. *)
 
 val server : node
+(** The front-end server's node id (100).  Constant; pure. *)
+
 val client : int -> node
+(** [client p] is the node id of the client playing processor [p]
+    (200 + [p]).  Pure; does not validate [p] — negative processors
+    produce ids colliding with replicas or the server, so don't. *)
 
 type t = {
   send : src:node -> dst:node -> Wire.msg -> unit;
+      (** Fire-and-forget unicast.  Never blocks and never raises:
+          unroutable destinations, crashed peers, full buffers and
+          lossy links all surface as silent loss (possibly counted in
+          the transport's metrics), which the protocols above absorb by
+          retransmission.  Thread-safety is the implementation's
+          burden: both {!Sim_net} (single-threaded event loop) and
+          {!Socket_net} (internally locked) allow concurrent calls. *)
   set_timer : node:node -> delay:float -> (unit -> unit) -> unit;
       (** One-shot timer; the callback runs serialized with [node]'s
-          message handler (simulated time for {!Sim_net}, wall-clock
-          seconds for {!Socket_net}). *)
+          message handler (virtual time under {!Sim_net}, wall-clock
+          seconds under {!Socket_net}), so handler state needs no extra
+          locking.  If [node] is gone by the time the timer fires, the
+          callback is dropped, not run.  Does not block. *)
   now : unit -> float;
+      (** The transport's clock: virtual time under {!Sim_net},
+          [Unix.gettimeofday] under {!Socket_net}.  Monotone within a
+          simulation; wall-clock caveats apply on real systems.  Cheap
+          and safe from any thread. *)
 }
 
 val null : t
-(** Discards sends, never fires timers; for unit-testing state
-    machines in isolation. *)
+(** Discards sends, never fires timers, clock pinned at 0; for
+    unit-testing state machines in isolation. *)

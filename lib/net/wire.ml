@@ -5,6 +5,8 @@ type payload = int Tagged.t
 type op =
   | Read
   | Write of int
+  | Read_k of { key : int }
+  | Write_k of { key : int; value : int }
 
 type msg =
   | Hello of { proc : int }
@@ -47,7 +49,14 @@ let rec encode_into b = function
      | Read -> Buffer.add_char b '\000'
      | Write v ->
        Buffer.add_char b '\001';
-       add_int b v)
+       add_int b v
+     | Read_k { key } ->
+       Buffer.add_char b '\002';
+       add_int b key
+     | Write_k { key; value } ->
+       Buffer.add_char b '\003';
+       add_int b key;
+       add_int b value)
   | Resp { seq; result } ->
     Buffer.add_char b '\002';
     add_int b seq;
@@ -143,6 +152,10 @@ let decode s =
       (match byte () with
        | 0 -> Req { seq; op = Read }
        | 1 -> Req { seq; op = Write (int ()) }
+       | 2 -> Req { seq; op = Read_k { key = int () } }
+       | 3 ->
+         let key = int () in
+         Req { seq; op = Write_k { key; value = int () } }
        | _ -> raise (Bad "bad op kind"))
     | 2 ->
       let seq = int () in
@@ -232,6 +245,9 @@ let rec pp ppf = function
   | Hello { proc } -> Fmt.pf ppf "hello(proc=%d)" proc
   | Req { seq; op = Read } -> Fmt.pf ppf "req#%d read" seq
   | Req { seq; op = Write v } -> Fmt.pf ppf "req#%d write(%d)" seq v
+  | Req { seq; op = Read_k { key } } -> Fmt.pf ppf "req#%d read[%d]" seq key
+  | Req { seq; op = Write_k { key; value } } ->
+    Fmt.pf ppf "req#%d write[%d](%d)" seq key value
   | Resp { seq; result = Some v } -> Fmt.pf ppf "resp#%d %d" seq v
   | Resp { seq; result = None } -> Fmt.pf ppf "resp#%d ack" seq
   | Query { rid; reg } -> Fmt.pf ppf "query#%d reg%d" rid reg

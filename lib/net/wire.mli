@@ -8,22 +8,40 @@
       transport delivered out of order, and lets clients pipeline);
     - {e server <-> replica}: the ABD-style quorum messages.  [Query]
       asks a replica for its current (timestamp, tagged value) pair for
-      one of the two real registers; [Store] installs a pair if its
+      one global real-register index; [Store] installs a pair if its
       timestamp is newer.  Both carry a request id [rid] so replies can
       be matched to the quorum phase that issued them.
 
+    {b Keyed operations.}  The service hosts a whole keyspace of
+    independent two-writer registers.  [Read_k]/[Write_k] carry the
+    register id ([key]) they address; the legacy [Read]/[Write] are
+    synonyms for key 0.  On the replica sublanguage a key is flattened
+    into the global register index [reg = key * regs_per_key + i]
+    where [i] is the paper's Reg{_0}/Reg{_1} bit (see
+    {!Shard_map.global_reg}).
+
     [Batch] packs several messages into one frame — the hot-path
-    batching used by pipelined clients.
+    batching used by pipelined, coalescing clients ({!Client}) and by
+    the sharded server's fan-outs.
 
     Values on the wire are [int]s (encoded as 64-bit little-endian);
     the payload of a real register is a tagged value, the paper's
-    (value, tag bit) pair. *)
+    (value, tag bit) pair.
+
+    Everything in this module is pure (no blocking, no I/O) and
+    thread-safe by virtue of sharing no mutable state; any thread may
+    encode/decode concurrently.  See DESIGN_NET.md for the
+    byte-by-byte frame layout. *)
 
 type payload = int Registers.Tagged.t
 
 type op =
-  | Read
+  | Read  (** Read register 0 (legacy synonym of [Read_k {key = 0}]). *)
   | Write of int
+      (** Write register 0 (legacy synonym of [Write_k {key = 0; _}]). *)
+  | Read_k of { key : int }  (** Read the register named [key]. *)
+  | Write_k of { key : int; value : int }
+      (** Write [value] to the register named [key]. *)
 
 type msg =
   | Hello of { proc : int }
@@ -54,29 +72,41 @@ val max_batch_depth : int
     (the encoder is not bounded — bound your producers). *)
 
 val max_batch : int
-(** Decoder bound on [Batch] length and {!frame} keeps bodies under
-    {!max_frame}, so a frame can never make the decoder allocate
-    unboundedly. *)
+(** Decoder bound on [Batch] length; together with {!frame} keeping
+    bodies under {!max_frame}, a frame can never make the decoder
+    allocate unboundedly. *)
 
 val encode : msg -> string
+(** Serialize a message body (no frame header).  Total: never raises,
+    never blocks; cost is linear in the message size.  The encoder
+    does {e not} enforce {!max_frame} or {!max_batch_depth} — those
+    bite at {!frame} time and in the receiver. *)
+
 val decode : string -> (msg, string) result
 (** Total inverse of {!encode} for messages within the decoder bounds
     ([decode (encode m) = Ok m]); any truncated, trailing-garbage,
     unknown-tag, over-long or over-deep input is an [Error] — never an
-    exception. *)
+    exception.  Pure and non-blocking; safe to call from any thread. *)
 
 val decode_exn : string -> msg
-(** @raise Invalid_argument on undecodable input. *)
+(** Like {!decode} but raising.
+    @raise Invalid_argument on undecodable input. *)
 
 val frame : src:int -> msg -> bytes
 (** A stream frame: an 8-byte header ([length, src] as two 32-bit
-    little-endian ints) followed by the encoded message.
+    little-endian ints) followed by the encoded message.  Pure and
+    non-blocking.
     @raise Invalid_argument if the body exceeds {!max_frame} (a body
     length must never overflow the 32-bit header field, and a frame
     the receiver would reject should fail at the sender). *)
 
 val header_size : int
+(** Bytes of the frame header ([8]). *)
+
 val parse_header : bytes -> int * int
-(** [(body_length, src)] of a frame header. *)
+(** [(body_length, src)] of a frame header.  The caller must supply at
+    least {!header_size} bytes; the returned length is {e untrusted}
+    input and must be checked against {!max_frame} before allocating. *)
 
 val pp : msg Fmt.t
+(** Human-readable one-line rendering (used by the tracing layer). *)

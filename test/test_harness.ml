@@ -102,6 +102,18 @@ let percentile_and_mean () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (S.percentile [||] 50.0))
 
+let percentile_opt_total () =
+  (* regression: the bench used to compute percentiles of an empty
+     latency sample (a zero-op run) and report garbage; the total
+     variant must answer [None] instead *)
+  Alcotest.(check (option (float 1e-9))) "empty is None" None
+    (S.percentile_opt [||] 99.0);
+  Alcotest.(check (option (float 1e-9))) "singleton" (Some 7.0)
+    (S.percentile_opt [| 7.0 |] 99.0);
+  Alcotest.(check (option (float 1e-9))) "agrees when non-empty"
+    (Some (S.percentile [| 5.0; 1.0; 3.0 |] 50.0))
+    (S.percentile_opt [| 5.0; 1.0; 3.0 |] 50.0)
+
 let crash_everywhere_write_fate () =
   (* C4: crash at every point of a write; the write either happened
      entirely or not at all, and the run always certifies *)
@@ -203,6 +215,7 @@ let suite =
       recorder_preserves_real_time_order;
     tc "access summary matches claims C1 exactly" access_summary_claims;
     tc "percentile and mean" percentile_and_mean;
+    tc "percentile_opt total on empty samples" percentile_opt_total;
     tc "crash at every point: write is all-or-nothing (claim C4)"
       crash_everywhere_write_fate;
     tc "no fate when the victim completed" fate_none_when_victim_completes;

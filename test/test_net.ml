@@ -33,6 +33,18 @@ let msg_gen =
             W.Req { seq; op = (if v < 0 then W.Read else W.Write v) })
           Gen.small_nat
           (Gen.int_range (-10) 1000000);
+        Gen.map3
+          (fun seq key v ->
+            W.Req
+              {
+                seq;
+                op =
+                  (if v < 0 then W.Read_k { key }
+                   else W.Write_k { key; value = v });
+              })
+          Gen.small_nat
+          (Gen.oneof [ Gen.small_nat; Gen.pure 0; Gen.pure max_int ])
+          (Gen.int_range (-10) 1000000);
         Gen.map2
           (fun seq r ->
             W.Resp { seq; result = (if r < 0 then None else Some r) })
@@ -137,7 +149,103 @@ let wire_boundary_values () =
       W.Stats_req { rid = max_int };
       W.Stats_reply
         { rid = 0; stats = [ ("", min_int); ("frames_sent", max_int) ] };
+      W.Req { seq = 0; op = W.Read_k { key = max_int } };
+      W.Req { seq = max_int; op = W.Write_k { key = 0; value = min_int } };
     ]
+
+(* keyed requests inside nested batch frames: the fast path the client
+   batcher ships — must survive the wire at every nesting depth *)
+let wire_keyed_in_nested_batch () =
+  let keyed seq key =
+    if seq mod 2 = 0 then W.Req { seq; op = W.Read_k { key } }
+    else W.Req { seq; op = W.Write_k { key; value = (seq * 1009) - 17 } }
+  in
+  let inner = List.init 5 (fun i -> keyed i (i * 7919)) in
+  let nested =
+    W.Batch
+      [
+        keyed 100 0;
+        W.Batch inner;
+        W.Batch [ W.Batch (List.init 3 (fun i -> keyed (200 + i) max_int)) ];
+      ]
+  in
+  Alcotest.(check bool) "nested keyed batch round-trips" true
+    (W.decode (W.encode nested) = Ok nested);
+  (* at the depth cap, still keyed *)
+  let rec wrap n m = if n = 0 then m else W.Batch [ wrap (n - 1) m ] in
+  let at_cap = wrap (W.max_batch_depth - 1) (W.Batch [ keyed 1 42 ]) in
+  Alcotest.(check bool) "keyed at depth cap round-trips" true
+    (W.decode (W.encode at_cap) = Ok at_cap);
+  (match W.decode (W.encode (wrap W.max_batch_depth (W.Batch [ keyed 1 42 ]))) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "over-deep keyed batch decoded");
+  (* a batch of keyed requests big enough to blow max_frame must be
+     refused at framing time, not shipped truncated *)
+  let huge =
+    W.Batch (List.init 1_100_000 (fun i -> keyed i i))
+  in
+  match W.frame ~src:0 huge with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized keyed batch framed"
+
+(* ------------------------------------------------------------------ *)
+(* Shard map                                                           *)
+
+let shard_map_basics () =
+  let m = Net.Shard_map.create ~shards:4 () in
+  Alcotest.(check int) "shards" 4 (Net.Shard_map.shards m);
+  (* global_reg / key_of_reg are inverse on the key part *)
+  for key = 0 to 100 do
+    for bit = 0 to Net.Shard_map.regs_per_key - 1 do
+      let g = Net.Shard_map.global_reg key bit in
+      Alcotest.(check int) "key recovered" key (Net.Shard_map.key_of_reg g)
+    done
+  done;
+  (* placement is total, in range, and deterministic *)
+  for key = 0 to 1000 do
+    let s = Net.Shard_map.shard_of_key m key in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "stable" s (Net.Shard_map.shard_of_key m key)
+  done;
+  (* every shard owns some keys (the mix actually spreads) *)
+  let hit = Array.make 4 0 in
+  for key = 0 to 255 do
+    let s = Net.Shard_map.shard_of_key m key in
+    hit.(s) <- hit.(s) + 1
+  done;
+  Array.iteri
+    (fun s n -> Alcotest.(check bool) (Fmt.str "shard %d populated" s) true (n > 0))
+    hit;
+  (* a single shard owns everything *)
+  let one = Net.Shard_map.create ~shards:1 () in
+  for key = 0 to 50 do
+    Alcotest.(check int) "single shard" 0 (Net.Shard_map.shard_of_key one key)
+  done
+
+let shard_map_groups () =
+  let replicas = [ 10; 11; 12; 13; 14 ] in
+  (* no group_size: every shard uses the whole pool *)
+  let m = Net.Shard_map.create ~shards:3 () in
+  for s = 0 to 2 do
+    Alcotest.(check (list int)) "whole pool" replicas
+      (Net.Shard_map.group m ~replicas s)
+  done;
+  (* group_size: a rotating window, distinct nodes, right size *)
+  let m3 = Net.Shard_map.create ~shards:5 ~group_size:3 () in
+  for s = 0 to 4 do
+    let g = Net.Shard_map.group m3 ~replicas s in
+    Alcotest.(check int) "window size" 3 (List.length g);
+    Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare g));
+    List.iter
+      (fun r -> Alcotest.(check bool) "from pool" true (List.mem r replicas))
+      g
+  done;
+  (match Net.Shard_map.create ~shards:0 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "zero shards accepted");
+  match Net.Shard_map.global_reg (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative key accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Replica                                                             *)
@@ -159,7 +267,24 @@ let replica_monotone () =
    | _ -> Alcotest.fail "bad query reply");
   (* duplicate store is idempotent *)
   ignore (store 4 5 50);
-  Alcotest.(check int) "ts stays" 5 (fst (Net.Replica.contents r).(0))
+  Alcotest.(check int) "ts stays" 5 (fst (Net.Replica.lookup_reg r 0))
+
+let replica_open_keyspace () =
+  (* registers materialize lazily: any index stores and reads back,
+     untouched indices read as the initial pair *)
+  let r = Net.Replica.create ~init:7 () in
+  let ts, p = Net.Replica.lookup_reg r 1234 in
+  Alcotest.(check int) "untouched ts" 0 ts;
+  Alcotest.(check int) "untouched value" 7 (Registers.Tagged.v p);
+  let g = Net.Shard_map.global_reg 617 0 in
+  ignore
+    (Net.Replica.handle r ~src:1 (W.Store { rid = 1; reg = g; ts = 3; pl = pl 99 true }));
+  (match Net.Replica.handle r ~src:1 (W.Query { rid = 2; reg = g }) with
+   | [ (1, W.Query_reply { ts = 3; pl = p; _ }) ] ->
+     Alcotest.(check int) "stored far key" 99 (Registers.Tagged.v p)
+   | _ -> Alcotest.fail "far key not served");
+  Alcotest.(check int) "only one register materialized" 1
+    (List.length (Net.Replica.contents r))
 
 let replica_batch () =
   let r = Net.Replica.create ~init:0 () in
@@ -311,6 +436,73 @@ let sim_random_schedules =
       && o.Net.Sim_run.completed = o.Net.Sim_run.expected)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded keyspace                                                    *)
+
+let check_sharded ~what (o : Net.Sim_run.outcome) =
+  (match o.key_violations with
+   | [] -> ()
+   | (k, v) :: _ ->
+     Alcotest.failf "%s: live audit violation on key %d: %s" what k v);
+  List.iter
+    (fun (k, ok) ->
+      Alcotest.(check bool) (Fmt.str "%s: key %d atomic" what k) true ok)
+    o.key_fastcheck;
+  Alcotest.(check int) (what ^ ": all ops completed") o.expected o.completed
+
+let sim_sharded () =
+  (* every key's history must be atomic, for each shard count *)
+  List.iter
+    (fun shards ->
+      let o =
+        Net.Sim_run.run ~shards ~window:8 ~seed:13 ~init:0
+          ~processes:(spec ~readers:2 ~writes:6 ~reads:9) ()
+      in
+      check_sharded ~what:(Fmt.str "shards %d" shards) o;
+      Alcotest.(check int)
+        (Fmt.str "shards %d: every key audited" shards)
+        shards
+        (List.length o.key_fastcheck))
+    [ 1; 2; 4; 8 ]
+
+let sim_sharded_faults () =
+  (* the model-check, sharded: drops, duplication, a replica crash *)
+  for seed = 0 to 4 do
+    let o =
+      Net.Sim_run.run ~shards:4 ~window:8
+        ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
+        ~crash_replica:(2, 40.0) ~seed ~init:0
+        ~processes:(spec ~readers:2 ~writes:4 ~reads:6) ()
+    in
+    check_sharded ~what:(Fmt.str "sharded faults seed %d" seed) o
+  done
+
+let sim_sharded_deterministic () =
+  let go () =
+    Net.Sim_run.run ~shards:4
+      ~faults:(Net.Sim_net.lossy ~drop:0.2 ~duplicate:0.1 ())
+      ~seed:17 ~init:0
+      ~processes:(spec ~readers:2 ~writes:3 ~reads:4) ()
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "same history" true
+    (a.Net.Sim_run.history = b.Net.Sim_run.history);
+  Alcotest.(check int) "same steps" a.Net.Sim_run.steps b.Net.Sim_run.steps
+
+let sim_shard_metrics () =
+  (* per-shard counters must account for exactly the served ops *)
+  let metrics = Net.Metrics.create () in
+  let o =
+    Net.Sim_run.run ~shards:4 ~metrics ~window:8 ~seed:3 ~init:0
+      ~processes:(spec ~readers:2 ~writes:4 ~reads:6) ()
+  in
+  let g = Net.Metrics.get metrics in
+  let per_shard = List.init 4 (fun s -> g (Fmt.str "shard%d_ops" s)) in
+  Alcotest.(check int) "shard ops sum to served ops" o.Net.Sim_run.completed
+    (List.fold_left ( + ) 0 per_shard);
+  Alcotest.(check bool) "more than one shard saw traffic" true
+    (List.length (List.filter (fun n -> n > 0) per_shard) > 1)
+
+(* ------------------------------------------------------------------ *)
 (* Metrics and tracing                                                 *)
 
 let sim_metrics_reconcile () =
@@ -400,7 +592,7 @@ let audit_catches_corruption () =
 (* ------------------------------------------------------------------ *)
 (* Socket transport                                                    *)
 
-let socket_cluster () =
+let socket_cluster ?map () =
   let net = Net.Socket_net.create () in
   let tr = Net.Socket_net.transport net in
   let replicas = [ 0; 1; 2 ] in
@@ -414,7 +606,7 @@ let socket_cluster () =
     replicas;
   let server =
     Net.Server.create ~transport:tr ~audit:true
-      ~metrics:(Net.Socket_net.metrics net) ~me:Net.Transport.server
+      ~metrics:(Net.Socket_net.metrics net) ?map ~me:Net.Transport.server
       ~replicas ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
@@ -581,6 +773,80 @@ let socket_stats_over_wire () =
   Net.Client.close c0;
   Net.Socket_net.shutdown net
 
+let socket_keyed_workload () =
+  (* the sharded service over real sockets: windowed keyed scripts from
+     concurrent writers + readers, every per-key audit must accept *)
+  let nkeys = 6 in
+  let net, server =
+    socket_cluster ~map:(Net.Shard_map.create ~shards:4 ()) ()
+  in
+  let keyed proc script =
+    List.mapi (fun i op -> (i mod nkeys, op)) script
+    |> fun s -> (proc, s)
+  in
+  let workloads =
+    List.map
+      (fun { Registers.Vm.proc; script } -> keyed proc script)
+      (spec ~readers:2 ~writes:6 ~reads:9)
+  in
+  let threads =
+    List.map
+      (fun (proc, script) ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc ()
+            in
+            ignore (Net.Client.run_keyed ~window:8 c script);
+            Net.Client.close c)
+          ())
+      workloads
+  in
+  List.iter Thread.join threads;
+  let violations = Net.Server.violations server in
+  let keys = Net.Server.keys server in
+  let keyed_history = Net.Server.keyed_history server in
+  Net.Socket_net.shutdown net;
+  (match violations with
+   | [] -> ()
+   | (k, v) :: _ ->
+     Alcotest.failf "key %d live audit: %a" k
+       (Histories.Fastcheck.pp_violation Fmt.int)
+       v);
+  Alcotest.(check int) "all keys touched" nkeys (List.length keys);
+  (* per-key post-hoc verification of the served histories *)
+  List.iter
+    (fun key ->
+      let h =
+        List.filter_map
+          (fun (k, e) -> if k = key then Some e else None)
+          keyed_history
+      in
+      let ops = Histories.Operation.of_events_exn h in
+      match Histories.Fastcheck.check_unique ~init:0 ops with
+      | Histories.Fastcheck.Atomic _ -> ()
+      | Histories.Fastcheck.Violation v ->
+        Alcotest.failf "key %d fastcheck: %a" key
+          (Histories.Fastcheck.pp_violation Fmt.int)
+          v)
+    keys
+
+let socket_keyed_single_ops () =
+  let net, _server =
+    socket_cluster ~map:(Net.Shard_map.create ~shards:4 ()) ()
+  in
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
+  Net.Client.write_k c0 ~key:3 33;
+  Net.Client.write_k c0 ~key:5 55;
+  Alcotest.(check int) "key 3 isolated" 33 (Net.Client.read_k c2 ~key:3);
+  Alcotest.(check int) "key 5 isolated" 55 (Net.Client.read_k c2 ~key:5);
+  Alcotest.(check int) "untouched key reads init" 0
+    (Net.Client.read_k c2 ~key:11);
+  Net.Client.close c0;
+  Net.Client.close c2;
+  Net.Socket_net.shutdown net
+
 let socket_rejects_rogue_writer () =
   let net, _server = socket_cluster () in
   let c5 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:5 () in
@@ -597,9 +863,13 @@ let suite =
     tc "wire: oversized frame rejected" wire_oversized_frame;
     tc "wire: batch depth capped" wire_batch_depth;
     tc "wire: boundary values round-trip" wire_boundary_values;
+    tc "wire: keyed ops in nested batches" wire_keyed_in_nested_batch;
     QCheck_alcotest.to_alcotest wire_roundtrip;
     QCheck_alcotest.to_alcotest wire_decode_total;
+    tc "shard map: placement" shard_map_basics;
+    tc "shard map: replica groups" shard_map_groups;
     tc "replica: monotone timestamps" replica_monotone;
+    tc "replica: open keyspace" replica_open_keyspace;
     tc "replica: batches" replica_batch;
     tc "sim: reliable run" sim_reliable;
     tc_slow "sim: fault-schedule sweep" sim_fault_sweep;
@@ -609,6 +879,10 @@ let suite =
     tc "sim: partition then heal" sim_partition_heals;
     tc "sim: deterministic replay" sim_deterministic;
     QCheck_alcotest.to_alcotest sim_random_schedules;
+    tc "sim: sharded keyspace atomic per key" sim_sharded;
+    tc_slow "sim: sharded under faults + crash" sim_sharded_faults;
+    tc "sim: sharded deterministic" sim_sharded_deterministic;
+    tc "sim: per-shard counters reconcile" sim_shard_metrics;
     tc "metrics: sim frame fates reconcile" sim_metrics_reconcile;
     tc "trace: ring wraps" trace_ring_wraps;
     tc "trace: dump, parse back, re-check" sim_trace_replay;
@@ -616,6 +890,8 @@ let suite =
     tc_slow "socket: served workload atomic" socket_smoke;
     tc_slow "socket: replica crash mid-run" socket_replica_crash;
     tc_slow "socket: reconnect with same proc" socket_reconnect_same_proc;
+    tc_slow "socket: keyed workload atomic per key" socket_keyed_workload;
+    tc "socket: keyed single ops" socket_keyed_single_ops;
     tc "socket: rogue writer rejected" socket_rejects_rogue_writer;
     tc "socket: timer for gone node dropped" socket_timer_unregistered_dropped;
     tc_slow "socket: stalled peer does not block the transport"
