@@ -812,6 +812,78 @@ let bench_net_metrics () =
      replica per round + client req/resp)@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Schedule exploration: how fast the adversary enumerates, how much   *)
+(* sleep-set pruning buys, how quickly the broken variant is caught    *)
+(* (BENCH_004.json tracks this).                                       *)
+
+let bench_net_explore () =
+  section "net/explore - systematic schedule exploration of the service";
+  let pf = Fmt.pr in
+  let w v = Histories.Event.Write v in
+  let r = Histories.Event.Read in
+  let proc p script = { Registers.Vm.proc = p; script } in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Float.max 1e-9 (Unix.gettimeofday () -. t0))
+  in
+  (* --- exhaustive enumeration rate, with and without pruning --- *)
+  let leg ~label ~prune processes =
+    let cfg = Net.Explore.config ~replicas:1 ~prune ~processes () in
+    let res, dt = timed (fun () -> Net.Explore.explore cfg) in
+    let s = res.Net.Explore.stats in
+    let rate = float_of_int s.Modelcheck.Schedule.schedules /. dt in
+    Json.metric ~section:"net-explore" (label ^ " schedules") 
+      (float_of_int s.Modelcheck.Schedule.schedules);
+    Json.metric ~section:"net-explore" (label ^ " schedules per s") rate;
+    pf "  %-28s %6d schedules %9.0f /s  depth <= %-3d %s@." label
+      s.Modelcheck.Schedule.schedules rate
+      s.Modelcheck.Schedule.max_depth_seen
+      (if s.Modelcheck.Schedule.exhausted then "exhausted" else "cut off");
+    s.Modelcheck.Schedule.schedules
+  in
+  let two_writers = [ proc 0 [ w 7 ]; proc 1 [ w 9 ] ] in
+  let pruned = leg ~label:"2 writers, pruned" ~prune:true two_writers in
+  let full = leg ~label:"2 writers, no pruning" ~prune:false two_writers in
+  Json.metric ~section:"net-explore" "pruning leverage x"
+    (float_of_int full /. float_of_int (max 1 pruned));
+  pf "  pruning leverage: %.2fx fewer schedules@."
+    (float_of_int full /. float_of_int (max 1 pruned));
+  ignore
+    (leg ~label:"writer + reader, pruned" ~prune:true
+       [ proc 0 [ w 7 ]; proc 2 [ r ] ]);
+  (* --- broken read quorum: time to find + shrink the violation --- *)
+  let broken =
+    Net.Explore.config ~replicas:3 ~read_quorum:1
+      ~processes:[ proc 0 [ w 1001 ]; proc 1 [ w 2001 ]; proc 2 [ r; r ] ]
+      ()
+  in
+  let res, dt = timed (fun () -> Net.Explore.hunt ~seed:42 broken) in
+  (match res.Net.Explore.counterexample with
+   | None -> pf "  broken read quorum: NOT caught (bug!)@."
+   | Some ce ->
+     let walks = res.Net.Explore.stats.Modelcheck.Schedule.schedules in
+     Json.metric ~section:"net-explore" "broken-quorum walks to violation"
+       (float_of_int walks);
+     Json.metric ~section:"net-explore" "broken-quorum s to violation" dt;
+     pf "  broken read quorum caught in %d walks (%.2fs)@." walks dt;
+     let (_, ce'), sdt = timed (fun () -> Net.Explore.shrink broken ce) in
+     Json.metric ~section:"net-explore" "shrink s" sdt;
+     pf "  shrunk %d -> %d choices (%.2fs)@."
+       (List.length ce.Net.Explore.schedule)
+       (List.length ce'.Net.Explore.schedule)
+       sdt);
+  (* --- torture throughput --- *)
+  let rep, dt = timed (fun () -> Net.Explore.torture ~runs:300 ~seed:9 ()) in
+  let rate = float_of_int rep.Net.Explore.runs /. dt in
+  Json.metric ~section:"net-explore" "torture runs per s" rate;
+  Json.metric ~section:"net-explore" "torture ops per s"
+    (float_of_int rep.Net.Explore.ops_completed /. dt);
+  pf "  torture: %d runs %6.0f runs/s, %d ops, %d violations, %d stalls@.@."
+    rep.Net.Explore.runs rate rep.Net.Explore.ops_completed
+    rep.Net.Explore.violations rep.Net.Explore.stalled
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
 
 let make_trace n_ops =
@@ -1005,6 +1077,7 @@ let all_sections =
     ("net", bench_net);
     ("net-shard", bench_net_shard);
     ("net-metrics", bench_net_metrics);
+    ("net-explore", bench_net_explore);
     ("micro", run_micro);
   ]
 

@@ -1,9 +1,19 @@
 (* Exhaustive bounded model checking from the command line.
 
-     modelcheck --protocol bloom --writes 2 --readers 2 --reads 1
-     modelcheck --protocol tournament
-     modelcheck --protocol timestamp --writers 3
-     modelcheck --protocol bloom --invariant lemmas *)
+     mcheck --protocol bloom --writes 2 --readers 2 --reads 1
+     mcheck --protocol tournament
+     mcheck --protocol timestamp --writers 3
+     mcheck --protocol bloom --invariant lemmas
+
+   The [net] subcommand turns the same idea on the message-passing
+   service: enumerate (or randomly walk, or torture) delivery
+   schedules of the simulated cluster and audit each one.
+
+     mcheck net --replicas 1 --readers 0 --expect-exhausted
+     mcheck net --replicas 3 --broken-read-quorum --readers 1 --reads 2 \
+       --hunt --expect-violation --dump ce.jsonl
+     mcheck net --replay ce.jsonl --expect-violation
+     mcheck net --torture --runs 200 *)
 
 module Vm = Registers.Vm
 module E = Modelcheck.Explorer
@@ -131,6 +141,102 @@ let run protocol writes reads writers readers invariant =
       v.E.trace_events;
     1
 
+(* ------------------------------------------------------------------ *)
+(* mcheck net: schedule exploration of the message-passing service.    *)
+
+module X = Net.Explore
+module S = Modelcheck.Schedule
+
+let run_net replicas keys window writes readers reads broken crashes
+    max_schedules max_depth no_prune fastcheck hunt walks seed torture runs
+    dump replay expect_violation expect_exhausted =
+  let finish ~violated =
+    if violated = expect_violation then 0
+    else begin
+      Fmt.epr "verdict mismatch: violation found = %b, expected %b@." violated
+        expect_violation;
+      1
+    end
+  in
+  match replay with
+  | Some file ->
+    let _cfg, sched, o = X.replay_file ~file in
+    let violated = o.Net.Sim_run.key_violations <> [] in
+    Fmt.pr "replayed %s: %d choices, %d/%d ops completed, %s@." file
+      (List.length sched) o.Net.Sim_run.completed o.Net.Sim_run.expected
+      (if violated then "violation reproduced" else "no violation");
+    List.iter
+      (fun (k, m) -> Fmt.pr "  key %d: %s@." k m)
+      o.Net.Sim_run.key_violations;
+    finish ~violated
+  | None ->
+    if torture then begin
+      let t0 = Unix.gettimeofday () in
+      let rep = X.torture ~runs ?dump ~seed () in
+      let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+      Fmt.pr
+        "torture: %d runs, %d ops completed, %d violations, %d stalls \
+         (%.2fs, %.0f runs/s)@."
+        rep.X.runs rep.X.ops_completed rep.X.violations rep.X.stalled dt
+        (float_of_int rep.X.runs /. dt);
+      (match rep.X.first_failure with
+       | Some (i, m) -> Fmt.pr "first failure: run %d: %s@." i m
+       | None -> ());
+      finish ~violated:(rep.X.violations > 0 || rep.X.stalled > 0)
+    end
+    else begin
+      let processes =
+        scripts ~writer_procs:[ 0; 1 ] ~writes
+          ~reader_procs:(List.init readers (fun i -> i + 2))
+          ~reads
+        |> List.filter (fun p -> p.Vm.script <> [])
+      in
+      let cfg =
+        X.config ~replicas ~keys ~window
+          ?read_quorum:(if broken then Some 1 else None)
+          ~crashable:(if crashes > 0 then List.init replicas Fun.id else [])
+          ~max_crashes:crashes ?max_schedules ~max_depth
+          ~prune:(not no_prune) ~fastcheck ~processes ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let res = if hunt then X.hunt ~walks ~seed cfg else X.explore cfg in
+      let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+      let s = res.X.stats in
+      Fmt.pr
+        "%s: %d schedules, %d transitions, %d pruned, depth <= %d%s \
+         (%.2fs, %.0f schedules/s)@."
+        (if hunt then "hunt" else "explore")
+        s.S.schedules s.S.transitions s.S.pruned s.S.max_depth_seen
+        (if s.S.exhausted then ", exhausted" else "")
+        dt
+        (float_of_int s.S.schedules /. dt);
+      if expect_exhausted && not s.S.exhausted then begin
+        Fmt.epr "state space not exhausted (raise --max-schedules?)@.";
+        2
+      end
+      else
+        match res.X.counterexample with
+        | None ->
+          Fmt.pr "every explored schedule is atomic@.";
+          finish ~violated:false
+        | Some ce ->
+          Fmt.pr "VIOLATION (schedule of %d choices): key %d: %s@."
+            (List.length ce.X.schedule) ce.X.key ce.X.message;
+          (match dump with
+           | None -> ()
+           | Some file ->
+             let cfg', ce' = X.shrink cfg ce in
+             X.save ~file cfg' ce';
+             let ops =
+               List.fold_left
+                 (fun n p -> n + List.length p.Vm.script)
+                 0 cfg'.X.processes
+             in
+             Fmt.pr "shrunk to %d choices over %d ops; wrote %s@."
+               (List.length ce'.X.schedule) ops file);
+          finish ~violated:true
+    end
+
 open Cmdliner
 
 let protocol_enum =
@@ -157,9 +263,104 @@ let invariant =
            ~doc:"Also check lemmas 1-2 and the certifier on every execution \
                  (bloom only).")
 
-let cmd =
+let shm_term =
+  Term.(const run $ protocol $ writes $ reads $ writers $ readers $ invariant)
+
+let net_cmd =
+  let replicas =
+    Arg.(value & opt int 3
+         & info [ "replicas" ] ~doc:"Replica count (1 for exhaustive runs).")
+  in
+  let keys =
+    Arg.(value & opt int 1 & info [ "keys" ] ~doc:"Registers in the keyspace.")
+  in
+  let window =
+    Arg.(value & opt int 4 & info [ "window" ] ~doc:"Client pipelining window.")
+  in
+  let writes =
+    Arg.(value & opt int 1 & info [ "writes" ] ~doc:"Writes per writer (2 writers).")
+  in
+  let readers = Arg.(value & opt int 1 & info [ "readers" ] ~doc:"Readers.") in
+  let reads = Arg.(value & opt int 1 & info [ "reads" ] ~doc:"Reads per reader.") in
+  let broken =
+    Arg.(value & flag
+         & info [ "broken-read-quorum" ]
+             ~doc:"Deliberately break the protocol: collect from a read \
+                   quorum of 1 instead of a majority.")
+  in
+  let crashes =
+    Arg.(value & opt int 0
+         & info [ "crashes" ]
+             ~doc:"Let the adversary crash up to this many replicas.")
+  in
+  let max_schedules =
+    Arg.(value & opt (some int) None
+         & info [ "max-schedules" ] ~doc:"Leaf budget for exploration.")
+  in
+  let max_depth =
+    Arg.(value & opt int 2000 & info [ "max-depth" ] ~doc:"Schedule length cap.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ] ~doc:"Disable sleep-set pruning.")
+  in
+  let fastcheck =
+    Arg.(value & flag
+         & info [ "fastcheck" ]
+             ~doc:"Re-check every leaf history post hoc as well as with the \
+                   live monitor.")
+  in
+  let hunt =
+    Arg.(value & flag
+         & info [ "hunt" ]
+             ~doc:"Random schedule walks instead of exhaustive enumeration.")
+  in
+  let walks =
+    Arg.(value & opt int 2000 & info [ "walks" ] ~doc:"Walks for --hunt.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let torture =
+    Arg.(value & flag
+         & info [ "torture" ]
+             ~doc:"Seeded randomized crash/partition/restart hammering \
+                   instead of exploration.")
+  in
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Runs for --torture.")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"On violation, shrink the counterexample and write a \
+                   replayable trace artifact to $(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a dumped artifact and report its verdict.")
+  in
+  let expect_violation =
+    Arg.(value & flag
+         & info [ "expect-violation" ]
+             ~doc:"Exit 0 iff a violation is found (regression mode for \
+                   deliberately broken variants).")
+  in
+  let expect_exhausted =
+    Arg.(value & flag
+         & info [ "expect-exhausted" ]
+             ~doc:"Fail unless the state space was fully enumerated.")
+  in
   Cmd.v
+    (Cmd.info "net"
+       ~doc:"Explore delivery schedules of the simulated register service")
+    Term.(const run_net $ replicas $ keys $ window $ writes $ readers $ reads
+          $ broken $ crashes $ max_schedules $ max_depth $ no_prune
+          $ fastcheck $ hunt $ walks $ seed $ torture $ runs $ dump $ replay
+          $ expect_violation $ expect_exhausted)
+
+let cmd =
+  Cmd.group ~default:shm_term
     (Cmd.info "mcheck" ~doc:"Exhaustively model-check register protocols")
-    Term.(const run $ protocol $ writes $ reads $ writers $ readers $ invariant)
+    [ net_cmd ]
 
 let () = exit (Cmd.eval' cmd)

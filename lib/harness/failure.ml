@@ -1,5 +1,63 @@
 module Vm = Registers.Vm
 
+(* Fault schedules for the message-passing service.  Nodes are plain
+   ints ({!Transport.node} values) because harness sits below net in
+   the dependency order. *)
+type net_fate =
+  | Crash of int
+  | Restart of int
+  | Partition of int list * int list
+  | Heal
+
+let pp_net_fate ppf = function
+  | Crash r -> Fmt.pf ppf "crash %d" r
+  | Restart r -> Fmt.pf ppf "restart %d" r
+  | Partition (a, b) ->
+    Fmt.pf ppf "partition [%a|%a]" Fmt.(list ~sep:comma int) a
+      Fmt.(list ~sep:comma int) b
+  | Heal -> Fmt.string ppf "heal"
+
+let random_net_fates ~rng ~replicas ~server ~span ?max_crashes () =
+  let n = List.length replicas in
+  let minority = (n - 1) / 2 in
+  let max_crashes =
+    match max_crashes with None -> minority | Some m -> min m minority
+  in
+  let t_in lo hi = lo +. Random.State.float rng (Float.max epsilon_float (hi -. lo)) in
+  let fates = ref [] in
+  (* crashes: distinct victims, never more than a minority in total, so
+     every quorum stays reachable and the run must complete *)
+  let victims =
+    List.filteri (fun i _ -> i < max_crashes)
+      (List.sort
+         (fun _ _ -> if Random.State.bool rng then 1 else -1)
+         replicas)
+  in
+  let crashes = if victims = [] then 0 else Random.State.int rng (List.length victims + 1) in
+  List.iteri
+    (fun i r ->
+      if i < crashes then begin
+        let tc = t_in 0.0 (span *. 0.8) in
+        fates := (tc, Crash r) :: !fates;
+        if Random.State.bool rng then
+          fates := (t_in tc span, Restart r) :: !fates
+      end)
+    victims;
+  (* at most one partition window, always healed before [span] *)
+  if n >= 2 && Random.State.bool rng then begin
+    let cut =
+      List.filter (fun _ -> Random.State.bool rng) replicas
+    in
+    let cut = if cut = [] || List.length cut = n then [ List.hd replicas ] else cut in
+    let rest =
+      server :: List.filter (fun r -> not (List.mem r cut)) replicas
+    in
+    let t0 = t_in 0.0 (span *. 0.7) in
+    let t1 = t_in t0 span in
+    fates := (t0, Partition (cut, rest)) :: (t1, Heal) :: !fates
+  end;
+  List.sort (fun (a, _) (b, _) -> Float.compare a b) !fates
+
 type write_fate =
   | Never_happened
   | Took_effect

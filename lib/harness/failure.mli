@@ -5,6 +5,38 @@
     Built on {!Registers.Run_coarse}'s crash injection: a processor is
     killed after its k-th primitive access and never acknowledges. *)
 
+(** {2 Network fault schedules}
+
+    Timed fate schedules for the message-passing service's torture
+    harness.  Nodes are plain ints (the transport node numbers) because
+    harness sits below net in the library order; net's [Sim_run]
+    interprets them. *)
+
+type net_fate =
+  | Crash of int  (** replica stops receiving (state retained) *)
+  | Restart of int  (** undo a crash — restart from stable storage *)
+  | Partition of int list * int list  (** sever links between groups *)
+  | Heal  (** remove the active partition *)
+
+val pp_net_fate : net_fate Fmt.t
+
+val random_net_fates :
+  rng:Random.State.t ->
+  replicas:int list ->
+  server:int ->
+  span:float ->
+  ?max_crashes:int ->
+  unit ->
+  (float * net_fate) list
+(** A random liveness-preserving fate schedule over virtual-time
+    window [[0, span]], sorted by time: at most [max_crashes] (default
+    and hard cap: a minority of [replicas]) distinct replicas crash —
+    each possibly restarting later — and at most one partition window
+    cuts a subset of replicas from the rest and the [server], always
+    healed within the window.  Under such a schedule every quorum
+    operation can eventually complete, so a harness may assert both
+    atomicity {e and} completion. *)
+
 type write_fate =
   | Never_happened  (** crashed before its real write *)
   | Took_effect  (** crashed at/after its real write *)

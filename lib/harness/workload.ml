@@ -33,6 +33,14 @@ let random_scripts ~seed ~procs ~ops_each ~writer =
       in
       { Registers.Vm.proc = p; script })
 
+let random_spec ~rng ?(max_readers = 3) ?(max_ops = 8) () =
+  {
+    writers = 2;
+    readers = 1 + Random.State.int rng max_readers;
+    writes_each = 1 + Random.State.int rng max_ops;
+    reads_each = 1 + Random.State.int rng max_ops;
+  }
+
 let values_written processes =
   List.concat_map
     (fun (p : int Registers.Vm.process) ->

@@ -23,4 +23,11 @@ val random_scripts :
     only read.  Operation counts are exactly [ops_each] per
     processor. *)
 
+val random_spec :
+  rng:Random.State.t -> ?max_readers:int -> ?max_ops:int -> unit -> spec
+(** A random small workload shape for torture runs: always the two
+    writer roles, [1 .. max_readers] readers (default cap 3), and
+    [1 .. max_ops] writes/reads per processor (default cap 8).  Feed to
+    {!unique_scripts} so the unique-value checkers apply. *)
+
 val values_written : int Registers.Vm.process list -> int list

@@ -1,0 +1,597 @@
+module E = Histories.Event
+module Vm = Registers.Vm
+module Sched = Modelcheck.Schedule
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  replicas : int;
+  processes : int Vm.process list;
+  keys : int;
+  window : int;
+  init : int;
+  read_quorum : int option;
+  crashable : int list;
+  max_crashes : int;
+  cuts : (int list * int list) list;
+  max_partitions : int;
+  max_timer_fires : int;
+  max_depth : int;
+  max_schedules : int;
+  prune : bool;
+  fastcheck : bool;
+}
+
+let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0) ?read_quorum
+    ?(crashable = []) ?(max_crashes = 0) ?(cuts = []) ?(max_partitions = 0)
+    ?(max_timer_fires = 64) ?(max_depth = 2_000) ?(max_schedules = max_int)
+    ?(prune = true) ?(fastcheck = false) ~processes () =
+  {
+    replicas;
+    processes;
+    keys;
+    window;
+    init;
+    read_quorum;
+    crashable;
+    max_crashes = (if crashable = [] then 0 else max_crashes);
+    cuts;
+    max_partitions = (if cuts = [] then 0 else max_partitions);
+    max_timer_fires;
+    max_depth;
+    max_schedules;
+    prune;
+    fastcheck;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The system presented to the generic explorer                        *)
+
+type action =
+  | Fire of int  (* index into the Sim_net.pending snapshot *)
+  | Crash_r of int
+  | Cut of int  (* index into cfg.cuts *)
+  | Heal_cut
+
+type st = {
+  cfg : config;
+  cl : Sim_run.cluster;
+  mutable crashes_left : int;
+  mutable cuts_left : int;
+  mutable cut_active : bool;
+  mutable timer_budget : int;
+  mutable actions : action array;  (* choice table of the last [enabled] *)
+}
+
+let reset ?trace cfg =
+  let cl =
+    Sim_run.build ~faults:Sim_net.reliable ~replicas:cfg.replicas
+      ~window:cfg.window ~keys:cfg.keys ?read_quorum:cfg.read_quorum ?trace
+      ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
+  in
+  {
+    cfg;
+    cl;
+    crashes_left = cfg.max_crashes;
+    cuts_left = cfg.max_partitions;
+    cut_active = false;
+    timer_budget = cfg.max_timer_fires;
+    actions = [||];
+  }
+
+(* Timers are not branch points: the adversary's power is the delivery
+   order, so timers fire deterministically (earliest first) and only
+   when no delivery is pending — "a timeout happens only when the
+   system is stalled".  [max_timer_fires] bounds retransmission loops
+   (a partitioned server would otherwise re-arm forever); when the
+   budget runs out a stalled state becomes a leaf, whose prefix history
+   the audits still cover.  Deliveries to crashed nodes (crashes are
+   permanent within an exploration — restart is a torture-mode fate)
+   and dead nodes' timers are no-ops, so they are drained off the queue
+   without branching. *)
+let rec pump st =
+  let net = st.cl.Sim_run.net in
+  let pend = Sim_net.pending net in
+  let noop p =
+    Sim_net.(not (alive net p.dst)) && (not p.timer || p.src >= 0)
+  in
+  match List.find_opt noop pend with
+  | Some p ->
+    ignore (Sim_net.fire net p.Sim_net.idx);
+    pump st
+  | None ->
+    let deliveries = List.filter (fun p -> not p.Sim_net.timer) pend in
+    if deliveries <> [] then deliveries
+    else begin
+      match List.find_opt (fun p -> p.Sim_net.timer) pend with
+      | Some p when st.timer_budget > 0 ->
+        st.timer_budget <- st.timer_budget - 1;
+        ignore (Sim_net.fire net p.Sim_net.idx);
+        pump st
+      | _ -> []
+    end
+
+(* Fates are conservatively dependent on everything (node -1): a crash
+   or cut changes which sends get through globally, so we never prune
+   across them. *)
+let enabled st =
+  let deliveries = pump st in
+  let acts = ref [] and keys = ref [] in
+  let push a k =
+    acts := a :: !acts;
+    keys := k :: !keys
+  in
+  List.iter
+    (fun p ->
+      (* seq is a stable, replay-deterministic identity for the message
+         — cheap, and exactly as precise as the payload for sleep-set
+         membership *)
+      push (Fire p.Sim_net.idx)
+        { Sched.node = p.Sim_net.dst; tag = string_of_int p.Sim_net.seq })
+    deliveries;
+  if deliveries <> [] then begin
+    if st.crashes_left > 0 then
+      List.iter
+        (fun r ->
+          if Sim_net.alive st.cl.Sim_run.net r then
+            push (Crash_r r) { Sched.node = -1; tag = Fmt.str "crash%d" r })
+        st.cfg.crashable;
+    if (not st.cut_active) && st.cuts_left > 0 then
+      List.iteri
+        (fun i _ -> push (Cut i) { Sched.node = -1; tag = Fmt.str "cut%d" i })
+        st.cfg.cuts
+  end;
+  (* a heal is offered even when stalled — it is the only way a
+     partitioned run resumes *)
+  if st.cut_active then push Heal_cut { Sched.node = -1; tag = "heal" };
+  st.actions <- Array.of_list (List.rev !acts);
+  List.rev !keys
+
+let apply st i =
+  match st.actions.(i) with
+  | Fire idx -> ignore (Sim_net.fire st.cl.Sim_run.net idx)
+  | Crash_r r ->
+    st.crashes_left <- st.crashes_left - 1;
+    Sim_net.crash st.cl.Sim_run.net r
+  | Cut c ->
+    st.cuts_left <- st.cuts_left - 1;
+    st.cut_active <- true;
+    let a, b = List.nth st.cfg.cuts c in
+    Sim_net.partition st.cl.Sim_run.net a b
+  | Heal_cut ->
+    st.cut_active <- false;
+    Sim_net.heal st.cl.Sim_run.net
+
+let system ?trace cfg =
+  { Sched.reset = (fun () -> reset ?trace cfg); enabled; apply }
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+
+let verdict st =
+  let server = st.cl.Sim_run.server in
+  match Server.violations server with
+  | (key, v) :: _ ->
+    Some (key, Fmt.str "%a" (Histories.Fastcheck.pp_violation Fmt.int) v)
+  | [] ->
+    if st.cfg.fastcheck then
+      let keyed = Server.keyed_history server in
+      match
+        List.find_opt
+          (fun (_, ok) -> not ok)
+          (Sim_run.fastcheck_by_key ~init:st.cfg.init keyed)
+      with
+      | Some (key, _) -> Some (key, "post-hoc fastcheck rejects")
+      | None -> None
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+
+type counterexample = { schedule : int list; key : int; message : string }
+
+type result = { stats : Sched.stats; counterexample : counterexample option }
+
+let explore cfg =
+  let found = ref None in
+  let stats =
+    Sched.explore ~max_schedules:cfg.max_schedules ~max_depth:cfg.max_depth
+      ~prune:cfg.prune (system cfg)
+      ~on_leaf:(fun st schedule ->
+        match verdict st with
+        | Some (key, message) ->
+          found := Some { schedule; key; message };
+          `Stop
+        | None -> `Continue)
+  in
+  { stats; counterexample = !found }
+
+(* Seeded random schedule walks: the complement of the exhaustive DFS.
+   Depth-first backtracking varies the end of the schedule first, so a
+   bug that needs an early event held back (a store starved past a
+   later query) sits exponentially far from the first leaf; a uniform
+   random walk reorders everywhere at once and stumbles on such races
+   within a few hundred walks.  Every walk is replayable: its recorded
+   choice indices are exact. *)
+let hunt ?(walks = 2_000) ~seed cfg =
+  let found = ref None in
+  let transitions = ref 0 in
+  let deepest = ref 0 in
+  let walks_done = ref 0 in
+  (try
+     for w = 0 to walks - 1 do
+       incr walks_done;
+       let rng = Random.State.make [| seed; w; 0x68756e74 |] in
+       let st = reset cfg in
+       let sched_rev = ref [] in
+       let continue = ref true in
+       let depth = ref 0 in
+       while !continue && !depth < cfg.max_depth do
+         match enabled st with
+         | [] -> continue := false
+         | keys ->
+           let i = Random.State.int rng (List.length keys) in
+           apply st i;
+           sched_rev := i :: !sched_rev;
+           incr transitions;
+           incr depth
+       done;
+       if !depth > !deepest then deepest := !depth;
+       match verdict st with
+       | Some (key, message) ->
+         found := Some { schedule = List.rev !sched_rev; key; message };
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  {
+    stats =
+      {
+        Sched.schedules = !walks_done;
+        transitions = !transitions;
+        pruned = 0;
+        max_depth_seen = !deepest;
+        exhausted = false;
+      };
+    counterexample = !found;
+  }
+
+(* Loose replay: out-of-range indices are skipped, so any int list is a
+   valid (deterministic) schedule — that totality is what lets ddmin
+   chop schedules freely.  After the explicit prefix the run is driven
+   to quiescence with the default choice (earliest event), bounded by
+   [max_depth]. *)
+let replay ?trace ?(tail = true) cfg schedule =
+  let st = reset ?trace cfg in
+  let steps = ref 0 in
+  List.iter
+    (fun i ->
+      let n = List.length (enabled st) in
+      if i >= 0 && i < n then begin
+        apply st i;
+        incr steps
+      end)
+    schedule;
+  if tail then begin
+    let continue = ref true in
+    while !continue && !steps < cfg.max_depth do
+      match enabled st with
+      | [] -> continue := false
+      | _ ->
+        apply st 0;
+        incr steps
+    done
+  end;
+  Sim_run.collect st.cl ~steps:!steps
+
+let violating cfg (o : Sim_run.outcome) =
+  o.Sim_run.key_violations <> []
+  || (cfg.fastcheck && not o.Sim_run.fastcheck_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+(* Walk budget for each re-finding attempted while shrinking the
+   workload: enough to re-find a violation the hunt found quickly,
+   cheap enough to try many candidate workloads. *)
+let shrink_walks = 400
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Candidate workloads: drop one op from one process (whole processes
+   disappear when their script empties). *)
+let workload_candidates processes =
+  List.concat
+    (List.mapi
+       (fun pi (p : int Vm.process) ->
+         List.mapi
+           (fun oi _ ->
+             let script = drop_nth p.Vm.script oi in
+             if script = [] then List.filteri (fun i _ -> i <> pi) processes
+             else
+               List.mapi
+                 (fun i q -> if i = pi then { q with Vm.script } else q)
+                 processes)
+           p.Vm.script)
+       processes)
+
+let shrink cfg ce =
+  let minimize cfg schedule =
+    Sched.ddmin
+      ~test:(fun s -> violating cfg (replay cfg s))
+      schedule
+  in
+  (* Re-find a violation on a reduced workload: the old schedule often
+     still triggers it under loose replay (cheap, try first); otherwise
+     a bounded hunt. *)
+  let refind cfg schedule =
+    if violating cfg (replay cfg schedule) then Some schedule
+    else
+      match (hunt ~walks:shrink_walks ~seed:0 cfg).counterexample with
+      | Some ce -> Some ce.schedule
+      | None -> None
+  in
+  let rec fix cfg schedule =
+    let smaller =
+      List.find_map
+        (fun processes ->
+          if processes = [] then None
+          else begin
+            let cfg' = { cfg with processes } in
+            match refind cfg' schedule with
+            | Some schedule' -> Some (cfg', schedule')
+            | None -> None
+          end)
+        (workload_candidates cfg.processes)
+    in
+    match smaller with
+    | Some (cfg', schedule') -> fix cfg' schedule'
+    | None -> (cfg, schedule)
+  in
+  let schedule = minimize cfg ce.schedule in
+  let cfg', schedule = fix cfg schedule in
+  let schedule = minimize cfg' schedule in
+  let o = replay cfg' schedule in
+  match o.Sim_run.key_violations with
+  | (key, message) :: _ -> (cfg', { schedule; key; message })
+  | [] ->
+    (* can't happen: fix/minimize only accept violating candidates *)
+    (cfg', { ce with schedule })
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample artifacts                                            *)
+
+(* A counterexample dumps as Trace JSONL: note lines carrying the
+   config, the workload scripts and the schedule, then the full traced
+   replay (sends, deliveries, invokes, responds), then the verdict.
+   The note grammar keeps to [a-z0-9 ,|=_-] so the JSONL needs no
+   escaping games on the way back in. *)
+
+let script_tokens script =
+  String.concat " "
+    (List.map
+       (function E.Read -> "r" | E.Write v -> Fmt.str "w%d" v)
+       script)
+
+let config_note cfg =
+  Fmt.str
+    "config replicas=%d keys=%d window=%d init=%d read_quorum=%d \
+     max_crashes=%d max_partitions=%d max_timer_fires=%d max_depth=%d \
+     prune=%d fastcheck=%d"
+    cfg.replicas cfg.keys cfg.window cfg.init
+    (Option.value ~default:0 cfg.read_quorum)
+    cfg.max_crashes cfg.max_partitions cfg.max_timer_fires cfg.max_depth
+    (if cfg.prune then 1 else 0)
+    (if cfg.fastcheck then 1 else 0)
+
+let group_note (a, b) =
+  Fmt.str "%s|%s"
+    (String.concat "," (List.map string_of_int a))
+    (String.concat "," (List.map string_of_int b))
+
+let save ~file cfg ce =
+  let tr = Trace.create ~capacity:(1 lsl 16) () in
+  let note s = Trace.record tr ~time:0.0 (Trace.Note s) in
+  note "explore-counterexample v1";
+  note (config_note cfg);
+  if cfg.crashable <> [] then
+    note
+      (Fmt.str "crashable %s"
+         (String.concat "," (List.map string_of_int cfg.crashable)));
+  List.iter (fun cut -> note (Fmt.str "cut %s" (group_note cut))) cfg.cuts;
+  List.iter
+    (fun (p : int Vm.process) ->
+      note (Fmt.str "proc %d %s" p.Vm.proc (script_tokens p.Vm.script)))
+    cfg.processes;
+  note
+    (Fmt.str "schedule %s"
+       (String.concat "," (List.map string_of_int ce.schedule)));
+  let o = replay ~trace:tr cfg ce.schedule in
+  (match o.Sim_run.key_violations with
+   | (k, m) :: _ ->
+     Trace.record tr ~time:o.Sim_run.virtual_span
+       (Trace.Note (Fmt.str "verdict key=%d %s" k m))
+   | [] ->
+     Trace.record tr ~time:o.Sim_run.virtual_span (Trace.Note "verdict atomic"));
+  Trace.dump tr file
+
+(* -- parsing the artifact back ------------------------------------- *)
+
+let note_of_line line =
+  (* Trace note lines: {...,"kind":"note","text":"..."} with our texts
+     escape-free by construction *)
+  let pat = "\"kind\":\"note\",\"text\":\"" in
+  let n = String.length line and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    String.index_from_opt line start '"'
+    |> Option.map (fun stop -> String.sub line start (stop - start))
+
+let split_on sep s =
+  List.filter (fun t -> t <> "") (String.split_on_char sep s)
+
+let parse_script tokens =
+  List.map
+    (fun tok ->
+      if tok = "r" then E.Read
+      else if String.length tok > 1 && tok.[0] = 'w' then
+        E.Write (int_of_string (String.sub tok 1 (String.length tok - 1)))
+      else failwith ("explore: bad script token " ^ tok))
+    tokens
+
+let parse_group s =
+  match String.split_on_char '|' s with
+  | [ a; b ] ->
+    (List.map int_of_string (split_on ',' a),
+     List.map int_of_string (split_on ',' b))
+  | _ -> failwith "explore: bad cut groups"
+
+let load ~file =
+  let ic = open_in file in
+  let notes = ref [] in
+  (try
+     while true do
+       match note_of_line (input_line ic) with
+       | Some text -> notes := text :: !notes
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let notes = List.rev !notes in
+  if not (List.mem "explore-counterexample v1" notes) then
+    failwith "explore: not a counterexample file";
+  let assoc = Hashtbl.create 16 in
+  let procs = ref [] and cuts = ref [] and crashable = ref [] in
+  let schedule = ref [] in
+  List.iter
+    (fun text ->
+      match split_on ' ' text with
+      | "config" :: fields ->
+        List.iter
+          (fun f ->
+            match String.split_on_char '=' f with
+            | [ k; v ] -> Hashtbl.replace assoc k (int_of_string v)
+            | _ -> ())
+          fields
+      | [ "crashable"; l ] -> crashable := List.map int_of_string (split_on ',' l)
+      | [ "cut"; g ] -> cuts := !cuts @ [ parse_group g ]
+      | "proc" :: p :: script ->
+        procs :=
+          !procs @ [ { Vm.proc = int_of_string p; script = parse_script script } ]
+      | [ "schedule"; l ] -> schedule := List.map int_of_string (split_on ',' l)
+      | _ -> ())
+    notes;
+  let get k d = Option.value ~default:d (Hashtbl.find_opt assoc k) in
+  let rq = get "read_quorum" 0 in
+  let cfg =
+    config ~replicas:(get "replicas" 3) ~keys:(get "keys" 1)
+      ~window:(get "window" 4) ~init:(get "init" 0)
+      ?read_quorum:(if rq = 0 then None else Some rq)
+      ~crashable:!crashable ~max_crashes:(get "max_crashes" 0) ~cuts:!cuts
+      ~max_partitions:(get "max_partitions" 0)
+      ~max_timer_fires:(get "max_timer_fires" 64)
+      ~max_depth:(get "max_depth" 2_000)
+      ~prune:(get "prune" 1 = 1)
+      ~fastcheck:(get "fastcheck" 0 = 1)
+      ~processes:!procs ()
+  in
+  (cfg, !schedule)
+
+let replay_file ~file =
+  let cfg, schedule = load ~file in
+  (cfg, schedule, replay cfg schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Torture mode                                                        *)
+
+type torture_report = {
+  runs : int;
+  ops_completed : int;
+  violations : int;
+  stalled : int;
+  first_failure : (int * string) option;
+}
+
+let torture_run ~seed ~run ?trace () =
+  let rng = Random.State.make [| seed; run; 0x746f7274 |] in
+  let replicas = if Random.State.bool rng then 3 else 5 in
+  let shards = 1 lsl Random.State.int rng 3 in
+  let keys = shards * (1 + Random.State.int rng 3) in
+  let window = 1 + Random.State.int rng 8 in
+  let spec = Harness.Workload.random_spec ~rng () in
+  let processes = Harness.Workload.unique_scripts spec in
+  let faults =
+    Sim_net.lossy
+      ~drop:(Random.State.float rng 0.25)
+      ~duplicate:(Random.State.float rng 0.15)
+      ~min_delay:0.2
+      ~max_delay:(0.5 +. Random.State.float rng 2.5)
+      ()
+  in
+  let span = 50.0 +. Random.State.float rng 150.0 in
+  let fates =
+    Harness.Failure.random_net_fates ~rng
+      ~replicas:(List.init replicas Fun.id)
+      ~server:Transport.server ~span ()
+  in
+  let o =
+    Sim_run.run ~faults ~replicas ~window ~shards ~keys ~fates
+      ~seed:(Random.State.bits rng) ~init:0 ~processes ?trace ()
+  in
+  (o, fates)
+
+let describe_failure run (o : Sim_run.outcome) =
+  match o.Sim_run.key_violations with
+  | (k, m) :: _ -> Fmt.str "run %d: key %d: %s" run k m
+  | [] ->
+    if not o.Sim_run.fastcheck_ok then Fmt.str "run %d: fastcheck rejects" run
+    else
+      Fmt.str "run %d: stalled at %d/%d ops" run o.Sim_run.completed
+        o.Sim_run.expected
+
+let torture ?(runs = 100) ?dump ?progress ~seed () =
+  let violations = ref 0 and stalled = ref 0 and ops = ref 0 in
+  let first_failure = ref None in
+  for run = 0 to runs - 1 do
+    (match progress with Some f -> f run | None -> ());
+    let o, _ = torture_run ~seed ~run () in
+    ops := !ops + o.Sim_run.completed;
+    let bad_history =
+      o.Sim_run.key_violations <> [] || not o.Sim_run.fastcheck_ok
+    in
+    let incomplete = o.Sim_run.completed < o.Sim_run.expected in
+    if bad_history then incr violations;
+    if incomplete && not bad_history then incr stalled;
+    if (bad_history || incomplete) && !first_failure = None then begin
+      first_failure := Some (run, describe_failure run o);
+      match dump with
+      | None -> ()
+      | Some file ->
+        (* re-run the failing iteration with a trace attached *)
+        let tr = Trace.create ~capacity:(1 lsl 18) () in
+        Trace.record tr ~time:0.0
+          (Trace.Note (Fmt.str "torture-failure seed=%d run=%d" seed run));
+        let o', fates = torture_run ~seed ~run ~trace:tr () in
+        List.iter
+          (fun (t, f) ->
+            Trace.record tr ~time:t
+              (Trace.Note (Fmt.str "fate %a" Harness.Failure.pp_net_fate f)))
+          fates;
+        Trace.record tr ~time:o'.Sim_run.virtual_span
+          (Trace.Note (describe_failure run o'));
+        Trace.dump tr file
+    end
+  done;
+  {
+    runs;
+    ops_completed = !ops;
+    violations = !violations;
+    stalled = !stalled;
+    first_failure = !first_failure;
+  }

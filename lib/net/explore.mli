@@ -1,0 +1,163 @@
+(** Systematic schedule exploration of the simulated register service.
+
+    The paper's claim is per-interleaving: {e every} schedule of the
+    construction yields an atomic history.  {!Sim_run} samples
+    schedules (one per seed); this module {e enumerates} them.  It
+    drives a {!Sim_run.build} cluster through
+    {!Sim_net.pending}/{!Sim_net.fire} — the adversary picks which
+    in-flight message is delivered next, and may additionally spend
+    budgeted crash and partition fates — and hands the resulting
+    choice tree to {!Modelcheck.Schedule}'s sleep-set DFS.  Every leaf
+    (quiescent or stalled state) is audited with the server's per-key
+    live {!Histories.Monitor}; optionally each leaf history is also
+    re-checked post-hoc ([fastcheck]).
+
+    Determinism: exploration uses the reliable fault model (constant
+    delay, no drops or duplicates), so the delivery order chosen by the
+    adversary is the {e only} nondeterminism and an [int list] of
+    choice indices replays a run exactly.  Timers are not branch
+    points: they fire deterministically, earliest first, and only when
+    no delivery is pending — the classic "timeouts happen only when
+    the system stalls" abstraction — with a per-run [max_timer_fires]
+    budget so partition-retransmission loops terminate.
+
+    On a violation, {!shrink} minimizes first the schedule (ddmin over
+    choice indices, using loose replay: out-of-range indices are
+    skipped, so truncation is always meaningful), then the workload
+    (dropping one operation at a time and re-exploring under a budget),
+    and {!save} dumps a replayable {!Trace} JSONL artifact that {!load}
+    / {!replay_file} turn back into a verdict. *)
+
+(** {2 Configuration} *)
+
+type config = {
+  replicas : int;
+  processes : int Registers.Vm.process list;
+  keys : int;  (** scripts round-robin over this many keys *)
+  window : int;  (** client pipelining window *)
+  init : int;
+  read_quorum : int option;
+      (** deliberate-bug hook, see {!Quorum.create} *)
+  crashable : int list;  (** replicas the adversary may crash *)
+  max_crashes : int;  (** crash budget per run *)
+  cuts : (int list * int list) list;
+      (** candidate partitions the adversary may impose (one active at
+          a time, must heal before the next) *)
+  max_partitions : int;  (** partition budget per run *)
+  max_timer_fires : int;
+  max_depth : int;  (** schedule length cut-off *)
+  max_schedules : int;  (** leaf budget *)
+  prune : bool;  (** sleep-set pruning *)
+  fastcheck : bool;  (** post-hoc re-check at every leaf *)
+}
+
+val config :
+  ?replicas:int ->
+  ?keys:int ->
+  ?window:int ->
+  ?init:int ->
+  ?read_quorum:int ->
+  ?crashable:int list ->
+  ?max_crashes:int ->
+  ?cuts:(int list * int list) list ->
+  ?max_partitions:int ->
+  ?max_timer_fires:int ->
+  ?max_depth:int ->
+  ?max_schedules:int ->
+  ?prune:bool ->
+  ?fastcheck:bool ->
+  processes:int Registers.Vm.process list ->
+  unit ->
+  config
+(** Defaults: 3 replicas, 1 key, window 4, init 0, honest read quorum,
+    no fates, [max_timer_fires] 64, [max_depth] 2000, unbounded
+    schedules, pruning on, post-hoc check off. *)
+
+(** {2 Exploration} *)
+
+type counterexample = {
+  schedule : int list;  (** choice indices, replayable *)
+  key : int;  (** offending register *)
+  message : string;  (** rendered violation *)
+}
+
+type result = {
+  stats : Modelcheck.Schedule.stats;
+  counterexample : counterexample option;
+      (** first non-atomic schedule found, if any (the search stops on
+          it) *)
+}
+
+val explore : config -> result
+(** Enumerate schedules depth-first until exhaustion (see
+    [stats.exhausted]), the [max_schedules] budget, or the first
+    audited violation. *)
+
+val hunt : ?walks:int -> seed:int -> config -> result
+(** Seeded uniform random schedule walks (default 2000), stopping at
+    the first audited violation.  The exhaustive DFS varies the tail
+    of the schedule first, so bugs that need an early message starved
+    past a much later one are exponentially far from its first leaf;
+    random walks perturb the whole schedule at once and find such
+    races fast.  Deterministic in [seed]; the returned schedule's
+    indices are exact (strict replay).  [stats.exhausted] is always
+    [false]. *)
+
+val replay : ?trace:Trace.t -> ?tail:bool -> config -> int list -> Sim_run.outcome
+(** Re-run one schedule deterministically.  Loose semantics: indices
+    out of range for the current choice set are skipped, and with
+    [tail] (default [true]) the run continues past the explicit prefix
+    taking the default (earliest-event) choice until quiescence — so
+    any prefix/sublist of a schedule is itself replayable.  With
+    [trace], the full run is recorded. *)
+
+val shrink : config -> counterexample -> config * counterexample
+(** Minimize a counterexample: ddmin the schedule, then greedily drop
+    workload operations (re-exploring each candidate under a bounded
+    budget), then ddmin again.  The result replays to a violation of
+    the returned (possibly smaller) config. *)
+
+(** {2 Replayable artifacts} *)
+
+val save : file:string -> config -> counterexample -> unit
+(** Dump a counterexample as Trace JSONL: note lines carrying the
+    config, workload scripts and schedule; the fully traced replay
+    (sends, deliveries, operation invokes/responds); and the verdict.
+    Self-contained — {!load} needs nothing else. *)
+
+val load : file:string -> config * int list
+(** Parse an artifact back into its config and schedule.
+    @raise Failure on files {!save} did not produce. *)
+
+val replay_file : file:string -> config * int list * Sim_run.outcome
+(** [load] + [replay]: the outcome's [key_violations] says whether the
+    artifact still reproduces. *)
+
+(** {2 Torture mode} *)
+
+type torture_report = {
+  runs : int;
+  ops_completed : int;
+  violations : int;  (** runs whose history failed an audit *)
+  stalled : int;  (** runs that did not complete (liveness failure —
+                      the generated fate schedules preserve quorum
+                      liveness, so any stall is a bug) *)
+  first_failure : (int * string) option;  (** run index + description *)
+}
+
+val torture :
+  ?runs:int ->
+  ?dump:string ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  unit ->
+  torture_report
+(** Seeded randomized long-run hammering: each run draws a topology
+    (3 or 5 replicas, 1–4 shards, multi-key keyspace), a keyed batch
+    workload, a lossy/duplicating/reordering fault model and a timed
+    crash/restart/partition fate schedule
+    ({!Harness.Failure.random_net_fates}), executes it to quiescence
+    and asserts per-key atomicity {e and} completion.  Deterministic in
+    [seed]: a failing run index reproduces alone.  With [dump], the
+    first failing run is re-executed with a trace and written to the
+    file (JSONL, fate notes included).  [runs] defaults to 100. *)

@@ -34,6 +34,7 @@ type t = {
   me : Transport.node;
   replicas : Transport.node list;
   quorum : int;
+  read_quorum : int;
   pending : (int, phase) Hashtbl.t;
   wts : (int, int) Hashtbl.t;  (* global reg -> write timestamp *)
   mutable next_rid : int;
@@ -44,8 +45,17 @@ type t = {
   c : ctrs;
 }
 
-let create ~transport ~me ~replicas ?metrics () =
+let create ~transport ~me ~replicas ?read_quorum ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let majority = (List.length replicas / 2) + 1 in
+  let read_quorum =
+    match read_quorum with
+    | None -> majority
+    | Some q ->
+      if q < 1 || q > List.length replicas then
+        invalid_arg "Quorum.create: read_quorum out of range";
+      q
+  in
   let c =
     {
       m_queries = Metrics.counter metrics "quorum_queries";
@@ -59,7 +69,8 @@ let create ~transport ~me ~replicas ?metrics () =
     tr = transport;
     me;
     replicas;
-    quorum = (List.length replicas / 2) + 1;
+    quorum = majority;
+    read_quorum;
     pending = Hashtbl.create 16;
     wts = Hashtbl.create 16;
     next_rid = 0;
@@ -127,7 +138,7 @@ let on_message t ~src msg =
       (match Hashtbl.find_opt t.pending rid with
        | Some (Collect c) when not (List.mem_assoc src c.replies) ->
          c.replies <- (src, (ts, pl)) :: c.replies;
-         if List.length c.replies >= t.quorum then begin
+         if List.length c.replies >= t.read_quorum then begin
            Hashtbl.remove t.pending rid;
            Metrics.observe t.c.h_phase1 (t.tr.Transport.now () -. c.born);
            c.finish (best c.replies)

@@ -40,11 +40,18 @@ val create :
   transport:Transport.t ->
   me:Transport.node ->
   replicas:Transport.node list ->
+  ?read_quorum:int ->
   ?metrics:Metrics.t ->
   unit ->
   t
 (** An engine speaking from node [me] to the quorum group [replicas].
     Never blocks; performs no I/O until the first operation.
+    [read_quorum] (default: majority) overrides how many query replies
+    complete a read's collect phase — {e deliberately unsound} below a
+    majority, provided so the schedule explorer can regression-test
+    that it detects the resulting non-atomic schedules.  Raises
+    [Invalid_argument] outside [1 .. length replicas].  The store
+    quorum is always a majority.
     [metrics] (default: a fresh, private instance) receives
     [quorum_queries]/[quorum_stores]/[quorum_retransmissions] counters
     and the [quorum_phase1]/[quorum_phase2] round-latency histograms

@@ -10,7 +10,7 @@ type t = {
   c_ops : Metrics.counter array;  (* shard<i>_quorum_ops *)
 }
 
-let create ~transport ~me ~replicas ~map ?metrics () =
+let create ~transport ~me ~replicas ~map ?read_quorum ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let n = Shard_map.shards map in
   {
@@ -19,7 +19,7 @@ let create ~transport ~me ~replicas ~map ?metrics () =
       Array.init n (fun s ->
           Quorum.create ~transport ~me
             ~replicas:(Shard_map.group map ~replicas s)
-            ~metrics ());
+            ?read_quorum ~metrics ());
     c_ops =
       Array.init n (fun s ->
           Metrics.counter metrics (Fmt.str "shard%d_quorum_ops" s));

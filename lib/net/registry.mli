@@ -21,13 +21,16 @@ val create :
   me:Transport.node ->
   replicas:Transport.node list ->
   map:Shard_map.t ->
+  ?read_quorum:int ->
   ?metrics:Metrics.t ->
   unit ->
   t
 (** One engine per shard of [map], over
-    {!Shard_map.group}[ map ~replicas s].  [metrics] receives the
-    shared quorum counters/histograms plus one [shard<i>_quorum_ops]
-    counter per shard — the per-shard load (and skew) signal. *)
+    {!Shard_map.group}[ map ~replicas s].  [read_quorum] is passed to
+    every engine (see {!Quorum.create} — fault-injection hook, default
+    majority).  [metrics] receives the shared quorum
+    counters/histograms plus one [shard<i>_quorum_ops] counter per
+    shard — the per-shard load (and skew) signal. *)
 
 val map : t -> Shard_map.t
 val shards : t -> int

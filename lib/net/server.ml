@@ -41,8 +41,8 @@ type t = {
   c_shard_ops : Metrics.counter array;
 }
 
-let create ~transport ?(audit = true) ?(resend_every = 0.05) ?metrics ?trace
-    ?map ~me ~replicas ~init () =
+let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
+    ?metrics ?trace ?map ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
@@ -50,7 +50,8 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?metrics ?trace
   {
     tr = transport;
     me;
-    registry = Registry.create ~transport ~me ~replicas ~map ~metrics ();
+    registry =
+      Registry.create ~transport ~me ~replicas ~map ?read_quorum ~metrics ();
     sessions = Hashtbl.create 16;
     audit;
     init;

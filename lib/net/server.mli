@@ -41,6 +41,7 @@ val create :
   transport:Transport.t ->
   ?audit:bool ->
   ?resend_every:float ->
+  ?read_quorum:int ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?map:Shard_map.t ->
@@ -51,9 +52,12 @@ val create :
   t
 (** [audit] defaults to [true].  [resend_every] (default 0.05) is the
     retransmission period in transport-clock units; it should exceed a
-    round trip (for {!Sim_net}, a multiple of [max_delay]).  [map]
-    (default: a single shard owning every key) fixes the key → shard →
-    replica-group placement for the server's lifetime.
+    round trip (for {!Sim_net}, a multiple of [max_delay]).
+    [read_quorum] (default: majority) is forwarded to every shard
+    engine — a deliberate-bug hook for {!Explore}'s regression tests,
+    see {!Quorum.create}.  [map] (default: a single shard owning every
+    key) fixes the key → shard → replica-group placement for the
+    server's lifetime.
 
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]

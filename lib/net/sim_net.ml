@@ -153,10 +153,13 @@ let create ~seed ~faults ?metrics ?trace () =
 
 let metrics t = t.metrics
 
+(* take the event as a thunk: building a trace record often involves
+   pretty-printing the payload, which must cost nothing when tracing
+   is off *)
 let trace_ev t kind =
   match t.trace with
   | None -> ()
-  | Some tr -> Trace.record tr ~time:t.clock kind
+  | Some tr -> Trace.record tr ~time:t.clock (kind ())
 
 let now t = t.clock
 
@@ -178,7 +181,7 @@ let delay_of t =
 let drop t ~src ~dst reason =
   t.dropped <- t.dropped + 1;
   Metrics.incr t.c.m_dropped;
-  trace_ev t (Trace.Drop { src; dst; reason })
+  trace_ev t (fun () -> Trace.Drop { src; dst; reason })
 
 let send t ~src ~dst msg =
   (* every frame offered to the network counts as sent, duplicates
@@ -189,7 +192,7 @@ let send t ~src ~dst msg =
   else if severed t src dst then begin
     t.blocked <- t.blocked + 1;
     Metrics.incr t.c.m_blocked;
-    trace_ev t (Trace.Drop { src; dst; reason = "partition" })
+    trace_ev t (fun () -> Trace.Drop { src; dst; reason = "partition" })
   end
   else begin
     let f = t.faults in
@@ -198,7 +201,8 @@ let send t ~src ~dst msg =
     then drop t ~src ~dst "loss"
     else begin
       schedule t ~delay:(delay_of t) (Deliver { src; dst; msg });
-      trace_ev t (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg });
+      trace_ev t (fun () ->
+          Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg });
       if
         (not immune) && f.duplicate > 0.0
         && Random.State.float t.rng 1.0 < f.duplicate
@@ -225,6 +229,7 @@ let register t node handler = Hashtbl.replace t.handlers node handler
 let crash t node =
   if not (Hashtbl.mem t.dead node) then Metrics.incr t.c.m_crashes;
   Hashtbl.replace t.dead node ()
+let restart t node = Hashtbl.remove t.dead node
 let alive t node = not (Hashtbl.mem t.dead node)
 let partition t a b = t.cut <- Some (a, b)
 let heal t = t.cut <- None
@@ -232,32 +237,94 @@ let heal t = t.cut <- None
 let at t time f =
   schedule t ~delay:(Float.max 0.0 (time -. t.clock)) (Timer { node = -1; f })
 
+let execute t { time; ev; _ } =
+  t.clock <- Float.max t.clock time;
+  match ev with
+  | Deliver { src; dst; msg } ->
+    if Hashtbl.mem t.dead dst then drop t ~src ~dst "dead"
+    else begin
+      match Hashtbl.find_opt t.handlers dst with
+      | Some h ->
+        t.delivered <- t.delivered + 1;
+        Metrics.incr t.c.m_delivered;
+        trace_ev t (fun () ->
+            Trace.Deliver { src; dst; info = Fmt.str "%a" Wire.pp msg });
+        h ~src msg
+      | None -> drop t ~src ~dst "no-handler"
+    end
+  | Timer { node; f } ->
+    if node = -1 || not (Hashtbl.mem t.dead node) then begin
+      t.timer_fires <- t.timer_fires + 1;
+      Metrics.incr t.c.m_timer_fires;
+      trace_ev t (fun () -> Trace.Timer_fire { node });
+      f ()
+    end
+
 let step t =
   match Heap.pop t.heap with
   | None -> false
-  | Some { time; ev; _ } ->
-    t.clock <- Float.max t.clock time;
-    (match ev with
-     | Deliver { src; dst; msg } ->
-       if Hashtbl.mem t.dead dst then drop t ~src ~dst "dead"
-       else begin
-         match Hashtbl.find_opt t.handlers dst with
-         | Some h ->
-           t.delivered <- t.delivered + 1;
-           Metrics.incr t.c.m_delivered;
-           trace_ev t
-             (Trace.Deliver { src; dst; info = Fmt.str "%a" Wire.pp msg });
-           h ~src msg
-         | None -> drop t ~src ~dst "no-handler"
-       end
-     | Timer { node; f } ->
-       if node = -1 || not (Hashtbl.mem t.dead node) then begin
-         t.timer_fires <- t.timer_fires + 1;
-         Metrics.incr t.c.m_timer_fires;
-         trace_ev t (Trace.Timer_fire { node });
-         f ()
-       end);
+  | Some e ->
+    execute t e;
     true
+
+(* Controlled stepping: a schedule explorer wants to pick *which*
+   pending event fires next rather than always taking the earliest.
+   [sorted_entries] snapshots the queue in canonical (time, seq) order
+   — the same total order {!step} drains it in — so an index into the
+   snapshot names an event deterministically. *)
+let sorted_entries t =
+  let a = Array.sub t.heap.Heap.a 0 t.heap.Heap.n in
+  Array.sort
+    (fun x y -> if Heap.lt x y then -1 else if Heap.lt y x then 1 else 0)
+    a;
+  a
+
+type pending_ev = {
+  idx : int;
+  seq : int;
+  time : float;
+  timer : bool;
+  src : int;
+  dst : int;
+  info : string Lazy.t;
+}
+
+let pending t =
+  sorted_entries t |> Array.to_list
+  |> List.mapi (fun i e ->
+         match e.ev with
+         | Deliver { src; dst; msg } ->
+           {
+             idx = i;
+             seq = e.seq;
+             time = e.time;
+             timer = false;
+             src;
+             dst;
+             info = lazy (Fmt.str "%a" Wire.pp msg);
+           }
+         | Timer { node; _ } ->
+           {
+             idx = i;
+             seq = e.seq;
+             time = e.time;
+             timer = true;
+             src = node;
+             dst = node;
+             info = lazy "timer";
+           })
+
+let fire t i =
+  let a = sorted_entries t in
+  if i < 0 || i >= Array.length a then false
+  else begin
+    (* Rebuild the heap without the chosen entry, then execute it.
+       O(n log n), fine for the small configurations explorers use. *)
+    t.heap.Heap.n <- 0;
+    Array.iteri (fun j e -> if j <> i then Heap.push t.heap e) a;
+    execute t a.(i);
+    true
+  end
 
 let run ?(max_steps = 1_000_000) t =
   let steps = ref 0 in

@@ -71,6 +71,12 @@ val register :
     [send]/[set_timer]. *)
 
 val crash : t -> Transport.node -> unit
+
+val restart : t -> Transport.node -> unit
+(** Undo a {!crash}: the node receives messages again.  Its handler —
+    and hence its state — was retained across the crash, so this
+    models a process restarting from stable storage. *)
+
 val alive : t -> Transport.node -> bool
 
 val partition : t -> Transport.node list -> Transport.node list -> unit
@@ -92,5 +98,36 @@ val step : t -> bool
 val run : ?max_steps:int -> t -> int
 (** Step until quiescent or [max_steps] (default 1_000_000); returns
     the number of steps taken. *)
+
+(** {2 Controlled stepping}
+
+    A schedule explorer takes over the simulator's one source of
+    nondeterminism — which pending event fires next — by reading
+    {!pending} and calling {!fire} on a chosen index instead of
+    {!step}.  The snapshot is in canonical (time, seq) order (the order
+    {!step} would drain), so an index names an event deterministically
+    and a list of indices is a replayable schedule. *)
+
+type pending_ev = {
+  idx : int;  (** index to pass to {!fire} *)
+  seq : int;
+      (** the event's scheduling sequence number — a stable identity:
+          it follows the entry while it sits in the queue, and replays
+          of the same choice prefix reproduce it exactly *)
+  time : float;  (** scheduled virtual delivery time *)
+  timer : bool;  (** [true] for timers; [src]/[dst] are the owner *)
+  src : int;
+  dst : int;
+  info : string Lazy.t;  (** pretty-printed payload, forced on demand *)
+}
+
+val pending : t -> pending_ev list
+(** Snapshot of the event queue, earliest first.  Indices are valid
+    until the next mutation ([fire], [step], [send], …). *)
+
+val fire : t -> int -> bool
+(** Execute the [i]-th event of the current {!pending} snapshot out of
+    order (clock advances to [max now time]).  [false] if the index is
+    out of range. *)
 
 val stats : t -> stats

@@ -62,10 +62,18 @@ let fastcheck_by_key ~init keyed =
       (key, ok))
     keys
 
-let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
-    ?(shards = 1) ?keys ?crash_replica ?partition_replicas
-    ?(max_steps = 2_000_000) ?(audit = true) ?metrics ?trace ~seed ~init
-    ~processes () =
+type cluster = {
+  net : Sim_net.t;
+  server : Server.t;
+  replica_nodes : int list;
+  init : int;
+  expected : int;
+  metrics : Metrics.t;
+}
+
+let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
+    ?(shards = 1) ?keys ?read_quorum ?(audit = true) ?metrics ?trace ~seed
+    ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   let faults =
@@ -92,8 +100,8 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
   let map = Shard_map.create ~shards () in
   let server =
-    Server.create ~transport:tr ~audit ~resend_every ~metrics ?trace ~map
-      ~me:Transport.server ~replicas:replica_nodes ~init ()
+    Server.create ~transport:tr ~audit ~resend_every ?read_quorum ~metrics
+      ?trace ~map ~me:Transport.server ~replicas:replica_nodes ~init ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
   (* clients: send [Hello; first window] as one batch, then keep the
@@ -139,29 +147,33 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
       tr.Transport.send ~src:me ~dst:Transport.server
         (Wire.Batch (List.rev !first)))
     processes;
-  (* fault schedule *)
-  (match crash_replica with
-   | Some (r, time) -> Sim_net.at net time (fun () -> Sim_net.crash net r)
-   | None -> ());
-  (match partition_replicas with
-   | Some (t0, t1) ->
-     Sim_net.at net t0 (fun () ->
-         Sim_net.partition net replica_nodes [ Transport.server ]);
-     Sim_net.at net t1 (fun () -> Sim_net.heal net)
-   | None -> ());
-  let steps = Sim_net.run ~max_steps net in
+  let expected =
+    List.fold_left
+      (fun n { Registers.Vm.script; _ } -> n + List.length script)
+      0 processes
+  in
+  { net; server; replica_nodes; init; expected; metrics }
+
+let apply_fate cl = function
+  | Harness.Failure.Crash r -> Sim_net.crash cl.net r
+  | Harness.Failure.Restart r -> Sim_net.restart cl.net r
+  | Harness.Failure.Partition (a, b) -> Sim_net.partition cl.net a b
+  | Harness.Failure.Heal -> Sim_net.heal cl.net
+
+let schedule_fates cl fates =
+  List.iter
+    (fun (time, f) -> Sim_net.at cl.net time (fun () -> apply_fate cl f))
+    fates
+
+let collect cl ~steps =
+  let server = cl.server in
   let timed = Server.timed_history server in
   let history = List.map snd timed in
   let keyed = Server.keyed_history server in
   let completed =
     List.length (List.filter (function E.Respond _ -> true | _ -> false) history)
   in
-  let expected =
-    List.fold_left
-      (fun n { Registers.Vm.script; _ } -> n + List.length script)
-      0 processes
-  in
-  let key_fastcheck = fastcheck_by_key ~init keyed in
+  let key_fastcheck = fastcheck_by_key ~init:cl.init keyed in
   let key_violations =
     List.map
       (fun (k, v) ->
@@ -178,14 +190,39 @@ let run ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     key_fastcheck;
     key_violations;
     completed;
-    expected;
+    expected = cl.expected;
     steps;
-    virtual_span = Sim_net.now net;
+    virtual_span = Sim_net.now cl.net;
     latencies = latencies_of timed;
-    net = Sim_net.stats net;
+    net = Sim_net.stats cl.net;
     quorum = Server.quorum_stats server;
-    metrics;
+    metrics = cl.metrics;
   }
+
+let run ?faults ?replicas ?window ?shards ?keys ?read_quorum ?crash_replica
+    ?partition_replicas ?(fates = []) ?(max_steps = 2_000_000) ?audit ?metrics
+    ?trace ~seed ~init ~processes () =
+  let cl =
+    build ?faults ?replicas ?window ?shards ?keys ?read_quorum ?audit ?metrics
+      ?trace ~seed ~init ~processes ()
+  in
+  (* fault schedule: the legacy shorthands desugar to fates *)
+  let fates =
+    (match crash_replica with
+     | Some (r, time) -> [ (time, Harness.Failure.Crash r) ]
+     | None -> [])
+    @ (match partition_replicas with
+       | Some (t0, t1) ->
+         [
+           (t0, Harness.Failure.Partition (cl.replica_nodes, [ Transport.server ]));
+           (t1, Harness.Failure.Heal);
+         ]
+       | None -> [])
+    @ fates
+  in
+  schedule_fates cl fates;
+  let steps = Sim_net.run ~max_steps cl.net in
+  collect cl ~steps
 
 let pp_outcome ppf o =
   Fmt.pf ppf

@@ -53,8 +53,10 @@ val run :
   ?window:int ->
   ?shards:int ->
   ?keys:int ->
+  ?read_quorum:int ->
   ?crash_replica:(int * float) ->
   ?partition_replicas:float * float ->
+  ?fates:(float * Harness.Failure.net_fate) list ->
   ?max_steps:int ->
   ?audit:bool ->
   ?metrics:Metrics.t ->
@@ -66,15 +68,75 @@ val run :
   outcome
 (** [crash_replica (i, t)] crashes replica [i] at virtual time [t];
     [partition_replicas (t0, t1)] severs all replicas from the server
-    during [[t0, t1)].  Defaults: reliable network, 3 replicas,
-    pipelining window 4, 1 shard (the unsharded single-register
-    service), audit on, [max_steps] 2_000_000.
+    during [[t0, t1)]; [fates] is the general form — a timed
+    {!Harness.Failure.net_fate} schedule (crash/restart/partition/heal,
+    e.g. from {!Harness.Failure.random_net_fates}) applied via
+    {!Sim_net.at}.  [read_quorum] deliberately weakens the read phase
+    (see {!Quorum.create}) — for explorer regression tests only.
+    Defaults: reliable network, 3 replicas, pipelining window 4,
+    1 shard (the unsharded single-register service), audit on,
+    [max_steps] 2_000_000.
 
     [metrics] and [trace] are shared by the transport and the server:
     the trace (virtual-time stamped) records sends, deliveries, drops,
     timer fires and every operation invoke/respond with its key, and
     can be dumped with {!Trace.dump} and replayed through the checker
     with {!Trace.keyed_history_of_file}. *)
+
+(** {2 Controlled clusters}
+
+    {!Explore} needs the same topology {!run} wires up — replicas,
+    server, window-pipelining clients — but with the event loop driven
+    externally ({!Sim_net.pending}/{!Sim_net.fire}) instead of by
+    {!Sim_net.run}.  [build] constructs the cluster without running it;
+    [collect] computes the {!outcome} from wherever the run got to. *)
+
+type cluster = {
+  net : Sim_net.t;
+  server : Server.t;
+  replica_nodes : int list;
+  init : int;
+  expected : int;  (** operations in the workload *)
+  metrics : Metrics.t;
+}
+
+val build :
+  ?faults:Sim_net.faults ->
+  ?replicas:int ->
+  ?window:int ->
+  ?shards:int ->
+  ?keys:int ->
+  ?read_quorum:int ->
+  ?audit:bool ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  seed:int ->
+  init:int ->
+  processes:int Registers.Vm.process list ->
+  unit ->
+  cluster
+(** Wire up the cluster and enqueue every client's opening batch; no
+    event has fired yet.  Same defaults as {!run}. *)
+
+val apply_fate : cluster -> Harness.Failure.net_fate -> unit
+(** Apply one fate to the cluster's network immediately. *)
+
+val schedule_fates :
+  cluster -> (float * Harness.Failure.net_fate) list -> unit
+(** Schedule a timed fate list via {!Sim_net.at}. *)
+
+val collect : cluster -> steps:int -> outcome
+(** Assemble the outcome from the cluster's current state; [steps] is
+    reported verbatim.  Safe to call on a partially-run (stalled or
+    explorer-truncated) cluster — per-key audits then cover the prefix
+    history. *)
+
+val fastcheck_by_key :
+  init:int -> (int * int Histories.Event.t) list -> (int * bool) list
+(** Post-hoc per-key verdicts of a keyed history: each key's
+    subsequence checked independently with
+    {!Histories.Fastcheck.check_unique} (unique written values
+    required; pending operations are fine). *)
 
 val pp_outcome : outcome Fmt.t
 (** One-paragraph summary (completion, verdicts, network stats). *)

@@ -76,6 +76,13 @@ val max_batch : int
     bodies under {!max_frame}, a frame can never make the decoder
     allocate unboundedly. *)
 
+val max_stat_name : int
+(** Decoder bound on a [Stats_reply] counter-name length; longer
+    strings are an [Error]. *)
+
+val max_stats : int
+(** Decoder bound on the number of [Stats_reply] entries. *)
+
 val encode : msg -> string
 (** Serialize a message body (no frame header).  Total: never raises,
     never blocks; cost is linear in the message size.  The encoder

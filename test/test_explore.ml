@@ -1,0 +1,243 @@
+(* The schedule explorer: exhaustive enumeration of small
+   configurations must exhaust with every audit clean; the deliberate
+   broken-read-quorum variant must yield a violation whose shrunk,
+   saved trace replays to the same verdict; the raw controlled-stepping
+   API and the generic ddmin must behave. *)
+
+module E = Net.Explore
+module S = Modelcheck.Schedule
+
+let tc = Helpers.tc
+let tc_slow = Helpers.tc_slow
+
+let w v = Histories.Event.Write v
+let r = Histories.Event.Read
+let proc p script = { Registers.Vm.proc = p; script }
+
+(* Two writers, one key, one replica: small enough to enumerate every
+   schedule.  (With >= 2 replicas the multi-phase quorum programs blow
+   past any reasonable leaf budget; replica count is not what the
+   adversary's reorderings exercise.) *)
+let two_writers = [ proc 0 [ w 7 ]; proc 1 [ w 9 ] ]
+let writer_reader = [ proc 0 [ w 7 ]; proc 2 [ r ] ]
+
+(* The broken-quorum witness workload.  A single concurrent read can
+   never witness a stale collect — it overlaps both writes, so any
+   value is linearizable.  Two *sequential* reads from one process can:
+   read 1 returns the fresh value, read 2's quorum-of-1 collect hits
+   the replica that missed the store, a new-old inversion. *)
+let inversion_prone =
+  [ proc 0 [ w 1001 ]; proc 1 [ w 2001 ]; proc 2 [ r; r ] ]
+
+let exhaustive_two_writers () =
+  let res = E.explore (E.config ~replicas:1 ~processes:two_writers ()) in
+  let s = res.E.stats in
+  Alcotest.(check bool) "exhausted" true s.S.exhausted;
+  Alcotest.(check bool) "explored many schedules" true (s.S.schedules > 100);
+  Alcotest.(check bool) "pruning fired" true (s.S.pruned > 0);
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "atomicity violation: %s" ce.E.message
+
+let exhaustive_writer_reader () =
+  let res =
+    E.explore (E.config ~replicas:1 ~fastcheck:true ~processes:writer_reader ())
+  in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "atomicity violation: %s" ce.E.message
+
+let pruning_only_prunes () =
+  (* sleep sets must cut the tree, not change its verdict *)
+  let cfg prune = E.config ~replicas:1 ~prune ~processes:two_writers () in
+  let pruned = E.explore (cfg true) in
+  let full = E.explore (cfg false) in
+  Alcotest.(check bool) "both exhausted" true
+    (pruned.E.stats.S.exhausted && full.E.stats.S.exhausted);
+  Alcotest.(check bool) "both clean" true
+    (pruned.E.counterexample = None && full.E.counterexample = None);
+  Alcotest.(check bool) "pruning shrinks the tree" true
+    (pruned.E.stats.S.schedules < full.E.stats.S.schedules)
+
+let budget_respected () =
+  let res =
+    E.explore
+      (E.config ~replicas:1 ~max_schedules:50 ~processes:inversion_prone ())
+  in
+  Alcotest.(check bool) "not exhausted" false res.E.stats.S.exhausted;
+  Alcotest.(check int) "stopped at the budget" 50 res.E.stats.S.schedules
+
+let broken cfg = E.config ~replicas:3 ~read_quorum:1 ~processes:cfg ()
+
+let broken_quorum_found () =
+  (* the regression this module exists for: a read quorum of 1 with 3
+     replicas must be caught as non-atomic *)
+  let res = E.hunt ~seed:42 (broken inversion_prone) in
+  match res.E.counterexample with
+  | None -> Alcotest.fail "hunt missed the broken-quorum violation"
+  | Some ce ->
+    Alcotest.(check bool) "non-empty schedule" true (ce.E.schedule <> []);
+    Alcotest.(check bool) "names a key" true (ce.E.key >= 0)
+
+let honest_quorum_clean () =
+  (* same workload, honest majority quorum: the same hunt must stay
+     clean *)
+  let cfg = E.config ~replicas:3 ~processes:inversion_prone () in
+  let res = E.hunt ~walks:500 ~seed:42 cfg in
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "honest config flagged: %s" ce.E.message
+
+let hunt_deterministic () =
+  let go () = E.hunt ~seed:42 (broken inversion_prone) in
+  match ((go ()).E.counterexample, (go ()).E.counterexample) with
+  | Some a, Some b ->
+    Alcotest.(check (list int)) "same schedule" a.E.schedule b.E.schedule;
+    Alcotest.(check string) "same message" a.E.message b.E.message
+  | _ -> Alcotest.fail "hunt missed the violation"
+
+let shrink_and_replay_file () =
+  let cfg = broken inversion_prone in
+  match (E.hunt ~seed:42 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the violation"
+  | Some ce ->
+    let cfg', ce' = E.shrink cfg ce in
+    Alcotest.(check bool) "schedule no longer" true
+      (List.length ce'.E.schedule <= List.length ce.E.schedule);
+    let ops c =
+      List.fold_left
+        (fun n p -> n + List.length p.Registers.Vm.script)
+        0 c.E.processes
+    in
+    Alcotest.(check bool) "workload no larger" true (ops cfg' <= ops cfg);
+    (* the shrunk counterexample must itself replay to a violation *)
+    let o = E.replay cfg' ce'.E.schedule in
+    Alcotest.(check bool) "shrunk schedule still violates" true
+      (o.Net.Sim_run.key_violations <> []);
+    (* ... and survive the trip through the JSONL artifact *)
+    let file = Filename.temp_file "explore" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg' ce';
+        let cfg'', sched, o' = E.replay_file ~file in
+        Alcotest.(check (list int)) "schedule survives" ce'.E.schedule sched;
+        Alcotest.(check int) "workload survives"
+          (List.length cfg'.E.processes)
+          (List.length cfg''.E.processes);
+        Alcotest.(check bool) "artifact replays to a violation" true
+          (o'.Net.Sim_run.key_violations <> []))
+
+let ddmin_minimizes () =
+  (* failure = contains both 3 and 7: ddmin must land on exactly that
+     pair, in order *)
+  let test l = List.mem 3 l && List.mem 7 l in
+  Alcotest.(check (list int)) "pair found" [ 3; 7 ]
+    (S.ddmin ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  (* monotone-by-construction cases *)
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (S.ddmin ~test:(fun l -> List.mem 9 l) [ 0; 9; 0; 0 ]);
+  Alcotest.(check (list int)) "already minimal" [ 5 ]
+    (S.ddmin ~test:(fun l -> l = [ 5 ]) [ 5 ])
+
+let pending_fire_restart () =
+  (* the controlled-stepping primitives under the explorer *)
+  let net = Net.Sim_net.create ~seed:0 ~faults:Net.Sim_net.reliable () in
+  let tr = Net.Sim_net.transport net in
+  let got = ref [] in
+  Net.Sim_net.register net 1 (fun ~src:_ m -> got := m :: !got);
+  tr.Net.Transport.send ~src:0 ~dst:1 Net.Wire.Bye;
+  tr.Net.Transport.send ~src:0 ~dst:1 (Net.Wire.Hello { proc = 0 });
+  let p = Net.Sim_net.pending net in
+  Alcotest.(check int) "two pending events" 2 (List.length p);
+  Alcotest.(check bool) "canonical order" true
+    (match p with
+    | [ a; b ] -> a.Net.Sim_net.seq < b.Net.Sim_net.seq
+    | _ -> false);
+  Alcotest.(check bool) "fire out of range" false (Net.Sim_net.fire net 2);
+  (* fire the *second* event first: out-of-order delivery *)
+  Alcotest.(check bool) "fire second" true (Net.Sim_net.fire net 1);
+  Alcotest.(check bool) "got the Hello" true
+    (!got = [ Net.Wire.Hello { proc = 0 } ]);
+  Net.Sim_net.crash net 1;
+  Alcotest.(check bool) "fire to dead node" true (Net.Sim_net.fire net 0);
+  Alcotest.(check bool) "dead node got nothing more" true
+    (List.length !got = 1);
+  Net.Sim_net.restart net 1;
+  tr.Net.Transport.send ~src:0 ~dst:1 Net.Wire.Bye;
+  Alcotest.(check bool) "fire after restart" true (Net.Sim_net.fire net 0);
+  Alcotest.(check int) "restarted node receives again" 2 (List.length !got)
+
+let explore_with_fates_clean () =
+  (* give the adversary a crash and a partition on a 1-replica... a
+     crash budget on replica 0 of a 3-replica cluster: exploration with
+     fate branch points must stay clean under a bounded budget *)
+  let res =
+    E.explore
+      (E.config ~replicas:3 ~crashable:[ 0 ] ~max_crashes:1
+         ~cuts:[ ([ 0 ], [ 1; 2 ]) ]
+         ~max_partitions:1 ~max_schedules:300
+         ~processes:[ proc 0 [ w 7 ] ] ())
+  in
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "fate exploration flagged: %s" ce.E.message
+
+let torture_small () =
+  let rep = E.torture ~runs:30 ~seed:11 () in
+  Alcotest.(check int) "all runs executed" 30 rep.E.runs;
+  Alcotest.(check int) "no violations" 0 rep.E.violations;
+  Alcotest.(check int) "no stalls" 0 rep.E.stalled;
+  Alcotest.(check bool) "work happened" true (rep.E.ops_completed > 0)
+
+(* --- slow --- *)
+
+let torture_long () =
+  let rep = E.torture ~runs:400 ~seed:1 () in
+  Alcotest.(check int) "no violations" 0 rep.E.violations;
+  Alcotest.(check int) "no stalls" 0 rep.E.stalled
+
+let torture_deterministic () =
+  let go seed = E.torture ~runs:60 ~seed () in
+  let a = go 5 and b = go 5 and c = go 6 in
+  Alcotest.(check int) "same seed, same ops" a.E.ops_completed b.E.ops_completed;
+  Alcotest.(check bool) "different seed, different workloads" true
+    (a.E.ops_completed <> c.E.ops_completed)
+
+let bounded_hunt_bigger_config () =
+  (* honest 3-replica cluster with a writer pair and a two-read reader
+     under random walks: no schedule may fail the audit *)
+  let cfg =
+    E.config ~replicas:3 ~keys:2
+      ~processes:[ proc 0 [ w 1; w 2 ]; proc 1 [ w 3 ]; proc 2 [ r; r; r ] ]
+      ()
+  in
+  match (E.hunt ~walks:300 ~seed:3 cfg).E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "honest config flagged: %s" ce.E.message
+
+let suite =
+  [
+    tc "exhaustive: two writers, all schedules atomic" exhaustive_two_writers;
+    tc "exhaustive: writer + reader, all schedules atomic"
+      exhaustive_writer_reader;
+    tc "pruning cuts the tree, same verdict" pruning_only_prunes;
+    tc "leaf budget respected" budget_respected;
+    tc "broken read quorum: violation found" broken_quorum_found;
+    tc "honest quorum: same hunt stays clean" honest_quorum_clean;
+    tc "hunt is deterministic in its seed" hunt_deterministic;
+    tc "shrink + save: artifact replays to the violation"
+      shrink_and_replay_file;
+    tc "ddmin minimizes" ddmin_minimizes;
+    tc "sim: pending/fire/restart primitives" pending_fire_restart;
+    tc "fate branch points stay clean" explore_with_fates_clean;
+    tc "torture: small seeded batch clean" torture_small;
+  ]
+
+let slow_suite =
+  [
+    tc_slow "torture: long run clean" torture_long;
+    tc_slow "torture: deterministic in seed" torture_deterministic;
+    tc_slow "hunt: bigger honest config clean" bounded_hunt_bigger_config;
+  ]

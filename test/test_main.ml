@@ -29,4 +29,6 @@ let () =
       ("properties", Test_props.suite);
       ("failure", Test_failure.suite);
       ("net", Test_net.suite);
+      ("wire-fuzz", Test_wire_fuzz.suite);
+      ("explore", Test_explore.suite);
     ]

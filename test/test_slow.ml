@@ -1,0 +1,6 @@
+(* The slow tier: socket-backed service tests, many-seed fault sweeps
+   and long torture runs.  Run with [dune build @slow]; tier-1
+   ([dune runtest]) stays fast without them. *)
+let () =
+  Alcotest.run "bloom-register-slow"
+    [ ("net", Test_net.slow_suite); ("explore", Test_explore.slow_suite) ]

@@ -1,0 +1,204 @@
+(* Property-based fuzzing of the wire protocol with a seeded
+   [Random.State] generator: arbitrary messages (keyed ops, nested
+   batches, stats tables, extreme ints) must round-trip through
+   encode/decode, the decoder must be total on mutated and random
+   bytes, and every documented cap must bite exactly at its
+   boundary. *)
+
+module W = Net.Wire
+
+let tc = Helpers.tc
+
+(* Full-range int: stitch three [Random.State.bits] calls so negative
+   values, [min_int] neighbourhoods and high bits all occur. *)
+let any_int rng =
+  match Random.State.int rng 8 with
+  | 0 -> 0
+  | 1 -> max_int
+  | 2 -> min_int
+  | 3 -> -1
+  | _ ->
+    let b () = Random.State.bits rng in
+    b () lor (b () lsl 30) lor (b () lsl 60)
+
+let any_payload rng = Registers.Tagged.make (any_int rng) (Random.State.bool rng)
+
+let any_name rng =
+  let len = Random.State.int rng 24 in
+  String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+
+let any_op rng =
+  match Random.State.int rng 4 with
+  | 0 -> W.Read
+  | 1 -> W.Write (any_int rng)
+  | 2 -> W.Read_k { key = any_int rng }
+  | _ -> W.Write_k { key = any_int rng; value = any_int rng }
+
+(* [depth] counts enclosing batches: the decoder rejects a [Batch] tag
+   at depth >= max_batch_depth, so generation stops nesting there. *)
+let rec any_msg rng depth =
+  let n_kinds = if depth < W.max_batch_depth then 11 else 10 in
+  match Random.State.int rng n_kinds with
+  | 0 -> W.Hello { proc = any_int rng }
+  | 1 -> W.Req { seq = any_int rng; op = any_op rng }
+  | 2 ->
+    let result = if Random.State.bool rng then Some (any_int rng) else None in
+    W.Resp { seq = any_int rng; result }
+  | 3 -> W.Query { rid = any_int rng; reg = any_int rng }
+  | 4 ->
+    W.Query_reply
+      { rid = any_int rng; reg = any_int rng; ts = any_int rng;
+        pl = any_payload rng }
+  | 5 ->
+    W.Store
+      { rid = any_int rng; reg = any_int rng; ts = any_int rng;
+        pl = any_payload rng }
+  | 6 -> W.Store_ack { rid = any_int rng; reg = any_int rng }
+  | 7 -> W.Bye
+  | 8 -> W.Stats_req { rid = any_int rng }
+  | 9 ->
+    let n = Random.State.int rng 5 in
+    W.Stats_reply
+      { rid = any_int rng;
+        stats = List.init n (fun _ -> (any_name rng, any_int rng)) }
+  | _ ->
+    let n = Random.State.int rng 4 in
+    W.Batch (List.init n (fun _ -> any_msg rng (depth + 1)))
+
+let fuzz_roundtrip () =
+  let rng = Random.State.make [| 0xf02 |] in
+  for i = 1 to 2_000 do
+    let m = any_msg rng 0 in
+    match W.decode (W.encode m) with
+    | Ok m' ->
+      if m' <> m then
+        Alcotest.failf "iteration %d: decode (encode m) <> m for %a" i W.pp m
+    | Error e ->
+      Alcotest.failf "iteration %d: decode (encode m) = Error %s for %a" i e
+        W.pp m
+  done
+
+let fuzz_mutations_total () =
+  (* flip/insert/delete bytes of valid encodings: decode must return,
+     never raise — and re-encoding any [Ok] must be stable *)
+  let rng = Random.State.make [| 0xdead |] in
+  for i = 1 to 2_000 do
+    let s = Bytes.of_string (W.encode (any_msg rng 0)) in
+    let s =
+      if Bytes.length s = 0 then "\x07"
+      else
+        match Random.State.int rng 3 with
+        | 0 ->
+          let j = Random.State.int rng (Bytes.length s) in
+          Bytes.set s j (Char.chr (Random.State.int rng 256));
+          Bytes.to_string s
+        | 1 ->
+          let j = Random.State.int rng (Bytes.length s) in
+          Bytes.to_string s ^ Bytes.to_string (Bytes.sub s 0 j)
+        | _ ->
+          let j = 1 + Random.State.int rng (Bytes.length s) in
+          Bytes.to_string (Bytes.sub s 0 (Bytes.length s - j))
+    in
+    match W.decode s with
+    | exception e ->
+      Alcotest.failf "iteration %d: decode raised %s" i (Printexc.to_string e)
+    | Error _ -> ()
+    | Ok m -> (
+      match W.decode (W.encode m) with
+      | Ok m' when m' = m -> ()
+      | _ -> Alcotest.failf "iteration %d: accepted mutant not stable" i)
+  done
+
+let fuzz_random_bytes_total () =
+  let rng = Random.State.make [| 0xbeef |] in
+  for i = 1 to 5_000 do
+    let len = Random.State.int rng 64 in
+    let s = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    match W.decode s with
+    | exception e ->
+      Alcotest.failf "iteration %d: decode raised %s" i (Printexc.to_string e)
+    | Ok _ | Error _ -> ()
+  done
+
+(* Encoded sizes used by the boundary tests: Hello = tag + int = 9
+   bytes, Bye = 1 byte, a batch adds an 8-byte length per item plus
+   its own tag + count = 9 bytes. *)
+let hello = W.Hello { proc = 0 }
+let hello_sz = String.length (W.encode hello)
+let item_sz = 8 + hello_sz
+
+let frame_at_max_frame () =
+  Alcotest.(check int) "Hello is 9 bytes" 9 hello_sz;
+  (* pick n and pad with one Bye so the body lands exactly on
+     max_frame: 9 + (8+1) + n*17 = 16 MiB *)
+  let n = (W.max_frame - 9 - 9) / item_sz in
+  Alcotest.(check int) "sizes divide exactly" 0 (W.max_frame - 9 - 9 - (n * item_sz));
+  let body = W.Batch (W.Bye :: List.init n (fun _ -> hello)) in
+  let exact = W.frame ~src:3 body in
+  Alcotest.(check int) "body exactly max_frame"
+    (W.max_frame + W.header_size) (Bytes.length exact);
+  let len, src = W.parse_header exact in
+  Alcotest.(check int) "header length" W.max_frame len;
+  Alcotest.(check int) "header src" 3 src;
+  (* one more item pushes the body over: the sender must refuse *)
+  let over = W.Batch (W.Bye :: List.init (n + 1) (fun _ -> hello)) in
+  match W.frame ~src:3 over with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frame over max_frame accepted"
+
+let batch_depth_boundary () =
+  let rec nest d = if d = 0 then W.Bye else W.Batch [ nest (d - 1) ] in
+  (match W.decode (W.encode (nest W.max_batch_depth)) with
+  | Ok m ->
+    Alcotest.(check bool) "max depth round-trips" true
+      (m = nest W.max_batch_depth)
+  | Error e -> Alcotest.failf "batch at max depth rejected: %s" e);
+  match W.decode (W.encode (nest (W.max_batch_depth + 1))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "batch beyond max depth accepted"
+
+let stat_name_boundary () =
+  let reply len =
+    W.Stats_reply { rid = 1; stats = [ (String.make len 'x', 42) ] }
+  in
+  (match W.decode (W.encode (reply W.max_stat_name)) with
+  | Ok m ->
+    Alcotest.(check bool) "name at cap round-trips" true
+      (m = reply W.max_stat_name)
+  | Error e -> Alcotest.failf "stat name at cap rejected: %s" e);
+  match W.decode (W.encode (reply (W.max_stat_name + 1))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stat name beyond cap accepted"
+
+let stats_count_boundary () =
+  let reply n =
+    W.Stats_reply { rid = 1; stats = List.init n (fun i -> ("c", i)) }
+  in
+  (match W.decode (W.encode (reply W.max_stats)) with
+  | Ok m ->
+    Alcotest.(check bool) "stats at cap round-trip" true (m = reply W.max_stats)
+  | Error e -> Alcotest.failf "stats at cap rejected: %s" e);
+  match W.decode (W.encode (reply (W.max_stats + 1))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stats beyond cap accepted"
+
+let batch_count_boundary () =
+  let batch n = W.Batch (List.init n (fun _ -> W.Bye)) in
+  (match W.decode (W.encode (batch W.max_batch)) with
+  | Ok m -> Alcotest.(check bool) "batch at cap round-trips" true (m = batch W.max_batch)
+  | Error e -> Alcotest.failf "batch at cap rejected: %s" e);
+  match W.decode (W.encode (batch (W.max_batch + 1))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "batch beyond cap accepted"
+
+let suite =
+  [
+    tc "fuzz: random messages round-trip" fuzz_roundtrip;
+    tc "fuzz: mutated encodings never raise" fuzz_mutations_total;
+    tc "fuzz: random bytes never raise" fuzz_random_bytes_total;
+    tc "boundary: frame at exactly max_frame" frame_at_max_frame;
+    tc "boundary: batch nesting depth" batch_depth_boundary;
+    tc "boundary: stat name length" stat_name_boundary;
+    tc "boundary: stats table size" stats_count_boundary;
+    tc "boundary: batch length" batch_count_boundary;
+  ]
