@@ -884,6 +884,130 @@ let bench_net_explore () =
     rep.Net.Explore.violations rep.Net.Explore.stalled
 
 (* ------------------------------------------------------------------ *)
+(* net/recovery: the durability layer — WAL append throughput on both  *)
+(* backends, recovery time as the log grows, and the snapshot-interval *)
+(* trade-off between log size and recovery work (BENCH_005.json).      *)
+
+let bench_net_recovery () =
+  section "net-recovery - WAL appends, recovery time, snapshot intervals";
+  let pf = Fmt.pr in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Float.max 1e-9 (Unix.gettimeofday () -. t0))
+  in
+  let entry i =
+    { Net.Storage.reg = i mod 64; ts = i + 1;
+      pl = Registers.Tagged.make i (i land 1 = 0) }
+  in
+  let fill st n = for i = 0 to n - 1 do Net.Storage.append st (entry i) done in
+  let fresh_dir () =
+    (* a unique path under the system tmpdir; file_backend mkdirs it *)
+    let f = Filename.temp_file "bench_storage" "" in
+    Sys.remove f;
+    f
+  in
+  let rm_dir dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  (* --- append throughput: in-memory floor vs real files --- *)
+  let n = 50_000 in
+  (let st = Net.Storage.create (Net.Storage.mem_backend ()) in
+   let (), dt = timed (fun () -> fill st n) in
+   let rate = float_of_int n /. dt in
+   Json.metric ~section:"net-recovery" "mem appends per s" rate;
+   pf "  append  mem backend         %8.0f appends/s@." rate);
+  let file_leg ~fsync ~label =
+    let dir = fresh_dir () in
+    let st =
+      Net.Storage.create (Net.Storage.file_backend ~fsync ~dir ())
+    in
+    let n = if fsync then 500 else n in
+    let (), dt = timed (fun () -> fill st n) in
+    let rate = float_of_int n /. dt in
+    Json.metric ~section:"net-recovery"
+      (Fmt.str "file appends per s (%s)" label) rate;
+    pf "  append  file backend %-7s %8.0f appends/s@." ("(" ^ label ^ ")")
+      rate;
+    rm_dir dir
+  in
+  file_leg ~fsync:false ~label:"no fsync";
+  file_leg ~fsync:true ~label:"fsync";
+  (* --- recovery time vs log length: reopen a file store whose WAL
+     holds L entries and no snapshot --- *)
+  pf "  recovery time vs WAL length (file backend, no snapshot):@.";
+  List.iter
+    (fun len ->
+      let dir = fresh_dir () in
+      fill (Net.Storage.create (Net.Storage.file_backend ~dir ())) len;
+      let st, dt =
+        timed (fun () ->
+            Net.Storage.create (Net.Storage.file_backend ~dir ()))
+      in
+      let s = Net.Storage.stats st in
+      assert (s.Net.Storage.recovered_wal = len);
+      Json.metric ~section:"net-recovery"
+        (Fmt.str "recovery ms wal %d" len) (dt *. 1e3);
+      pf "    %6d entries: %7.2f ms (%8.0f entries/s)@." len (dt *. 1e3)
+        (float_of_int len /. dt);
+      rm_dir dir)
+    [ 1_000; 10_000; 100_000 ];
+  (* --- snapshot interval sweep: disk footprint and recovery work
+     after the same 20k appends over 64 registers --- *)
+  pf "  snapshot interval sweep (20000 appends, 64 registers):@.";
+  List.iter
+    (fun every ->
+      let dir = fresh_dir () in
+      let st =
+        Net.Storage.create ~snapshot_every:every
+          (Net.Storage.file_backend ~dir ())
+      in
+      let (), fill_dt = timed (fun () -> fill st 20_000) in
+      let st', dt =
+        timed (fun () ->
+            Net.Storage.create (Net.Storage.file_backend ~dir ()))
+      in
+      let live = Net.Storage.stats st and s = Net.Storage.stats st' in
+      let label = if every = 0 then "never" else string_of_int every in
+      Json.metric ~section:"net-recovery"
+        (Fmt.str "snapshot every %s wal bytes" label)
+        (float_of_int s.Net.Storage.wal_size);
+      Json.metric ~section:"net-recovery"
+        (Fmt.str "snapshot every %s recovery ms" label)
+        (dt *. 1e3);
+      pf
+        "    every %-5s %3d snapshots, wal %8d bytes; recovery %6.2f ms \
+         (snap %2d + wal %5d), fill %5.2fs@."
+        label live.Net.Storage.snapshots_taken s.Net.Storage.wal_size
+        (dt *. 1e3) s.Net.Storage.recovered_snapshot
+        s.Net.Storage.recovered_wal fill_dt;
+      rm_dir dir)
+    [ 0; 64; 512; 4096 ];
+  (* --- end to end: simulated durable cluster, cost of the WAL in the
+     replica handler path (virtual-time throughput, durable vs not) --- *)
+  let sim ~durable =
+    let o =
+      Net.Sim_run.run ~durable ~seed:13 ~init:0
+        ~processes:
+          (Harness.Workload.unique_scripts
+             { Harness.Workload.writers = 2; readers = 2; writes_each = 50;
+               reads_each = 50 })
+        ()
+    in
+    (o, float_of_int o.Net.Sim_run.completed /. o.Net.Sim_run.virtual_span)
+  in
+  let _, on_rate = sim ~durable:true in
+  let _, off_rate = sim ~durable:false in
+  Json.metric ~section:"net-recovery" "sim ops per vtime durable" on_rate;
+  Json.metric ~section:"net-recovery" "sim ops per vtime volatile" off_rate;
+  pf "  sim cluster: %5.2f ops/vtime durable vs %5.2f volatile@.@." on_rate
+    off_rate
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
 
 let make_trace n_ops =
@@ -1078,6 +1202,7 @@ let all_sections =
     ("net-shard", bench_net_shard);
     ("net-metrics", bench_net_metrics);
     ("net-explore", bench_net_explore);
+    ("net-recovery", bench_net_recovery);
     ("micro", run_micro);
   ]
 

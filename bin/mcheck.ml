@@ -147,9 +147,10 @@ let run protocol writes reads writers readers invariant =
 module X = Net.Explore
 module S = Modelcheck.Schedule
 
-let run_net replicas keys window writes readers reads broken crashes
-    max_schedules max_depth no_prune fastcheck hunt walks seed torture runs
-    dump replay expect_violation expect_exhausted =
+let run_net replicas keys window net_writers writes readers reads broken
+    crashes amnesia no_durability max_schedules max_depth no_prune fastcheck
+    hunt walks seed torture runs dump replay expect_violation expect_exhausted
+    =
   let finish ~violated =
     if violated = expect_violation then 0
     else begin
@@ -186,8 +187,10 @@ let run_net replicas keys window writes readers reads broken crashes
     end
     else begin
       let processes =
-        scripts ~writer_procs:[ 0; 1 ] ~writes
-          ~reader_procs:(List.init readers (fun i -> i + 2))
+        scripts
+          ~writer_procs:(List.init net_writers Fun.id)
+          ~writes
+          ~reader_procs:(List.init readers (fun i -> i + net_writers))
           ~reads
         |> List.filter (fun p -> p.Vm.script <> [])
       in
@@ -195,8 +198,10 @@ let run_net replicas keys window writes readers reads broken crashes
         X.config ~replicas ~keys ~window
           ?read_quorum:(if broken then Some 1 else None)
           ~crashable:(if crashes > 0 then List.init replicas Fun.id else [])
-          ~max_crashes:crashes ?max_schedules ~max_depth
-          ~prune:(not no_prune) ~fastcheck ~processes ()
+          ~max_crashes:crashes
+          ~amnesia:(if amnesia > 0 then List.init replicas Fun.id else [])
+          ~max_amnesia:amnesia ~durable:(not no_durability) ?max_schedules
+          ~max_depth ~prune:(not no_prune) ~fastcheck ~processes ()
       in
       let t0 = Unix.gettimeofday () in
       let res = if hunt then X.hunt ~walks ~seed cfg else X.explore cfg in
@@ -277,8 +282,11 @@ let net_cmd =
   let window =
     Arg.(value & opt int 4 & info [ "window" ] ~doc:"Client pipelining window.")
   in
+  let net_writers =
+    Arg.(value & opt int 2 & info [ "writers" ] ~doc:"Writer processes.")
+  in
   let writes =
-    Arg.(value & opt int 1 & info [ "writes" ] ~doc:"Writes per writer (2 writers).")
+    Arg.(value & opt int 1 & info [ "writes" ] ~doc:"Writes per writer.")
   in
   let readers = Arg.(value & opt int 1 & info [ "readers" ] ~doc:"Readers.") in
   let reads = Arg.(value & opt int 1 & info [ "reads" ] ~doc:"Reads per reader.") in
@@ -292,6 +300,19 @@ let net_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ]
              ~doc:"Let the adversary crash up to this many replicas.")
+  in
+  let amnesia =
+    Arg.(value & opt int 0
+         & info [ "amnesia" ]
+             ~doc:"Let the adversary amnesia-reboot replicas up to this many \
+                   times (volatile state dropped; recovery from the WAL, or \
+                   from nothing with $(b,--no-durability)).")
+  in
+  let no_durability =
+    Arg.(value & flag
+         & info [ "no-durability" ]
+             ~doc:"Deliberately run replicas without stable storage: an \
+                   amnesia reboot forgets acknowledged stores.")
   in
   let max_schedules =
     Arg.(value & opt (some int) None
@@ -353,10 +374,11 @@ let net_cmd =
   Cmd.v
     (Cmd.info "net"
        ~doc:"Explore delivery schedules of the simulated register service")
-    Term.(const run_net $ replicas $ keys $ window $ writes $ readers $ reads
-          $ broken $ crashes $ max_schedules $ max_depth $ no_prune
-          $ fastcheck $ hunt $ walks $ seed $ torture $ runs $ dump $ replay
-          $ expect_violation $ expect_exhausted)
+    Term.(const run_net $ replicas $ keys $ window $ net_writers $ writes
+          $ readers $ reads $ broken $ crashes $ amnesia $ no_durability
+          $ max_schedules
+          $ max_depth $ no_prune $ fastcheck $ hunt $ walks $ seed $ torture
+          $ runs $ dump $ replay $ expect_violation $ expect_exhausted)
 
 let cmd =
   Cmd.group ~default:shm_term

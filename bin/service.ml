@@ -83,25 +83,43 @@ let run_sim seed replicas shards readers writes reads drop dup window crash
 (* ------------------------------------------------------------------ *)
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
-let start_cluster net ~replicas ~shards ~audit =
+let start_cluster net ~replicas ~shards ~audit ?data_dir () =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
-  List.iter
-    (fun r ->
-      let rep = Net.Replica.create ~init:0 () in
-      Net.Socket_net.listen net r (fun ~src msg ->
-          List.iter
-            (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
-            (Net.Replica.handle rep ~src msg)))
-    replica_nodes;
+  (* with --data-dir every node persists to real files: replicas WAL
+     their accepted stores (persist-before-ack), the server WALs the
+     write timestamps it issues, and all of them recover on restart *)
+  let storage_for name =
+    Option.map
+      (fun dir ->
+        Net.Storage.create ~snapshot_every:1024
+          (Net.Storage.file_backend ~dir:(Filename.concat dir name) ()))
+      data_dir
+  in
+  let reps =
+    List.map
+      (fun r ->
+        let rep =
+          Net.Replica.create ~init:0
+            ?storage:(storage_for ("replica" ^ string_of_int r))
+            ()
+        in
+        Net.Socket_net.listen net r (fun ~src msg ->
+            List.iter
+              (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+              (Net.Replica.handle rep ~src msg));
+        (r, rep))
+      replica_nodes
+  in
   let server =
     Net.Server.create ~transport:tr ~audit ~metrics
+      ?storage:(storage_for "server")
       ~map:(Net.Shard_map.create ~shards ())
       ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
-  server
+  (server, reps)
 
 let run_socket_workload net ~window ~nkeys processes =
   let threads =
@@ -126,7 +144,7 @@ let run_socket_workload net ~window ~nkeys processes =
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
 
-let run_smoke shards readers writes reads seed show_metrics =
+let run_smoke shards readers writes reads seed data_dir show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -138,7 +156,9 @@ let run_smoke shards readers writes reads seed show_metrics =
     3 shards (if shards = 1 then "" else "s");
   let net = Net.Socket_net.create () in
   let metrics = Net.Socket_net.metrics net in
-  let server = start_cluster net ~replicas:3 ~shards ~audit:true in
+  let server, reps =
+    start_cluster net ~replicas:3 ~shards ~audit:true ?data_dir ()
+  in
   let killer =
     Thread.create
       (fun () ->
@@ -165,11 +185,38 @@ let run_smoke shards readers writes reads seed show_metrics =
   Fmt.pr "  %d/%d ops served; live audit: %s; decode errors: %d@."
     served expected mon decode_errors;
   List.iter (fun (k, v) -> Fmt.pr "  key %d: %s@." k v) per_key;
+  (* with --data-dir, prove the durability round trip: reopen every
+     replica's on-disk store fresh and require the recovered table to
+     equal the live replica's — including the crashed replica 2, whose
+     WAL must hold exactly what it acked before dying *)
+  let durable_ok =
+    match data_dir with
+    | None -> true
+    | Some dir ->
+      let ok =
+        List.for_all
+          (fun (r, rep) ->
+            let st =
+              Net.Storage.create
+                (Net.Storage.file_backend
+                   ~dir:(Filename.concat dir ("replica" ^ string_of_int r))
+                   ())
+            in
+            Net.Storage.contents st = Net.Replica.contents rep)
+          reps
+      in
+      Fmt.pr "  durability: %d replica stores reopened from %s: %s@."
+        (List.length reps) dir
+        (if ok then "recovered state = live state" else "RECOVERY MISMATCH");
+      ok
+  in
   if show_metrics then Fmt.pr "-- socket metrics --@.%a@." Net.Metrics.pp metrics;
   (* the gate: every op served, every shard's audit accepting, every
-     key's history re-checked atomic, a byte-clean wire *)
+     key's history re-checked atomic, a byte-clean wire, and (with
+     --data-dir) a lossless recovery round trip *)
   let socket_ok =
     served = expected && violations = [] && fc_ok && decode_errors = 0
+    && durable_ok
   in
   (* --- simulated transport under faults --- *)
   Fmt.pr
@@ -193,11 +240,29 @@ let run_smoke shards readers writes reads seed show_metrics =
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
 
-let run_serve dir replicas shards audit show_metrics =
+let run_serve dir replicas shards audit data_dir show_metrics =
   let net = Net.Socket_net.create ~dir () in
-  let _server = start_cluster net ~replicas ~shards ~audit in
-  Fmt.pr "serving the two-writer keyspace in %s (%d replicas, %d shard%s)@."
-    dir replicas shards (if shards = 1 then "" else "s");
+  let _server, reps = start_cluster net ~replicas ~shards ~audit ?data_dir () in
+  Fmt.pr "serving the two-writer keyspace in %s (%d replicas, %d shard%s%s)@."
+    dir replicas shards
+    (if shards = 1 then "" else "s")
+    (match data_dir with
+     | None -> ", volatile"
+     | Some d -> Fmt.str ", durable in %s" d);
+  List.iter
+    (fun (r, rep) ->
+      match Net.Replica.storage rep with
+      | None -> ()
+      | Some st ->
+        let s = Net.Storage.stats st in
+        Fmt.pr "  replica %d: recovered %d register%s (snapshot %d, wal %d%s)@."
+          r
+          (List.length (Net.Storage.contents st))
+          (if List.length (Net.Storage.contents st) = 1 then "" else "s")
+          s.Net.Storage.recovered_snapshot s.Net.Storage.recovered_wal
+          (if s.Net.Storage.torn_bytes = 0 then ""
+           else Fmt.str ", %d torn bytes repaired" s.Net.Storage.torn_bytes))
+    reps;
   Fmt.pr "stop with C-c; clients: dune exec bin/service.exe -- client -d %s ...@."
     dir;
   if show_metrics then
@@ -332,6 +397,14 @@ let metrics_flag =
        & info [ "metrics" ] ~doc:"Print a metrics snapshot (counters and \
                                   latency percentiles).")
 
+let data_dir =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Persist every node's state under $(docv) (one \
+                 subdirectory per replica plus one for the server's \
+                 write timestamps): checksummed WALs with periodic \
+                 snapshots, recovered on restart.")
+
 let sim_cmd =
   let replicas =
     Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
@@ -373,7 +446,7 @@ let smoke_cmd =
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
     Term.(const run_smoke $ shards $ readers $ writes $ reads $ seed
-          $ metrics_flag)
+          $ data_dir $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -389,7 +462,8 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
-    Term.(const run_serve $ dir_arg $ replicas $ shards $ audit $ metrics_flag)
+    Term.(const run_serve $ dir_arg $ replicas $ shards $ audit $ data_dir
+          $ metrics_flag)
 
 let client_cmd =
   let proc =

@@ -5,12 +5,14 @@ module Vm = Registers.Vm
    the dependency order. *)
 type net_fate =
   | Crash of int
+  | Crash_amnesia of int
   | Restart of int
   | Partition of int list * int list
   | Heal
 
 let pp_net_fate ppf = function
   | Crash r -> Fmt.pf ppf "crash %d" r
+  | Crash_amnesia r -> Fmt.pf ppf "crash-amnesia %d" r
   | Restart r -> Fmt.pf ppf "restart %d" r
   | Partition (a, b) ->
     Fmt.pf ppf "partition [%a|%a]" Fmt.(list ~sep:comma int) a
@@ -38,7 +40,11 @@ let random_net_fates ~rng ~replicas ~server ~span ?max_crashes () =
     (fun i r ->
       if i < crashes then begin
         let tc = t_in 0.0 (span *. 0.8) in
-        fates := (tc, Crash r) :: !fates;
+        (* half the crashes are amnesiac — the process really died and
+           must restart from stable storage (or from nothing, which a
+           durable harness should then catch) *)
+        let fate = if Random.State.bool rng then Crash_amnesia r else Crash r in
+        fates := (tc, fate) :: !fates;
         if Random.State.bool rng then
           fates := (t_in tc span, Restart r) :: !fates
       end)

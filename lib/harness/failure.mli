@@ -13,8 +13,14 @@
     interprets them. *)
 
 type net_fate =
-  | Crash of int  (** replica stops receiving (state retained) *)
-  | Restart of int  (** undo a crash — restart from stable storage *)
+  | Crash of int
+      (** replica stops receiving; volatile state retained (a pause,
+          not a death) *)
+  | Crash_amnesia of int
+      (** replica dies: volatile state is lost, and a later [Restart]
+          must recover from stable storage — or come back empty when
+          the harness runs without durability *)
+  | Restart of int  (** undo a crash; amnesiac nodes recover first *)
   | Partition of int list * int list  (** sever links between groups *)
   | Heal  (** remove the active partition *)
 
@@ -31,7 +37,8 @@ val random_net_fates :
 (** A random liveness-preserving fate schedule over virtual-time
     window [[0, span]], sorted by time: at most [max_crashes] (default
     and hard cap: a minority of [replicas]) distinct replicas crash —
-    each possibly restarting later — and at most one partition window
+    each a coin-flip between [Crash] and [Crash_amnesia], each possibly
+    restarting later — and at most one partition window
     cuts a subset of replicas from the rest and the [server], always
     healed within the window.  Under such a schedule every quorum
     operation can eventually complete, so a harness may assert both

@@ -14,6 +14,9 @@ type config = {
   read_quorum : int option;
   crashable : int list;
   max_crashes : int;
+  amnesia : int list;
+  max_amnesia : int;
+  durable : bool;
   cuts : (int list * int list) list;
   max_partitions : int;
   max_timer_fires : int;
@@ -24,7 +27,8 @@ type config = {
 }
 
 let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0) ?read_quorum
-    ?(crashable = []) ?(max_crashes = 0) ?(cuts = []) ?(max_partitions = 0)
+    ?(crashable = []) ?(max_crashes = 0) ?(amnesia = []) ?(max_amnesia = 0)
+    ?(durable = true) ?(cuts = []) ?(max_partitions = 0)
     ?(max_timer_fires = 64) ?(max_depth = 2_000) ?(max_schedules = max_int)
     ?(prune = true) ?(fastcheck = false) ~processes () =
   {
@@ -36,6 +40,9 @@ let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0) ?read_quorum
     read_quorum;
     crashable;
     max_crashes = (if crashable = [] then 0 else max_crashes);
+    amnesia;
+    max_amnesia = (if amnesia = [] then 0 else max_amnesia);
+    durable;
     cuts;
     max_partitions = (if cuts = [] then 0 else max_partitions);
     max_timer_fires;
@@ -51,6 +58,7 @@ let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0) ?read_quorum
 type action =
   | Fire of int  (* index into the Sim_net.pending snapshot *)
   | Crash_r of int
+  | Reboot of int  (* amnesia-crash + immediate restart (recovery) *)
   | Cut of int  (* index into cfg.cuts *)
   | Heal_cut
 
@@ -58,6 +66,7 @@ type st = {
   cfg : config;
   cl : Sim_run.cluster;
   mutable crashes_left : int;
+  mutable amnesia_left : int;
   mutable cuts_left : int;
   mutable cut_active : bool;
   mutable timer_budget : int;
@@ -67,13 +76,15 @@ type st = {
 let reset ?trace cfg =
   let cl =
     Sim_run.build ~faults:Sim_net.reliable ~replicas:cfg.replicas
-      ~window:cfg.window ~keys:cfg.keys ?read_quorum:cfg.read_quorum ?trace
-      ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
+      ~window:cfg.window ~keys:cfg.keys ?read_quorum:cfg.read_quorum
+      ~durable:cfg.durable ?trace ~seed:0 ~init:cfg.init
+      ~processes:cfg.processes ()
   in
   {
     cfg;
     cl;
     crashes_left = cfg.max_crashes;
+    amnesia_left = cfg.max_amnesia;
     cuts_left = cfg.max_partitions;
     cut_active = false;
     timer_budget = cfg.max_timer_fires;
@@ -137,6 +148,16 @@ let enabled st =
           if Sim_net.alive st.cl.Sim_run.net r then
             push (Crash_r r) { Sched.node = -1; tag = Fmt.str "crash%d" r })
         st.cfg.crashable;
+    (* a reboot is atomic (amnesia-crash + restart-with-recovery), so
+       the node is alive again before the next choice: runs stay
+       complete, and the branch point is purely "does the replica
+       forget here" — harmless when durable, a bug source when not *)
+    if st.amnesia_left > 0 then
+      List.iter
+        (fun r ->
+          if Sim_net.alive st.cl.Sim_run.net r then
+            push (Reboot r) { Sched.node = -1; tag = Fmt.str "amnesia%d" r })
+        st.cfg.amnesia;
     if (not st.cut_active) && st.cuts_left > 0 then
       List.iteri
         (fun i _ -> push (Cut i) { Sched.node = -1; tag = Fmt.str "cut%d" i })
@@ -154,6 +175,10 @@ let apply st i =
   | Crash_r r ->
     st.crashes_left <- st.crashes_left - 1;
     Sim_net.crash st.cl.Sim_run.net r
+  | Reboot r ->
+    st.amnesia_left <- st.amnesia_left - 1;
+    Sim_net.crash_amnesia st.cl.Sim_run.net r;
+    Sim_net.restart st.cl.Sim_run.net r
   | Cut c ->
     st.cuts_left <- st.cuts_left - 1;
     st.cut_active <- true;
@@ -377,11 +402,13 @@ let script_tokens script =
 let config_note cfg =
   Fmt.str
     "config replicas=%d keys=%d window=%d init=%d read_quorum=%d \
-     max_crashes=%d max_partitions=%d max_timer_fires=%d max_depth=%d \
-     prune=%d fastcheck=%d"
+     max_crashes=%d max_amnesia=%d durable=%d max_partitions=%d \
+     max_timer_fires=%d max_depth=%d prune=%d fastcheck=%d"
     cfg.replicas cfg.keys cfg.window cfg.init
     (Option.value ~default:0 cfg.read_quorum)
-    cfg.max_crashes cfg.max_partitions cfg.max_timer_fires cfg.max_depth
+    cfg.max_crashes cfg.max_amnesia
+    (if cfg.durable then 1 else 0)
+    cfg.max_partitions cfg.max_timer_fires cfg.max_depth
     (if cfg.prune then 1 else 0)
     (if cfg.fastcheck then 1 else 0)
 
@@ -399,6 +426,10 @@ let save ~file cfg ce =
     note
       (Fmt.str "crashable %s"
          (String.concat "," (List.map string_of_int cfg.crashable)));
+  if cfg.amnesia <> [] then
+    note
+      (Fmt.str "amnesia %s"
+         (String.concat "," (List.map string_of_int cfg.amnesia)));
   List.iter (fun cut -> note (Fmt.str "cut %s" (group_note cut))) cfg.cuts;
   List.iter
     (fun (p : int Vm.process) ->
@@ -468,6 +499,7 @@ let load ~file =
     failwith "explore: not a counterexample file";
   let assoc = Hashtbl.create 16 in
   let procs = ref [] and cuts = ref [] and crashable = ref [] in
+  let amnesia = ref [] in
   let schedule = ref [] in
   List.iter
     (fun text ->
@@ -480,6 +512,7 @@ let load ~file =
             | _ -> ())
           fields
       | [ "crashable"; l ] -> crashable := List.map int_of_string (split_on ',' l)
+      | [ "amnesia"; l ] -> amnesia := List.map int_of_string (split_on ',' l)
       | [ "cut"; g ] -> cuts := !cuts @ [ parse_group g ]
       | "proc" :: p :: script ->
         procs :=
@@ -493,7 +526,11 @@ let load ~file =
     config ~replicas:(get "replicas" 3) ~keys:(get "keys" 1)
       ~window:(get "window" 4) ~init:(get "init" 0)
       ?read_quorum:(if rq = 0 then None else Some rq)
-      ~crashable:!crashable ~max_crashes:(get "max_crashes" 0) ~cuts:!cuts
+      ~crashable:!crashable ~max_crashes:(get "max_crashes" 0)
+      ~amnesia:!amnesia
+      ~max_amnesia:(get "max_amnesia" 0)
+      ~durable:(get "durable" 1 = 1)
+      ~cuts:!cuts
       ~max_partitions:(get "max_partitions" 0)
       ~max_timer_fires:(get "max_timer_fires" 64)
       ~max_depth:(get "max_depth" 2_000)

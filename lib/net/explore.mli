@@ -40,6 +40,19 @@ type config = {
       (** deliberate-bug hook, see {!Quorum.create} *)
   crashable : int list;  (** replicas the adversary may crash *)
   max_crashes : int;  (** crash budget per run *)
+  amnesia : int list;
+      (** replicas the adversary may amnesia-reboot: an atomic
+          crash-amnesia + restart, so volatile state is dropped and
+          the node recovers (from its WAL when [durable], from nothing
+          otherwise) without ever going unreachable — runs stay
+          complete, the branch point is purely whether the replica
+          forgets *)
+  max_amnesia : int;  (** reboot budget per run *)
+  durable : bool;
+      (** replicas persist stores to a simulated disk before acking
+          (the default); [false] is the deliberate-bug hook this layer
+          exists to catch — an acked store can be forgotten by a
+          reboot *)
   cuts : (int list * int list) list;
       (** candidate partitions the adversary may impose (one active at
           a time, must heal before the next) *)
@@ -59,6 +72,9 @@ val config :
   ?read_quorum:int ->
   ?crashable:int list ->
   ?max_crashes:int ->
+  ?amnesia:int list ->
+  ?max_amnesia:int ->
+  ?durable:bool ->
   ?cuts:(int list * int list) list ->
   ?max_partitions:int ->
   ?max_timer_fires:int ->
@@ -70,8 +86,8 @@ val config :
   unit ->
   config
 (** Defaults: 3 replicas, 1 key, window 4, init 0, honest read quorum,
-    no fates, [max_timer_fires] 64, [max_depth] 2000, unbounded
-    schedules, pruning on, post-hoc check off. *)
+    no fates, durable replicas, [max_timer_fires] 64, [max_depth] 2000,
+    unbounded schedules, pruning on, post-hoc check off. *)
 
 (** {2 Exploration} *)
 

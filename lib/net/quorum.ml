@@ -37,6 +37,7 @@ type t = {
   read_quorum : int;
   pending : (int, phase) Hashtbl.t;
   wts : (int, int) Hashtbl.t;  (* global reg -> write timestamp *)
+  storage : Storage.t option;
   mutable next_rid : int;
   mutable reads : int;
   mutable writes : int;
@@ -45,7 +46,7 @@ type t = {
   c : ctrs;
 }
 
-let create ~transport ~me ~replicas ?read_quorum ?metrics () =
+let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let majority = (List.length replicas / 2) + 1 in
   let read_quorum =
@@ -65,6 +66,16 @@ let create ~transport ~me ~replicas ?read_quorum ?metrics () =
       h_phase2 = Metrics.histogram metrics "quorum_phase2";
     }
   in
+  let wts = Hashtbl.create 16 in
+  (* recover issued write timestamps: a restarted engine must never
+     reuse a timestamp it already handed to the replicas, or a newer
+     value would lose to an older one under the ts-monotone apply *)
+  (match storage with
+   | None -> ()
+   | Some st ->
+     List.iter
+       (fun (reg, (ts, _)) -> Hashtbl.replace wts reg ts)
+       (Storage.contents st));
   {
     tr = transport;
     me;
@@ -72,7 +83,8 @@ let create ~transport ~me ~replicas ?read_quorum ?metrics () =
     quorum = majority;
     read_quorum;
     pending = Hashtbl.create 16;
-    wts = Hashtbl.create 16;
+    wts;
+    storage;
     next_rid = 0;
     reads = 0;
     writes = 0;
@@ -119,6 +131,12 @@ let write t ~reg ~value ~k =
   t.writes <- t.writes + 1;
   let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
   Hashtbl.replace t.wts reg ts;
+  (* persist the timestamp bump before the Store leaves this node, so
+     a restarted engine recovers a wts at least as high as anything a
+     replica may already hold from us *)
+  (match t.storage with
+   | None -> ()
+   | Some st -> Storage.append st { Storage.reg; ts; pl = value });
   (* the write timestamp dominates every write-back of an earlier read
      (those reuse timestamps <= wts, by SWMR ownership) *)
   start_store t ~reg ~ts ~pl:value ~finish:k

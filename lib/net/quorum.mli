@@ -41,6 +41,7 @@ val create :
   me:Transport.node ->
   replicas:Transport.node list ->
   ?read_quorum:int ->
+  ?storage:Storage.t ->
   ?metrics:Metrics.t ->
   unit ->
   t
@@ -52,6 +53,14 @@ val create :
     that it detects the resulting non-atomic schedules.  Raises
     [Invalid_argument] outside [1 .. length replicas].  The store
     quorum is always a majority.
+
+    [storage] makes the engine's write timestamps durable: each
+    {!write} appends its (register, timestamp, value) to the store
+    before the [Store] broadcast leaves this node, and {!create}
+    recovers the per-register timestamps from it — so a restarted
+    engine never re-issues a timestamp a replica may already hold.
+    Several engines may share one store as long as their register sets
+    are disjoint (which shards guarantee).
     [metrics] (default: a fresh, private instance) receives
     [quorum_queries]/[quorum_stores]/[quorum_retransmissions] counters
     and the [quorum_phase1]/[quorum_phase2] round-latency histograms

@@ -10,16 +10,18 @@ type t = {
   c_ops : Metrics.counter array;  (* shard<i>_quorum_ops *)
 }
 
-let create ~transport ~me ~replicas ~map ?read_quorum ?metrics () =
+let create ~transport ~me ~replicas ~map ?read_quorum ?storage ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let n = Shard_map.shards map in
   {
     map;
     engines =
+      (* the engines share one store safely: each is the exclusive
+         writer of its shard's (disjoint) global registers *)
       Array.init n (fun s ->
           Quorum.create ~transport ~me
             ~replicas:(Shard_map.group map ~replicas s)
-            ?read_quorum ~metrics ());
+            ?read_quorum ?storage ~metrics ());
     c_ops =
       Array.init n (fun s ->
           Metrics.counter metrics (Fmt.str "shard%d_quorum_ops" s));

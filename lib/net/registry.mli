@@ -22,13 +22,17 @@ val create :
   replicas:Transport.node list ->
   map:Shard_map.t ->
   ?read_quorum:int ->
+  ?storage:Storage.t ->
   ?metrics:Metrics.t ->
   unit ->
   t
 (** One engine per shard of [map], over
     {!Shard_map.group}[ map ~replicas s].  [read_quorum] is passed to
     every engine (see {!Quorum.create} — fault-injection hook, default
-    majority).  [metrics] receives the shared quorum
+    majority).  [storage] is shared by every engine — safe because the
+    shards partition the keyspace, so the engines' register sets are
+    disjoint (see {!Quorum.create}); it makes issued write timestamps
+    durable across a server restart.  [metrics] receives the shared quorum
     counters/histograms plus one [shard<i>_quorum_ops] counter per
     shard — the per-shard load (and skew) signal. *)
 

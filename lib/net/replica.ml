@@ -1,16 +1,33 @@
+(* The register table lives either in a plain hashtable (volatile — a
+   restart from amnesia loses it) or inside a Storage.t, which appends
+   every accepted Store to its WAL before the handler builds the ack. *)
+type backing =
+  | Volatile of (int, int * Wire.payload) Hashtbl.t
+  | Durable of Storage.t
+
 type t = {
   init : Wire.payload;
-  regs : (int, int * Wire.payload) Hashtbl.t;
+  backing : backing;
       (* global reg index -> (timestamp, payload); absent = never
          stored, i.e. (0, initial) *)
   mutable handled : int;
 }
 
-let create ~init () =
-  { init = Registers.Tagged.initial init; regs = Hashtbl.create 16; handled = 0 }
+let create ~init ?storage () =
+  let backing =
+    match storage with
+    | None -> Volatile (Hashtbl.create 16)
+    | Some st -> Durable st
+  in
+  { init = Registers.Tagged.initial init; backing; handled = 0 }
 
 let lookup t reg =
-  match Hashtbl.find_opt t.regs reg with
+  let found =
+    match t.backing with
+    | Volatile regs -> Hashtbl.find_opt regs reg
+    | Durable st -> Storage.lookup st reg
+  in
+  match found with
   | Some p -> p
   | None -> (0, t.init)
 
@@ -22,14 +39,25 @@ let rec handle t ~src msg =
     [ (src, Wire.Query_reply { rid; reg; ts; pl }) ]
   | Wire.Store { rid; reg; ts; pl } when reg >= 0 ->
     let cur, _ = lookup t reg in
-    if ts > cur then Hashtbl.replace t.regs reg (ts, pl);
+    (* persist before ack: the WAL append below is durable before this
+       arm returns the Store_ack, so an acknowledged timestamp can
+       never be forgotten by a (recovering) restart *)
+    if ts > cur then begin
+      match t.backing with
+      | Volatile regs -> Hashtbl.replace regs reg (ts, pl)
+      | Durable st -> Storage.append st { Storage.reg; ts; pl }
+    end;
     [ (src, Wire.Store_ack { rid; reg }) ]
   | Wire.Batch msgs -> List.concat_map (handle t ~src) msgs
   | _ -> []
 
 let contents t =
-  Hashtbl.fold (fun reg p acc -> (reg, p) :: acc) t.regs []
-  |> List.sort compare
+  match t.backing with
+  | Volatile regs ->
+    Hashtbl.fold (fun reg p acc -> (reg, p) :: acc) regs []
+    |> List.sort compare
+  | Durable st -> Storage.contents st
 
+let storage t = match t.backing with Volatile _ -> None | Durable st -> Some st
 let lookup_reg t reg = lookup t reg
 let handled t = t.handled

@@ -22,9 +22,14 @@
 
 type t
 
-val create : init:int -> unit -> t
+val create : init:int -> ?storage:Storage.t -> unit -> t
 (** Every register of the keyspace starts as the tagged value
-    [(init, false)] at timestamp 0. *)
+    [(init, false)] at timestamp 0.  With [storage] the replica is
+    durable: each accepted [Store] is appended to the store's WAL
+    {e before} the ack is built (persist-before-ack), and the table
+    recovered by {!Storage.create} — snapshot plus replayed WAL — is
+    the replica's starting state.  Without it the table is volatile
+    and an amnesia restart comes back empty. *)
 
 val handle :
   t -> src:Transport.node -> Wire.msg -> (Transport.node * Wire.msg) list
@@ -39,6 +44,9 @@ val contents : t -> (int * (int * Wire.payload)) list
 val lookup_reg : t -> int -> int * Wire.payload
 (** Current (timestamp, payload) of one global register index,
     materialized or not. *)
+
+val storage : t -> Storage.t option
+(** The backing store, when the replica is durable. *)
 
 val handled : t -> int
 (** Number of messages processed. *)

@@ -41,17 +41,27 @@ type t = {
   c_shard_ops : Metrics.counter array;
 }
 
+let monitor_of t key =
+  match Hashtbl.find_opt t.monitors key with
+  | Some m -> m
+  | None ->
+    let m = Histories.Monitor.create ~init:t.init in
+    Hashtbl.replace t.monitors key m;
+    m
+
 let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
-    ?metrics ?trace ?map ~me ~replicas ~init () =
+    ?storage ?metrics ?trace ?map ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
   in
-  {
+  let t =
+    {
     tr = transport;
     me;
     registry =
-      Registry.create ~transport ~me ~replicas ~map ?read_quorum ~metrics ();
+      Registry.create ~transport ~me ~replicas ~map ?read_quorum ?storage
+        ~metrics ();
     sessions = Hashtbl.create 16;
     audit;
     init;
@@ -66,23 +76,53 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
     trace;
     m_served = Metrics.counter metrics "ops_served";
     m_rejected = Metrics.counter metrics "ops_rejected";
-    h_op = Metrics.histogram metrics "server_op";
-    c_shard_ops =
-      Array.init (Shard_map.shards map) (fun s ->
-          Metrics.counter metrics (Fmt.str "shard%d_ops" s));
-  }
+      h_op = Metrics.histogram metrics "server_op";
+      c_shard_ops =
+        Array.init (Shard_map.shards map) (fun s ->
+            Metrics.counter metrics (Fmt.str "shard%d_ops" s));
+    }
+  in
+  (* A restarted durable server recovers the writes it had issued;
+     its fresh monitors never saw them, so a read of a recovered key
+     would be flagged.  Seed each recovered key's monitor with its
+     writer roles' last values as completed concurrent writes: a read
+     may then return either (or a later write), which is exactly the
+     continuity the recovered state promises.  Exact when no write was
+     in flight at the crash; an in-flight write that reached no
+     majority member can still produce a spurious flag, because the
+     value it overwrote at the server is not locally recoverable —
+     the audit fails suspicious rather than silent. *)
+  (if audit then
+     match storage with
+     | None -> ()
+     | Some st ->
+       let by_key = Hashtbl.create 8 in
+       List.iter
+         (fun (reg, (_ts, pl)) ->
+           if reg >= 0 then begin
+             let key = Shard_map.key_of_reg reg in
+             let role = reg land 1 in
+             let prev =
+               Option.value ~default:[] (Hashtbl.find_opt by_key key)
+             in
+             Hashtbl.replace by_key key
+               ((role, Registers.Tagged.v pl) :: prev)
+           end)
+         (Storage.contents st);
+       Hashtbl.iter
+         (fun key writes ->
+           let m = monitor_of t key in
+           let observe ev = ignore (Histories.Monitor.observe m ev) in
+           List.iter
+             (fun (role, v) -> observe (E.Invoke (role, E.Write v)))
+             writes;
+           List.iter (fun (role, _) -> observe (E.Respond (role, None))) writes)
+         by_key);
+  t
 
 let metrics t = t.metrics
 let registry t = t.registry
 let shards t = Registry.shards t.registry
-
-let monitor_of t key =
-  match Hashtbl.find_opt t.monitors key with
-  | Some m -> m
-  | None ->
-    let m = Histories.Monitor.create ~init:t.init in
-    Hashtbl.replace t.monitors key m;
-    m
 
 let record t key ev =
   let time = t.tr.Transport.now () in

@@ -42,6 +42,7 @@ val create :
   ?audit:bool ->
   ?resend_every:float ->
   ?read_quorum:int ->
+  ?storage:Storage.t ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?map:Shard_map.t ->
@@ -55,9 +56,20 @@ val create :
     round trip (for {!Sim_net}, a multiple of [max_delay]).
     [read_quorum] (default: majority) is forwarded to every shard
     engine — a deliberate-bug hook for {!Explore}'s regression tests,
-    see {!Quorum.create}.  [map] (default: a single shard owning every
-    key) fixes the key → shard → replica-group placement for the
-    server's lifetime.
+    see {!Quorum.create}.  [storage] makes the write timestamps the
+    server issues durable: shared across every shard engine (their
+    register sets are disjoint), persisted before each store broadcast
+    and recovered by a restarted server, so it never re-issues a
+    timestamp a replica may already hold.  A restarted server with
+    [audit] on also seeds each recovered key's monitor with the writer
+    roles' recovered values as completed concurrent writes, so a read
+    of recovered state audits clean — exact when no write was in
+    flight at the crash; a write cut down before reaching any majority
+    can still leave a later read of the value it overwrote flagged
+    (that value is not locally recoverable), so the audit errs
+    suspicious, never silent.  [map] (default: a single
+    shard owning every key) fixes the key → shard → replica-group
+    placement for the server's lifetime.
 
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]

@@ -98,6 +98,7 @@ type ctrs = {
   m_blocked : Metrics.counter;
   m_timer_fires : Metrics.counter;
   m_crashes : Metrics.counter;
+  m_amnesia : Metrics.counter;
 }
 
 type t = {
@@ -106,6 +107,8 @@ type t = {
   heap : Heap.t;
   handlers : (int, src:int -> Wire.msg -> unit) Hashtbl.t;
   dead : (int, unit) Hashtbl.t;
+  amnesiac : (int, unit) Hashtbl.t;
+  recovery : (int, unit -> unit) Hashtbl.t;
   mutable cut : (int list * int list) option;
   mutable clock : float;
   mutable seqno : int;
@@ -130,6 +133,7 @@ let create ~seed ~faults ?metrics ?trace () =
       m_blocked = Metrics.counter metrics "frames_blocked";
       m_timer_fires = Metrics.counter metrics "timer_fires";
       m_crashes = Metrics.counter metrics "crashes";
+      m_amnesia = Metrics.counter metrics "amnesia_crashes";
     }
   in
   {
@@ -138,6 +142,8 @@ let create ~seed ~faults ?metrics ?trace () =
     heap = Heap.create ();
     handlers = Hashtbl.create 16;
     dead = Hashtbl.create 4;
+    amnesiac = Hashtbl.create 4;
+    recovery = Hashtbl.create 4;
     cut = None;
     clock = 0.0;
     seqno = 0;
@@ -229,7 +235,25 @@ let register t node handler = Hashtbl.replace t.handlers node handler
 let crash t node =
   if not (Hashtbl.mem t.dead node) then Metrics.incr t.c.m_crashes;
   Hashtbl.replace t.dead node ()
-let restart t node = Hashtbl.remove t.dead node
+
+let crash_amnesia t node =
+  crash t node;
+  if not (Hashtbl.mem t.amnesiac node) then Metrics.incr t.c.m_amnesia;
+  Hashtbl.replace t.amnesiac node ();
+  trace_ev t (fun () -> Trace.Note (Fmt.str "amnesia-crash node=%d" node))
+
+let on_restart t node f = Hashtbl.replace t.recovery node f
+
+let restart t node =
+  Hashtbl.remove t.dead node;
+  (* an amnesiac node lost its volatile state: its recovery hook must
+     rebuild the handler's state (from stable storage, or empty) before
+     any further delivery *)
+  if Hashtbl.mem t.amnesiac node then begin
+    Hashtbl.remove t.amnesiac node;
+    match Hashtbl.find_opt t.recovery node with Some f -> f () | None -> ()
+  end
+
 let alive t node = not (Hashtbl.mem t.dead node)
 let partition t a b = t.cut <- Some (a, b)
 let heal t = t.cut <- None

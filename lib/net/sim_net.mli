@@ -71,11 +71,28 @@ val register :
     [send]/[set_timer]. *)
 
 val crash : t -> Transport.node -> unit
+(** The node stops receiving.  Its handler closure — and hence its
+    in-memory state — is retained, so a plain crash+{!restart} models
+    a pause (a long GC, a suspended VM), {e not} a process death: a
+    real restart forgets everything volatile.  Use {!crash_amnesia}
+    for that. *)
+
+val crash_amnesia : t -> Transport.node -> unit
+(** {!crash}, and additionally mark the node's volatile state as lost:
+    the next {!restart} runs the node's {!on_restart} recovery hook,
+    which must rebuild the handler state — from stable storage if the
+    node has any, or from nothing (the bug durability exists to
+    prevent). *)
+
+val on_restart : t -> Transport.node -> (unit -> unit) -> unit
+(** Install the node's recovery hook, run by {!restart} iff the
+    preceding crash was a {!crash_amnesia}.  Typically re-{!register}s
+    the handler over freshly recovered state. *)
 
 val restart : t -> Transport.node -> unit
-(** Undo a {!crash}: the node receives messages again.  Its handler —
-    and hence its state — was retained across the crash, so this
-    models a process restarting from stable storage. *)
+(** Undo a {!crash}: the node receives messages again.  After a plain
+    crash its state was retained; after a {!crash_amnesia} the
+    recovery hook (if any) is invoked first. *)
 
 val alive : t -> Transport.node -> bool
 

@@ -69,11 +69,14 @@ type cluster = {
   init : int;
   expected : int;
   metrics : Metrics.t;
+  durable : bool;
+  disks : Storage.Disk.t array;
+  replica_of : int -> Replica.t;
 }
 
 let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
-    ?(shards = 1) ?keys ?read_quorum ?(audit = true) ?metrics ?trace ~seed
-    ~init ~processes () =
+    ?(shards = 1) ?keys ?read_quorum ?(durable = true) ?(snapshot_every = 32)
+    ?(audit = true) ?metrics ?trace ~seed ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   let faults =
@@ -87,14 +90,39 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   let net = Sim_net.create ~seed ~faults ~metrics ?trace () in
   let tr = Sim_net.transport net in
   let replica_nodes = List.init replicas Fun.id in
-  (* replicas *)
+  (* replicas: each owns a simulated disk (when durable) and an
+     incarnation cell, swapped by the amnesia recovery hook *)
+  let disks =
+    if durable then Array.init replicas (fun _ -> Storage.Disk.create ())
+    else [||]
+  in
+  let fresh_replica r =
+    if durable then
+      Replica.create ~init
+        ~storage:
+          (Storage.create ~snapshot_every (Storage.Disk.backend disks.(r)))
+        ()
+    else Replica.create ~init ()
+  in
+  let incarnations = Array.init replicas fresh_replica in
   List.iter
     (fun r ->
-      let rep = Replica.create ~init () in
       Sim_net.register net r (fun ~src msg ->
-          List.iter
-            (fun (dst, m) -> tr.Transport.send ~src:r ~dst m)
-            (Replica.handle rep ~src msg)))
+          let replies = Replica.handle incarnations.(r) ~src msg in
+          (* the handler may have been killed mid-message by a disk
+             crash hook: a dead process's replies never leave it, so a
+             store whose WAL append was torn is never acked *)
+          if Sim_net.alive net r then
+            List.iter
+              (fun (dst, m) -> tr.Transport.send ~src:r ~dst m)
+              replies);
+      Sim_net.on_restart net r (fun () ->
+          (* amnesia restart: the in-memory incarnation is gone.  With
+             durability the replacement recovers snapshot+WAL from the
+             replica's disk; without, it comes back empty — exactly
+             the forgotten-acknowledgement bug the explorer hunts *)
+          if durable then Storage.Disk.revive disks.(r);
+          incarnations.(r) <- fresh_replica r))
     replica_nodes;
   (* server; retransmission period must exceed a replica round trip *)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
@@ -152,10 +180,21 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
       (fun n { Registers.Vm.script; _ } -> n + List.length script)
       0 processes
   in
-  { net; server; replica_nodes; init; expected; metrics }
+  {
+    net;
+    server;
+    replica_nodes;
+    init;
+    expected;
+    metrics;
+    durable;
+    disks;
+    replica_of = (fun r -> incarnations.(r));
+  }
 
 let apply_fate cl = function
   | Harness.Failure.Crash r -> Sim_net.crash cl.net r
+  | Harness.Failure.Crash_amnesia r -> Sim_net.crash_amnesia cl.net r
   | Harness.Failure.Restart r -> Sim_net.restart cl.net r
   | Harness.Failure.Partition (a, b) -> Sim_net.partition cl.net a b
   | Harness.Failure.Heal -> Sim_net.heal cl.net
@@ -199,12 +238,12 @@ let collect cl ~steps =
     metrics = cl.metrics;
   }
 
-let run ?faults ?replicas ?window ?shards ?keys ?read_quorum ?crash_replica
-    ?partition_replicas ?(fates = []) ?(max_steps = 2_000_000) ?audit ?metrics
-    ?trace ~seed ~init ~processes () =
+let run ?faults ?replicas ?window ?shards ?keys ?read_quorum ?durable
+    ?snapshot_every ?crash_replica ?partition_replicas ?(fates = [])
+    ?(max_steps = 2_000_000) ?audit ?metrics ?trace ~seed ~init ~processes () =
   let cl =
-    build ?faults ?replicas ?window ?shards ?keys ?read_quorum ?audit ?metrics
-      ?trace ~seed ~init ~processes ()
+    build ?faults ?replicas ?window ?shards ?keys ?read_quorum ?durable
+      ?snapshot_every ?audit ?metrics ?trace ~seed ~init ~processes ()
   in
   (* fault schedule: the legacy shorthands desugar to fates *)
   let fates =

@@ -54,6 +54,8 @@ val run :
   ?shards:int ->
   ?keys:int ->
   ?read_quorum:int ->
+  ?durable:bool ->
+  ?snapshot_every:int ->
   ?crash_replica:(int * float) ->
   ?partition_replicas:float * float ->
   ?fates:(float * Harness.Failure.net_fate) list ->
@@ -69,13 +71,20 @@ val run :
 (** [crash_replica (i, t)] crashes replica [i] at virtual time [t];
     [partition_replicas (t0, t1)] severs all replicas from the server
     during [[t0, t1)]; [fates] is the general form — a timed
-    {!Harness.Failure.net_fate} schedule (crash/restart/partition/heal,
-    e.g. from {!Harness.Failure.random_net_fates}) applied via
-    {!Sim_net.at}.  [read_quorum] deliberately weakens the read phase
-    (see {!Quorum.create}) — for explorer regression tests only.
-    Defaults: reliable network, 3 replicas, pipelining window 4,
-    1 shard (the unsharded single-register service), audit on,
-    [max_steps] 2_000_000.
+    {!Harness.Failure.net_fate} schedule
+    (crash/crash-amnesia/restart/partition/heal, e.g. from
+    {!Harness.Failure.random_net_fates}) applied via {!Sim_net.at}.
+    [read_quorum] deliberately weakens the read phase (see
+    {!Quorum.create}) — for explorer regression tests only.
+
+    With [durable] (the default) each replica persists every accepted
+    store to a private {!Storage.Disk} (WAL + snapshot every
+    [snapshot_every] appends, default 32) before acking, and an
+    amnesia restart recovers from it; with [durable:false] an amnesia
+    restart comes back empty — the deliberate-bug hook of this layer,
+    in the [?read_quorum] mould.  Defaults: reliable network,
+    3 replicas, pipelining window 4, 1 shard (the unsharded
+    single-register service), audit on, [max_steps] 2_000_000.
 
     [metrics] and [trace] are shared by the transport and the server:
     the trace (virtual-time stamped) records sends, deliveries, drops,
@@ -98,6 +107,14 @@ type cluster = {
   init : int;
   expected : int;  (** operations in the workload *)
   metrics : Metrics.t;
+  durable : bool;
+  disks : Storage.Disk.t array;
+      (** one simulated disk per replica node ([[||]] when not
+          durable) — tests reach in to install crash-point hooks and
+          inspect WAL bytes *)
+  replica_of : int -> Replica.t;
+      (** current incarnation of a replica node (amnesia restarts swap
+          incarnations) *)
 }
 
 val build :
@@ -107,6 +124,8 @@ val build :
   ?shards:int ->
   ?keys:int ->
   ?read_quorum:int ->
+  ?durable:bool ->
+  ?snapshot_every:int ->
   ?audit:bool ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->

@@ -1,0 +1,394 @@
+type entry = { reg : int; ts : int; pl : Wire.payload }
+
+exception Corrupt of string
+
+(* ------------------------------------------------------------------ *)
+(* Backends                                                            *)
+
+type backend = {
+  load_snapshot : unit -> string option;
+  load_wal : unit -> string;
+  append_wal : string -> unit;
+  truncate_wal : int -> unit;
+  install_snapshot : string -> unit;
+}
+
+let mem_backend () =
+  let wal = Buffer.create 256 in
+  let snap = ref None in
+  {
+    load_snapshot = (fun () -> !snap);
+    load_wal = (fun () -> Buffer.contents wal);
+    append_wal = (fun s -> Buffer.add_string wal s);
+    truncate_wal = (fun n -> Buffer.truncate wal n);
+    install_snapshot =
+      (fun s ->
+        snap := Some s;
+        Buffer.clear wal);
+  }
+
+(* mkdir -p: a --data-dir like data/replica0 needs its parents too *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let file_backend ?(fsync = false) ~dir () =
+  mkdir_p dir;
+  let wal_path = Filename.concat dir "wal" in
+  let snap_path = Filename.concat dir "snapshot" in
+  let tmp_path = Filename.concat dir "snapshot.tmp" in
+  let wal_fd = Unix.openfile wal_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let write_fully fd s =
+    let b = Bytes.unsafe_of_string s in
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  in
+  {
+    load_snapshot =
+      (fun () ->
+        if Sys.file_exists snap_path then Some (read_all snap_path) else None);
+    load_wal = (fun () -> read_all wal_path);
+    append_wal =
+      (fun s ->
+        ignore (Unix.lseek wal_fd 0 Unix.SEEK_END);
+        write_fully wal_fd s;
+        if fsync then Unix.fsync wal_fd);
+    truncate_wal =
+      (fun n ->
+        Unix.ftruncate wal_fd n;
+        if fsync then Unix.fsync wal_fd);
+    install_snapshot =
+      (fun s ->
+        let fd =
+          Unix.openfile tmp_path
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_fully fd s;
+            if fsync then Unix.fsync fd);
+        (* rename is the commit point: a crash before it leaves the old
+           snapshot, after it the new one + a stale WAL, both safe *)
+        Sys.rename tmp_path snap_path;
+        Unix.ftruncate wal_fd 0;
+        if fsync then Unix.fsync wal_fd);
+  }
+
+module Disk = struct
+  type write_fate =
+    | Persist
+    | Torn of int
+
+  type t = {
+    wal : Buffer.t;
+    mutable snap : string option;
+    mutable appends : int;
+    mutable snapshots : int;
+    mutable dead : bool;
+    mutable hook : (int -> write_fate) option;
+  }
+
+  let create () =
+    {
+      wal = Buffer.create 256;
+      snap = None;
+      appends = 0;
+      snapshots = 0;
+      dead = false;
+      hook = None;
+    }
+
+  let set_hook t f = t.hook <- Some f
+  let clear_hook t = t.hook <- None
+  let revive t = t.dead <- false
+  let appends t = t.appends
+  let snapshots t = t.snapshots
+  let wal_size t = Buffer.length t.wal
+  let wal_bytes t = Buffer.contents t.wal
+  let snapshot_bytes t = t.snap
+
+  let backend t =
+    {
+      load_snapshot = (fun () -> t.snap);
+      load_wal = (fun () -> Buffer.contents t.wal);
+      append_wal =
+        (fun s ->
+          if not t.dead then begin
+            t.appends <- t.appends + 1;
+            match t.hook with
+            | None -> Buffer.add_string t.wal s
+            | Some h ->
+              (match h t.appends with
+               | Persist -> Buffer.add_string t.wal s
+               | Torn keep ->
+                 let keep = max 0 (min keep (String.length s)) in
+                 Buffer.add_substring t.wal s 0 keep;
+                 t.dead <- true)
+          end);
+      truncate_wal = (fun n -> if not t.dead then Buffer.truncate t.wal n);
+      install_snapshot =
+        (fun s ->
+          if not t.dead then begin
+            t.snapshots <- t.snapshots + 1;
+            t.snap <- Some s;
+            Buffer.clear t.wal
+          end);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE, the zlib polynomial) — table-driven, no dependencies  *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor tbl.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Record framing                                                      *)
+
+let header_size = 8
+let max_record = Wire.max_frame
+
+let frame_record payload =
+  let n = String.length payload in
+  if n > max_record then invalid_arg "Storage.frame_record: payload too large";
+  let b = Bytes.create (header_size + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+type tail =
+  | Clean
+  | Torn_tail of { valid : int; dropped : int }
+
+let scan s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let records = ref [] in
+  let stop = ref false in
+  while not !stop do
+    if !pos + header_size > len then stop := true
+    else begin
+      let n = Int32.to_int (String.get_int32_le s !pos) in
+      let crc = String.get_int32_le s (!pos + 4) in
+      if n < 0 || n > max_record || !pos + header_size + n > len then
+        stop := true
+      else begin
+        let payload = String.sub s (!pos + header_size) n in
+        if crc32 payload <> crc then stop := true
+        else begin
+          records := payload :: !records;
+          pos := !pos + header_size + n
+        end
+      end
+    end
+  done;
+  let tail =
+    if !pos = len then Clean
+    else Torn_tail { valid = !pos; dropped = len - !pos }
+  in
+  (List.rev !records, tail)
+
+(* ------------------------------------------------------------------ *)
+(* Entry / snapshot codecs                                             *)
+
+let entry_size = 25
+
+let encode_entry e =
+  let b = Bytes.create entry_size in
+  Bytes.set_int64_le b 0 (Int64.of_int e.reg);
+  Bytes.set_int64_le b 8 (Int64.of_int e.ts);
+  Bytes.set_int64_le b 16 (Int64.of_int (Registers.Tagged.v e.pl));
+  Bytes.set b 24 (if Registers.Tagged.tag e.pl then '\001' else '\000');
+  Bytes.unsafe_to_string b
+
+let decode_entry_at s off =
+  let reg = Int64.to_int (String.get_int64_le s off) in
+  let ts = Int64.to_int (String.get_int64_le s (off + 8)) in
+  let v = Int64.to_int (String.get_int64_le s (off + 16)) in
+  match s.[off + 24] with
+  | '\000' -> Some { reg; ts; pl = Registers.Tagged.make v false }
+  | '\001' -> Some { reg; ts; pl = Registers.Tagged.make v true }
+  | _ -> None
+
+let decode_entry s =
+  if String.length s <> entry_size then None else decode_entry_at s 0
+
+let snap_magic = "SNP1"
+
+let encode_snapshot contents =
+  let b = Buffer.create (12 + (entry_size * List.length contents)) in
+  Buffer.add_string b snap_magic;
+  Buffer.add_int64_le b (Int64.of_int (List.length contents));
+  List.iter
+    (fun (reg, (ts, pl)) -> Buffer.add_string b (encode_entry { reg; ts; pl }))
+    contents;
+  Buffer.contents b
+
+let decode_snapshot s =
+  let hdr = 4 + 8 in
+  if String.length s < hdr || String.sub s 0 4 <> snap_magic then None
+  else begin
+    let count = Int64.to_int (String.get_int64_le s 4) in
+    if count < 0 || String.length s <> hdr + (count * entry_size) then None
+    else begin
+      let rec go i acc =
+        if i = count then Some (List.rev acc)
+        else
+          match decode_entry_at s (hdr + (i * entry_size)) with
+          | None -> None
+          | Some e -> go (i + 1) ((e.reg, (e.ts, e.pl)) :: acc)
+      in
+      go 0 []
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+
+type t = {
+  be : backend;
+  snapshot_every : int;
+  tbl : (int, int * Wire.payload) Hashtbl.t;
+  mutable since_snapshot : int;
+  mutable appends : int;
+  mutable snapshots_taken : int;
+  recovered_snapshot : int;
+  recovered_wal : int;
+  torn_bytes : int;
+  mutable wal_size : int;
+}
+
+let apply tbl e =
+  match Hashtbl.find_opt tbl e.reg with
+  | Some (cur, _) when cur >= e.ts -> ()
+  | _ -> Hashtbl.replace tbl e.reg (e.ts, e.pl)
+
+let create ?(snapshot_every = 0) be =
+  let tbl = Hashtbl.create 16 in
+  let recovered_snapshot =
+    match be.load_snapshot () with
+    | None -> 0
+    | Some bytes ->
+      (match scan bytes with
+       | [ payload ], Clean ->
+         (match decode_snapshot payload with
+          | Some contents ->
+            List.iter
+              (fun (reg, (ts, pl)) -> Hashtbl.replace tbl reg (ts, pl))
+              contents;
+            List.length contents
+          | None -> raise (Corrupt "snapshot payload undecodable"))
+       | _ -> raise (Corrupt "snapshot framing or checksum"))
+  in
+  let wal = be.load_wal () in
+  let records, tail = scan wal in
+  let recovered_wal =
+    List.fold_left
+      (fun n payload ->
+        match decode_entry payload with
+        | Some e ->
+          apply tbl e;
+          n + 1
+        | None -> raise (Corrupt "wal record undecodable"))
+      0 records
+  in
+  let torn_bytes, wal_size =
+    match tail with
+    | Clean -> (0, String.length wal)
+    | Torn_tail { valid; dropped } ->
+      (* repair: the torn tail is gone for good, so truncate the file
+         back to the prefix — new appends must not land after garbage *)
+      be.truncate_wal valid;
+      (dropped, valid)
+  in
+  {
+    be;
+    snapshot_every;
+    tbl;
+    since_snapshot = recovered_wal;
+    appends = 0;
+    snapshots_taken = 0;
+    recovered_snapshot;
+    recovered_wal;
+    torn_bytes;
+    wal_size;
+  }
+
+let contents t =
+  Hashtbl.fold (fun reg p acc -> (reg, p) :: acc) t.tbl []
+  |> List.sort compare
+
+let snapshot t =
+  t.be.install_snapshot (frame_record (encode_snapshot (contents t)));
+  t.snapshots_taken <- t.snapshots_taken + 1;
+  t.since_snapshot <- 0;
+  t.wal_size <- 0
+
+let append t e =
+  let rec_ = frame_record (encode_entry e) in
+  t.be.append_wal rec_;
+  t.appends <- t.appends + 1;
+  t.wal_size <- t.wal_size + String.length rec_;
+  apply t.tbl e;
+  t.since_snapshot <- t.since_snapshot + 1;
+  if t.snapshot_every > 0 && t.since_snapshot >= t.snapshot_every then
+    snapshot t
+
+let lookup t reg = Hashtbl.find_opt t.tbl reg
+
+type stats = {
+  appends : int;
+  snapshots_taken : int;
+  recovered_snapshot : int;
+  recovered_wal : int;
+  torn_bytes : int;
+  wal_size : int;
+}
+
+let stats (t : t) =
+  {
+    appends = t.appends;
+    snapshots_taken = t.snapshots_taken;
+    recovered_snapshot = t.recovered_snapshot;
+    recovered_wal = t.recovered_wal;
+    torn_bytes = t.torn_bytes;
+    wal_size = t.wal_size;
+  }

@@ -1,0 +1,164 @@
+(** Durable replica storage: a checksummed write-ahead log plus
+    periodic snapshots, behind a pluggable backend.
+
+    ABD-style quorum safety (see PAPERS.md) rests on replicas never
+    forgetting a (timestamp, value) pair they acknowledged: a replica
+    that acks a [Store] and then restarts empty lets an old value win a
+    later quorum read, and the register is no longer atomic.  This
+    module makes that durability real.  A store is an append of one
+    {!entry} to the WAL — durable before the caller builds its ack —
+    and every [snapshot_every] appends the full register table is
+    written as a snapshot and the log truncated, bounding both recovery
+    time and disk footprint.
+
+    {2 On-disk format}
+
+    Both files are sequences of {e records}: [len : int32 LE][crc :
+    int32 LE][payload : len bytes], where [crc] is the IEEE CRC-32 of
+    the payload.  The WAL holds one 25-byte entry payload per record
+    ([reg : int64][ts : int64][value : int64][tag : byte]); the
+    snapshot file holds exactly one record whose payload is
+    ["SNP1"][count : int64] followed by [count] entries.
+
+    {2 Recovery invariant}
+
+    Recovery rebuilds the table from the snapshot, then replays the
+    longest valid prefix of the WAL (each record applied iff its
+    timestamp beats the current one — so a stale WAL left by a crash
+    between snapshot install and log truncation replays harmlessly).
+    A record that fails its length bound or checksum ends the prefix:
+    the torn tail is discarded and the file truncated back to the
+    valid prefix ({e recover the prefix, never fabricate state}).  A
+    snapshot that fails its checksum is a hard {!Corrupt} error —
+    snapshots are installed atomically, so a bad one means the disk
+    lied, and serving guessed state would break the quorum invariant
+    silently. *)
+
+type entry = { reg : int; ts : int; pl : Wire.payload }
+(** One WAL record: a [Store] application to global register [reg]. *)
+
+exception Corrupt of string
+(** Raised by {!create} when the snapshot (not the WAL tail) is
+    unreadable.  Fail closed: no state is better than wrong state. *)
+
+(** {2 Backends} *)
+
+type backend = {
+  load_snapshot : unit -> string option;
+      (** raw snapshot file bytes, [None] if never installed *)
+  load_wal : unit -> string;  (** raw WAL bytes (empty if none) *)
+  append_wal : string -> unit;  (** durable before return *)
+  truncate_wal : int -> unit;  (** keep only the first [n] bytes *)
+  install_snapshot : string -> unit;
+      (** atomically replace the snapshot, then truncate the WAL to
+          empty.  If the two steps are separable (real files: rename
+          then truncate), a crash between them must leave the {e new}
+          snapshot and the old WAL — safe under the recovery
+          invariant. *)
+}
+
+val mem_backend : unit -> backend
+(** Volatile in-process backend — the unit-test backend, and the
+    no-op-cost baseline for benches. *)
+
+val file_backend : ?fsync:bool -> dir:string -> unit -> backend
+(** Real files [wal] and [snapshot] under [dir] (created, parents
+    included, if missing).
+    Snapshot installs write [snapshot.tmp] and rename over, so a
+    half-written snapshot can never be observed.  With [fsync] (default
+    [false]) every append and install is fsync'd: durable against power
+    loss, not just process crash, at a large throughput cost. *)
+
+(** A simulated disk for crash testing: an in-memory backend whose
+    appends can be torn mid-record by an injected hook, modelling a
+    process dying inside [write(2)].  After a torn append the disk
+    plays dead — all writes are ignored until {!Disk.revive} — because
+    the process that issued them no longer exists. *)
+module Disk : sig
+  type t
+
+  type write_fate =
+    | Persist  (** append lands in full *)
+    | Torn of int
+        (** only the first [n] bytes of the record land; the disk then
+            plays dead until {!revive} *)
+
+  val create : unit -> t
+  val backend : t -> backend
+
+  val set_hook : t -> (int -> write_fate) -> unit
+  (** Decide the fate of each append; the argument is the 1-based
+      append ordinal since {!create}.  The hook typically also crashes
+      the owning node — tearing the write and killing the process are
+      one event. *)
+
+  val clear_hook : t -> unit
+
+  val revive : t -> unit
+  (** Clear the played-dead state: the next incarnation of the process
+      may use the disk again. *)
+
+  val appends : t -> int  (** appends offered (torn ones included) *)
+
+  val snapshots : t -> int
+  val wal_size : t -> int
+  val wal_bytes : t -> string
+  val snapshot_bytes : t -> string option
+end
+
+(** {2 Codec — exposed for fuzzing} *)
+
+val crc32 : string -> int32
+(** IEEE CRC-32 (the zlib/PNG polynomial). *)
+
+val frame_record : string -> string
+(** [len][crc][payload] framing of one payload. *)
+
+val encode_entry : entry -> string
+val decode_entry : string -> entry option
+val encode_snapshot : (int * (int * Wire.payload)) list -> string
+val decode_snapshot : string -> (int * (int * Wire.payload)) list option
+
+type tail =
+  | Clean
+  | Torn_tail of { valid : int; dropped : int }
+      (** [valid] bytes of whole checksummed records, then [dropped]
+          bytes that fail framing or checksum *)
+
+val scan : string -> string list * tail
+(** Split a byte string into its longest valid prefix of framed records
+    (payloads returned in order) and the tail verdict.  Total: any
+    input, bit-flipped or truncated anywhere, yields a prefix. *)
+
+(** {2 The store} *)
+
+type t
+
+val create : ?snapshot_every:int -> backend -> t
+(** Open the store: load the snapshot, replay the WAL's valid prefix,
+    repair (truncate) a torn tail.  [snapshot_every] (default [0] =
+    never) is the number of appends between automatic snapshots.
+    Raises {!Corrupt} on an unreadable snapshot. *)
+
+val append : t -> entry -> unit
+(** Append one entry — durable when this returns — and apply it to the
+    in-memory table (iff its timestamp beats the current one).  May
+    trigger a snapshot + truncation. *)
+
+val snapshot : t -> unit
+(** Force a snapshot now. *)
+
+val lookup : t -> int -> (int * Wire.payload) option
+val contents : t -> (int * (int * Wire.payload)) list
+(** Sorted by register index. *)
+
+type stats = {
+  appends : int;  (** appends since open *)
+  snapshots_taken : int;  (** snapshots since open *)
+  recovered_snapshot : int;  (** registers loaded from the snapshot *)
+  recovered_wal : int;  (** WAL records replayed at open *)
+  torn_bytes : int;  (** tail bytes discarded (and truncated) at open *)
+  wal_size : int;  (** current WAL length in bytes *)
+}
+
+val stats : t -> stats

@@ -184,6 +184,69 @@ let explore_with_fates_clean () =
   | None -> ()
   | Some ce -> Alcotest.failf "fate exploration flagged: %s" ce.E.message
 
+(* The amnesia bug: one replica, one writer, one reader, and one
+   reboot budget on the replica.  Without durability the adversary can
+   let the write commit (quorum-of-1), deliver the read's query AFTER
+   rebooting the replica — which forgot the acked store — and serve a
+   stale value: a new-old inversion between the write and the
+   sequential read.  With durability the reboot recovers from the WAL
+   and the very same bounded exploration exhausts clean. *)
+let amnesia_cfg ~durable =
+  E.config ~replicas:1 ~amnesia:[ 0 ] ~max_amnesia:1 ~durable
+    ~processes:[ proc 0 [ w 7 ]; proc 2 [ r ] ]
+    ()
+
+let amnesia_bug_found_and_replayable () =
+  let cfg = amnesia_cfg ~durable:false in
+  match (E.hunt ~walks:2000 ~seed:1 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the amnesia violation"
+  | Some ce ->
+    let cfg', ce' = E.shrink cfg ce in
+    Alcotest.(check bool) "schedule no longer" true
+      (List.length ce'.E.schedule <= List.length ce.E.schedule);
+    let o = E.replay cfg' ce'.E.schedule in
+    Alcotest.(check bool) "shrunk schedule still violates" true
+      (o.Net.Sim_run.key_violations <> []);
+    let file = Filename.temp_file "explore-amnesia" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg' ce';
+        let _, sched, o' = E.replay_file ~file in
+        Alcotest.(check (list int)) "schedule survives" ce'.E.schedule sched;
+        Alcotest.(check bool) "artifact replays to a violation" true
+          (o'.Net.Sim_run.key_violations <> []))
+
+let amnesia_durable_hunt_clean () =
+  (* same workload and reboot budget, durability on: the hunt that
+     finds the volatile bug instantly must come up empty *)
+  match
+    (E.hunt ~walks:2000 ~seed:1 (amnesia_cfg ~durable:true)).E.counterexample
+  with
+  | None -> ()
+  | Some ce -> Alcotest.failf "durable config flagged: %s" ce.E.message
+
+(* slow: the payoff in full — durability on, the WHOLE schedule space
+   of the same config, every leaf atomic *)
+let amnesia_durable_exhausts_clean () =
+  let res = E.explore (amnesia_cfg ~durable:true) in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "durable config flagged: %s" ce.E.message
+
+let amnesia_without_reboot_budget_clean () =
+  (* sanity: with durability off but no reboot budget the same config
+     is just the honest single-replica service — must exhaust clean *)
+  let res =
+    E.explore
+      (E.config ~replicas:1 ~durable:false
+         ~processes:[ proc 0 [ w 7 ]; proc 2 [ r ] ]
+         ())
+  in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  Alcotest.(check bool) "clean" true (res.E.counterexample = None)
+
 let torture_small () =
   let rep = E.torture ~runs:30 ~seed:11 () in
   Alcotest.(check int) "all runs executed" 30 rep.E.runs;
@@ -232,6 +295,11 @@ let suite =
     tc "ddmin minimizes" ddmin_minimizes;
     tc "sim: pending/fire/restart primitives" pending_fire_restart;
     tc "fate branch points stay clean" explore_with_fates_clean;
+    tc "amnesia without durability: caught, shrunk, replayed"
+      amnesia_bug_found_and_replayable;
+    tc "amnesia with durability: same hunt clean" amnesia_durable_hunt_clean;
+    tc "volatile but no reboot budget: exhausts clean"
+      amnesia_without_reboot_budget_clean;
     tc "torture: small seeded batch clean" torture_small;
   ]
 
@@ -240,4 +308,6 @@ let slow_suite =
     tc_slow "torture: long run clean" torture_long;
     tc_slow "torture: deterministic in seed" torture_deterministic;
     tc_slow "hunt: bigger honest config clean" bounded_hunt_bigger_config;
+    tc_slow "amnesia with durability: full schedule space exhausts clean"
+      amnesia_durable_exhausts_clean;
   ]

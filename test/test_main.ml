@@ -30,5 +30,7 @@ let () =
       ("failure", Test_failure.suite);
       ("net", Test_net.suite);
       ("wire-fuzz", Test_wire_fuzz.suite);
+      ("storage", Test_storage.suite);
+      ("storage-fuzz", Test_storage_fuzz.suite);
       ("explore", Test_explore.suite);
     ]

@@ -3,4 +3,8 @@
    ([dune runtest]) stays fast without them. *)
 let () =
   Alcotest.run "bloom-register-slow"
-    [ ("net", Test_net.slow_suite); ("explore", Test_explore.slow_suite) ]
+    [
+      ("net", Test_net.slow_suite);
+      ("storage", Test_storage.slow_suite);
+      ("explore", Test_explore.slow_suite);
+    ]

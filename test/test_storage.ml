@@ -1,0 +1,521 @@
+(* Durable replica storage: in-memory unit tests of the WAL +
+   snapshot store, the crash-point recovery matrix (tear every append,
+   restart, compare against a never-crashed store — pure and
+   end-to-end through the simulated cluster), and the amnesia-restart
+   semantics of durable vs volatile replicas.  Real-file backends and
+   the long torture loops live in [slow_suite]. *)
+
+module S = Net.Storage
+module R = Net.Sim_run
+
+let tc = Helpers.tc
+let tc_slow = Helpers.tc_slow
+
+let pl v = Registers.Tagged.make v false
+
+let entry ~reg ~ts v = { S.reg; ts; pl = pl v }
+
+(* [n] entries over 4 registers with per-register increasing
+   timestamps — the shape a real replica appends. *)
+let entries_n n =
+  List.init n (fun i -> entry ~reg:(i mod 4) ~ts:((i / 4) + 1) (100 + i))
+
+(* The state a never-crashed store reaches on a prefix of the
+   workload: just feed the prefix to a fresh in-memory store. *)
+let reference_contents entries =
+  let st = S.create (S.mem_backend ()) in
+  List.iter (S.append st) entries;
+  S.contents st
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* ------------------------------------------------------------------ *)
+(* In-memory unit tests                                                *)
+
+let basic_ops () =
+  let st = S.create (S.mem_backend ()) in
+  Alcotest.(check bool) "empty store" true (S.contents st = []);
+  Alcotest.(check bool) "empty lookup" true (S.lookup st 0 = None);
+  S.append st (entry ~reg:0 ~ts:1 10);
+  S.append st (entry ~reg:5 ~ts:3 20);
+  Alcotest.(check bool) "lookup hits" true (S.lookup st 5 = Some (3, pl 20));
+  Alcotest.(check bool) "contents sorted" true
+    (S.contents st = [ (0, (1, pl 10)); (5, (3, pl 20)) ]);
+  let s = S.stats st in
+  Alcotest.(check int) "appends counted" 2 s.S.appends;
+  Alcotest.(check int) "no snapshots" 0 s.S.snapshots_taken;
+  Alcotest.(check bool) "wal grew" true (s.S.wal_size > 0)
+
+let ts_guard () =
+  (* an older timestamp must never regress the table, but it still
+     lands in the WAL (the log records what was offered; the guard is
+     re-applied at recovery) *)
+  let be = S.mem_backend () in
+  let st = S.create be in
+  S.append st (entry ~reg:0 ~ts:5 50);
+  S.append st (entry ~reg:0 ~ts:3 30);
+  S.append st (entry ~reg:0 ~ts:5 99);
+  Alcotest.(check bool) "newest kept" true (S.lookup st 0 = Some (5, pl 50));
+  let st' = S.create be in
+  Alcotest.(check bool) "recovery re-applies the guard" true
+    (S.lookup st' 0 = Some (5, pl 50))
+
+let reopen_recovers () =
+  let be = S.mem_backend () in
+  let entries = entries_n 10 in
+  let st = S.create be in
+  List.iter (S.append st) entries;
+  let st' = S.create be in
+  Alcotest.(check bool) "same contents" true (S.contents st' = S.contents st);
+  let s = S.stats st' in
+  Alcotest.(check int) "all records replayed" 10 s.S.recovered_wal;
+  Alcotest.(check int) "nothing torn" 0 s.S.torn_bytes
+
+let snapshot_truncates () =
+  let be = S.mem_backend () in
+  let st = S.create ~snapshot_every:4 be in
+  List.iter (S.append st) (entries_n 10);
+  let s = S.stats st in
+  Alcotest.(check int) "two snapshots" 2 s.S.snapshots_taken;
+  (* 10 appends, snapshot+truncate at 4 and 8: two records remain *)
+  let st' = S.create be in
+  let s' = S.stats st' in
+  Alcotest.(check int) "snapshot carries the bulk" 4 s'.S.recovered_snapshot;
+  Alcotest.(check int) "wal carries the tail" 2 s'.S.recovered_wal;
+  Alcotest.(check bool) "recovered = live" true
+    (S.contents st' = S.contents st)
+
+let forced_snapshot () =
+  let be = S.mem_backend () in
+  let st = S.create be in
+  List.iter (S.append st) (entries_n 6);
+  S.snapshot st;
+  let st' = S.create be in
+  Alcotest.(check int) "all from the snapshot" 4
+    (S.stats st').S.recovered_snapshot;
+  Alcotest.(check int) "wal empty" 0 (S.stats st').S.recovered_wal;
+  Alcotest.(check bool) "contents kept" true (S.contents st' = S.contents st)
+
+let stale_wal_harmless () =
+  (* a crash between snapshot install and WAL truncation leaves the
+     new snapshot AND the old WAL: recovery must replay the stale
+     records harmlessly under the timestamp guard *)
+  let inner = S.mem_backend () in
+  let entries = entries_n 8 in
+  let st = S.create inner in
+  List.iter (S.append st) entries;
+  let wal_before = inner.S.load_wal () in
+  S.snapshot st;  (* installs, truncates *)
+  let snap = inner.S.load_snapshot () in
+  let grafted =
+    {
+      S.load_snapshot = (fun () -> snap);
+      load_wal = (fun () -> wal_before);  (* the un-truncated log *)
+      append_wal = ignore;
+      truncate_wal = ignore;
+      install_snapshot = ignore;
+    }
+  in
+  let st' = S.create grafted in
+  Alcotest.(check int) "stale records replayed" 8 (S.stats st').S.recovered_wal;
+  Alcotest.(check bool) "replay is harmless" true
+    (S.contents st' = S.contents st)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point matrix, pure storage: tear the disk at EVERY append
+   ordinal, at several byte offsets within the record, with and
+   without snapshots crossing the window.  The recovered store must
+   equal a never-crashed store fed only the durable prefix.           *)
+
+let crash_point_matrix () =
+  let n = 12 in
+  let entries = entries_n n in
+  List.iter
+    (fun snapshot_every ->
+      for k = 1 to n do
+        List.iter
+          (fun keep ->
+            let d = S.Disk.create () in
+            S.Disk.set_hook d (fun i ->
+                if i = k then S.Disk.Torn keep else S.Disk.Persist);
+            let st = S.create ~snapshot_every (S.Disk.backend d) in
+            List.iter (S.append st) entries;
+            Alcotest.(check int)
+              (Fmt.str "se=%d k=%d keep=%d: appends stop at the tear"
+                 snapshot_every k keep)
+              k (S.Disk.appends d);
+            (* the process died; a new incarnation opens the disk *)
+            S.Disk.clear_hook d;
+            S.Disk.revive d;
+            let st' = S.create (S.Disk.backend d) in
+            let expected = reference_contents (take (k - 1) entries) in
+            if S.contents st' <> expected then
+              Alcotest.failf
+                "se=%d k=%d keep=%d: recovered state differs from the \
+                 never-crashed prefix store"
+                snapshot_every k keep;
+            Alcotest.(check int)
+              (Fmt.str "se=%d k=%d keep=%d: torn bytes repaired"
+                 snapshot_every k keep)
+              keep (S.stats st').S.torn_bytes)
+          [ 0; 1; 16; 32 ]
+      done)
+    [ 0; 5 ]
+
+let post_tear_writes_ignored () =
+  (* after the disk plays dead, nothing — appends, snapshots,
+     truncations — may change the durable bytes: a dead process cannot
+     write, and a snapshot of post-tear in-memory state must never
+     fabricate durability *)
+  let d = S.Disk.create () in
+  S.Disk.set_hook d (fun i -> if i = 3 then S.Disk.Torn 8 else S.Disk.Persist);
+  let st = S.create ~snapshot_every:4 (S.Disk.backend d) in
+  List.iter (S.append st) (entries_n 10);  (* crosses snapshot_every *)
+  S.snapshot st;
+  Alcotest.(check bool) "no snapshot installed while dead" true
+    (S.Disk.snapshot_bytes d = None);
+  Alcotest.(check int) "wal frozen at the tear" (2 * 33 + 8)
+    (S.Disk.wal_size d);
+  S.Disk.clear_hook d;
+  S.Disk.revive d;
+  let st' = S.create (S.Disk.backend d) in
+  Alcotest.(check bool) "only the pre-tear prefix survived" true
+    (S.contents st' = reference_contents (take 2 (entries_n 10)))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end crash-point matrix: a durable simulated cluster, replica
+   0's disk torn at every append ordinal (tearing the write and
+   killing the process as one event), run to quiescence on the
+   surviving majority, then restart and compare the recovered replica
+   against an independent fold of the bytes the disk held at the
+   crash.                                                             *)
+
+let w v = Histories.Event.Write v
+let rd = Histories.Event.Read
+let proc p script = { Registers.Vm.proc = p; script }
+
+let matrix_processes =
+  [ proc 0 [ w 1; w 2 ]; proc 1 [ w 3 ]; proc 2 [ rd; rd ] ]
+
+(* Fold the captured disk bytes exactly as recovery specifies:
+   snapshot first, then the WAL's valid prefix under the ts guard. *)
+let fold_disk ~snap ~wal =
+  let tbl = Hashtbl.create 8 in
+  (match snap with
+   | None -> ()
+   | Some bytes ->
+     (match S.scan bytes with
+      | [ p ], S.Clean ->
+        (match S.decode_snapshot p with
+         | Some contents ->
+           List.iter (fun (reg, tp) -> Hashtbl.replace tbl reg tp) contents
+         | None -> Alcotest.fail "captured snapshot undecodable")
+      | _ -> Alcotest.fail "captured snapshot not one clean record"));
+  let records, _tail = S.scan wal in
+  List.iter
+    (fun p ->
+      match S.decode_entry p with
+      | None -> Alcotest.fail "captured WAL record undecodable"
+      | Some e ->
+        (match Hashtbl.find_opt tbl e.S.reg with
+         | Some (cur, _) when cur >= e.S.ts -> ()
+         | _ -> Hashtbl.replace tbl e.S.reg (e.S.ts, e.S.pl)))
+    records;
+  Hashtbl.fold (fun reg tp acc -> (reg, tp) :: acc) tbl []
+  |> List.sort compare
+
+let check_clean ~what (o : R.outcome) =
+  (match o.R.key_violations with
+   | [] -> ()
+   | (k, v) :: _ -> Alcotest.failf "%s: key %d audit: %s" what k v);
+  Alcotest.(check bool) (what ^ ": fastcheck atomic") true o.R.fastcheck_ok;
+  Alcotest.(check int) (what ^ ": all ops completed") o.R.expected o.R.completed
+
+let sim_crash_point_matrix ?snapshot_every () =
+  (* probe: how many appends does replica 0's disk see crash-free? *)
+  let build () =
+    R.build ?snapshot_every ~replicas:3 ~seed:7 ~init:0
+      ~processes:matrix_processes ()
+  in
+  let probe = build () in
+  let steps = Net.Sim_net.run probe.R.net in
+  check_clean ~what:"probe" (R.collect probe ~steps);
+  let n = S.Disk.appends probe.R.disks.(0) in
+  Alcotest.(check bool) "probe run stored something" true (n > 0);
+  for k = 1 to n do
+    let what = Fmt.str "crash point %d/%d" k n in
+    let cl = build () in
+    let d = cl.R.disks.(0) in
+    S.Disk.set_hook d (fun i ->
+        if i = k then begin
+          (* tearing the write and killing the process are one event *)
+          Net.Sim_net.crash_amnesia cl.R.net 0;
+          S.Disk.Torn 16
+        end
+        else S.Disk.Persist);
+    let steps = Net.Sim_net.run cl.R.net in
+    (* the surviving majority must finish the workload, atomically *)
+    check_clean ~what (R.collect cl ~steps);
+    (* capture the durable bytes as of the crash, then recover *)
+    let wal = S.Disk.wal_bytes d in
+    let snap = S.Disk.snapshot_bytes d in
+    Net.Sim_net.restart cl.R.net 0;
+    let recovered = Net.Replica.contents (cl.R.replica_of 0) in
+    if recovered <> fold_disk ~snap ~wal then
+      Alcotest.failf
+        "%s: restarted replica differs from the fold of its disk" what
+  done
+
+let sim_crash_points () = sim_crash_point_matrix ()
+
+let sim_crash_points_snapshotting () =
+  (* same matrix with snapshots every 2 appends, so tears land between
+     install and the next append too *)
+  sim_crash_point_matrix ~snapshot_every:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* Amnesia semantics of the cluster                                    *)
+
+let durable_amnesia_recovers () =
+  let cl = R.build ~seed:3 ~init:0 ~processes:matrix_processes () in
+  let steps = Net.Sim_net.run cl.R.net in
+  check_clean ~what:"durable run" (R.collect cl ~steps);
+  let before = Net.Replica.contents (cl.R.replica_of 0) in
+  Alcotest.(check bool) "replica holds state" true (before <> []);
+  Net.Sim_net.crash_amnesia cl.R.net 0;
+  Net.Sim_net.restart cl.R.net 0;
+  let after = Net.Replica.contents (cl.R.replica_of 0) in
+  Alcotest.(check bool) "every acked store recovered" true (after = before)
+
+let volatile_amnesia_forgets () =
+  let cl =
+    R.build ~durable:false ~seed:3 ~init:0 ~processes:matrix_processes ()
+  in
+  Alcotest.(check int) "no disks when volatile" 0 (Array.length cl.R.disks);
+  let steps = Net.Sim_net.run cl.R.net in
+  check_clean ~what:"volatile run" (R.collect cl ~steps);
+  Alcotest.(check bool) "replica holds state" true
+    (Net.Replica.contents (cl.R.replica_of 0) <> []);
+  Net.Sim_net.crash_amnesia cl.R.net 0;
+  Net.Sim_net.restart cl.R.net 0;
+  Alcotest.(check bool) "restart came back empty" true
+    (Net.Replica.contents (cl.R.replica_of 0) = [])
+
+let plain_crash_keeps_state () =
+  (* a plain crash is a pause, not a death: no recovery, no amnesia *)
+  let cl = R.build ~seed:3 ~init:0 ~processes:matrix_processes () in
+  let steps = Net.Sim_net.run cl.R.net in
+  check_clean ~what:"run" (R.collect cl ~steps);
+  let before = Net.Replica.contents (cl.R.replica_of 0) in
+  Net.Sim_net.crash cl.R.net 0;
+  Net.Sim_net.restart cl.R.net 0;
+  Alcotest.(check bool) "state retained across a pause" true
+    (Net.Replica.contents (cl.R.replica_of 0) = before)
+
+(* ------------------------------------------------------------------ *)
+(* Slow: real files                                                    *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "storage_test" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let file_roundtrip () =
+  with_dir @@ fun dir ->
+  let entries = entries_n 20 in
+  let st = S.create ~snapshot_every:8 (S.file_backend ~dir ()) in
+  List.iter (S.append st) entries;
+  Alcotest.(check int) "snapshots hit the disk" 2
+    (S.stats st).S.snapshots_taken;
+  let st' = S.create (S.file_backend ~dir ()) in
+  Alcotest.(check bool) "reopened = live" true
+    (S.contents st' = S.contents st);
+  let s = S.stats st' in
+  Alcotest.(check int) "snapshot loaded" 4 s.S.recovered_snapshot;
+  Alcotest.(check int) "wal tail replayed" 4 s.S.recovered_wal;
+  Alcotest.(check int) "nothing torn" 0 s.S.torn_bytes
+
+let file_torn_tail_repair () =
+  with_dir @@ fun dir ->
+  let entries = entries_n 8 in
+  let st = S.create (S.file_backend ~dir ()) in
+  List.iter (S.append st) entries;
+  let wal_file = Filename.concat dir "wal" in
+  let full = (Unix.stat wal_file).Unix.st_size in
+  let rec_size = full / 8 in
+  (* tear the file mid-record, as a crash inside write(2) would *)
+  let torn_len = (3 * rec_size) + 10 in
+  Unix.truncate wal_file torn_len;
+  let st' = S.create (S.file_backend ~dir ()) in
+  Alcotest.(check bool) "prefix recovered" true
+    (S.contents st' = reference_contents (take 3 entries));
+  Alcotest.(check int) "tail reported" 10 (S.stats st').S.torn_bytes;
+  Alcotest.(check int) "file repaired on disk" (3 * rec_size)
+    (Unix.stat wal_file).Unix.st_size;
+  let st'' = S.create (S.file_backend ~dir ()) in
+  Alcotest.(check int) "second open clean" 0 (S.stats st'').S.torn_bytes;
+  Alcotest.(check bool) "same contents" true
+    (S.contents st'' = S.contents st')
+
+let file_fsync_append () =
+  (* the fsync path must behave identically, just slower *)
+  with_dir @@ fun dir ->
+  let st = S.create (S.file_backend ~fsync:true ~dir ()) in
+  List.iter (S.append st) (entries_n 5);
+  S.snapshot st;
+  let st' = S.create (S.file_backend ~dir ()) in
+  Alcotest.(check bool) "fsync'd store reopens" true
+    (S.contents st' = S.contents st)
+
+let recovery_torture () =
+  (* randomized crash points over real files: random workload length,
+     tear ordinal, tear offset and snapshot cadence; every recovery
+     must equal the never-crashed prefix store *)
+  let rng = Random.State.make [| 0x570A |] in
+  for i = 1 to 60 do
+    with_dir @@ fun dir ->
+    let n = 1 + Random.State.int rng 60 in
+    let k = 1 + Random.State.int rng n in
+    let keep = Random.State.int rng 33 in
+    let snapshot_every = [| 0; 3; 7 |].(Random.State.int rng 3) in
+    let entries = entries_n n in
+    let st = S.create ~snapshot_every (S.file_backend ~dir ()) in
+    List.iteri (fun j e -> if j < k - 1 then S.append st e) entries;
+    (* crash inside the write(2) of append k: only [keep] bytes of its
+       record reach the file, and nothing after the write — no apply,
+       no snapshot — happened *)
+    let torn = S.frame_record (S.encode_entry (List.nth entries (k - 1))) in
+    let oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_binary ]
+        0o644
+        (Filename.concat dir "wal")
+    in
+    output_string oc (String.sub torn 0 keep);
+    close_out oc;
+    let st' = S.create ~snapshot_every (S.file_backend ~dir ()) in
+    if S.contents st' <> reference_contents (take (k - 1) entries) then
+      Alcotest.failf
+        "iteration %d (n=%d k=%d keep=%d se=%d): recovered state differs \
+         from the never-crashed prefix store"
+        i n k keep snapshot_every
+  done
+
+let socket_durable_cluster dir =
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  let replicas = [ 0; 1; 2 ] in
+  let reps =
+    List.map
+      (fun r ->
+        let storage =
+          S.create ~snapshot_every:16
+            (S.file_backend ~dir:(Filename.concat dir (string_of_int r)) ())
+        in
+        let rep = Net.Replica.create ~init:0 ~storage () in
+        Net.Socket_net.listen net r (fun ~src msg ->
+            List.iter
+              (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+              (Net.Replica.handle rep ~src msg));
+        (r, rep))
+      replicas
+  in
+  let server =
+    Net.Server.create ~transport:tr ~audit:true
+      ~metrics:(Net.Socket_net.metrics net) ~me:Net.Transport.server ~replicas
+      ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
+  (net, server, reps)
+
+let socket_durable () =
+  (* the service smoke test's --data-dir leg, as a test: a real-socket
+     cluster persisting to real files; after shutdown every replica
+     directory must reopen to exactly the replica's final state *)
+  with_dir @@ fun dir ->
+  let net, server, reps = socket_durable_cluster dir in
+  let writer =
+    Thread.create
+      (fun () ->
+        let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+        for k = 1 to 12 do
+          Net.Client.write c k
+        done;
+        Net.Client.close c)
+      ()
+  in
+  let reader =
+    Thread.create
+      (fun () ->
+        let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
+        for _ = 1 to 12 do
+          ignore (Net.Client.read c)
+        done;
+        Net.Client.close c)
+      ()
+  in
+  Thread.join writer;
+  Thread.join reader;
+  let violation = Net.Server.violation server in
+  Net.Socket_net.shutdown net;
+  (match violation with
+   | None -> ()
+   | Some v ->
+     Alcotest.failf "live audit: %a"
+       (Histories.Fastcheck.pp_violation Fmt.int)
+       v);
+  List.iter
+    (fun (r, rep) ->
+      let st =
+        S.create (S.file_backend ~dir:(Filename.concat dir (string_of_int r)) ())
+      in
+      Alcotest.(check bool)
+        (Fmt.str "replica %d: reopened store = final state" r)
+        true
+        (S.contents st = Net.Replica.contents rep);
+      Alcotest.(check bool) (Fmt.str "replica %d: stored something" r) true
+        (S.contents st <> []))
+    reps
+
+let suite =
+  [
+    tc "store: basic ops" basic_ops;
+    tc "store: timestamp guard" ts_guard;
+    tc "store: reopen recovers" reopen_recovers;
+    tc "store: snapshot truncates the log" snapshot_truncates;
+    tc "store: forced snapshot" forced_snapshot;
+    tc "store: stale WAL over a newer snapshot is harmless"
+      stale_wal_harmless;
+    tc "crash-point matrix: every append ordinal, pure store"
+      crash_point_matrix;
+    tc "disk plays dead after a tear" post_tear_writes_ignored;
+    tc "crash-point matrix: end-to-end cluster" sim_crash_points;
+    tc "crash-point matrix: end-to-end, snapshots crossing"
+      sim_crash_points_snapshotting;
+    tc "amnesia restart recovers from the WAL" durable_amnesia_recovers;
+    tc "amnesia restart without durability forgets" volatile_amnesia_forgets;
+    tc "plain crash is a pause" plain_crash_keeps_state;
+  ]
+
+let slow_suite =
+  [
+    tc_slow "file backend: append, snapshot, reopen" file_roundtrip;
+    tc_slow "file backend: torn tail repaired on disk" file_torn_tail_repair;
+    tc_slow "file backend: fsync path" file_fsync_append;
+    tc_slow "recovery torture: random crash points over real files"
+      recovery_torture;
+    tc_slow "socket cluster persists and recovers" socket_durable;
+  ]
