@@ -586,7 +586,7 @@ let bench_net () =
       let p50 = pct 50.0 in
       let p99 = pct 99.0 in
       let msgs_per_op =
-        float_of_int o.Net.Sim_run.quorum.Net.Quorum.messages_sent
+        float_of_int o.Net.Sim_run.quorum.Net.Engine.messages_sent
         /. float_of_int (max 1 o.Net.Sim_run.completed)
       in
       let ops_per_vt =
@@ -602,7 +602,7 @@ let bench_net () =
          %5.1f p99 %5.1f vt, %5.1f msgs/op, %d retransmits%s@."
         drop (drop /. 2.0) o.Net.Sim_run.completed o.Net.Sim_run.expected
         ops_per_vt p50 p99 msgs_per_op
-        o.Net.Sim_run.quorum.Net.Quorum.retransmissions
+        o.Net.Sim_run.quorum.Net.Engine.retransmissions
         (if o.Net.Sim_run.monitor_violation = None && o.Net.Sim_run.fastcheck_ok
          then ""
          else "  [NOT ATOMIC!]"))
@@ -1008,6 +1008,92 @@ let bench_net_recovery () =
     off_rate
 
 (* ------------------------------------------------------------------ *)
+(* net/engine: the two replication protocols head to head on identical *)
+(* workloads — bytes on the wire, control bytes, messages and virtual- *)
+(* time latency per operation (BENCH_006.json).  The twobit engine's   *)
+(* claim is wire economy: counting over FIFO links replaces request    *)
+(* ids and timestamps, and reads complete on a single reply.           *)
+
+let bench_net_engine () =
+  section "net-engine - abd vs twobit: wire cost and latency per op";
+  let pf = Fmt.pr in
+  let workload =
+    Harness.Workload.unique_scripts
+      { Harness.Workload.writers = 2; readers = 2; writes_each = 50;
+        reads_each = 50 }
+  in
+  let leg kind ~drop =
+    let o =
+      Net.Sim_run.run
+        ~faults:(Net.Sim_net.lossy ~drop ~duplicate:(drop /. 2.0) ())
+        ~replicas:3 ~seed:6 ~init:0
+        ~engine:{ Net.Engine.default with Net.Engine.kind }
+        ~processes:workload ()
+    in
+    assert (o.Net.Sim_run.monitor_violation = None);
+    assert (o.Net.Sim_run.fastcheck_ok);
+    o
+  in
+  List.iter
+    (fun drop ->
+      let legs =
+        List.map (fun k -> (k, leg k ~drop)) Net.Engine.all_kinds
+      in
+      pf "  sim transport, 3 replicas, 2 writers + 2 readers, drop %.2f:@."
+        drop;
+      List.iter
+        (fun (kind, o) ->
+          let ops = max 1 o.Net.Sim_run.completed in
+          let per x = float_of_int x /. float_of_int ops in
+          let q = o.Net.Sim_run.quorum in
+          let bytes_per_op = per q.Net.Engine.bytes_sent in
+          let ctrl_per_op = per q.Net.Engine.control_bytes_sent in
+          let msgs_per_op = per q.Net.Engine.messages_sent in
+          let lat =
+            Array.of_list
+              (List.map (fun (_, _, l) -> l) o.Net.Sim_run.latencies)
+          in
+          let pct p =
+            Option.value ~default:Float.nan
+              (Harness.Stats.percentile_opt lat p)
+          in
+          let pre = Fmt.str "%s drop %.2f" (Net.Engine.kind_name kind) drop in
+          Json.metric ~section:"net-engine" (pre ^ " bytes per op")
+            bytes_per_op;
+          Json.metric ~section:"net-engine" (pre ^ " control bytes per op")
+            ctrl_per_op;
+          Json.metric ~section:"net-engine" (pre ^ " msgs per op") msgs_per_op;
+          Json.metric ~section:"net-engine" (pre ^ " latency p50 vt") (pct 50.0);
+          Json.metric ~section:"net-engine" (pre ^ " latency p99 vt") (pct 99.0);
+          Json.metric ~section:"net-engine" (pre ^ " retransmissions")
+            (float_of_int q.Net.Engine.retransmissions);
+          pf
+            "    %-6s %3d/%d ops: %6.1f bytes/op (%5.1f control), %4.1f \
+             msgs/op, latency p50 %5.1f p99 %5.1f vt, %d retransmits@."
+            (Net.Engine.kind_name kind) o.Net.Sim_run.completed
+            o.Net.Sim_run.expected bytes_per_op ctrl_per_op msgs_per_op
+            (pct 50.0) (pct 99.0) q.Net.Engine.retransmissions)
+        legs;
+      (* the acceptance claim, checked where the numbers are made: the
+         twobit engine must spend strictly fewer control bytes per op *)
+      (match
+         ( List.assoc_opt Net.Engine.Abd legs,
+           List.assoc_opt Net.Engine.Twobit legs )
+       with
+      | Some a, Some t ->
+        let per o x =
+          float_of_int x /. float_of_int (max 1 o.Net.Sim_run.completed)
+        in
+        let ac = per a a.Net.Sim_run.quorum.Net.Engine.control_bytes_sent in
+        let tc = per t t.Net.Sim_run.quorum.Net.Engine.control_bytes_sent in
+        if not (tc < ac) then
+          Fmt.failwith
+            "net-engine: twobit control bytes/op %.1f not below abd %.1f" tc ac
+      | _ -> ()))
+    [ 0.0; 0.1 ];
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
 
 let make_trace n_ops =
@@ -1203,6 +1289,7 @@ let all_sections =
     ("net-metrics", bench_net_metrics);
     ("net-explore", bench_net_explore);
     ("net-recovery", bench_net_recovery);
+    ("net-engine", bench_net_engine);
     ("micro", run_micro);
   ]
 

@@ -1,0 +1,20 @@
+(* The --engine flag, shared by the service and mcheck binaries so both
+   parse and print protocol names identically. *)
+
+open Cmdliner
+
+let kind_conv =
+  Arg.enum (List.map (fun k -> (Net.Engine.kind_name k, k)) Net.Engine.all_kinds)
+
+let term =
+  Arg.(
+    value
+    & opt kind_conv Net.Engine.Abd
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Replication protocol every shard runs: $(b,abd) (quorum \
+           reads/writes carrying request ids and timestamps) or $(b,twobit) \
+           (the Mostéfaoui–Raynal register over FIFO links — two bits of \
+           control metadata per message, single-reply reads).")
+
+let name = Net.Engine.kind_name

@@ -147,10 +147,10 @@ let run protocol writes reads writers readers invariant =
 module X = Net.Explore
 module S = Modelcheck.Schedule
 
-let run_net replicas keys window net_writers writes readers reads broken
-    crashes amnesia no_durability max_schedules max_depth no_prune fastcheck
-    hunt walks seed torture runs dump replay expect_violation expect_exhausted
-    =
+let run_net engine replicas keys window net_writers writes readers reads
+    broken broken_link crashes amnesia no_durability max_schedules max_depth
+    no_prune fastcheck hunt walks seed torture runs dump replay
+    expect_violation expect_exhausted =
   let finish ~violated =
     if violated = expect_violation then 0
     else begin
@@ -161,9 +161,10 @@ let run_net replicas keys window net_writers writes readers reads broken
   in
   match replay with
   | Some file ->
-    let _cfg, sched, o = X.replay_file ~file in
+    let cfg, sched, o = X.replay_file ~file in
     let violated = o.Net.Sim_run.key_violations <> [] in
-    Fmt.pr "replayed %s: %d choices, %d/%d ops completed, %s@." file
+    Fmt.pr "replayed %s: %s engine, %d choices, %d/%d ops completed, %s@." file
+      (Engine_cli.name cfg.X.engine)
       (List.length sched) o.Net.Sim_run.completed o.Net.Sim_run.expected
       (if violated then "violation reproduced" else "no violation");
     List.iter
@@ -173,12 +174,13 @@ let run_net replicas keys window net_writers writes readers reads broken
   | None ->
     if torture then begin
       let t0 = Unix.gettimeofday () in
-      let rep = X.torture ~runs ?dump ~seed () in
+      let rep = X.torture ~engine ~runs ?dump ~seed () in
       let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
       Fmt.pr
-        "torture: %d runs, %d ops completed, %d violations, %d stalls \
-         (%.2fs, %.0f runs/s)@."
-        rep.X.runs rep.X.ops_completed rep.X.violations rep.X.stalled dt
+        "torture (%s engine): %d runs, %d ops completed, %d violations, %d \
+         stalls (%.2fs, %.0f runs/s)@."
+        (Engine_cli.name engine) rep.X.runs rep.X.ops_completed
+        rep.X.violations rep.X.stalled dt
         (float_of_int rep.X.runs /. dt);
       (match rep.X.first_failure with
        | Some (i, m) -> Fmt.pr "first failure: run %d: %s@." i m
@@ -194,23 +196,30 @@ let run_net replicas keys window net_writers writes readers reads broken
           ~reads
         |> List.filter (fun p -> p.Vm.script <> [])
       in
-      let cfg =
-        X.config ~replicas ~keys ~window
+      match
+        X.config ~replicas ~keys ~window ~engine
           ?read_quorum:(if broken then Some 1 else None)
+          ~unordered:broken_link
           ~crashable:(if crashes > 0 then List.init replicas Fun.id else [])
           ~max_crashes:crashes
           ~amnesia:(if amnesia > 0 then List.init replicas Fun.id else [])
           ~max_amnesia:amnesia ~durable:(not no_durability) ?max_schedules
           ~max_depth ~prune:(not no_prune) ~fastcheck ~processes ()
-      in
+      with
+      | exception Invalid_argument msg ->
+        (* engine/bug-hook/fate mismatches are user errors, not bugs *)
+        Fmt.epr "mcheck net: %s@." msg;
+        2
+      | cfg ->
       let t0 = Unix.gettimeofday () in
       let res = if hunt then X.hunt ~walks ~seed cfg else X.explore cfg in
       let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
       let s = res.X.stats in
       Fmt.pr
-        "%s: %d schedules, %d transitions, %d pruned, depth <= %d%s \
-         (%.2fs, %.0f schedules/s)@."
+        "%s (%s engine): %d schedules, %d transitions, %d pruned, depth <= \
+         %d%s (%.2fs, %.0f schedules/s)@."
         (if hunt then "hunt" else "explore")
+        (Engine_cli.name engine)
         s.S.schedules s.S.transitions s.S.pruned s.S.max_depth_seen
         (if s.S.exhausted then ", exhausted" else "")
         dt
@@ -293,8 +302,15 @@ let net_cmd =
   let broken =
     Arg.(value & flag
          & info [ "broken-read-quorum" ]
-             ~doc:"Deliberately break the protocol: collect from a read \
+             ~doc:"Deliberately break the abd engine: collect from a read \
                    quorum of 1 instead of a majority.")
+  in
+  let broken_link =
+    Arg.(value & flag
+         & info [ "broken-link-order" ]
+             ~doc:"Deliberately break the twobit engine: replicas apply link \
+                   frames in arrival order instead of sequence order, \
+                   forfeiting the FIFO guarantee its reads rely on.")
   in
   let crashes =
     Arg.(value & opt int 0
@@ -374,9 +390,10 @@ let net_cmd =
   Cmd.v
     (Cmd.info "net"
        ~doc:"Explore delivery schedules of the simulated register service")
-    Term.(const run_net $ replicas $ keys $ window $ net_writers $ writes
-          $ readers $ reads $ broken $ crashes $ amnesia $ no_durability
-          $ max_schedules
+    Term.(const run_net $ Engine_cli.term $ replicas $ keys $ window
+          $ net_writers $ writes
+          $ readers $ reads $ broken $ broken_link $ crashes $ amnesia
+          $ no_durability $ max_schedules
           $ max_depth $ no_prune $ fastcheck $ hunt $ walks $ seed $ torture
           $ runs $ dump $ replay $ expect_violation $ expect_exhausted)
 

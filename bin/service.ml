@@ -42,8 +42,8 @@ let keyed_fastcheck ~init keyed =
 (* ------------------------------------------------------------------ *)
 (* sim                                                                 *)
 
-let run_sim seed replicas shards readers writes reads drop dup window crash
-    partition show_history show_metrics trace_file =
+let run_sim engine seed replicas shards readers writes reads drop dup window
+    crash partition show_history show_metrics trace_file =
   let faults = Net.Sim_net.lossy ~drop ~duplicate:dup () in
   let trace =
     (* sized for a whole CLI run: no wrap, so the dump is replayable *)
@@ -51,6 +51,7 @@ let run_sim seed replicas shards readers writes reads drop dup window crash
   in
   let o =
     Net.Sim_run.run ~faults ~replicas ~shards ~window
+      ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
       ?crash_replica:(if crash then Some (replicas - 1, 40.0) else None)
       ?partition_replicas:(if partition then Some (60.0, 120.0) else None)
       ?trace ~seed ~init:0
@@ -59,6 +60,7 @@ let run_sim seed replicas shards readers writes reads drop dup window crash
   in
   if show_history then
     Fmt.pr "%a@." (E.pp_history Fmt.int) o.Net.Sim_run.history;
+  Fmt.pr "engine: %s@." (Engine_cli.name engine);
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
   if shards > 1 then
     List.iter
@@ -83,7 +85,7 @@ let run_sim seed replicas shards readers writes reads drop dup window crash
 (* ------------------------------------------------------------------ *)
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
-let start_cluster net ~replicas ~shards ~audit ?data_dir () =
+let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir () =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
@@ -114,11 +116,19 @@ let start_cluster net ~replicas ~shards ~audit ?data_dir () =
   in
   let server =
     Net.Server.create ~transport:tr ~audit ~metrics
+      ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
       ?storage:(storage_for "server")
       ~map:(Net.Shard_map.create ~shards ())
       ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
   in
   Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
+  (* engine negotiation: tell every replica which protocol this service
+     instance speaks (recorded, surfaced by stats/debugging) *)
+  List.iter
+    (fun r ->
+      tr.Net.Transport.send ~src:Net.Transport.server ~dst:r
+        (Net.Wire.Engine_hello { engine = Net.Engine.kind_code engine }))
+    replica_nodes;
   (server, reps)
 
 let run_socket_workload net ~window ~nkeys processes =
@@ -144,7 +154,7 @@ let run_socket_workload net ~window ~nkeys processes =
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
 
-let run_smoke shards readers writes reads seed data_dir show_metrics =
+let run_smoke engine shards readers writes reads seed data_dir show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -152,12 +162,16 @@ let run_smoke shards readers writes reads seed data_dir show_metrics =
   in
   let nkeys = max 1 shards in
   (* --- socket transport --- *)
-  Fmt.pr "== socket transport (Unix-domain, %d replicas, %d shard%s, crash 1) ==@."
-    3 shards (if shards = 1 then "" else "s");
+  Fmt.pr
+    "== socket transport (Unix-domain, %d replicas, %d shard%s, %s engine, \
+     crash 1) ==@."
+    3 shards
+    (if shards = 1 then "" else "s")
+    (Engine_cli.name engine);
   let net = Net.Socket_net.create () in
   let metrics = Net.Socket_net.metrics net in
   let server, reps =
-    start_cluster net ~replicas:3 ~shards ~audit:true ?data_dir ()
+    start_cluster net ~engine ~replicas:3 ~shards ~audit:true ?data_dir ()
   in
   let killer =
     Thread.create
@@ -220,10 +234,13 @@ let run_smoke shards readers writes reads seed data_dir show_metrics =
   in
   (* --- simulated transport under faults --- *)
   Fmt.pr
-    "== simulated transport (drop 15%%, dup 10%%, jitter, replica crash) ==@.";
+    "== simulated transport (drop 15%%, dup 10%%, jitter, %s engine, replica \
+     crash) ==@."
+    (Engine_cli.name engine);
   let o =
     Net.Sim_run.run
       ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
+      ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
       ~replicas:3 ~shards ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
   in
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
@@ -240,12 +257,17 @@ let run_smoke shards readers writes reads seed data_dir show_metrics =
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
 
-let run_serve dir replicas shards audit data_dir show_metrics =
+let run_serve dir engine replicas shards audit data_dir show_metrics =
   let net = Net.Socket_net.create ~dir () in
-  let _server, reps = start_cluster net ~replicas ~shards ~audit ?data_dir () in
-  Fmt.pr "serving the two-writer keyspace in %s (%d replicas, %d shard%s%s)@."
+  let _server, reps =
+    start_cluster net ~engine ~replicas ~shards ~audit ?data_dir ()
+  in
+  Fmt.pr
+    "serving the two-writer keyspace in %s (%d replicas, %d shard%s, %s \
+     engine%s)@."
     dir replicas shards
     (if shards = 1 then "" else "s")
+    (Engine_cli.name engine)
     (match data_dir with
      | None -> ", volatile"
      | Some d -> Fmt.str ", durable in %s" d);
@@ -299,7 +321,13 @@ let run_stats dir proc =
   let width =
     List.fold_left (fun w (n, _) -> max w (String.length n)) 0 stats
   in
-  List.iter (fun (n, v) -> Fmt.pr "%-*s %d@." width n v) stats;
+  List.iter
+    (fun (n, v) ->
+      (* the engine row is a protocol code: print it by name *)
+      match if n = "engine" then Net.Engine.kind_of_code v else None with
+      | Some k -> Fmt.pr "%-*s %s@." width n (Engine_cli.name k)
+      | None -> Fmt.pr "%-*s %d@." width n v)
+    stats;
   0
 
 (* offline replay: parse a dumped trace and re-check every key's
@@ -437,16 +465,16 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a workload over the simulated transport")
-    Term.(const run_sim $ seed $ replicas $ shards $ readers $ writes $ reads
-          $ drop $ dup $ window $ crash $ partition $ history $ metrics_flag
-          $ trace)
+    Term.(const run_sim $ Engine_cli.term $ seed $ replicas $ shards $ readers
+          $ writes $ reads $ drop $ dup $ window $ crash $ partition $ history
+          $ metrics_flag $ trace)
 
 let smoke_cmd =
   Cmd.v
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
-    Term.(const run_smoke $ shards $ readers $ writes $ reads $ seed
-          $ data_dir $ metrics_flag)
+    Term.(const run_smoke $ Engine_cli.term $ shards $ readers $ writes
+          $ reads $ seed $ data_dir $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -462,8 +490,8 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
-    Term.(const run_serve $ dir_arg $ replicas $ shards $ audit $ data_dir
-          $ metrics_flag)
+    Term.(const run_serve $ dir_arg $ Engine_cli.term $ replicas $ shards
+          $ audit $ data_dir $ metrics_flag)
 
 let client_cmd =
   let proc =

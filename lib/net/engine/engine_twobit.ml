@@ -1,0 +1,250 @@
+(* The Mostéfaoui–Raynal register engine ("Two-Bit Messages are
+   Sufficient to Implement Atomic Read/Write Registers in Crash-prone
+   Systems", arXiv:1602.02695), adapted to this service's sharded
+   single-engine-per-shard shape.
+
+   The paper's insight: over reliable FIFO channels, a register needs
+   no control information beyond the message type (four types = two
+   bits).  This engine realises the FIFO exactly-once channel as a
+   link layer — every frame to replica [r] carries the next sequence
+   number of the (engine, r) link, the replica delivers frames in
+   sequence order (buffering gaps, re-answering duplicates), and a
+   reply echoes the request's link sequence number, which is how the
+   engine matches it back (counting replaces request ids and
+   timestamps; the replica's per-register apply counter replaces the
+   writer timestamp).
+
+   Why this is atomic here: this engine is the only issuer of
+   operations on its shard's registers, and it broadcasts a write's
+   [Store2] on every link at issue time.  FIFO delivery then means a
+   [Query2] issued later is delivered at {e every} replica after that
+   store, so {e any single reply} already reflects it — a read
+   completes on its first reply, with no write-back phase and no
+   timestamp comparison.  Replies may be lost, duplicated or
+   reordered freely: they are matched by link seq, and a duplicate
+   frame is re-answered from current replica state, which only ever
+   moves forward (see DESIGN_NET.md §10 for the full argument).
+
+   Fault model: crash-stop (the paper's).  A crashed replica may pause
+   and resume with memory intact; writes survive any minority of
+   crashes, reads any n-1.  What the link layer does {e not} survive
+   is an {e amnesia} restart — the replica's receive counters are
+   volatile, so {!Explore.config} rejects twobit+amnesia and torture
+   mode degrades amnesia fates to plain crashes for this engine. *)
+
+type opk = Rd of (Wire.payload -> unit) | Wr of (unit -> unit)
+
+type op = {
+  k : opk;
+  born : float;
+  mutable acks : int;  (* Wr: replicas heard from *)
+  mutable done_ : bool;
+}
+
+type entry = { frame : Wire.msg; sent_at : float; op : op }
+
+type link = {
+  dst : Transport.node;
+  mutable next_seq : int;
+  outbox : (int, entry) Hashtbl.t;  (* link seq -> unanswered frame *)
+}
+
+type ctrs = {
+  m_stores : Metrics.counter;
+  m_queries : Metrics.counter;
+  m_retrans : Metrics.counter;
+  h_op : Metrics.histogram;
+}
+
+type t = {
+  tr : Transport.t;
+  me : Transport.node;
+  lid : int;  (* link id on the wire = this engine's shard index *)
+  links : link array;
+  majority : int;
+  wts : (int, int) Hashtbl.t;  (* engine-side write counter, per reg *)
+  storage : Storage.t option;
+  mutable reads : int;
+  mutable writes : int;
+  mutable sent : int;
+  mutable retrans : int;
+  mutable bytes : int;
+  mutable cbytes : int;
+  c : ctrs;
+}
+
+let create ~transport ~me ~replicas ~lid ?storage ?metrics () =
+  if lid < 0 || lid >= Wire.max_lid then
+    invalid_arg
+      (Fmt.str
+         "Engine_twobit.create: link id %d out of range (at most %d shards)"
+         lid Wire.max_lid);
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let wts = Hashtbl.create 16 in
+  (* recover the write counter like Quorum recovers wts: a restarted
+     engine must keep persisting entries with advancing timestamps, or
+     server-side monitor recovery would read stale values back *)
+  (match storage with
+   | None -> ()
+   | Some st ->
+     List.iter
+       (fun (reg, (ts, _)) -> Hashtbl.replace wts reg ts)
+       (Storage.contents st));
+  {
+    tr = transport;
+    me;
+    lid;
+    links =
+      Array.of_list
+        (List.map
+           (fun dst -> { dst; next_seq = 0; outbox = Hashtbl.create 16 })
+           replicas);
+    majority = (List.length replicas / 2) + 1;
+    wts;
+    storage;
+    reads = 0;
+    writes = 0;
+    sent = 0;
+    retrans = 0;
+    bytes = 0;
+    cbytes = 0;
+    c =
+      {
+        m_stores = Metrics.counter metrics "twobit_stores";
+        m_queries = Metrics.counter metrics "twobit_queries";
+        m_retrans = Metrics.counter metrics "twobit_retransmissions";
+        h_op = Metrics.histogram metrics "twobit_op";
+      };
+  }
+
+let send t l msg =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + Wire.encoded_size msg;
+  t.cbytes <- t.cbytes + Wire.control_bytes msg;
+  t.tr.Transport.send ~src:t.me ~dst:l.dst msg
+
+(* push one frame onto every link; the frame stays in the outbox (and
+   keeps being retransmitted) until its reply arrives — link repair
+   must outlive the operation, or a lost frame would leave a sequence
+   gap that deadlocks the receiver forever *)
+let broadcast t op frame_of =
+  Array.iter
+    (fun l ->
+      let seq = l.next_seq in
+      l.next_seq <- seq + 1;
+      let frame = frame_of ~seq in
+      Hashtbl.replace l.outbox seq
+        { frame; sent_at = t.tr.Transport.now (); op };
+      send t l frame)
+    t.links
+
+let write t ~reg ~value ~k =
+  t.writes <- t.writes + 1;
+  Metrics.incr t.c.m_stores;
+  let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
+  Hashtbl.replace t.wts reg ts;
+  (* engine-side persistence mirrors Quorum.write: the server recovers
+     its monitors (and a restarted engine its counter) from this log *)
+  (match t.storage with
+   | None -> ()
+   | Some st -> Storage.append st { Storage.reg; ts; pl = value });
+  let op =
+    { k = Wr k; born = t.tr.Transport.now (); acks = 0; done_ = false }
+  in
+  broadcast t op (fun ~seq -> Wire.Store2 { lid = t.lid; seq; reg; pl = value })
+
+let read t ~reg ~k =
+  t.reads <- t.reads + 1;
+  Metrics.incr t.c.m_queries;
+  let op =
+    { k = Rd k; born = t.tr.Transport.now (); acks = 0; done_ = false }
+  in
+  broadcast t op (fun ~seq -> Wire.Query2 { lid = t.lid; seq; reg })
+
+let link_of t dst = Array.find_opt (fun l -> l.dst = dst) t.links
+
+let finish t op =
+  op.done_ <- true;
+  Metrics.observe t.c.h_op (t.tr.Transport.now () -. op.born)
+
+let on_message t ~src msg =
+  let rec go = function
+    | Wire.Ack2 { lid; seq } when lid = t.lid ->
+      (match link_of t src with
+       | None -> ()
+       | Some l ->
+         (match Hashtbl.find_opt l.outbox seq with
+          | Some { op = { k = Wr k; _ } as op; _ } ->
+            Hashtbl.remove l.outbox seq;
+            op.acks <- op.acks + 1;
+            if (not op.done_) && op.acks >= t.majority then begin
+              finish t op;
+              k ()
+            end
+          | Some _ | None -> ()))
+    | Wire.Query2_reply { lid; seq; pl } when lid = t.lid ->
+      (match link_of t src with
+       | None -> ()
+       | Some l ->
+         (match Hashtbl.find_opt l.outbox seq with
+          | Some { op = { k = Rd k; _ } as op; _ } ->
+            Hashtbl.remove l.outbox seq;
+            (* first reply wins: FIFO links make every reply current *)
+            if not op.done_ then begin
+              finish t op;
+              k pl
+            end
+          | Some _ | None -> ()))
+    | Wire.Batch msgs -> List.iter go msgs
+    | _ -> ()
+  in
+  go msg
+
+(* Every unanswered frame is retransmitted — even ones whose operation
+   already completed, because a sequence gap on a link blocks all later
+   frames until repaired.  But the timer is only kept armed while an
+   OPERATION is in flight: op-complete frames pending towards a slow or
+   crashed replica do not spin an idle service (a crashed replica would
+   otherwise keep the timer alive forever), and the next operation's
+   broadcast re-arms the timer, whose resends then repair the old gaps
+   before the receiver needs the new frame. *)
+let resend_pending ?(older_than = 0.0) t =
+  let cutoff = t.tr.Transport.now () -. older_than in
+  let still = ref false in
+  Array.iter
+    (fun l ->
+      Hashtbl.iter
+        (fun _ e ->
+          if not e.op.done_ then still := true;
+          if e.sent_at <= cutoff then begin
+            t.retrans <- t.retrans + 1;
+            Metrics.incr t.c.m_retrans;
+            send t l e.frame
+          end)
+        l.outbox)
+    t.links;
+  !still
+
+let stats t =
+  {
+    Engine.reads = t.reads;
+    writes = t.writes;
+    messages_sent = t.sent;
+    retransmissions = t.retrans;
+    bytes_sent = t.bytes;
+    control_bytes_sent = t.cbytes;
+  }
+
+module Impl = struct
+  type nonrec t = t
+
+  let read = read
+  let write = write
+  let on_message = on_message
+  let resend_pending = resend_pending
+  let stats = stats
+end
+
+let instance ~transport ~me ~replicas ~lid ?storage ?metrics () =
+  Engine.Instance
+    ((module Impl), create ~transport ~me ~replicas ~lid ?storage ?metrics ())

@@ -1,0 +1,25 @@
+(* Engine factory: one {!Engine.spec} in, one packed instance out.
+   Also the single place that rejects a bug hook aimed at the wrong
+   engine — a weakened read quorum is meaningless to the twobit
+   protocol (reads take one reply by design) and unordered links are
+   meaningless to ABD (timestamps already tolerate reordering), so a
+   mismatched hook is an error, not a silent no-op. *)
+
+let create (spec : Engine.spec) ~transport ~me ~replicas ~lid ?storage
+    ?metrics () =
+  match spec.Engine.kind with
+  | Engine.Abd ->
+    if spec.unordered then
+      invalid_arg
+        "Engines.create: unordered is a twobit-engine bug hook (the abd \
+         engine is reorder-tolerant by construction)";
+    Engine_abd.create ~transport ~me ~replicas ?read_quorum:spec.read_quorum
+      ?storage ?metrics ()
+  | Engine.Twobit ->
+    (match spec.read_quorum with
+     | Some _ ->
+       invalid_arg
+         "Engines.create: read_quorum is an abd-engine bug hook (twobit \
+          reads take a single reply by design)"
+     | None -> ());
+    Engine_twobit.instance ~transport ~me ~replicas ~lid ?storage ?metrics ()

@@ -11,7 +11,9 @@ type config = {
   keys : int;
   window : int;
   init : int;
+  engine : Engine.kind;
   read_quorum : int option;
+  unordered : bool;
   crashable : int list;
   max_crashes : int;
   amnesia : int list;
@@ -26,18 +28,48 @@ type config = {
   fastcheck : bool;
 }
 
-let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0) ?read_quorum
-    ?(crashable = []) ?(max_crashes = 0) ?(amnesia = []) ?(max_amnesia = 0)
-    ?(durable = true) ?(cuts = []) ?(max_partitions = 0)
-    ?(max_timer_fires = 64) ?(max_depth = 2_000) ?(max_schedules = max_int)
-    ?(prune = true) ?(fastcheck = false) ~processes () =
+let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0)
+    ?(engine = Engine.Abd) ?read_quorum ?(unordered = false) ?(crashable = [])
+    ?(max_crashes = 0) ?(amnesia = []) ?(max_amnesia = 0) ?(durable = true)
+    ?(cuts = []) ?(max_partitions = 0) ?(max_timer_fires = 64)
+    ?(max_depth = 2_000) ?(max_schedules = max_int) ?(prune = true)
+    ?(fastcheck = false) ~processes () =
+  (* Fail fast, at configuration time, on requests no run could honour:
+     a deep [invalid_arg] out of [reset] would only surface once the
+     explorer starts (or worse, from inside every walk). *)
+  (match read_quorum with
+   | Some q when q < 1 || q > replicas ->
+     invalid_arg
+       (Fmt.str
+          "Explore.config: read_quorum %d out of range for %d replicas \
+           (want 1..%d)"
+          q replicas replicas)
+   | _ -> ());
+  (match engine with
+   | Engine.Abd ->
+     if unordered then
+       invalid_arg
+         "Explore.config: unordered is a twobit-engine bug hook; the abd \
+          engine has no link layer to disorder"
+   | Engine.Twobit ->
+     if read_quorum <> None then
+       invalid_arg
+         "Explore.config: read_quorum is an abd-engine bug hook; the twobit \
+          engine reads from a single reply by design";
+     if amnesia <> [] && max_amnesia > 0 then
+       invalid_arg
+         "Explore.config: the twobit engine is crash-stop only — its link \
+          sequence state is volatile, so an amnesia reboot deadlocks the \
+          links; use crashable instead");
   {
     replicas;
     processes;
     keys;
     window;
     init;
+    engine;
     read_quorum;
+    unordered;
     crashable;
     max_crashes = (if crashable = [] then 0 else max_crashes);
     amnesia;
@@ -74,11 +106,17 @@ type st = {
 }
 
 let reset ?trace cfg =
+  let spec =
+    {
+      Engine.kind = cfg.engine;
+      read_quorum = cfg.read_quorum;
+      unordered = cfg.unordered;
+    }
+  in
   let cl =
     Sim_run.build ~faults:Sim_net.reliable ~replicas:cfg.replicas
-      ~window:cfg.window ~keys:cfg.keys ?read_quorum:cfg.read_quorum
-      ~durable:cfg.durable ?trace ~seed:0 ~init:cfg.init
-      ~processes:cfg.processes ()
+      ~window:cfg.window ~keys:cfg.keys ~engine:spec ~durable:cfg.durable
+      ?trace ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
   in
   {
     cfg;
@@ -401,11 +439,13 @@ let script_tokens script =
 
 let config_note cfg =
   Fmt.str
-    "config replicas=%d keys=%d window=%d init=%d read_quorum=%d \
-     max_crashes=%d max_amnesia=%d durable=%d max_partitions=%d \
+    "config replicas=%d keys=%d window=%d init=%d engine=%d read_quorum=%d \
+     unordered=%d max_crashes=%d max_amnesia=%d durable=%d max_partitions=%d \
      max_timer_fires=%d max_depth=%d prune=%d fastcheck=%d"
     cfg.replicas cfg.keys cfg.window cfg.init
+    (Engine.kind_code cfg.engine)
     (Option.value ~default:0 cfg.read_quorum)
+    (if cfg.unordered then 1 else 0)
     cfg.max_crashes cfg.max_amnesia
     (if cfg.durable then 1 else 0)
     cfg.max_partitions cfg.max_timer_fires cfg.max_depth
@@ -522,10 +562,17 @@ let load ~file =
     notes;
   let get k d = Option.value ~default:d (Hashtbl.find_opt assoc k) in
   let rq = get "read_quorum" 0 in
+  (* engine/unordered default to abd/false so pre-engine artifacts load *)
+  let engine =
+    match Engine.kind_of_code (get "engine" 0) with
+    | Some k -> k
+    | None -> failwith "explore: unknown engine code"
+  in
   let cfg =
     config ~replicas:(get "replicas" 3) ~keys:(get "keys" 1)
-      ~window:(get "window" 4) ~init:(get "init" 0)
+      ~window:(get "window" 4) ~init:(get "init" 0) ~engine
       ?read_quorum:(if rq = 0 then None else Some rq)
+      ~unordered:(get "unordered" 0 = 1)
       ~crashable:!crashable ~max_crashes:(get "max_crashes" 0)
       ~amnesia:!amnesia
       ~max_amnesia:(get "max_amnesia" 0)
@@ -555,7 +602,7 @@ type torture_report = {
   first_failure : (int * string) option;
 }
 
-let torture_run ~seed ~run ?trace () =
+let torture_run ?(engine = Engine.Abd) ~seed ~run ?trace () =
   let rng = Random.State.make [| seed; run; 0x746f7274 |] in
   let replicas = if Random.State.bool rng then 3 else 5 in
   let shards = 1 lsl Random.State.int rng 3 in
@@ -577,8 +624,23 @@ let torture_run ~seed ~run ?trace () =
       ~replicas:(List.init replicas Fun.id)
       ~server:Transport.server ~span ()
   in
+  (* the twobit engine is crash-stop only: degrade amnesia fates to
+     plain crashes (drawn from the same rng, so runs stay seeded and
+     comparable across engines fate-for-fate) *)
+  let fates =
+    match engine with
+    | Engine.Abd -> fates
+    | Engine.Twobit ->
+      List.map
+        (fun (t, f) ->
+          match f with
+          | Harness.Failure.Crash_amnesia r -> (t, Harness.Failure.Crash r)
+          | f -> (t, f))
+        fates
+  in
+  let espec = { Engine.default with Engine.kind = engine } in
   let o =
-    Sim_run.run ~faults ~replicas ~window ~shards ~keys ~fates
+    Sim_run.run ~faults ~replicas ~window ~shards ~keys ~engine:espec ~fates
       ~seed:(Random.State.bits rng) ~init:0 ~processes ?trace ()
   in
   (o, fates)
@@ -592,12 +654,12 @@ let describe_failure run (o : Sim_run.outcome) =
       Fmt.str "run %d: stalled at %d/%d ops" run o.Sim_run.completed
         o.Sim_run.expected
 
-let torture ?(runs = 100) ?dump ?progress ~seed () =
+let torture ?engine ?(runs = 100) ?dump ?progress ~seed () =
   let violations = ref 0 and stalled = ref 0 and ops = ref 0 in
   let first_failure = ref None in
   for run = 0 to runs - 1 do
     (match progress with Some f -> f run | None -> ());
-    let o, _ = torture_run ~seed ~run () in
+    let o, _ = torture_run ?engine ~seed ~run () in
     ops := !ops + o.Sim_run.completed;
     let bad_history =
       o.Sim_run.key_violations <> [] || not o.Sim_run.fastcheck_ok
@@ -614,7 +676,7 @@ let torture ?(runs = 100) ?dump ?progress ~seed () =
         let tr = Trace.create ~capacity:(1 lsl 18) () in
         Trace.record tr ~time:0.0
           (Trace.Note (Fmt.str "torture-failure seed=%d run=%d" seed run));
-        let o', fates = torture_run ~seed ~run ~trace:tr () in
+        let o', fates = torture_run ?engine ~seed ~run ~trace:tr () in
         List.iter
           (fun (t, f) ->
             Trace.record tr ~time:t

@@ -36,8 +36,12 @@ type config = {
   keys : int;  (** scripts round-robin over this many keys *)
   window : int;  (** client pipelining window *)
   init : int;
+  engine : Engine.kind;  (** replication protocol every shard runs *)
   read_quorum : int option;
-      (** deliberate-bug hook, see {!Quorum.create} *)
+      (** ABD deliberate-bug hook, see {!Quorum.create} *)
+  unordered : bool;
+      (** twobit deliberate-bug hook: replicas apply link frames in
+          arrival order, see {!Replica.create} *)
   crashable : int list;  (** replicas the adversary may crash *)
   max_crashes : int;  (** crash budget per run *)
   amnesia : int list;
@@ -69,7 +73,9 @@ val config :
   ?keys:int ->
   ?window:int ->
   ?init:int ->
+  ?engine:Engine.kind ->
   ?read_quorum:int ->
+  ?unordered:bool ->
   ?crashable:int list ->
   ?max_crashes:int ->
   ?amnesia:int list ->
@@ -85,9 +91,18 @@ val config :
   processes:int Registers.Vm.process list ->
   unit ->
   config
-(** Defaults: 3 replicas, 1 key, window 4, init 0, honest read quorum,
-    no fates, durable replicas, [max_timer_fires] 64, [max_depth] 2000,
-    unbounded schedules, pruning on, post-hoc check off. *)
+(** Defaults: 3 replicas, 1 key, window 4, init 0, ABD engine with no
+    bug hooks, no fates, durable replicas, [max_timer_fires] 64,
+    [max_depth] 2000, unbounded schedules, pruning on, post-hoc check
+    off.
+
+    Validated at construction (fail fast rather than deep inside
+    [reset]):
+    @raise Invalid_argument if [read_quorum] is outside [1..replicas],
+    if a bug hook names the wrong engine ([unordered] with ABD,
+    [read_quorum] with twobit), or if the twobit engine is paired with
+    amnesia fates (its link-sequence state is volatile — crash-stop
+    only). *)
 
 (** {2 Exploration} *)
 
@@ -162,6 +177,7 @@ type torture_report = {
 }
 
 val torture :
+  ?engine:Engine.kind ->
   ?runs:int ->
   ?dump:string ->
   ?progress:(int -> unit) ->
@@ -176,4 +192,8 @@ val torture :
     and asserts per-key atomicity {e and} completion.  Deterministic in
     [seed]: a failing run index reproduces alone.  With [dump], the
     first failing run is re-executed with a trace and written to the
-    file (JSONL, fate notes included).  [runs] defaults to 100. *)
+    file (JSONL, fate notes included).  [runs] defaults to 100.
+    [engine] (default ABD) picks the replication protocol; for the
+    crash-stop-only twobit engine, amnesia fates are degraded to plain
+    crashes (same seeded schedule otherwise, so engines stay comparable
+    fate-for-fate). *)

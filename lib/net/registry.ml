@@ -1,33 +1,45 @@
-(* The server-side owner of the sharded keyspace: one Quorum engine
-   per shard, each the exclusive writer of its shard's keys, all
-   speaking from the same node over the same transport.  Replies are
-   routed to the owning engine by the global register index they
-   carry, so the engines' request-id spaces may overlap freely. *)
+(* The server-side owner of the sharded keyspace: one replication
+   engine per shard, each the exclusive writer of its shard's keys, all
+   speaking from the same node over the same transport.  The engine
+   protocol is chosen once per registry ({!Engine.spec}) — shards stay
+   engine-homogeneous.  Replies are routed to the owning engine by the
+   global register index (ABD messages) or the link id (two-bit
+   messages, whose link id is the shard index), so the engines'
+   request-id/sequence spaces may overlap freely. *)
 
 type t = {
   map : Shard_map.t;
-  engines : Quorum.t array;
+  spec : Engine.spec;
+  engines : Engine.instance array;
   c_ops : Metrics.counter array;  (* shard<i>_quorum_ops *)
 }
 
-let create ~transport ~me ~replicas ~map ?read_quorum ?storage ?metrics () =
+let create ~transport ~me ~replicas ~map ?(engine = Engine.default)
+    ?read_quorum ?storage ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let spec =
+    match read_quorum with
+    | None -> engine
+    | Some _ -> { engine with Engine.read_quorum = read_quorum }
+  in
   let n = Shard_map.shards map in
   {
     map;
+    spec;
     engines =
       (* the engines share one store safely: each is the exclusive
          writer of its shard's (disjoint) global registers *)
       Array.init n (fun s ->
-          Quorum.create ~transport ~me
+          Engines.create spec ~transport ~me
             ~replicas:(Shard_map.group map ~replicas s)
-            ?read_quorum ?storage ~metrics ());
+            ~lid:s ?storage ~metrics ());
     c_ops =
       Array.init n (fun s ->
           Metrics.counter metrics (Fmt.str "shard%d_quorum_ops" s));
   }
 
 let map t = t.map
+let spec t = t.spec
 let shards t = Array.length t.engines
 let shard_of_key t key = Shard_map.shard_of_key t.map key
 let engine t shard = t.engines.(shard)
@@ -35,19 +47,22 @@ let engine t shard = t.engines.(shard)
 let read t ~key ~reg ~k =
   let s = shard_of_key t key in
   Metrics.incr t.c_ops.(s);
-  Quorum.read t.engines.(s) ~reg:(Shard_map.global_reg key reg) ~k
+  Engine.read t.engines.(s) ~reg:(Shard_map.global_reg key reg) ~k
 
 let write t ~key ~reg ~value ~k =
   let s = shard_of_key t key in
   Metrics.incr t.c_ops.(s);
-  Quorum.write t.engines.(s) ~reg:(Shard_map.global_reg key reg) ~value ~k
+  Engine.write t.engines.(s) ~reg:(Shard_map.global_reg key reg) ~value ~k
 
 let on_message t ~src msg =
   let rec go m =
     match m with
     | Wire.Query_reply { reg; _ } | Wire.Store_ack { reg; _ } ->
       let s = shard_of_key t (Shard_map.key_of_reg reg) in
-      Quorum.on_message t.engines.(s) ~src m
+      Engine.on_message t.engines.(s) ~src m
+    | Wire.Ack2 { lid; _ } | Wire.Query2_reply { lid; _ } ->
+      if lid >= 0 && lid < Array.length t.engines then
+        Engine.on_message t.engines.(lid) ~src m
     | Wire.Batch msgs -> List.iter go msgs
     | _ -> ()
   in
@@ -55,18 +70,10 @@ let on_message t ~src msg =
 
 let resend_pending ?older_than t =
   Array.fold_left
-    (fun still e -> Quorum.resend_pending ?older_than e || still)
+    (fun still e -> Engine.resend_pending ?older_than e || still)
     false t.engines
 
 let stats t =
   Array.fold_left
-    (fun acc e ->
-      let s = Quorum.stats e in
-      {
-        Quorum.reads = acc.Quorum.reads + s.Quorum.reads;
-        writes = acc.Quorum.writes + s.Quorum.writes;
-        messages_sent = acc.Quorum.messages_sent + s.Quorum.messages_sent;
-        retransmissions = acc.Quorum.retransmissions + s.Quorum.retransmissions;
-      })
-    { Quorum.reads = 0; writes = 0; messages_sent = 0; retransmissions = 0 }
-    t.engines
+    (fun acc e -> Engine.add_stats acc (Engine.stats e))
+    Engine.zero_stats t.engines

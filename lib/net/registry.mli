@@ -1,15 +1,17 @@
 (** The server-side owner of the sharded keyspace.
 
-    A registry holds one {!Quorum} engine per shard of its
-    {!Shard_map}.  Each engine is the exclusive writer of the real
-    registers of the keys its shard owns (the SWMR ownership the
-    construction requires), talks to its shard's replica group, and
-    keeps its own pending-phase table — so operations on different
-    shards share nothing and proceed fully concurrently through the
-    pipelined server.  All engines speak from the same transport node;
-    incoming replies are routed to the owning engine by the global
-    register index they carry, which is why overlapping request-id
-    spaces across engines are harmless.
+    A registry holds one replication engine per shard of its
+    {!Shard_map}, all speaking the same protocol (the {!Engine.spec}
+    chosen at creation — shards are engine-homogeneous).  Each engine
+    is the exclusive writer of the real registers of the keys its
+    shard owns (the SWMR ownership the construction requires), talks
+    to its shard's replica group, and keeps its own pending table — so
+    operations on different shards share nothing and proceed fully
+    concurrently through the pipelined server.  All engines speak from
+    the same transport node; incoming replies are routed to the owning
+    engine by the global register index they carry (ABD) or by their
+    link id, which is the shard index (two-bit), so overlapping
+    request-id/sequence spaces across engines are harmless.
 
     Same threading contract as {!Quorum}: not internally locked, drive
     from one transport handler; nothing here blocks. *)
@@ -21,26 +23,35 @@ val create :
   me:Transport.node ->
   replicas:Transport.node list ->
   map:Shard_map.t ->
+  ?engine:Engine.spec ->
   ?read_quorum:int ->
   ?storage:Storage.t ->
   ?metrics:Metrics.t ->
   unit ->
   t
 (** One engine per shard of [map], over
-    {!Shard_map.group}[ map ~replicas s].  [read_quorum] is passed to
-    every engine (see {!Quorum.create} — fault-injection hook, default
-    majority).  [storage] is shared by every engine — safe because the
-    shards partition the keyspace, so the engines' register sets are
-    disjoint (see {!Quorum.create}); it makes issued write timestamps
-    durable across a server restart.  [metrics] receives the shared quorum
-    counters/histograms plus one [shard<i>_quorum_ops] counter per
-    shard — the per-shard load (and skew) signal. *)
+    {!Shard_map.group}[ map ~replicas s], built by {!Engines.create}
+    from [engine] (default {!Engine.default}, i.e. ABD).
+    [read_quorum] overrides the spec's field of the same name — the
+    ABD fault-injection hook (see {!Quorum.create}); combining it with
+    the twobit engine is an error.  [storage] is shared by every
+    engine — safe because the shards partition the keyspace, so the
+    engines' register sets are disjoint; it makes issued write
+    timestamps durable across a server restart.  [metrics] receives
+    the engine counters/histograms plus one [shard<i>_quorum_ops]
+    counter per shard — the per-shard load (and skew) signal.
+    @raise Invalid_argument on a bug hook aimed at the wrong engine,
+    an out-of-range [read_quorum], or a twobit shard count beyond
+    {!Wire.max_lid}. *)
 
 val map : t -> Shard_map.t
 val shards : t -> int
 val shard_of_key : t -> int -> int
 
-val engine : t -> int -> Quorum.t
+val spec : t -> Engine.spec
+(** The engine spec every shard runs. *)
+
+val engine : t -> int -> Engine.instance
 (** The shard's engine — for tests and stats.
     @raise Invalid_argument on an out-of-range shard. *)
 
@@ -53,12 +64,13 @@ val write :
   t -> key:int -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
 
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
-(** Route [Query_reply]/[Store_ack] (possibly batched) to the engine
-    owning the register they name; everything else is ignored. *)
+(** Route [Query_reply]/[Store_ack]/[Ack2]/[Query2_reply] (possibly
+    batched) to the engine owning the register or link they name;
+    everything else is ignored. *)
 
 val resend_pending : ?older_than:float -> t -> bool
-(** {!Quorum.resend_pending} on every engine; true if any engine still
-    has phases outstanding. *)
+(** {!Engine.resend_pending} on every engine; true if any engine still
+    has phases or link frames outstanding. *)
 
-val stats : t -> Quorum.stats
+val stats : t -> Engine.stats
 (** Aggregate of every engine's counters. *)

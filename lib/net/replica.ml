@@ -5,21 +5,44 @@ type backing =
   | Volatile of (int, int * Wire.payload) Hashtbl.t
   | Durable of Storage.t
 
+(* Receive half of a two-bit FIFO link: the next sequence number this
+   link will deliver, plus frames that arrived early.  Volatile — which
+   is exactly why the twobit engine's fault model stops at crash-stop
+   (see Engine_twobit): an amnesia restart would reset [next] and
+   deadlock the link on sequence numbers the engine has already retired. *)
+type rlink = {
+  mutable next : int;
+  future : (int, Wire.msg) Hashtbl.t;  (* seq -> frame, arrived early *)
+}
+
 type t = {
   init : Wire.payload;
   backing : backing;
       (* global reg index -> (timestamp, payload); absent = never
          stored, i.e. (0, initial) *)
+  links : (int * int, rlink) Hashtbl.t;  (* (engine node, lid) *)
+  unordered : bool;
+      (* deliberate-bug hook: apply link frames in arrival order,
+         ignoring their sequence numbers — the twobit counterpart of
+         Quorum's ?read_quorum (see Engines.create) *)
+  mutable engine : int option;  (* negotiated Engine.kind_code *)
   mutable handled : int;
 }
 
-let create ~init ?storage () =
+let create ~init ?storage ?(unordered = false) () =
   let backing =
     match storage with
     | None -> Volatile (Hashtbl.create 16)
     | Some st -> Durable st
   in
-  { init = Registers.Tagged.initial init; backing; handled = 0 }
+  {
+    init = Registers.Tagged.initial init;
+    backing;
+    links = Hashtbl.create 4;
+    unordered;
+    engine = None;
+    handled = 0;
+  }
 
 let lookup t reg =
   let found =
@@ -30,6 +53,76 @@ let lookup t reg =
   match found with
   | Some p -> p
   | None -> (0, t.init)
+
+let store t reg ts pl =
+  match t.backing with
+  | Volatile regs -> Hashtbl.replace regs reg (ts, pl)
+  | Durable st -> Storage.append st { Storage.reg; ts; pl }
+
+(* Deliver one in-sequence (or, under the unordered bug, any) two-bit
+   frame: apply it and build its reply.  The apply counter is the
+   replica's own per-register timestamp — under in-order delivery it
+   advances exactly with the engine's store order, so the durable
+   backing's ts-monotone apply is satisfied for free. *)
+let deliver2 t ~src msg =
+  match msg with
+  | Wire.Store2 { lid; seq; reg; pl } when reg >= 0 ->
+    let cur, _ = lookup t reg in
+    (* persist before ack, like the ABD arm below *)
+    store t reg (cur + 1) pl;
+    [ (src, Wire.Ack2 { lid; seq }) ]
+  | Wire.Query2 { lid; seq; reg } when reg >= 0 ->
+    let _, pl = lookup t reg in
+    [ (src, Wire.Query2_reply { lid; seq; pl }) ]
+  | _ -> []
+
+(* Re-answer a frame the link already delivered (the engine's
+   retransmission raced the reply): respond from current state, apply
+   nothing.  Answering a duplicate query with a possibly-newer value is
+   safe — the engine is the only writer, so anything newer was written
+   by an operation the pending read may linearize after. *)
+let reanswer2 t ~src msg =
+  match msg with
+  | Wire.Store2 { lid; seq; _ } -> [ (src, Wire.Ack2 { lid; seq }) ]
+  | Wire.Query2 { lid; seq; reg } when reg >= 0 ->
+    let _, pl = lookup t reg in
+    [ (src, Wire.Query2_reply { lid; seq; pl }) ]
+  | _ -> []
+
+let rlink_of t key =
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l = { next = 0; future = Hashtbl.create 8 } in
+    Hashtbl.replace t.links key l;
+    l
+
+let handle_link t ~src ~lid ~seq msg =
+  if t.unordered then deliver2 t ~src msg
+  else begin
+    let l = rlink_of t (src, lid) in
+    if seq < l.next then reanswer2 t ~src msg
+    else if seq > l.next then begin
+      (* a gap: park the frame; the engine keeps retransmitting the
+         missing sequence numbers until the gap closes *)
+      Hashtbl.replace l.future seq msg;
+      []
+    end
+    else begin
+      l.next <- l.next + 1;
+      let first = deliver2 t ~src msg in
+      (* drain any parked successors that are now in sequence *)
+      let rec drain acc =
+        match Hashtbl.find_opt l.future l.next with
+        | Some m ->
+          Hashtbl.remove l.future l.next;
+          l.next <- l.next + 1;
+          drain (acc @ deliver2 t ~src m)
+        | None -> acc
+      in
+      drain first
+    end
+  end
 
 let rec handle t ~src msg =
   t.handled <- t.handled + 1;
@@ -42,12 +135,13 @@ let rec handle t ~src msg =
     (* persist before ack: the WAL append below is durable before this
        arm returns the Store_ack, so an acknowledged timestamp can
        never be forgotten by a (recovering) restart *)
-    if ts > cur then begin
-      match t.backing with
-      | Volatile regs -> Hashtbl.replace regs reg (ts, pl)
-      | Durable st -> Storage.append st { Storage.reg; ts; pl }
-    end;
+    if ts > cur then store t reg ts pl;
     [ (src, Wire.Store_ack { rid; reg }) ]
+  | Wire.Store2 { lid; seq; _ } | Wire.Query2 { lid; seq; _ } ->
+    handle_link t ~src ~lid ~seq msg
+  | Wire.Engine_hello { engine } ->
+    t.engine <- Some engine;
+    []
   | Wire.Batch msgs -> List.concat_map (handle t ~src) msgs
   | _ -> []
 
@@ -61,3 +155,4 @@ let contents t =
 let storage t = match t.backing with Volatile _ -> None | Durable st -> Some st
 let lookup_reg t reg = lookup t reg
 let handled t = t.handled
+let engine t = t.engine

@@ -15,6 +15,16 @@
     reads back as [(0, initial)], so the replica's footprint is
     proportional to the keys actually written, not to the keyspace.
 
+    {b Two-bit sublanguage.}  The same replica also speaks the
+    Mostéfaoui–Raynal engine's messages ([Store2]/[Query2], see
+    {!Engine_twobit}): each [(engine, lid)] pair is a FIFO link whose
+    frames are delivered in link-sequence order — early frames are
+    parked, duplicates of already-delivered frames are re-answered
+    from current state — and an applied [Store2] bumps the register's
+    timestamp by one (the apply counter {e is} the timestamp).  Link
+    receive state is volatile even for a durable replica: the twobit
+    fault model is crash-stop, not amnesia (see DESIGN_NET.md §10).
+
     The state machine is pure message-in/messages-out — it runs
     unchanged under {!Sim_net} and {!Socket_net}.  A [t] is not
     internally locked: drive it from one thread (or one transport
@@ -22,14 +32,20 @@
 
 type t
 
-val create : init:int -> ?storage:Storage.t -> unit -> t
+val create : init:int -> ?storage:Storage.t -> ?unordered:bool -> unit -> t
 (** Every register of the keyspace starts as the tagged value
     [(init, false)] at timestamp 0.  With [storage] the replica is
     durable: each accepted [Store] is appended to the store's WAL
     {e before} the ack is built (persist-before-ack), and the table
     recovered by {!Storage.create} — snapshot plus replayed WAL — is
     the replica's starting state.  Without it the table is volatile
-    and an amnesia restart comes back empty. *)
+    and an amnesia restart comes back empty.
+
+    [unordered] (default false) is the twobit engine's deliberate-bug
+    hook, the counterpart of ABD's [?read_quorum]: link frames are
+    applied in arrival order instead of link-sequence order, so a
+    delayed retransmitted [Store2] can regress a register — the
+    new/old inversion {!Explore} demonstrates. *)
 
 val handle :
   t -> src:Transport.node -> Wire.msg -> (Transport.node * Wire.msg) list
@@ -50,3 +66,7 @@ val storage : t -> Storage.t option
 
 val handled : t -> int
 (** Number of messages processed. *)
+
+val engine : t -> int option
+(** The {!Engine.kind_code} announced by the last [Engine_hello], if
+    any — the socket service's engine negotiation. *)

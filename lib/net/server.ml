@@ -49,8 +49,8 @@ let monitor_of t key =
     Hashtbl.replace t.monitors key m;
     m
 
-let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
-    ?storage ?metrics ?trace ?map ~me ~replicas ~init () =
+let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
+    ?read_quorum ?storage ?metrics ?trace ?map ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
@@ -60,8 +60,8 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
     tr = transport;
     me;
     registry =
-      Registry.create ~transport ~me ~replicas ~map ?read_quorum ?storage
-        ~metrics ();
+      Registry.create ~transport ~me ~replicas ~map ?engine ?read_quorum
+        ?storage ~metrics ();
     sessions = Hashtbl.create 16;
     audit;
     init;
@@ -123,6 +123,7 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?read_quorum
 let metrics t = t.metrics
 let registry t = t.registry
 let shards t = Registry.shards t.registry
+let engine_spec t = Registry.spec t.registry
 
 let record t key ev =
   let time = t.tr.Transport.now () in
@@ -267,7 +268,8 @@ let rec on_message t ~src msg =
        Hashtbl.replace s.stash seq op;
        admit t s
      | Some _ | None -> ())  (* duplicate or sessionless request *)
-  | Wire.Query_reply _ | Wire.Store_ack _ ->
+  | Wire.Query_reply _ | Wire.Store_ack _ | Wire.Ack2 _ | Wire.Query2_reply _
+    ->
     Registry.on_message t.registry ~src msg
   | Wire.Batch msgs -> List.iter (fun m -> on_message t ~src m) msgs
   | Wire.Bye -> Hashtbl.remove t.sessions src
@@ -279,11 +281,13 @@ let rec on_message t ~src msg =
       @ [
           ("sessions", Hashtbl.length t.sessions);
           ("shards", shards t);
+          ("engine", Engine.kind_code (Registry.spec t.registry).Engine.kind);
           ("audit_violation", if t.violations_rev = [] then 0 else 1);
         ]
     in
     t.tr.Transport.send ~src:t.me ~dst:src (Wire.Stats_reply { rid; stats })
-  | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _ -> ()
+  | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _
+  | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _ -> ()
 
 let keyed_history t = List.rev_map (fun (_, kev) -> kev) t.events_rev
 let history t = List.rev_map (fun (_, (_, ev)) -> ev) t.events_rev

@@ -3,8 +3,9 @@
 
     Every key of the keyspace is an independent instance of Bloom's
     two-writer construction.  The server owns both writer roles' real
-    registers of every key as ABD quorum registers over the replicas
-    (one {!Quorum} engine per shard, via {!Registry}) and executes
+    registers of every key as replicated registers over the replicas
+    (one {!Engine} instance per shard, via {!Registry} — ABD quorum or
+    the Mostéfaoui–Raynal two-bit protocol) and executes
     Bloom's {e unchanged} protocol code on behalf of client sessions: a
     session's read of [key] runs {!Core.Protocol.read_prog}, a writer
     session's write runs {!Core.Protocol.write_prog}, with every
@@ -41,6 +42,7 @@ val create :
   transport:Transport.t ->
   ?audit:bool ->
   ?resend_every:float ->
+  ?engine:Engine.spec ->
   ?read_quorum:int ->
   ?storage:Storage.t ->
   ?metrics:Metrics.t ->
@@ -54,8 +56,10 @@ val create :
 (** [audit] defaults to [true].  [resend_every] (default 0.05) is the
     retransmission period in transport-clock units; it should exceed a
     round trip (for {!Sim_net}, a multiple of [max_delay]).
-    [read_quorum] (default: majority) is forwarded to every shard
-    engine — a deliberate-bug hook for {!Explore}'s regression tests,
+    [engine] (default ABD) picks the replication protocol every shard
+    runs — see {!Engine} and {!Engines.create}.  [read_quorum]
+    (default: majority) overrides the spec's ABD read quorum — a
+    deliberate-bug hook for {!Explore}'s regression tests,
     see {!Quorum.create}.  [storage] makes the write timestamps the
     server issues durable: shared across every shard engine (their
     register sets are disjoint), persisted before each store broadcast
@@ -87,6 +91,9 @@ val registry : t -> Registry.t
 
 val shards : t -> int
 (** Shard count of the server's {!Shard_map}. *)
+
+val engine_spec : t -> Engine.spec
+(** The engine spec every shard runs (see {!Registry.spec}). *)
 
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
 (** Feed one incoming message (possibly a [Batch]).  May execute
@@ -129,5 +136,5 @@ val rejected : t -> int
     negative key.  Acknowledged with [Resp { result = None }] but not
     recorded in any history. *)
 
-val quorum_stats : t -> Quorum.stats
+val quorum_stats : t -> Engine.stats
 (** Aggregate counters over every shard's engine. *)

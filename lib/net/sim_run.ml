@@ -13,7 +13,7 @@ type outcome = {
   virtual_span : float;
   latencies : (E.proc * int E.op * float) list;
   net : Sim_net.stats;
-  quorum : Quorum.stats;
+  quorum : Engine.stats;
   metrics : Metrics.t;
 }
 
@@ -75,8 +75,9 @@ type cluster = {
 }
 
 let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
-    ?(shards = 1) ?keys ?read_quorum ?(durable = true) ?(snapshot_every = 32)
-    ?(audit = true) ?metrics ?trace ~seed ~init ~processes () =
+    ?(shards = 1) ?keys ?(engine = Engine.default) ?read_quorum
+    ?(durable = true) ?(snapshot_every = 32) ?(audit = true) ?metrics ?measure
+    ?trace ~seed ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   let faults =
@@ -89,6 +90,20 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   in
   let net = Sim_net.create ~seed ~faults ~metrics ?trace () in
   let tr = Sim_net.transport net in
+  (* the byte-accounting tap for benchmarks: observe every send (the
+     hook filters by src/dst itself), then hand the frame to the sim *)
+  let tr =
+    match measure with
+    | None -> tr
+    | Some f ->
+      {
+        tr with
+        Transport.send =
+          (fun ~src ~dst msg ->
+            f ~src ~dst msg;
+            tr.Transport.send ~src ~dst msg);
+      }
+  in
   let replica_nodes = List.init replicas Fun.id in
   (* replicas: each owns a simulated disk (when durable) and an
      incarnation cell, swapped by the amnesia recovery hook *)
@@ -96,13 +111,14 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     if durable then Array.init replicas (fun _ -> Storage.Disk.create ())
     else [||]
   in
+  let unordered = engine.Engine.unordered in
   let fresh_replica r =
     if durable then
       Replica.create ~init
         ~storage:
           (Storage.create ~snapshot_every (Storage.Disk.backend disks.(r)))
-        ()
-    else Replica.create ~init ()
+        ~unordered ()
+    else Replica.create ~init ~unordered ()
   in
   let incarnations = Array.init replicas fresh_replica in
   List.iter
@@ -128,8 +144,9 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
   let map = Shard_map.create ~shards () in
   let server =
-    Server.create ~transport:tr ~audit ~resend_every ?read_quorum ~metrics
-      ?trace ~map ~me:Transport.server ~replicas:replica_nodes ~init ()
+    Server.create ~transport:tr ~audit ~resend_every ~engine ?read_quorum
+      ~metrics ?trace ~map ~me:Transport.server ~replicas:replica_nodes ~init
+      ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
   (* clients: send [Hello; first window] as one batch, then keep the
@@ -238,12 +255,14 @@ let collect cl ~steps =
     metrics = cl.metrics;
   }
 
-let run ?faults ?replicas ?window ?shards ?keys ?read_quorum ?durable
+let run ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum ?durable
     ?snapshot_every ?crash_replica ?partition_replicas ?(fates = [])
-    ?(max_steps = 2_000_000) ?audit ?metrics ?trace ~seed ~init ~processes () =
+    ?(max_steps = 2_000_000) ?audit ?metrics ?measure ?trace ~seed ~init
+    ~processes () =
   let cl =
-    build ?faults ?replicas ?window ?shards ?keys ?read_quorum ?durable
-      ?snapshot_every ?audit ?metrics ?trace ~seed ~init ~processes ()
+    build ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum
+      ?durable ?snapshot_every ?audit ?metrics ?measure ?trace ~seed ~init
+      ~processes ()
   in
   (* fault schedule: the legacy shorthands desugar to fates *)
   let fates =
@@ -269,7 +288,8 @@ let pp_outcome ppf o =
      live audit: %s@,\
      fastcheck:  %s (%d key%s)@,\
      network: %d delivered, %d dropped, %d duplicated, %d blocked@,\
-     quorum: %d reads, %d writes, %d msgs, %d retransmissions@]"
+     engine: %d reads, %d writes, %d msgs, %d retransmissions, %d bytes \
+     (%d control)@]"
     o.completed o.expected o.steps o.virtual_span
     (match o.monitor_violation with
      | None -> "no violation"
@@ -278,5 +298,6 @@ let pp_outcome ppf o =
     (List.length o.key_fastcheck)
     (if List.length o.key_fastcheck = 1 then "" else "s")
     o.net.Sim_net.delivered o.net.Sim_net.dropped o.net.Sim_net.duplicated
-    o.net.Sim_net.blocked o.quorum.Quorum.reads o.quorum.Quorum.writes
-    o.quorum.Quorum.messages_sent o.quorum.Quorum.retransmissions
+    o.net.Sim_net.blocked o.quorum.Engine.reads o.quorum.Engine.writes
+    o.quorum.Engine.messages_sent o.quorum.Engine.retransmissions
+    o.quorum.Engine.bytes_sent o.quorum.Engine.control_bytes_sent

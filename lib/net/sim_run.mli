@@ -40,7 +40,7 @@ type outcome = {
   latencies : (Histories.Event.proc * int Histories.Event.op * float) list;
       (** per completed operation, in virtual time units *)
   net : Sim_net.stats;
-  quorum : Quorum.stats;  (** aggregated over every shard's engine *)
+  quorum : Engine.stats;  (** aggregated over every shard's engine *)
   metrics : Metrics.t;
       (** the cluster-wide metrics registry (transport counters, quorum
           phase histograms, server op latencies, per-shard counters) —
@@ -53,6 +53,7 @@ val run :
   ?window:int ->
   ?shards:int ->
   ?keys:int ->
+  ?engine:Engine.spec ->
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
@@ -62,6 +63,7 @@ val run :
   ?max_steps:int ->
   ?audit:bool ->
   ?metrics:Metrics.t ->
+  ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->
   seed:int ->
   init:int ->
@@ -74,8 +76,14 @@ val run :
     {!Harness.Failure.net_fate} schedule
     (crash/crash-amnesia/restart/partition/heal, e.g. from
     {!Harness.Failure.random_net_fates}) applied via {!Sim_net.at}.
-    [read_quorum] deliberately weakens the read phase (see
-    {!Quorum.create}) — for explorer regression tests only.
+    [engine] picks the replication protocol (default ABD; see
+    {!Engine}).  Note the twobit engine's link layer does not survive
+    amnesia fates — pair it with crash/restart only.  [read_quorum]
+    deliberately weakens the ABD read phase (see {!Quorum.create}) —
+    for explorer regression tests only.  [measure] observes every send
+    the server, replicas and clients make (before fault injection —
+    offered, not delivered, traffic), e.g. the bench's
+    bytes-on-the-wire accounting.
 
     With [durable] (the default) each replica persists every accepted
     store to a private {!Storage.Disk} (WAL + snapshot every
@@ -123,11 +131,13 @@ val build :
   ?window:int ->
   ?shards:int ->
   ?keys:int ->
+  ?engine:Engine.spec ->
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
   ?audit:bool ->
   ?metrics:Metrics.t ->
+  ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->
   seed:int ->
   init:int ->

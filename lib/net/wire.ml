@@ -20,12 +20,19 @@ type msg =
   | Bye
   | Stats_req of { rid : int }
   | Stats_reply of { rid : int; stats : (string * int) list }
+  | Store2 of { lid : int; seq : int; reg : int; pl : payload }
+  | Ack2 of { lid : int; seq : int }
+  | Query2 of { lid : int; seq : int; reg : int }
+  | Query2_reply of { lid : int; seq : int; pl : payload }
+  | Engine_hello of { engine : int }
 
 let max_frame = 16 * 1024 * 1024
 let max_batch_depth = 8
 let max_batch = 65536
 let max_stat_name = 1024
 let max_stats = 4096
+let max_lid = 256
+let max_link_seq = 1 lsl 32
 
 let add_int b n = Buffer.add_int64_le b (Int64.of_int n)
 let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
@@ -37,6 +44,20 @@ let add_string b s =
 let add_payload b pl =
   add_int b (Tagged.v pl);
   add_bool b (Tagged.tag pl)
+
+(* The two-bit sublanguage keeps its link header deliberately small: a
+   one-byte link id and a four-byte sequence number.  Out-of-range
+   values would not survive a round-trip, so the encoder refuses them
+   outright instead of truncating silently. *)
+let add_lid b lid =
+  if lid < 0 || lid >= max_lid then
+    invalid_arg (Fmt.str "Wire.encode: link id %d out of range" lid);
+  Buffer.add_char b (Char.chr lid)
+
+let add_seq b seq =
+  if seq < 0 || seq >= max_link_seq then
+    invalid_arg (Fmt.str "Wire.encode: link seq %d out of range" seq);
+  Buffer.add_int32_le b (Int32.of_int seq)
 
 let rec encode_into b = function
   | Hello { proc } ->
@@ -108,6 +129,31 @@ let rec encode_into b = function
         add_string b name;
         add_int b v)
       stats
+  | Store2 { lid; seq; reg; pl } ->
+    Buffer.add_char b '\011';
+    add_lid b lid;
+    add_seq b seq;
+    add_int b reg;
+    add_payload b pl
+  | Ack2 { lid; seq } ->
+    Buffer.add_char b '\012';
+    add_lid b lid;
+    add_seq b seq
+  | Query2 { lid; seq; reg } ->
+    Buffer.add_char b '\013';
+    add_lid b lid;
+    add_seq b seq;
+    add_int b reg
+  | Query2_reply { lid; seq; pl } ->
+    Buffer.add_char b '\014';
+    add_lid b lid;
+    add_seq b seq;
+    add_payload b pl
+  | Engine_hello { engine } ->
+    if engine < 0 || engine > 255 then
+      invalid_arg (Fmt.str "Wire.encode: engine code %d out of range" engine);
+    Buffer.add_char b '\015';
+    Buffer.add_char b (Char.chr engine)
 
 let encode m =
   let b = Buffer.create 32 in
@@ -135,6 +181,12 @@ let decode s =
     let v = int () in
     let t = byte () <> 0 in
     Tagged.make v t
+  in
+  let seq32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
   in
   let str () =
     let len = int () in
@@ -195,6 +247,23 @@ let decode s =
              m))
     | 8 -> Bye
     | 9 -> Stats_req { rid = int () }
+    | 11 ->
+      let lid = byte () in
+      let seq = seq32 () in
+      let reg = int () in
+      Store2 { lid; seq; reg; pl = payload () }
+    | 12 ->
+      let lid = byte () in
+      Ack2 { lid; seq = seq32 () }
+    | 13 ->
+      let lid = byte () in
+      let seq = seq32 () in
+      Query2 { lid; seq; reg = int () }
+    | 14 ->
+      let lid = byte () in
+      let seq = seq32 () in
+      Query2_reply { lid; seq; pl = payload () }
+    | 15 -> Engine_hello { engine = byte () }
     | 10 ->
       let rid = int () in
       let n = int () in
@@ -217,6 +286,58 @@ let decode_exn s =
   match decode s with
   | Ok m -> m
   | Error e -> invalid_arg ("Wire.decode_exn: " ^ e)
+
+(* Encoded body size, computed without allocating the encoding — the
+   engine byte accounting calls this on every send.  Kept in lockstep
+   with [encode] by a fuzz invariant (test_wire_fuzz). *)
+let rec encoded_size = function
+  | Hello _ -> 9
+  | Req { op = Read; _ } -> 10
+  | Req { op = Write _; _ } -> 18
+  | Req { op = Read_k _; _ } -> 18
+  | Req { op = Write_k _; _ } -> 26
+  | Resp { result = None; _ } -> 10
+  | Resp { result = Some _; _ } -> 18
+  | Query _ -> 17
+  | Query_reply _ -> 34
+  | Store _ -> 34
+  | Store_ack _ -> 17
+  | Batch msgs ->
+    List.fold_left (fun acc m -> acc + 8 + encoded_size m) 9 msgs
+  | Bye -> 1
+  | Stats_req _ -> 9
+  | Stats_reply { stats; _ } ->
+    List.fold_left
+      (fun acc (name, _) -> acc + 8 + String.length name + 8)
+      17 stats
+  | Store2 _ -> 23
+  | Ack2 _ -> 6
+  | Query2 _ -> 14
+  | Query2_reply _ -> 15
+  | Engine_hello _ -> 2
+
+(* Control metadata: the encoded bytes that are neither register index
+   nor register payload — tags, request ids, timestamps, link headers,
+   batching overhead.  This is the footprint the two-bit protocol
+   shrinks: an ABD [Store] spends 17 control bytes (tag, rid, ts), the
+   equivalent [Store2] spends 6 (tag, lid, 32-bit link seq). *)
+let rec control_bytes m =
+  let data =
+    match m with
+    | Hello _ | Bye | Stats_req _ | Stats_reply _ | Ack2 _ | Engine_hello _ ->
+      0
+    | Req { op = Read; _ } | Resp { result = None; _ } -> 0
+    | Req { op = (Write _ | Read_k _); _ } | Resp { result = Some _; _ } -> 8
+    | Req { op = Write_k _; _ } -> 16
+    | Query _ | Store_ack _ | Query2 _ -> 8
+    | Query_reply _ | Store _ | Store2 _ -> 17
+    | Query2_reply _ -> 9
+    | Batch msgs ->
+      List.fold_left
+        (fun acc sub -> acc + encoded_size sub - control_bytes sub)
+        0 msgs
+  in
+  encoded_size m - data
 
 let header_size = 8
 
@@ -262,3 +383,10 @@ let rec pp ppf = function
   | Stats_req { rid } -> Fmt.pf ppf "stats-req#%d" rid
   | Stats_reply { rid; stats } ->
     Fmt.pf ppf "stats-reply#%d (%d entries)" rid (List.length stats)
+  | Store2 { lid; seq; reg; pl } ->
+    Fmt.pf ppf "store2@%d.%d reg%d %a" lid seq reg pp_payload pl
+  | Ack2 { lid; seq } -> Fmt.pf ppf "ack2@%d.%d" lid seq
+  | Query2 { lid; seq; reg } -> Fmt.pf ppf "query2@%d.%d reg%d" lid seq reg
+  | Query2_reply { lid; seq; pl } ->
+    Fmt.pf ppf "query2-reply@%d.%d %a" lid seq pp_payload pl
+  | Engine_hello { engine } -> Fmt.pf ppf "engine-hello(%d)" engine

@@ -61,6 +61,24 @@ type msg =
       (** Ask the server for its live metrics snapshot. *)
   | Stats_reply of { rid : int; stats : (string * int) list }
       (** Counter name/value pairs (see {!Metrics.wire_stats}). *)
+  | Store2 of { lid : int; seq : int; reg : int; pl : payload }
+      (** Two-bit engine store: no request id, no timestamp — the
+          sequence number [seq] of the FIFO link [lid] (the shard
+          index) both orders the frame at the replica and matches the
+          {!Ack2} back to the issuing operation.  [lid] must be in
+          [0, max_lid); [seq] in [0, max_link_seq). *)
+  | Ack2 of { lid : int; seq : int }
+      (** Acknowledges the [Store2] that carried [seq] on link [lid]. *)
+  | Query2 of { lid : int; seq : int; reg : int }
+      (** Two-bit engine read probe, link-sequenced like [Store2]. *)
+  | Query2_reply of { lid : int; seq : int; pl : payload }
+      (** Answers the [Query2] that carried [seq]: just the payload —
+          the engine recovers the register from its outbox, and FIFO
+          delivery replaces the timestamp comparison. *)
+  | Engine_hello of { engine : int }
+      (** Engine negotiation, server -> replica, once per connection in
+          the socket service: the {!Engine.kind} code the service
+          instance speaks (shards of one instance are homogeneous). *)
 
 val max_frame : int
 (** Upper bound on an encoded message body (16 MiB), enforced
@@ -83,11 +101,33 @@ val max_stat_name : int
 val max_stats : int
 (** Decoder bound on the number of [Stats_reply] entries. *)
 
+val max_lid : int
+(** Exclusive upper bound on a two-bit link id (one byte: 256), i.e.
+    on the shard count a twobit service instance can address. *)
+
+val max_link_seq : int
+(** Exclusive upper bound on a two-bit link sequence number (32-bit
+    field: 2{^32}). *)
+
 val encode : msg -> string
-(** Serialize a message body (no frame header).  Total: never raises,
-    never blocks; cost is linear in the message size.  The encoder
-    does {e not} enforce {!max_frame} or {!max_batch_depth} — those
-    bite at {!frame} time and in the receiver. *)
+(** Serialize a message body (no frame header).  Never blocks; cost is
+    linear in the message size.  The encoder does {e not} enforce
+    {!max_frame} or {!max_batch_depth} — those bite at {!frame} time
+    and in the receiver.
+    @raise Invalid_argument if a two-bit link header field ([lid],
+    [seq]) or engine code is outside its compact encoding range —
+    truncating silently would break the round-trip law. *)
+
+val encoded_size : msg -> int
+(** [String.length (encode m)], computed without allocating — for the
+    per-send byte accounting in the engines.  Total (field widths are
+    fixed, so it never needs to inspect values). *)
+
+val control_bytes : msg -> int
+(** The control-metadata share of {!encoded_size}: everything that is
+    not register index or register payload (tags, request ids,
+    timestamps, link headers, batch overhead).  The quantity the
+    two-bit engine minimises — see DESIGN_NET.md §10. *)
 
 val decode : string -> (msg, string) result
 (** Total inverse of {!encode} for messages within the decoder bounds

@@ -33,4 +33,5 @@ let () =
       ("storage", Test_storage.suite);
       ("storage-fuzz", Test_storage_fuzz.suite);
       ("explore", Test_explore.suite);
+      ("engine", Test_engine.suite);
     ]

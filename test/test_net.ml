@@ -316,7 +316,7 @@ let sim_reliable () =
   check_outcome ~what:"reliable" o;
   (* over a fault-free network nothing should ever be retransmitted *)
   Alcotest.(check int) "no retransmissions" 0
-    o.quorum.Net.Quorum.retransmissions
+    o.quorum.Net.Engine.retransmissions
 
 let sim_fault_sweep () =
   (* the model-check: sweep seeds x fault schedules; every served

@@ -7,4 +7,5 @@ let () =
       ("net", Test_net.slow_suite);
       ("storage", Test_storage.slow_suite);
       ("explore", Test_explore.slow_suite);
+      ("engine", Test_engine.slow_suite);
     ]

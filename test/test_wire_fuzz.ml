@@ -34,10 +34,27 @@ let any_op rng =
   | 2 -> W.Read_k { key = any_int rng }
   | _ -> W.Write_k { key = any_int rng; value = any_int rng }
 
+(* Link-layer fields are range-checked by the encoder, so their
+   generators stay in range (the boundary tests below cover the
+   edges). *)
+let any_lid rng =
+  match Random.State.int rng 4 with
+  | 0 -> 0
+  | 1 -> W.max_lid - 1
+  | _ -> Random.State.int rng W.max_lid
+
+let any_seq rng =
+  match Random.State.int rng 4 with
+  | 0 -> 0
+  | 1 -> W.max_link_seq - 1
+  | _ ->
+    (* 32 uniform bits ([Random.State.int] caps below 2^30) *)
+    Random.State.bits rng lor (Random.State.int rng 4 lsl 30)
+
 (* [depth] counts enclosing batches: the decoder rejects a [Batch] tag
    at depth >= max_batch_depth, so generation stops nesting there. *)
 let rec any_msg rng depth =
-  let n_kinds = if depth < W.max_batch_depth then 11 else 10 in
+  let n_kinds = if depth < W.max_batch_depth then 16 else 15 in
   match Random.State.int rng n_kinds with
   | 0 -> W.Hello { proc = any_int rng }
   | 1 -> W.Req { seq = any_int rng; op = any_op rng }
@@ -61,6 +78,16 @@ let rec any_msg rng depth =
     W.Stats_reply
       { rid = any_int rng;
         stats = List.init n (fun _ -> (any_name rng, any_int rng)) }
+  | 10 ->
+    W.Store2
+      { lid = any_lid rng; seq = any_seq rng; reg = any_int rng;
+        pl = any_payload rng }
+  | 11 -> W.Ack2 { lid = any_lid rng; seq = any_seq rng }
+  | 12 -> W.Query2 { lid = any_lid rng; seq = any_seq rng; reg = any_int rng }
+  | 13 ->
+    W.Query2_reply
+      { lid = any_lid rng; seq = any_seq rng; pl = any_payload rng }
+  | 14 -> W.Engine_hello { engine = Random.State.int rng 256 }
   | _ ->
     let n = Random.State.int rng 4 in
     W.Batch (List.init n (fun _ -> any_msg rng (depth + 1)))
@@ -69,7 +96,16 @@ let fuzz_roundtrip () =
   let rng = Random.State.make [| 0xf02 |] in
   for i = 1 to 2_000 do
     let m = any_msg rng 0 in
-    match W.decode (W.encode m) with
+    let s = W.encode m in
+    (* the analytic size (the bench's allocation-free accounting) must
+       agree with the real encoding, for every message shape *)
+    if W.encoded_size m <> String.length s then
+      Alcotest.failf "iteration %d: encoded_size %d <> length %d for %a" i
+        (W.encoded_size m) (String.length s) W.pp m;
+    if W.control_bytes m > String.length s then
+      Alcotest.failf "iteration %d: control_bytes exceeds the frame for %a" i
+        W.pp m;
+    match W.decode s with
     | Ok m' ->
       if m' <> m then
         Alcotest.failf "iteration %d: decode (encode m) <> m for %a" i W.pp m
@@ -191,6 +227,30 @@ let batch_count_boundary () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "batch beyond cap accepted"
 
+let link_field_boundaries () =
+  let refused name m =
+    match W.encode m with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted by the encoder" name
+  in
+  let ok name m =
+    match W.decode (W.encode m) with
+    | Ok m' when m' = m -> ()
+    | _ -> Alcotest.failf "%s does not round-trip" name
+  in
+  ok "lid at cap" (W.Ack2 { lid = W.max_lid - 1; seq = 0 });
+  ok "seq at cap" (W.Ack2 { lid = 0; seq = W.max_link_seq - 1 });
+  ok "engine at cap" (W.Engine_hello { engine = 255 });
+  refused "lid beyond cap" (W.Ack2 { lid = W.max_lid; seq = 0 });
+  refused "negative lid" (W.Ack2 { lid = -1; seq = 0 });
+  refused "seq beyond cap" (W.Ack2 { lid = 0; seq = W.max_link_seq });
+  refused "negative seq" (W.Ack2 { lid = 0; seq = -1 });
+  refused "engine beyond cap" (W.Engine_hello { engine = 256 });
+  refused "negative engine" (W.Engine_hello { engine = -1 });
+  refused "lid inside store2"
+    (W.Store2 { lid = W.max_lid; seq = 0; reg = 0; pl = Registers.Tagged.initial 0 });
+  refused "seq inside query2" (W.Query2 { lid = 0; seq = -1; reg = 0 })
+
 let suite =
   [
     tc "fuzz: random messages round-trip" fuzz_roundtrip;
@@ -201,4 +261,5 @@ let suite =
     tc "boundary: stat name length" stat_name_boundary;
     tc "boundary: stats table size" stats_count_boundary;
     tc "boundary: batch length" batch_count_boundary;
+    tc "boundary: link-layer fields" link_field_boundaries;
   ]
