@@ -85,17 +85,29 @@ let run_sim engine seed replicas shards readers writes reads drop dup window
 (* ------------------------------------------------------------------ *)
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
-let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir () =
+let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
+    ?(group_commit = 0) ?(flush_us = 500) () =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
   (* with --data-dir every node persists to real files: replicas WAL
      their accepted stores (persist-before-ack), the server WALs the
-     write timestamps it issues, and all of them recover on restart *)
+     write timestamps it issues, and all of them recover on restart.
+     --group-commit batches those appends: one write+fsync per batch,
+     acks deferred to the batch's durability. *)
+  let gc =
+    if group_commit > 1 then
+      Some
+        {
+          Net.Storage.batch_max = group_commit;
+          flush_every = float_of_int flush_us /. 1_000_000.;
+        }
+    else None
+  in
   let storage_for name =
     Option.map
       (fun dir ->
-        Net.Storage.create ~snapshot_every:1024
+        Net.Storage.create ~snapshot_every:1024 ?group_commit:gc
           (Net.Storage.file_backend ~dir:(Filename.concat dir name) ()))
       data_dir
   in
@@ -107,10 +119,31 @@ let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir () =
             ?storage:(storage_for ("replica" ^ string_of_int r))
             ()
         in
+        (* group-commit flush driver: when a handled message leaves
+           entries pending, arm one flush timer per deadline (the timer
+           callback and the handler both run under the node's handler
+           mutex, so the armed flag is race-free).  A zero deadline
+           flushes before the handler turn ends. *)
+        let flush_armed = ref false in
+        let rec drive () =
+          match Net.Replica.storage rep with
+          | Some st when Net.Storage.pending st > 0 ->
+            let d = Net.Storage.flush_deadline st in
+            if d <= 0.0 then Net.Storage.flush st
+            else if not !flush_armed then begin
+              flush_armed := true;
+              tr.Net.Transport.set_timer ~node:r ~delay:d (fun () ->
+                  flush_armed := false;
+                  Net.Storage.flush st;
+                  drive ())
+            end
+          | _ -> ()
+        in
         Net.Socket_net.listen net r (fun ~src msg ->
-            List.iter
-              (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
-              (Net.Replica.handle rep ~src msg));
+            Net.Replica.handle_emit rep ~src
+              ~emit:(fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+              msg;
+            drive ());
         (r, rep))
       replica_nodes
   in
@@ -154,7 +187,8 @@ let run_socket_workload net ~window ~nkeys processes =
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
 
-let run_smoke engine shards readers writes reads seed data_dir show_metrics =
+let run_smoke engine shards readers writes reads seed data_dir group_commit
+    flush_us show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -163,15 +197,19 @@ let run_smoke engine shards readers writes reads seed data_dir show_metrics =
   let nkeys = max 1 shards in
   (* --- socket transport --- *)
   Fmt.pr
-    "== socket transport (Unix-domain, %d replicas, %d shard%s, %s engine, \
+    "== socket transport (Unix-domain, %d replicas, %d shard%s, %s engine%s, \
      crash 1) ==@."
     3 shards
     (if shards = 1 then "" else "s")
-    (Engine_cli.name engine);
+    (Engine_cli.name engine)
+    (if group_commit > 1 then
+       Fmt.str ", group commit %d/%dus" group_commit flush_us
+     else "");
   let net = Net.Socket_net.create () in
   let metrics = Net.Socket_net.metrics net in
   let server, reps =
-    start_cluster net ~engine ~replicas:3 ~shards ~audit:true ?data_dir ()
+    start_cluster net ~engine ~replicas:3 ~shards ~audit:true ?data_dir
+      ~group_commit ~flush_us ()
   in
   let killer =
     Thread.create
@@ -182,6 +220,14 @@ let run_smoke engine shards readers writes reads seed data_dir show_metrics =
   in
   run_socket_workload net ~window:8 ~nkeys processes;
   Thread.join killer;
+  (* drain every commit queue before the durability check below: the
+     in-memory tables hold eagerly applied entries whose batches may
+     still be pending (only their acks wait on durability), and the
+     reopen-equality gate compares disk state against those tables *)
+  List.iter
+    (fun (_, rep) ->
+      Option.iter Net.Storage.flush (Net.Replica.storage rep))
+    reps;
   let keyed = Net.Server.keyed_history server in
   let violations = Net.Server.violations server in
   let served = Net.Server.ops_served server in
@@ -241,6 +287,13 @@ let run_smoke engine shards readers writes reads seed data_dir show_metrics =
     Net.Sim_run.run
       ~faults:(Net.Sim_net.lossy ~drop:0.15 ~duplicate:0.1 ())
       ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
+      ?group_commit:
+        (* same batching discipline under the simulator: deferred acks
+           must survive drops, duplication and a replica crash too
+           (flush deadline in virtual-time units) *)
+        (if group_commit > 1 then
+           Some { Net.Storage.batch_max = group_commit; flush_every = 0.5 }
+         else None)
       ~replicas:3 ~shards ~crash_replica:(2, 40.0) ~seed ~init:0 ~processes ()
   in
   Fmt.pr "%a@." Net.Sim_run.pp_outcome o;
@@ -257,10 +310,12 @@ let run_smoke engine shards readers writes reads seed data_dir show_metrics =
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
 
-let run_serve dir engine replicas shards audit data_dir show_metrics =
+let run_serve dir engine replicas shards audit data_dir group_commit flush_us
+    show_metrics =
   let net = Net.Socket_net.create ~dir () in
   let _server, reps =
-    start_cluster net ~engine ~replicas ~shards ~audit ?data_dir ()
+    start_cluster net ~engine ~replicas ~shards ~audit ?data_dir ~group_commit
+      ~flush_us ()
   in
   Fmt.pr
     "serving the two-writer keyspace in %s (%d replicas, %d shard%s, %s \
@@ -270,7 +325,11 @@ let run_serve dir engine replicas shards audit data_dir show_metrics =
     (Engine_cli.name engine)
     (match data_dir with
      | None -> ", volatile"
-     | Some d -> Fmt.str ", durable in %s" d);
+     | Some d ->
+       Fmt.str ", durable in %s%s" d
+         (if group_commit > 1 then
+            Fmt.str ", group commit %d/%dus" group_commit flush_us
+          else ""));
   List.iter
     (fun (r, rep) ->
       match Net.Replica.storage rep with
@@ -433,6 +492,21 @@ let data_dir =
                  write timestamps): checksummed WALs with periodic \
                  snapshots, recovered on restart.")
 
+let group_commit_arg =
+  Arg.(value & opt int 0
+       & info [ "group-commit" ] ~docv:"N"
+           ~doc:"Batch up to $(docv) WAL appends into one write+fsync \
+                 per store (group commit); acks wait for their batch. \
+                 0 or 1 disables.  Only meaningful with --data-dir.")
+
+let flush_us_arg =
+  Arg.(value & opt int 500
+       & info [ "flush-us" ] ~docv:"US"
+           ~doc:"Group-commit flush deadline in microseconds: a \
+                 partially filled batch is committed at most this long \
+                 after its first append.  0 commits at the end of \
+                 every handled message.")
+
 let sim_cmd =
   let replicas =
     Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
@@ -474,7 +548,8 @@ let smoke_cmd =
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
     Term.(const run_smoke $ Engine_cli.term $ shards $ readers $ writes
-          $ reads $ seed $ data_dir $ metrics_flag)
+          $ reads $ seed $ data_dir $ group_commit_arg $ flush_us_arg
+          $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -491,7 +566,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
     Term.(const run_serve $ dir_arg $ Engine_cli.term $ replicas $ shards
-          $ audit $ data_dir $ metrics_flag)
+          $ audit $ data_dir $ group_commit_arg $ flush_us_arg $ metrics_flag)
 
 let client_cmd =
   let proc =

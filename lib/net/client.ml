@@ -120,6 +120,9 @@ let req t op =
   let seq = fresh_seq t in
   let full =
     Mutex.protect t.mu (fun () ->
+        (* fail deterministically rather than queue into a session
+           whose final batch is already gone *)
+        if t.closed then invalid_arg "Client.req: client is closed";
         Hashtbl.replace t.sent_at seq (Unix.gettimeofday ());
         t.pending_rev <- Wire.Req { seq; op } :: t.pending_rev;
         t.npending <- t.npending + 1;
@@ -162,6 +165,8 @@ let write t v =
   | None when t.proc = 0 || t.proc = 1 -> ()
   | None -> invalid_arg "Client.write: rejected (not a writer session)"
   | Some _ -> invalid_arg "Client.write: unexpected read result"
+
+let post t op = ignore (req t op)
 
 let stats t =
   flush t;
@@ -211,8 +216,23 @@ let run_keyed ?window t script =
        script)
 
 let close t =
-  flush t;
-  t.closed <- true;
+  (* closing and detaching the last partial batch must be one atomic
+     step: a separate flush-then-close leaves a window in which the
+     deadline flusher owns the batch (or a late req refills the queue)
+     while close races ahead — and a Bye overtaking that batch on the
+     wire makes the server drop the ops of a then-dead session,
+     silently.  After this section no new op can be queued (req fails
+     closed) and whatever was pending is ours to send. *)
+  let last =
+    Mutex.protect t.mu (fun () ->
+        t.closed <- true;
+        take_pending_locked t)
+  in
+  (match last with
+   | None -> ()
+   | Some msg -> t.tr.Transport.send ~src:t.me ~dst:t.server msg);
+  (* the flusher may still be mid-send of an earlier batch: join before
+     Bye so every op frame precedes the session teardown *)
   (match t.flusher with None -> () | Some th -> Thread.join th);
   t.tr.Transport.send ~src:t.me ~dst:t.server Wire.Bye;
   (* wind down our endpoint so a later connect with the same processor

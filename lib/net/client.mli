@@ -82,6 +82,14 @@ val run_keyed :
     server-side (per-key serialization only), which is what makes a
     windowed keyed script scale with the shard count. *)
 
+val post : t -> Wire.op -> unit
+(** Fire-and-forget: queue one operation through the batcher without
+    awaiting its response (the result is discarded when it arrives).
+    The op ships on the usual triggers — a full batch, the flusher
+    deadline, a blocking await, or {!close}, which is guaranteed to
+    carry every posted op out before the session's [Bye].
+    @raise Invalid_argument if the client is already closed. *)
+
 val stats : t -> (string * int) list
 (** Flush the batcher, ask the server for a live {!Metrics.wire_stats}
     snapshot ([Stats_req]/[Stats_reply]) and block for the answer.
@@ -90,7 +98,10 @@ val stats : t -> (string * int) list
     [shards] and [audit_violation] (0/1). *)
 
 val close : t -> unit
-(** Flush anything still queued, stop the flusher thread, announce
-    session end ([Bye]) and stop listening.  Blocks for at most one
+(** Close the session: atomically seal the batcher (later queue
+    attempts raise) and detach any partially filled batch, send it,
+    stop the flusher thread, and only then announce session end
+    ([Bye]) and stop listening — so no queued op can be silently
+    dropped by [Bye] overtaking its batch.  Blocks for at most one
     [flush_every] period.  The node's socket is torn down by
     {!Socket_net.shutdown}. *)

@@ -144,14 +144,19 @@ let write t ~reg ~value ~k =
   let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
   Hashtbl.replace t.wts reg ts;
   (* engine-side persistence mirrors Quorum.write: the server recovers
-     its monitors (and a restarted engine its counter) from this log *)
-  (match t.storage with
-   | None -> ()
-   | Some st -> Storage.append st { Storage.reg; ts; pl = value });
-  let op =
-    { k = Wr k; born = t.tr.Transport.now (); acks = 0; done_ = false }
+     its monitors (and a restarted engine its counter) from this log.
+     With a group-commit store the broadcast waits for the batch to
+     commit; the wts bump above already ordered concurrent writes. *)
+  let go () =
+    let op =
+      { k = Wr k; born = t.tr.Transport.now (); acks = 0; done_ = false }
+    in
+    broadcast t op (fun ~seq ->
+        Wire.Store2 { lid = t.lid; seq; reg; pl = value })
   in
-  broadcast t op (fun ~seq -> Wire.Store2 { lid = t.lid; seq; reg; pl = value })
+  match t.storage with
+  | None -> go ()
+  | Some st -> Storage.append_async st { Storage.reg; ts; pl = value } ~k:go
 
 let read t ~reg ~k =
   t.reads <- t.reads + 1;

@@ -133,13 +133,18 @@ let write t ~reg ~value ~k =
   Hashtbl.replace t.wts reg ts;
   (* persist the timestamp bump before the Store leaves this node, so
      a restarted engine recovers a wts at least as high as anything a
-     replica may already hold from us *)
-  (match t.storage with
-   | None -> ()
-   | Some st -> Storage.append st { Storage.reg; ts; pl = value });
+     replica may already hold from us.  With a group-commit store the
+     broadcast is deferred to the batch's durability completion — the
+     in-memory wts above is already bumped, so concurrent writes to
+     other shards keep their timestamps ordered. *)
   (* the write timestamp dominates every write-back of an earlier read
      (those reuse timestamps <= wts, by SWMR ownership) *)
-  start_store t ~reg ~ts ~pl:value ~finish:k
+  match t.storage with
+  | None -> start_store t ~reg ~ts ~pl:value ~finish:k
+  | Some st ->
+    Storage.append_async st
+      { Storage.reg; ts; pl = value }
+      ~k:(fun () -> start_store t ~reg ~ts ~pl:value ~finish:k)
 
 let best replies =
   List.fold_left

@@ -37,7 +37,11 @@ val create :
     the twobit engine is an error.  [storage] is shared by every
     engine — safe because the shards partition the keyspace, so the
     engines' register sets are disjoint; it makes issued write
-    timestamps durable across a server restart.  [metrics] receives
+    timestamps durable across a server restart.  A [group_commit]
+    store batches the wts appends of {e all} shards into shared
+    write+fsync rounds (each engine's store broadcast waits for its
+    own timestamp's batch); whoever owns the transport loop must
+    drive {!Storage.flush} — {!Server} does this for its own store.  [metrics] receives
     the engine counters/histograms plus one [shard<i>_quorum_ops]
     counter per shard — the per-shard load (and skew) signal.
     @raise Invalid_argument on a bug hook aimed at the wrong engine,

@@ -54,40 +54,56 @@ let lookup t reg =
   | Some p -> p
   | None -> (0, t.init)
 
-let store t reg ts pl =
+(* Store an entry, then run [k] once it is durable: immediately for a
+   volatile table, from the group-commit completion for a durable one
+   (inline when the store has no commit queue — the sync case). *)
+let store_async t reg ts pl ~k =
   match t.backing with
-  | Volatile regs -> Hashtbl.replace regs reg (ts, pl)
-  | Durable st -> Storage.append st { Storage.reg; ts; pl }
+  | Volatile regs ->
+    Hashtbl.replace regs reg (ts, pl);
+    k ()
+  | Durable st -> Storage.append_async st { Storage.reg; ts; pl } ~k
+
+(* Run [k] once everything already accepted is durable — the ack path
+   for duplicates, whose original may still sit in the commit queue. *)
+let after_durable t k =
+  match t.backing with
+  | Volatile _ -> k ()
+  | Durable st -> Storage.on_durable st k
 
 (* Deliver one in-sequence (or, under the unordered bug, any) two-bit
-   frame: apply it and build its reply.  The apply counter is the
+   frame: apply it and emit its reply.  The apply counter is the
    replica's own per-register timestamp — under in-order delivery it
    advances exactly with the engine's store order, so the durable
    backing's ts-monotone apply is satisfied for free. *)
-let deliver2 t ~src msg =
+let deliver2 t ~src ~emit msg =
   match msg with
   | Wire.Store2 { lid; seq; reg; pl } when reg >= 0 ->
     let cur, _ = lookup t reg in
-    (* persist before ack, like the ABD arm below *)
-    store t reg (cur + 1) pl;
-    [ (src, Wire.Ack2 { lid; seq }) ]
+    (* persist before ack, like the ABD arm below: the Ack2 leaves the
+       replica only once the entry's batch is durable *)
+    store_async t reg (cur + 1) pl ~k:(fun () ->
+        emit (src, Wire.Ack2 { lid; seq }))
   | Wire.Query2 { lid; seq; reg } when reg >= 0 ->
     let _, pl = lookup t reg in
-    [ (src, Wire.Query2_reply { lid; seq; pl }) ]
-  | _ -> []
+    emit (src, Wire.Query2_reply { lid; seq; pl })
+  | _ -> ()
 
 (* Re-answer a frame the link already delivered (the engine's
    retransmission raced the reply): respond from current state, apply
    nothing.  Answering a duplicate query with a possibly-newer value is
    safe — the engine is the only writer, so anything newer was written
-   by an operation the pending read may linearize after. *)
-let reanswer2 t ~src msg =
+   by an operation the pending read may linearize after.  A duplicate
+   Store2 still gates its Ack2 on the commit queue: the original may
+   not be durable yet. *)
+let reanswer2 t ~src ~emit msg =
   match msg with
-  | Wire.Store2 { lid; seq; _ } -> [ (src, Wire.Ack2 { lid; seq }) ]
+  | Wire.Store2 { lid; seq; _ } ->
+    after_durable t (fun () -> emit (src, Wire.Ack2 { lid; seq }))
   | Wire.Query2 { lid; seq; reg } when reg >= 0 ->
     let _, pl = lookup t reg in
-    [ (src, Wire.Query2_reply { lid; seq; pl }) ]
-  | _ -> []
+    emit (src, Wire.Query2_reply { lid; seq; pl })
+  | _ -> ()
 
 let rlink_of t key =
   match Hashtbl.find_opt t.links key with
@@ -97,53 +113,60 @@ let rlink_of t key =
     Hashtbl.replace t.links key l;
     l
 
-let handle_link t ~src ~lid ~seq msg =
-  if t.unordered then deliver2 t ~src msg
+let handle_link t ~src ~lid ~seq ~emit msg =
+  if t.unordered then deliver2 t ~src ~emit msg
   else begin
     let l = rlink_of t (src, lid) in
-    if seq < l.next then reanswer2 t ~src msg
-    else if seq > l.next then begin
+    if seq < l.next then reanswer2 t ~src ~emit msg
+    else if seq > l.next then
       (* a gap: park the frame; the engine keeps retransmitting the
          missing sequence numbers until the gap closes *)
-      Hashtbl.replace l.future seq msg;
-      []
-    end
+      Hashtbl.replace l.future seq msg
     else begin
       l.next <- l.next + 1;
-      let first = deliver2 t ~src msg in
+      deliver2 t ~src ~emit msg;
       (* drain any parked successors that are now in sequence *)
-      let rec drain acc =
+      let rec drain () =
         match Hashtbl.find_opt l.future l.next with
         | Some m ->
           Hashtbl.remove l.future l.next;
           l.next <- l.next + 1;
-          drain (acc @ deliver2 t ~src m)
-        | None -> acc
+          deliver2 t ~src ~emit m;
+          drain ()
+        | None -> ()
       in
-      drain first
+      drain ()
     end
   end
 
-let rec handle t ~src msg =
+let rec handle_emit t ~src ~emit msg =
   t.handled <- t.handled + 1;
   match msg with
   | Wire.Query { rid; reg } when reg >= 0 ->
     let ts, pl = lookup t reg in
-    [ (src, Wire.Query_reply { rid; reg; ts; pl }) ]
+    emit (src, Wire.Query_reply { rid; reg; ts; pl })
   | Wire.Store { rid; reg; ts; pl } when reg >= 0 ->
     let cur, _ = lookup t reg in
-    (* persist before ack: the WAL append below is durable before this
-       arm returns the Store_ack, so an acknowledged timestamp can
+    (* persist before ack: the Store_ack is emitted from the durable
+       store's completion — inline for a sync store, from the group
+       commit for a batched one — so an acknowledged timestamp can
        never be forgotten by a (recovering) restart *)
-    if ts > cur then store t reg ts pl;
-    [ (src, Wire.Store_ack { rid; reg }) ]
+    let ack () = emit (src, Wire.Store_ack { rid; reg }) in
+    if ts > cur then store_async t reg ts pl ~k:ack
+    else
+      (* duplicate or stale: nothing to apply, but the original entry
+         may still be in the commit queue — ack only after it commits *)
+      after_durable t ack
   | Wire.Store2 { lid; seq; _ } | Wire.Query2 { lid; seq; _ } ->
-    handle_link t ~src ~lid ~seq msg
-  | Wire.Engine_hello { engine } ->
-    t.engine <- Some engine;
-    []
-  | Wire.Batch msgs -> List.concat_map (handle t ~src) msgs
-  | _ -> []
+    handle_link t ~src ~lid ~seq ~emit msg
+  | Wire.Engine_hello { engine } -> t.engine <- Some engine
+  | Wire.Batch msgs -> List.iter (handle_emit t ~src ~emit) msgs
+  | _ -> ()
+
+let handle t ~src msg =
+  let acc = ref [] in
+  handle_emit t ~src ~emit:(fun reply -> acc := reply :: !acc) msg;
+  List.rev !acc
 
 let contents t =
   match t.backing with

@@ -47,11 +47,28 @@ val create : init:int -> ?storage:Storage.t -> ?unordered:bool -> unit -> t
     delayed retransmitted [Store2] can regress a register — the
     new/old inversion {!Explore} demonstrates. *)
 
+val handle_emit :
+  t ->
+  src:Transport.node ->
+  emit:(Transport.node * Wire.msg -> unit) ->
+  Wire.msg ->
+  unit
+(** Process one message, passing each reply to [emit].  Unknown message
+    kinds (and negative register indices) are ignored; [Batch] is
+    flattened.  This is the group-commit-aware entry point: a
+    [Store]/[Store2] ack is emitted from the backing store's
+    durability completion, which with a group-commit store may happen
+    {e after} this call returns — on a later [Storage.flush] or on the
+    batch-filling append of another message.  The driver must therefore
+    use an [emit] that stays valid across handler turns (and guard it
+    against the replica having crashed or restarted in between). *)
+
 val handle :
   t -> src:Transport.node -> Wire.msg -> (Transport.node * Wire.msg) list
-(** Process one message, returning the replies to send.  Unknown
-    message kinds (and negative register indices) are ignored;
-    [Batch] is flattened. *)
+(** {!handle_emit} collecting the replies into a list.  Complete only
+    when the replica is volatile or its store commits synchronously
+    (no [group_commit] config): a deferred ack would be lost with the
+    collector.  Kept for the sync-store drivers and tests. *)
 
 val contents : t -> (int * (int * Wire.payload)) list
 (** Materialized registers as [(global_reg, (timestamp, payload))],

@@ -64,7 +64,13 @@ val create :
     server issues durable: shared across every shard engine (their
     register sets are disjoint), persisted before each store broadcast
     and recovered by a restarted server, so it never re-issues a
-    timestamp a replica may already hold.  A restarted server with
+    timestamp a replica may already hold.  When the store was opened
+    with a [group_commit] config the server drives it: a positive
+    {!Storage.flush_deadline} arms a transport timer that flushes the
+    pending batch (coalescing wts appends across messages), a zero
+    deadline flushes at the end of every handled message — either way
+    each store broadcast waits for its timestamp's batch to be
+    durable.  A restarted server with
     [audit] on also seeds each recovered key's monitor with the writer
     roles' recovered values as completed concurrent writes, so a read
     of recovered state audits clean — exact when no write was in

@@ -76,8 +76,8 @@ type cluster = {
 
 let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     ?(shards = 1) ?keys ?(engine = Engine.default) ?read_quorum
-    ?(durable = true) ?(snapshot_every = 32) ?(audit = true) ?metrics ?measure
-    ?trace ~seed ~init ~processes () =
+    ?(durable = true) ?(snapshot_every = 32) ?group_commit ?(audit = true)
+    ?metrics ?measure ?trace ~seed ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   let faults =
@@ -116,22 +116,47 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     if durable then
       Replica.create ~init
         ~storage:
-          (Storage.create ~snapshot_every (Storage.Disk.backend disks.(r)))
+          (Storage.create ~snapshot_every ?group_commit
+             (Storage.Disk.backend disks.(r)))
         ~unordered ()
     else Replica.create ~init ~unordered ()
   in
   let incarnations = Array.init replicas fresh_replica in
   List.iter
     (fun r ->
+      (* group-commit flush driver: a handler turn that leaves entries
+         pending arms a one-shot flush timer (zero deadline: flush
+         before the turn ends).  Armed unconditionally, no armed flag —
+         Sim_net silently skips timers for dead nodes, so a flag would
+         wedge across a crash; a duplicate timer just flushes an empty
+         queue.  Deterministic: fixed delay, same arming schedule. *)
+      let rec arm_flush rep =
+        match Replica.storage rep with
+        | Some st when Storage.pending st > 0 ->
+          let d = Storage.flush_deadline st in
+          if d <= 0.0 then Storage.flush st
+          else
+            tr.Transport.set_timer ~node:r ~delay:d (fun () ->
+                if incarnations.(r) == rep then begin
+                  Storage.flush st;
+                  arm_flush rep
+                end)
+        | _ -> ()
+      in
       Sim_net.register net r (fun ~src msg ->
-          let replies = Replica.handle incarnations.(r) ~src msg in
-          (* the handler may have been killed mid-message by a disk
-             crash hook: a dead process's replies never leave it, so a
-             store whose WAL append was torn is never acked *)
-          if Sim_net.alive net r then
-            List.iter
-              (fun (dst, m) -> tr.Transport.send ~src:r ~dst m)
-              replies);
+          let rep = incarnations.(r) in
+          (* replies — including group-commit acks deferred past this
+             turn — may only leave a live, current incarnation: the
+             handler may have been killed mid-message by a disk crash
+             hook (a store whose WAL append was torn is never acked),
+             and a stale incarnation must not speak for, or flush the
+             disk under, its replacement *)
+          let emit (dst, m) =
+            if Sim_net.alive net r && incarnations.(r) == rep then
+              tr.Transport.send ~src:r ~dst m
+          in
+          Replica.handle_emit rep ~src ~emit msg;
+          if Sim_net.alive net r then arm_flush rep);
       Sim_net.on_restart net r (fun () ->
           (* amnesia restart: the in-memory incarnation is gone.  With
              durability the replacement recovers snapshot+WAL from the
@@ -256,13 +281,13 @@ let collect cl ~steps =
   }
 
 let run ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum ?durable
-    ?snapshot_every ?crash_replica ?partition_replicas ?(fates = [])
-    ?(max_steps = 2_000_000) ?audit ?metrics ?measure ?trace ~seed ~init
-    ~processes () =
+    ?snapshot_every ?group_commit ?crash_replica ?partition_replicas
+    ?(fates = []) ?(max_steps = 2_000_000) ?audit ?metrics ?measure ?trace
+    ~seed ~init ~processes () =
   let cl =
     build ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum
-      ?durable ?snapshot_every ?audit ?metrics ?measure ?trace ~seed ~init
-      ~processes ()
+      ?durable ?snapshot_every ?group_commit ?audit ?metrics ?measure ?trace
+      ~seed ~init ~processes ()
   in
   (* fault schedule: the legacy shorthands desugar to fates *)
   let fates =

@@ -57,6 +57,7 @@ val run :
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
+  ?group_commit:Storage.commit_config ->
   ?crash_replica:(int * float) ->
   ?partition_replicas:float * float ->
   ?fates:(float * Harness.Failure.net_fate) list ->
@@ -90,7 +91,14 @@ val run :
     [snapshot_every] appends, default 32) before acking, and an
     amnesia restart recovers from it; with [durable:false] an amnesia
     restart comes back empty — the deliberate-bug hook of this layer,
-    in the [?read_quorum] mould.  Defaults: reliable network,
+    in the [?read_quorum] mould.  [group_commit] opens each replica
+    disk store with a commit queue ({!Storage.commit_config}): store
+    acks are emitted from batch durability completions, with a
+    deterministic per-replica flush timer arming whenever a handler
+    turn leaves entries pending ([flush_every] in virtual-time units;
+    [0.] flushes at the end of each turn).  Acks and flushes are
+    guarded so a crashed node or a stale (pre-amnesia) incarnation can
+    neither speak nor write to the disk of its replacement.  Defaults: reliable network,
     3 replicas, pipelining window 4, 1 shard (the unsharded
     single-register service), audit on, [max_steps] 2_000_000.
 
@@ -135,6 +143,7 @@ val build :
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
+  ?group_commit:Storage.commit_config ->
   ?audit:bool ->
   ?metrics:Metrics.t ->
   ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->

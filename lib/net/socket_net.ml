@@ -111,7 +111,10 @@ let trace_ev t kind =
 let add_thread t th = Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
 
 (* Read exactly [len] bytes, polling so the thread notices [stopped]
-   without relying on close() interrupting a blocked read. *)
+   without relying on close() interrupting a blocked read.  EINTR from
+   select/read is a signal, not a peer failure — retrying (the loop
+   re-runs the select) must not tear the connection down, or a stray
+   SIGCHLD would drop well-formed frames mid-read. *)
 let read_exact ep fd buf len =
   let got = ref 0 in
   let ok = ref true in
@@ -124,7 +127,9 @@ let read_exact ep fd buf len =
          | _ ->
            (match Unix.read fd buf !got (len - !got) with
             | 0 -> ok := false
-            | k -> got := !got + k)
+            | k -> got := !got + k
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        end
      done
    with Unix.Unix_error _ | Sys_error _ -> ok := false);
@@ -175,7 +180,9 @@ let accept_loop t ep =
       | _ ->
         (match Unix.accept ep.lfd with
          | cfd, _ -> add_thread t (Thread.create (fun () -> recv_loop t ep cfd) ())
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
          | exception Unix.Unix_error _ -> continue := false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   try Unix.close ep.lfd with Unix.Unix_error _ -> ()
 
@@ -267,11 +274,18 @@ let get_conn t dst =
              Metrics.incr t.c.conn_opened;
              Some c))
 
+(* Like Storage's write loop: EINTR means a signal landed mid-write,
+   not that the peer failed — retry, or a stray signal tears a frame
+   in half on the wire and the receiver counts a decode error. *)
+let rec write_retry fd b off len =
+  try Unix.write fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
+
 let write_all fd b =
   let n = Bytes.length b in
   let sent = ref 0 in
   while !sent < n do
-    sent := !sent + Unix.write fd b !sent (n - !sent)
+    sent := !sent + write_retry fd b !sent (n - !sent)
   done
 
 let send t ~src ~dst msg =

@@ -36,12 +36,38 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Unix.write and Unix.fsync may fail with EINTR when a signal lands
+   mid-syscall; raising out of the store would leave a torn WAL record
+   that recovery then treats as a crash.  Retry — EINTR means nothing
+   was committed to the failure. *)
+let rec write_retry fd b off len =
+  try Unix.write fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
+
+let rec fsync_retry fd =
+  try Unix.fsync fd with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
+
 let file_backend ?(fsync = false) ~dir () =
   mkdir_p dir;
   let wal_path = Filename.concat dir "wal" in
   let snap_path = Filename.concat dir "snapshot" in
   let tmp_path = Filename.concat dir "snapshot.tmp" in
+  (* fsync the containing directory: file creation and rename update
+     the directory, not the file, so without this the WAL file itself
+     or the renamed snapshot can vanish on power failure even though
+     their contents were fsync'd. *)
+  let fsync_dir () =
+    if fsync then
+      match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+      | dfd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close dfd with Unix.Unix_error _ -> ())
+          (fun () -> fsync_retry dfd)
+      | exception Unix.Unix_error _ -> ()
+  in
   let wal_fd = Unix.openfile wal_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  fsync_dir ();
   let read_all path =
     let ic = open_in_bin path in
     Fun.protect
@@ -53,7 +79,7 @@ let file_backend ?(fsync = false) ~dir () =
     let n = String.length s in
     let off = ref 0 in
     while !off < n do
-      off := !off + Unix.write fd b !off (n - !off)
+      off := !off + write_retry fd b !off (n - !off)
     done
   in
   {
@@ -65,11 +91,11 @@ let file_backend ?(fsync = false) ~dir () =
       (fun s ->
         ignore (Unix.lseek wal_fd 0 Unix.SEEK_END);
         write_fully wal_fd s;
-        if fsync then Unix.fsync wal_fd);
+        if fsync then fsync_retry wal_fd);
     truncate_wal =
       (fun n ->
         Unix.ftruncate wal_fd n;
-        if fsync then Unix.fsync wal_fd);
+        if fsync then fsync_retry wal_fd);
     install_snapshot =
       (fun s ->
         let fd =
@@ -81,12 +107,15 @@ let file_backend ?(fsync = false) ~dir () =
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () ->
             write_fully fd s;
-            if fsync then Unix.fsync fd);
+            if fsync then fsync_retry fd);
         (* rename is the commit point: a crash before it leaves the old
-           snapshot, after it the new one + a stale WAL, both safe *)
+           snapshot, after it the new one + a stale WAL, both safe.
+           The rename only becomes durable once the directory itself is
+           fsync'd. *)
         Sys.rename tmp_path snap_path;
+        fsync_dir ();
         Unix.ftruncate wal_fd 0;
-        if fsync then Unix.fsync wal_fd);
+        if fsync then fsync_retry wal_fd);
   }
 
 module Disk = struct
@@ -116,6 +145,7 @@ module Disk = struct
   let set_hook t f = t.hook <- Some f
   let clear_hook t = t.hook <- None
   let revive t = t.dead <- false
+  let is_dead t = t.dead
   let appends t = t.appends
   let snapshots t = t.snapshots
   let wal_size t = Buffer.length t.wal
@@ -283,12 +313,26 @@ let decode_snapshot s =
 (* ------------------------------------------------------------------ *)
 (* The store                                                           *)
 
+type commit_config = { batch_max : int; flush_every : float }
+
+(* A queued item: the framed record bytes, how many entries it carries
+   (1 for an append, 0 for an on_durable marker), and the completion to
+   fire once its batch is durable. *)
+type pending_item = string * int * (unit -> unit)
+
 type t = {
   be : backend;
   snapshot_every : int;
+  batch_max : int;  (* 1 = group commit off: every append commits *)
+  flush_deadline : float;  (* advisory deadline for drivers; 0 = none *)
+  mu : Mutex.t;
   tbl : (int, int * Wire.payload) Hashtbl.t;
+  mutable pending_rev : pending_item list;  (* newest first *)
+  mutable npending : int;  (* entries (not markers) queued *)
   mutable since_snapshot : int;
   mutable appends : int;
+  mutable batch_commits : int;
+  mutable max_batch : int;
   mutable snapshots_taken : int;
   recovered_snapshot : int;
   recovered_wal : int;
@@ -301,7 +345,7 @@ let apply tbl e =
   | Some (cur, _) when cur >= e.ts -> ()
   | _ -> Hashtbl.replace tbl e.reg (e.ts, e.pl)
 
-let create ?(snapshot_every = 0) be =
+let create ?(snapshot_every = 0) ?group_commit be =
   let tbl = Hashtbl.create 16 in
   let recovered_snapshot =
     match be.load_snapshot () with
@@ -339,12 +383,24 @@ let create ?(snapshot_every = 0) be =
       be.truncate_wal valid;
       (dropped, valid)
   in
+  let batch_max, flush_deadline =
+    match group_commit with
+    | None -> (1, 0.0)
+    | Some { batch_max; flush_every } -> (max 1 batch_max, flush_every)
+  in
   {
     be;
     snapshot_every;
+    batch_max;
+    flush_deadline;
+    mu = Mutex.create ();
     tbl;
+    pending_rev = [];
+    npending = 0;
     since_snapshot = recovered_wal;
     appends = 0;
+    batch_commits = 0;
+    max_batch = 0;
     snapshots_taken = 0;
     recovered_snapshot;
     recovered_wal;
@@ -352,30 +408,107 @@ let create ?(snapshot_every = 0) be =
     wal_size;
   }
 
-let contents t =
+let batch_max t = t.batch_max
+let flush_deadline t = t.flush_deadline
+
+let contents_locked t =
   Hashtbl.fold (fun reg p acc -> (reg, p) :: acc) t.tbl []
   |> List.sort compare
 
-let snapshot t =
-  t.be.install_snapshot (frame_record (encode_snapshot (contents t)));
+let snapshot_locked t =
+  t.be.install_snapshot (frame_record (encode_snapshot (contents_locked t)));
   t.snapshots_taken <- t.snapshots_taken + 1;
   t.since_snapshot <- 0;
   t.wal_size <- 0
 
-let append t e =
-  let rec_ = frame_record (encode_entry e) in
-  t.be.append_wal rec_;
-  t.appends <- t.appends + 1;
-  t.wal_size <- t.wal_size + String.length rec_;
-  apply t.tbl e;
-  t.since_snapshot <- t.since_snapshot + 1;
-  if t.snapshot_every > 0 && t.since_snapshot >= t.snapshot_every then
-    snapshot t
+(* Drain the queue as ONE backend append (one write + one fsync), then
+   hand back the completions to fire — outside the lock, so a
+   completion may re-enter the store.  Snapshot install + WAL truncate
+   happen here too, on the committing path, never on an enqueue. *)
+let commit_locked t =
+  match t.pending_rev with
+  | [] -> []
+  | items_rev ->
+    let items = List.rev items_rev in
+    t.pending_rev <- [];
+    t.npending <- 0;
+    let data = String.concat "" (List.map (fun (r, _, _) -> r) items) in
+    let entries = List.fold_left (fun n (_, c, _) -> n + c) 0 items in
+    if data <> "" then t.be.append_wal data;
+    t.appends <- t.appends + entries;
+    t.wal_size <- t.wal_size + String.length data;
+    t.since_snapshot <- t.since_snapshot + entries;
+    t.batch_commits <- t.batch_commits + 1;
+    if entries > t.max_batch then t.max_batch <- entries;
+    if t.snapshot_every > 0 && t.since_snapshot >= t.snapshot_every then
+      snapshot_locked t;
+    List.map (fun (_, _, k) -> k) items
 
-let lookup t reg = Hashtbl.find_opt t.tbl reg
+let run_completions ks = List.iter (fun k -> k ()) ks
+
+let flush t =
+  Mutex.lock t.mu;
+  let ks = commit_locked t in
+  Mutex.unlock t.mu;
+  run_completions ks
+
+let append_async t e ~k =
+  let rec_ = frame_record (encode_entry e) in
+  Mutex.lock t.mu;
+  (* eager apply: reads served from the table may observe the entry
+     before it is durable.  Safe for both engines — ABD reads write the
+     value back through a persist-before-ack majority before returning,
+     and the twobit engine's fault model is crash-stop (no amnesia) —
+     while the ack for THIS entry still waits for its batch. *)
+  apply t.tbl e;
+  t.pending_rev <- (rec_, 1, k) :: t.pending_rev;
+  t.npending <- t.npending + 1;
+  let ks = if t.npending >= t.batch_max then commit_locked t else [] in
+  Mutex.unlock t.mu;
+  run_completions ks
+
+let append t e =
+  append_async t e ~k:ignore;
+  (* with group commit off, append_async already committed (batch of
+     one); with it on, a sync append forces the pending batch out *)
+  if t.batch_max > 1 then flush t
+
+let on_durable t k =
+  Mutex.lock t.mu;
+  let now = t.pending_rev = [] in
+  if not now then t.pending_rev <- ("", 0, k) :: t.pending_rev;
+  Mutex.unlock t.mu;
+  if now then k ()
+
+let pending t =
+  Mutex.lock t.mu;
+  let n = t.npending in
+  Mutex.unlock t.mu;
+  n
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let ks = commit_locked t in
+  snapshot_locked t;
+  Mutex.unlock t.mu;
+  run_completions ks
+
+let lookup t reg =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.tbl reg in
+  Mutex.unlock t.mu;
+  r
+
+let contents t =
+  Mutex.lock t.mu;
+  let c = contents_locked t in
+  Mutex.unlock t.mu;
+  c
 
 type stats = {
   appends : int;
+  batch_commits : int;
+  max_batch : int;
   snapshots_taken : int;
   recovered_snapshot : int;
   recovered_wal : int;
@@ -384,11 +517,18 @@ type stats = {
 }
 
 let stats (t : t) =
-  {
-    appends = t.appends;
-    snapshots_taken = t.snapshots_taken;
-    recovered_snapshot = t.recovered_snapshot;
-    recovered_wal = t.recovered_wal;
-    torn_bytes = t.torn_bytes;
-    wal_size = t.wal_size;
-  }
+  Mutex.lock t.mu;
+  let s =
+    {
+      appends = t.appends;
+      batch_commits = t.batch_commits;
+      max_batch = t.max_batch;
+      snapshots_taken = t.snapshots_taken;
+      recovered_snapshot = t.recovered_snapshot;
+      recovered_wal = t.recovered_wal;
+      torn_bytes = t.torn_bytes;
+      wal_size = t.wal_size;
+    }
+  in
+  Mutex.unlock t.mu;
+  s

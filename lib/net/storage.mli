@@ -11,6 +11,28 @@
     written as a snapshot and the log truncated, bounding both recovery
     time and disk footprint.
 
+    {2 Group commit}
+
+    An fsync'd append costs a disk flush; BENCH_005 measured that floor
+    at ~7.5k appends/s against 877k/s without fsync.  Group commit
+    amortizes it: with a {!commit_config}, {!append_async} queues the
+    framed record (applying it to the in-memory table eagerly) and the
+    whole queue is committed as {e one} backend append — one write, one
+    fsync — when it reaches [batch_max] entries or a driver calls
+    {!flush} on the [flush_every] deadline.  Every completion callback
+    fires only after its batch is durable, so persist-before-ack holds
+    per batch: an op whose batch never commits is never acknowledged.
+    Eagerly applying queued entries is safe for both engines — an ABD
+    read writes its value back through a persist-before-ack majority
+    before returning, and the twobit engine's fault model is crash-stop
+    — while the entry's own ack still waits for durability.
+
+    The store never arms timers itself: [flush_every] is advisory,
+    exposed via {!flush_deadline} for the driver (server, sim harness,
+    service flusher) that owns the threading model.  All public
+    operations are thread-safe behind one internal mutex; completions
+    run outside it and may re-enter the store.
+
     {2 On-disk format}
 
     Both files are sequences of {e records}: [len : int32 LE][crc :
@@ -98,7 +120,13 @@ module Disk : sig
   (** Clear the played-dead state: the next incarnation of the process
       may use the disk again. *)
 
-  val appends : t -> int  (** appends offered (torn ones included) *)
+  val is_dead : t -> bool
+  (** [true] between a torn append and {!revive} — the window in which
+      the owning process is gone and completions must not be trusted. *)
+
+  val appends : t -> int
+  (** appends offered (torn ones included).  With group commit each
+      batch is one append: the tear hook's ordinal counts batches. *)
 
   val snapshots : t -> int
   val wal_size : t -> int
@@ -134,26 +162,72 @@ val scan : string -> string list * tail
 
 type t
 
-val create : ?snapshot_every:int -> backend -> t
+type commit_config = {
+  batch_max : int;
+      (** commit the pending batch as soon as it holds this many
+          entries; [<= 1] degenerates to sync appends *)
+  flush_every : float;
+      (** advisory flush deadline in seconds for the driver (see
+          {!flush_deadline}); [0.] means flush at the end of every
+          message/handler turn *)
+}
+(** Group-commit tuning, mirroring the client batcher in
+    [lib/net/client.ml] (size cap + flush deadline). *)
+
+val create : ?snapshot_every:int -> ?group_commit:commit_config -> backend -> t
 (** Open the store: load the snapshot, replay the WAL's valid prefix,
     repair (truncate) a torn tail.  [snapshot_every] (default [0] =
     never) is the number of appends between automatic snapshots.
-    Raises {!Corrupt} on an unreadable snapshot. *)
+    [group_commit] (default off) enables the commit queue documented
+    above.  Raises {!Corrupt} on an unreadable snapshot. *)
 
 val append : t -> entry -> unit
 (** Append one entry — durable when this returns — and apply it to the
-    in-memory table (iff its timestamp beats the current one).  May
-    trigger a snapshot + truncation. *)
+    in-memory table (iff its timestamp beats the current one).  With
+    group commit on, this forces the whole pending batch out (it is a
+    barrier); prefer {!append_async} on hot paths.  May trigger a
+    snapshot + truncation. *)
+
+val append_async : t -> entry -> k:(unit -> unit) -> unit
+(** Queue one entry and apply it to the in-memory table now; [k] fires
+    exactly once, after the batch containing the entry is durable —
+    inline if the enqueue itself fills the batch, else from whichever
+    call commits it ({!flush}, a filling {!append_async}, {!snapshot}
+    or {!append}).  Without a [group_commit] config the batch size is
+    one and [k] always fires before this returns. *)
+
+val flush : t -> unit
+(** Commit the pending batch now (one backend append), firing its
+    completions.  No-op when nothing is pending. *)
+
+val on_durable : t -> (unit -> unit) -> unit
+(** Run a callback once everything currently pending is durable —
+    inline when nothing is pending.  This is the ack path for
+    duplicate [Store]s: the original may still sit in the queue, and
+    re-acking it before its batch commits would break
+    persist-before-ack. *)
+
+val pending : t -> int
+(** Entries queued but not yet committed. *)
+
+val batch_max : t -> int
+(** Effective batch cap ([1] when group commit is off). *)
+
+val flush_deadline : t -> float
+(** The [flush_every] this store was opened with ([0.] when group
+    commit is off) — advisory, for the driver that arms flush timers. *)
 
 val snapshot : t -> unit
-(** Force a snapshot now. *)
+(** Force a snapshot now (flushes the pending batch first). *)
 
 val lookup : t -> int -> (int * Wire.payload) option
 val contents : t -> (int * (int * Wire.payload)) list
 (** Sorted by register index. *)
 
 type stats = {
-  appends : int;  (** appends since open *)
+  appends : int;  (** entries appended since open *)
+  batch_commits : int;  (** backend appends, i.e. write+fsync rounds *)
+  max_batch : int;  (** largest batch committed since open *)
   snapshots_taken : int;  (** snapshots since open *)
   recovered_snapshot : int;  (** registers loaded from the snapshot *)
   recovered_wal : int;  (** WAL records replayed at open *)

@@ -864,6 +864,73 @@ let socket_rejects_rogue_writer () =
      Alcotest.fail "write by proc 5 accepted"
    with Invalid_argument _ -> Net.Socket_net.shutdown net)
 
+let socket_close_flushes_pending () =
+  (* regression: [close] used to race the deadline flusher for the last
+     partial batch — a Bye overtaking it on the wire made the server
+     drop the queued ops of a then-dead session, silently.  Queue
+     [batch_max - 1] ops (one short of an eager flush) and close
+     immediately: every op must still reach the server. *)
+  let net, server = socket_cluster () in
+  (* the server admits each write as an Invoke event when it executes;
+     poll until every value of a round is there (arrival races us).
+     Waiting out each round before reconnecting also keeps one
+     processor's ops sequential across sessions, as the audit
+     requires — the close-vs-flusher race lives inside a round. *)
+  let served () =
+    List.filter_map
+      (function E.Invoke (_, E.Write v) -> Some v | _ -> None)
+      (Net.Server.history server)
+  in
+  let wait_served values =
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec go () =
+      let got = served () in
+      let missing = List.filter (fun v -> not (List.mem v got)) values in
+      if missing = [] then ()
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.failf "%d posted op(s) never reached the server (e.g. %d)"
+          (List.length missing) (List.hd missing)
+      else begin
+        Thread.delay 0.005;
+        go ()
+      end
+    in
+    go ()
+  in
+  (* leg 1: no flusher thread at all — close alone must carry the batch *)
+  let c0 =
+    Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 ~batch_max:8
+      ~flush_every:0.0 ()
+  in
+  for v = 1 to 7 do Net.Client.post c0 (W.Write v) done;
+  Net.Client.close c0;
+  (match Net.Client.post c0 (W.Write 99) with
+   | () -> Alcotest.fail "post after close should raise"
+   | exception Invalid_argument _ -> ());
+  wait_served [ 1; 2; 3; 4; 5; 6; 7 ];
+  (* leg 2: race a tiny-deadline flusher over several rounds; whichever
+     side ships the final batch, no op may be dropped *)
+  let next = ref 7 in
+  for _round = 1 to 8 do
+    let c1 =
+      Net.Client.connect ~net ~server:Net.Transport.server ~proc:1
+        ~batch_max:64 ~flush_every:0.001 ()
+    in
+    let mine = ref [] in
+    for _ = 1 to 5 do
+      incr next;
+      mine := !next :: !mine;
+      Net.Client.post c1 (W.Write !next)
+    done;
+    Net.Client.close c1;
+    wait_served !mine
+  done;
+  (match Net.Server.violation server with
+   | None -> ()
+   | Some v ->
+     Alcotest.failf "live audit: %a" (Histories.Fastcheck.pp_violation Fmt.int) v);
+  Net.Socket_net.shutdown net
+
 (* The tier-1 suite: pure wire/shard/replica units plus the fast
    simulator runs.  Everything that opens real sockets or sweeps many
    seeds lives in [slow_suite], run via [dune build @slow]. *)
@@ -898,6 +965,7 @@ let suite =
     tc "audit plumbing catches inversions" audit_catches_corruption;
     tc "socket: keyed single ops" socket_keyed_single_ops;
     tc "socket: rogue writer rejected" socket_rejects_rogue_writer;
+    tc "socket: close flushes pending batch" socket_close_flushes_pending;
     tc "socket: timer for gone node dropped" socket_timer_unregistered_dropped;
   ]
 

@@ -183,6 +183,135 @@ let post_tear_writes_ignored () =
     (S.contents st' = reference_contents (take 2 (entries_n 10)))
 
 (* ------------------------------------------------------------------ *)
+(* Group commit: batching semantics of the async append path, the
+   durability marker, and the crash-point matrix re-run at batch
+   boundaries — a tear may now land inside a multi-record write.      *)
+
+let gc bm = { S.batch_max = bm; flush_every = 0.0 }
+
+let group_commit_batches () =
+  let be = S.mem_backend () in
+  let st = S.create ~group_commit:{ S.batch_max = 4; flush_every = 0.01 } be in
+  Alcotest.(check int) "batch_max" 4 (S.batch_max st);
+  Alcotest.(check bool) "flush deadline kept" true
+    (S.flush_deadline st = 0.01);
+  let entries = entries_n 6 in
+  let acked = ref 0 in
+  List.iter (fun e -> S.append_async st e ~k:(fun () -> incr acked)) entries;
+  (* the 4th append filled a batch and committed it; two entries wait *)
+  Alcotest.(check int) "batch boundary acked" 4 !acked;
+  Alcotest.(check int) "tail still pending" 2 (S.pending st);
+  (* eager apply: the table already serves the unflushed tail... *)
+  Alcotest.(check bool) "eager apply visible" true
+    (S.contents st = reference_contents entries);
+  (* ...but durability lags it: a reopen sees only the committed batch *)
+  Alcotest.(check bool) "durability lags the tail" true
+    (S.contents (S.create be) = reference_contents (take 4 entries));
+  S.flush st;
+  Alcotest.(check int) "flush completes the rest" 6 !acked;
+  Alcotest.(check int) "nothing pending after flush" 0 (S.pending st);
+  let s = S.stats st in
+  Alcotest.(check int) "entries counted, not batches" 6 s.S.appends;
+  Alcotest.(check int) "two batch commits" 2 s.S.batch_commits;
+  Alcotest.(check int) "largest batch" 4 s.S.max_batch;
+  Alcotest.(check bool) "reopen = live" true
+    (S.contents (S.create be) = S.contents st)
+
+let group_commit_sync_append_flushes () =
+  (* the sync [append] keeps its contract under group commit: durable
+     on return, so a reopen can never lag it *)
+  let be = S.mem_backend () in
+  let st = S.create ~group_commit:(gc 8) be in
+  let entries = entries_n 3 in
+  List.iter (S.append st) entries;
+  Alcotest.(check int) "nothing pending" 0 (S.pending st);
+  Alcotest.(check bool) "reopen sees every sync append" true
+    (S.contents (S.create be) = reference_contents entries)
+
+let group_commit_on_durable () =
+  let be = S.mem_backend () in
+  let st = S.create ~group_commit:(gc 8) be in
+  let fired = ref [] in
+  S.on_durable st (fun () -> fired := "empty" :: !fired);
+  Alcotest.(check bool) "inline when nothing pending" true
+    (!fired = [ "empty" ]);
+  S.append_async st (entry ~reg:0 ~ts:1 10) ~k:ignore;
+  S.on_durable st (fun () -> fired := "after" :: !fired);
+  Alcotest.(check bool) "deferred behind the pending batch" true
+    (!fired = [ "empty" ]);
+  S.flush st;
+  Alcotest.(check bool) "flush fires it, in order" true
+    (!fired = [ "after"; "empty" ]);
+  (* the marker is not a WAL record *)
+  Alcotest.(check int) "marker not an append" 1 (S.stats st).S.appends;
+  Alcotest.(check bool) "reopen holds one entry" true
+    (S.contents (S.create be) = [ (0, (1, pl 10)) ])
+
+let group_commit_crash_matrix () =
+  (* tear the disk at EVERY batch ordinal and several byte offsets
+     within the batch: recovery must equal the never-crashed store fed
+     the durable record prefix, and — persist-before-ack — no entry
+     whose completion fired while the disk was alive may be missing *)
+  let n = 22 in
+  let entries = entries_n n in
+  let rec_size =
+    String.length (S.frame_record (S.encode_entry (List.hd entries)))
+  in
+  List.iter
+    (fun (bm, snapshot_every) ->
+      let nbatches = (n + bm - 1) / bm in
+      for k = 1 to nbatches do
+        List.iter
+          (fun keep ->
+            let what =
+              Fmt.str "bm=%d se=%d k=%d keep=%d" bm snapshot_every k keep
+            in
+            let d = S.Disk.create () in
+            S.Disk.set_hook d (fun i ->
+                if i = k then S.Disk.Torn keep else S.Disk.Persist);
+            let st =
+              S.create ~snapshot_every ~group_commit:(gc bm)
+                (S.Disk.backend d)
+            in
+            let acked = ref [] in
+            List.iter
+              (fun e ->
+                S.append_async st e ~k:(fun () ->
+                    (* an ack that fires after the crash went to a dead
+                       process; only pre-crash acks bind durability *)
+                    if not (S.Disk.is_dead d) then
+                      acked := (e.S.reg, e.S.ts) :: !acked))
+              entries;
+            S.flush st;
+            Alcotest.(check int) (what ^ ": batch writes stop at the tear")
+              k (S.Disk.appends d);
+            S.Disk.clear_hook d;
+            S.Disk.revive d;
+            let st' = S.create (S.Disk.backend d) in
+            (* whole records of the torn batch survive; the rest of the
+               batch — and everything after — is gone *)
+            let batch_k = min bm (n - ((k - 1) * bm)) in
+            let durable = ((k - 1) * bm) + min (keep / rec_size) batch_k in
+            if S.contents st' <> reference_contents (take durable entries)
+            then
+              Alcotest.failf
+                "%s: recovered state differs from the never-crashed \
+                 prefix store (durable=%d)"
+                what durable;
+            List.iter
+              (fun (reg, ts) ->
+                match S.lookup st' reg with
+                | Some (ts', _) when ts' >= ts -> ()
+                | _ ->
+                  Alcotest.failf
+                    "%s: acked entry reg=%d ts=%d lost by the crash" what
+                    reg ts)
+              !acked)
+          [ 0; 1; rec_size; (2 * rec_size) + 7; 1000 ]
+      done)
+    [ (4, 0); (4, 8); (5, 0); (1, 0) ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end crash-point matrix: a durable simulated cluster, replica
    0's disk torn at every append ordinal (tearing the write and
    killing the process as one event), run to quiescence on the
@@ -231,10 +360,10 @@ let check_clean ~what (o : R.outcome) =
   Alcotest.(check bool) (what ^ ": fastcheck atomic") true o.R.fastcheck_ok;
   Alcotest.(check int) (what ^ ": all ops completed") o.R.expected o.R.completed
 
-let sim_crash_point_matrix ?snapshot_every () =
+let sim_crash_point_matrix ?snapshot_every ?group_commit () =
   (* probe: how many appends does replica 0's disk see crash-free? *)
   let build () =
-    R.build ?snapshot_every ~replicas:3 ~seed:7 ~init:0
+    R.build ?snapshot_every ?group_commit ~replicas:3 ~seed:7 ~init:0
       ~processes:matrix_processes ()
   in
   let probe = build () in
@@ -272,6 +401,15 @@ let sim_crash_points_snapshotting () =
   (* same matrix with snapshots every 2 appends, so tears land between
      install and the next append too *)
   sim_crash_point_matrix ~snapshot_every:2 ()
+
+let sim_crash_points_group_commit () =
+  (* same matrix with group commit on every replica: each disk write
+     is now a coalesced batch, the tear lands inside one, and acks
+     wait for batch durability — the fold of the disk must still
+     explain the restarted replica *)
+  sim_crash_point_matrix
+    ~group_commit:{ S.batch_max = 4; flush_every = 0.002 }
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Amnesia semantics of the cluster                                    *)
@@ -502,9 +640,18 @@ let suite =
     tc "crash-point matrix: every append ordinal, pure store"
       crash_point_matrix;
     tc "disk plays dead after a tear" post_tear_writes_ignored;
+    tc "group commit: batch boundaries, eager apply, lagging durability"
+      group_commit_batches;
+    tc "group commit: sync append still durable on return"
+      group_commit_sync_append_flushes;
+    tc "group commit: on_durable marker" group_commit_on_durable;
+    tc "crash-point matrix: group-commit batch boundaries"
+      group_commit_crash_matrix;
     tc "crash-point matrix: end-to-end cluster" sim_crash_points;
     tc "crash-point matrix: end-to-end, snapshots crossing"
       sim_crash_points_snapshotting;
+    tc "crash-point matrix: end-to-end, group commit"
+      sim_crash_points_group_commit;
     tc "amnesia restart recovers from the WAL" durable_amnesia_recovers;
     tc "amnesia restart without durability forgets" volatile_amnesia_forgets;
     tc "plain crash is a pause" plain_crash_keeps_state;

@@ -243,6 +243,57 @@ let snapshot_truncations_fail_closed () =
   | exception S.Corrupt _ -> ()
   | _ -> Alcotest.fail "well-framed junk snapshot opened"
 
+let fuzz_group_commit_prefix () =
+  (* a group-commit store ships ONE backend write per batch — the
+     concatenated records of its members — and those bytes must be
+     indistinguishable from sync appends: same WAL, and truncation at
+     any byte still recovers exactly the ts-guarded prefix fold *)
+  let rng = Random.State.make [| 0x5708 |] in
+  for i = 1 to 200 do
+    let n = 1 + Random.State.int rng 30 in
+    let bm = 1 + Random.State.int rng 8 in
+    let entries = workload rng n in
+    let be0, wal_ref = backend_of_bytes "" in
+    let writes = ref 0 in
+    let be =
+      {
+        be0 with
+        S.append_wal =
+          (fun s ->
+            incr writes;
+            be0.S.append_wal s);
+      }
+    in
+    let st =
+      S.create ~group_commit:{ S.batch_max = bm; flush_every = 0.0 } be
+    in
+    let acked = ref 0 in
+    List.iter (fun e -> S.append_async st e ~k:(fun () -> incr acked)) entries;
+    S.flush st;
+    if !acked <> n then
+      Alcotest.failf "iteration %d: %d of %d ops acked" i !acked n;
+    let expect_writes = (n + bm - 1) / bm in
+    Alcotest.(check int)
+      (Fmt.str "iteration %d (n=%d bm=%d): one backend write per batch" i n
+         bm)
+      expect_writes !writes;
+    if !wal_ref <> wal_of entries then
+      Alcotest.failf
+        "iteration %d: batched WAL bytes differ from sync appends" i;
+    let wal = !wal_ref in
+    let rec_size = String.length wal / n in
+    let cut = Random.State.int rng (String.length wal + 1) in
+    let st' = S.create (fst (backend_of_bytes (String.sub wal 0 cut))) in
+    let whole = cut / rec_size in
+    if
+      S.contents st'
+      <> fold_entries (List.filteri (fun j _ -> j < whole) entries)
+    then
+      Alcotest.failf
+        "iteration %d: batched WAL cut at byte %d is not the prefix fold" i
+        cut
+  done
+
 let wal_decode_failure_is_corrupt () =
   (* a checksummed WAL record that is not an entry means the file was
      written by something else entirely: that is Corrupt, not a torn
@@ -263,6 +314,8 @@ let suite =
     tc "fuzz: bit flips never extend the prefix" fuzz_bitflip_prefix;
     tc "fuzz: recovery = ts-guarded prefix fold, file repaired"
       fuzz_recovery_is_prefix;
+    tc "fuzz: group-commit batches are sync bytes, cut anywhere"
+      fuzz_group_commit_prefix;
     tc "snapshot: every bit flip fails closed" snapshot_bitflips_fail_closed;
     tc "snapshot: every truncation fails closed"
       snapshot_truncations_fail_closed;
