@@ -716,6 +716,175 @@ let bench_net_shard () =
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
+(* net-socket: the multicore epoll runtime — worker domains x shards x *)
+(* client batch over real sockets, served by a Server_pool with corked *)
+(* cores and emit-coalescing replicas.  BENCH_008.json tracks this;    *)
+(* the shards x batch points of BENCH_003.json (threads runtime, no    *)
+(* pool, no coalescing) are the baseline it is compared against.       *)
+
+let pool_run_once ?(nkeys = 0) ?(window = 32) ?group_commit ~domains ~shards
+    ~batch_max () =
+    let net = Net.Socket_net.create () in
+    let metrics = Net.Socket_net.metrics net in
+    let tr = Net.Socket_net.transport net in
+    let replica_nodes = [ 0; 1; 2 ] in
+    List.iter
+      (fun r ->
+        let rep = Net.Replica.create ~init:0 () in
+        Net.Socket_net.listen net r (fun ~src msg ->
+            (* coalesce a handler turn's emits into one frame per
+               peer: a corked quorum burst costs one reply frame *)
+            let by_dst = Hashtbl.create 4 in
+            List.iter
+              (fun (dst, m) ->
+                match Hashtbl.find_opt by_dst dst with
+                | Some l -> l := m :: !l
+                | None -> Hashtbl.add by_dst dst (ref [ m ]))
+              (Net.Replica.handle rep ~src msg);
+            Hashtbl.iter
+              (fun dst l ->
+                match List.rev !l with
+                | [ m ] -> tr.Net.Transport.send ~src:r ~dst m
+                | msgs ->
+                  tr.Net.Transport.send ~src:r ~dst (Net.Wire.Batch msgs))
+              by_dst))
+      replica_nodes;
+    (* durable variant: each worker gets its own wts store on real
+       files with group commit — the fsync stalls are what worker
+       domains overlap with execution, even on one hardware thread *)
+    let data_dir =
+      Option.map
+        (fun _ ->
+          let f = Filename.temp_file "bench_pool" "" in
+          Sys.remove f;
+          f)
+        group_commit
+    in
+    let storage d =
+      match (data_dir, group_commit) with
+      | Some dir, Some g ->
+        Some
+          (Net.Storage.create ~snapshot_every:4096
+             ~group_commit:
+               { Net.Storage.batch_max = g; flush_every = 0.0005 }
+             (Net.Storage.file_backend ~fsync:true
+                ~dir:(Filename.concat dir ("server-d" ^ string_of_int d))
+                ()))
+      | _ -> None
+    in
+    let pool =
+      Net.Server_pool.create ~transport:tr ~audit:true ~metrics ~storage
+        ~map:(Net.Shard_map.create ~shards ()) ~domains
+        ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
+    in
+    Net.Socket_net.listen net Net.Transport.server (fun ~src msg ->
+        Net.Server_pool.dispatch pool ~src msg);
+    let nkeys = if nkeys > 0 then nkeys else max shards 1 in
+    let processes =
+      Harness.Workload.unique_scripts
+        { Harness.Workload.writers = 2; readers = 2; writes_each = 2400;
+          reads_each = 2400 }
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.map
+        (fun { Registers.Vm.proc; script } ->
+          Thread.create
+            (fun () ->
+              let c =
+                Net.Client.connect ~net ~server:Net.Transport.server
+                  ~batch_max ~proc ()
+              in
+              ignore
+                (Net.Client.run_keyed ~window c
+                   (List.mapi (fun i op -> (i mod nkeys, op)) script));
+              Net.Client.close c)
+            ())
+        processes
+    in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Net.Server_pool.stop pool;
+    let served = Net.Server_pool.ops_served pool in
+    let clean = Net.Server_pool.violations pool = [] in
+    let rtt = Net.Metrics.(summarise (histogram metrics "client_rtt")) in
+    Net.Socket_net.shutdown net;
+    Option.iter
+      (fun dir ->
+        let rec rm p =
+          if Sys.is_directory p then begin
+            Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+            Sys.rmdir p
+          end
+          else Sys.remove p
+        in
+        if Sys.file_exists dir then rm dir)
+      data_dir;
+    (float_of_int served /. dt, served, clean, rtt)
+
+let bench_net_socket_pool () =
+  section "net-socket - multicore epoll runtime: domains x shards x batch";
+  Fmt.pr
+    "  socket transport (epoll runtime), 3 replicas, 4 clients, 9600 ops,@.";
+  Fmt.pr
+    "  window 64, 16 keys per shard, best of 3 (host: %d hardware thread%s):@."
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  List.iter
+    (fun (domains, shards, batch_max, group_commit) ->
+      (* wall-clock runs on a shared machine are noisy: keep the best
+         of three — the least-interfered run is the honest cost *)
+      let best = ref None in
+      for _ = 1 to 3 do
+        let ((ops_s, _, _, _) as r) =
+          pool_run_once ~nkeys:(16 * shards) ~window:64 ?group_commit
+            ~domains ~shards ~batch_max ()
+        in
+        match !best with
+        | Some (b, _, _, _) when b >= ops_s -> ()
+        | _ -> best := Some r
+      done;
+      let ops_s, served, clean, rtt = Option.get !best in
+      let us x = x *. 1e6 in
+      let dur =
+        match group_commit with
+        | None -> ""
+        | Some g -> Fmt.str " fsync gc %d" g
+      in
+      let pre =
+        Fmt.str "socket domains %d shards %d batch %d%s" domains shards
+          batch_max dur
+      in
+      Json.metric ~section:"net-socket" (pre ^ " ops per s") ops_s;
+      Json.metric ~section:"net-socket" (pre ^ " rtt p50 us")
+        (us rtt.Net.Metrics.p50);
+      Json.metric ~section:"net-socket" (pre ^ " rtt p99 us")
+        (us rtt.Net.Metrics.p99);
+      Fmt.pr
+        "    domains %d shards %2d batch %2d%-12s: %5d ops -> %8.0f ops/s, \
+         rtt p50 %6.0f us p99 %6.0f us%s@."
+        domains shards batch_max dur served ops_s
+        (us rtt.Net.Metrics.p50) (us rtt.Net.Metrics.p99)
+        (if clean then "" else "  [AUDIT VIOLATION!]"))
+    [
+      (* in-memory series: the BENCH_003 socket section (threads
+         runtime, no pool, no coalescing) peaked at 3.7k ops/s *)
+      (1, 1, 1, None);
+      (1, 4, 1, None);
+      (1, 4, 32, None);
+      (1, 8, 32, None);
+      (2, 8, 32, None);
+      (4, 8, 32, None);
+      (* durable series: per-worker wts stores on real files with
+         fsync, group commit 32 — what the batch fast path feeds *)
+      (1, 8, 32, Some 32);
+      (4, 8, 32, Some 32);
+    ];
+  Json.metric ~section:"net-socket" "host hardware threads"
+    (float_of_int (Domain.recommended_domain_count ()));
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
 (* net/metrics: the observability layer's own view of the service —    *)
 (* per-op message complexity and per-phase latency percentiles, from   *)
 (* the Metrics registry rather than ad-hoc timing.                     *)
@@ -1379,6 +1548,7 @@ let all_sections =
     ("snapshot", bench_snapshot);
     ("net", bench_net);
     ("net-shard", bench_net_shard);
+    ("net-socket", bench_net_socket_pool);
     ("net-metrics", bench_net_metrics);
     ("net-explore", bench_net_explore);
     ("net-recovery", bench_net_recovery);

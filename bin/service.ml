@@ -86,7 +86,7 @@ let run_sim engine seed replicas shards readers writes reads drop dup window
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
 let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
-    ?(group_commit = 0) ?(flush_us = 500) () =
+    ?(group_commit = 0) ?(flush_us = 500) ?(domains = 1) () =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
@@ -119,11 +119,38 @@ let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
             ?storage:(storage_for ("replica" ^ string_of_int r))
             ()
         in
+        (* outbound coalescing: a handler (or flush) turn's emits are
+           buffered per destination and shipped as one Batch frame per
+           peer when the turn ends — a quorum burst from a corked
+           server costs the replica one reply frame, not one per ack.
+           Handler and timer callbacks of a node are serialized by the
+           transport, so the buffer needs no lock. *)
+        let obuf : (Net.Transport.node, Net.Wire.msg list ref) Hashtbl.t =
+          Hashtbl.create 7
+        in
+        let emit (dst, m) =
+          match Hashtbl.find_opt obuf dst with
+          | Some l -> l := m :: !l
+          | None -> Hashtbl.add obuf dst (ref [ m ])
+        in
+        let ship () =
+          let items =
+            Hashtbl.fold (fun dst l acc -> (dst, List.rev !l) :: acc) obuf []
+          in
+          Hashtbl.reset obuf;
+          List.iter
+            (fun (dst, msgs) ->
+              match msgs with
+              | [ m ] -> tr.Net.Transport.send ~src:r ~dst m
+              | msgs -> tr.Net.Transport.send ~src:r ~dst (Net.Wire.Batch msgs))
+            items
+        in
         (* group-commit flush driver: when a handled message leaves
            entries pending, arm one flush timer per deadline (the timer
-           callback and the handler both run under the node's handler
-           mutex, so the armed flag is race-free).  A zero deadline
-           flushes before the handler turn ends. *)
+           callback and the handler are serialized per node, so the
+           armed flag is race-free).  A zero deadline flushes before
+           the handler turn ends.  A deadline flush releases deferred
+           acks through [emit], so it ships the buffer too. *)
         let flush_armed = ref false in
         let rec drive () =
           match Net.Replica.storage rep with
@@ -135,26 +162,35 @@ let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
               tr.Net.Transport.set_timer ~node:r ~delay:d (fun () ->
                   flush_armed := false;
                   Net.Storage.flush st;
-                  drive ())
+                  drive ();
+                  ship ())
             end
           | _ -> ()
         in
         Net.Socket_net.listen net r (fun ~src msg ->
-            Net.Replica.handle_emit rep ~src
-              ~emit:(fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
-              msg;
-            drive ());
+            Net.Replica.handle_emit rep ~src ~emit msg;
+            drive ();
+            ship ());
         (r, rep))
       replica_nodes
   in
-  let server =
-    Net.Server.create ~transport:tr ~audit ~metrics
-      ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
-      ?storage:(storage_for "server")
-      ~map:(Net.Shard_map.create ~shards ())
-      ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
+  (* the server side: one Server core per worker domain behind a
+     Server_pool.  Each worker owns the shards congruent to its index
+     and (durably) its own store — server-d<i> — so a durable service
+     must be restarted with the same --domains. *)
+  let server_store d =
+    storage_for
+      (if domains <= 1 then "server" else "server-d" ^ string_of_int d)
   in
-  Net.Socket_net.listen net Net.Transport.server (Net.Server.on_message server);
+  let pool =
+    Net.Server_pool.create ~transport:tr ~audit ~metrics
+      ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
+      ~storage:server_store
+      ~map:(Net.Shard_map.create ~shards ())
+      ~domains ~me:Net.Transport.server ~replicas:replica_nodes ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (fun ~src msg ->
+      Net.Server_pool.dispatch pool ~src msg);
   (* engine negotiation: tell every replica which protocol this service
      instance speaks (recorded, surfaced by stats/debugging) *)
   List.iter
@@ -162,7 +198,7 @@ let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
       tr.Net.Transport.send ~src:Net.Transport.server ~dst:r
         (Net.Wire.Engine_hello { engine = Net.Engine.kind_code engine }))
     replica_nodes;
-  (server, reps)
+  (pool, reps)
 
 let run_socket_workload net ~window ~nkeys processes =
   let threads =
@@ -188,7 +224,7 @@ let run_socket_workload net ~window ~nkeys processes =
 (* smoke                                                               *)
 
 let run_smoke engine shards readers writes reads seed data_dir group_commit
-    flush_us show_metrics =
+    flush_us domains loop show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -197,19 +233,22 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
   let nkeys = max 1 shards in
   (* --- socket transport --- *)
   Fmt.pr
-    "== socket transport (Unix-domain, %d replicas, %d shard%s, %s engine%s, \
-     crash 1) ==@."
+    "== socket transport (Unix-domain, %d replicas, %d shard%s, %d domain%s, \
+     %s runtime, %s engine%s, crash 1) ==@."
     3 shards
     (if shards = 1 then "" else "s")
+    domains
+    (if domains = 1 then "" else "s")
+    (match loop with Net.Socket_net.Epoll -> "epoll" | Net.Socket_net.Threads -> "threads")
     (Engine_cli.name engine)
     (if group_commit > 1 then
        Fmt.str ", group commit %d/%dus" group_commit flush_us
      else "");
-  let net = Net.Socket_net.create () in
+  let net = Net.Socket_net.create ~runtime:loop () in
   let metrics = Net.Socket_net.metrics net in
-  let server, reps =
+  let pool, reps =
     start_cluster net ~engine ~replicas:3 ~shards ~audit:true ?data_dir
-      ~group_commit ~flush_us ()
+      ~group_commit ~flush_us ~domains ()
   in
   let killer =
     Thread.create
@@ -228,9 +267,12 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
     (fun (_, rep) ->
       Option.iter Net.Storage.flush (Net.Replica.storage rep))
     reps;
-  let keyed = Net.Server.keyed_history server in
-  let violations = Net.Server.violations server in
-  let served = Net.Server.ops_served server in
+  (* join the worker domains before reading their histories: the pool's
+     aggregate accessors want a quiescent pool *)
+  Net.Server_pool.stop pool;
+  let keyed = Net.Server_pool.keyed_history pool in
+  let violations = Net.Server_pool.violations pool in
+  let served = Net.Server_pool.ops_served pool in
   Net.Socket_net.shutdown net;
   let decode_errors = Net.Metrics.get metrics "decode_errors" in
   let mon =
@@ -311,17 +353,19 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
 (* serve / client                                                      *)
 
 let run_serve dir engine replicas shards audit data_dir group_commit flush_us
-    show_metrics =
-  let net = Net.Socket_net.create ~dir () in
-  let _server, reps =
+    domains loop show_metrics =
+  let net = Net.Socket_net.create ~runtime:loop ~dir () in
+  let _pool, reps =
     start_cluster net ~engine ~replicas ~shards ~audit ?data_dir ~group_commit
-      ~flush_us ()
+      ~flush_us ~domains ()
   in
   Fmt.pr
-    "serving the two-writer keyspace in %s (%d replicas, %d shard%s, %s \
-     engine%s)@."
+    "serving the two-writer keyspace in %s (%d replicas, %d shard%s, %d \
+     worker domain%s, %s engine%s)@."
     dir replicas shards
     (if shards = 1 then "" else "s")
+    domains
+    (if domains = 1 then "" else "s")
     (Engine_cli.name engine)
     (match data_dir with
      | None -> ", volatile"
@@ -507,6 +551,28 @@ let flush_us_arg =
                  after its first append.  0 commits at the end of \
                  every handled message.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Server worker domains: the keyspace's shards are \
+                 partitioned $(docv) ways (shard mod $(docv)) and each \
+                 partition is served by its own OCaml domain with its \
+                 own engines and monitors — and, with --data-dir, its \
+                 own store (server-d<i>), so restart a durable service \
+                 with the same $(docv).")
+
+let loop_arg =
+  let rt =
+    Arg.enum
+      [ ("epoll", Net.Socket_net.Epoll); ("threads", Net.Socket_net.Threads) ]
+  in
+  Arg.(value & opt rt Net.Socket_net.Epoll
+       & info [ "loop" ] ~docv:"RUNTIME"
+           ~doc:"Socket runtime: $(b,epoll) drives non-blocking \
+                 sockets from readiness event loops (the default); \
+                 $(b,threads) is the legacy blocking-I/O runtime, one \
+                 thread per connection and per timer.")
+
 let sim_cmd =
   let replicas =
     Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.")
@@ -549,7 +615,7 @@ let smoke_cmd =
        ~doc:"Serve a workload over both transports; audit + re-check")
     Term.(const run_smoke $ Engine_cli.term $ shards $ readers $ writes
           $ reads $ seed $ data_dir $ group_commit_arg $ flush_us_arg
-          $ metrics_flag)
+          $ domains_arg $ loop_arg $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -566,7 +632,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
     Term.(const run_serve $ dir_arg $ Engine_cli.term $ replicas $ shards
-          $ audit $ data_dir $ group_commit_arg $ flush_us_arg $ metrics_flag)
+          $ audit $ data_dir $ group_commit_arg $ flush_us_arg $ domains_arg
+          $ loop_arg $ metrics_flag)
 
 let client_cmd =
   let proc =

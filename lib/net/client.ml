@@ -134,15 +134,30 @@ let req t op =
   seq
 
 let await t seq =
-  (* everything queued must be on the wire before we block on it *)
-  flush t;
-  Mutex.protect t.mu (fun () ->
-      while not (Hashtbl.mem t.completed seq) do
-        Condition.wait t.cond t.mu
-      done;
-      let r = Hashtbl.find t.completed seq in
-      Hashtbl.remove t.completed seq;
-      r)
+  (* fast path: a reply that already arrived costs no flush — ops
+     queued by a pipelining caller keep accumulating into one batch
+     frame instead of trickling out one Req per frame.  Only when we
+     actually have to block must everything queued (including [seq]'s
+     own Req) be on the wire first. *)
+  let done_already =
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.completed seq with
+        | Some r ->
+          Hashtbl.remove t.completed seq;
+          Some r
+        | None -> None)
+  in
+  match done_already with
+  | Some r -> r
+  | None ->
+    flush t;
+    Mutex.protect t.mu (fun () ->
+        while not (Hashtbl.mem t.completed seq) do
+          Condition.wait t.cond t.mu
+        done;
+        let r = Hashtbl.find t.completed seq in
+        Hashtbl.remove t.completed seq;
+        r)
 
 let read_k t ~key =
   match await t (req t (Wire.Read_k { key })) with

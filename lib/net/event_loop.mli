@@ -1,0 +1,84 @@
+(** A readiness-driven event loop with an epoll-shaped interface.
+
+    One loop owns a set of file descriptors and a timer queue and runs
+    on a single dedicated thread ({!run}); every callback — readability,
+    writability, timer expiry, {!post}ed closure — executes on that
+    thread, so state touched only from callbacks of one loop needs no
+    locking.  That structural serialization is what {!Socket_net}'s
+    epoll runtime builds its per-node handler discipline on.
+
+    The portable backend is [Unix.select] (the OCaml standard library
+    exposes neither [epoll] nor [poll]); the interface is deliberately
+    epoll-shaped — registration-based, level-triggered readiness,
+    writability armed only while there is pending output — so a real
+    [epoll]/[kqueue] backend can slot in without touching callers.
+    The fd sets this repo drives (a few dozen Unix-domain sockets per
+    process) are far below [select]'s limits.
+
+    All mutating operations ({!add_read}, {!set_write}, {!remove_fd},
+    {!after}, {!post}, {!stop}) are thread-safe and may be called from
+    any thread, including from callbacks running on the loop itself; a
+    wakeup pipe nudges a sleeping [select] whenever the interest set,
+    the timer queue or the post queue changes. *)
+
+type t
+
+val create : ?on_error:(exn -> unit) -> unit -> t
+(** A fresh loop (not yet running).  Allocates the wakeup pipe.
+    [on_error] (default: swallow) observes exceptions escaping a
+    callback — one broken handler must not tear down the transport
+    thread, so the loop catches, reports and keeps going. *)
+
+val run : t -> unit
+(** Run the loop on the calling thread until {!stop}: drain posted
+    closures, fire due timers, [select] on the current interest set,
+    dispatch ready callbacks.  Returns once stopped; at most one
+    {!run} may be active per loop. *)
+
+val stop : t -> unit
+(** Ask the loop to exit; idempotent, callable from any thread (the
+    wakeup pipe interrupts a sleeping [select]).  Closures already
+    posted but not yet drained are discarded; registered fds are left
+    open — the owner closes them after joining the loop thread. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Enqueue a closure to run on the loop thread before the next
+    [select].  The cross-thread submission primitive: transports use
+    it to move fd teardown onto the loop, worker domains could use it
+    to hand results back. *)
+
+val in_loop : t -> bool
+(** Whether the calling thread is the one inside {!run} — lets an
+    operation run a cleanup inline when already on the loop instead of
+    posting it. *)
+
+val add_read : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Register (or replace) the readability callback of a descriptor.
+    Level-triggered: the callback keeps firing while the fd stays
+    readable, so it must read to [EAGAIN] (or remove itself). *)
+
+val set_write : t -> Unix.file_descr -> (unit -> unit) option -> unit
+(** Arm ([Some cb]) or disarm ([None]) the writability callback of a
+    descriptor.  Writability is near-permanent on a healthy socket, so
+    keep it armed only while output is actually queued — the epoll
+    discipline.  Disarming an unknown fd is a no-op. *)
+
+val remove_fd : t -> Unix.file_descr -> unit
+(** Forget both callbacks of a descriptor.  Does {e not} close it.
+    Close a registered fd only from the loop thread (inline in a
+    callback or via {!post}) after removing it, or a concurrent
+    [select] may see a stale descriptor. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** Schedule a one-shot timer [delay] seconds from now (non-negative;
+    [0.] fires on the next iteration).  Timers are kept in a min-heap
+    and fire on the loop thread in deadline order; a due timer fires
+    before fd callbacks of the same iteration.  There is no cancel —
+    layer guards (like {!Socket_net}'s endpoint-incarnation check) on
+    top, which is also what a cancelling wrapper would do. *)
+
+val fds : t -> int
+(** Number of registered descriptors — observability for tests. *)
+
+val pending_timers : t -> int
+(** Number of armed timers — observability for tests. *)

@@ -19,8 +19,14 @@ type session = {
 }
 
 type t = {
-  tr : Transport.t;
+  tr : Transport.t;  (* the corked wrapper when [cork], else [base] *)
+  base : Transport.t;
   me : Transport.node;
+  owns : int -> bool;
+  presequenced : bool;
+  cork : bool;
+  cork_depth : int ref;
+  cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t;
   registry : Registry.t;
   sessions : (Transport.node, session) Hashtbl.t;
   audit : bool;
@@ -51,19 +57,99 @@ let monitor_of t key =
     Hashtbl.replace t.monitors key m;
     m
 
+(* Ship a corked destination's buffered messages, batching whenever
+   there is more than one.  Chunked well under both the decoder's
+   [Wire.max_batch] and [Wire.max_frame]. *)
+let cork_chunk = 2048
+
+let flush_cork t =
+  if Hashtbl.length t.cork_buf > 0 then begin
+    let items =
+      Hashtbl.fold (fun dst l acc -> (dst, List.rev !l) :: acc) t.cork_buf []
+    in
+    Hashtbl.reset t.cork_buf;
+    List.iter
+      (fun (dst, msgs) ->
+        let rec ship = function
+          | [] -> ()
+          | [ m ] -> t.base.Transport.send ~src:t.me ~dst m
+          | ms ->
+            let rec take n acc = function
+              | rest when n = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | m :: rest -> take (n - 1) (m :: acc) rest
+            in
+            let chunk, rest = take cork_chunk [] ms in
+            t.base.Transport.send ~src:t.me ~dst (Wire.Batch chunk);
+            ship rest
+        in
+        ship msgs)
+      items
+  end
+
+let with_cork t f =
+  if not t.cork then f ()
+  else begin
+    incr t.cork_depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr t.cork_depth;
+        if !(t.cork_depth) = 0 then flush_cork t)
+      f
+  end
+
 let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
-    ?read_quorum ?storage ?metrics ?trace ?map ~me ~replicas ~init () =
+    ?read_quorum ?storage ?metrics ?trace ?map ?(cork = false)
+    ?(presequenced = false) ?owns ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
   in
+  let owns = match owns with Some f -> f | None -> fun _ -> true in
+  let cork_depth = ref 0 in
+  let cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* Corked transport: while a turn is open, sends accumulate per
+     destination and go out as one [Wire.Batch] frame per peer when
+     the outermost cork closes — one syscall instead of one per
+     quorum message.  Timer callbacks get their own cork so resend
+     fan-outs and deferred flush acks coalesce too.  [self] ties the
+     recursive knot (the wrapper needs the [t] it is a field of). *)
+  let self = ref None in
+  let wrapped =
+    if not cork then transport
+    else
+      {
+        transport with
+        Transport.send =
+          (fun ~src ~dst msg ->
+            if !cork_depth = 0 then transport.Transport.send ~src ~dst msg
+            else
+              match Hashtbl.find_opt cork_buf dst with
+              | Some l -> l := msg :: !l
+              | None -> Hashtbl.replace cork_buf dst (ref [ msg ]));
+        set_timer =
+          (fun ~node ~delay f ->
+            transport.Transport.set_timer ~node ~delay (fun () ->
+                match !self with
+                | Some t -> with_cork t f
+                | None -> f ()));
+      }
+  in
   let t =
     {
-    tr = transport;
+    tr = wrapped;
+    base = transport;
     me;
+    owns;
+    presequenced;
+    cork;
+    cork_depth;
+    cork_buf;
     registry =
-      Registry.create ~transport ~me ~replicas ~map ?engine ?read_quorum
-        ?storage ~metrics ();
+      Registry.create ~transport:wrapped ~me ~replicas ~map ?engine
+        ?read_quorum ?storage ~metrics ();
     sessions = Hashtbl.create 16;
     audit;
     init;
@@ -103,7 +189,7 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
        let by_key = Hashtbl.create 8 in
        List.iter
          (fun (reg, (_ts, pl)) ->
-           if reg >= 0 then begin
+           if reg >= 0 && owns (Shard_map.key_of_reg reg) then begin
              let key = Shard_map.key_of_reg reg in
              let role = reg land 1 in
              let prev =
@@ -239,7 +325,10 @@ let rec start_next t s key =
          reject ())
 
 let admit t s =
-  (* collect the newly in-order ops, then kick each touched key once *)
+  (* collect the newly in-order ops, then kick each touched key once;
+     sequence numbers advance over every in-order arrival, but only
+     owned keys are queued — under a worker pool each worker sees the
+     whole session stream and executes exactly its own share *)
   let touched = ref [] in
   let continue = ref true in
   while !continue do
@@ -247,8 +336,10 @@ let admit t s =
     | Some op ->
       Hashtbl.remove s.stash s.next_seq;
       let key = key_of_op op in
-      Queue.add (s.next_seq, op) (queue_of s key);
-      if not (List.mem key !touched) then touched := key :: !touched;
+      if t.owns key then begin
+        Queue.add (s.next_seq, op) (queue_of s key);
+        if not (List.mem key !touched) then touched := key :: !touched
+      end;
       s.next_seq <- s.next_seq + 1
     | None -> continue := false
   done;
@@ -290,6 +381,19 @@ let rec on_message_inner t ~src msg =
       }
   | Wire.Req { seq; op } ->
     (match Hashtbl.find_opt t.sessions src with
+     | Some s when t.presequenced ->
+       (* the router upstream already delivers each session's ops in
+          sequence order and sends us only the ops we own: queue
+          directly, no stash — sequence numbers may legitimately skip
+          over the ops other cores own *)
+       if seq >= s.next_seq then begin
+         s.next_seq <- seq + 1;
+         let key = key_of_op op in
+         if t.owns key then begin
+           Queue.add (seq, op) (queue_of s key);
+           start_next t s key
+         end
+       end
      | Some s when seq >= s.next_seq ->
        Hashtbl.replace s.stash seq op;
        admit t s
@@ -316,8 +420,9 @@ let rec on_message_inner t ~src msg =
   | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _ -> ()
 
 let on_message t ~src msg =
-  on_message_inner t ~src msg;
-  drive_flush t
+  with_cork t (fun () ->
+      on_message_inner t ~src msg;
+      drive_flush t)
 
 let keyed_history t = List.rev_map (fun (_, kev) -> kev) t.events_rev
 let history t = List.rev_map (fun (_, (_, ev)) -> ev) t.events_rev
@@ -332,6 +437,7 @@ let keys t =
   List.sort_uniq compare (List.rev_map (fun (_, (k, _)) -> k) t.events_rev)
 
 let timed_history t = List.rev_map (fun (time, (_, ev)) -> (time, ev)) t.events_rev
+let timed_keyed_history t = List.rev t.events_rev
 let violations t = List.rev t.violations_rev
 
 let violation t =

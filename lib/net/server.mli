@@ -48,6 +48,9 @@ val create :
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?map:Shard_map.t ->
+  ?cork:bool ->
+  ?presequenced:bool ->
+  ?owns:(int -> bool) ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -81,6 +84,32 @@ val create :
     shard owning every key) fixes the key → shard → replica-group
     placement for the server's lifetime.
 
+    [cork] (default [false]) coalesces outbound messages: while a
+    handler turn (an {!on_message} call, a timer callback, or an
+    explicit {!with_cork} section) is open, every send the server and
+    its engines make is buffered per destination and shipped as one
+    {!Wire.msg.Batch} frame per peer when the turn closes — the
+    fan-out of a whole client batch costs one frame per replica
+    instead of one per quorum message.  Leave it off for the
+    deterministic simulator (it changes message granularity, hence
+    schedules).  [owns] (default: every key) filters execution: the
+    server only queues and executes operations on keys it owns, the
+    partitioning lever {!Server_pool} uses to split one keyspace
+    across worker domains.  Monitor seeding from recovered [storage]
+    is filtered the same way.
+
+    [presequenced] (default [false]) declares that whoever feeds
+    {!on_message} delivers each session's requests in sequence-number
+    order and sends this core only the operations it owns.  Admission
+    then skips the reordering stash entirely: each in-order request is
+    queued on its key directly, and sequence numbers are allowed to
+    skip over the ops other cores own.  {!Server_pool.dispatch} is
+    such a feeder (a session's stream is one reliable socket, and the
+    router preserves per-source order), letting it point-route
+    requests instead of broadcasting every request to every worker.
+    Leave it off when the core sees the raw client stream — there the
+    stash is what reorders a lossy or multi-path delivery.
+
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]
     invoke-to-respond histogram, one [shard<i>_ops] counter per shard,
@@ -91,6 +120,12 @@ val create :
     appended to the ring, tagged with its key.  Does not block. *)
 
 val metrics : t -> Metrics.t
+
+val key_of_op : Wire.op -> int
+(** The register key a client operation addresses — the legacy unkeyed
+    [Read]/[Write] are the key-0 register.  This is the op → key
+    mapping admission and execution use; a router that point-routes
+    requests (see [presequenced]) must agree with it. *)
 
 val registry : t -> Registry.t
 (** The shard engines — for tests and stats. *)
@@ -125,6 +160,19 @@ val keys : t -> int list
 val timed_history : t -> (float * int Histories.Event.t) list
 (** All events with the transport-clock instant of each — latency
     distributions are derived from this. *)
+
+val timed_keyed_history :
+  t -> (float * (int * int Histories.Event.t)) list
+(** {!keyed_history} with the transport-clock instant of each event —
+    what {!Server_pool} merges across workers by time. *)
+
+val with_cork : t -> (unit -> unit) -> unit
+(** Run [f] as one coalescing turn: with [cork] on, sends buffered
+    anywhere inside [f] (including nested {!on_message} calls) are
+    flushed as per-destination batches when the outermost section
+    closes.  A worker draining its whole inbox under one cork is how a
+    multi-message burst becomes a single frame per peer.  Without
+    [cork] this is just [f ()]. *)
 
 val violation : t -> int Histories.Fastcheck.violation option
 (** First atomicity violation caught by any key's live audit, if

@@ -1,0 +1,184 @@
+(* Per-shard worker domains around Server cores.  See the .mli for
+   the routing and ownership story; the invariants that matter here:
+
+   - a worker's core is touched only by its domain (plus read-only
+     aggregate accessors on a quiescent pool);
+   - Hello/Bye broadcast to every worker (session open/close is
+     per-core state); requests point-route to the worker owning the
+     op's key — cores run presequenced, so nobody else needs to see
+     them — and quorum replies point-route to the owning worker;
+   - each worker drains its queue in bursts under one cork so the
+     whole burst's sends coalesce into per-destination batches. *)
+
+type item = Msg of Transport.node * Wire.msg | Fn of (unit -> unit)
+
+type worker = {
+  core : Server.t;
+  mu : Mutex.t;
+  cv : Condition.t;
+  q : item Queue.t;
+  mutable stopping : bool;
+  mutable dom : unit Domain.t option;
+}
+
+type t = {
+  workers : worker array;
+  map : Shard_map.t;
+  nd : int;
+  metrics : Metrics.t;
+}
+
+let push w item =
+  Mutex.lock w.mu;
+  Queue.add item w.q;
+  Condition.signal w.cv;
+  Mutex.unlock w.mu
+
+let worker_loop w =
+  let batch = Queue.create () in
+  let running = ref true in
+  while !running do
+    Mutex.lock w.mu;
+    while Queue.is_empty w.q && not w.stopping do
+      Condition.wait w.cv w.mu
+    done;
+    Queue.transfer w.q batch;
+    if Queue.is_empty batch && w.stopping then running := false;
+    Mutex.unlock w.mu;
+    if not (Queue.is_empty batch) then begin
+      (* one cork over the whole burst: every reply and quorum message
+         this drain produces leaves as one frame per destination *)
+      Server.with_cork w.core (fun () ->
+          Queue.iter
+            (function
+              | Msg (src, msg) -> Server.on_message w.core ~src msg
+              | Fn f -> f ())
+            batch);
+      Queue.clear batch
+    end
+  done
+
+let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
+    ?metrics ?trace ?map ?(cork = true) ?(domains = 1) ~me ~replicas ~init () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let map =
+    match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
+  in
+  let nd = max 1 domains in
+  let storage = match storage with Some f -> f | None -> fun _ -> None in
+  let make d =
+    (* the core's timers must run on its own domain, not on the
+       transport's timer thread: re-route each callback through the
+       worker queue ([wref] ties the knot) *)
+    let wref = ref None in
+    let wt =
+      {
+        transport with
+        Transport.set_timer =
+          (fun ~node ~delay f ->
+            transport.Transport.set_timer ~node ~delay (fun () ->
+                match !wref with Some w -> push w (Fn f) | None -> f ()));
+      }
+    in
+    let owns key = Shard_map.shard_of_key map key mod nd = d in
+    let core =
+      Server.create ~transport:wt ?audit ?resend_every ?engine ?read_quorum
+        ?storage:(storage d) ~metrics ?trace ~map ~cork ~presequenced:true
+        ~owns ~me ~replicas ~init ()
+    in
+    let w =
+      { core; mu = Mutex.create (); cv = Condition.create ();
+        q = Queue.create (); stopping = false; dom = None }
+    in
+    wref := Some w;
+    w
+  in
+  let workers = Array.init nd make in
+  Array.iter
+    (fun w -> w.dom <- Some (Domain.spawn (fun () -> worker_loop w)))
+    workers;
+  { workers; map; nd; metrics }
+
+let domains t = t.nd
+let cores t = Array.map (fun w -> w.core) t.workers
+let metrics t = t.metrics
+let shards t = Shard_map.shards t.map
+let engine_spec t = Server.engine_spec t.workers.(0).core
+let worker_of_key t key = Shard_map.shard_of_key t.map key mod t.nd
+
+(* Partition one inbound frame into at most one enqueue per worker: a
+   Batch of K messages costs K pushes (and K worker wake-ups) if
+   forwarded item by item, but one re-wrapped Batch per worker if
+   partitioned here — and the receiving core then runs the whole
+   sub-batch under a single cork turn. *)
+let dispatch t ~src msg =
+  let buckets = Array.make t.nd [] in
+  let one w m = buckets.(w) <- m :: buckets.(w) in
+  let all m =
+    for w = 0 to t.nd - 1 do
+      one w m
+    done
+  in
+  let rec go m =
+    match m with
+    | Wire.Batch msgs -> List.iter go msgs
+    | Wire.Hello _ | Wire.Bye -> all m
+    | Wire.Req { op; _ } ->
+      (* point-route by key owner: cores run presequenced (this thread
+         preserves each session's arrival order), so no other worker
+         needs to see the op at all *)
+      one (worker_of_key t (Server.key_of_op op)) m
+    | Wire.Query_reply { reg; _ } | Wire.Store_ack { reg; _ } ->
+      if reg >= 0 then one (worker_of_key t (Shard_map.key_of_reg reg)) m
+    | Wire.Ack2 { lid; _ } | Wire.Query2_reply { lid; _ } ->
+      if lid >= 0 then one (lid mod t.nd) m
+    | Wire.Stats_req _ -> one 0 m
+    | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _
+    | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _ -> ()
+  in
+  go msg;
+  Array.iteri
+    (fun w ms ->
+      match List.rev ms with
+      | [] -> ()
+      | [ m ] -> push t.workers.(w) (Msg (src, m))
+      | ms -> push t.workers.(w) (Msg (src, Wire.Batch ms)))
+    buckets
+
+let stop t =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.mu;
+      w.stopping <- true;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.mu)
+    t.workers;
+  Array.iter
+    (fun w ->
+      match w.dom with
+      | Some d ->
+        Domain.join d;
+        w.dom <- None
+      | None -> ())
+    t.workers
+
+let sum f t = Array.fold_left (fun acc w -> acc + f w.core) 0 t.workers
+let ops_served t = sum Server.ops_served t
+let rejected t = sum Server.rejected t
+
+let violations t =
+  Array.to_list t.workers
+  |> List.concat_map (fun w -> Server.violations w.core)
+
+let timed_keyed t =
+  Array.to_list t.workers
+  |> List.concat_map (fun w -> Server.timed_keyed_history w.core)
+  |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+
+let keyed_history t = List.map snd (timed_keyed t)
+let history t = List.map (fun (_, (_, ev)) -> ev) (timed_keyed t)
+
+let quorum_stats t =
+  Array.fold_left
+    (fun acc w -> Engine.add_stats acc (Server.quorum_stats w.core))
+    Engine.zero_stats t.workers

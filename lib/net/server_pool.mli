@@ -1,0 +1,118 @@
+(** A multicore front-end: one {!Server} core per worker domain, one
+    shared keyspace.
+
+    The pool owns [domains] OCaml 5 [Domain]s, each running an
+    ordinary {!Server} whose [owns] predicate selects the shards
+    assigned to it ([shard mod domains] — the {!Shard_map} placement
+    already spreads keys uniformly, so workers load-balance for free).
+    {!dispatch} is the single entry point the transport handler calls:
+    it routes each message to the worker(s) that need it through
+    per-worker mutex-striped handoff queues, and every worker drains
+    its queue in bursts under one {!Server.with_cork} section — a
+    burst of same-shard operations from one client [Batch] frame
+    becomes a single engine pass whose quorum fan-out leaves as one
+    frame per replica, feeding a group-commit store at real batch
+    depth.
+
+    {b Routing.}  Session boundaries ([Hello]/[Bye]) go to {e every}
+    worker — opening and closing a session is per-core state.
+    Requests point-route to the single worker owning the op's key:
+    {!dispatch} runs on one transport thread and preserves each
+    session's arrival order, so the cores run with
+    {!Server.create}[?presequenced] and never need the rest of the
+    stream (sequence numbers skip over the ops other workers own).
+    Quorum replies are point-routed by their register
+    ([Query_reply]/[Store_ack]) or link id ([Ack2]/[Query2_reply]) to
+    the owning worker; [Stats_req] is answered by worker 0 out of the
+    shared metrics registry.  A [Batch] frame is partitioned into at
+    most one (re-batched) enqueue per worker, so a K-message frame
+    costs O(workers) queue handoffs, not O(K).
+
+    {b Ownership and audits.}  Worker state never crosses domains:
+    each worker has its own engines, sessions, monitors and (if
+    configured) its own store.  The shared {!Metrics.t} is safe by
+    construction (atomic counters, locked histograms).  The per-key
+    monitors therefore audit exactly as in the single-core server —
+    a key's whole history lives on one worker — and the pool-level
+    accessors merge the per-worker views ({!keyed_history} by
+    transport-clock time, {!violations} by concatenation).
+
+    Aggregate accessors read worker state without stopping the pool;
+    call them on a quiescent pool (workload drained, or after
+    {!stop}) for exact numbers. *)
+
+type t
+
+val create :
+  transport:Transport.t ->
+  ?audit:bool ->
+  ?resend_every:float ->
+  ?engine:Engine.spec ->
+  ?read_quorum:int ->
+  ?storage:(int -> Storage.t option) ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?map:Shard_map.t ->
+  ?cork:bool ->
+  ?domains:int ->
+  me:Transport.node ->
+  replicas:Transport.node list ->
+  init:int ->
+  unit ->
+  t
+(** Build the cores and spawn the worker domains.  Parameters are
+    {!Server.create}'s with three differences: [domains] (default 1)
+    is the worker count; [cork] (default [true]) enables per-burst
+    send coalescing in every core; [storage] maps a worker index to
+    that worker's private store — stores must be {e per-domain} (the
+    group-commit queue completes on the appending domain), so a
+    durable pool persists under [dir/server-d<i>] and must be
+    restarted with the same [domains] to recover every shard's
+    timestamps.  Timer callbacks of each core are re-routed into its
+    worker queue, so cores never execute on a transport thread. *)
+
+val dispatch : t -> src:Transport.node -> Wire.msg -> unit
+(** Feed one incoming frame (possibly a [Batch]).  Thread-safe; called
+    from the transport's handler.  Enqueues and returns — execution
+    happens on the worker domains. *)
+
+val stop : t -> unit
+(** Drain and join every worker domain.  In-flight bursts finish;
+    idempotent. *)
+
+val domains : t -> int
+(** The worker count the pool was built with. *)
+
+val cores : t -> Server.t array
+(** The per-worker cores, index = worker — for tests. *)
+
+val metrics : t -> Metrics.t
+(** The shared metrics registry every core reports into. *)
+
+val shards : t -> int
+(** Shard count of the pool's {!Shard_map}. *)
+
+val engine_spec : t -> Engine.spec
+(** The engine spec every shard runs. *)
+
+val ops_served : t -> int
+(** Total operations answered, summed over workers. *)
+
+val rejected : t -> int
+(** Total operations refused without execution, summed over
+    workers. *)
+
+val violations : t -> (int * int Histories.Fastcheck.violation) list
+(** First latched violation of each offending key across all workers.
+    Empty iff every per-key audit accepts. *)
+
+val keyed_history : t -> (int * int Histories.Event.t) list
+(** The merged keyed history of every worker, ordered by
+    transport-clock time — what the post-hoc per-key checker
+    consumes. *)
+
+val history : t -> int Histories.Event.t list
+(** {!keyed_history} without the key tags. *)
+
+val quorum_stats : t -> Engine.stats
+(** Aggregate engine counters over every worker's shards. *)

@@ -137,6 +137,11 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
           if d <= 0.0 then Storage.flush st
           else
             tr.Transport.set_timer ~node:r ~delay:d (fun () ->
+                (* physical-equality incarnation guard: after an
+                   amnesia restart the cell holds a fresh replica and
+                   this timer must not flush the old one's queue.
+                   Socket_net applies the same guard to endpoint
+                   re-listens (Transport.set_timer's contract). *)
                 if incarnations.(r) == rep then begin
                   Storage.flush st;
                   arm_flush rep

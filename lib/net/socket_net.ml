@@ -1,14 +1,60 @@
+(* Unix-domain socket transport with two runtimes.
+
+   [Epoll] (the default): non-blocking sockets driven by one or more
+   {!Event_loop}s.  Each endpoint (listening node) is pinned to one
+   loop; its accepts, reads, handler invocations and timer callbacks
+   all run on that loop's thread, which is what serializes a node's
+   handlers — no per-node lock on the hot path.  Outbound connections
+   write inline from the sending thread and fall back to a per-
+   connection pending queue drained on writability when the kernel
+   buffer fills (EAGAIN), so a slow peer never blocks a sender.
+
+   [Threads]: the legacy thread-per-connection runtime (blocking
+   sockets, per-node handler mutex, one thread per timer), kept for
+   comparison benchmarks and as a fallback — select [--loop threads]
+   in bin/service.
+
+   Both runtimes share the connection table, the lossy-send contract
+   (drop rather than stall), the retry-once-on-fresh-connection
+   discipline, and the timer incarnation guard: a timer captures its
+   node's endpoint at arm time and fires only if that very endpoint
+   value (physical equality) is still registered and not stopped. *)
+
+type runtime = Threads | Epoll
+
 type endpoint = {
   node : int;
   lfd : Unix.file_descr;
-  hmu : Mutex.t;  (* serializes handler + timer callbacks for the node *)
+  hmu : Mutex.t;  (* Threads runtime: serializes handler + timers *)
   handler : src:int -> Wire.msg -> unit;
   stopped : bool Atomic.t;
+  mutable lclosed : bool;  (* [lfd] closed; guarded by [t.mu] *)
+  ep_loop : Event_loop.t option;  (* Epoll runtime: the owning loop *)
+  mutable rconns : rconn list;  (* Epoll runtime; guarded by [t.mu] *)
 }
 
+(* One accepted inbound connection (Epoll runtime): a non-blocking fd
+   plus its frame-reassembly buffer.  Only the owning loop thread
+   touches [rbuf]/[rlen]; [rclosed] transitions under [t.mu]. *)
+and rconn = {
+  rfd : Unix.file_descr;
+  rep : endpoint;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable rclosed : bool;
+}
+
+(* Outbound connection.  [wmu] serializes writers in both runtimes; in
+   the Epoll runtime it also guards the pending-output queue shared
+   with the drain callback on [wloop]. *)
 type conn = {
   fd : Unix.file_descr;
-  wmu : Mutex.t;  (* serializes frame writes *)
+  wmu : Mutex.t;
+  outq : (Bytes.t * int ref) Queue.t;  (* (frame, bytes already sent) *)
+  mutable outq_bytes : int;
+  mutable warmed : bool;  (* writability callback armed *)
+  wloop : Event_loop.t option;
+  mutable dead : bool;
 }
 
 (* Counters and histograms interned once at [create]; hot paths touch
@@ -24,18 +70,57 @@ type ctrs = {
   conn_closed : Metrics.counter;
   conn_failed : Metrics.counter;
   conn_stall : Metrics.counter;
+  write_queued : Metrics.counter;
   timer_fires : Metrics.counter;
   timers_dropped : Metrics.counter;
   crashes : Metrics.counter;
   handler_service : Metrics.histogram;
 }
 
+(* Reusable read-buffer freelist: every inbound connection borrows one
+   [chunk]-sized buffer; buffers grown past [chunk] (oversized frames)
+   are not returned, so the pool cannot hoard. *)
+module Bufpool = struct
+  let chunk = 64 * 1024
+  let max_free = 64
+
+  type t = { mu : Mutex.t; mutable free : Bytes.t list; mutable nfree : int }
+
+  let create () = { mu = Mutex.create (); free = []; nfree = 0 }
+
+  let take p =
+    Mutex.protect p.mu (fun () ->
+        match p.free with
+        | b :: rest ->
+          p.free <- rest;
+          p.nfree <- p.nfree - 1;
+          Some b
+        | [] -> None)
+    |> function
+    | Some b -> b
+    | None -> Bytes.create chunk
+
+  let give p b =
+    if Bytes.length b = chunk then
+      Mutex.protect p.mu (fun () ->
+          if p.nfree < max_free then begin
+            p.free <- b :: p.free;
+            p.nfree <- p.nfree + 1
+          end)
+end
+
 type t = {
   dir : string;
-  mu : Mutex.t;  (* guards the tables and thread list *)
+  runtime : runtime;
+  loops : Event_loop.t array;  (* [||] in the Threads runtime *)
+  mutable loop_threads : Thread.t list;
+  mu : Mutex.t;  (* guards the tables, [rconns] lists and thread list *)
   eps : (int, endpoint) Hashtbl.t;
   conns : (int, conn) Hashtbl.t;  (* outbound, keyed by destination *)
   mutable threads : Thread.t list;
+  mutable next_loop : int;  (* round-robin endpoint → loop assignment *)
+  sndbuf : int option;
+  pool : Bufpool.t;
   closed : bool Atomic.t;
   metrics : Metrics.t;
   trace : Trace.t option;
@@ -45,6 +130,15 @@ type t = {
 let poll_period = 0.05
 let max_frame = Wire.max_frame
 let connect_timeout = 1.0
+
+(* Cap on bytes queued behind one stalled connection before further
+   frames to it are counted drops: the transport is lossy by contract,
+   and unbounded queues would just turn backpressure into memory. *)
+let out_cap = 8 * 1024 * 1024
+
+(* Per-readability-callback read budget, so one firehose peer cannot
+   starve the other connections sharing its loop. *)
+let read_budget = 256 * 1024
 
 let fresh_dir () =
   let base = Filename.get_temp_dir_name () in
@@ -59,7 +153,7 @@ let fresh_dir () =
   in
   go 0
 
-let create ?dir ?metrics ?trace () =
+let create ?(runtime = Epoll) ?(loops = 1) ?dir ?sndbuf ?metrics ?trace () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let dir =
     match dir with
@@ -81,34 +175,227 @@ let create ?dir ?metrics ?trace () =
       conn_closed = Metrics.counter metrics "conn_closed";
       conn_failed = Metrics.counter metrics "conn_failed";
       conn_stall = Metrics.counter metrics "conn_stall";
+      write_queued = Metrics.counter metrics "write_queued";
       timer_fires = Metrics.counter metrics "timer_fires";
       timers_dropped = Metrics.counter metrics "timers_dropped";
       crashes = Metrics.counter metrics "crashes";
       handler_service = Metrics.histogram metrics "handler_service";
     }
   in
-  {
-    dir;
-    mu = Mutex.create ();
-    eps = Hashtbl.create 8;
-    conns = Hashtbl.create 8;
-    threads = [];
-    closed = Atomic.make false;
-    metrics;
-    trace;
-    c;
-  }
+  let loop_arr =
+    match runtime with
+    | Threads -> [||]
+    | Epoll -> Array.init (max 1 loops) (fun _ -> Event_loop.create ())
+  in
+  let t =
+    {
+      dir;
+      runtime;
+      loops = loop_arr;
+      loop_threads = [];
+      mu = Mutex.create ();
+      eps = Hashtbl.create 8;
+      conns = Hashtbl.create 8;
+      threads = [];
+      next_loop = 0;
+      sndbuf;
+      pool = Bufpool.create ();
+      closed = Atomic.make false;
+      metrics;
+      trace;
+      c;
+    }
+  in
+  t.loop_threads <-
+    Array.to_list (Array.map (fun l -> Thread.create Event_loop.run l) loop_arr);
+  t
 
 let dir t = t.dir
 let metrics t = t.metrics
+let runtime t = t.runtime
 let path t node = Filename.concat t.dir (Fmt.str "n%d.sock" node)
 
-let trace_ev t kind =
+(* [mk] is forced only when tracing is on: the event payloads
+   pretty-print whole messages (a Batch formats every sub-message),
+   which must cost nothing on the untraced hot path. *)
+let trace_ev t mk =
   match t.trace with
   | None -> ()
-  | Some tr -> Trace.record tr ~time:(Unix.gettimeofday ()) kind
+  | Some tr -> Trace.record tr ~time:(Unix.gettimeofday ()) (mk ())
 
 let add_thread t th = Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
+
+let le32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+(* ------------------------------------------------------------------ *)
+(* Epoll runtime: inbound path                                         *)
+
+let close_rconn t rc =
+  let doit =
+    Mutex.protect t.mu (fun () ->
+        if rc.rclosed then false
+        else begin
+          rc.rclosed <- true;
+          rc.rep.rconns <- List.filter (fun o -> o != rc) rc.rep.rconns;
+          true
+        end)
+  in
+  if doit then begin
+    (match rc.rep.ep_loop with
+     | Some l -> Event_loop.remove_fd l rc.rfd
+     | None -> ());
+    (try Unix.close rc.rfd with Unix.Unix_error _ -> ());
+    Bufpool.give t.pool rc.rbuf
+  end
+
+let deliver t rc ~src msg =
+  let ep = rc.rep in
+  trace_ev t (fun () ->
+      Trace.Deliver { src; dst = ep.node; info = Fmt.str "%a" Wire.pp msg });
+  if not (Atomic.get ep.stopped) then begin
+    let t0 = Unix.gettimeofday () in
+    ep.handler ~src msg;
+    Metrics.observe t.c.handler_service (Unix.gettimeofday () -. t0)
+  end
+
+(* Peel every complete frame out of the reassembly buffer; the body is
+   copied exactly once (buffer → decode string).  A partial frame that
+   cannot fit in the remaining capacity compacts (and if needed grows)
+   the buffer so the read loop always has room to make progress.
+
+   Consecutive frames from the same source that surface in one parse
+   turn are handed to the handler as a single [Wire.Batch]: one
+   readiness event then costs one handler turn, and a receiver that
+   coalesces its replies per turn (replicas, corked server cores)
+   answers a whole read burst with one frame per destination instead
+   of one per inbound frame.  With several worker domains multiplying
+   the quorum frame count this is what keeps the syscall budget flat. *)
+let parse_frames t rc =
+  let pend_rev = ref [] (* decoded msgs of the current turn, newest first *)
+  and pend_n = ref 0
+  and pend_src = ref min_int in
+  let flush_turn () =
+    (match !pend_rev with
+     | [] -> ()
+     | [ m ] -> deliver t rc ~src:!pend_src m
+     | ms -> deliver t rc ~src:!pend_src (Wire.Batch (List.rev ms)));
+    pend_rev := [];
+    pend_n := 0
+  in
+  let off = ref 0 in
+  let continue = ref true in
+  while !continue && not rc.rclosed do
+    let avail = rc.rlen - !off in
+    if avail < Wire.header_size then continue := false
+    else begin
+      let blen = le32 rc.rbuf !off in
+      if blen < 0 || blen > max_frame then begin
+        (* corrupt length: the stream can no longer be trusted *)
+        Metrics.incr t.c.decode_errors;
+        flush_turn ();
+        close_rconn t rc
+      end
+      else if avail < Wire.header_size + blen then begin
+        let needed = Wire.header_size + blen in
+        if Bytes.length rc.rbuf - !off < needed then begin
+          Bytes.blit rc.rbuf !off rc.rbuf 0 avail;
+          rc.rlen <- avail;
+          off := 0;
+          if Bytes.length rc.rbuf < needed then begin
+            let nb = Bytes.create needed in
+            Bytes.blit rc.rbuf 0 nb 0 rc.rlen;
+            rc.rbuf <- nb
+          end
+        end;
+        continue := false
+      end
+      else begin
+        let src = le32 rc.rbuf (!off + 4) in
+        let body =
+          Bytes.sub_string rc.rbuf (!off + Wire.header_size) blen
+        in
+        off := !off + Wire.header_size + blen;
+        match Wire.decode body with
+        | Error _ ->
+          Metrics.incr t.c.decode_errors;
+          flush_turn ();
+          close_rconn t rc
+        | Ok msg ->
+          Metrics.incr t.c.frames_delivered;
+          if src <> !pend_src then flush_turn ();
+          pend_src := src;
+          pend_rev := msg :: !pend_rev;
+          incr pend_n;
+          (* keep turn batches well under the wire batch cap, and the
+             latency of the first op in a burst bounded *)
+          if !pend_n >= 1024 then flush_turn ()
+      end
+    end
+  done;
+  flush_turn ();
+  if (not rc.rclosed) && !off > 0 then begin
+    let rest = rc.rlen - !off in
+    if rest > 0 then Bytes.blit rc.rbuf !off rc.rbuf 0 rest;
+    rc.rlen <- rest
+  end
+
+let on_readable t rc () =
+  let budget = ref read_budget in
+  let continue = ref true in
+  while !continue && not rc.rclosed do
+    if rc.rlen = Bytes.length rc.rbuf then begin
+      (* full buffer with no complete frame: mid-frame — grow *)
+      let nb = Bytes.create (2 * Bytes.length rc.rbuf) in
+      Bytes.blit rc.rbuf 0 nb 0 rc.rlen;
+      rc.rbuf <- nb
+    end;
+    match
+      Unix.read rc.rfd rc.rbuf rc.rlen (Bytes.length rc.rbuf - rc.rlen)
+    with
+    | 0 ->
+      close_rconn t rc;
+      continue := false
+    | n ->
+      rc.rlen <- rc.rlen + n;
+      budget := !budget - n;
+      parse_frames t rc;
+      if !budget <= 0 then continue := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+      close_rconn t rc;
+      continue := false
+  done
+
+let on_acceptable t ep loop () =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ep.lfd with
+    | cfd, _ ->
+      Unix.set_nonblock cfd;
+      let rc =
+        { rfd = cfd; rep = ep; rbuf = Bufpool.take t.pool; rlen = 0;
+          rclosed = false }
+      in
+      let stopped =
+        Mutex.protect t.mu (fun () ->
+            if Atomic.get ep.stopped then true
+            else begin
+              ep.rconns <- rc :: ep.rconns;
+              false
+            end)
+      in
+      if stopped then (try Unix.close cfd with Unix.Unix_error _ -> ())
+      else Event_loop.add_read loop cfd (fun () -> on_readable t rc ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Threads runtime: inbound path (legacy)                              *)
 
 (* Read exactly [len] bytes, polling so the thread notices [stopped]
    without relying on close() interrupting a blocked read.  EINTR from
@@ -155,9 +442,9 @@ let recv_loop t ep cfd =
             continue := false
           | Ok msg ->
             Metrics.incr t.c.frames_delivered;
-            trace_ev t
-              (Trace.Deliver
-                 { src; dst = ep.node; info = Fmt.str "%a" Wire.pp msg });
+            trace_ev t (fun () ->
+                Trace.Deliver
+                  { src; dst = ep.node; info = Fmt.str "%a" Wire.pp msg });
             Mutex.protect ep.hmu (fun () ->
                 if not (Atomic.get ep.stopped) then begin
                   let t0 = Unix.gettimeofday () in
@@ -186,24 +473,60 @@ let accept_loop t ep =
   done;
   try Unix.close ep.lfd with Unix.Unix_error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Listen                                                              *)
+
 let listen t node handler =
   let p = path t node in
   (try Unix.unlink p with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX p);
   Unix.listen lfd 64;
-  let ep = { node; lfd; hmu = Mutex.create (); handler; stopped = Atomic.make false } in
-  Mutex.protect t.mu (fun () -> Hashtbl.replace t.eps node ep);
-  add_thread t (Thread.create (fun () -> accept_loop t ep) ())
+  match t.runtime with
+  | Threads ->
+    let ep =
+      { node; lfd; hmu = Mutex.create (); handler;
+        stopped = Atomic.make false; lclosed = false; ep_loop = None;
+        rconns = [] }
+    in
+    Mutex.protect t.mu (fun () -> Hashtbl.replace t.eps node ep);
+    add_thread t (Thread.create (fun () -> accept_loop t ep) ())
+  | Epoll ->
+    Unix.set_nonblock lfd;
+    let loop =
+      Mutex.protect t.mu (fun () ->
+          let l = t.loops.(t.next_loop mod Array.length t.loops) in
+          t.next_loop <- t.next_loop + 1;
+          l)
+    in
+    let ep =
+      { node; lfd; hmu = Mutex.create (); handler;
+        stopped = Atomic.make false; lclosed = false; ep_loop = Some loop;
+        rconns = [] }
+    in
+    Mutex.protect t.mu (fun () -> Hashtbl.replace t.eps node ep);
+    Event_loop.add_read loop lfd (fun () -> on_acceptable t ep loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Outbound connections                                                *)
 
 let drop_conn t dst =
-  Mutex.protect t.mu (fun () ->
-      match Hashtbl.find_opt t.conns dst with
-      | Some c ->
-        Hashtbl.remove t.conns dst;
-        Metrics.incr t.c.conn_closed;
-        (try Unix.close c.fd with Unix.Unix_error _ -> ())
-      | None -> ())
+  match
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.conns dst with
+        | Some c ->
+          Hashtbl.remove t.conns dst;
+          Metrics.incr t.c.conn_closed;
+          Some c
+        | None -> None)
+  with
+  | None -> ()
+  | Some c ->
+    Mutex.protect c.wmu (fun () -> c.dead <- true);
+    (match c.wloop with
+     | Some l -> Event_loop.remove_fd l c.fd
+     | None -> ());
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
 (* Connect without ever blocking the caller for long: the socket is
    non-blocking, and a connection that cannot complete within
@@ -212,13 +535,22 @@ let drop_conn t dst =
    [conn_stall].  Crucially this runs with NO lock held. *)
 let try_connect t dst =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* test hook: a tiny send buffer forces the short-write/EAGAIN path
+     that production only hits under real congestion *)
+  (match t.sndbuf with
+   | Some n -> (try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+                with Unix.Unix_error _ -> ())
+   | None -> ());
   let close_quietly () = try Unix.close fd with Unix.Unix_error _ -> () in
+  let keep_nonblock () =
+    match t.runtime with Threads -> Unix.clear_nonblock fd | Epoll -> ()
+  in
   match
     Unix.set_nonblock fd;
     Unix.connect fd (Unix.ADDR_UNIX (path t dst))
   with
   | () ->
-    Unix.clear_nonblock fd;
+    keep_nonblock ();
     Some fd
   | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
     (* not the documented Unix-domain behaviour, but cheap to handle:
@@ -227,7 +559,7 @@ let try_connect t dst =
      | _, [ _ ], _ ->
        (match Unix.getsockopt_error fd with
         | None ->
-          Unix.clear_nonblock fd;
+          keep_nonblock ();
           Some fd
         | Some _ ->
           close_quietly ();
@@ -269,17 +601,36 @@ let get_conn t dst =
              (try Unix.close fd with Unix.Unix_error _ -> ());
              Some winner
            | None ->
-             let c = { fd; wmu = Mutex.create () } in
+             let wloop =
+               match t.runtime with
+               | Threads -> None
+               | Epoll -> Some t.loops.(dst mod Array.length t.loops)
+             in
+             let c =
+               { fd; wmu = Mutex.create (); outq = Queue.create ();
+                 outq_bytes = 0; warmed = false; wloop; dead = false }
+             in
              Hashtbl.replace t.conns dst c;
              Metrics.incr t.c.conn_opened;
              Some c))
 
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
 (* Like Storage's write loop: EINTR means a signal landed mid-write,
    not that the peer failed — retry, or a stray signal tears a frame
-   in half on the wire and the receiver counts a decode error. *)
+   in half on the wire and the receiver counts a decode error.  EAGAIN
+   (a non-blocking fd, or a blocking one on some kernels under memory
+   pressure) waits for writability instead of hot-spinning — the
+   uniform backpressure discipline of the Threads runtime. *)
 let rec write_retry fd b off len =
-  try Unix.write fd b off len
-  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
+  try Unix.write fd b off len with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (match Unix.select [] [ fd ] [] poll_period with
+     | _ -> ()
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    write_retry fd b off len
 
 let write_all fd b =
   let n = Bytes.length b in
@@ -288,27 +639,141 @@ let write_all fd b =
     sent := !sent + write_retry fd b !sent (n - !sent)
   done
 
+(* Non-blocking write attempt: bytes written, or [-1] on EAGAIN. *)
+let rec write_nb fd b off len =
+  match Unix.write fd b off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_nb fd b off len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+
+(* Drain the pending queue on writability (loop thread, [wmu] held).
+   Raises on a real write error — the caller tears the conn down. *)
+let rec drain_locked c =
+  match Queue.peek_opt c.outq with
+  | None ->
+    if c.warmed then begin
+      (match c.wloop with
+       | Some l -> Event_loop.set_write l c.fd None
+       | None -> ());
+      c.warmed <- false
+    end
+  | Some (b, off) ->
+    let len = Bytes.length b - !off in
+    (match write_nb c.fd b !off len with
+     | -1 -> ()  (* still blocked: stay armed *)
+     | n when n = len ->
+       ignore (Queue.pop c.outq);
+       c.outq_bytes <- c.outq_bytes - n;
+       drain_locked c
+     | n ->
+       off := !off + n;
+       c.outq_bytes <- c.outq_bytes - n)
+
+let rec drain_cb t dst c () =
+  let failed =
+    Mutex.protect c.wmu (fun () ->
+        if c.dead then false
+        else
+          try
+            drain_locked c;
+            false
+          with Unix.Unix_error _ | Sys_error _ ->
+            c.dead <- true;
+            true)
+  in
+  if failed then begin
+    (* forget the route (next send reconnects) and release the fd —
+       we are on the owning loop thread, so closing here is safe *)
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.conns dst with
+        | Some cur when cur == c ->
+          Hashtbl.remove t.conns dst;
+          Metrics.incr t.c.conn_closed
+        | _ -> ());
+    (match c.wloop with
+     | Some l -> Event_loop.remove_fd l c.fd
+     | None -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+and arm_write t dst c =
+  (* [wmu] held *)
+  if not c.warmed then begin
+    c.warmed <- true;
+    match c.wloop with
+    | Some l -> Event_loop.set_write l c.fd (Some (drain_cb t dst c))
+    | None -> ()
+  end
+
+(* One frame out on the Epoll runtime: inline non-blocking write when
+   nothing is queued; on a short write the remainder is queued and the
+   writability callback takes over.  The frame bytes are shared with
+   the queue — never copied. *)
+let epoll_conn_write t dst c frame =
+  Mutex.protect c.wmu (fun () ->
+      if c.dead then `Fail
+      else begin
+        let len = Bytes.length frame in
+        if c.outq_bytes > 0 then
+          if c.outq_bytes + len > out_cap then `Backpressure
+          else begin
+            Queue.add (frame, ref 0) c.outq;
+            c.outq_bytes <- c.outq_bytes + len;
+            `Ok
+          end
+        else begin
+          let rec go off =
+            if off >= len then `Ok
+            else
+              match write_nb c.fd frame off (len - off) with
+              | -1 ->
+                Queue.add (frame, ref off) c.outq;
+                c.outq_bytes <- c.outq_bytes + (len - off);
+                Metrics.incr t.c.write_queued;
+                arm_write t dst c;
+                `Ok
+              | n -> go (off + n)
+          in
+          try go 0
+          with Unix.Unix_error _ | Sys_error _ ->
+            c.dead <- true;
+            `Fail
+        end
+      end)
+
+let conn_write t dst c frame =
+  match t.runtime with
+  | Epoll -> epoll_conn_write t dst c frame
+  | Threads -> (
+    try
+      Mutex.protect c.wmu (fun () -> write_all c.fd frame);
+      `Ok
+    with Unix.Unix_error _ | Sys_error _ -> `Fail)
+
 let send t ~src ~dst msg =
   match Wire.frame ~src msg with
   | exception Invalid_argument _ ->
     (* over [Wire.max_frame]: surfaced as a counted drop rather than a
        truncated header the receiver would choke on *)
     Metrics.incr t.c.frames_oversized;
-    trace_ev t (Trace.Drop { src; dst; reason = "oversized" })
+    trace_ev t (fun () -> Trace.Drop { src; dst; reason = "oversized" })
   | frame ->
     Metrics.incr t.c.frames_sent;
-    let write_to c = Mutex.protect c.wmu (fun () -> write_all c.fd frame) in
     let dropped reason =
       Metrics.incr t.c.frames_dropped;
-      trace_ev t (Trace.Drop { src; dst; reason })
+      trace_ev t (fun () -> Trace.Drop { src; dst; reason })
+    in
+    let sent () =
+      trace_ev t (fun () ->
+          Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg })
     in
     (match get_conn t dst with
      | None -> dropped "no-conn"  (* dead or absent peer: lossy by contract *)
      | Some c ->
-       (try
-          write_to c;
-          trace_ev t (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg })
-        with Unix.Unix_error _ | Sys_error _ ->
+       (match conn_write t dst c frame with
+        | `Ok -> sent ()
+        | `Backpressure -> dropped "backpressure"
+        | `Fail ->
           (* the peer may have restarted behind our cached connection
              (e.g. a client re-run with the same processor id): retry
              once on a fresh connection before giving the frame up *)
@@ -317,33 +782,62 @@ let send t ~src ~dst msg =
           (match get_conn t dst with
            | None -> dropped "no-conn"
            | Some c ->
-             (try
-                write_to c;
-                trace_ev t
-                  (Trace.Send { src; dst; info = Fmt.str "%a" Wire.pp msg })
-              with Unix.Unix_error _ | Sys_error _ ->
+             (match conn_write t dst c frame with
+              | `Ok -> sent ()
+              | `Backpressure -> dropped "backpressure"
+              | `Fail ->
                 drop_conn t dst;
                 dropped "write-failed"))))
 
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+
+(* The incarnation guard shared by both runtimes (the counterpart of
+   Sim_run's [incarnations.(r) == rep] check): the endpoint value
+   captured when the timer was armed must still be the registered one,
+   and alive, at fire time — a node that was unlistened, crashed, or
+   replaced by a re-listen between arm and fire can never observe the
+   stale callback.  [armed = None] (the node was not registered at arm
+   time) always drops: firing [f] would race it against a later
+   listener's handlers. *)
+let timer_fire t ~node ~armed f =
+  match armed with
+  | None -> Metrics.incr t.c.timers_dropped
+  | Some aep ->
+    let live =
+      match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
+      | Some cur -> cur == aep && not (Atomic.get aep.stopped)
+      | None -> false
+    in
+    if live then begin
+      Metrics.incr t.c.timer_fires;
+      trace_ev t (fun () -> Trace.Timer_fire { node });
+      f ()
+    end
+    else Metrics.incr t.c.timers_dropped
+
 let set_timer t ~node ~delay f =
-  add_thread t
-    (Thread.create
-       (fun () ->
-         Thread.delay delay;
-         match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
-         | Some ep ->
-           Mutex.protect ep.hmu (fun () ->
-               if not (Atomic.get ep.stopped) then begin
-                 Metrics.incr t.c.timer_fires;
-                 trace_ev t (Trace.Timer_fire { node });
-                 f ()
-               end)
-         | None ->
-           (* the node is gone (or was never registered here): firing
-              [f] anyway would race it against the node's handlers with
-              no mutex held — drop the timer instead, and count it *)
-           Metrics.incr t.c.timers_dropped)
-       ())
+  let armed = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) in
+  match t.runtime with
+  | Epoll ->
+    let loop =
+      match armed with
+      | Some { ep_loop = Some l; _ } -> l
+      | Some { ep_loop = None; _ } | None -> t.loops.(0)
+    in
+    (* scheduled on the node's own loop: the callback is serialized
+       with the node's handlers structurally *)
+    Event_loop.after loop delay (fun () -> timer_fire t ~node ~armed f)
+  | Threads ->
+    add_thread t
+      (Thread.create
+         (fun () ->
+           Thread.delay delay;
+           match armed with
+           | None -> Metrics.incr t.c.timers_dropped
+           | Some aep ->
+             Mutex.protect aep.hmu (fun () -> timer_fire t ~node ~armed f))
+         ())
 
 let transport t =
   {
@@ -352,11 +846,35 @@ let transport t =
     now = Unix.gettimeofday;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Teardown                                                            *)
+
+let stop_endpoint t ep =
+  Atomic.set ep.stopped true;
+  match ep.ep_loop with
+  | None -> ()  (* Threads runtime: accept/recv loops notice [stopped] *)
+  | Some l ->
+    let close_lfd =
+      Mutex.protect t.mu (fun () ->
+          if ep.lclosed then false
+          else begin
+            ep.lclosed <- true;
+            true
+          end)
+    in
+    if close_lfd then begin
+      Event_loop.remove_fd l ep.lfd;
+      try Unix.close ep.lfd with Unix.Unix_error _ -> ()
+    end;
+    let rcs = Mutex.protect t.mu (fun () -> ep.rconns) in
+    List.iter (fun rc -> close_rconn t rc) rcs
+
 let unlisten t node =
   (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
    | Some ep ->
      Atomic.set ep.stopped true;
-     Mutex.protect t.mu (fun () -> Hashtbl.remove t.eps node)
+     Mutex.protect t.mu (fun () -> Hashtbl.remove t.eps node);
+     stop_endpoint t ep
    | None -> ());
   (* drop our cached route so a later listener on the same node gets a
      fresh connection instead of frames sunk into the dead endpoint *)
@@ -366,15 +884,38 @@ let unlisten t node =
 let crash t node =
   (match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.eps node) with
    | Some ep ->
-     Atomic.set ep.stopped true;
-     Metrics.incr t.c.crashes
+     Metrics.incr t.c.crashes;
+     stop_endpoint t ep
    | None -> ());
   drop_conn t node
 
 let shutdown t =
   Atomic.set t.closed true;
-  let eps = Mutex.protect t.mu (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.eps []) in
+  let eps =
+    Mutex.protect t.mu (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.eps [])
+  in
   List.iter (fun ep -> Atomic.set ep.stopped true) eps;
+  (* stop the loops first so no callback races the closes below *)
+  Array.iter Event_loop.stop t.loops;
+  List.iter Thread.join t.loop_threads;
+  t.loop_threads <- [];
+  List.iter
+    (fun ep ->
+      match ep.ep_loop with
+      | None -> ()
+      | Some _ ->
+        if not ep.lclosed then begin
+          ep.lclosed <- true;
+          try Unix.close ep.lfd with Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun rc ->
+            if not rc.rclosed then begin
+              rc.rclosed <- true;
+              try Unix.close rc.rfd with Unix.Unix_error _ -> ()
+            end)
+          ep.rconns)
+    eps;
   Mutex.protect t.mu (fun () ->
       Hashtbl.iter
         (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())

@@ -1,21 +1,44 @@
 (** A real transport over Unix-domain sockets (stream, one socket per
-    node), using the [threads.posix] the repo already depends on.
+    node), with two runtimes behind one interface.
 
     Every node — replica, server, client — binds a listening socket
     [<dir>/n<id>.sock]; {!Transport.t}[.send] connects (with per-peer
     connection caching) and writes length-prefixed {!Wire} frames.
-    Each node's handler invocations are serialized by a per-node lock,
-    so the protocol state machines see the same single-threaded
-    discipline as under {!Sim_net}.  Sends to a dead or absent peer are
-    silently dropped, matching the lossy-transport contract; stream
-    sockets otherwise neither drop nor reorder, so the quorum engine's
-    retransmission timer only matters when replicas crash.
+    Sends to a dead or absent peer are silently dropped, matching the
+    lossy-transport contract; stream sockets otherwise neither drop nor
+    reorder, so the quorum engine's retransmission timer only matters
+    when replicas crash.
 
-    Sending never blocks on a sick peer: outbound connects are
-    non-blocking and bounded, run with no table lock held, and a peer
-    that is not accepting (full backlog, hung process) costs the
-    sender one counted [conn_stall] and a dropped frame instead of
-    stalling every other destination behind the connection table.
+    {b Runtimes.}  The default {!runtime.Epoll} runtime drives
+    non-blocking sockets from one or more {!Event_loop}s: each node is
+    pinned to a loop whose single thread runs its accepts, frame
+    reassembly, handler invocations and timer callbacks — the per-node
+    handler serialization is structural, with no lock on the hot path.
+    Inbound frames are reassembled in per-connection buffers leased
+    from a shared pool and a frame body is copied exactly once
+    (reassembly buffer → decode).  Outbound frames are written inline
+    from the sending thread; when the kernel buffer fills ([EAGAIN])
+    the remainder is queued (bounded by a backpressure cap, counted
+    drops beyond it) and drained by the owning loop on writability —
+    a slow peer costs its own queue, never a sender's thread.  The
+    legacy {!runtime.Threads} runtime (blocking sockets, one thread
+    per connection and per timer, per-node handler mutex) is retained
+    for comparison and as a fallback.
+
+    Sending never blocks on a sick peer in either runtime: outbound
+    connects are non-blocking and bounded, run with no table lock
+    held, and a peer that is not accepting (full backlog, hung
+    process) costs the sender one counted [conn_stall] and a dropped
+    frame instead of stalling every other destination behind the
+    connection table.
+
+    {b Timer incarnation guard.}  A transport timer captures its
+    node's endpoint registration when armed and fires only if that
+    very endpoint value — compared physically, the counterpart of
+    {!Sim_run}'s incarnation check — is still the registered, live one
+    at expiry.  A node that was {!unlisten}ed, {!crash}ed or replaced
+    by a re-{!listen} in between can never observe the stale callback;
+    such timers are counted as [timers_dropped].
 
     Multiple processes may share a [dir] (see the [serve]/[client]
     subcommands of [bin/net.exe]); a single process may equally host
@@ -23,41 +46,75 @@
 
 type t
 
-val create : ?dir:string -> ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
-(** [dir] defaults to a fresh directory under the system temp dir.
-    Ignores [SIGPIPE] process-wide (a must for socket servers).
-    [metrics] (default: a fresh, private {!Metrics.t}) receives the
-    transport's counters and its handler-service histogram — pass the
-    cluster-wide instance so one snapshot covers every layer.  With
-    [trace], every send/deliver/drop/timer event is appended to the
-    ring with its wall-clock time. *)
+type runtime =
+  | Threads  (** Legacy: blocking fds, thread per connection/timer. *)
+  | Epoll  (** Readiness loops over non-blocking fds (default). *)
+
+val create :
+  ?runtime:runtime ->
+  ?loops:int ->
+  ?dir:string ->
+  ?sndbuf:int ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  unit ->
+  t
+(** [runtime] defaults to {!runtime.Epoll}; [loops] (default 1, Epoll
+    only) is the number of event-loop threads — endpoints are assigned
+    round-robin in {!listen} order, so co-hosted replicas, server and
+    clients spread across loops.  [dir] defaults to a fresh directory
+    under the system temp dir.  Ignores [SIGPIPE] process-wide (a must
+    for socket servers).  [sndbuf] (default: the kernel's) sets
+    [SO_SNDBUF] on every outbound connection — a test hook: a tiny
+    buffer forces the short-write/EAGAIN path (frames parked on the
+    pending queue, drained on writability) that production traffic
+    only exercises under real congestion.  [metrics] (default: a fresh, private
+    {!Metrics.t}) receives the transport's counters — frame,
+    connection and timer accounting, including [write_queued]
+    (short writes parked for writability) and [decode_errors] — and
+    its handler-service histogram; pass the cluster-wide instance so
+    one snapshot covers every layer.  With [trace], every
+    send/deliver/drop/timer event is appended to the ring with its
+    wall-clock time. *)
 
 val dir : t -> string
+(** The socket directory this transport binds and connects under. *)
 
 val metrics : t -> Metrics.t
+(** The metrics registry the transport's counters are interned in. *)
+
+val runtime : t -> runtime
+(** The runtime this transport was created with. *)
 
 val path : t -> Transport.node -> string
 (** The node's socket file, [<dir>/n<id>.sock] — useful to test for a
     live peer before connecting. *)
 
 val transport : t -> Transport.t
+(** The capability record protocol layers program against. *)
 
 val listen :
   t -> Transport.node -> (src:Transport.node -> Wire.msg -> unit) -> unit
-(** Bind the node's socket and start its accept/receive threads.  The
-    handler may reentrantly use the transport. *)
+(** Bind the node's socket and start accepting.  The handler may
+    reentrantly use the transport.  Handler invocations (and the
+    node's timer callbacks) are serialized: by the endpoint's loop
+    thread under {!runtime.Epoll}, by a per-node mutex under
+    {!runtime.Threads}. *)
 
 val unlisten : t -> Transport.node -> unit
-(** Orderly stop of a node listened on this [t]: its threads wind
-    down, the cached route to it is dropped and its socket file is
+(** Orderly stop of a node listened on this [t]: its descriptors are
+    released, the cached route to it is dropped and its socket file is
     removed, so a later {!listen} on the same node id (e.g. a client
-    reconnecting with the same processor) starts clean. *)
+    reconnecting with the same processor) starts clean.  Timers armed
+    against the old incarnation are dropped by the guard, never
+    delivered to the new one. *)
 
 val crash : t -> Transport.node -> unit
-(** Stop a node listened on this [t]: its threads wind down, its
-    socket closes, subsequent sends to it are dropped — a process
-    crash as seen by the rest of the cluster. *)
+(** Stop a node listened on this [t] abruptly: its socket closes,
+    subsequent sends to it are dropped — a process crash as seen by
+    the rest of the cluster. *)
 
 val shutdown : t -> unit
-(** Crash every node, close outbound connections, join all threads and
-    remove the socket files. *)
+(** Crash every node, stop and join the event loops (or the runtime's
+    threads), close outbound connections and remove the socket
+    files. *)

@@ -143,9 +143,16 @@ val frame_record : string -> string
 (** [len][crc][payload] framing of one payload. *)
 
 val encode_entry : entry -> string
+(** One WAL entry as the byte payload of a record. *)
+
 val decode_entry : string -> entry option
+(** Total inverse of {!encode_entry}: [None] on any malformation. *)
+
 val encode_snapshot : (int * (int * Wire.payload)) list -> string
+(** A whole register state as one snapshot payload. *)
+
 val decode_snapshot : string -> (int * (int * Wire.payload)) list option
+(** Total inverse of {!encode_snapshot}: [None] on any malformation. *)
 
 type tail =
   | Clean
@@ -236,3 +243,5 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Counters since open — appends vs. the backend commit rounds they
+    coalesced into, snapshot and recovery accounting. *)

@@ -934,6 +934,315 @@ let socket_close_flushes_pending () =
 (* The tier-1 suite: pure wire/shard/replica units plus the fast
    simulator runs.  Everything that opens real sockets or sweeps many
    seeds lives in [slow_suite], run via [dune build @slow]. *)
+(* ------------------------------------------------------------------ *)
+(* Worker-domain pool and the batch fast path                          *)
+
+(* A synchronous in-process cluster: every send recurses directly into
+   the destination's handler on the calling thread, so a whole client
+   batch runs as one deterministic call tree — which makes the commit
+   accounting below exact instead of timing-dependent.  Replicas are
+   mutex-wrapped because a Server_pool calls in from several worker
+   domains. *)
+let loopback_transport ~on_server ~on_client =
+  let reps = Hashtbl.create 4 in
+  let rec send ~src ~dst msg =
+    if dst = Net.Transport.server then on_server ~src msg
+    else if dst >= 200 then on_client ~src ~dst msg
+    else begin
+      let mu, rep =
+        match Hashtbl.find_opt reps dst with
+        | Some r -> r
+        | None ->
+          let r = (Mutex.create (), Net.Replica.create ~init:0 ()) in
+          Hashtbl.replace reps dst r;
+          r
+      in
+      let emits =
+        Mutex.protect mu (fun () -> Net.Replica.handle rep ~src msg)
+      in
+      (* coalesce replies per destination, as the socket receivers do:
+         a Batch of K queries answers as one Batch of K replies, so the
+         server sees the whole round in one turn *)
+      let dsts = List.sort_uniq compare (List.map fst emits) in
+      List.iter
+        (fun dst' ->
+          match List.filter_map
+                  (fun (d, m) -> if d = dst' then Some m else None)
+                  emits
+          with
+          | [ m ] -> send ~src:dst ~dst:dst' m
+          | ms -> send ~src:dst ~dst:dst' (W.Batch ms))
+        dsts
+    end
+  in
+  {
+    Net.Transport.send;
+    (* no timers: delivery is synchronous and lossless, so resends and
+       flush deadlines have nothing to do *)
+    set_timer = (fun ~node:_ ~delay:_ _ -> ());
+    now = Unix.gettimeofday;
+  }
+
+let batch_group_commit () =
+  (* the batch fast path end to end: one client Batch of K same-shard
+     writes (distinct keys, so they run concurrently — same-key ops
+     serialize per-key and commit one by one), corked server,
+     group-commit store — the K wts appends must reach the backend as
+     ceil(K/batch_max) commits, each a full batch, not as K singleton
+     writes *)
+  let k = 32 and gc = 8 in
+  let st =
+    Net.Storage.create
+      ~group_commit:{ Net.Storage.batch_max = gc; flush_every = 0.0 }
+      (Net.Storage.mem_backend ())
+  in
+  let resps = ref 0 in
+  let server = ref None in
+  let tr =
+    loopback_transport
+      ~on_server:(fun ~src msg ->
+        match !server with
+        | Some sv -> Net.Server.on_message sv ~src msg
+        | None -> ())
+      ~on_client:(fun ~src:_ ~dst:_ msg ->
+        match msg with
+        | W.Resp _ -> incr resps
+        | W.Batch ms ->
+          List.iter (function W.Resp _ -> incr resps | _ -> ()) ms
+        | _ -> ())
+  in
+  let sv =
+    Net.Server.create ~transport:tr ~audit:true ~cork:true ~storage:st
+      ~me:Net.Transport.server ~replicas:[ 0; 1; 2 ] ~init:0 ()
+  in
+  server := Some sv;
+  let cl = Net.Transport.client 0 in
+  tr.Net.Transport.send ~src:cl ~dst:Net.Transport.server (W.Hello { proc = 0 });
+  tr.Net.Transport.send ~src:cl ~dst:Net.Transport.server
+    (W.Batch
+       (List.init k (fun i ->
+            W.Req { seq = i; op = W.Write_k { key = i; value = i + 1 } })));
+  Alcotest.(check int) "all writes served" k !resps;
+  Alcotest.(check int) "all writes acknowledged" k (Net.Server.ops_served sv);
+  let stats = Net.Storage.stats st in
+  Alcotest.(check bool)
+    (Fmt.str "commits %d <= ceil(K/batch_max) %d" stats.Net.Storage.batch_commits
+       ((k + gc - 1) / gc))
+    true
+    (stats.Net.Storage.batch_commits <= (k + gc - 1) / gc);
+  Alcotest.(check int) "commits are full batches" gc stats.Net.Storage.max_batch;
+  match Net.Server.violation sv with
+  | None -> ()
+  | Some v ->
+    Alcotest.failf "audit: %a" (Histories.Fastcheck.pp_violation Fmt.int) v
+
+let pool_mixed_shard_batch () =
+  (* one client Batch interleaving keys on every shard, dispatched to a
+     two-domain pool: every op must be served exactly once, per-session
+     per-key order must hold, and every per-key Monitor must stay clean *)
+  let shards = 4 and domains = 2 and nkeys = 8 and per_key = 6 in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let resps = ref 0 in
+  let pool = ref None in
+  let tr =
+    loopback_transport
+      ~on_server:(fun ~src msg ->
+        match !pool with
+        | Some p -> Net.Server_pool.dispatch p ~src msg
+        | None -> ())
+      ~on_client:(fun ~src:_ ~dst:_ msg ->
+        let count = function W.Resp _ -> incr resps | _ -> () in
+        (match msg with W.Batch ms -> List.iter count ms | m -> count m);
+        Mutex.protect mu (fun () -> Condition.broadcast cv))
+  in
+  let p =
+    Net.Server_pool.create ~transport:tr ~audit:true
+      ~map:(Net.Shard_map.create ~shards ()) ~domains
+      ~me:Net.Transport.server ~replicas:[ 0; 1; 2 ] ~init:0 ()
+  in
+  pool := Some p;
+  let cl = Net.Transport.client 0 in
+  tr.Net.Transport.send ~src:cl ~dst:Net.Transport.server (W.Hello { proc = 0 });
+  (* round-robin over the keys so consecutive ops always change shard *)
+  let n = nkeys * per_key in
+  tr.Net.Transport.send ~src:cl ~dst:Net.Transport.server
+    (W.Batch
+       (List.init n (fun i ->
+            let key = i mod nkeys in
+            let op =
+              if i mod 3 = 2 then W.Read_k { key }
+              else W.Write_k { key; value = i + 1 }
+            in
+            W.Req { seq = i; op })));
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  Mutex.lock mu;
+  while !resps < n && Unix.gettimeofday () < deadline do
+    Mutex.unlock mu;
+    Thread.yield ();
+    Mutex.lock mu
+  done;
+  Mutex.unlock mu;
+  tr.Net.Transport.send ~src:cl ~dst:Net.Transport.server W.Bye;
+  Net.Server_pool.stop p;
+  Alcotest.(check int) "every op answered exactly once" n !resps;
+  Alcotest.(check int) "every op served" n (Net.Server_pool.ops_served p);
+  Alcotest.(check int) "no rejects" 0 (Net.Server_pool.rejected p);
+  (match Net.Server_pool.violations p with
+   | [] -> ()
+   | (key, v) :: _ ->
+     Alcotest.failf "monitor violation on key %d: %a" key
+       (Histories.Fastcheck.pp_violation Fmt.int) v);
+  (* cross-check the merged per-key histories offline *)
+  List.iter
+    (fun key ->
+      let evs =
+        List.filter_map
+          (fun (k, ev) -> if k = key then Some ev else None)
+          (Net.Server_pool.keyed_history p)
+      in
+      match
+        Histories.Fastcheck.check_unique ~init:0
+          (Histories.Operation.of_events_exn evs)
+      with
+      | Histories.Fastcheck.Atomic _ -> ()
+      | Histories.Fastcheck.Violation v ->
+        Alcotest.failf "offline check, key %d: %a" key
+          (Histories.Fastcheck.pp_violation Fmt.int) v)
+    (List.init nkeys Fun.id)
+
+let socket_pool_domains () =
+  (* the pool over real sockets: two worker domains, sharded keyspace,
+     concurrent keyed clients — audits must stay clean and every op
+     must be answered *)
+  let shards = 4 and nkeys = 8 in
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  let replicas = [ 0; 1; 2 ] in
+  List.iter
+    (fun r ->
+      let rep = Net.Replica.create ~init:0 () in
+      Net.Socket_net.listen net r (fun ~src msg ->
+          List.iter
+            (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+            (Net.Replica.handle rep ~src msg)))
+    replicas;
+  let pool =
+    Net.Server_pool.create ~transport:tr ~audit:true
+      ~metrics:(Net.Socket_net.metrics net)
+      ~map:(Net.Shard_map.create ~shards ()) ~domains:2
+      ~me:Net.Transport.server ~replicas ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (fun ~src msg ->
+      Net.Server_pool.dispatch pool ~src msg);
+  let processes = spec ~readers:2 ~writes:20 ~reads:20 in
+  let expected =
+    List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
+      0 processes
+  in
+  let threads =
+    List.map
+      (fun { Registers.Vm.proc; script } ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server
+                ~batch_max:8 ~proc ()
+            in
+            ignore
+              (Net.Client.run_keyed ~window:8 c
+                 (List.mapi (fun i op -> (i mod nkeys, op)) script));
+            Net.Client.close c)
+          ())
+      processes
+  in
+  List.iter Thread.join threads;
+  Net.Server_pool.stop pool;
+  let served = Net.Server_pool.ops_served pool in
+  let violations = Net.Server_pool.violations pool in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check int) "all ops served" expected served;
+  match violations with
+  | [] -> ()
+  | (key, v) :: _ ->
+    Alcotest.failf "monitor violation on key %d: %a" key
+      (Histories.Fastcheck.pp_violation Fmt.int) v
+
+let socket_timer_stale_incarnation () =
+  (* the socket counterpart of Sim_run's incarnation check: a timer
+     armed against one listen incarnation must not fire into a
+     replacement endpoint registered at the same node id *)
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  Net.Socket_net.listen net 91 (fun ~src:_ _ -> ());
+  let fired = Atomic.make false in
+  tr.Net.Transport.set_timer ~node:91 ~delay:0.05 (fun () ->
+      Atomic.set fired true);
+  (* replace the endpoint between arm and fire *)
+  Net.Socket_net.unlisten net 91;
+  Net.Socket_net.listen net 91 (fun ~src:_ _ -> ());
+  Thread.delay 0.2;
+  let dropped = Net.Metrics.get (Net.Socket_net.metrics net) "timers_dropped" in
+  (* a fresh arm against the new incarnation still works *)
+  let ok = Atomic.make false in
+  tr.Net.Transport.set_timer ~node:91 ~delay:0.02 (fun () ->
+      Atomic.set ok true);
+  Thread.delay 0.2;
+  Net.Socket_net.shutdown net;
+  Alcotest.(check bool) "stale callback not fired" false (Atomic.get fired);
+  Alcotest.(check bool) "stale timer accounted as dropped" true (dropped >= 1);
+  Alcotest.(check bool) "fresh timer on the new incarnation fires" true
+    (Atomic.get ok)
+
+let socket_tiny_sndbuf () =
+  (* regression for the EAGAIN path: with a tiny SO_SNDBUF every frame
+     overflows the kernel buffer, so sends must park the remainder on
+     the pending queue ([write_queued]) and the writability callback
+     must deliver every byte in order — no drops below the cap, no
+     decode errors from interleaved partial writes *)
+  let n = 50 and width = 64 in
+  (* 64 entries x 1 KiB names = a ~66 KiB frame, legal for the decoder
+     ([max_stat_name] is 1 KiB) yet 16x SO_SNDBUF *)
+  let payload = String.make 1024 'x' in
+  let stats = List.init width (fun j -> (payload, j)) in
+  let net = Net.Socket_net.create ~sndbuf:4096 () in
+  let tr = Net.Socket_net.transport net in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let got = ref 0 and bad = ref 0 in
+  Net.Socket_net.listen net 61 (fun ~src:_ msg ->
+      let count = function
+        | W.Stats_reply { stats = s; rid }
+          when rid >= 1 && rid <= n
+               && List.length s = width
+               && List.for_all (fun (nm, _) -> nm = payload) s ->
+          incr got
+        | _ -> incr bad
+      in
+      (match msg with W.Batch ms -> List.iter count ms | m -> count m);
+      Mutex.protect mu (fun () -> Condition.broadcast cv));
+  for i = 1 to n do
+    tr.Net.Transport.send ~src:60 ~dst:61 (W.Stats_reply { rid = i; stats })
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  Mutex.lock mu;
+  while !got < n && Unix.gettimeofday () < deadline do
+    Mutex.unlock mu;
+    Thread.delay 0.01;
+    Mutex.lock mu
+  done;
+  Mutex.unlock mu;
+  let m = Net.Socket_net.metrics net in
+  let queued = Net.Metrics.get m "write_queued" in
+  let decode_errors = Net.Metrics.get m "decode_errors" in
+  let dropped = Net.Metrics.get m "frames_dropped" in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check int) "all frames delivered" n !got;
+  Alcotest.(check int) "no mangled frames" 0 !bad;
+  Alcotest.(check int) "no decode errors" 0 decode_errors;
+  Alcotest.(check int) "no drops below the queue cap" 0 dropped;
+  Alcotest.(check bool)
+    (Fmt.str "short writes parked on the queue (saw %d)" queued)
+    true (queued >= 1)
+
 let suite =
   [
     tc "wire: reject garbage" wire_rejects_garbage;
@@ -967,6 +1276,11 @@ let suite =
     tc "socket: rogue writer rejected" socket_rejects_rogue_writer;
     tc "socket: close flushes pending batch" socket_close_flushes_pending;
     tc "socket: timer for gone node dropped" socket_timer_unregistered_dropped;
+    tc "socket: stale timer across re-listen dropped"
+      socket_timer_stale_incarnation;
+    tc "batch fast path: group commits, not singletons" batch_group_commit;
+    tc "pool: mixed-shard batch over two domains" pool_mixed_shard_batch;
+    tc "pool: keyed workload over sockets, two domains" socket_pool_domains;
   ]
 
 let slow_suite =
@@ -980,4 +1294,5 @@ let slow_suite =
     tc_slow "socket: stalled peer does not block the transport"
       socket_connect_stall_does_not_block;
     tc_slow "socket: stats over the wire" socket_stats_over_wire;
+    tc_slow "socket: tiny SO_SNDBUF backpressure" socket_tiny_sndbuf;
   ]
