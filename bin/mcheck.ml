@@ -147,10 +147,10 @@ let run protocol writes reads writers readers invariant =
 module X = Net.Explore
 module S = Modelcheck.Schedule
 
-let run_net engine replicas keys window net_writers writes readers reads
-    broken broken_link crashes amnesia no_durability max_schedules max_depth
-    no_prune fastcheck hunt walks seed torture runs dump replay
-    expect_violation expect_exhausted =
+let run_net engine replicas shards keys window net_writers writes readers
+    reads txns snaps broken broken_link torn_txn crashes amnesia no_durability
+    max_schedules max_depth no_prune fastcheck hunt walks seed torture runs
+    dump replay expect_violation expect_exhausted =
   let finish ~violated =
     if violated = expect_violation then 0
     else begin
@@ -162,7 +162,9 @@ let run_net engine replicas keys window net_writers writes readers reads
   match replay with
   | Some file ->
     let cfg, sched, o = X.replay_file ~file in
-    let violated = o.Net.Sim_run.key_violations <> [] in
+    let violated =
+      o.Net.Sim_run.key_violations <> [] || o.Net.Sim_run.txn_violations <> []
+    in
     Fmt.pr "replayed %s: %s engine, %d choices, %d/%d ops completed, %s@." file
       (Engine_cli.name cfg.X.engine)
       (List.length sched) o.Net.Sim_run.completed o.Net.Sim_run.expected
@@ -170,6 +172,7 @@ let run_net engine replicas keys window net_writers writes readers reads
     List.iter
       (fun (k, m) -> Fmt.pr "  key %d: %s@." k m)
       o.Net.Sim_run.key_violations;
+    List.iter (fun m -> Fmt.pr "  %s@." m) o.Net.Sim_run.txn_violations;
     finish ~violated
   | None ->
     if torture then begin
@@ -196,10 +199,48 @@ let run_net engine replicas keys window net_writers writes readers reads
           ~reads
         |> List.filter (fun p -> p.Vm.script <> [])
       in
+      (* with --txns/--snaps the workload switches to extended scripts:
+         each writer appends that many whole-keyspace transactions to
+         its plain writes, each reader that many whole-keyspace
+         snapshots to its plain reads (values globally unique, as both
+         the fastcheck and the torn-batch audit require) *)
+      let xprocesses =
+        if txns = 0 && snaps = 0 then []
+        else begin
+          let all_keys = List.init keys Fun.id in
+          let writer p =
+            {
+              Net.Sim_run.xproc = p;
+              xscript =
+                List.init writes (fun k ->
+                    Net.Sim_run.Single
+                      (Histories.Event.Write ((1000 * (p + 1)) + k)))
+                @ List.init txns (fun i ->
+                      Net.Sim_run.Txn_w
+                        (List.map
+                           (fun k -> (k, (100_000 * (p + 1)) + (i * keys) + k))
+                           all_keys));
+            }
+          in
+          let reader p =
+            {
+              Net.Sim_run.xproc = p;
+              xscript =
+                List.init reads (fun _ ->
+                    Net.Sim_run.Single Histories.Event.Read)
+                @ List.init snaps (fun _ -> Net.Sim_run.Snap all_keys);
+            }
+          in
+          List.filter
+            (fun xp -> xp.Net.Sim_run.xscript <> [])
+            (List.map writer (List.init net_writers Fun.id)
+            @ List.map reader (List.init readers (fun i -> i + net_writers)))
+        end
+      in
       match
-        X.config ~replicas ~keys ~window ~engine
+        X.config ~replicas ~shards ~keys ~window ~engine
           ?read_quorum:(if broken then Some 1 else None)
-          ~unordered:broken_link
+          ~unordered:broken_link ~torn_txn ~xprocesses
           ~crashable:(if crashes > 0 then List.init replicas Fun.id else [])
           ~max_crashes:crashes
           ~amnesia:(if amnesia > 0 then List.init replicas Fun.id else [])
@@ -242,9 +283,14 @@ let run_net engine replicas keys window net_writers writes readers reads
              let cfg', ce' = X.shrink cfg ce in
              X.save ~file cfg' ce';
              let ops =
-               List.fold_left
-                 (fun n p -> n + List.length p.Vm.script)
-                 0 cfg'.X.processes
+               if cfg'.X.xprocesses <> [] then
+                 List.fold_left
+                   (fun n p -> n + List.length p.Net.Sim_run.xscript)
+                   0 cfg'.X.xprocesses
+               else
+                 List.fold_left
+                   (fun n p -> n + List.length p.Vm.script)
+                   0 cfg'.X.processes
              in
              Fmt.pr "shrunk to %d choices over %d ops; wrote %s@."
                (List.length ce'.X.schedule) ops file);
@@ -285,6 +331,10 @@ let net_cmd =
     Arg.(value & opt int 3
          & info [ "replicas" ] ~doc:"Replica count (1 for exhaustive runs).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~doc:"Server shard count (keys hash across them).")
+  in
   let keys =
     Arg.(value & opt int 1 & info [ "keys" ] ~doc:"Registers in the keyspace.")
   in
@@ -299,6 +349,18 @@ let net_cmd =
   in
   let readers = Arg.(value & opt int 1 & info [ "readers" ] ~doc:"Readers.") in
   let reads = Arg.(value & opt int 1 & info [ "reads" ] ~doc:"Reads per reader.") in
+  let txns =
+    Arg.(value & opt int 0
+         & info [ "txns" ]
+             ~doc:"Whole-keyspace atomic multi-key transactions per writer \
+                   (switches to the extended workload).")
+  in
+  let snaps =
+    Arg.(value & opt int 0
+         & info [ "snaps" ]
+             ~doc:"Whole-keyspace consistent snapshot reads per reader \
+                   (switches to the extended workload).")
+  in
   let broken =
     Arg.(value & flag
          & info [ "broken-read-quorum" ]
@@ -311,6 +373,12 @@ let net_cmd =
              ~doc:"Deliberately break the twobit engine: replicas apply link \
                    frames in arrival order instead of sequence order, \
                    forfeiting the FIFO guarantee its reads rely on.")
+  in
+  let torn_txn =
+    Arg.(value & flag
+         & info [ "torn-txn" ]
+             ~doc:"Deliberately break the transaction coordinator: skip \
+                   per-key locking, so a snapshot can observe a torn batch.")
   in
   let crashes =
     Arg.(value & opt int 0
@@ -390,9 +458,10 @@ let net_cmd =
   Cmd.v
     (Cmd.info "net"
        ~doc:"Explore delivery schedules of the simulated register service")
-    Term.(const run_net $ Engine_cli.term $ replicas $ keys $ window
+    Term.(const run_net $ Engine_cli.term $ replicas $ shards $ keys $ window
           $ net_writers $ writes
-          $ readers $ reads $ broken $ broken_link $ crashes $ amnesia
+          $ readers $ reads $ txns $ snaps $ broken $ broken_link $ torn_txn
+          $ crashes $ amnesia
           $ no_durability $ max_schedules
           $ max_depth $ no_prune $ fastcheck $ hunt $ walks $ seed $ torture
           $ runs $ dump $ replay $ expect_violation $ expect_exhausted)

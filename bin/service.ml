@@ -86,7 +86,7 @@ let run_sim engine seed replicas shards readers writes reads drop dup window
 (* socket-cluster plumbing shared by smoke/serve                       *)
 
 let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
-    ?(group_commit = 0) ?(flush_us = 500) ?(domains = 1) () =
+    ?(group_commit = 0) ?(flush_us = 500) ?(domains = 1) ?(gc_bytes = 0) () =
   let tr = Net.Socket_net.transport net in
   let metrics = Net.Socket_net.metrics net in
   let replica_nodes = List.init replicas Fun.id in
@@ -107,7 +107,7 @@ let start_cluster net ~engine ~replicas ~shards ~audit ?data_dir
   let storage_for name =
     Option.map
       (fun dir ->
-        Net.Storage.create ~snapshot_every:1024 ?group_commit:gc
+        Net.Storage.create ~snapshot_every:1024 ~gc_bytes ?group_commit:gc
           (Net.Storage.file_backend ~dir:(Filename.concat dir name) ()))
       data_dir
   in
@@ -224,7 +224,7 @@ let run_socket_workload net ~window ~nkeys processes =
 (* smoke                                                               *)
 
 let run_smoke engine shards readers writes reads seed data_dir group_commit
-    flush_us domains loop show_metrics =
+    flush_us domains gc_bytes loop show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -248,7 +248,7 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
   let metrics = Net.Socket_net.metrics net in
   let pool, reps =
     start_cluster net ~engine ~replicas:3 ~shards ~audit:true ?data_dir
-      ~group_commit ~flush_us ~domains ()
+      ~group_commit ~flush_us ~domains ~gc_bytes ()
   in
   let killer =
     Thread.create
@@ -258,6 +258,48 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
       ()
   in
   run_socket_workload net ~window:8 ~nkeys processes;
+  (* multi-key phase through the same sockets: the two writers commit
+     whole-keyspace atomic batches while readers take consistent
+     snapshots; the shared coordinator audits every snapshot against
+     every committed batch.  Values live in their own range so the
+     per-key fastcheck below stays unique-write. *)
+  let txn_rounds = 10 in
+  let all_keys = List.init nkeys Fun.id in
+  let txn_threads =
+    List.map
+      (fun p ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc:p ()
+            in
+            for i = 0 to txn_rounds - 1 do
+              Net.Client.txn_k c
+                (List.map
+                   (fun k ->
+                     (k, 900_000 + (100_000 * p) + (i * nkeys) + k))
+                   all_keys)
+            done;
+            Net.Client.close c)
+          ())
+      [ 0; 1 ]
+  in
+  let snap_threads =
+    List.map
+      (fun p ->
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc:p ()
+            in
+            for _ = 1 to txn_rounds do
+              ignore (Net.Client.snap_k c all_keys)
+            done;
+            Net.Client.close c)
+          ())
+      [ 2; 3 ]
+  in
+  List.iter Thread.join (txn_threads @ snap_threads);
   Thread.join killer;
   (* drain every commit queue before the durability check below: the
      in-memory tables hold eagerly applied entries whose batches may
@@ -284,9 +326,19 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
   in
   let per_key = keyed_fastcheck ~init:0 keyed in
   let fc_ok = List.for_all (fun (_, v) -> v = "atomic") per_key in
+  (* each multi-key op is answered (and counted) once *)
+  let expected = expected + (4 * txn_rounds) in
   Fmt.pr "  %d/%d ops served; live audit: %s; decode errors: %d@."
     served expected mon decode_errors;
   List.iter (fun (k, v) -> Fmt.pr "  key %d: %s@." k v) per_key;
+  let txn_viol = Net.Server_pool.txn_violations pool in
+  let txs = Net.Txn.stats (Net.Server_pool.txns pool) in
+  Fmt.pr "  txn phase: %d batches committed, %d snapshots served; txn audit: \
+          %s@."
+    txs.Net.Txn.txns_committed txs.Net.Txn.snaps_served
+    (match txn_viol with
+     | [] -> "no torn batch"
+     | v :: _ -> "TORN: " ^ v);
   (* with --data-dir, prove the durability round trip: reopen every
      replica's on-disk store fresh and require the recovered table to
      equal the live replica's — including the crashed replica 2, whose
@@ -312,13 +364,26 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
         (if ok then "recovered state = live state" else "RECOVERY MISMATCH");
       ok
   in
+  if gc_bytes > 0 && data_dir <> None then
+    List.iter
+      (fun (r, rep) ->
+        match Net.Replica.storage rep with
+        | None -> ()
+        | Some st ->
+          let s = Net.Storage.stats st in
+          Fmt.pr "  replica %d gc: %d runs, %d deferrals, wal %d bytes@." r
+            s.Net.Storage.gc_runs s.Net.Storage.gc_deferrals
+            s.Net.Storage.wal_size)
+      reps;
   if show_metrics then Fmt.pr "-- socket metrics --@.%a@." Net.Metrics.pp metrics;
   (* the gate: every op served, every shard's audit accepting, every
      key's history re-checked atomic, a byte-clean wire, and (with
      --data-dir) a lossless recovery round trip *)
   let socket_ok =
     served = expected && violations = [] && fc_ok && decode_errors = 0
-    && durable_ok
+    && durable_ok && txn_viol = []
+    && txs.Net.Txn.txns_committed = 2 * txn_rounds
+    && txs.Net.Txn.snaps_served = 2 * txn_rounds
   in
   (* --- simulated transport under faults --- *)
   Fmt.pr
@@ -353,11 +418,11 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
 (* serve / client                                                      *)
 
 let run_serve dir engine replicas shards audit data_dir group_commit flush_us
-    domains loop show_metrics =
+    domains gc_bytes loop show_metrics =
   let net = Net.Socket_net.create ~runtime:loop ~dir () in
   let _pool, reps =
     start_cluster net ~engine ~replicas ~shards ~audit ?data_dir ~group_commit
-      ~flush_us ~domains ()
+      ~flush_us ~domains ~gc_bytes ()
   in
   Fmt.pr
     "serving the two-writer keyspace in %s (%d replicas, %d shard%s, %d \
@@ -451,7 +516,8 @@ let run_replay file init =
     if ok then 0 else 1
 
 let run_client dir proc ops =
-  (* unkeyed ops address key 0; get/put name a key of the keyspace *)
+  (* unkeyed ops address key 0; get/put name a key of the keyspace;
+     txn/snap are the multi-key verbs *)
   let parse s =
     let int_or_fail what v =
       match int_of_string_opt v with
@@ -459,13 +525,26 @@ let run_client dir proc ops =
       | None -> Fmt.failwith "cannot parse %s in %S" what s
     in
     match String.split_on_char ':' s with
-    | [ "read" ] -> (0, E.Read)
-    | [ "write"; v ] -> (0, E.Write (int_or_fail "value" v))
-    | [ "get"; k ] -> (int_or_fail "key" k, E.Read)
-    | [ "put"; k; v ] -> (int_or_fail "key" k, E.Write (int_or_fail "value" v))
+    | [ "read" ] -> `Key (0, E.Read)
+    | [ "write"; v ] -> `Key (0, E.Write (int_or_fail "value" v))
+    | [ "get"; k ] -> `Key (int_or_fail "key" k, E.Read)
+    | [ "put"; k; v ] ->
+      `Key (int_or_fail "key" k, E.Write (int_or_fail "value" v))
+    | [ "txn"; spec ] ->
+      `Txn
+        (List.map
+           (fun pair ->
+             match String.split_on_char '=' pair with
+             | [ k; v ] -> (int_or_fail "key" k, int_or_fail "value" v)
+             | _ -> Fmt.failwith "cannot parse pair %S in %S" pair s)
+           (String.split_on_char ',' spec))
+    | [ "snap"; spec ] ->
+      `Snap (List.map (int_or_fail "key") (String.split_on_char ',' spec))
     | _ ->
       Fmt.failwith
-        "cannot parse operation %S (read | write:N | get:K | put:K:N)" s
+        "cannot parse operation %S (read | write:N | get:K | put:K:N | \
+         txn:K=V,K=V | snap:K,K)"
+        s
   in
   match List.map parse ops with
   | exception Failure msg ->
@@ -482,29 +561,46 @@ let run_client dir proc ops =
       exit 1
     end;
     let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
-    let results = Net.Client.run_keyed c script in
     let rejected = ref false in
-    List.iter2
-      (fun (key, op) r ->
-        let pk ppf () =
-          if key <> 0 then Fmt.pf ppf "[%d] " key else Fmt.pf ppf ""
-        in
-        match (op, r) with
-        | E.Read, Some v -> Fmt.pr "read %a-> %d@." pk () v
-        | E.Write v, None when proc = 0 || proc = 1 ->
-          Fmt.pr "write %a%d -> ack@." pk () v
-        | E.Write v, None ->
-          (* the server answers rejected writes with the same empty
-             response as an ack; only processors 0 and 1 hold a writer
-             role, so report the rejection instead of a phantom ack *)
-          rejected := true;
-          Fmt.pr "write %a%d -> rejected (only processors 0 and 1 write)@."
-            pk () v
-        | E.Read, None ->
-          rejected := true;
-          Fmt.pr "read %a-> rejected@." pk ()
-        | _ -> Fmt.pr "unexpected response@.")
-      script results;
+    let pk key ppf () =
+      if key <> 0 then Fmt.pf ppf "[%d] " key else Fmt.pf ppf ""
+    in
+    List.iter
+      (fun item ->
+        match item with
+        | `Key (key, E.Read) -> (
+          match Net.Client.read_k c ~key with
+          | v -> Fmt.pr "read %a-> %d@." (pk key) () v
+          | exception Invalid_argument _ ->
+            rejected := true;
+            Fmt.pr "read %a-> rejected@." (pk key) ())
+        | `Key (key, E.Write v) -> (
+          match Net.Client.write_k c ~key v with
+          | () -> Fmt.pr "write %a%d -> ack@." (pk key) () v
+          | exception Invalid_argument _ ->
+            rejected := true;
+            Fmt.pr "write %a%d -> rejected (only processors 0 and 1 write)@."
+              (pk key) () v)
+        | `Txn writes -> (
+          let spec =
+            String.concat ","
+              (List.map (fun (k, v) -> Fmt.str "%d=%d" k v) writes)
+          in
+          match Net.Client.txn_k c writes with
+          | () -> Fmt.pr "txn %s -> committed@." spec
+          | exception Invalid_argument msg ->
+            rejected := true;
+            Fmt.pr "txn %s -> rejected (%s)@." spec msg)
+        | `Snap keys -> (
+          let spec = String.concat "," (List.map string_of_int keys) in
+          match Net.Client.snap_k c keys with
+          | vs ->
+            Fmt.pr "snap %s -> %s@." spec
+              (String.concat "," (List.map string_of_int vs))
+          | exception Invalid_argument msg ->
+            rejected := true;
+            Fmt.pr "snap %s -> rejected (%s)@." spec msg))
+      script;
     Net.Client.close c;
     Net.Socket_net.shutdown net;
     if !rejected then 1 else 0
@@ -550,6 +646,14 @@ let flush_us_arg =
                  partially filled batch is committed at most this long \
                  after its first append.  0 commits at the end of \
                  every handled message.")
+
+let gc_bytes_arg =
+  Arg.(value & opt int 0
+       & info [ "gc-bytes" ] ~docv:"N"
+           ~doc:"WAL garbage collection: once a store's log exceeds \
+                 $(docv) bytes, fold it into a snapshot and truncate \
+                 (deferred while snapshot reads pin the store).  0 \
+                 disables.  Only meaningful with --data-dir.")
 
 let domains_arg =
   Arg.(value & opt int 1
@@ -615,7 +719,7 @@ let smoke_cmd =
        ~doc:"Serve a workload over both transports; audit + re-check")
     Term.(const run_smoke $ Engine_cli.term $ shards $ readers $ writes
           $ reads $ seed $ data_dir $ group_commit_arg $ flush_us_arg
-          $ domains_arg $ loop_arg $ metrics_flag)
+          $ domains_arg $ gc_bytes_arg $ loop_arg $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -633,7 +737,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Serve the keyspace over Unix-domain sockets")
     Term.(const run_serve $ dir_arg $ Engine_cli.term $ replicas $ shards
           $ audit $ data_dir $ group_commit_arg $ flush_us_arg $ domains_arg
-          $ loop_arg $ metrics_flag)
+          $ gc_bytes_arg $ loop_arg $ metrics_flag)
 
 let client_cmd =
   let proc =
@@ -643,7 +747,9 @@ let client_cmd =
   let ops =
     Arg.(value & pos_all string []
          & info [] ~docv:"OP"
-             ~doc:"Operations: read, write:N (key 0), get:K, put:K:N.")
+             ~doc:"Operations: read, write:N (key 0), get:K, put:K:N, \
+                   txn:K=V,K=V (atomic multi-key batch), snap:K,K \
+                   (consistent snapshot).")
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Run operations against a served keyspace")

@@ -7,6 +7,7 @@ type t = {
   mu : Mutex.t;
   cond : Condition.t;
   completed : (int, int option) Hashtbl.t;  (* seq -> result *)
+  snap_completed : (int, int list) Hashtbl.t;  (* seq -> snapshot values *)
   stats_replies : (int, (string * int) list) Hashtbl.t;  (* rid -> stats *)
   sent_at : (int, float) Hashtbl.t;  (* seq -> send instant, for RTT *)
   h_rtt : Metrics.histogram;
@@ -50,6 +51,7 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let completed = Hashtbl.create 32 in
+  let snap_completed = Hashtbl.create 8 in
   let stats_replies = Hashtbl.create 4 in
   let sent_at = Hashtbl.create 32 in
   let h_rtt = Metrics.histogram metrics "client_rtt" in
@@ -63,6 +65,15 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
              Metrics.observe h_rtt (Unix.gettimeofday () -. t0)
            | None -> ());
           Hashtbl.replace completed seq result);
+      Condition.broadcast cond
+    | Wire.Resp_snap { seq; values } ->
+      Mutex.protect mu (fun () ->
+          (match Hashtbl.find_opt sent_at seq with
+           | Some t0 ->
+             Hashtbl.remove sent_at seq;
+             Metrics.observe h_rtt (Unix.gettimeofday () -. t0)
+           | None -> ());
+          Hashtbl.replace snap_completed seq values);
       Condition.broadcast cond
     | Wire.Stats_reply { rid; stats } ->
       Mutex.protect mu (fun () -> Hashtbl.replace stats_replies rid stats);
@@ -83,6 +94,7 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
       mu;
       cond;
       completed;
+      snap_completed;
       stats_replies;
       sent_at;
       h_rtt;
@@ -152,12 +164,50 @@ let await t seq =
   | None ->
     flush t;
     Mutex.protect t.mu (fun () ->
-        while not (Hashtbl.mem t.completed seq) do
+        while not (Hashtbl.mem t.completed seq || t.closed) do
           Condition.wait t.cond t.mu
         done;
-        let r = Hashtbl.find t.completed seq in
+        match Hashtbl.find_opt t.completed seq with
+        | Some r ->
+          Hashtbl.remove t.completed seq;
+          r
+        | None ->
+          (* close sealed the session and tore the reply endpoint down
+             while we were blocked: the answer can never arrive, so
+             fail now instead of waiting forever *)
+          invalid_arg "Client.await: closed with the request in flight")
+
+(* Like [await], but a snapshot completes through either table: a
+   [Resp_snap] carries the values, a plain [Resp] is a rejection. *)
+let await_snap t seq =
+  let check () =
+    match Hashtbl.find_opt t.snap_completed seq with
+    | Some vs ->
+      Hashtbl.remove t.snap_completed seq;
+      Some (Ok vs)
+    | None -> (
+      match Hashtbl.find_opt t.completed seq with
+      | Some _ ->
         Hashtbl.remove t.completed seq;
-        r)
+        Some (Error ())
+      | None -> None)
+  in
+  match Mutex.protect t.mu check with
+  | Some r -> r
+  | None ->
+    flush t;
+    Mutex.protect t.mu (fun () ->
+        let r = ref None in
+        while
+          r := check ();
+          !r = None && not t.closed
+        do
+          Condition.wait t.cond t.mu
+        done;
+        match !r with
+        | Some r -> r
+        | None ->
+          invalid_arg "Client.await_snap: closed with the request in flight")
 
 let read_k t ~key =
   match await t (req t (Wire.Read_k { key })) with
@@ -180,6 +230,25 @@ let write t v =
   | None when t.proc = 0 || t.proc = 1 -> ()
   | None -> invalid_arg "Client.write: rejected (not a writer session)"
   | Some _ -> invalid_arg "Client.write: unexpected read result"
+
+(* Structural validity is checked here with the server's own
+   predicate: the server answers an invalid multi-key op with the same
+   empty [Resp] it uses for a committed write, so a writer session
+   could not tell the rejection apart after the fact. *)
+let txn_k t writes =
+  if not (Txn.valid_keys (List.map fst writes)) then
+    invalid_arg "Client.txn_k: empty, duplicate, negative or oversize keys";
+  match await t (req t (Wire.Txn_k { writes })) with
+  | None when t.proc = 0 || t.proc = 1 -> ()
+  | None -> invalid_arg "Client.txn_k: rejected (not a writer session)"
+  | Some _ -> invalid_arg "Client.txn_k: unexpected read result"
+
+let snap_k t keys =
+  if not (Txn.valid_keys keys) then
+    invalid_arg "Client.snap_k: empty, duplicate, negative or oversize keys";
+  match await_snap t (req t (Wire.Snap_k { keys })) with
+  | Ok vs -> vs
+  | Error () -> invalid_arg "Client.snap_k: server rejected the snapshot"
 
 let post t op = ignore (req t op)
 
@@ -241,6 +310,9 @@ let close t =
   let last =
     Mutex.protect t.mu (fun () ->
         t.closed <- true;
+        (* wake every blocked await: their replies will never arrive
+           once the endpoint below is gone, and they fail closed *)
+        Condition.broadcast t.cond;
         take_pending_locked t)
   in
   (match last with

@@ -68,6 +68,23 @@ val write_k : t -> key:int -> int -> unit
     @raise Invalid_argument if the server rejects the write (non-writer
     session or negative key). *)
 
+val txn_k : t -> (int * int) list -> unit
+(** Blocking atomic multi-key transaction: write every [(key, value)]
+    pair all-or-nothing across shards and worker domains (see
+    {!Wire.op.Txn_k}).  Acknowledged once every write has committed.
+    @raise Invalid_argument if the server rejects (non-writer session,
+    empty/duplicate/negative keys, or more than {!Wire.max_txn}), or
+    if the client is already closed — a {!close} racing an in-flight
+    prepare fails the transaction deterministically rather than
+    leaving it half-queued. *)
+
+val snap_k : t -> int list -> int list
+(** Blocking consistent snapshot read: the returned values (in request
+    order) form an atomic cut — for any committed {!txn_k} they
+    contain either all of its writes or none (see {!Wire.op.Snap_k}).
+    @raise Invalid_argument if the server rejects the snapshot or the
+    client is already closed. *)
+
 val run_script :
   ?window:int -> t -> int Histories.Event.op list -> int option list
 (** Run a whole script against key 0 with up to [window] (default 8)
@@ -102,6 +119,10 @@ val close : t -> unit
     attempts raise) and detach any partially filled batch, send it,
     stop the flusher thread, and only then announce session end
     ([Bye]) and stop listening — so no queued op can be silently
-    dropped by [Bye] overtaking its batch.  Blocks for at most one
+    dropped by [Bye] overtaking its batch.  Any other thread blocked
+    in an awaiting call ({!read_k}, {!txn_k}, {!snap_k}, ...) is woken
+    and fails with [Invalid_argument] — its reply can never arrive
+    once the endpoint is gone, so the seal fails it deterministically
+    instead of leaving it parked forever.  Blocks for at most one
     [flush_every] period.  The node's socket is torn down by
     {!Socket_net.shutdown}. *)

@@ -8,12 +8,15 @@ module Sched = Modelcheck.Schedule
 type config = {
   replicas : int;
   processes : int Vm.process list;
+  xprocesses : Sim_run.xprocess list;
   keys : int;
+  shards : int;
   window : int;
   init : int;
   engine : Engine.kind;
   read_quorum : int option;
   unordered : bool;
+  torn_txn : bool;
   crashable : int list;
   max_crashes : int;
   amnesia : int list;
@@ -28,12 +31,12 @@ type config = {
   fastcheck : bool;
 }
 
-let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0)
-    ?(engine = Engine.Abd) ?read_quorum ?(unordered = false) ?(crashable = [])
-    ?(max_crashes = 0) ?(amnesia = []) ?(max_amnesia = 0) ?(durable = true)
-    ?(cuts = []) ?(max_partitions = 0) ?(max_timer_fires = 64)
-    ?(max_depth = 2_000) ?(max_schedules = max_int) ?(prune = true)
-    ?(fastcheck = false) ~processes () =
+let config ?(replicas = 3) ?(keys = 1) ?(shards = 1) ?(window = 4) ?(init = 0)
+    ?(engine = Engine.Abd) ?read_quorum ?(unordered = false)
+    ?(torn_txn = false) ?(crashable = []) ?(max_crashes = 0) ?(amnesia = [])
+    ?(max_amnesia = 0) ?(durable = true) ?(cuts = []) ?(max_partitions = 0)
+    ?(max_timer_fires = 64) ?(max_depth = 2_000) ?(max_schedules = max_int)
+    ?(prune = true) ?(fastcheck = false) ?(xprocesses = []) ~processes () =
   (* Fail fast, at configuration time, on requests no run could honour:
      a deep [invalid_arg] out of [reset] would only surface once the
      explorer starts (or worse, from inside every walk). *)
@@ -61,15 +64,32 @@ let config ?(replicas = 3) ?(keys = 1) ?(window = 4) ?(init = 0)
          "Explore.config: the twobit engine is crash-stop only — its link \
           sequence state is volatile, so an amnesia reboot deadlocks the \
           links; use crashable instead");
+  List.iter
+    (fun (xp : Sim_run.xprocess) ->
+      List.iter
+        (fun xop ->
+          match xop with
+          | Sim_run.Single _ -> ()
+          | Sim_run.Txn_w ws ->
+            if not (Txn.valid_keys (List.map fst ws)) then
+              invalid_arg "Explore.config: structurally invalid Txn_w keys"
+          | Sim_run.Snap ks ->
+            if not (Txn.valid_keys ks) then
+              invalid_arg "Explore.config: structurally invalid Snap keys")
+        xp.Sim_run.xscript)
+    xprocesses;
   {
     replicas;
     processes;
+    xprocesses;
     keys;
+    shards;
     window;
     init;
     engine;
     read_quorum;
     unordered;
+    torn_txn;
     crashable;
     max_crashes = (if crashable = [] then 0 else max_crashes);
     amnesia;
@@ -115,7 +135,8 @@ let reset ?trace cfg =
   in
   let cl =
     Sim_run.build ~faults:Sim_net.reliable ~replicas:cfg.replicas
-      ~window:cfg.window ~keys:cfg.keys ~engine:spec ~durable:cfg.durable
+      ~window:cfg.window ~shards:cfg.shards ~keys:cfg.keys ~engine:spec
+      ~durable:cfg.durable ~xprocesses:cfg.xprocesses ~torn_txn:cfg.torn_txn
       ?trace ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
   in
   {
@@ -232,8 +253,13 @@ let system ?trace cfg =
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
 
+(* Torn-batch verdicts are cross-key, so they carry the sentinel key
+   [-1] in a counterexample. *)
 let verdict st =
   let server = st.cl.Sim_run.server in
+  match Server.txn_violations server with
+  | m :: _ -> Some (-1, m)
+  | [] ->
   match Server.violations server with
   | (key, v) :: _ ->
     Some (key, Fmt.str "%a" (Histories.Fastcheck.pp_violation Fmt.int) v)
@@ -350,6 +376,7 @@ let replay ?trace ?(tail = true) cfg schedule =
 
 let violating cfg (o : Sim_run.outcome) =
   o.Sim_run.key_violations <> []
+  || o.Sim_run.txn_violations <> []
   || (cfg.fastcheck && not o.Sim_run.fastcheck_ok)
 
 (* ------------------------------------------------------------------ *)
@@ -379,6 +406,23 @@ let workload_candidates processes =
            p.Vm.script)
        processes)
 
+(* Same move over an extended workload: drop one [xop] from one
+   xprocess. *)
+let xworkload_candidates xprocesses =
+  List.concat
+    (List.mapi
+       (fun pi (p : Sim_run.xprocess) ->
+         List.mapi
+           (fun oi _ ->
+             let xscript = drop_nth p.Sim_run.xscript oi in
+             if xscript = [] then List.filteri (fun i _ -> i <> pi) xprocesses
+             else
+               List.mapi
+                 (fun i q -> if i = pi then { q with Sim_run.xscript } else q)
+                 xprocesses)
+           p.Sim_run.xscript)
+       xprocesses)
+
 let shrink cfg ce =
   let minimize cfg schedule =
     Sched.ddmin
@@ -396,17 +440,25 @@ let shrink cfg ce =
       | None -> None
   in
   let rec fix cfg schedule =
+    let candidates =
+      if cfg.xprocesses <> [] then
+        List.filter_map
+          (fun xprocesses ->
+            if xprocesses = [] then None else Some { cfg with xprocesses })
+          (xworkload_candidates cfg.xprocesses)
+      else
+        List.filter_map
+          (fun processes ->
+            if processes = [] then None else Some { cfg with processes })
+          (workload_candidates cfg.processes)
+    in
     let smaller =
       List.find_map
-        (fun processes ->
-          if processes = [] then None
-          else begin
-            let cfg' = { cfg with processes } in
-            match refind cfg' schedule with
-            | Some schedule' -> Some (cfg', schedule')
-            | None -> None
-          end)
-        (workload_candidates cfg.processes)
+        (fun cfg' ->
+          match refind cfg' schedule with
+          | Some schedule' -> Some (cfg', schedule')
+          | None -> None)
+        candidates
     in
     match smaller with
     | Some (cfg', schedule') -> fix cfg' schedule'
@@ -416,9 +468,10 @@ let shrink cfg ce =
   let cfg', schedule = fix cfg schedule in
   let schedule = minimize cfg' schedule in
   let o = replay cfg' schedule in
-  match o.Sim_run.key_violations with
-  | (key, message) :: _ -> (cfg', { schedule; key; message })
-  | [] ->
+  match (o.Sim_run.txn_violations, o.Sim_run.key_violations) with
+  | m :: _, _ -> (cfg', { schedule; key = -1; message = m })
+  | [], (key, message) :: _ -> (cfg', { schedule; key; message })
+  | [], [] ->
     (* can't happen: fix/minimize only accept violating candidates *)
     (cfg', { ce with schedule })
 
@@ -437,15 +490,34 @@ let script_tokens script =
        (function E.Read -> "r" | E.Write v -> Fmt.str "w%d" v)
        script)
 
+(* Extended scripts keep to the same escape-free token grammar:
+   [r] / [wV] for singles, [tK=V,K=V] for transactions, [sK,K] for
+   snapshots. *)
+let xscript_tokens xscript =
+  String.concat " "
+    (List.map
+       (function
+         | Sim_run.Single E.Read -> "r"
+         | Sim_run.Single (E.Write v) -> Fmt.str "w%d" v
+         | Sim_run.Txn_w ws ->
+           "t"
+           ^ String.concat ","
+               (List.map (fun (k, v) -> Fmt.str "%d=%d" k v) ws)
+         | Sim_run.Snap ks ->
+           "s" ^ String.concat "," (List.map string_of_int ks))
+       xscript)
+
 let config_note cfg =
   Fmt.str
-    "config replicas=%d keys=%d window=%d init=%d engine=%d read_quorum=%d \
-     unordered=%d max_crashes=%d max_amnesia=%d durable=%d max_partitions=%d \
-     max_timer_fires=%d max_depth=%d prune=%d fastcheck=%d"
-    cfg.replicas cfg.keys cfg.window cfg.init
+    "config replicas=%d keys=%d shards=%d window=%d init=%d engine=%d \
+     read_quorum=%d unordered=%d torn_txn=%d max_crashes=%d max_amnesia=%d \
+     durable=%d max_partitions=%d max_timer_fires=%d max_depth=%d prune=%d \
+     fastcheck=%d"
+    cfg.replicas cfg.keys cfg.shards cfg.window cfg.init
     (Engine.kind_code cfg.engine)
     (Option.value ~default:0 cfg.read_quorum)
     (if cfg.unordered then 1 else 0)
+    (if cfg.torn_txn then 1 else 0)
     cfg.max_crashes cfg.max_amnesia
     (if cfg.durable then 1 else 0)
     cfg.max_partitions cfg.max_timer_fires cfg.max_depth
@@ -475,15 +547,24 @@ let save ~file cfg ce =
     (fun (p : int Vm.process) ->
       note (Fmt.str "proc %d %s" p.Vm.proc (script_tokens p.Vm.script)))
     cfg.processes;
+  List.iter
+    (fun (p : Sim_run.xprocess) ->
+      note
+        (Fmt.str "xproc %d %s" p.Sim_run.xproc
+           (xscript_tokens p.Sim_run.xscript)))
+    cfg.xprocesses;
   note
     (Fmt.str "schedule %s"
        (String.concat "," (List.map string_of_int ce.schedule)));
   let o = replay ~trace:tr cfg ce.schedule in
-  (match o.Sim_run.key_violations with
-   | (k, m) :: _ ->
+  (match (o.Sim_run.txn_violations, o.Sim_run.key_violations) with
+   | m :: _, _ ->
+     Trace.record tr ~time:o.Sim_run.virtual_span
+       (Trace.Note (Fmt.str "verdict torn %s" m))
+   | [], (k, m) :: _ ->
      Trace.record tr ~time:o.Sim_run.virtual_span
        (Trace.Note (Fmt.str "verdict key=%d %s" k m))
-   | [] ->
+   | [], [] ->
      Trace.record tr ~time:o.Sim_run.virtual_span (Trace.Note "verdict atomic"));
   Trace.dump tr file
 
@@ -517,6 +598,26 @@ let parse_script tokens =
       else failwith ("explore: bad script token " ^ tok))
     tokens
 
+let parse_xscript tokens =
+  List.map
+    (fun tok ->
+      let body () = String.sub tok 1 (String.length tok - 1) in
+      if tok = "r" then Sim_run.Single E.Read
+      else if String.length tok > 1 && tok.[0] = 'w' then
+        Sim_run.Single (E.Write (int_of_string (body ())))
+      else if String.length tok > 1 && tok.[0] = 't' then
+        Sim_run.Txn_w
+          (List.map
+             (fun pair ->
+               match String.split_on_char '=' pair with
+               | [ k; v ] -> (int_of_string k, int_of_string v)
+               | _ -> failwith ("explore: bad txn pair " ^ pair))
+             (split_on ',' (body ())))
+      else if String.length tok > 1 && tok.[0] = 's' then
+        Sim_run.Snap (List.map int_of_string (split_on ',' (body ())))
+      else failwith ("explore: bad xscript token " ^ tok))
+    tokens
+
 let parse_group s =
   match String.split_on_char '|' s with
   | [ a; b ] ->
@@ -539,7 +640,7 @@ let load ~file =
     failwith "explore: not a counterexample file";
   let assoc = Hashtbl.create 16 in
   let procs = ref [] and cuts = ref [] and crashable = ref [] in
-  let amnesia = ref [] in
+  let amnesia = ref [] and xprocs = ref [] in
   let schedule = ref [] in
   List.iter
     (fun text ->
@@ -557,6 +658,15 @@ let load ~file =
       | "proc" :: p :: script ->
         procs :=
           !procs @ [ { Vm.proc = int_of_string p; script = parse_script script } ]
+      | "xproc" :: p :: script ->
+        xprocs :=
+          !xprocs
+          @ [
+              {
+                Sim_run.xproc = int_of_string p;
+                xscript = parse_xscript script;
+              };
+            ]
       | [ "schedule"; l ] -> schedule := List.map int_of_string (split_on ',' l)
       | _ -> ())
     notes;
@@ -570,10 +680,13 @@ let load ~file =
   in
   let cfg =
     config ~replicas:(get "replicas" 3) ~keys:(get "keys" 1)
-      ~window:(get "window" 4) ~init:(get "init" 0) ~engine
+      ~shards:(get "shards" 1) ~window:(get "window" 4) ~init:(get "init" 0)
+      ~engine
       ?read_quorum:(if rq = 0 then None else Some rq)
       ~unordered:(get "unordered" 0 = 1)
-      ~crashable:!crashable ~max_crashes:(get "max_crashes" 0)
+      ~torn_txn:(get "torn_txn" 0 = 1)
+      ~xprocesses:!xprocs ~crashable:!crashable
+      ~max_crashes:(get "max_crashes" 0)
       ~amnesia:!amnesia
       ~max_amnesia:(get "max_amnesia" 0)
       ~durable:(get "durable" 1 = 1)
@@ -639,16 +752,59 @@ let torture_run ?(engine = Engine.Abd) ~seed ~run ?trace () =
         fates
   in
   let espec = { Engine.default with Engine.kind = engine } in
+  (* A third of the runs swap the plain register scripts for a mixed
+     batch/snapshot workload (half of those with the WAL GC frontier
+     on), exercising the cross-key coordinator under the same faults.
+     Values are globally unique — per (proc, op index, key) — which
+     both the per-key fastcheck and the torn-batch audit require. *)
+  let use_txn = Random.State.int rng 3 = 0 in
+  let gc_bytes =
+    if use_txn && Random.State.bool rng then Some 512 else None
+  in
+  let xprocesses =
+    if not use_txn then []
+    else begin
+      let nops = 2 + Random.State.int rng 6 in
+      let writer p =
+        {
+          Sim_run.xproc = p;
+          xscript =
+            List.init nops (fun i ->
+                let v k = (10_000 * (p + 1)) + (i * keys) + k in
+                let k1 = Random.State.int rng keys in
+                let k2 =
+                  (k1 + 1 + Random.State.int rng (max 1 (keys - 1))) mod keys
+                in
+                if k1 = k2 || not (Random.State.bool rng) then
+                  Sim_run.Single (E.Write (v k1))
+                else Sim_run.Txn_w [ (k1, v k1); (k2, v k2) ]);
+        }
+      in
+      let reader p =
+        {
+          Sim_run.xproc = p;
+          xscript =
+            List.init nops (fun _ ->
+                if Random.State.bool rng then
+                  Sim_run.Snap (List.init keys Fun.id)
+                else Sim_run.Single E.Read);
+        }
+      in
+      [ writer 0; writer 1; reader 2; reader 3 ]
+    end
+  in
   let o =
     Sim_run.run ~faults ~replicas ~window ~shards ~keys ~engine:espec ~fates
+      ?gc_bytes ~xprocesses
       ~seed:(Random.State.bits rng) ~init:0 ~processes ?trace ()
   in
   (o, fates)
 
 let describe_failure run (o : Sim_run.outcome) =
-  match o.Sim_run.key_violations with
-  | (k, m) :: _ -> Fmt.str "run %d: key %d: %s" run k m
-  | [] ->
+  match (o.Sim_run.txn_violations, o.Sim_run.key_violations) with
+  | m :: _, _ -> Fmt.str "run %d: %s" run m
+  | [], (k, m) :: _ -> Fmt.str "run %d: key %d: %s" run k m
+  | [], [] ->
     if not o.Sim_run.fastcheck_ok then Fmt.str "run %d: fastcheck rejects" run
     else
       Fmt.str "run %d: stalled at %d/%d ops" run o.Sim_run.completed
@@ -662,7 +818,9 @@ let torture ?engine ?(runs = 100) ?dump ?progress ~seed () =
     let o, _ = torture_run ?engine ~seed ~run () in
     ops := !ops + o.Sim_run.completed;
     let bad_history =
-      o.Sim_run.key_violations <> [] || not o.Sim_run.fastcheck_ok
+      o.Sim_run.key_violations <> []
+      || o.Sim_run.txn_violations <> []
+      || not o.Sim_run.fastcheck_ok
     in
     let incomplete = o.Sim_run.completed < o.Sim_run.expected in
     if bad_history then incr violations;

@@ -33,7 +33,12 @@
 type config = {
   replicas : int;
   processes : int Registers.Vm.process list;
+  xprocesses : Sim_run.xprocess list;
+      (** extended workload with multi-key transactions and snapshot
+          reads; when non-empty it replaces [processes] (see
+          {!Sim_run.build}) *)
   keys : int;  (** scripts round-robin over this many keys *)
+  shards : int;  (** server shard count (keys hash across them) *)
   window : int;  (** client pipelining window *)
   init : int;
   engine : Engine.kind;  (** replication protocol every shard runs *)
@@ -42,6 +47,10 @@ type config = {
   unordered : bool;
       (** twobit deliberate-bug hook: replicas apply link frames in
           arrival order, see {!Replica.create} *)
+  torn_txn : bool;
+      (** cross-key deliberate-bug hook: the server's {!Txn}
+          coordinator skips per-key locking, so a snapshot can observe
+          a torn batch — the target the torn-batch audit must catch *)
   crashable : int list;  (** replicas the adversary may crash *)
   max_crashes : int;  (** crash budget per run *)
   amnesia : int list;
@@ -71,11 +80,13 @@ type config = {
 val config :
   ?replicas:int ->
   ?keys:int ->
+  ?shards:int ->
   ?window:int ->
   ?init:int ->
   ?engine:Engine.kind ->
   ?read_quorum:int ->
   ?unordered:bool ->
+  ?torn_txn:bool ->
   ?crashable:int list ->
   ?max_crashes:int ->
   ?amnesia:int list ->
@@ -88,27 +99,31 @@ val config :
   ?max_schedules:int ->
   ?prune:bool ->
   ?fastcheck:bool ->
+  ?xprocesses:Sim_run.xprocess list ->
   processes:int Registers.Vm.process list ->
   unit ->
   config
-(** Defaults: 3 replicas, 1 key, window 4, init 0, ABD engine with no
-    bug hooks, no fates, durable replicas, [max_timer_fires] 64,
-    [max_depth] 2000, unbounded schedules, pruning on, post-hoc check
-    off.
+(** Defaults: 3 replicas, 1 key, 1 shard, window 4, init 0, ABD engine
+    with no bug hooks, no fates, durable replicas, [max_timer_fires]
+    64, [max_depth] 2000, unbounded schedules, pruning on, post-hoc
+    check off, plain workload ([xprocesses] empty).
 
     Validated at construction (fail fast rather than deep inside
     [reset]):
     @raise Invalid_argument if [read_quorum] is outside [1..replicas],
     if a bug hook names the wrong engine ([unordered] with ABD,
-    [read_quorum] with twobit), or if the twobit engine is paired with
+    [read_quorum] with twobit), if the twobit engine is paired with
     amnesia fates (its link-sequence state is volatile — crash-stop
-    only). *)
+    only), or if an [xprocesses] op carries structurally invalid keys
+    (see {!Txn.valid_keys}). *)
 
 (** {2 Exploration} *)
 
 type counterexample = {
   schedule : int list;  (** choice indices, replayable *)
-  key : int;  (** offending register *)
+  key : int;
+      (** offending register; [-1] for a cross-key torn-batch verdict
+          of the {!Txn} audit *)
   message : string;  (** rendered violation *)
 }
 
@@ -189,8 +204,11 @@ val torture :
     workload, a lossy/duplicating/reordering fault model and a timed
     crash/restart/partition fate schedule
     ({!Harness.Failure.random_net_fates}), executes it to quiescence
-    and asserts per-key atomicity {e and} completion.  Deterministic in
-    [seed]: a failing run index reproduces alone.  With [dump], the
+    and asserts per-key atomicity {e and} completion.  A third of the
+    runs swap the plain scripts for a mixed transaction/snapshot
+    workload (half of those with the {!Storage} WAL GC frontier on),
+    so the cross-key {!Txn} audit is hammered under the same faults.
+    Deterministic in [seed]: a failing run index reproduces alone.  With [dump], the
     first failing run is re-executed with a trace and written to the
     file (JSONL, fate notes included).  [runs] defaults to 100.
     [engine] (default ABD) picks the replication protocol; for the

@@ -28,6 +28,9 @@ type t = {
   cork_depth : int ref;
   cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t;
   registry : Registry.t;
+  txns : Txn.t;  (* shared across all cores of a pool *)
+  post_override : ((unit -> unit) -> unit) option;
+      (* how coordinator thunks re-enter this core (pool: worker queue) *)
   sessions : (Transport.node, session) Hashtbl.t;
   audit : bool;
   init : int;
@@ -100,12 +103,18 @@ let with_cork t f =
 
 let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
     ?read_quorum ?storage ?metrics ?trace ?map ?(cork = false)
-    ?(presequenced = false) ?owns ~me ~replicas ~init () =
+    ?(presequenced = false) ?owns ?txns ?torn_txn ?post ~me ~replicas ~init ()
+    =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
   in
   let owns = match owns with Some f -> f | None -> fun _ -> true in
+  let txns =
+    match txns with
+    | Some x -> x
+    | None -> Txn.create ?torn:torn_txn ~audit ~init ()
+  in
   let cork_depth = ref 0 in
   let cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t =
     Hashtbl.create 8
@@ -150,6 +159,8 @@ let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
     registry =
       Registry.create ~transport:wrapped ~me ~replicas ~map ?engine
         ?read_quorum ?storage ~metrics ();
+    txns;
+    post_override = post;
     sessions = Hashtbl.create 16;
     audit;
     init;
@@ -266,10 +277,25 @@ let respond t s seq result =
   t.tr.Transport.send ~src:t.me ~dst:s.src (Wire.Resp { seq; result })
 
 (* Every client-visible operation, keyed: the legacy unkeyed ops are
-   the key-0 register. *)
+   the key-0 register.  For a multi-key op this is its *routing* key —
+   the first listed key (or 0 when the list is empty, so even an
+   invalid frame has a well-defined core that will reject it). *)
 let key_of_op = function
   | Wire.Read | Wire.Write _ -> 0
   | Wire.Read_k { key } | Wire.Write_k { key; _ } -> key
+  | Wire.Txn_k { writes = (key, _) :: _ } | Wire.Snap_k { keys = key :: _ } ->
+    key
+  | Wire.Txn_k { writes = [] } | Wire.Snap_k { keys = [] } -> 0
+
+let keys_of_op = function
+  | Wire.Txn_k { writes } -> List.map fst writes
+  | Wire.Snap_k { keys } -> keys
+  | op -> [ key_of_op op ]
+
+let kind_of_op = function
+  | Wire.Txn_k { writes } -> Some (Txn.Writes writes)
+  | Wire.Snap_k { keys } -> Some (Txn.Snap keys)
+  | _ -> None
 
 let queue_of s key =
   match Hashtbl.find_opt s.queues key with
@@ -278,6 +304,14 @@ let queue_of s key =
     let q = Queue.create () in
     Hashtbl.replace s.queues key q;
     q
+
+(* How coordinator thunks re-enter this core.  A standalone server
+   runs them inline under a cork; a pool passes [?post] so they go
+   through the worker's queue and execute on the owning domain. *)
+let post_of t =
+  match t.post_override with
+  | Some p -> p
+  | None -> fun f -> with_cork t f
 
 let rec start_next t s key =
   if not (Hashtbl.mem s.busy key) then
@@ -302,6 +336,7 @@ let rec start_next t s key =
         start_next t s key
       in
       (match op with
+       | Wire.Txn_k _ | Wire.Snap_k _ -> start_multi t s key seq op
        | Wire.Read | Wire.Read_k _ when key < 0 -> reject ()
        | Wire.Read | Wire.Read_k _ ->
          record t key (E.Invoke (s.proc, E.Read));
@@ -324,6 +359,112 @@ let rec start_next t s key =
          (* only processors 0 and 1 hold the two writer roles *)
          reject ())
 
+(* Phase 1 of a multi-key op, entered once per owned key when that key
+   reaches its session queue's head (the key is already marked busy by
+   [start_next]).  Everything from here on is driven by the shared
+   coordinator; the thunks we hand it post back onto this core so
+   engine operations, responses and queue pumps all run on the owning
+   domain. *)
+and start_multi t s key seq op =
+  let post = post_of t in
+  let t0 = t.tr.Transport.now () in
+  let kind =
+    match kind_of_op op with Some k -> k | None -> assert false
+  in
+  let min_key = List.fold_left min max_int (Txn.keys_of_kind kind) in
+  let run_key () =
+    post (fun () ->
+        arm_timer t;
+        match kind with
+        | Txn.Writes writes ->
+          let v = List.assoc key writes in
+          record t key (E.Invoke (s.proc, E.Write v));
+          exec t key
+            (Core.Protocol.write_prog ~level:0 ~proc:s.proc v)
+            (fun () ->
+              record t key (E.Respond (s.proc, None));
+              Txn.key_done t.txns ~src:s.src ~seq ~key ())
+        | Txn.Snap _ ->
+          (* pin the core's store: GC must not reorganize the log under
+             a snapshot read's consistent cut *)
+          (match t.storage with Some st -> Storage.pin st | None -> ());
+          record t key (E.Invoke (s.proc, E.Read));
+          exec t key
+            (Core.Protocol.read_prog ())
+            (fun v ->
+              record t key (E.Respond (s.proc, Some v));
+              (match t.storage with
+               | Some st -> Storage.unpin st
+               | None -> ());
+              Txn.key_done t.txns ~src:s.src ~seq ~key ~value:v ()))
+  in
+  let finish () =
+    post (fun () ->
+        Metrics.observe t.h_op (t.tr.Transport.now () -. t0);
+        Hashtbl.remove s.busy key;
+        start_next t s key)
+  in
+  let resp_thunk =
+    (* the owner of the smallest key is the coordinator: it answers *)
+    if key = min_key then
+      Some
+        (fun values ->
+          post (fun () ->
+              match values with
+              | None -> respond t s seq None
+              | Some vs ->
+                t.ops_served <- t.ops_served + 1;
+                Metrics.incr t.m_served;
+                t.tr.Transport.send ~src:t.me ~dst:s.src
+                  (Wire.Resp_snap { seq; values = vs })))
+    else None
+  in
+  Txn.key_ready t.txns ~src:s.src ~seq ~kind ~key ~exec:run_key ~finish
+    ?respond:resp_thunk ()
+
+(* Queue [op] into every owned touched key's session queue, returning
+   the touched (owned) keys.  A structurally invalid multi-key op —
+   empty, duplicate or negative keys, oversize, or a transaction from
+   a non-writer processor — is rejected with an empty [Resp] by
+   exactly one core, the owner of [key_of_op op], so a worker pool
+   answers once. *)
+let enqueue_op t s seq op =
+  match op with
+  | Wire.Txn_k _ | Wire.Snap_k _ ->
+    let keys = keys_of_op op in
+    let ok =
+      Txn.valid_keys keys
+      &&
+      match op with
+      | Wire.Txn_k _ -> s.proc = 0 || s.proc = 1
+      | _ -> true
+    in
+    if not ok then begin
+      if t.owns (key_of_op op) then begin
+        t.rejected <- t.rejected + 1;
+        Metrics.incr t.m_rejected;
+        t.tr.Transport.send ~src:t.me ~dst:s.src
+          (Wire.Resp { seq; result = None })
+      end;
+      []
+    end
+    else
+      List.filter
+        (fun key ->
+          if t.owns key then begin
+            Queue.add (seq, op) (queue_of s key);
+            true
+          end
+          else false)
+        keys
+  | _ ->
+    let key = key_of_op op in
+    if t.owns key then begin
+      Queue.add (seq, op) (queue_of s key);
+      [ key ]
+    end
+    else []
+
 let admit t s =
   (* collect the newly in-order ops, then kick each touched key once;
      sequence numbers advance over every in-order arrival, but only
@@ -335,11 +476,10 @@ let admit t s =
     match Hashtbl.find_opt s.stash s.next_seq with
     | Some op ->
       Hashtbl.remove s.stash s.next_seq;
-      let key = key_of_op op in
-      if t.owns key then begin
-        Queue.add (s.next_seq, op) (queue_of s key);
-        if not (List.mem key !touched) then touched := key :: !touched
-      end;
+      List.iter
+        (fun key ->
+          if not (List.mem key !touched) then touched := key :: !touched)
+        (enqueue_op t s s.next_seq op);
       s.next_seq <- s.next_seq + 1
     | None -> continue := false
   done;
@@ -388,11 +528,7 @@ let rec on_message_inner t ~src msg =
           over the ops other cores own *)
        if seq >= s.next_seq then begin
          s.next_seq <- seq + 1;
-         let key = key_of_op op in
-         if t.owns key then begin
-           Queue.add (seq, op) (queue_of s key);
-           start_next t s key
-         end
+         List.iter (fun key -> start_next t s key) (enqueue_op t s seq op)
        end
      | Some s when seq >= s.next_seq ->
        Hashtbl.replace s.stash seq op;
@@ -406,6 +542,7 @@ let rec on_message_inner t ~src msg =
   | Wire.Stats_req { rid } ->
     (* live observability over the wire: no session needed, safe to
        answer anyone who can reach the socket *)
+    let tx = Txn.stats t.txns in
     let stats =
       Metrics.wire_stats t.metrics
       @ [
@@ -413,11 +550,15 @@ let rec on_message_inner t ~src msg =
           ("shards", shards t);
           ("engine", Engine.kind_code (Registry.spec t.registry).Engine.kind);
           ("audit_violation", if t.violations_rev = [] then 0 else 1);
+          ("txns_committed", tx.Txn.txns_committed);
+          ("snaps_served", tx.Txn.snaps_served);
+          ("txn_violation", if Txn.violations t.txns = [] then 0 else 1);
         ]
     in
     t.tr.Transport.send ~src:t.me ~dst:src (Wire.Stats_reply { rid; stats })
-  | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _
-  | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _ -> ()
+  | Wire.Resp _ | Wire.Resp_snap _ | Wire.Query _ | Wire.Store _
+  | Wire.Stats_reply _ | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _
+    -> ()
 
 let on_message t ~src msg =
   with_cork t (fun () ->
@@ -446,3 +587,5 @@ let violation t =
 let ops_served t = t.ops_served
 let rejected t = t.rejected
 let quorum_stats t = Registry.stats t.registry
+let txns t = t.txns
+let txn_violations t = Txn.violations t.txns

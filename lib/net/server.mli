@@ -51,6 +51,9 @@ val create :
   ?cork:bool ->
   ?presequenced:bool ->
   ?owns:(int -> bool) ->
+  ?txns:Txn.t ->
+  ?torn_txn:bool ->
+  ?post:((unit -> unit) -> unit) ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -110,6 +113,17 @@ val create :
     Leave it off when the core sees the raw client stream — there the
     stash is what reorders a lossy or multi-path delivery.
 
+    [txns] (default: a fresh private {!Txn} coordinator) is the
+    cross-key coordinator for atomic multi-key transactions
+    ({!Wire.op.Txn_k}) and snapshot reads ({!Wire.op.Snap_k}): a
+    {!Server_pool} passes one shared coordinator to all of its worker
+    cores so cross-domain batches stay atomic.  [torn_txn] (only
+    meaningful without an explicit [txns]) enables the coordinator's
+    deliberate torn-batch bug hook — see {!Txn.create}.  [post]
+    overrides how coordinator thunks re-enter this core: by default
+    they run inline under a cork; a pool passes its worker-queue
+    injection so they execute on the owning domain.
+
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]
     invoke-to-respond histogram, one [shard<i>_ops] counter per shard,
@@ -123,9 +137,18 @@ val metrics : t -> Metrics.t
 
 val key_of_op : Wire.op -> int
 (** The register key a client operation addresses — the legacy unkeyed
-    [Read]/[Write] are the key-0 register.  This is the op → key
-    mapping admission and execution use; a router that point-routes
-    requests (see [presequenced]) must agree with it. *)
+    [Read]/[Write] are the key-0 register.  For a multi-key op this is
+    its {e routing} key: the first listed key (0 when the list is
+    empty, so even an invalid frame has a well-defined core that
+    rejects it).  This is the op → key mapping admission and execution
+    use; a router that point-routes requests (see [presequenced]) must
+    agree with it. *)
+
+val keys_of_op : Wire.op -> int list
+(** Every key an operation touches, in request order: the write keys
+    of a [Txn_k], the read keys of a [Snap_k], the singleton
+    {!key_of_op} otherwise.  A multi-key op must be delivered to the
+    owner of {e each} of these (see {!Server_pool.dispatch}). *)
 
 val registry : t -> Registry.t
 (** The shard engines — for tests and stats. *)
@@ -186,9 +209,20 @@ val ops_served : t -> int
 
 val rejected : t -> int
 (** Operations refused without execution: writes attempted by
-    non-writer sessions (procs other than 0 and 1) and ops naming a
-    negative key.  Acknowledged with [Resp { result = None }] but not
-    recorded in any history. *)
+    non-writer sessions (procs other than 0 and 1), ops naming a
+    negative key, and structurally invalid multi-key ops (empty,
+    duplicate or negative keys, more than {!Wire.max_txn} of them, or
+    a transaction from a non-writer).  Acknowledged with
+    [Resp { result = None }] but not recorded in any history. *)
 
 val quorum_stats : t -> Engine.stats
 (** Aggregate counters over every shard's engine. *)
+
+val txns : t -> Txn.t
+(** The multi-key coordinator this core reports to (shared across a
+    pool's cores). *)
+
+val txn_violations : t -> string list
+(** Torn-batch verdicts from the coordinator's cross-key audit —
+    empty iff every committed snapshot observed an atomic cut.  See
+    {!Txn.violations}. *)

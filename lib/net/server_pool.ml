@@ -59,13 +59,18 @@ let worker_loop w =
   done
 
 let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
-    ?metrics ?trace ?map ?(cork = true) ?(domains = 1) ~me ~replicas ~init () =
+    ?metrics ?trace ?map ?(cork = true) ?(domains = 1) ?torn_txn ~me ~replicas
+    ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
   in
   let nd = max 1 domains in
   let storage = match storage with Some f -> f | None -> fun _ -> None in
+  (* ONE multi-key coordinator shared by every core: a cross-domain
+     batch is atomic because all its keys' cores lock through the same
+     table, whichever domains own them *)
+  let txns = Txn.create ?torn:torn_txn ?audit ~init () in
   let make d =
     (* the core's timers must run on its own domain, not on the
        transport's timer thread: re-route each callback through the
@@ -81,10 +86,14 @@ let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
       }
     in
     let owns key = Shard_map.shard_of_key map key mod nd = d in
+    (* coordinator thunks must run on the owning domain, not on
+       whichever domain committed the multi-key op: inject them
+       through the worker queue like timer callbacks *)
+    let post f = match !wref with Some w -> push w (Fn f) | None -> f () in
     let core =
       Server.create ~transport:wt ?audit ?resend_every ?engine ?read_quorum
         ?storage:(storage d) ~metrics ?trace ~map ~cork ~presequenced:true
-        ~owns ~me ~replicas ~init ()
+        ~owns ~txns ~post ~me ~replicas ~init ()
     in
     let w =
       { core; mu = Mutex.create (); cv = Condition.create ();
@@ -123,6 +132,17 @@ let dispatch t ~src msg =
     match m with
     | Wire.Batch msgs -> List.iter go msgs
     | Wire.Hello _ | Wire.Bye -> all m
+    | Wire.Req { op = (Wire.Txn_k _ | Wire.Snap_k _) as op; _ } ->
+      (* a multi-key op goes to the owner of EACH touched key — every
+         one of them must queue it (phase 1 of the coordinator) — and
+         each worker exactly once.  An op with no keys still routes to
+         its routing-key owner, who rejects it. *)
+      (match
+         List.sort_uniq compare
+           (List.map (worker_of_key t) (Server.keys_of_op op))
+       with
+       | [] -> one (worker_of_key t (Server.key_of_op op)) m
+       | ws -> List.iter (fun w -> one w m) ws)
     | Wire.Req { op; _ } ->
       (* point-route by key owner: cores run presequenced (this thread
          preserves each session's arrival order), so no other worker
@@ -133,8 +153,9 @@ let dispatch t ~src msg =
     | Wire.Ack2 { lid; _ } | Wire.Query2_reply { lid; _ } ->
       if lid >= 0 then one (lid mod t.nd) m
     | Wire.Stats_req _ -> one 0 m
-    | Wire.Resp _ | Wire.Query _ | Wire.Store _ | Wire.Stats_reply _
-    | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _ -> ()
+    | Wire.Resp _ | Wire.Resp_snap _ | Wire.Query _ | Wire.Store _
+    | Wire.Stats_reply _ | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _
+      -> ()
   in
   go msg;
   Array.iteri
@@ -182,3 +203,7 @@ let quorum_stats t =
   Array.fold_left
     (fun acc w -> Engine.add_stats acc (Server.quorum_stats w.core))
     Engine.zero_stats t.workers
+
+(* the coordinator is shared: any core's view is the pool's view *)
+let txns t = Server.txns t.workers.(0).core
+let txn_violations t = Server.txn_violations t.workers.(0).core

@@ -28,6 +28,15 @@
     most one (re-batched) enqueue per worker, so a K-message frame
     costs O(workers) queue handoffs, not O(K).
 
+    {b Multi-key ops.}  A {!Wire.op.Txn_k} or {!Wire.op.Snap_k} is
+    delivered to the owner of {e each} touched key (each worker once):
+    every owning core queues it on its keys and reports them to the
+    {e shared} {!Txn} coordinator, which serializes the whole batch
+    against overlapping multi-key ops across all domains — the
+    coordinator's thunks re-enter each core through its worker queue,
+    so engine ops and responses still run on the owning domain.  The
+    coordinator (the smallest key's owner) sends the single reply.
+
     {b Ownership and audits.}  Worker state never crosses domains:
     each worker has its own engines, sessions, monitors and (if
     configured) its own store.  The shared {!Metrics.t} is safe by
@@ -55,6 +64,7 @@ val create :
   ?map:Shard_map.t ->
   ?cork:bool ->
   ?domains:int ->
+  ?torn_txn:bool ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -69,7 +79,9 @@ val create :
     durable pool persists under [dir/server-d<i>] and must be
     restarted with the same [domains] to recover every shard's
     timestamps.  Timer callbacks of each core are re-routed into its
-    worker queue, so cores never execute on a transport thread. *)
+    worker queue, so cores never execute on a transport thread.
+    [torn_txn] enables the shared coordinator's deliberate torn-batch
+    bug hook (see {!Txn.create}). *)
 
 val dispatch : t -> src:Transport.node -> Wire.msg -> unit
 (** Feed one incoming frame (possibly a [Batch]).  Thread-safe; called
@@ -116,3 +128,10 @@ val history : t -> int Histories.Event.t list
 
 val quorum_stats : t -> Engine.stats
 (** Aggregate engine counters over every worker's shards. *)
+
+val txns : t -> Txn.t
+(** The multi-key coordinator shared by every core. *)
+
+val txn_violations : t -> string list
+(** Torn-batch verdicts of the shared coordinator's cross-key audit —
+    empty iff every committed snapshot observed an atomic cut. *)

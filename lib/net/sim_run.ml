@@ -4,6 +4,7 @@ type outcome = {
   history : int E.t list;
   timed : (float * int E.t) list;
   monitor_violation : string option;
+  txn_violations : string list;
   fastcheck_ok : bool;
   key_fastcheck : (int * bool) list;
   key_violations : (int * string) list;
@@ -17,9 +18,22 @@ type outcome = {
   metrics : Metrics.t;
 }
 
+(* Extended workload ops: the plain register scripts plus the
+   multi-key operations of this layer. *)
+type xop = Single of int E.op | Txn_w of (int * int) list | Snap of int list
+
+type xprocess = { xproc : E.proc; xscript : xop list }
+
+(* One multi-key op answers once but records one Invoke/Respond pair
+   per touched key, so completion accounting weighs it by its keys. *)
+let xop_weight = function
+  | Single _ -> 1
+  | Txn_w ws -> List.length ws
+  | Snap ks -> List.length ks
+
 type client = {
   proc : E.proc;
-  mutable todo : int E.op list;
+  mutable todo : xop list;
   mutable next_seq : int;
 }
 
@@ -76,10 +90,21 @@ type cluster = {
 
 let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     ?(shards = 1) ?keys ?(engine = Engine.default) ?read_quorum
-    ?(durable = true) ?(snapshot_every = 32) ?group_commit ?(audit = true)
-    ?metrics ?measure ?trace ~seed ~init ~processes () =
+    ?(durable = true) ?(snapshot_every = 32) ?gc_bytes ?group_commit
+    ?(audit = true) ?(xprocesses = []) ?torn_txn ?metrics ?measure ?trace
+    ~seed ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
+  (* plain register processes are the [Single]-only special case *)
+  let xprocesses =
+    match xprocesses with
+    | [] ->
+      List.map
+        (fun { Registers.Vm.proc; script } ->
+          { xproc = proc; xscript = List.map (fun op -> Single op) script })
+        processes
+    | xs -> xs
+  in
   let faults =
     {
       faults with
@@ -116,7 +141,7 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     if durable then
       Replica.create ~init
         ~storage:
-          (Storage.create ~snapshot_every ?group_commit
+          (Storage.create ~snapshot_every ?gc_bytes ?group_commit
              (Storage.Disk.backend disks.(r)))
         ~unordered ()
     else Replica.create ~init ~unordered ()
@@ -175,8 +200,8 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
   let map = Shard_map.create ~shards () in
   let server =
     Server.create ~transport:tr ~audit ~resend_every ~engine ?read_quorum
-      ~metrics ?trace ~map ~me:Transport.server ~replicas:replica_nodes ~init
-      ()
+      ?torn_txn ~metrics ?trace ~map ~me:Transport.server
+      ~replicas:replica_nodes ~init ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
   (* clients: send [Hello; first window] as one batch, then keep the
@@ -184,30 +209,34 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
      process round-robins its script over the keys, so a window > 1
      keeps several per-key pipelines busy at once. *)
   List.iter
-    (fun { Registers.Vm.proc; script } ->
+    (fun { xproc = proc; xscript } ->
       let me = Transport.client proc in
-      let c = { proc; todo = script; next_seq = 0 } in
+      let c = { proc; todo = xscript; next_seq = 0 } in
       let next_req () =
         match c.todo with
         | [] -> None
-        | op :: rest ->
+        | xop :: rest ->
           c.todo <- rest;
           let seq = c.next_seq in
           c.next_seq <- seq + 1;
           let op =
-            if nkeys = 1 then
-              match op with E.Read -> Wire.Read | E.Write v -> Wire.Write v
-            else
-              let key = seq mod nkeys in
-              match op with
-              | E.Read -> Wire.Read_k { key }
-              | E.Write v -> Wire.Write_k { key; value = v }
+            match xop with
+            | Single op ->
+              if nkeys = 1 then
+                match op with E.Read -> Wire.Read | E.Write v -> Wire.Write v
+              else
+                let key = seq mod nkeys in
+                (match op with
+                 | E.Read -> Wire.Read_k { key }
+                 | E.Write v -> Wire.Write_k { key; value = v })
+            | Txn_w writes -> Wire.Txn_k { writes }
+            | Snap keys -> Wire.Snap_k { keys }
           in
           Some (Wire.Req { seq; op })
       in
       Sim_net.register net me (fun ~src:_ msg ->
           match msg with
-          | Wire.Resp _ ->
+          | Wire.Resp _ | Wire.Resp_snap _ ->
             (match next_req () with
              | Some req ->
                tr.Transport.send ~src:me ~dst:Transport.server req
@@ -221,11 +250,12 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
       done;
       tr.Transport.send ~src:me ~dst:Transport.server
         (Wire.Batch (List.rev !first)))
-    processes;
+    xprocesses;
   let expected =
     List.fold_left
-      (fun n { Registers.Vm.script; _ } -> n + List.length script)
-      0 processes
+      (fun n { xscript; _ } ->
+        List.fold_left (fun n xop -> n + xop_weight xop) n xscript)
+      0 xprocesses
   in
   {
     net;
@@ -272,6 +302,7 @@ let collect cl ~steps =
     monitor_violation =
       (match key_violations with [] -> None | (k, v) :: _ ->
         Some (Fmt.str "key %d: %s" k v));
+    txn_violations = Server.txn_violations server;
     fastcheck_ok = List.for_all snd key_fastcheck;
     key_fastcheck;
     key_violations;
@@ -286,13 +317,13 @@ let collect cl ~steps =
   }
 
 let run ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum ?durable
-    ?snapshot_every ?group_commit ?crash_replica ?partition_replicas
-    ?(fates = []) ?(max_steps = 2_000_000) ?audit ?metrics ?measure ?trace
-    ~seed ~init ~processes () =
+    ?snapshot_every ?gc_bytes ?group_commit ?crash_replica
+    ?partition_replicas ?(fates = []) ?(max_steps = 2_000_000) ?audit
+    ?xprocesses ?torn_txn ?metrics ?measure ?trace ~seed ~init ~processes () =
   let cl =
     build ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum
-      ?durable ?snapshot_every ?group_commit ?audit ?metrics ?measure ?trace
-      ~seed ~init ~processes ()
+      ?durable ?snapshot_every ?gc_bytes ?group_commit ?audit ?xprocesses
+      ?torn_txn ?metrics ?measure ?trace ~seed ~init ~processes ()
   in
   (* fault schedule: the legacy shorthands desugar to fates *)
   let fates =
@@ -316,6 +347,7 @@ let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>ops: %d/%d completed in %d steps (virtual span %.1f)@,\
      live audit: %s@,\
+     txn audit:  %s@,\
      fastcheck:  %s (%d key%s)@,\
      network: %d delivered, %d dropped, %d duplicated, %d blocked@,\
      engine: %d reads, %d writes, %d msgs, %d retransmissions, %d bytes \
@@ -324,6 +356,9 @@ let pp_outcome ppf o =
     (match o.monitor_violation with
      | None -> "no violation"
      | Some v -> "VIOLATION: " ^ v)
+    (match o.txn_violations with
+     | [] -> "no torn batch"
+     | v :: _ -> "TORN: " ^ v)
     (if o.fastcheck_ok then "atomic" else "NOT ATOMIC")
     (List.length o.key_fastcheck)
     (if List.length o.key_fastcheck = 1 then "" else "s")

@@ -26,6 +26,9 @@ type outcome = {
   monitor_violation : string option;
       (** first live-audit violation of any key ([None] = every
           per-key audit accepts) *)
+  txn_violations : string list;
+      (** torn-batch verdicts of the cross-key {!Txn} audit (empty =
+          every committed snapshot observed an atomic cut) *)
   fastcheck_ok : bool;
       (** conjunction of the per-key post-hoc {!Histories.Fastcheck}
           verdicts (requires written values to be unique) *)
@@ -47,6 +50,24 @@ type outcome = {
           the one passed in, or a fresh instance if none was *)
 }
 
+(** {2 Extended workloads}
+
+    [xprocesses] generalizes the plain register scripts with the
+    multi-key operations of this layer; a plain [processes] workload
+    is the [Single]-only special case.  One multi-key op answers with
+    a single reply but records one Invoke/Respond pair per touched
+    key, so [expected]/[completed] weigh it by its key count. *)
+
+type xop =
+  | Single of int Histories.Event.op
+      (** one register op, keyed [seq mod keys] like plain scripts *)
+  | Txn_w of (int * int) list
+      (** an atomic multi-key transaction ({!Wire.op.Txn_k}) *)
+  | Snap of int list
+      (** a consistent snapshot read ({!Wire.op.Snap_k}) *)
+
+type xprocess = { xproc : Histories.Event.proc; xscript : xop list }
+
 val run :
   ?faults:Sim_net.faults ->
   ?replicas:int ->
@@ -57,12 +78,15 @@ val run :
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
+  ?gc_bytes:int ->
   ?group_commit:Storage.commit_config ->
   ?crash_replica:(int * float) ->
   ?partition_replicas:float * float ->
   ?fates:(float * Harness.Failure.net_fate) list ->
   ?max_steps:int ->
   ?audit:bool ->
+  ?xprocesses:xprocess list ->
+  ?torn_txn:bool ->
   ?metrics:Metrics.t ->
   ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->
@@ -101,6 +125,14 @@ val run :
     neither speak nor write to the disk of its replacement.  Defaults: reliable network,
     3 replicas, pipelining window 4, 1 shard (the unsharded
     single-register service), audit on, [max_steps] 2_000_000.
+
+    [gc_bytes] opens each replica store with the WAL-size GC frontier
+    (see {!Storage.create}); [xprocesses] (default: derived from
+    [processes]) runs an extended workload with multi-key transactions
+    and snapshot reads, audited by the server's shared {!Txn}
+    coordinator; [torn_txn] enables the coordinator's deliberate
+    torn-batch bug hook, the [?read_quorum]-style target for
+    {!Explore}'s regression tests.
 
     [metrics] and [trace] are shared by the transport and the server:
     the trace (virtual-time stamped) records sends, deliveries, drops,
@@ -143,8 +175,11 @@ val build :
   ?read_quorum:int ->
   ?durable:bool ->
   ?snapshot_every:int ->
+  ?gc_bytes:int ->
   ?group_commit:Storage.commit_config ->
   ?audit:bool ->
+  ?xprocesses:xprocess list ->
+  ?torn_txn:bool ->
   ?metrics:Metrics.t ->
   ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->

@@ -27,6 +27,20 @@
     before returning, and the twobit engine's fault model is crash-stop
     — while the entry's own ack still waits for durability.
 
+    {2 Garbage collection}
+
+    A snapshot already {e is} the store's GC: every WAL entry is
+    superseded by the table the snapshot persists, so installing one
+    truncates the log.  [snapshot_every] bounds the WAL in {e appends};
+    [gc_bytes] bounds it in {e bytes} — whenever a commit leaves the
+    durable WAL larger than the threshold, the GC frontier advances
+    (snapshot + truncate) right there on the committing path, so only
+    durable entries are ever collected and recovery can never lose an
+    acknowledged write to GC.  In-flight snapshot reads {!pin} the
+    store; a GC that triggers while pins are held is deferred (counted
+    in [gc_deferrals]) and discharged by the last {!unpin}, so the log
+    is never reorganized under a consistent multi-key read.
+
     The store never arms timers itself: [flush_every] is advisory,
     exposed via {!flush_deadline} for the driver (server, sim harness,
     service flusher) that owns the threading model.  All public
@@ -181,12 +195,19 @@ type commit_config = {
 (** Group-commit tuning, mirroring the client batcher in
     [lib/net/client.ml] (size cap + flush deadline). *)
 
-val create : ?snapshot_every:int -> ?group_commit:commit_config -> backend -> t
+val create :
+  ?snapshot_every:int ->
+  ?gc_bytes:int ->
+  ?group_commit:commit_config ->
+  backend ->
+  t
 (** Open the store: load the snapshot, replay the WAL's valid prefix,
     repair (truncate) a torn tail.  [snapshot_every] (default [0] =
     never) is the number of appends between automatic snapshots.
-    [group_commit] (default off) enables the commit queue documented
-    above.  Raises {!Corrupt} on an unreadable snapshot. *)
+    [gc_bytes] (default [0] = off) is the WAL-size threshold of the GC
+    frontier documented above.  [group_commit] (default off) enables
+    the commit queue documented above.  Raises {!Corrupt} on an
+    unreadable snapshot. *)
 
 val append : t -> entry -> unit
 (** Append one entry — durable when this returns — and apply it to the
@@ -227,6 +248,18 @@ val flush_deadline : t -> float
 val snapshot : t -> unit
 (** Force a snapshot now (flushes the pending batch first). *)
 
+val pin : t -> unit
+(** Hold the GC frontier: while any pin is held, a [gc_bytes] trigger
+    is deferred instead of truncating the log.  Taken by a server for
+    each in-flight snapshot-read key. *)
+
+val unpin : t -> unit
+(** Release one pin; the last release discharges a deferred GC.
+    Excess unpins are ignored. *)
+
+val pins : t -> int
+(** Pins currently held. *)
+
 val lookup : t -> int -> (int * Wire.payload) option
 val contents : t -> (int * (int * Wire.payload)) list
 (** Sorted by register index. *)
@@ -236,6 +269,8 @@ type stats = {
   batch_commits : int;  (** backend appends, i.e. write+fsync rounds *)
   max_batch : int;  (** largest batch committed since open *)
   snapshots_taken : int;  (** snapshots since open *)
+  gc_runs : int;  (** snapshots forced by the [gc_bytes] frontier *)
+  gc_deferrals : int;  (** GC triggers deferred by held pins *)
   recovered_snapshot : int;  (** registers loaded from the snapshot *)
   recovered_wal : int;  (** WAL records replayed at open *)
   torn_bytes : int;  (** tail bytes discarded (and truncated) at open *)

@@ -1,0 +1,318 @@
+(* Cross-key (and, under a Server_pool, cross-domain) coordination for
+   atomic multi-key transactions and snapshot reads.
+
+   One value of this module is shared by every Server core of a service
+   instance.  A multi-key operation executes in four phases:
+
+   1. {e readiness} — the op occupies the session queue of every key it
+      touches; each owning core reports a key when the op reaches that
+      queue's head.  Only when every key is ready does the op proceed,
+      so a lock holder can never be waiting behind another session-queue
+      entry (that would close a waits-for cycle through the queues).
+   2. {e locking} — the op acquires one global lock per key, in
+      ascending key order, as a single chained walk.  Total order on
+      locks + full readiness first = no deadlock: a blocked op only
+      ever waits for a strictly smaller-keyed lock to be released by an
+      op that is already executing.
+   3. {e execution} — every owning core starts its keys' engine
+      operations in parallel (each on its own registry, so quorum
+      replies keep point-routing to the right domain).
+   4. {e commit} — when the last engine op completes, the coordinator
+      (the owner of the smallest key) answers the client, the locks are
+      released (waking waiters through their cores' [post]), and each
+      core releases its session queues.
+
+   Plain single-key ops never touch the locks: per-key atomicity is the
+   engines' job, and the torn-batch audit ignores values it cannot
+   attribute to a transaction.  The locks only serialize multi-key ops
+   against each other on overlapping key sets — which is exactly the
+   property the audit checks.
+
+   The audit versions every transactional write per key (under the same
+   mutex that guards the locks, at lock-grant time, so a blocked
+   transaction cannot leak versions into a snapshot that is still
+   running).  A snapshot maps each observed value back to a version —
+   the initial value is version 0, values written by no recorded
+   transaction are unattributable and ignored — and is torn iff some
+   recorded transaction is both visible (one shared key at or above its
+   version) and invisible (another shared key below it).  Like
+   [Fastcheck.check_unique], the audit assumes per-key unique write
+   values; reusing a value across writes to one key can mislabel an
+   observation.
+
+   [torn] is the deliberate-bug hook of this PR: it turns lock
+   acquisition into an immediate grant (readiness still holds), so the
+   parallel phase-3 engine ops race snapshots — the explorer must catch
+   the resulting torn observation, and must exhaust clean without the
+   hook. *)
+
+type kind = Writes of (int * int) list | Snap of int list
+
+type lock = {
+  mutable held : bool;
+  waiters : (unit -> unit) Queue.t;  (* granted FIFO on release *)
+}
+
+type mop = {
+  kind : kind;
+  keys : int array;  (* ascending, distinct *)
+  mutable ready : int;  (* keys reported at their session-queue head *)
+  mutable completed : int;  (* per-key engine ops finished *)
+  mutable locked : bool;
+  mutable execs : (unit -> unit) list;
+  mutable finishes : (unit -> unit) list;
+  mutable respond : (int list option -> unit) option;
+  values : (int, int) Hashtbl.t;  (* snapshot key -> value read *)
+}
+
+type t = {
+  mu : Mutex.t;
+  torn : bool;
+  audit : bool;
+  init : int;
+  locks : (int, lock) Hashtbl.t;
+  ops : (int * int, mop) Hashtbl.t;  (* (client node, seq) -> in flight *)
+  ver : (int, int) Hashtbl.t;  (* key -> last version stamped *)
+  value_ver : (int * int, int) Hashtbl.t;  (* (key, value) -> version *)
+  mutable txns_rev : (int * int) list list;  (* recorded txn stamps *)
+  mutable violations_rev : string list;
+  mutable txns_committed : int;
+  mutable snaps_served : int;
+}
+
+let create ?(torn = false) ?(audit = true) ~init () =
+  {
+    mu = Mutex.create ();
+    torn;
+    audit;
+    init;
+    locks = Hashtbl.create 16;
+    ops = Hashtbl.create 16;
+    ver = Hashtbl.create 16;
+    value_ver = Hashtbl.create 64;
+    txns_rev = [];
+    violations_rev = [];
+    txns_committed = 0;
+    snaps_served = 0;
+  }
+
+let keys_of_kind = function
+  | Writes ws -> List.map fst ws
+  | Snap keys -> keys
+
+(* Structural validity, shared with the servers so every core of a pool
+   rejects (or admits) a multi-key op identically: at least one key,
+   all non-negative, no duplicates, within the wire cap. *)
+let valid_keys keys =
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a < b && distinct rest
+    | _ -> true
+  in
+  keys <> []
+  && List.length keys <= Wire.max_txn
+  && List.for_all (fun k -> k >= 0) keys
+  && distinct (List.sort compare keys)
+
+let lock_of t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> l
+  | None ->
+    let l = { held = false; waiters = Queue.create () } in
+    Hashtbl.replace t.locks key l;
+    l
+
+(* Version stamping at lock grant (audit only): the writes become
+   attributable exactly when no snapshot can be mid-flight over them. *)
+let stamp_locked t op =
+  match op.kind with
+  | Snap _ -> ()
+  | Writes ws ->
+    let vers =
+      List.map
+        (fun (k, v) ->
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.ver k) in
+          Hashtbl.replace t.ver k n;
+          Hashtbl.replace t.value_ver (k, v) n;
+          (k, n))
+        ws
+    in
+    t.txns_rev <- vers :: t.txns_rev
+
+(* Phase 2/3: walk the locks in ascending order; parked continuations
+   resume the walk from where they stopped.  All engine-op starts run
+   outside the mutex (they post into the owning cores). *)
+let rec acquire_from t op i =
+  if t.torn then granted t op
+  else begin
+    Mutex.lock t.mu;
+    let n = Array.length op.keys in
+    let rec go i =
+      if i = n then true
+      else begin
+        let l = lock_of t op.keys.(i) in
+        if not l.held then begin
+          l.held <- true;
+          go (i + 1)
+        end
+        else begin
+          Queue.add (fun () -> acquire_from t op (i + 1)) l.waiters;
+          false
+        end
+      end
+    in
+    let all = go i in
+    Mutex.unlock t.mu;
+    if all then granted t op
+  end
+
+and granted t op =
+  Mutex.lock t.mu;
+  op.locked <- true;
+  if t.audit then stamp_locked t op;
+  let execs = op.execs in
+  Mutex.unlock t.mu;
+  List.iter (fun f -> f ()) execs
+
+let key_ready t ~src ~seq ~kind ~key ~exec ~finish ?respond () =
+  Mutex.lock t.mu;
+  let op =
+    match Hashtbl.find_opt t.ops (src, seq) with
+    | Some op -> op
+    | None ->
+      let keys =
+        Array.of_list (List.sort_uniq compare (keys_of_kind kind))
+      in
+      let op =
+        {
+          kind;
+          keys;
+          ready = 0;
+          completed = 0;
+          locked = false;
+          execs = [];
+          finishes = [];
+          respond = None;
+          values = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace t.ops (src, seq) op;
+      op
+  in
+  op.execs <- exec :: op.execs;
+  op.finishes <- finish :: op.finishes;
+  (match respond with Some r -> op.respond <- Some r | None -> ());
+  op.ready <- op.ready + 1;
+  ignore key;
+  let all_ready = op.ready = Array.length op.keys in
+  Mutex.unlock t.mu;
+  if all_ready then acquire_from t op 0
+
+(* The torn-batch check, run at snapshot commit while the snapshot
+   still holds its locks: map every observed value to a version and
+   look for a recorded transaction that is half visible. *)
+let check_torn_locked t op =
+  let obs k =
+    match Hashtbl.find_opt op.values k with
+    | None -> None
+    | Some v -> (
+      match Hashtbl.find_opt t.value_ver (k, v) with
+      | Some n -> Some n
+      | None -> if v = t.init then Some 0 else None)
+  in
+  let torn_against vers =
+    let shared =
+      List.filter_map
+        (fun (k, vt) ->
+          if Array.exists (fun k' -> k' = k) op.keys then
+            match obs k with Some o -> Some (k, vt, o) | None -> None
+          else None)
+        vers
+    in
+    match
+      ( List.find_opt (fun (_, vt, o) -> o >= vt) shared,
+        List.find_opt (fun (_, vt, o) -> o < vt) shared )
+    with
+    | Some (k1, vt1, o1), Some (k2, vt2, o2) ->
+      Some
+        (Fmt.str
+           "torn batch: snapshot saw key %d at version %d (>= the txn's %d) \
+            but key %d at version %d (< the txn's %d)"
+           k1 o1 vt1 k2 o2 vt2)
+    | _ -> None
+  in
+  match List.find_map torn_against (List.rev t.txns_rev) with
+  | Some msg -> t.violations_rev <- msg :: t.violations_rev
+  | None -> ()
+
+let key_done t ~src ~seq ~key ?value () =
+  Mutex.lock t.mu;
+  match Hashtbl.find_opt t.ops (src, seq) with
+  | None -> Mutex.unlock t.mu
+  | Some op ->
+    (match value with
+     | Some v -> Hashtbl.replace op.values key v
+     | None -> ());
+    op.completed <- op.completed + 1;
+    if op.completed < Array.length op.keys then Mutex.unlock t.mu
+    else begin
+      (* phase 4: commit.  Audit under the mutex (the locks are still
+         ours), then answer, then release — every action that can run
+         foreign code happens after unlock. *)
+      Hashtbl.remove t.ops (src, seq);
+      (if t.audit then
+         match op.kind with
+         | Snap _ -> check_torn_locked t op
+         | Writes _ -> ());
+      (match op.kind with
+       | Writes _ -> t.txns_committed <- t.txns_committed + 1
+       | Snap _ -> t.snaps_served <- t.snaps_served + 1);
+      let values =
+        match op.kind with
+        | Writes _ -> None
+        | Snap keys ->
+          Some
+            (List.map
+               (fun k ->
+                 Option.value ~default:t.init (Hashtbl.find_opt op.values k))
+               keys)
+      in
+      let respond = op.respond in
+      let finishes = op.finishes in
+      let wakes =
+        if not op.locked || t.torn then []
+        else
+          Array.fold_left
+            (fun acc k ->
+              let l = Hashtbl.find t.locks k in
+              match Queue.take_opt l.waiters with
+              | Some w -> w :: acc  (* ownership transfers to the waiter *)
+              | None ->
+                l.held <- false;
+                acc)
+            [] op.keys
+      in
+      Mutex.unlock t.mu;
+      (match respond with Some r -> r values | None -> ());
+      List.iter (fun f -> f ()) finishes;
+      List.iter (fun w -> w ()) wakes
+    end
+
+let violations t =
+  Mutex.lock t.mu;
+  let v = List.rev t.violations_rev in
+  Mutex.unlock t.mu;
+  v
+
+type stats = { txns_committed : int; snaps_served : int; in_flight : int }
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      txns_committed = t.txns_committed;
+      snaps_served = t.snaps_served;
+      in_flight = Hashtbl.length t.ops;
+    }
+  in
+  Mutex.unlock t.mu;
+  s

@@ -1,0 +1,127 @@
+(** Cross-key coordinator for atomic multi-key transactions and
+    snapshot reads.
+
+    One value of this module is shared by every {!Server} core of a
+    service instance (a single server owns one; a {!Server_pool} gives
+    all of its worker domains the same one), and serializes multi-key
+    operations against each other so that a {!Wire.op.Snap_k} snapshot
+    can never observe a torn {!Wire.op.Txn_k} batch — even when the
+    touched keys live on different shards served by different worker
+    domains.
+
+    {b Protocol.}  A multi-key operation commits in four phases:
+
+    + {e readiness} — the op is queued into the per-(session, key)
+      queue of {e every} key it touches; each owning core calls
+      {!key_ready} when the op reaches that queue's head.  Readiness
+      strictly precedes locking, so a lock holder never waits behind a
+      session-queue entry.
+    + {e locking} — once every key is ready, the coordinator acquires
+      one lock per key in ascending key order as a single chained
+      walk.  Totally ordered locks + readiness-first make the schedule
+      deadlock-free.
+    + {e execution} — all the [exec] thunks run: each owning core
+      starts its keys' engine operations in parallel and reports each
+      completion with {!key_done}.
+    + {e commit} — on the last {!key_done} the snapshot torn-batch
+      audit runs, the [respond] thunk answers the client, the locks
+      are released (waking FIFO waiters), and the [finish] thunks let
+      each core resume its session queues.
+
+    Plain single-key operations never touch the locks; per-key
+    atomicity is the engines' business.
+
+    {b Audit.}  When [audit] is on, every transactional write is
+    stamped with a fresh per-key version at lock-grant time, and every
+    snapshot maps its observed values back to versions (the initial
+    value is version 0; values not written by any recorded transaction
+    are unattributable and ignored).  A snapshot is {e torn} iff some
+    recorded transaction is half visible through it: one shared key
+    observed at or above the transaction's version while another
+    shared key is below it.  Like [Fastcheck.check_unique], the audit
+    assumes workloads give each key distinct write values; reuse can
+    mislabel an observation.
+
+    {b Thread safety.}  All entry points are safe to call from any
+    domain; internal state is guarded by one mutex, and every supplied
+    thunk is invoked outside it (cores should hand in thunks that post
+    back onto their own queues). *)
+
+type t
+(** A coordinator: lock table, in-flight multi-key operations, and the
+    cross-key atomicity audit. *)
+
+type kind =
+  | Writes of (int * int) list
+      (** An atomic multi-key transaction: [(key, value)] writes. *)
+  | Snap of int list
+      (** A consistent snapshot read of the listed keys. *)
+
+val create : ?torn:bool -> ?audit:bool -> init:int -> unit -> t
+(** [create ~init ()] makes a coordinator for a keyspace whose
+    registers start at [init] (used to attribute version 0 to
+    unwritten keys in the audit).
+
+    [audit] (default [true]) enables the torn-batch audit; turn it off
+    for long benchmark runs to keep the transaction log from growing.
+
+    [torn] (default [false]) is this PR's deliberate-bug hook: it
+    makes lock acquisition an immediate no-op grant (the readiness
+    barrier still holds), so concurrent multi-key operations race over
+    shared keys and {!Explore} can realize — and must catch — a torn
+    snapshot. *)
+
+val keys_of_kind : kind -> int list
+(** The keys an operation touches, in request order (not deduplicated,
+    not sorted). *)
+
+val valid_keys : int list -> bool
+(** Structural validity of a multi-key op's key list: non-empty, all
+    keys non-negative, pairwise distinct, and at most {!Wire.max_txn}
+    long.  Exposed so that every core of a pool — and the client-side
+    encoders — apply the identical admission rule. *)
+
+val key_ready :
+  t ->
+  src:int ->
+  seq:int ->
+  kind:kind ->
+  key:int ->
+  exec:(unit -> unit) ->
+  finish:(unit -> unit) ->
+  ?respond:(int list option -> unit) ->
+  unit ->
+  unit
+(** [key_ready t ~src ~seq ~kind ~key ~exec ~finish ()] reports that
+    the operation [(src, seq)] of shape [kind] has reached the head of
+    [key]'s session queue on its owning core.  [exec] must start the
+    key's engine operation(s) and eventually call {!key_done}; it runs
+    exactly once, after all keys are ready and the locks are held.
+    [finish] runs at commit, after the client has been answered — the
+    core should un-busy the key and pump its queue there.  The owner
+    of the {e smallest} key passes [respond], which delivers the reply
+    ([Some values] in request order for a snapshot, [None] for a
+    transaction ack).  Thunks are called outside the coordinator's
+    mutex, possibly from another core's calling context — pass
+    post-wrapped thunks. *)
+
+val key_done : t -> src:int -> seq:int -> key:int -> ?value:int -> unit -> unit
+(** [key_done t ~src ~seq ~key ()] reports that [key]'s engine
+    operation for [(src, seq)] completed; snapshots pass the value
+    read as [~value].  The last key to complete commits the operation
+    (audit, respond, lock release, finishes). *)
+
+val violations : t -> string list
+(** Torn-batch audit verdicts so far, oldest first; empty means every
+    committed snapshot was an atomic cut.  Mirrors
+    [Server.violations]'s latch-and-report style. *)
+
+type stats = {
+  txns_committed : int;  (** Multi-key transactions committed. *)
+  snaps_served : int;  (** Snapshot reads answered. *)
+  in_flight : int;  (** Multi-key operations currently executing. *)
+}
+(** Observability counters for the service's stats surface. *)
+
+val stats : t -> stats
+(** A consistent snapshot of the counters. *)

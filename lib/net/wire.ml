@@ -7,6 +7,8 @@ type op =
   | Write of int
   | Read_k of { key : int }
   | Write_k of { key : int; value : int }
+  | Txn_k of { writes : (int * int) list }
+  | Snap_k of { keys : int list }
 
 type msg =
   | Hello of { proc : int }
@@ -25,6 +27,7 @@ type msg =
   | Query2 of { lid : int; seq : int; reg : int }
   | Query2_reply of { lid : int; seq : int; pl : payload }
   | Engine_hello of { engine : int }
+  | Resp_snap of { seq : int; values : int list }
 
 let max_frame = 16 * 1024 * 1024
 let max_batch_depth = 8
@@ -33,6 +36,7 @@ let max_stat_name = 1024
 let max_stats = 4096
 let max_lid = 256
 let max_link_seq = 1 lsl 32
+let max_txn = 1024
 
 let add_int b n = Buffer.add_int64_le b (Int64.of_int n)
 let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
@@ -59,6 +63,13 @@ let add_seq b seq =
     invalid_arg (Fmt.str "Wire.encode: link seq %d out of range" seq);
   Buffer.add_int32_le b (Int32.of_int seq)
 
+(* Multi-key ops are bounded like link fields: an over-long key list
+   would be rejected by every receiver, so refuse it at the encoder. *)
+let add_txn_count b n =
+  if n > max_txn then
+    invalid_arg (Fmt.str "Wire.encode: %d keys exceed max_txn (%d)" n max_txn);
+  add_int b n
+
 let rec encode_into b = function
   | Hello { proc } ->
     Buffer.add_char b '\000';
@@ -77,7 +88,19 @@ let rec encode_into b = function
      | Write_k { key; value } ->
        Buffer.add_char b '\003';
        add_int b key;
-       add_int b value)
+       add_int b value
+     | Txn_k { writes } ->
+       Buffer.add_char b '\004';
+       add_txn_count b (List.length writes);
+       List.iter
+         (fun (key, value) ->
+           add_int b key;
+           add_int b value)
+         writes
+     | Snap_k { keys } ->
+       Buffer.add_char b '\005';
+       add_txn_count b (List.length keys);
+       List.iter (add_int b) keys)
   | Resp { seq; result } ->
     Buffer.add_char b '\002';
     add_int b seq;
@@ -154,6 +177,11 @@ let rec encode_into b = function
       invalid_arg (Fmt.str "Wire.encode: engine code %d out of range" engine);
     Buffer.add_char b '\015';
     Buffer.add_char b (Char.chr engine)
+  | Resp_snap { seq; values } ->
+    Buffer.add_char b '\016';
+    add_int b seq;
+    add_txn_count b (List.length values);
+    List.iter (add_int b) values
 
 let encode m =
   let b = Buffer.create 32 in
@@ -208,6 +236,23 @@ let decode s =
        | 3 ->
          let key = int () in
          Req { seq; op = Write_k { key; value = int () } }
+       | 4 ->
+         let n = int () in
+         if n < 0 || n > max_txn then raise (Bad "bad txn size");
+         Req
+           { seq;
+             op =
+               Txn_k
+                 { writes =
+                     List.init n (fun _ ->
+                         let key = int () in
+                         (key, int ()))
+                 }
+           }
+       | 5 ->
+         let n = int () in
+         if n < 0 || n > max_txn then raise (Bad "bad snapshot size");
+         Req { seq; op = Snap_k { keys = List.init n (fun _ -> int ()) } }
        | _ -> raise (Bad "bad op kind"))
     | 2 ->
       let seq = int () in
@@ -264,6 +309,11 @@ let decode s =
       let seq = seq32 () in
       Query2_reply { lid; seq; pl = payload () }
     | 15 -> Engine_hello { engine = byte () }
+    | 16 ->
+      let seq = int () in
+      let n = int () in
+      if n < 0 || n > max_txn then raise (Bad "bad snapshot size");
+      Resp_snap { seq; values = List.init n (fun _ -> int ()) }
     | 10 ->
       let rid = int () in
       let n = int () in
@@ -296,6 +346,8 @@ let rec encoded_size = function
   | Req { op = Write _; _ } -> 18
   | Req { op = Read_k _; _ } -> 18
   | Req { op = Write_k _; _ } -> 26
+  | Req { op = Txn_k { writes }; _ } -> 18 + (16 * List.length writes)
+  | Req { op = Snap_k { keys }; _ } -> 18 + (8 * List.length keys)
   | Resp { result = None; _ } -> 10
   | Resp { result = Some _; _ } -> 18
   | Query _ -> 17
@@ -315,6 +367,7 @@ let rec encoded_size = function
   | Query2 _ -> 14
   | Query2_reply _ -> 15
   | Engine_hello _ -> 2
+  | Resp_snap { values; _ } -> 17 + (8 * List.length values)
 
 (* Control metadata: the encoded bytes that are neither register index
    nor register payload — tags, request ids, timestamps, link headers,
@@ -329,6 +382,9 @@ let rec control_bytes m =
     | Req { op = Read; _ } | Resp { result = None; _ } -> 0
     | Req { op = (Write _ | Read_k _); _ } | Resp { result = Some _; _ } -> 8
     | Req { op = Write_k _; _ } -> 16
+    | Req { op = Txn_k { writes }; _ } -> 16 * List.length writes
+    | Req { op = Snap_k { keys }; _ } -> 8 * List.length keys
+    | Resp_snap { values; _ } -> 8 * List.length values
     | Query _ | Store_ack _ | Query2 _ -> 8
     | Query_reply _ | Store _ | Store2 _ -> 17
     | Query2_reply _ -> 9
@@ -369,6 +425,12 @@ let rec pp ppf = function
   | Req { seq; op = Read_k { key } } -> Fmt.pf ppf "req#%d read[%d]" seq key
   | Req { seq; op = Write_k { key; value } } ->
     Fmt.pf ppf "req#%d write[%d](%d)" seq key value
+  | Req { seq; op = Txn_k { writes } } ->
+    Fmt.pf ppf "req#%d txn{%a}" seq
+      Fmt.(list ~sep:(any ",") (pair ~sep:(any "=") int int))
+      writes
+  | Req { seq; op = Snap_k { keys } } ->
+    Fmt.pf ppf "req#%d snap{%a}" seq Fmt.(list ~sep:(any ",") int) keys
   | Resp { seq; result = Some v } -> Fmt.pf ppf "resp#%d %d" seq v
   | Resp { seq; result = None } -> Fmt.pf ppf "resp#%d ack" seq
   | Query { rid; reg } -> Fmt.pf ppf "query#%d reg%d" rid reg
@@ -390,3 +452,5 @@ let rec pp ppf = function
   | Query2_reply { lid; seq; pl } ->
     Fmt.pf ppf "query2-reply@%d.%d %a" lid seq pp_payload pl
   | Engine_hello { engine } -> Fmt.pf ppf "engine-hello(%d)" engine
+  | Resp_snap { seq; values } ->
+    Fmt.pf ppf "resp-snap#%d {%a}" seq Fmt.(list ~sep:(any ",") int) values

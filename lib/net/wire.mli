@@ -42,6 +42,19 @@ type op =
   | Read_k of { key : int }  (** Read the register named [key]. *)
   | Write_k of { key : int; value : int }
       (** Write [value] to the register named [key]. *)
+  | Txn_k of { writes : (int * int) list }
+      (** Atomic multi-key transaction: write every [(key, value)] pair
+          all-or-nothing — no {!Snap_k} snapshot may observe some of the
+          writes without the others, even when the keys live on
+          different shards (or different worker domains).  At most
+          {!max_txn} writes; keys must be distinct; answered by an
+          empty [Resp] ack. *)
+  | Snap_k of { keys : int list }
+      (** Consistent multi-key snapshot read: the returned values form
+          an atomic cut of the keyspace — for any committed [Txn_k]
+          they contain either all of its writes (per shared key) or
+          none.  At most {!max_txn} keys; answered by {!Resp_snap} with
+          the values in [keys] order. *)
 
 type msg =
   | Hello of { proc : int }
@@ -79,6 +92,9 @@ type msg =
       (** Engine negotiation, server -> replica, once per connection in
           the socket service: the {!Engine.kind} code the service
           instance speaks (shards of one instance are homogeneous). *)
+  | Resp_snap of { seq : int; values : int list }
+      (** Answers a [Req] carrying a {!Snap_k}: one value per requested
+          key, in request order. *)
 
 val max_frame : int
 (** Upper bound on an encoded message body (16 MiB), enforced
@@ -109,14 +125,20 @@ val max_link_seq : int
 (** Exclusive upper bound on a two-bit link sequence number (32-bit
     field: 2{^32}). *)
 
+val max_txn : int
+(** Inclusive upper bound on the keys of one multi-key operation
+    ([Txn_k] writes, [Snap_k] keys, [Resp_snap] values); enforced by
+    both encoder and decoder. *)
+
 val encode : msg -> string
 (** Serialize a message body (no frame header).  Never blocks; cost is
     linear in the message size.  The encoder does {e not} enforce
     {!max_frame} or {!max_batch_depth} — those bite at {!frame} time
     and in the receiver.
     @raise Invalid_argument if a two-bit link header field ([lid],
-    [seq]) or engine code is outside its compact encoding range —
-    truncating silently would break the round-trip law. *)
+    [seq]) or engine code is outside its compact encoding range, or a
+    multi-key op exceeds {!max_txn} keys — emitting bytes every
+    receiver rejects would break the round-trip law. *)
 
 val encoded_size : msg -> int
 (** [String.length (encode m)], computed without allocating — for the

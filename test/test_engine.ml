@@ -54,6 +54,85 @@ let conformance kind () =
         true o.Net.Sim_run.fastcheck_ok)
     [ 1; 2; 3; 4; 5 ]
 
+(* Multi-key conformance: the same transaction/snapshot workload
+   against both engines.  Writers own disjoint keyspans, so each key's
+   write sequence is deterministic (one sequential session per key)
+   and the audited histories must agree engine-for-engine: same
+   per-key write order, same committed-txn and served-snapshot counts,
+   zero per-key and torn-batch violations. *)
+
+let xkeys = 4
+let xv p i k = (10_000 * (p + 1)) + (i * xkeys) + k
+let key_of_value v = v mod xkeys
+
+let xconformance_workload =
+  let txns p keyspan =
+    List.init 6 (fun i ->
+        Net.Sim_run.Txn_w (List.map (fun k -> (k, xv p i k)) keyspan))
+  in
+  let snaps n =
+    List.init n (fun _ -> Net.Sim_run.Snap (List.init xkeys Fun.id))
+  in
+  [
+    { Net.Sim_run.xproc = 0; xscript = txns 0 [ 0; 1 ] };
+    { Net.Sim_run.xproc = 1; xscript = txns 1 [ 2; 3 ] };
+    { Net.Sim_run.xproc = 2; xscript = snaps 6 };
+    { Net.Sim_run.xproc = 3;
+      xscript =
+        snaps 3 @ [ Net.Sim_run.Single r; Net.Sim_run.Single r ] };
+  ]
+
+(* Per-key ordered write sequence of an audited history (written
+   values are unique and name their key by construction). *)
+let audited_writes (o : Net.Sim_run.outcome) =
+  List.init xkeys (fun k ->
+      List.filter_map
+        (function
+          | Histories.Event.Invoke (p, Histories.Event.Write v)
+            when key_of_value v = k ->
+            Some (p, v)
+          | _ -> None)
+        o.Net.Sim_run.history)
+
+let xconformance () =
+  let faults =
+    Net.Sim_net.lossy ~drop:0.1 ~duplicate:0.05 ~min_delay:0.2 ~max_delay:2.0
+      ()
+  in
+  List.iter
+    (fun seed ->
+      let leg kind =
+        let cl =
+          Net.Sim_run.build ~faults ~replicas:3 ~shards:2 ~keys:xkeys
+            ~window:4 ~engine:(espec kind) ~seed ~init:0 ~processes:[]
+            ~xprocesses:xconformance_workload ()
+        in
+        let steps = Net.Sim_net.run cl.Net.Sim_run.net in
+        let o = Net.Sim_run.collect cl ~steps in
+        let what = Fmt.str "seed %d %s" seed (Net.Engine.kind_name kind) in
+        Alcotest.(check int) (what ^ ": all ops complete")
+          o.Net.Sim_run.expected o.Net.Sim_run.completed;
+        (match o.Net.Sim_run.monitor_violation with
+         | None -> ()
+         | Some v -> Alcotest.failf "%s: live audit: %s" what v);
+        (match o.Net.Sim_run.txn_violations with
+         | [] -> ()
+         | v :: _ -> Alcotest.failf "%s: torn-batch audit: %s" what v);
+        Alcotest.(check bool) (what ^ ": fastcheck atomic") true
+          o.Net.Sim_run.fastcheck_ok;
+        let ts = Net.Txn.stats (Net.Server.txns cl.Net.Sim_run.server) in
+        Alcotest.(check int) (what ^ ": txns committed") 12
+          ts.Net.Txn.txns_committed;
+        Alcotest.(check int) (what ^ ": snapshots served") 9
+          ts.Net.Txn.snaps_served;
+        audited_writes o
+      in
+      let a = leg Net.Engine.Abd and t = leg Net.Engine.Twobit in
+      if a <> t then
+        Alcotest.failf
+          "seed %d: engines disagree on the per-key write sequences" seed)
+    [ 1; 2; 3 ]
+
 (* The ISSUE's bench criterion, pinned as a test: on identical
    workloads the twobit engine must put strictly fewer control bytes —
    and fewer bytes overall — on the wire per completed op than ABD. *)
@@ -298,6 +377,8 @@ let suite =
     tc "conformance: abd serves the keyed workload" (conformance Net.Engine.Abd);
     tc "conformance: twobit serves the keyed workload"
       (conformance Net.Engine.Twobit);
+    tc "conformance: txn/snap workload identical across engines"
+      xconformance;
     tc "twobit puts fewer (control) bytes on the wire"
       twobit_cheaper_on_the_wire;
     tc "twobit exhaustive: two writers atomic" twobit_exhaustive_two_writers;

@@ -247,6 +247,145 @@ let amnesia_without_reboot_budget_clean () =
   Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
   Alcotest.(check bool) "clean" true (res.E.counterexample = None)
 
+(* --- multi-key transactions and snapshots -------------------------- *)
+
+(* The PR's headline config: 2 shards x 2 keys, a whole-keyspace
+   atomic batch interleaved with a whole-keyspace snapshot read.  The
+   torn-batch hook (the Txn coordinator skipping its per-key locks)
+   must be caught by the cross-key audit, shrunk, and replayed through
+   the artifact; honest locking must survive the same search. *)
+let txn_xprocs =
+  [
+    { Net.Sim_run.xproc = 0;
+      xscript = [ Net.Sim_run.Txn_w [ (0, 71); (1, 72) ] ] };
+    { Net.Sim_run.xproc = 2; xscript = [ Net.Sim_run.Snap [ 0; 1 ] ] };
+  ]
+
+let txn_cfg ?engine ?torn_txn ?max_schedules () =
+  E.config ?engine ?torn_txn ?max_schedules ~replicas:1 ~shards:2 ~keys:2
+    ~xprocesses:txn_xprocs ~processes:[] ()
+
+let torn_txn_caught_shrunk_replayed () =
+  let cfg = txn_cfg ~torn_txn:true () in
+  match (E.hunt ~walks:2000 ~seed:3 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the torn-batch violation"
+  | Some ce ->
+    Alcotest.(check int) "cross-key sentinel key" (-1) ce.E.key;
+    let cfg', ce' = E.shrink cfg ce in
+    Alcotest.(check bool) "schedule no longer" true
+      (List.length ce'.E.schedule <= List.length ce.E.schedule);
+    let xops c =
+      List.fold_left
+        (fun n (p : Net.Sim_run.xprocess) ->
+          n + List.length p.Net.Sim_run.xscript)
+        0 c.E.xprocesses
+    in
+    Alcotest.(check bool) "workload no larger" true (xops cfg' <= xops cfg);
+    let o = E.replay cfg' ce'.E.schedule in
+    Alcotest.(check bool) "shrunk schedule still tears" true
+      (o.Net.Sim_run.txn_violations <> []);
+    let file = Filename.temp_file "explore-torn" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg' ce';
+        let cfg'', sched, o' = E.replay_file ~file in
+        Alcotest.(check bool) "bug hook survives the artifact" true
+          cfg''.E.torn_txn;
+        Alcotest.(check int) "extended workload survives" (xops cfg')
+          (xops cfg'');
+        Alcotest.(check (list int)) "schedule survives" ce'.E.schedule sched;
+        Alcotest.(check bool) "artifact replays to the torn-batch verdict"
+          true
+          (o'.Net.Sim_run.txn_violations <> []))
+
+let txn_honest_hunt_clean () =
+  (* same config, locks on: the hunt that nails the torn hook must
+     come up empty *)
+  match (E.hunt ~walks:500 ~seed:3 (txn_cfg ())).E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "honest txn config flagged: %s" ce.E.message
+
+let txn_bounded_explore_clean () =
+  (* a budgeted slice of the exhaustive enumeration stays atomic (the
+     full twobit exhaust lives in the slow suite) *)
+  let res = E.explore (txn_cfg ~max_schedules:500 ()) in
+  Alcotest.(check int) "budget consumed" 500 res.E.stats.S.schedules;
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "bounded txn exploration flagged: %s" ce.E.message
+
+let xworkload_validation () =
+  let bad name xscript =
+    match
+      E.config ~shards:2 ~keys:2
+        ~xprocesses:[ { Net.Sim_run.xproc = 0; xscript } ]
+        ~processes:[] ()
+    with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  bad "duplicate txn keys" [ Net.Sim_run.Txn_w [ (0, 1); (0, 2) ] ];
+  bad "negative txn key" [ Net.Sim_run.Txn_w [ (-1, 1) ] ];
+  bad "empty txn" [ Net.Sim_run.Txn_w [] ];
+  bad "empty snapshot" [ Net.Sim_run.Snap [] ];
+  bad "duplicate snapshot keys" [ Net.Sim_run.Snap [ 1; 1 ] ];
+  (* the boundary stays legal *)
+  ignore (txn_cfg ())
+
+let old_artifact_loads () =
+  (* artifacts written before this layer carry no shards/torn_txn
+     config fields and no xproc lines: loading one must default them
+     rather than fail *)
+  let cfg = broken inversion_prone in
+  match (E.hunt ~seed:42 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the broken-quorum violation"
+  | Some ce ->
+    let file = Filename.temp_file "explore-compat" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg ce;
+        (* rewrite the artifact into the pre-PR config grammar *)
+        let ic = open_in file in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let strip_field s field =
+          let pat = " " ^ field ^ "=" in
+          let n = String.length s and m = String.length pat in
+          let rec find i =
+            if i + m > n then None
+            else if String.sub s i m = pat then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> s
+          | Some i ->
+            let j = ref (i + m) in
+            while
+              !j < n && match s.[!j] with '0' .. '9' -> true | _ -> false
+            do
+              incr j
+            done;
+            String.sub s 0 i ^ String.sub s !j (n - !j)
+        in
+        let strip s = strip_field (strip_field s "shards") "torn_txn" in
+        let oc = open_out file in
+        List.iter (fun l -> output_string oc (strip l ^ "\n"))
+          (List.rev !lines);
+        close_out oc;
+        let cfg', _, o' = E.replay_file ~file in
+        Alcotest.(check int) "shards defaulted" 1 cfg'.E.shards;
+        Alcotest.(check bool) "torn_txn defaulted" false cfg'.E.torn_txn;
+        Alcotest.(check bool) "no xprocesses" true (cfg'.E.xprocesses = []);
+        Alcotest.(check bool) "old artifact still replays to its verdict"
+          true
+          (o'.Net.Sim_run.key_violations <> []))
+
 let torture_small () =
   let rep = E.torture ~runs:30 ~seed:11 () in
   Alcotest.(check int) "all runs executed" 30 rep.E.runs;
@@ -280,6 +419,33 @@ let bounded_hunt_bigger_config () =
   | None -> ()
   | Some ce -> Alcotest.failf "honest config flagged: %s" ce.E.message
 
+(* slow: the acceptance criterion in full — the twobit engine halves
+   the messages per op, which is what makes exhausting the 2-shard x
+   2-key batch/snapshot config feasible (~60k schedules, depth <= 24;
+   the ABD variant blows past any reasonable budget) *)
+let txn_twobit_exhausts_clean () =
+  let res = E.explore (txn_cfg ~engine:Net.Engine.Twobit ()) in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  Alcotest.(check bool) "a real state space" true
+    (res.E.stats.S.schedules > 10_000);
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "txn/snap schedule not atomic: %s" ce.E.message
+
+let txn_twobit_torn_exhaustive_found () =
+  (* the same exhaustive search with the torn hook on must find the
+     counterexample.  [exhausted] is not asserted either way: the
+     flag records depth/budget truncation only, and a search stopped
+     by its first violating schedule may well have been cut by
+     neither. *)
+  let res = E.explore (txn_cfg ~engine:Net.Engine.Twobit ~torn_txn:true ()) in
+  match res.E.counterexample with
+  | None -> Alcotest.fail "exhaustive search missed the torn-batch bug"
+  | Some ce ->
+    Alcotest.(check int) "cross-key sentinel key" (-1) ce.E.key;
+    Alcotest.(check bool) "the violating schedule is recorded" true
+      (ce.E.schedule <> [])
+
 let suite =
   [
     tc "exhaustive: two writers, all schedules atomic" exhaustive_two_writers;
@@ -300,6 +466,11 @@ let suite =
     tc "amnesia with durability: same hunt clean" amnesia_durable_hunt_clean;
     tc "volatile but no reboot budget: exhausts clean"
       amnesia_without_reboot_budget_clean;
+    tc "torn batch: caught, shrunk, replayed" torn_txn_caught_shrunk_replayed;
+    tc "honest txn locks: same hunt stays clean" txn_honest_hunt_clean;
+    tc "txn/snap config: bounded exploration clean" txn_bounded_explore_clean;
+    tc "extended workloads validated at config time" xworkload_validation;
+    tc "pre-txn artifacts load with defaults" old_artifact_loads;
     tc "torture: small seeded batch clean" torture_small;
   ]
 
@@ -310,4 +481,8 @@ let slow_suite =
     tc_slow "hunt: bigger honest config clean" bounded_hunt_bigger_config;
     tc_slow "amnesia with durability: full schedule space exhausts clean"
       amnesia_durable_exhausts_clean;
+    tc_slow "txn/snap config: twobit exhausts every schedule atomic"
+      txn_twobit_exhausts_clean;
+    tc_slow "txn/snap config: torn hook found exhaustively"
+      txn_twobit_torn_exhaustive_found;
   ]

@@ -931,6 +931,115 @@ let socket_close_flushes_pending () =
      Alcotest.failf "live audit: %a" (Histories.Fastcheck.pp_violation Fmt.int) v);
   Net.Socket_net.shutdown net
 
+let socket_txn_snap_ops () =
+  (* the multi-key surface over real sockets: an atomic batch spanning
+     shards, snapshot reads returning a consistent cut in request
+     order, and the server-side rejections (rogue session, malformed
+     key sets) surfacing as Invalid_argument on the caller *)
+  let net, server =
+    socket_cluster ~map:(Net.Shard_map.create ~shards:4 ()) ()
+  in
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
+  Net.Client.txn_k c0 [ (0, 7); (1, 8); (5, 9) ];
+  Alcotest.(check (list int))
+    "snapshot sees the whole batch" [ 7; 8; 9 ]
+    (Net.Client.snap_k c2 [ 0; 1; 5 ]);
+  Alcotest.(check (list int))
+    "untouched key reads init inside a snapshot" [ 7; 0 ]
+    (Net.Client.snap_k c2 [ 0; 3 ]);
+  (* a second batch over a subset: the snapshot must be the new cut *)
+  Net.Client.txn_k c0 [ (0, 17); (1, 18) ];
+  Alcotest.(check (list int))
+    "second batch replaces the cut" [ 17; 18; 9 ]
+    (Net.Client.snap_k c2 [ 0; 1; 5 ]);
+  Alcotest.(check int) "point read sees batched write" 9
+    (Net.Client.read_k c2 ~key:5);
+  (* rejections, all surfacing on the calling session *)
+  (match Net.Client.txn_k c0 [ (0, 1); (0, 2) ] with
+   | () -> Alcotest.fail "duplicate txn keys accepted"
+   | exception Invalid_argument _ -> ());
+  (match Net.Client.snap_k c2 [] with
+   | _ -> Alcotest.fail "empty snapshot accepted"
+   | exception Invalid_argument _ -> ());
+  (match Net.Client.txn_k c2 [ (0, 99) ] with
+   | () -> Alcotest.fail "txn by a reader session accepted"
+   | exception Invalid_argument _ -> ());
+  let c5 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:5 () in
+  (match Net.Client.txn_k c5 [ (0, 99) ] with
+   | () -> Alcotest.fail "txn by a rogue session accepted"
+   | exception Invalid_argument _ -> ());
+  Net.Client.close c5;
+  Net.Client.close c0;
+  Net.Client.close c2;
+  let ts = Net.Txn.stats (Net.Server.txns server) in
+  let tviol = Net.Server.txn_violations server in
+  let viol = Net.Server.violations server in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check int) "two batches committed" 2 ts.Net.Txn.txns_committed;
+  Alcotest.(check int) "three snapshots served" 3 ts.Net.Txn.snaps_served;
+  Alcotest.(check int) "nothing left in flight" 0 ts.Net.Txn.in_flight;
+  Alcotest.(check (list string)) "no torn-batch verdicts" [] tviol;
+  match viol with
+  | [] -> ()
+  | (k, v) :: _ ->
+    Alcotest.failf "key %d live audit: %a" k
+      (Histories.Fastcheck.pp_violation Fmt.int) v
+
+let socket_close_seals_txn () =
+  (* the PR 7 close-seal regression extended to multi-key frames: a
+     [close] racing an in-flight prepare must fail the transaction
+     deterministically — Invalid_argument on the caller, never a hang,
+     never a torn pair visible afterwards *)
+  let net, server =
+    socket_cluster ~map:(Net.Shard_map.create ~shards:2 ()) ()
+  in
+  (* leg 1: sealed session fails multi-key ops outright *)
+  let c0 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:0 () in
+  Net.Client.txn_k c0 [ (0, 10); (1, 11) ];
+  Net.Client.close c0;
+  (match Net.Client.txn_k c0 [ (0, 1); (1, 2) ] with
+   | () -> Alcotest.fail "txn after close should raise"
+   | exception Invalid_argument _ -> ());
+  (match Net.Client.snap_k c0 [ 0; 1 ] with
+   | _ -> Alcotest.fail "snapshot after close should raise"
+   | exception Invalid_argument _ -> ());
+  (* leg 2: close mid-stream — the writer loops paired batches until
+     the seal lands; whichever txn it interrupts must abort cleanly *)
+  let c1 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:1 () in
+  let acked = Atomic.make 1 in
+  let writer =
+    Thread.create
+      (fun () ->
+        try
+          let i = ref 2 in
+          while true do
+            Net.Client.txn_k c1 [ (0, 10 * !i); (1, (10 * !i) + 1) ];
+            Atomic.set acked !i;
+            incr i
+          done
+        with Invalid_argument _ -> ())
+      ()
+  in
+  Thread.delay 0.05;
+  Net.Client.close c1;
+  Thread.join writer;
+  (* every cut a fresh reader can observe pairs key 1 with key 0 *)
+  let c2 = Net.Client.connect ~net ~server:Net.Transport.server ~proc:2 () in
+  (match Net.Client.snap_k c2 [ 0; 1 ] with
+   | [ a; b ] ->
+     Alcotest.(check int) "cut is an intact pair" (a + 1) b;
+     Alcotest.(check bool)
+       (Fmt.str "every acked batch visible (saw %d, acked %d)" (a / 10)
+          (Atomic.get acked))
+       true
+       (a / 10 >= Atomic.get acked)
+   | vs -> Alcotest.failf "snapshot arity %d" (List.length vs));
+  Net.Client.close c2;
+  let tviol = Net.Server.txn_violations server in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check (list string)) "no torn-batch verdicts" [] tviol
+
 (* The tier-1 suite: pure wire/shard/replica units plus the fast
    simulator runs.  Everything that opens real sockets or sweeps many
    seeds lives in [slow_suite], run via [dune build @slow]. *)
@@ -1167,6 +1276,81 @@ let socket_pool_domains () =
     Alcotest.failf "monitor violation on key %d: %a" key
       (Histories.Fastcheck.pp_violation Fmt.int) v
 
+let socket_pool_txn_snap () =
+  (* atomic batches + snapshot reads through the worker-domain pool
+     over real sockets: two writers batch disjoint key pairs while two
+     snapshot readers watch for torn cuts; the coordinator's own audit
+     and the per-key monitors must both stay clean *)
+  let shards = 4 and rounds = 12 and snaps = 10 in
+  let net = Net.Socket_net.create () in
+  let tr = Net.Socket_net.transport net in
+  let replicas = [ 0; 1; 2 ] in
+  List.iter
+    (fun r ->
+      let rep = Net.Replica.create ~init:0 () in
+      Net.Socket_net.listen net r (fun ~src msg ->
+          List.iter
+            (fun (dst, m) -> tr.Net.Transport.send ~src:r ~dst m)
+            (Net.Replica.handle rep ~src msg)))
+    replicas;
+  let pool =
+    Net.Server_pool.create ~transport:tr ~audit:true
+      ~metrics:(Net.Socket_net.metrics net)
+      ~map:(Net.Shard_map.create ~shards ()) ~domains:2
+      ~me:Net.Transport.server ~replicas ~init:0 ()
+  in
+  Net.Socket_net.listen net Net.Transport.server (fun ~src msg ->
+      Net.Server_pool.dispatch pool ~src msg);
+  (* writer [p] owns keys [p] and [p + 2]; batch i writes the pair
+     (base*i, base*i + 1), so any atomic cut pairs them exactly *)
+  let writer proc =
+    Thread.create
+      (fun () ->
+        let base = 100 * (proc + 1) in
+        let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
+        for i = 1 to rounds do
+          Net.Client.txn_k c [ (proc, base * i); (proc + 2, (base * i) + 1) ]
+        done;
+        Net.Client.close c)
+      ()
+  in
+  let torn = Atomic.make 0 in
+  let reader proc =
+    Thread.create
+      (fun () ->
+        let c = Net.Client.connect ~net ~server:Net.Transport.server ~proc () in
+        for _ = 1 to snaps do
+          match Net.Client.snap_k c [ 0; 1; 2; 3 ] with
+          | [ a0; a1; a2; a3 ] ->
+            if not ((a0 = 0 && a2 = 0) || a2 = a0 + 1) then
+              Atomic.incr torn;
+            if not ((a1 = 0 && a3 = 0) || a3 = a1 + 1) then
+              Atomic.incr torn
+          | _ -> Atomic.incr torn
+        done;
+        Net.Client.close c)
+      ()
+  in
+  let threads = [ writer 0; writer 1; reader 2; reader 3 ] in
+  List.iter Thread.join threads;
+  Net.Server_pool.stop pool;
+  let ts = Net.Txn.stats (Net.Server_pool.txns pool) in
+  let tviol = Net.Server_pool.txn_violations pool in
+  let violations = Net.Server_pool.violations pool in
+  Net.Socket_net.shutdown net;
+  Alcotest.(check int) "no torn cut observed by any reader" 0
+    (Atomic.get torn);
+  Alcotest.(check int) "every batch committed" (2 * rounds)
+    ts.Net.Txn.txns_committed;
+  Alcotest.(check int) "every snapshot served" (2 * snaps)
+    ts.Net.Txn.snaps_served;
+  Alcotest.(check (list string)) "coordinator audit clean" [] tviol;
+  match violations with
+  | [] -> ()
+  | (key, v) :: _ ->
+    Alcotest.failf "monitor violation on key %d: %a" key
+      (Histories.Fastcheck.pp_violation Fmt.int) v
+
 let socket_timer_stale_incarnation () =
   (* the socket counterpart of Sim_run's incarnation check: a timer
      armed against one listen incarnation must not fire into a
@@ -1275,12 +1459,15 @@ let suite =
     tc "socket: keyed single ops" socket_keyed_single_ops;
     tc "socket: rogue writer rejected" socket_rejects_rogue_writer;
     tc "socket: close flushes pending batch" socket_close_flushes_pending;
+    tc "socket: txn batches + snapshot reads" socket_txn_snap_ops;
+    tc "socket: close seals multi-key frames" socket_close_seals_txn;
     tc "socket: timer for gone node dropped" socket_timer_unregistered_dropped;
     tc "socket: stale timer across re-listen dropped"
       socket_timer_stale_incarnation;
     tc "batch fast path: group commits, not singletons" batch_group_commit;
     tc "pool: mixed-shard batch over two domains" pool_mixed_shard_batch;
     tc "pool: keyed workload over sockets, two domains" socket_pool_domains;
+    tc "pool: txn/snap workload over sockets, two domains" socket_pool_txn_snap;
   ]
 
 let slow_suite =

@@ -183,6 +183,113 @@ let post_tear_writes_ignored () =
     (S.contents st' = reference_contents (take 2 (entries_n 10)))
 
 (* ------------------------------------------------------------------ *)
+(* GC frontier: the byte-bounded snapshot + truncate on the commit
+   path, its pin/unpin deferral, and the crash-point matrix re-run
+   with tears landing before, on and after truncation boundaries.     *)
+
+let rec_size =
+  String.length (S.frame_record (S.encode_entry (entry ~reg:0 ~ts:1 100)))
+
+let gc_frontier_bounds_wal () =
+  let be = S.mem_backend () in
+  let threshold = 4 * rec_size in
+  let st = S.create ~gc_bytes:threshold be in
+  let entries = entries_n 40 in
+  List.iter (S.append st) entries;
+  let s = S.stats st in
+  Alcotest.(check bool) "frontier ran repeatedly" true (s.S.gc_runs >= 4);
+  Alcotest.(check int) "every snapshot was a GC run" s.S.gc_runs
+    s.S.snapshots_taken;
+  (* the invariant the frontier exists for: the WAL never ends a commit
+     more than one record past the threshold *)
+  Alcotest.(check bool) "wal bounded near the threshold" true
+    (s.S.wal_size <= threshold + rec_size);
+  let st' = S.create be in
+  Alcotest.(check bool) "reopen sees the full table" true
+    (S.contents st' = reference_contents entries);
+  Alcotest.(check int) "no tears introduced" 0 (S.stats st').S.torn_bytes
+
+let gc_pin_defers () =
+  let be = S.mem_backend () in
+  let threshold = 2 * rec_size in
+  let st = S.create ~gc_bytes:threshold be in
+  let entries = entries_n 12 in
+  S.pin st;
+  S.pin st;
+  List.iter (S.append st) (take 8 entries);
+  let s = S.stats st in
+  Alcotest.(check int) "no GC while pinned" 0 s.S.gc_runs;
+  Alcotest.(check bool) "deferrals counted" true (s.S.gc_deferrals > 0);
+  Alcotest.(check bool) "wal grew past the threshold" true
+    (s.S.wal_size > threshold);
+  S.unpin st;
+  Alcotest.(check int) "first unpin leaves a pin held" 1 (S.pins st);
+  Alcotest.(check int) "still no GC" 0 (S.stats st).S.gc_runs;
+  S.unpin st;
+  (* the last unpin discharges the deferred GC right there *)
+  Alcotest.(check int) "last unpin discharges the GC" 1 (S.stats st).S.gc_runs;
+  Alcotest.(check bool) "wal truncated" true
+    ((S.stats st).S.wal_size <= threshold);
+  S.unpin st;
+  Alcotest.(check int) "excess unpin ignored" 0 (S.pins st);
+  List.iter (S.append st) (List.filteri (fun i _ -> i >= 8) entries);
+  let st' = S.create be in
+  Alcotest.(check bool) "reopen sees the full table" true
+    (S.contents st' = reference_contents entries)
+
+let gc_crash_point_matrix () =
+  (* tear the disk at EVERY append ordinal with the frontier running
+     every ~4 appends, so tears land before, on and after truncation
+     boundaries.  Two claims: no entry acked before the tear may be
+     lost, and recovery must equal the never-crashed prefix store — so
+     GC can never resurrect a superseded value either. *)
+  let n = 24 in
+  let entries = entries_n n in
+  let gc_bytes = (3 * rec_size) + 1 in
+  (* probe: the frontier must actually run mid-workload, or the matrix
+     would never cross a truncation boundary *)
+  let probe = S.create ~gc_bytes (S.mem_backend ()) in
+  List.iter (S.append probe) entries;
+  Alcotest.(check bool) "probe: frontier ran repeatedly" true
+    ((S.stats probe).S.gc_runs >= 4);
+  for k = 1 to n do
+    List.iter
+      (fun keep ->
+        let what = Fmt.str "gc k=%d keep=%d" k keep in
+        let d = S.Disk.create () in
+        S.Disk.set_hook d (fun i ->
+            if i = k then S.Disk.Torn keep else S.Disk.Persist);
+        let st = S.create ~gc_bytes (S.Disk.backend d) in
+        let acked = ref [] in
+        List.iter
+          (fun e ->
+            S.append st e;
+            (* a sync append that returned while the disk was alive was
+               acked durable *)
+            if not (S.Disk.is_dead d) then acked := e :: !acked)
+          entries;
+        Alcotest.(check int) (what ^ ": appends stop at the tear") k
+          (S.Disk.appends d);
+        S.Disk.clear_hook d;
+        S.Disk.revive d;
+        let st' = S.create (S.Disk.backend d) in
+        if S.contents st' <> reference_contents (take (k - 1) entries) then
+          Alcotest.failf
+            "%s: recovered state differs from the never-crashed prefix \
+             store (lost or resurrected entries)"
+            what;
+        List.iter
+          (fun e ->
+            match S.lookup st' e.S.reg with
+            | Some (ts', _) when ts' >= e.S.ts -> ()
+            | _ ->
+              Alcotest.failf "%s: acked entry reg=%d ts=%d lost across GC"
+                what e.S.reg e.S.ts)
+          !acked)
+      [ 0; 1; 16; rec_size - 1 ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Group commit: batching semantics of the async append path, the
    durability marker, and the crash-point matrix re-run at batch
    boundaries — a tear may now land inside a multi-record write.      *)
@@ -360,11 +467,11 @@ let check_clean ~what (o : R.outcome) =
   Alcotest.(check bool) (what ^ ": fastcheck atomic") true o.R.fastcheck_ok;
   Alcotest.(check int) (what ^ ": all ops completed") o.R.expected o.R.completed
 
-let sim_crash_point_matrix ?snapshot_every ?group_commit () =
+let sim_crash_point_matrix ?snapshot_every ?gc_bytes ?group_commit () =
   (* probe: how many appends does replica 0's disk see crash-free? *)
   let build () =
-    R.build ?snapshot_every ?group_commit ~replicas:3 ~seed:7 ~init:0
-      ~processes:matrix_processes ()
+    R.build ?snapshot_every ?gc_bytes ?group_commit ~replicas:3 ~seed:7
+      ~init:0 ~processes:matrix_processes ()
   in
   let probe = build () in
   let steps = Net.Sim_net.run probe.R.net in
@@ -401,6 +508,13 @@ let sim_crash_points_snapshotting () =
   (* same matrix with snapshots every 2 appends, so tears land between
      install and the next append too *)
   sim_crash_point_matrix ~snapshot_every:2 ()
+
+let sim_crash_points_gc () =
+  (* same matrix with the byte-bounded GC frontier on every replica
+     disk (snapshot_every off, so the frontier is the only thing
+     truncating): the fold of the disk must still explain the
+     restarted replica at every tear ordinal *)
+  sim_crash_point_matrix ~snapshot_every:0 ~gc_bytes:(2 * rec_size) ()
 
 let sim_crash_points_group_commit () =
   (* same matrix with group commit on every replica: each disk write
@@ -640,6 +754,9 @@ let suite =
     tc "crash-point matrix: every append ordinal, pure store"
       crash_point_matrix;
     tc "disk plays dead after a tear" post_tear_writes_ignored;
+    tc "gc frontier: bounds the WAL, reopen intact" gc_frontier_bounds_wal;
+    tc "gc frontier: pins defer, last unpin discharges" gc_pin_defers;
+    tc "crash-point matrix: GC truncation boundaries" gc_crash_point_matrix;
     tc "group commit: batch boundaries, eager apply, lagging durability"
       group_commit_batches;
     tc "group commit: sync append still durable on return"
@@ -652,6 +769,7 @@ let suite =
       sim_crash_points_snapshotting;
     tc "crash-point matrix: end-to-end, group commit"
       sim_crash_points_group_commit;
+    tc "crash-point matrix: end-to-end, GC frontier" sim_crash_points_gc;
     tc "amnesia restart recovers from the WAL" durable_amnesia_recovers;
     tc "amnesia restart without durability forgets" volatile_amnesia_forgets;
     tc "plain crash is a pause" plain_crash_keeps_state;

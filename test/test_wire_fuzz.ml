@@ -27,12 +27,20 @@ let any_name rng =
   let len = Random.State.int rng 24 in
   String.init len (fun _ -> Char.chr (Random.State.int rng 256))
 
+(* Multi-key ops: the encoder caps only the key {e count} ([max_txn]),
+   keys and values themselves are arbitrary ints. *)
 let any_op rng =
-  match Random.State.int rng 4 with
+  match Random.State.int rng 6 with
   | 0 -> W.Read
   | 1 -> W.Write (any_int rng)
   | 2 -> W.Read_k { key = any_int rng }
-  | _ -> W.Write_k { key = any_int rng; value = any_int rng }
+  | 3 -> W.Write_k { key = any_int rng; value = any_int rng }
+  | 4 ->
+    let n = Random.State.int rng 8 in
+    W.Txn_k { writes = List.init n (fun _ -> (any_int rng, any_int rng)) }
+  | _ ->
+    let n = Random.State.int rng 8 in
+    W.Snap_k { keys = List.init n (fun _ -> any_int rng) }
 
 (* Link-layer fields are range-checked by the encoder, so their
    generators stay in range (the boundary tests below cover the
@@ -54,7 +62,7 @@ let any_seq rng =
 (* [depth] counts enclosing batches: the decoder rejects a [Batch] tag
    at depth >= max_batch_depth, so generation stops nesting there. *)
 let rec any_msg rng depth =
-  let n_kinds = if depth < W.max_batch_depth then 16 else 15 in
+  let n_kinds = if depth < W.max_batch_depth then 17 else 16 in
   match Random.State.int rng n_kinds with
   | 0 -> W.Hello { proc = any_int rng }
   | 1 -> W.Req { seq = any_int rng; op = any_op rng }
@@ -88,6 +96,10 @@ let rec any_msg rng depth =
     W.Query2_reply
       { lid = any_lid rng; seq = any_seq rng; pl = any_payload rng }
   | 14 -> W.Engine_hello { engine = Random.State.int rng 256 }
+  | 15 ->
+    let n = Random.State.int rng 8 in
+    W.Resp_snap
+      { seq = any_int rng; values = List.init n (fun _ -> any_int rng) }
   | _ ->
     let n = Random.State.int rng 4 in
     W.Batch (List.init n (fun _ -> any_msg rng (depth + 1)))
@@ -251,6 +263,97 @@ let link_field_boundaries () =
     (W.Store2 { lid = W.max_lid; seq = 0; reg = 0; pl = Registers.Tagged.initial 0 });
   refused "seq inside query2" (W.Query2 { lid = 0; seq = -1; reg = 0 })
 
+let multi_key_boundary () =
+  let refused name m =
+    match W.encode m with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted by the encoder" name
+  in
+  let ok name m =
+    match W.decode (W.encode m) with
+    | Ok m' when m' = m -> ()
+    | _ -> Alcotest.failf "%s does not round-trip" name
+  in
+  let txn n =
+    W.Req { seq = 1; op = W.Txn_k { writes = List.init n (fun i -> (i, i)) } }
+  in
+  let snap n =
+    W.Req { seq = 1; op = W.Snap_k { keys = List.init n Fun.id } }
+  in
+  let resp n = W.Resp_snap { seq = 1; values = List.init n Fun.id } in
+  ok "txn at cap" (txn W.max_txn);
+  ok "snapshot at cap" (snap W.max_txn);
+  ok "snapshot reply at cap" (resp W.max_txn);
+  refused "txn beyond cap" (txn (W.max_txn + 1));
+  refused "snapshot beyond cap" (snap (W.max_txn + 1));
+  refused "snapshot reply beyond cap" (resp (W.max_txn + 1))
+
+(* The encoder refuses over-cap multi-key ops, so an attacker's frame
+   must be built by hand: splice an oversize (or negative) count into
+   otherwise well-formed bytes and check the decoder throws it out
+   rather than allocating [max_txn + 1] entries. *)
+let multi_key_forged_counts () =
+  let add_int b n = Buffer.add_int64_le b (Int64.of_int n) in
+  let forged_txn count =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\001' (* Req *);
+    add_int b 7 (* seq *);
+    Buffer.add_char b '\004' (* Txn_k *);
+    add_int b count;
+    for i = 0 to 2 do
+      add_int b i;
+      add_int b (i * 10)
+    done;
+    Buffer.contents b
+  in
+  let forged_snap count =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\001' (* Req *);
+    add_int b 7 (* seq *);
+    Buffer.add_char b '\005' (* Snap_k *);
+    add_int b count;
+    for i = 0 to 2 do
+      add_int b i
+    done;
+    Buffer.contents b
+  in
+  let forged_resp count =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\016' (* Resp_snap *);
+    add_int b 7 (* seq *);
+    add_int b count;
+    for i = 0 to 2 do
+      add_int b i
+    done;
+    Buffer.contents b
+  in
+  (* sanity: an honest count through the same hand assembly decodes *)
+  (match W.decode (forged_txn 3) with
+  | Ok (W.Req { op = W.Txn_k { writes }; _ }) when List.length writes = 3 -> ()
+  | _ -> Alcotest.fail "hand-built txn frame with honest count rejected");
+  List.iter
+    (fun count ->
+      let name s = Fmt.str "%s with forged count %d" s count in
+      (match W.decode (forged_txn count) with
+      | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "%s: decode raised %s" (name "txn")
+          (Printexc.to_string e)
+      | Ok _ -> Alcotest.failf "%s accepted" (name "txn"));
+      (match W.decode (forged_snap count) with
+      | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "%s: decode raised %s" (name "snapshot")
+          (Printexc.to_string e)
+      | Ok _ -> Alcotest.failf "%s accepted" (name "snapshot"));
+      match W.decode (forged_resp count) with
+      | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "%s: decode raised %s" (name "snapshot reply")
+          (Printexc.to_string e)
+      | Ok _ -> Alcotest.failf "%s accepted" (name "snapshot reply"))
+    [ W.max_txn + 1; -1; max_int; min_int ]
+
 let suite =
   [
     tc "fuzz: random messages round-trip" fuzz_roundtrip;
@@ -262,4 +365,6 @@ let suite =
     tc "boundary: stats table size" stats_count_boundary;
     tc "boundary: batch length" batch_count_boundary;
     tc "boundary: link-layer fields" link_field_boundaries;
+    tc "boundary: multi-key op size" multi_key_boundary;
+    tc "boundary: forged multi-key counts" multi_key_forged_counts;
   ]
