@@ -1529,6 +1529,135 @@ let bench_net_txn () =
     (float_of_int wal_off /. float_of_int (max 1 wal_on))
 
 (* ------------------------------------------------------------------ *)
+(* net-reconfig: live resharding under a zipfian keyed workload        *)
+(* (BENCH_010.json).  A hot key soaks up most of a zipf(1.2) keyspace; *)
+(* mid-run the control client migrates it to the other shard while the *)
+(* clients keep hammering.  The claim the bench checks where the       *)
+(* numbers are made: the origin shard's share of completed operations  *)
+(* strictly decreases after the cutover, every ack fires, the epoch    *)
+(* advances, and every key's history stays atomic.                     *)
+
+let bench_net_reconfig () =
+  section "net-reconfig - live resharding under a zipfian keyed workload";
+  let shards = 2 and keys = 8 and ops_each = 150 in
+  let hot = 0 in
+  let from_shard = Net.Shard_map.shard_of_key (Net.Shard_map.create ~shards ()) hot in
+  let to_shard = (from_shard + 1) mod shards in
+  let xprocesses =
+    Harness.Workload.zipfian_keyed ~seed:31 ~keys ~procs:4 ~ops_each
+      ~writer:(fun p -> p < 2) ()
+    |> List.map (fun (p, script) ->
+           {
+             Net.Sim_run.xproc = p;
+             xscript =
+               List.map (fun (k, op) -> Net.Sim_run.Keyed (k, op)) script;
+           })
+  in
+  let hot_ops =
+    List.fold_left
+      (fun n xp ->
+        n
+        + List.length
+            (List.filter
+               (function Net.Sim_run.Keyed (k, _) -> k = hot | _ -> false)
+               xp.Net.Sim_run.xscript))
+      0 xprocesses
+  in
+  Fmt.pr
+    "  sim transport, 3 replicas, %d shards, zipf(1.2) over %d keys, 2 \
+     writers + 2 readers x %d ops (%d of %d ops on the hot key):@."
+    shards keys ops_each hot_ops (4 * ops_each);
+  List.iter
+    (fun engine ->
+      let name = Net.Engine.kind_name engine in
+      let run ?reconfig ?reconfig_at ?metrics ?before () =
+        let cl =
+          Net.Sim_run.build ~replicas:3 ~shards ~keys ~window:8
+            ~engine:{ Net.Engine.default with Net.Engine.kind = engine }
+            ?reconfig ?reconfig_at ?metrics ~seed:31 ~init:0 ~processes:[]
+            ~xprocesses ()
+        in
+        Option.iter (fun (t, f) -> Net.Sim_net.at cl.Net.Sim_run.net t f)
+          before;
+        let steps = Net.Sim_net.run cl.Net.Sim_run.net in
+        Net.Sim_run.collect cl ~steps
+      in
+      (* probe leg: same workload, no migration — calibrates the
+         mid-run virtual time and gives the undisturbed baseline *)
+      let probe = run () in
+      let mid = probe.Net.Sim_run.virtual_span /. 2.0 in
+      let metrics = Net.Metrics.create () in
+      let pre = Array.make shards 0 in
+      let o =
+        run
+          ~reconfig:(hot, to_shard)
+          ~reconfig_at:mid ~metrics
+          ~before:
+            ( mid -. 1e-6,
+              fun () ->
+                (* per-shard completion counters the instant the
+                   migration request lands: everything after is the
+                   post-reshard leg *)
+                for s = 0 to shards - 1 do
+                  pre.(s) <- Net.Metrics.get metrics (Fmt.str "shard%d_ops" s)
+                done )
+          ()
+      in
+      let post = Array.make shards 0 in
+      for s = 0 to shards - 1 do
+        post.(s) <- Net.Metrics.get metrics (Fmt.str "shard%d_ops" s) - pre.(s)
+      done;
+      let share a =
+        let total = Array.fold_left ( + ) 0 a in
+        float_of_int a.(from_shard) /. float_of_int (max 1 total)
+      in
+      let pre_share = share pre and post_share = share post in
+      let all_acked = o.Net.Sim_run.completed = o.Net.Sim_run.expected in
+      let atomic =
+        o.Net.Sim_run.key_violations = [] && o.Net.Sim_run.fastcheck_ok
+      in
+      let ok =
+        all_acked && atomic
+        && o.Net.Sim_run.epoch = 1
+        && o.Net.Sim_run.reconfig_acked = Some true
+        && post_share < pre_share
+      in
+      Json.metric ~section:"net-reconfig"
+        (Fmt.str "%s hot shard share pre reshard" name)
+        pre_share;
+      Json.metric ~section:"net-reconfig"
+        (Fmt.str "%s hot shard share post reshard" name)
+        post_share;
+      Json.metric ~section:"net-reconfig"
+        (Fmt.str "%s acks completed" name)
+        (float_of_int o.Net.Sim_run.completed);
+      Json.metric ~section:"net-reconfig"
+        (Fmt.str "%s epoch" name)
+        (float_of_int o.Net.Sim_run.epoch);
+      Json.metric ~section:"net-reconfig"
+        (Fmt.str "%s ops per vtime" name)
+        (float_of_int o.Net.Sim_run.completed
+        /. Float.max 1e-9 o.Net.Sim_run.virtual_span);
+      Fmt.pr
+        "    %-7s reshard key %d: shard %d -> %d at vt %.0f; origin-shard \
+         share %.2f -> %.2f, %d/%d acks, epoch %d%s@."
+        name hot from_shard to_shard mid pre_share post_share
+        o.Net.Sim_run.completed o.Net.Sim_run.expected o.Net.Sim_run.epoch
+        (if ok then "" else "  [RESHARD DID NOT REBALANCE!]");
+      if not ok then
+        Fmt.failwith
+          "net-reconfig (%s): acked=%b atomic=%b epoch=%d acked-verdict=%s \
+           share %.2f -> %.2f"
+          name all_acked atomic o.Net.Sim_run.epoch
+          (match o.Net.Sim_run.reconfig_acked with
+           | Some true -> "ok"
+           | Some false -> "nack"
+           | None -> "none")
+          pre_share post_share)
+    [ Net.Engine.Abd; Net.Engine.Twobit ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel).                                        *)
 
 let make_trace n_ops =
@@ -1728,6 +1857,7 @@ let all_sections =
     ("net-engine", bench_net_engine);
     ("net-groupcommit", bench_net_groupcommit);
     ("net-txn", bench_net_txn);
+    ("net-reconfig", bench_net_reconfig);
     ("micro", run_micro);
   ]
 

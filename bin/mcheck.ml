@@ -148,7 +148,8 @@ module X = Net.Explore
 module S = Modelcheck.Schedule
 
 let run_net engine replicas shards keys window net_writers writes readers
-    reads txns snaps broken broken_link torn_txn crashes amnesia no_durability
+    reads txns snaps group_size reconfig_key reconfig_to skip_dual_write
+    broken broken_link torn_txn crashes amnesia no_durability
     max_schedules max_depth no_prune fastcheck hunt walks seed torture runs
     dump replay expect_violation expect_exhausted =
   let finish ~violated =
@@ -204,8 +205,22 @@ let run_net engine replicas shards keys window net_writers writes readers
          its plain writes, each reader that many whole-keyspace
          snapshots to its plain reads (values globally unique, as both
          the fastcheck and the torn-batch audit require) *)
+      (* with --reconfig-key the plain scripts are pinned onto the
+         migrating key (Keyed ops) so every operation races the
+         handoff — the shape the reconfig CI gates explore *)
       let xprocesses =
-        if txns = 0 && snaps = 0 then []
+        if reconfig_key >= 0 && txns = 0 && snaps = 0 then
+          List.map
+            (fun (p : int Vm.process) ->
+              {
+                Net.Sim_run.xproc = p.Vm.proc;
+                xscript =
+                  List.map
+                    (fun op -> Net.Sim_run.Keyed (reconfig_key, op))
+                    p.Vm.script;
+              })
+            processes
+        else if txns = 0 && snaps = 0 then []
         else begin
           let all_keys = List.init keys Fun.id in
           let writer p =
@@ -238,7 +253,11 @@ let run_net engine replicas shards keys window net_writers writes readers
         end
       in
       match
-        X.config ~replicas ~shards ~keys ~window ~engine
+        X.config ~replicas ~shards ~keys ~window ~engine ?group_size
+          ?reconfig:
+            (if reconfig_key >= 0 then Some (reconfig_key, reconfig_to)
+             else None)
+          ~skip_dual_write
           ?read_quorum:(if broken then Some 1 else None)
           ~unordered:broken_link ~torn_txn ~xprocesses
           ~crashable:(if crashes > 0 then List.init replicas Fun.id else [])
@@ -361,6 +380,34 @@ let net_cmd =
              ~doc:"Whole-keyspace consistent snapshot reads per reader \
                    (switches to the extended workload).")
   in
+  let group_size =
+    Arg.(value & opt (some int) None
+         & info [ "group-size" ]
+             ~doc:"Replicas per shard group (rotating window; with 2 \
+                   shards and $(b,--group-size) 1 the groups are \
+                   disjoint — the sharpest migration topology).")
+  in
+  let reconfig_key =
+    Arg.(value & opt int (-1)
+         & info [ "reconfig-key" ]
+             ~doc:"Request a live migration of this key mid-workload \
+                   (the control frame's delivery is one more \
+                   schedulable event); plain writer/reader scripts are \
+                   pinned onto the migrating key.")
+  in
+  let reconfig_to =
+    Arg.(value & opt int 0
+         & info [ "reconfig-to" ]
+             ~doc:"Destination shard for $(b,--reconfig-key).")
+  in
+  let skip_dual_write =
+    Arg.(value & flag
+         & info [ "skip-dual-write" ]
+             ~doc:"Deliberately break the reconfiguration coordinator: \
+                   drop the incoming-group leg of each dual write, so \
+                   a write acked during the migration is lost at \
+                   cutover.")
+  in
   let broken =
     Arg.(value & flag
          & info [ "broken-read-quorum" ]
@@ -460,7 +507,9 @@ let net_cmd =
        ~doc:"Explore delivery schedules of the simulated register service")
     Term.(const run_net $ Engine_cli.term $ replicas $ shards $ keys $ window
           $ net_writers $ writes
-          $ readers $ reads $ txns $ snaps $ broken $ broken_link $ torn_txn
+          $ readers $ reads $ txns $ snaps
+          $ group_size $ reconfig_key $ reconfig_to $ skip_dual_write
+          $ broken $ broken_link $ torn_txn
           $ crashes $ amnesia
           $ no_durability $ max_schedules
           $ max_depth $ no_prune $ fastcheck $ hunt $ walks $ seed $ torture

@@ -224,7 +224,7 @@ let run_socket_workload net ~window ~nkeys processes =
 (* smoke                                                               *)
 
 let run_smoke engine shards readers writes reads seed data_dir group_commit
-    flush_us domains gc_bytes loop show_metrics =
+    flush_us domains gc_bytes reconfig loop show_metrics =
   let processes = workload ~readers ~writes ~reads in
   let expected =
     List.fold_left (fun n { Registers.Vm.script; _ } -> n + List.length script)
@@ -301,6 +301,79 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
   in
   List.iter Thread.join (txn_threads @ snap_threads);
   Thread.join killer;
+  (* --reconfig phase: migrate the hot key to the next shard while
+     clients keep hammering it through the same sockets; the ack's
+     epoch and the per-key audits below gate the phase.  On a
+     multi-domain twobit pool the coordinator refuses live migration
+     (its reply routing is per-link) — the phase then asserts exactly
+     that refusal.  Values live in their own range so the per-key
+     fastcheck stays unique-write. *)
+  let reshard_rounds = 20 in
+  let reconfig_ops = ref 0 in
+  let reconfig_ok, reshard_note =
+    if not reconfig then (true, None)
+    else begin
+      let key = 0 in
+      let from_shard =
+        Net.Shard_map.shard_of_key (Net.Shard_map.create ~shards ()) key
+      in
+      let to_shard = (from_shard + 1) mod shards in
+      let stop = ref false in
+      let counts = Array.make 3 0 in
+      let hammer p =
+        Thread.create
+          (fun () ->
+            let c =
+              Net.Client.connect ~net ~server:Net.Transport.server ~proc:p ()
+            in
+            let i = ref 0 in
+            (* at least [reshard_rounds] ops each, then run until the
+               migration resolves (capped so writes stay unique) *)
+            while !i < reshard_rounds || ((not !stop) && !i < 50_000) do
+              incr i;
+              if p <= 1 then
+                Net.Client.write_k c ~key (600_000 + (200_000 * p) + !i)
+              else ignore (Net.Client.read_k c ~key)
+            done;
+            counts.(p) <- !i;
+            Net.Client.close c)
+          ()
+      in
+      let hammers = List.map hammer [ 0; 1; 2 ] in
+      let cc =
+        Net.Client.connect ~net ~server:Net.Transport.server ~proc:9 ()
+      in
+      let verdict =
+        match Net.Client.reshard cc ~key ~to_shard with
+        | e -> Ok e
+        | exception Invalid_argument msg -> Error msg
+      in
+      stop := true;
+      List.iter Thread.join hammers;
+      reconfig_ops := Array.fold_left ( + ) 0 counts;
+      let result =
+        match verdict with
+        | Ok e ->
+          let eok = domains > 1 || Net.Client.epoch cc >= e in
+          ( e >= 1 && eok,
+            Some
+              (Fmt.str
+                 "reshard key %d: shard %d -> %d -> ok, epoch %d (%d ops \
+                  raced the handoff)"
+                 key from_shard to_shard e !reconfig_ops) )
+        | Error msg ->
+          let expected_refusal = engine = Net.Engine.Twobit && domains > 1 in
+          ( expected_refusal,
+            Some
+              (Fmt.str "reshard key %d: refused (%s)%s" key msg
+                 (if expected_refusal then
+                    " — expected for a multi-domain twobit pool"
+                  else " UNEXPECTED")) )
+      in
+      Net.Client.close cc;
+      result
+    end
+  in
   (* drain every commit queue before the durability check below: the
      in-memory tables hold eagerly applied entries whose batches may
      still be pending (only their acks wait on durability), and the
@@ -327,7 +400,7 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
   let per_key = keyed_fastcheck ~init:0 keyed in
   let fc_ok = List.for_all (fun (_, v) -> v = "atomic") per_key in
   (* each multi-key op is answered (and counted) once *)
-  let expected = expected + (4 * txn_rounds) in
+  let expected = expected + (4 * txn_rounds) + !reconfig_ops in
   Fmt.pr "  %d/%d ops served; live audit: %s; decode errors: %d@."
     served expected mon decode_errors;
   List.iter (fun (k, v) -> Fmt.pr "  key %d: %s@." k v) per_key;
@@ -339,6 +412,7 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
     (match txn_viol with
      | [] -> "no torn batch"
      | v :: _ -> "TORN: " ^ v);
+  (match reshard_note with Some s -> Fmt.pr "  %s@." s | None -> ());
   (* with --data-dir, prove the durability round trip: reopen every
      replica's on-disk store fresh and require the recovered table to
      equal the live replica's — including the crashed replica 2, whose
@@ -381,7 +455,7 @@ let run_smoke engine shards readers writes reads seed data_dir group_commit
      --data-dir) a lossless recovery round trip *)
   let socket_ok =
     served = expected && violations = [] && fc_ok && decode_errors = 0
-    && durable_ok && txn_viol = []
+    && durable_ok && reconfig_ok && txn_viol = []
     && txs.Net.Txn.txns_committed = 2 * txn_rounds
     && txs.Net.Txn.snaps_served = 2 * txn_rounds
   in
@@ -540,10 +614,15 @@ let run_client dir proc ops =
            (String.split_on_char ',' spec))
     | [ "snap"; spec ] ->
       `Snap (List.map (int_or_fail "key") (String.split_on_char ',' spec))
+    | [ "epoch" ] -> `Epoch
+    | [ "reshard"; spec ] -> (
+      match String.split_on_char '=' spec with
+      | [ k; sh ] -> `Reshard (int_or_fail "key" k, int_or_fail "shard" sh)
+      | _ -> Fmt.failwith "cannot parse %S in %S (reshard:K=S)" spec s)
     | _ ->
       Fmt.failwith
         "cannot parse operation %S (read | write:N | get:K | put:K:N | \
-         txn:K=V,K=V | snap:K,K)"
+         txn:K=V,K=V | snap:K,K | epoch | reshard:K=S)"
         s
   in
   match List.map parse ops with
@@ -599,7 +678,16 @@ let run_client dir proc ops =
               (String.concat "," (List.map string_of_int vs))
           | exception Invalid_argument msg ->
             rejected := true;
-            Fmt.pr "snap %s -> rejected (%s)@." spec msg))
+            Fmt.pr "snap %s -> rejected (%s)@." spec msg)
+        | `Epoch -> Fmt.pr "epoch -> %d@." (Net.Client.epoch c)
+        | `Reshard (key, to_shard) -> (
+          match Net.Client.reshard c ~key ~to_shard with
+          | e ->
+            Fmt.pr "reshard %d -> shard %d -> ok (epoch %d)@." key to_shard e
+          | exception Invalid_argument msg ->
+            rejected := true;
+            Fmt.pr "reshard %d -> shard %d -> rejected (%s)@." key to_shard
+              msg))
       script;
     Net.Client.close c;
     Net.Socket_net.shutdown net;
@@ -714,12 +802,20 @@ let sim_cmd =
           $ metrics_flag $ trace)
 
 let smoke_cmd =
+  let reconfig_arg =
+    Arg.(value & flag
+         & info [ "reconfig" ]
+             ~doc:"Add a live-resharding phase: migrate the hot key to \
+                   the next shard while clients keep hammering it; the \
+                   ack's epoch and the per-key audits gate the phase.")
+  in
   Cmd.v
     (Cmd.info "smoke"
        ~doc:"Serve a workload over both transports; audit + re-check")
     Term.(const run_smoke $ Engine_cli.term $ shards $ readers $ writes
           $ reads $ seed $ data_dir $ group_commit_arg $ flush_us_arg
-          $ domains_arg $ gc_bytes_arg $ loop_arg $ metrics_flag)
+          $ domains_arg $ gc_bytes_arg $ reconfig_arg $ loop_arg
+          $ metrics_flag)
 
 let dir_arg =
   Arg.(required
@@ -749,7 +845,9 @@ let client_cmd =
          & info [] ~docv:"OP"
              ~doc:"Operations: read, write:N (key 0), get:K, put:K:N, \
                    txn:K=V,K=V (atomic multi-key batch), snap:K,K \
-                   (consistent snapshot).")
+                   (consistent snapshot), epoch (current configuration \
+                   epoch), reshard:K=S (live-migrate key K onto shard \
+                   S).")
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Run operations against a served keyspace")

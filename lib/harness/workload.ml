@@ -41,6 +41,41 @@ let random_spec ~rng ?(max_readers = 3) ?(max_ops = 8) () =
     reads_each = 1 + Random.State.int rng max_ops;
   }
 
+(* Zipf(s) over [0 .. keys-1] by inverse CDF: rank i + 1 gets weight
+   (i+1)^-s, so key 0 is the hot key — what a resharding benchmark
+   migrates.  The CDF is tiny (keys entries), a linear scan beats
+   anything cleverer. *)
+let zipf_cdf ~keys ~s =
+  let w = Array.init keys (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let zipf_pick cdf rng =
+  let u = Random.State.float rng 1.0 in
+  let n = Array.length cdf in
+  let rec go i = if i >= n - 1 || u <= cdf.(i) then i else go (i + 1) in
+  go 0
+
+let zipfian_keyed ?(s = 1.2) ~seed ~keys ~procs ~ops_each ~writer () =
+  if keys <= 0 then invalid_arg "Workload.zipfian_keyed: keys must be positive";
+  let open Histories.Event in
+  let rng = Random.State.make [| seed; 0x7a697066 |] in
+  let cdf = zipf_cdf ~keys ~s in
+  List.init procs (fun p ->
+      let script =
+        List.init ops_each (fun k ->
+            let key = zipf_pick cdf rng in
+            if writer p && Random.State.bool rng then
+              (key, Write (unique_value ~proc:p ~k))
+            else (key, Read))
+      in
+      (p, script))
+
 let values_written processes =
   List.concat_map
     (fun (p : int Registers.Vm.process) ->

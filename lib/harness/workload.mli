@@ -30,4 +30,21 @@ val random_spec :
     [1 .. max_ops] writes/reads per processor (default cap 8).  Feed to
     {!unique_scripts} so the unique-value checkers apply. *)
 
+val zipfian_keyed :
+  ?s:float ->
+  seed:int ->
+  keys:int ->
+  procs:int ->
+  ops_each:int ->
+  writer:(Histories.Event.proc -> bool) ->
+  unit ->
+  (Histories.Event.proc * (int * int Histories.Event.op) list) list
+(** Keyed scripts whose keys are drawn Zipf([s])-distributed over
+    [0 .. keys-1] (default exponent 1.2): key 0 is the hot key, which
+    is what a live-resharding benchmark migrates mid-run to watch the
+    load follow it.  One [(proc, script)] pair per processor; writer
+    processors mix unique-valued writes (see {!unique_scripts}) with
+    reads, reader processors only read.  Deterministic in [seed].
+    @raise Invalid_argument if [keys] is not positive. *)
+
 val values_written : int Registers.Vm.process list -> int list

@@ -9,10 +9,13 @@ type t = {
   completed : (int, int option) Hashtbl.t;  (* seq -> result *)
   snap_completed : (int, int list) Hashtbl.t;  (* seq -> snapshot values *)
   stats_replies : (int, (string * int) list) Hashtbl.t;  (* rid -> stats *)
+  reconfig_acks : (int, int * bool) Hashtbl.t;  (* rid -> (epoch, ok) *)
+  epoch_replies : (int, int * int) Hashtbl.t;  (* rid -> (epoch, shards) *)
   sent_at : (int, float) Hashtbl.t;  (* seq -> send instant, for RTT *)
   h_rtt : Metrics.histogram;
   c_batches : Metrics.counter;
   mutable next_seq : int;
+  mutable epoch : int;  (* latest configuration epoch heard from acks *)
   batch_max : int;
   flush_every : float;
   mutable pending_rev : Wire.msg list;  (* queued Req frames, newest first *)
@@ -53,6 +56,8 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
   let completed = Hashtbl.create 32 in
   let snap_completed = Hashtbl.create 8 in
   let stats_replies = Hashtbl.create 4 in
+  let reconfig_acks = Hashtbl.create 4 in
+  let epoch_replies = Hashtbl.create 4 in
   let sent_at = Hashtbl.create 32 in
   let h_rtt = Metrics.histogram metrics "client_rtt" in
   let rec handler ~src:_ msg =
@@ -78,6 +83,14 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
     | Wire.Stats_reply { rid; stats } ->
       Mutex.protect mu (fun () -> Hashtbl.replace stats_replies rid stats);
       Condition.broadcast cond
+    | Wire.Reconfig_ack { rid; epoch; ok } ->
+      Mutex.protect mu (fun () ->
+          Hashtbl.replace reconfig_acks rid (epoch, ok));
+      Condition.broadcast cond
+    | Wire.Epoch_reply { rid; epoch; shards } ->
+      Mutex.protect mu (fun () ->
+          Hashtbl.replace epoch_replies rid (epoch, shards));
+      Condition.broadcast cond
     | Wire.Batch msgs -> List.iter (handler ~src:0) msgs
     | _ -> ()
   in
@@ -96,10 +109,13 @@ let connect ?metrics ?(batch_max = 32) ?(flush_every = 0.002) ~net ~server
       completed;
       snap_completed;
       stats_replies;
+      reconfig_acks;
+      epoch_replies;
       sent_at;
       h_rtt;
       c_batches = Metrics.counter metrics "client_batches";
       next_seq = 0;
+      epoch = 0;
       batch_max = max 1 (min batch_max Wire.max_batch);
       flush_every;
       pending_rev = [];
@@ -263,6 +279,52 @@ let stats t =
       let r = Hashtbl.find t.stats_replies rid in
       Hashtbl.remove t.stats_replies rid;
       r)
+
+let epoch t =
+  flush t;
+  let rid = fresh_seq t in
+  t.tr.Transport.send ~src:t.me ~dst:t.server (Wire.Epoch_req { rid });
+  let e, _shards =
+    Mutex.protect t.mu (fun () ->
+        while not (Hashtbl.mem t.epoch_replies rid) do
+          Condition.wait t.cond t.mu
+        done;
+        let r = Hashtbl.find t.epoch_replies rid in
+        Hashtbl.remove t.epoch_replies rid;
+        r)
+  in
+  t.epoch <- max t.epoch e;
+  t.epoch
+
+let reshard ?(attempts = 8) t ~key ~to_shard =
+  if key < 0 then invalid_arg "Client.reshard: negative key";
+  if to_shard < 0 then invalid_arg "Client.reshard: negative shard";
+  let rec go n believed =
+    flush t;
+    let rid = fresh_seq t in
+    t.tr.Transport.send ~src:t.me ~dst:t.server
+      (Wire.Reconfig { rid; key; to_shard; epoch = believed });
+    let e, ok =
+      Mutex.protect t.mu (fun () ->
+          while not (Hashtbl.mem t.reconfig_acks rid) do
+            Condition.wait t.cond t.mu
+          done;
+          let r = Hashtbl.find t.reconfig_acks rid in
+          Hashtbl.remove t.reconfig_acks rid;
+          r)
+    in
+    t.epoch <- max t.epoch e;
+    if ok then t.epoch
+    else if n > 1 then begin
+      (* a nack echoing OUR epoch means the coordinator was busy (or
+         the request invalid), not that we were stale: back off a beat
+         so an in-flight migration can cut over before the retry *)
+      if e = believed then Thread.delay 0.005;
+      go (n - 1) (max e believed)
+    end
+    else invalid_arg "Client.reshard: migration kept being refused"
+  in
+  go (max 1 attempts) t.epoch
 
 (* Pipelined execution with a bounded number of outstanding ops; the
    batcher under [req] coalesces whatever the window admits. *)

@@ -114,6 +114,25 @@ val stats : t -> (string * int) list
     [name_p50_us] and [name_p99_us].  The server appends [sessions],
     [shards] and [audit_violation] (0/1). *)
 
+val epoch : t -> int
+(** Flush the batcher, ask the server which configuration epoch is
+    current ([Epoch_req]/[Epoch_reply]) and block for the answer.
+    Returns the newest epoch this client has heard of (the reply, or a
+    later {!reshard} ack).  Epochs advance by one per completed
+    migration — see {!Reconfig}. *)
+
+val reshard : ?attempts:int -> t -> key:int -> to_shard:int -> int
+(** Blocking live migration: ask the server to move [key] onto
+    [to_shard] (and thereby that shard's replica group) while traffic
+    continues, returning the new configuration epoch once the handoff
+    has cut over.  The request carries the client's believed epoch; a
+    stale-epoch nack adopts the server's answer and retries, a busy
+    nack (another migration in flight) backs off briefly first — at
+    most [attempts] (default 8) tries in total.
+    @raise Invalid_argument on a negative key or shard, on a server
+    that keeps refusing (e.g. reconfiguration disabled, or the shard
+    out of range), or if the client is closed mid-wait. *)
+
 val close : t -> unit
 (** Close the session: atomically seal the batcher (later queue
     attempts raise) and detach any partially filled batch, send it,

@@ -73,6 +73,21 @@ module type S = sig
 
   val read : t -> reg:int -> k:(Wire.payload -> unit) -> unit
   val write : t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+
+  (* the migration pair (Reconfig): [read_ts] samples a register's
+     freshest (ts, payload) without a write-back; [write_at] installs a
+     pair verbatim under a caller-supplied timestamp.  Engines without
+     comparable timestamps (twobit) degrade: read_ts reports ts 0 and
+     write_at ignores ts (its apply counter orders stores by arrival). *)
+  val read_ts : t -> reg:int -> k:(int * Wire.payload -> unit) -> unit
+
+  val write_at :
+    t -> reg:int -> ts:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+
+  (* [write] that reports the timestamp it chose, synchronously — the
+     dual-write leg replays it into the incoming group via [write_at] *)
+  val write_ts : t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> int
+
   val on_message : t -> src:Transport.node -> Wire.msg -> unit
   val resend_pending : ?older_than:float -> t -> bool
   val stats : t -> stats
@@ -86,6 +101,14 @@ let read (Instance ((module M), t)) ~reg ~k = M.read t ~reg ~k
 
 let write (Instance ((module M), t)) ~reg ~value ~k =
   M.write t ~reg ~value ~k
+
+let read_ts (Instance ((module M), t)) ~reg ~k = M.read_ts t ~reg ~k
+
+let write_at (Instance ((module M), t)) ~reg ~ts ~value ~k =
+  M.write_at t ~reg ~ts ~value ~k
+
+let write_ts (Instance ((module M), t)) ~reg ~value ~k =
+  M.write_ts t ~reg ~value ~k
 
 let on_message (Instance ((module M), t)) ~src msg = M.on_message t ~src msg
 

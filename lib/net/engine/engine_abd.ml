@@ -10,6 +10,9 @@ module Impl = struct
 
   let read t ~reg ~k = Quorum.read t.q ~reg ~k
   let write t ~reg ~value ~k = Quorum.write t.q ~reg ~value ~k
+  let read_ts t ~reg ~k = Quorum.read_ts t.q ~reg ~k
+  let write_at t ~reg ~ts ~value ~k = Quorum.write_at t.q ~reg ~ts ~value ~k
+  let write_ts t ~reg ~value ~k = Quorum.write_ts t.q ~reg ~value ~k
   let on_message t ~src msg = Quorum.on_message t.q ~src msg
   let resend_pending ?older_than t = Quorum.resend_pending ?older_than t.q
 
@@ -25,7 +28,8 @@ module Impl = struct
     }
 end
 
-let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
+let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics ?rid_base
+    ?rid_stride () =
   let bytes = ref 0 and cbytes = ref 0 in
   let metered =
     {
@@ -41,7 +45,7 @@ let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
     {
       q =
         Quorum.create ~transport:metered ~me ~replicas ?read_quorum ?storage
-          ?metrics ();
+          ?metrics ?rid_base ?rid_stride ();
       bytes;
       cbytes;
     }

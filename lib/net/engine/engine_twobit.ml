@@ -138,7 +138,7 @@ let broadcast t op frame_of =
       send t l frame)
     t.links
 
-let write t ~reg ~value ~k =
+let write_ts t ~reg ~value ~k =
   t.writes <- t.writes + 1;
   Metrics.incr t.c.m_stores;
   let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
@@ -154,9 +154,12 @@ let write t ~reg ~value ~k =
     broadcast t op (fun ~seq ->
         Wire.Store2 { lid = t.lid; seq; reg; pl = value })
   in
-  match t.storage with
-  | None -> go ()
-  | Some st -> Storage.append_async st { Storage.reg; ts; pl = value } ~k:go
+  (match t.storage with
+   | None -> go ()
+   | Some st -> Storage.append_async st { Storage.reg; ts; pl = value } ~k:go);
+  ts
+
+let write t ~reg ~value ~k = ignore (write_ts t ~reg ~value ~k)
 
 let read t ~reg ~k =
   t.reads <- t.reads + 1;
@@ -165,6 +168,16 @@ let read t ~reg ~k =
     { k = Rd k; born = t.tr.Transport.now (); acks = 0; done_ = false }
   in
   broadcast t op (fun ~seq -> Wire.Query2 { lid = t.lid; seq; reg })
+
+(* Migration pair, degraded: the two-bit protocol carries no
+   comparable timestamp on the wire, so a sync sample reports ts 0 and
+   an install discards the caller's ts — the replica's per-register
+   apply counter orders the store like any other.  Sound because the
+   reconfiguration coordinator never starts a sync for a register with
+   a dual-write in flight (the "hot" skip), so installs cannot overtake
+   a newer value on the apply counter. *)
+let read_ts t ~reg ~k = read t ~reg ~k:(fun pl -> k (0, pl))
+let write_at t ~reg ~ts:_ ~value ~k = write t ~reg ~value ~k
 
 let link_of t dst = Array.find_opt (fun l -> l.dst = dst) t.links
 
@@ -245,6 +258,9 @@ module Impl = struct
 
   let read = read
   let write = write
+  let read_ts = read_ts
+  let write_at = write_at
+  let write_ts = write_ts
   let on_message = on_message
   let resend_pending = resend_pending
   let stats = stats

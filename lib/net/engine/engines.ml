@@ -5,8 +5,11 @@
    meaningless to ABD (timestamps already tolerate reordering), so a
    mismatched hook is an error, not a silent no-op. *)
 
+(* [rid_base]/[rid_stride] stripe the abd rid space per shard (see
+   Quorum); the twobit engine has no rids — its replies are matched by
+   link seq on the shard-indexed lid — so it ignores them. *)
 let create (spec : Engine.spec) ~transport ~me ~replicas ~lid ?storage
-    ?metrics () =
+    ?metrics ?rid_base ?rid_stride () =
   match spec.Engine.kind with
   | Engine.Abd ->
     if spec.unordered then
@@ -14,7 +17,7 @@ let create (spec : Engine.spec) ~transport ~me ~replicas ~lid ?storage
         "Engines.create: unordered is a twobit-engine bug hook (the abd \
          engine is reorder-tolerant by construction)";
     Engine_abd.create ~transport ~me ~replicas ?read_quorum:spec.read_quorum
-      ?storage ?metrics ()
+      ?storage ?metrics ?rid_base ?rid_stride ()
   | Engine.Twobit ->
     (match spec.read_quorum with
      | Some _ ->

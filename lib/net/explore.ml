@@ -11,12 +11,15 @@ type config = {
   xprocesses : Sim_run.xprocess list;
   keys : int;
   shards : int;
+  group_size : int option;
   window : int;
   init : int;
   engine : Engine.kind;
   read_quorum : int option;
   unordered : bool;
   torn_txn : bool;
+  reconfig : (int * int) option;
+  skip_dual_write : bool;
   crashable : int list;
   max_crashes : int;
   amnesia : int list;
@@ -31,9 +34,11 @@ type config = {
   fastcheck : bool;
 }
 
-let config ?(replicas = 3) ?(keys = 1) ?(shards = 1) ?(window = 4) ?(init = 0)
-    ?(engine = Engine.Abd) ?read_quorum ?(unordered = false)
-    ?(torn_txn = false) ?(crashable = []) ?(max_crashes = 0) ?(amnesia = [])
+let config ?(replicas = 3) ?(keys = 1) ?(shards = 1) ?group_size
+    ?(window = 4) ?(init = 0) ?(engine = Engine.Abd) ?read_quorum
+    ?(unordered = false) ?(torn_txn = false) ?reconfig
+    ?(skip_dual_write = false) ?(crashable = []) ?(max_crashes = 0)
+    ?(amnesia = [])
     ?(max_amnesia = 0) ?(durable = true) ?(cuts = []) ?(max_partitions = 0)
     ?(max_timer_fires = 64) ?(max_depth = 2_000) ?(max_schedules = max_int)
     ?(prune = true) ?(fastcheck = false) ?(xprocesses = []) ~processes () =
@@ -64,12 +69,29 @@ let config ?(replicas = 3) ?(keys = 1) ?(shards = 1) ?(window = 4) ?(init = 0)
          "Explore.config: the twobit engine is crash-stop only — its link \
           sequence state is volatile, so an amnesia reboot deadlocks the \
           links; use crashable instead");
+  (match group_size with
+   | Some g when g <= 0 ->
+     invalid_arg "Explore.config: group_size must be positive"
+   | _ -> ());
+  (match reconfig with
+   | Some (key, to_shard) ->
+     if key < 0 then invalid_arg "Explore.config: negative reconfig key";
+     if to_shard < 0 || to_shard >= shards then
+       invalid_arg "Explore.config: reconfig target shard out of range"
+   | None ->
+     if skip_dual_write then
+       invalid_arg
+         "Explore.config: skip_dual_write is the reconfiguration bug hook; \
+          it needs a reconfig migration to skip dual writes of");
   List.iter
     (fun (xp : Sim_run.xprocess) ->
       List.iter
         (fun xop ->
           match xop with
           | Sim_run.Single _ -> ()
+          | Sim_run.Keyed (k, _) ->
+            if k < 0 then
+              invalid_arg "Explore.config: negative Keyed key"
           | Sim_run.Txn_w ws ->
             if not (Txn.valid_keys (List.map fst ws)) then
               invalid_arg "Explore.config: structurally invalid Txn_w keys"
@@ -84,12 +106,15 @@ let config ?(replicas = 3) ?(keys = 1) ?(shards = 1) ?(window = 4) ?(init = 0)
     xprocesses;
     keys;
     shards;
+    group_size;
     window;
     init;
     engine;
     read_quorum;
     unordered;
     torn_txn;
+    reconfig;
+    skip_dual_write;
     crashable;
     max_crashes = (if crashable = [] then 0 else max_crashes);
     amnesia;
@@ -135,9 +160,11 @@ let reset ?trace cfg =
   in
   let cl =
     Sim_run.build ~faults:Sim_net.reliable ~replicas:cfg.replicas
-      ~window:cfg.window ~shards:cfg.shards ~keys:cfg.keys ~engine:spec
-      ~durable:cfg.durable ~xprocesses:cfg.xprocesses ~torn_txn:cfg.torn_txn
-      ?trace ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
+      ~window:cfg.window ~shards:cfg.shards ?group_size:cfg.group_size
+      ~keys:cfg.keys ~engine:spec ~durable:cfg.durable
+      ~xprocesses:cfg.xprocesses ~torn_txn:cfg.torn_txn
+      ?reconfig:cfg.reconfig ~skip_dual_write:cfg.skip_dual_write ?trace
+      ~seed:0 ~init:cfg.init ~processes:cfg.processes ()
   in
   {
     cfg;
@@ -491,14 +518,16 @@ let script_tokens script =
        script)
 
 (* Extended scripts keep to the same escape-free token grammar:
-   [r] / [wV] for singles, [tK=V,K=V] for transactions, [sK,K] for
-   snapshots. *)
+   [r] / [wV] for singles, [kKr] / [kKwV] for explicitly keyed ops,
+   [tK=V,K=V] for transactions, [sK,K] for snapshots. *)
 let xscript_tokens xscript =
   String.concat " "
     (List.map
        (function
          | Sim_run.Single E.Read -> "r"
          | Sim_run.Single (E.Write v) -> Fmt.str "w%d" v
+         | Sim_run.Keyed (k, E.Read) -> Fmt.str "k%dr" k
+         | Sim_run.Keyed (k, E.Write v) -> Fmt.str "k%dw%d" k v
          | Sim_run.Txn_w ws ->
            "t"
            ^ String.concat ","
@@ -509,15 +538,21 @@ let xscript_tokens xscript =
 
 let config_note cfg =
   Fmt.str
-    "config replicas=%d keys=%d shards=%d window=%d init=%d engine=%d \
-     read_quorum=%d unordered=%d torn_txn=%d max_crashes=%d max_amnesia=%d \
+    "config replicas=%d keys=%d shards=%d group_size=%d window=%d init=%d \
+     engine=%d read_quorum=%d unordered=%d torn_txn=%d reconfig_key=%d \
+     reconfig_to=%d skip_dual_write=%d max_crashes=%d max_amnesia=%d \
      durable=%d max_partitions=%d max_timer_fires=%d max_depth=%d prune=%d \
      fastcheck=%d"
-    cfg.replicas cfg.keys cfg.shards cfg.window cfg.init
+    cfg.replicas cfg.keys cfg.shards
+    (Option.value ~default:0 cfg.group_size)
+    cfg.window cfg.init
     (Engine.kind_code cfg.engine)
     (Option.value ~default:0 cfg.read_quorum)
     (if cfg.unordered then 1 else 0)
     (if cfg.torn_txn then 1 else 0)
+    (match cfg.reconfig with Some (k, _) -> k | None -> -1)
+    (match cfg.reconfig with Some (_, s) -> s | None -> -1)
+    (if cfg.skip_dual_write then 1 else 0)
     cfg.max_crashes cfg.max_amnesia
     (if cfg.durable then 1 else 0)
     cfg.max_partitions cfg.max_timer_fires cfg.max_depth
@@ -605,6 +640,24 @@ let parse_xscript tokens =
       if tok = "r" then Sim_run.Single E.Read
       else if String.length tok > 1 && tok.[0] = 'w' then
         Sim_run.Single (E.Write (int_of_string (body ())))
+      else if String.length tok > 2 && tok.[0] = 'k' then begin
+        (* kKr / kKwV: digits name the key, then the op *)
+        let b = body () in
+        let n = String.length b in
+        let i = ref 0 in
+        while !i < n && b.[!i] >= '0' && b.[!i] <= '9' do
+          incr i
+        done;
+        if !i = 0 || !i >= n then
+          failwith ("explore: bad keyed token " ^ tok);
+        let key = int_of_string (String.sub b 0 !i) in
+        match b.[!i] with
+        | 'r' when !i = n - 1 -> Sim_run.Keyed (key, E.Read)
+        | 'w' when !i < n - 1 ->
+          Sim_run.Keyed
+            (key, E.Write (int_of_string (String.sub b (!i + 1) (n - !i - 1))))
+        | _ -> failwith ("explore: bad keyed token " ^ tok)
+      end
       else if String.length tok > 1 && tok.[0] = 't' then
         Sim_run.Txn_w
           (List.map
@@ -672,19 +725,27 @@ let load ~file =
     notes;
   let get k d = Option.value ~default:d (Hashtbl.find_opt assoc k) in
   let rq = get "read_quorum" 0 in
-  (* engine/unordered default to abd/false so pre-engine artifacts load *)
+  (* engine/unordered default to abd/false so pre-engine artifacts load;
+     group_size/reconfig/skip_dual_write default to off so pre-reconfig
+     artifacts load *)
   let engine =
     match Engine.kind_of_code (get "engine" 0) with
     | Some k -> k
     | None -> failwith "explore: unknown engine code"
   in
+  let gs = get "group_size" 0 in
+  let rkey = get "reconfig_key" (-1) in
   let cfg =
     config ~replicas:(get "replicas" 3) ~keys:(get "keys" 1)
-      ~shards:(get "shards" 1) ~window:(get "window" 4) ~init:(get "init" 0)
-      ~engine
+      ~shards:(get "shards" 1)
+      ?group_size:(if gs = 0 then None else Some gs)
+      ~window:(get "window" 4) ~init:(get "init" 0) ~engine
       ?read_quorum:(if rq = 0 then None else Some rq)
       ~unordered:(get "unordered" 0 = 1)
       ~torn_txn:(get "torn_txn" 0 = 1)
+      ?reconfig:
+        (if rkey < 0 then None else Some (rkey, get "reconfig_to" 0))
+      ~skip_dual_write:(get "skip_dual_write" 0 = 1)
       ~xprocesses:!xprocs ~crashable:!crashable
       ~max_crashes:(get "max_crashes" 0)
       ~amnesia:!amnesia

@@ -39,6 +39,10 @@ type config = {
           {!Sim_run.build}) *)
   keys : int;  (** scripts round-robin over this many keys *)
   shards : int;  (** server shard count (keys hash across them) *)
+  group_size : int option;
+      (** replicas per shard group (see {!Shard_map.group}); with 2
+          shards and [group_size 1] the groups are disjoint — the
+          sharpest migration topology *)
   window : int;  (** client pipelining window *)
   init : int;
   engine : Engine.kind;  (** replication protocol every shard runs *)
@@ -51,6 +55,16 @@ type config = {
       (** cross-key deliberate-bug hook: the server's {!Txn}
           coordinator skips per-key locking, so a snapshot can observe
           a torn batch — the target the torn-batch audit must catch *)
+  reconfig : (int * int) option;
+      (** [(key, to_shard)]: a fault-immune control client requests a
+          live migration of [key] onto [to_shard]; its delivery is one
+          more schedulable event, so the handoff interleaves freely
+          with the workload (see {!Reconfig}) *)
+  skip_dual_write : bool;
+      (** reconfiguration deliberate-bug hook: the incoming-group leg
+          of each dual write is dropped, so a write acked during the
+          migration is lost at cutover — the violation the audits must
+          catch (see {!Reconfig.create}) *)
   crashable : int list;  (** replicas the adversary may crash *)
   max_crashes : int;  (** crash budget per run *)
   amnesia : int list;
@@ -81,12 +95,15 @@ val config :
   ?replicas:int ->
   ?keys:int ->
   ?shards:int ->
+  ?group_size:int ->
   ?window:int ->
   ?init:int ->
   ?engine:Engine.kind ->
   ?read_quorum:int ->
   ?unordered:bool ->
   ?torn_txn:bool ->
+  ?reconfig:int * int ->
+  ?skip_dual_write:bool ->
   ?crashable:int list ->
   ?max_crashes:int ->
   ?amnesia:int list ->
@@ -114,8 +131,11 @@ val config :
     if a bug hook names the wrong engine ([unordered] with ABD,
     [read_quorum] with twobit), if the twobit engine is paired with
     amnesia fates (its link-sequence state is volatile — crash-stop
-    only), or if an [xprocesses] op carries structurally invalid keys
-    (see {!Txn.valid_keys}). *)
+    only), if [skip_dual_write] is set without a [reconfig] migration
+    to sabotage, if a [reconfig] target is out of range, if
+    [group_size] is non-positive, or if an [xprocesses] op carries
+    structurally invalid keys (see {!Txn.valid_keys}; [Keyed] keys
+    must be non-negative). *)
 
 (** {2 Exploration} *)
 

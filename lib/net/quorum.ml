@@ -38,6 +38,7 @@ type t = {
   pending : (int, phase) Hashtbl.t;
   wts : (int, int) Hashtbl.t;  (* global reg -> write timestamp *)
   storage : Storage.t option;
+  rid_stride : int;
   mutable next_rid : int;
   mutable reads : int;
   mutable writes : int;
@@ -46,7 +47,10 @@ type t = {
   c : ctrs;
 }
 
-let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
+let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics
+    ?(rid_base = 0) ?(rid_stride = 1) () =
+  if rid_stride < 1 || rid_base < 0 || rid_base >= rid_stride then
+    invalid_arg "Quorum.create: rid_base/rid_stride out of range";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let majority = (List.length replicas / 2) + 1 in
   let read_quorum =
@@ -85,7 +89,8 @@ let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
     pending = Hashtbl.create 16;
     wts;
     storage;
-    next_rid = 0;
+    rid_stride;
+    next_rid = rid_base;
     reads = 0;
     writes = 0;
     sent = 0;
@@ -95,9 +100,13 @@ let create ~transport ~me ~replicas ?read_quorum ?storage ?metrics () =
 
 let quorum_size t = t.quorum
 
+(* Rids walk the residue class [rid_base mod rid_stride]: during a
+   migration two engines of one node carry pending phases for the same
+   registers concurrently, and a reply must never be attributable to
+   more than one engine's rid space. *)
 let fresh_rid t =
   let rid = t.next_rid in
-  t.next_rid <- rid + 1;
+  t.next_rid <- rid + t.rid_stride;
   rid
 
 let send_to t dst msg =
@@ -127,7 +136,33 @@ let read t ~reg ~k =
   Hashtbl.replace t.pending rid (Collect { reg; born; replies = []; finish });
   broadcast t (Wire.Query { rid; reg })
 
-let write t ~reg ~value ~k =
+(* A bare collect: the freshest (ts, payload) a read quorum holds,
+   with no write-back phase.  The reconfiguration coordinator uses it
+   to sample a register's state from the outgoing group before
+   installing it on the incoming one — the install is the write-back,
+   so doing another here would double the message cost. *)
+let read_ts t ~reg ~k =
+  t.reads <- t.reads + 1;
+  Metrics.incr t.c.m_queries;
+  let rid = fresh_rid t in
+  let born = t.tr.Transport.now () in
+  Hashtbl.replace t.pending rid (Collect { reg; born; replies = []; finish = k });
+  broadcast t (Wire.Query { rid; reg })
+
+(* Install (ts, value) verbatim: the dual-write leg of a migration
+   replays the primary engine's timestamp into the incoming group, so
+   the pair stays comparable across the handoff.  The local wts floor
+   is raised (never lowered) so a post-cutover write through this
+   engine still dominates.  No storage append: the primary engine's
+   [write] already made the same (reg, ts) durable in this node's log,
+   which is what [create] recovers the floor from. *)
+let write_at t ~reg ~ts ~value ~k =
+  t.writes <- t.writes + 1;
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
+  if ts > cur then Hashtbl.replace t.wts reg ts;
+  start_store t ~reg ~ts ~pl:value ~finish:k
+
+let write_ts t ~reg ~value ~k =
   t.writes <- t.writes + 1;
   let ts = 1 + Option.value ~default:0 (Hashtbl.find_opt t.wts reg) in
   Hashtbl.replace t.wts reg ts;
@@ -139,12 +174,15 @@ let write t ~reg ~value ~k =
      other shards keep their timestamps ordered. *)
   (* the write timestamp dominates every write-back of an earlier read
      (those reuse timestamps <= wts, by SWMR ownership) *)
-  match t.storage with
-  | None -> start_store t ~reg ~ts ~pl:value ~finish:k
-  | Some st ->
-    Storage.append_async st
-      { Storage.reg; ts; pl = value }
-      ~k:(fun () -> start_store t ~reg ~ts ~pl:value ~finish:k)
+  (match t.storage with
+   | None -> start_store t ~reg ~ts ~pl:value ~finish:k
+   | Some st ->
+     Storage.append_async st
+       { Storage.reg; ts; pl = value }
+       ~k:(fun () -> start_store t ~reg ~ts ~pl:value ~finish:k));
+  ts
+
+let write t ~reg ~value ~k = ignore (write_ts t ~reg ~value ~k)
 
 let best replies =
   List.fold_left

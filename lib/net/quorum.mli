@@ -43,6 +43,8 @@ val create :
   ?read_quorum:int ->
   ?storage:Storage.t ->
   ?metrics:Metrics.t ->
+  ?rid_base:int ->
+  ?rid_stride:int ->
   unit ->
   t
 (** An engine speaking from node [me] to the quorum group [replicas].
@@ -60,7 +62,16 @@ val create :
     recovers the per-register timestamps from it — so a restarted
     engine never re-issues a timestamp a replica may already hold.
     Several engines may share one store as long as their register sets
-    are disjoint (which shards guarantee).
+    are disjoint (which shards guarantee) — or, during a migration,
+    overlap only through {!write_at}, which appends nothing.
+
+    [rid_base]/[rid_stride] (defaults [0]/[1]) stripe the request-id
+    space: this engine issues rids congruent to [rid_base] modulo
+    [rid_stride].  A node running one engine per shard gives engine
+    [s] the stripe [(s, shards)], so a reply identifies its issuing
+    engine by [rid mod shards] even while a migration has two engines
+    with pending phases for the same registers.  Raises
+    [Invalid_argument] unless [0 <= rid_base < rid_stride].
     [metrics] (default: a fresh, private instance) receives
     [quorum_queries]/[quorum_stores]/[quorum_retransmissions] counters
     and the [quorum_phase1]/[quorum_phase2] round-latency histograms
@@ -79,6 +90,31 @@ val read : t -> reg:int -> k:(Wire.payload -> unit) -> unit
 val write : t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> unit
 (** Start an atomic write; same continuation contract as {!read}.
     Must only be called by the register's owning engine (SWMR). *)
+
+val write_ts :
+  t -> reg:int -> value:Wire.payload -> k:(unit -> unit) -> int
+(** {!write}, additionally returning the timestamp it chose — decided
+    synchronously, before any message leaves.  The migration dual
+    write replays this timestamp into the incoming group with
+    {!write_at} so the two groups stay comparable. *)
+
+val read_ts : t -> reg:int -> k:(int * Wire.payload -> unit) -> unit
+(** Collect phase only: [k] receives the freshest (timestamp, payload)
+    a read quorum holds, with {e no} write-back — so on its own this
+    is not an atomic read.  The reconfiguration coordinator's sync
+    step uses it to sample a register from the outgoing group; the
+    subsequent {!write_at} into the incoming group plays the
+    write-back role.  Same continuation contract as {!read}. *)
+
+val write_at :
+  t -> reg:int -> ts:int -> value:Wire.payload -> k:(unit -> unit) -> unit
+(** Store phase with a caller-supplied timestamp: installs (ts, value)
+    on a majority verbatim, raising (never lowering) the engine's
+    local timestamp floor for [reg] so later {!write}s still dominate.
+    Appends nothing to [storage] — the caller must ensure the pair is
+    already durable (the migration dual-write replays a timestamp the
+    primary engine's {!write} just logged).  Same continuation
+    contract as {!read}. *)
 
 val on_message : t -> src:Transport.node -> Wire.msg -> unit
 (** Feed [Query_reply]/[Store_ack] messages; replies from unknown

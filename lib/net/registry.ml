@@ -3,12 +3,15 @@
    speaking from the same node over the same transport.  The engine
    protocol is chosen once per registry ({!Engine.spec}) — shards stay
    engine-homogeneous.  Replies are routed to the owning engine by the
-   global register index (ABD messages) or the link id (two-bit
-   messages, whose link id is the shard index), so the engines'
-   request-id/sequence spaces may overlap freely. *)
+   request-id residue (ABD messages: engine [s] issues rids congruent
+   to [s] modulo the shard count) or the link id (two-bit messages,
+   whose link id is the shard index).  Routing must not depend on the
+   register index: during a migration two engines carry pending phases
+   for the same registers, and only the rid stripe tells their replies
+   apart. *)
 
 type t = {
-  map : Shard_map.t;
+  mutable map : Shard_map.t;
   spec : Engine.spec;
   engines : Engine.instance array;
   c_ops : Metrics.counter array;  (* shard<i>_quorum_ops *)
@@ -32,13 +35,19 @@ let create ~transport ~me ~replicas ~map ?(engine = Engine.default)
       Array.init n (fun s ->
           Engines.create spec ~transport ~me
             ~replicas:(Shard_map.group map ~replicas s)
-            ~lid:s ?storage ~metrics ());
+            ~lid:s ?storage ~metrics ~rid_base:s ~rid_stride:n ());
     c_ops =
       Array.init n (fun s ->
           Metrics.counter metrics (Fmt.str "shard%d_quorum_ops" s));
   }
 
 let map t = t.map
+
+let set_map t map =
+  if Shard_map.shards map <> Array.length t.engines then
+    invalid_arg "Registry.set_map: shard count must not change";
+  t.map <- map
+
 let spec t = t.spec
 let shards t = Array.length t.engines
 let shard_of_key t key = Shard_map.shard_of_key t.map key
@@ -55,14 +64,13 @@ let write t ~key ~reg ~value ~k =
   Engine.write t.engines.(s) ~reg:(Shard_map.global_reg key reg) ~value ~k
 
 let on_message t ~src msg =
+  let n = Array.length t.engines in
   let rec go m =
     match m with
-    | Wire.Query_reply { reg; _ } | Wire.Store_ack { reg; _ } ->
-      let s = shard_of_key t (Shard_map.key_of_reg reg) in
-      Engine.on_message t.engines.(s) ~src m
+    | Wire.Query_reply { rid; _ } | Wire.Store_ack { rid; _ } ->
+      if rid >= 0 then Engine.on_message t.engines.(rid mod n) ~src m
     | Wire.Ack2 { lid; _ } | Wire.Query2_reply { lid; _ } ->
-      if lid >= 0 && lid < Array.length t.engines then
-        Engine.on_message t.engines.(lid) ~src m
+      if lid >= 0 && lid < n then Engine.on_message t.engines.(lid) ~src m
     | Wire.Batch msgs -> List.iter go msgs
     | _ -> ()
   in

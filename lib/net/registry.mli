@@ -9,9 +9,12 @@
     operations on different shards share nothing and proceed fully
     concurrently through the pipelined server.  All engines speak from
     the same transport node; incoming replies are routed to the owning
-    engine by the global register index they carry (ABD) or by their
-    link id, which is the shard index (two-bit), so overlapping
-    request-id/sequence spaces across engines are harmless.
+    engine by the request-id stripe they carry (ABD: engine [s] issues
+    rids congruent to [s] modulo the shard count — see
+    {!Quorum.create}) or by their link id, which is the shard index
+    (two-bit).  Register-index routing would be ambiguous during a
+    {!Reconfig} migration, when two engines hold pending phases for
+    the same registers.
 
     Same threading contract as {!Quorum}: not internally locked, drive
     from one transport handler; nothing here blocks. *)
@@ -49,6 +52,15 @@ val create :
     {!Wire.max_lid}. *)
 
 val map : t -> Shard_map.t
+(** The current placement.  Mutable across epochs — see {!set_map}. *)
+
+val set_map : t -> Shard_map.t -> unit
+(** Install the next epoch's map: subsequent {!read}/{!write} calls
+    route by it.  The {!Reconfig} coordinator calls this exactly at
+    cutover, from the registry's driving thread.  The shard count is
+    fixed at {!create} (engines are per-shard state).
+    @raise Invalid_argument if the new map's shard count differs. *)
+
 val shards : t -> int
 val shard_of_key : t -> int -> int
 

@@ -28,6 +28,7 @@ type t = {
   cork_depth : int ref;
   cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t;
   registry : Registry.t;
+  reconfig : Reconfig.t;
   txns : Txn.t;  (* shared across all cores of a pool *)
   post_override : ((unit -> unit) -> unit) option;
       (* how coordinator thunks re-enter this core (pool: worker queue) *)
@@ -101,128 +102,10 @@ let with_cork t f =
       f
   end
 
-let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
-    ?read_quorum ?storage ?metrics ?trace ?map ?(cork = false)
-    ?(presequenced = false) ?owns ?txns ?torn_txn ?post ~me ~replicas ~init ()
-    =
-  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  let map =
-    match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
-  in
-  let owns = match owns with Some f -> f | None -> fun _ -> true in
-  let txns =
-    match txns with
-    | Some x -> x
-    | None -> Txn.create ?torn:torn_txn ~audit ~init ()
-  in
-  let cork_depth = ref 0 in
-  let cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t =
-    Hashtbl.create 8
-  in
-  (* Corked transport: while a turn is open, sends accumulate per
-     destination and go out as one [Wire.Batch] frame per peer when
-     the outermost cork closes — one syscall instead of one per
-     quorum message.  Timer callbacks get their own cork so resend
-     fan-outs and deferred flush acks coalesce too.  [self] ties the
-     recursive knot (the wrapper needs the [t] it is a field of). *)
-  let self = ref None in
-  let wrapped =
-    if not cork then transport
-    else
-      {
-        transport with
-        Transport.send =
-          (fun ~src ~dst msg ->
-            if !cork_depth = 0 then transport.Transport.send ~src ~dst msg
-            else
-              match Hashtbl.find_opt cork_buf dst with
-              | Some l -> l := msg :: !l
-              | None -> Hashtbl.replace cork_buf dst (ref [ msg ]));
-        set_timer =
-          (fun ~node ~delay f ->
-            transport.Transport.set_timer ~node ~delay (fun () ->
-                match !self with
-                | Some t -> with_cork t f
-                | None -> f ()));
-      }
-  in
-  let t =
-    {
-    tr = wrapped;
-    base = transport;
-    me;
-    owns;
-    presequenced;
-    cork;
-    cork_depth;
-    cork_buf;
-    registry =
-      Registry.create ~transport:wrapped ~me ~replicas ~map ?engine
-        ?read_quorum ?storage ~metrics ();
-    txns;
-    post_override = post;
-    sessions = Hashtbl.create 16;
-    audit;
-    init;
-    monitors = Hashtbl.create 8;
-    violations_rev = [];
-    events_rev = [];
-    ops_served = 0;
-    rejected = 0;
-    timer_armed = false;
-    resend_every;
-    storage;
-    flush_armed = false;
-    metrics;
-    trace;
-    m_served = Metrics.counter metrics "ops_served";
-    m_rejected = Metrics.counter metrics "ops_rejected";
-      h_op = Metrics.histogram metrics "server_op";
-      c_shard_ops =
-        Array.init (Shard_map.shards map) (fun s ->
-            Metrics.counter metrics (Fmt.str "shard%d_ops" s));
-    }
-  in
-  (* A restarted durable server recovers the writes it had issued;
-     its fresh monitors never saw them, so a read of a recovered key
-     would be flagged.  Seed each recovered key's monitor with its
-     writer roles' last values as completed concurrent writes: a read
-     may then return either (or a later write), which is exactly the
-     continuity the recovered state promises.  Exact when no write was
-     in flight at the crash; an in-flight write that reached no
-     majority member can still produce a spurious flag, because the
-     value it overwrote at the server is not locally recoverable —
-     the audit fails suspicious rather than silent. *)
-  (if audit then
-     match storage with
-     | None -> ()
-     | Some st ->
-       let by_key = Hashtbl.create 8 in
-       List.iter
-         (fun (reg, (_ts, pl)) ->
-           if reg >= 0 && owns (Shard_map.key_of_reg reg) then begin
-             let key = Shard_map.key_of_reg reg in
-             let role = reg land 1 in
-             let prev =
-               Option.value ~default:[] (Hashtbl.find_opt by_key key)
-             in
-             Hashtbl.replace by_key key
-               ((role, Registers.Tagged.v pl) :: prev)
-           end)
-         (Storage.contents st);
-       Hashtbl.iter
-         (fun key writes ->
-           let m = monitor_of t key in
-           let observe ev = ignore (Histories.Monitor.observe m ev) in
-           List.iter
-             (fun (role, v) -> observe (E.Invoke (role, E.Write v)))
-             writes;
-           List.iter (fun (role, _) -> observe (E.Respond (role, None))) writes)
-         by_key);
-  t
-
 let metrics t = t.metrics
 let registry t = t.registry
+let reconfig t = t.reconfig
+let epoch t = Reconfig.epoch t.reconfig
 let shards t = Registry.shards t.registry
 let engine_spec t = Registry.spec t.registry
 
@@ -259,16 +142,18 @@ let rec arm_timer t =
 
 (* Interpret a Bloom micro-step program for one key, mapping each
    primitive cell access to a quorum operation on the corresponding
-   replicated real register of that key. *)
+   replicated real register of that key.  Access goes through the
+   reconfiguration coordinator, which is the registry outside a
+   migration and the dual-quorum discipline during one. *)
 let rec exec :
   'a. t -> int -> (Wire.payload, 'a) Vm.prog -> ('a -> unit) -> unit =
   fun t key prog k ->
   match prog with
   | Vm.Ret a -> k a
   | Vm.Read (reg, cont) ->
-    Registry.read t.registry ~key ~reg ~k:(fun pl -> exec t key (cont pl) k)
+    Reconfig.read t.reconfig ~key ~reg ~k:(fun pl -> exec t key (cont pl) k)
   | Vm.Write (reg, pl, cont) ->
-    Registry.write t.registry ~key ~reg ~value:pl ~k:(fun () ->
+    Reconfig.write t.reconfig ~key ~reg ~value:pl ~k:(fun () ->
         exec t key (cont ()) k)
 
 let respond t s seq result =
@@ -314,17 +199,24 @@ let post_of t =
   | None -> fun f -> with_cork t f
 
 let rec start_next t s key =
-  if not (Hashtbl.mem s.busy key) then
+  (* a key in a migration's drain phase parks here: the op stays
+     queued, and the coordinator's unpark hook re-enters once the
+     cutover has installed the new placement *)
+  if (not (Hashtbl.mem s.busy key)) && Reconfig.admitting t.reconfig key then
     match Queue.take_opt (queue_of s key) with
     | None -> ()
     | Some (seq, op) ->
       Hashtbl.replace s.busy key ();
       arm_timer t;
       Metrics.incr t.c_shard_ops.(Registry.shard_of_key t.registry key);
+      (* the generation token gates the migration's settle (pre-entry
+         ops) and drain (their dual-writing successors) phases *)
+      let gen = Reconfig.op_started t.reconfig ~key in
       let t0 = t.tr.Transport.now () in
       let finish () =
         Metrics.observe t.h_op (t.tr.Transport.now () -. t0);
         Hashtbl.remove s.busy key;
+        Reconfig.op_finished t.reconfig ~key ~gen;
         start_next t s key
       in
       let reject () =
@@ -333,10 +225,11 @@ let rec start_next t s key =
         t.tr.Transport.send ~src:t.me ~dst:s.src
           (Wire.Resp { seq; result = None });
         Hashtbl.remove s.busy key;
+        Reconfig.op_finished t.reconfig ~key ~gen;
         start_next t s key
       in
       (match op with
-       | Wire.Txn_k _ | Wire.Snap_k _ -> start_multi t s key seq op
+       | Wire.Txn_k _ | Wire.Snap_k _ -> start_multi t s key seq op gen
        | Wire.Read | Wire.Read_k _ when key < 0 -> reject ()
        | Wire.Read | Wire.Read_k _ ->
          record t key (E.Invoke (s.proc, E.Read));
@@ -365,7 +258,7 @@ let rec start_next t s key =
    coordinator; the thunks we hand it post back onto this core so
    engine operations, responses and queue pumps all run on the owning
    domain. *)
-and start_multi t s key seq op =
+and start_multi t s key seq op gen =
   let post = post_of t in
   let t0 = t.tr.Transport.now () in
   let kind =
@@ -402,6 +295,7 @@ and start_multi t s key seq op =
     post (fun () ->
         Metrics.observe t.h_op (t.tr.Transport.now () -. t0);
         Hashtbl.remove s.busy key;
+        Reconfig.op_finished t.reconfig ~key ~gen;
         start_next t s key)
   in
   let resp_thunk =
@@ -421,6 +315,138 @@ and start_multi t s key seq op =
   in
   Txn.key_ready t.txns ~src:s.src ~seq ~kind ~key ~exec:run_key ~finish
     ?respond:resp_thunk ()
+
+let create ~transport ?(audit = true) ?(resend_every = 0.05) ?engine
+    ?read_quorum ?storage ?metrics ?trace ?map ?(cork = false)
+    ?(presequenced = false) ?owns ?txns ?torn_txn ?post ?skip_dual_write
+    ?reconfig_enabled ~me ~replicas ~init () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let map =
+    match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
+  in
+  let owns = match owns with Some f -> f | None -> fun _ -> true in
+  let txns =
+    match txns with
+    | Some x -> x
+    | None -> Txn.create ?torn:torn_txn ~audit ~init ()
+  in
+  let cork_depth = ref 0 in
+  let cork_buf : (Transport.node, Wire.msg list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* Corked transport: while a turn is open, sends accumulate per
+     destination and go out as one [Wire.Batch] frame per peer when
+     the outermost cork closes — one syscall instead of one per
+     quorum message.  Timer callbacks get their own cork so resend
+     fan-outs and deferred flush acks coalesce too.  [self] ties the
+     recursive knot (the wrapper needs the [t] it is a field of). *)
+  let self = ref None in
+  let wrapped =
+    if not cork then transport
+    else
+      {
+        transport with
+        Transport.send =
+          (fun ~src ~dst msg ->
+            if !cork_depth = 0 then transport.Transport.send ~src ~dst msg
+            else
+              match Hashtbl.find_opt cork_buf dst with
+              | Some l -> l := msg :: !l
+              | None -> Hashtbl.replace cork_buf dst (ref [ msg ]));
+        set_timer =
+          (fun ~node ~delay f ->
+            transport.Transport.set_timer ~node ~delay (fun () ->
+                match !self with
+                | Some t -> with_cork t f
+                | None -> f ()));
+      }
+  in
+  let registry =
+    Registry.create ~transport:wrapped ~me ~replicas ~map ?engine ?read_quorum
+      ?storage ~metrics ()
+  in
+  let reconfig =
+    Reconfig.create ~registry ?enabled:reconfig_enabled ?skip_dual_write ()
+  in
+  let t =
+    {
+      tr = wrapped;
+      base = transport;
+      me;
+      owns;
+      presequenced;
+      cork;
+      cork_depth;
+      cork_buf;
+      registry;
+      reconfig;
+      txns;
+      post_override = post;
+      sessions = Hashtbl.create 16;
+      audit;
+      init;
+      monitors = Hashtbl.create 8;
+      violations_rev = [];
+      events_rev = [];
+      ops_served = 0;
+      rejected = 0;
+      timer_armed = false;
+      resend_every;
+      storage;
+      flush_armed = false;
+      metrics;
+      trace;
+      m_served = Metrics.counter metrics "ops_served";
+      m_rejected = Metrics.counter metrics "ops_rejected";
+      h_op = Metrics.histogram metrics "server_op";
+      c_shard_ops =
+        Array.init (Shard_map.shards map) (fun s ->
+            Metrics.counter metrics (Fmt.str "shard%d_ops" s));
+    }
+  in
+  self := Some t;
+  (* a cutover re-kicks every session's queue for the migrated key:
+     ops parked during the drain phase dispatch here, now routed by
+     the advanced map *)
+  Reconfig.set_unpark reconfig (fun key ->
+      Hashtbl.iter (fun _ s -> start_next t s key) t.sessions);
+  (* A restarted durable server recovers the writes it had issued;
+     its fresh monitors never saw them, so a read of a recovered key
+     would be flagged.  Seed each recovered key's monitor with its
+     writer roles' last values as completed concurrent writes: a read
+     may then return either (or a later write), which is exactly the
+     continuity the recovered state promises.  Exact when no write was
+     in flight at the crash; an in-flight write that reached no
+     majority member can still produce a spurious flag, because the
+     value it overwrote at the server is not locally recoverable —
+     the audit fails suspicious rather than silent. *)
+  (if audit then
+     match storage with
+     | None -> ()
+     | Some st ->
+       let by_key = Hashtbl.create 8 in
+       List.iter
+         (fun (reg, (_ts, pl)) ->
+           if reg >= 0 && owns (Shard_map.key_of_reg reg) then begin
+             let key = Shard_map.key_of_reg reg in
+             let role = reg land 1 in
+             let prev =
+               Option.value ~default:[] (Hashtbl.find_opt by_key key)
+             in
+             Hashtbl.replace by_key key
+               ((role, Registers.Tagged.v pl) :: prev)
+           end)
+         (Storage.contents st);
+       Hashtbl.iter
+         (fun key writes ->
+           let m = monitor_of t key in
+           let observe ev = ignore (Histories.Monitor.observe m ev) in
+           List.iter
+             (fun (role, v) -> observe (E.Invoke (role, E.Write v)))
+             writes;
+           List.iter (fun (role, _) -> observe (E.Respond (role, None))) writes)
+         by_key);
+  t
 
 (* Queue [op] into every owned touched key's session queue, returning
    the touched (owned) keys.  A structurally invalid multi-key op —
@@ -539,6 +565,18 @@ let rec on_message_inner t ~src msg =
     Registry.on_message t.registry ~src msg
   | Wire.Batch msgs -> List.iter (fun m -> on_message_inner t ~src m) msgs
   | Wire.Bye -> Hashtbl.remove t.sessions src
+  | Wire.Reconfig { rid; key; to_shard; epoch } ->
+    (* migration control needs no session (like Stats_req); the ack is
+       deferred to the coordinator's completion and may be sent from a
+       later turn — [src] is captured by the finish closure *)
+    Reconfig.start t.reconfig ~key ~to_shard ~epoch
+      ~finish:(fun ~ok ~epoch ->
+        t.tr.Transport.send ~src:t.me ~dst:src
+          (Wire.Reconfig_ack { rid; epoch; ok }))
+  | Wire.Epoch_req { rid } ->
+    t.tr.Transport.send ~src:t.me ~dst:src
+      (Wire.Epoch_reply
+         { rid; epoch = Reconfig.epoch t.reconfig; shards = shards t })
   | Wire.Stats_req { rid } ->
     (* live observability over the wire: no session needed, safe to
        answer anyone who can reach the socket *)
@@ -554,11 +592,12 @@ let rec on_message_inner t ~src msg =
           ("snaps_served", tx.Txn.snaps_served);
           ("txn_violation", if Txn.violations t.txns = [] then 0 else 1);
         ]
+      @ Reconfig.stats t.reconfig
     in
     t.tr.Transport.send ~src:t.me ~dst:src (Wire.Stats_reply { rid; stats })
   | Wire.Resp _ | Wire.Resp_snap _ | Wire.Query _ | Wire.Store _
   | Wire.Stats_reply _ | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _
-    -> ()
+  | Wire.Reconfig_ack _ | Wire.Epoch_reply _ -> ()
 
 let on_message t ~src msg =
   with_cork t (fun () ->

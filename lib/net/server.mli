@@ -54,6 +54,8 @@ val create :
   ?txns:Txn.t ->
   ?torn_txn:bool ->
   ?post:((unit -> unit) -> unit) ->
+  ?skip_dual_write:bool ->
+  ?reconfig_enabled:bool ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -124,6 +126,14 @@ val create :
     they run inline under a cork; a pool passes its worker-queue
     injection so they execute on the owning domain.
 
+    [reconfig_enabled] (default [true]) gates live key migration: when
+    [false] every {!Wire.msg.Reconfig} is nacked — see
+    {!Reconfig.create} for why a pool running the twobit engine over
+    multiple domains must disable it.  [skip_dual_write] (default
+    [false]) arms the reconfiguration coordinator's deliberate bug
+    hook (the incoming-group leg of each dual write is dropped) — an
+    atomicity violation {!Explore} must catch.
+
     [metrics] (default: a fresh instance — pass the cluster-wide one)
     receives [ops_served]/[ops_rejected] counters, the [server_op]
     invoke-to-respond histogram, one [shard<i>_ops] counter per shard,
@@ -152,6 +162,12 @@ val keys_of_op : Wire.op -> int list
 
 val registry : t -> Registry.t
 (** The shard engines — for tests and stats. *)
+
+val reconfig : t -> Reconfig.t
+(** The live-reconfiguration coordinator — for tests and stats. *)
+
+val epoch : t -> int
+(** Current configuration epoch (see {!Reconfig.epoch}). *)
 
 val shards : t -> int
 (** Shard count of the server's {!Shard_map}. *)

@@ -59,8 +59,8 @@ let worker_loop w =
   done
 
 let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
-    ?metrics ?trace ?map ?(cork = true) ?(domains = 1) ?torn_txn ~me ~replicas
-    ~init () =
+    ?metrics ?trace ?map ?(cork = true) ?(domains = 1) ?torn_txn
+    ?skip_dual_write ~me ~replicas ~init () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let map =
     match map with Some m -> m | None -> Shard_map.create ~shards:1 ()
@@ -71,6 +71,15 @@ let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
      batch is atomic because all its keys' cores lock through the same
      table, whichever domains own them *)
   let txns = Txn.create ?torn:torn_txn ?audit ~init () in
+  (* two-bit replies are routed to workers by [lid mod domains]; during
+     a migration the owner worker drives TWO engines (two lids) whose
+     replies may hash to other workers, so reconfiguration is only
+     sound for that engine on a single domain — see Reconfig *)
+  let reconfig_enabled =
+    match engine with
+    | Some { Engine.kind = Engine.Twobit; _ } -> nd = 1
+    | _ -> true
+  in
   let make d =
     (* the core's timers must run on its own domain, not on the
        transport's timer thread: re-route each callback through the
@@ -85,7 +94,11 @@ let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
                 match !wref with Some w -> push w (Fn f) | None -> f ()));
       }
     in
-    let owns key = Shard_map.shard_of_key map key mod nd = d in
+    (* ownership by the epoch-0 hash placement, NOT the live map: a
+       migrated key must stay on the worker whose core ran (and audits)
+       its history — that core's own registry routes it to the new
+       shard's engine after cutover *)
+    let owns key = Shard_map.base_shard_of_key map key mod nd = d in
     (* coordinator thunks must run on the owning domain, not on
        whichever domain committed the multi-key op: inject them
        through the worker queue like timer callbacks *)
@@ -93,7 +106,8 @@ let create ~transport ?audit ?resend_every ?engine ?read_quorum ?storage
     let core =
       Server.create ~transport:wt ?audit ?resend_every ?engine ?read_quorum
         ?storage:(storage d) ~metrics ?trace ~map ~cork ~presequenced:true
-        ~owns ~txns ~post ~me ~replicas ~init ()
+        ~owns ~txns ~post ?skip_dual_write ~reconfig_enabled ~me ~replicas
+        ~init ()
     in
     let w =
       { core; mu = Mutex.create (); cv = Condition.create ();
@@ -113,7 +127,9 @@ let cores t = Array.map (fun w -> w.core) t.workers
 let metrics t = t.metrics
 let shards t = Shard_map.shards t.map
 let engine_spec t = Server.engine_spec t.workers.(0).core
-let worker_of_key t key = Shard_map.shard_of_key t.map key mod t.nd
+(* base placement on purpose: reply frames keep routing to the worker
+   that owns the key even after that worker migrated it — see [owns] *)
+let worker_of_key t key = Shard_map.base_shard_of_key t.map key mod t.nd
 
 (* Partition one inbound frame into at most one enqueue per worker: a
    Batch of K messages costs K pushes (and K worker wake-ups) if
@@ -153,9 +169,17 @@ let dispatch t ~src msg =
     | Wire.Ack2 { lid; _ } | Wire.Query2_reply { lid; _ } ->
       if lid >= 0 then one (lid mod t.nd) m
     | Wire.Stats_req _ -> one 0 m
+    | Wire.Reconfig { key; _ } ->
+      (* the migration runs entirely on the key's owner worker *)
+      if key >= 0 then one (worker_of_key t key) m
+    | Wire.Epoch_req _ ->
+      (* workers' epochs advance independently; worker 0 answers as
+         the pool's representative (a stale answer only costs the
+         client a nack-and-retry) *)
+      one 0 m
     | Wire.Resp _ | Wire.Resp_snap _ | Wire.Query _ | Wire.Store _
     | Wire.Stats_reply _ | Wire.Store2 _ | Wire.Query2 _ | Wire.Engine_hello _
-      -> ()
+    | Wire.Reconfig_ack _ | Wire.Epoch_reply _ -> ()
   in
   go msg;
   Array.iteri

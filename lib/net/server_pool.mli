@@ -65,6 +65,7 @@ val create :
   ?cork:bool ->
   ?domains:int ->
   ?torn_txn:bool ->
+  ?skip_dual_write:bool ->
   me:Transport.node ->
   replicas:Transport.node list ->
   init:int ->
@@ -81,7 +82,20 @@ val create :
     timestamps.  Timer callbacks of each core are re-routed into its
     worker queue, so cores never execute on a transport thread.
     [torn_txn] enables the shared coordinator's deliberate torn-batch
-    bug hook (see {!Txn.create}). *)
+    bug hook (see {!Txn.create}); [skip_dual_write] arms the
+    reconfiguration coordinator's one (see {!Reconfig.create}).
+
+    {b Reconfiguration.}  A {!Wire.msg.Reconfig} routes to the key's
+    owner worker, which runs the whole migration on its own registry;
+    ownership is by the {e epoch-0} hash placement
+    ({!Shard_map.base_shard_of_key}), so a migrated key stays on the
+    worker holding its monitor and its engines simply re-route it.
+    Worker epochs advance independently; {!Wire.msg.Epoch_req} is
+    answered by worker 0 (a stale answer costs one nack-and-retry).
+    With the two-bit engine and [domains > 1] reconfiguration is
+    disabled (every request nacked): two-bit replies route by
+    [lid mod domains] and a migration's second engine would misroute —
+    see {!Reconfig.create}. *)
 
 val dispatch : t -> src:Transport.node -> Wire.msg -> unit
 (** Feed one incoming frame (possibly a [Batch]).  Thread-safe; called

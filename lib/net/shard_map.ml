@@ -1,10 +1,14 @@
-(* Static consistent placement of register ids onto shards and of
-   shards onto replica groups.  Pure data: no I/O, no mutation after
-   [create], so a map may be shared freely across threads. *)
+(* Consistent placement of register ids onto shards and of shards onto
+   replica groups.  Pure data: no I/O, no mutation after [create] — a
+   reconfiguration produces a *new* map (see [advance]) stamped with
+   the next epoch, so a map value may be shared freely across threads
+   and epochs compare by integer. *)
 
 type t = {
   shards : int;
   group_size : int option;
+  epoch : int;
+  overrides : (int * int) list;  (* key -> shard, newest placement wins *)
 }
 
 let regs_per_key = 2
@@ -29,12 +33,32 @@ let create ?group_size ~shards () =
    | Some g when g <= 0 ->
      invalid_arg "Shard_map.create: group_size must be positive"
    | _ -> ());
-  { shards; group_size }
+  { shards; group_size; epoch = 0; overrides = [] }
 
 let shards t = t.shards
+let epoch t = t.epoch
+let overrides t = t.overrides
+
+let base_shard_of_key t key =
+  if t.shards = 1 then 0 else mix key mod t.shards
 
 let shard_of_key t key =
-  if t.shards = 1 then 0 else mix key mod t.shards
+  match List.assoc_opt key t.overrides with
+  | Some s -> s
+  | None -> base_shard_of_key t key
+
+let advance t ~key ~to_shard =
+  if key < 0 then invalid_arg "Shard_map.advance: negative key";
+  if to_shard < 0 || to_shard >= t.shards then
+    invalid_arg "Shard_map.advance: target shard out of range";
+  let rest = List.remove_assoc key t.overrides in
+  let overrides =
+    (* an override that restores the hash placement is dropped, so a
+       key migrated home leaves no residue and maps stay small *)
+    if to_shard = base_shard_of_key t key then rest
+    else (key, to_shard) :: rest
+  in
+  { t with epoch = t.epoch + 1; overrides }
 
 let global_reg key i =
   if key < 0 then invalid_arg "Shard_map.global_reg: negative key";
@@ -59,7 +83,11 @@ let group t ~replicas shard =
     List.init g (fun i -> arr.((shard + i) mod n))
 
 let pp ppf t =
-  Fmt.pf ppf "shard-map(%d shard%s%a)" t.shards
+  Fmt.pf ppf "shard-map(%d shard%s%a, epoch %d%s)" t.shards
     (if t.shards = 1 then "" else "s")
     Fmt.(option (fun ppf g -> Fmt.pf ppf ", group %d" g))
-    t.group_size
+    t.group_size t.epoch
+    (match t.overrides with
+     | [] -> ""
+     | os -> Fmt.str ", %d override%s" (List.length os)
+               (if List.length os = 1 then "" else "s"))

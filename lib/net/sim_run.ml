@@ -16,20 +16,31 @@ type outcome = {
   net : Sim_net.stats;
   quorum : Engine.stats;
   metrics : Metrics.t;
+  epoch : int;
+  reconfig_acked : bool option;
 }
 
 (* Extended workload ops: the plain register scripts plus the
    multi-key operations of this layer. *)
-type xop = Single of int E.op | Txn_w of (int * int) list | Snap of int list
+type xop =
+  | Single of int E.op
+  | Keyed of int * int E.op
+  | Txn_w of (int * int) list
+  | Snap of int list
 
 type xprocess = { xproc : E.proc; xscript : xop list }
 
 (* One multi-key op answers once but records one Invoke/Respond pair
    per touched key, so completion accounting weighs it by its keys. *)
 let xop_weight = function
-  | Single _ -> 1
+  | Single _ | Keyed _ -> 1
   | Txn_w ws -> List.length ws
   | Snap ks -> List.length ks
+
+(* the reconfiguration requester is a client node of its own, distinct
+   from any workload process, so it shares the clients' fault immunity
+   without owning a session *)
+let control_proc = 99
 
 type client = {
   proc : E.proc;
@@ -86,13 +97,14 @@ type cluster = {
   durable : bool;
   disks : Storage.Disk.t array;
   replica_of : int -> Replica.t;
+  reconfig_ack : bool option ref;
 }
 
 let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
-    ?(shards = 1) ?keys ?(engine = Engine.default) ?read_quorum
+    ?(shards = 1) ?group_size ?keys ?(engine = Engine.default) ?read_quorum
     ?(durable = true) ?(snapshot_every = 32) ?gc_bytes ?group_commit
-    ?(audit = true) ?(xprocesses = []) ?torn_txn ?metrics ?measure ?trace
-    ~seed ~init ~processes () =
+    ?(audit = true) ?(xprocesses = []) ?torn_txn ?reconfig ?reconfig_at
+    ?skip_dual_write ?metrics ?measure ?trace ~seed ~init ~processes () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let nkeys = max 1 (match keys with Some k -> k | None -> shards) in
   (* plain register processes are the [Single]-only special case *)
@@ -197,13 +209,33 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     replica_nodes;
   (* server; retransmission period must exceed a replica round trip *)
   let resend_every = (4.0 *. faults.Sim_net.max_delay) +. 1.0 in
-  let map = Shard_map.create ~shards () in
+  let map = Shard_map.create ?group_size ~shards () in
   let server =
     Server.create ~transport:tr ~audit ~resend_every ~engine ?read_quorum
-      ?torn_txn ~metrics ?trace ~map ~me:Transport.server
+      ?torn_txn ?skip_dual_write ~metrics ?trace ~map ~me:Transport.server
       ~replicas:replica_nodes ~init ()
   in
   Sim_net.register net Transport.server (Server.on_message server);
+  (* migration request: a dedicated control client whose frame is
+     enqueued like any other message — under the explorer its delivery
+     is a schedulable event, so the handoff interleaves freely with the
+     workload; [reconfig_at] instead fires it at a virtual time *)
+  let reconfig_ack = ref None in
+  (match reconfig with
+   | None -> ()
+   | Some (rkey, to_shard) ->
+     let me = Transport.client control_proc in
+     Sim_net.register net me (fun ~src:_ msg ->
+         match msg with
+         | Wire.Reconfig_ack { ok; _ } -> reconfig_ack := Some ok
+         | _ -> ());
+     let send () =
+       tr.Transport.send ~src:me ~dst:Transport.server
+         (Wire.Reconfig { rid = 0; key = rkey; to_shard; epoch = 0 })
+     in
+     (match reconfig_at with
+      | None -> send ()
+      | Some time -> Sim_net.at net time send));
   (* clients: send [Hello; first window] as one batch, then keep the
      window full as responses arrive.  With a multi-key keyspace each
      process round-robins its script over the keys, so a window > 1
@@ -229,6 +261,8 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
                 (match op with
                  | E.Read -> Wire.Read_k { key }
                  | E.Write v -> Wire.Write_k { key; value = v })
+            | Keyed (key, E.Read) -> Wire.Read_k { key }
+            | Keyed (key, E.Write v) -> Wire.Write_k { key; value = v }
             | Txn_w writes -> Wire.Txn_k { writes }
             | Snap keys -> Wire.Snap_k { keys }
           in
@@ -267,6 +301,7 @@ let build ?(faults = Sim_net.reliable) ?(replicas = 3) ?(window = 4)
     durable;
     disks;
     replica_of = (fun r -> incarnations.(r));
+    reconfig_ack;
   }
 
 let apply_fate cl = function
@@ -314,16 +349,20 @@ let collect cl ~steps =
     net = Sim_net.stats cl.net;
     quorum = Server.quorum_stats server;
     metrics = cl.metrics;
+    epoch = Server.epoch server;
+    reconfig_acked = !(cl.reconfig_ack);
   }
 
-let run ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum ?durable
-    ?snapshot_every ?gc_bytes ?group_commit ?crash_replica
-    ?partition_replicas ?(fates = []) ?(max_steps = 2_000_000) ?audit
-    ?xprocesses ?torn_txn ?metrics ?measure ?trace ~seed ~init ~processes () =
+let run ?faults ?replicas ?window ?shards ?group_size ?keys ?engine
+    ?read_quorum ?durable ?snapshot_every ?gc_bytes ?group_commit
+    ?crash_replica ?partition_replicas ?(fates = []) ?(max_steps = 2_000_000)
+    ?audit ?xprocesses ?torn_txn ?reconfig ?reconfig_at ?skip_dual_write
+    ?metrics ?measure ?trace ~seed ~init ~processes () =
   let cl =
-    build ?faults ?replicas ?window ?shards ?keys ?engine ?read_quorum
-      ?durable ?snapshot_every ?gc_bytes ?group_commit ?audit ?xprocesses
-      ?torn_txn ?metrics ?measure ?trace ~seed ~init ~processes ()
+    build ?faults ?replicas ?window ?shards ?group_size ?keys ?engine
+      ?read_quorum ?durable ?snapshot_every ?gc_bytes ?group_commit ?audit
+      ?xprocesses ?torn_txn ?reconfig ?reconfig_at ?skip_dual_write ?metrics
+      ?measure ?trace ~seed ~init ~processes ()
   in
   (* fault schedule: the legacy shorthands desugar to fates *)
   let fates =

@@ -48,6 +48,13 @@ type outcome = {
       (** the cluster-wide metrics registry (transport counters, quorum
           phase histograms, server op latencies, per-shard counters) —
           the one passed in, or a fresh instance if none was *)
+  epoch : int;
+      (** configuration epoch at quiescence (advances by one per
+          completed migration — see {!Reconfig}) *)
+  reconfig_acked : bool option;
+      (** verdict of the [?reconfig] request: [None] if no migration
+          was requested (or its ack never arrived), [Some ok]
+          otherwise *)
 }
 
 (** {2 Extended workloads}
@@ -61,6 +68,9 @@ type outcome = {
 type xop =
   | Single of int Histories.Event.op
       (** one register op, keyed [seq mod keys] like plain scripts *)
+  | Keyed of int * int Histories.Event.op
+      (** one register op on an explicitly named key — what a
+          reconfiguration workload uses to hammer the migrating key *)
   | Txn_w of (int * int) list
       (** an atomic multi-key transaction ({!Wire.op.Txn_k}) *)
   | Snap of int list
@@ -73,6 +83,7 @@ val run :
   ?replicas:int ->
   ?window:int ->
   ?shards:int ->
+  ?group_size:int ->
   ?keys:int ->
   ?engine:Engine.spec ->
   ?read_quorum:int ->
@@ -87,6 +98,9 @@ val run :
   ?audit:bool ->
   ?xprocesses:xprocess list ->
   ?torn_txn:bool ->
+  ?reconfig:int * int ->
+  ?reconfig_at:float ->
+  ?skip_dual_write:bool ->
   ?metrics:Metrics.t ->
   ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->
@@ -134,6 +148,21 @@ val run :
     torn-batch bug hook, the [?read_quorum]-style target for
     {!Explore}'s regression tests.
 
+    [group_size] restricts each shard to a rotating window of that
+    many replicas (see {!Shard_map.group}) — with [group_size 1] and 2
+    shards the two replica groups are disjoint, the sharpest
+    reconfiguration topology.  [reconfig (key, to_shard)] registers a
+    dedicated fault-immune control client ({!Transport.client}[ 99])
+    that asks the server to migrate [key] onto [to_shard] (epoch 0):
+    immediately at build time by default — under {!Explore} the
+    request's delivery is then an ordinary schedulable event — or at
+    virtual time [reconfig_at] via {!Sim_net.at}.  The ack's verdict
+    and the final epoch land in the outcome.  [skip_dual_write] arms
+    the reconfiguration coordinator's deliberate bug hook (see
+    {!Reconfig.create}) — a write acked during the migration can then
+    be lost at cutover, the violation this layer's explorer tests
+    hunt.
+
     [metrics] and [trace] are shared by the transport and the server:
     the trace (virtual-time stamped) records sends, deliveries, drops,
     timer fires and every operation invoke/respond with its key, and
@@ -163,6 +192,8 @@ type cluster = {
   replica_of : int -> Replica.t;
       (** current incarnation of a replica node (amnesia restarts swap
           incarnations) *)
+  reconfig_ack : bool option ref;
+      (** verdict of the [?reconfig] request's ack, once it arrives *)
 }
 
 val build :
@@ -170,6 +201,7 @@ val build :
   ?replicas:int ->
   ?window:int ->
   ?shards:int ->
+  ?group_size:int ->
   ?keys:int ->
   ?engine:Engine.spec ->
   ?read_quorum:int ->
@@ -180,6 +212,9 @@ val build :
   ?audit:bool ->
   ?xprocesses:xprocess list ->
   ?torn_txn:bool ->
+  ?reconfig:int * int ->
+  ?reconfig_at:float ->
+  ?skip_dual_write:bool ->
   ?metrics:Metrics.t ->
   ?measure:(src:int -> dst:int -> Wire.msg -> unit) ->
   ?trace:Trace.t ->

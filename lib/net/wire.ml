@@ -28,6 +28,10 @@ type msg =
   | Query2_reply of { lid : int; seq : int; pl : payload }
   | Engine_hello of { engine : int }
   | Resp_snap of { seq : int; values : int list }
+  | Reconfig of { rid : int; key : int; to_shard : int; epoch : int }
+  | Reconfig_ack of { rid : int; epoch : int; ok : bool }
+  | Epoch_req of { rid : int }
+  | Epoch_reply of { rid : int; epoch : int; shards : int }
 
 let max_frame = 16 * 1024 * 1024
 let max_batch_depth = 8
@@ -68,6 +72,13 @@ let add_seq b seq =
 let add_txn_count b n =
   if n > max_txn then
     invalid_arg (Fmt.str "Wire.encode: %d keys exceed max_txn (%d)" n max_txn);
+  add_int b n
+
+(* Reconfiguration fields are indices and epochs: never negative by
+   construction, and a negative value on the wire could only be a
+   forgery or corruption — refuse at both ends. *)
+let add_nonneg b what n =
+  if n < 0 then invalid_arg (Fmt.str "Wire.encode: negative %s %d" what n);
   add_int b n
 
 let rec encode_into b = function
@@ -182,6 +193,25 @@ let rec encode_into b = function
     add_int b seq;
     add_txn_count b (List.length values);
     List.iter (add_int b) values
+  | Reconfig { rid; key; to_shard; epoch } ->
+    Buffer.add_char b '\017';
+    add_int b rid;
+    add_nonneg b "key" key;
+    add_nonneg b "shard" to_shard;
+    add_nonneg b "epoch" epoch
+  | Reconfig_ack { rid; epoch; ok } ->
+    Buffer.add_char b '\018';
+    add_int b rid;
+    add_nonneg b "epoch" epoch;
+    add_bool b ok
+  | Epoch_req { rid } ->
+    Buffer.add_char b '\019';
+    add_int b rid
+  | Epoch_reply { rid; epoch; shards } ->
+    Buffer.add_char b '\020';
+    add_int b rid;
+    add_nonneg b "epoch" epoch;
+    add_nonneg b "shards" shards
 
 let encode m =
   let b = Buffer.create 32 in
@@ -223,6 +253,11 @@ let decode s =
     let s = String.sub s !pos len in
     pos := !pos + len;
     s
+  in
+  let nonneg what =
+    let v = int () in
+    if v < 0 then raise (Bad ("negative " ^ what));
+    v
   in
   let rec msg depth =
     match byte () with
@@ -325,6 +360,23 @@ let decode s =
                 let name = str () in
                 (name, int ()))
         }
+    | 17 ->
+      let rid = int () in
+      let key = nonneg "key" in
+      let to_shard = nonneg "shard" in
+      Reconfig { rid; key; to_shard; epoch = nonneg "epoch" }
+    | 18 ->
+      let rid = int () in
+      let epoch = nonneg "epoch" in
+      (match byte () with
+       | 0 -> Reconfig_ack { rid; epoch; ok = false }
+       | 1 -> Reconfig_ack { rid; epoch; ok = true }
+       | _ -> raise (Bad "bad reconfig-ack flag"))
+    | 19 -> Epoch_req { rid = int () }
+    | 20 ->
+      let rid = int () in
+      let epoch = nonneg "epoch" in
+      Epoch_reply { rid; epoch; shards = nonneg "shards" }
     | c -> raise (Bad (Fmt.str "unknown tag %d" c))
   in
   try
@@ -368,6 +420,10 @@ let rec encoded_size = function
   | Query2_reply _ -> 15
   | Engine_hello _ -> 2
   | Resp_snap { values; _ } -> 17 + (8 * List.length values)
+  | Reconfig _ -> 33
+  | Reconfig_ack _ -> 18
+  | Epoch_req _ -> 9
+  | Epoch_reply _ -> 25
 
 (* Control metadata: the encoded bytes that are neither register index
    nor register payload — tags, request ids, timestamps, link headers,
@@ -377,7 +433,9 @@ let rec encoded_size = function
 let rec control_bytes m =
   let data =
     match m with
-    | Hello _ | Bye | Stats_req _ | Stats_reply _ | Ack2 _ | Engine_hello _ ->
+    | Hello _ | Bye | Stats_req _ | Stats_reply _ | Ack2 _ | Engine_hello _
+    | Reconfig _ | Reconfig_ack _ | Epoch_req _ | Epoch_reply _ ->
+      (* migration control frames carry no register data at all *)
       0
     | Req { op = Read; _ } | Resp { result = None; _ } -> 0
     | Req { op = (Write _ | Read_k _); _ } | Resp { result = Some _; _ } -> 8
@@ -454,3 +512,11 @@ let rec pp ppf = function
   | Engine_hello { engine } -> Fmt.pf ppf "engine-hello(%d)" engine
   | Resp_snap { seq; values } ->
     Fmt.pf ppf "resp-snap#%d {%a}" seq Fmt.(list ~sep:(any ",") int) values
+  | Reconfig { rid; key; to_shard; epoch } ->
+    Fmt.pf ppf "reconfig#%d key%d->shard%d@%d" rid key to_shard epoch
+  | Reconfig_ack { rid; epoch; ok } ->
+    Fmt.pf ppf "reconfig-ack#%d epoch=%d %s" rid epoch
+      (if ok then "ok" else "nack")
+  | Epoch_req { rid } -> Fmt.pf ppf "epoch-req#%d" rid
+  | Epoch_reply { rid; epoch; shards } ->
+    Fmt.pf ppf "epoch-reply#%d epoch=%d shards=%d" rid epoch shards

@@ -95,6 +95,22 @@ type msg =
   | Resp_snap of { seq : int; values : int list }
       (** Answers a [Req] carrying a {!Snap_k}: one value per requested
           key, in request order. *)
+  | Reconfig of { rid : int; key : int; to_shard : int; epoch : int }
+      (** Ask the server to migrate [key] to shard [to_shard].  [epoch]
+          is the configuration epoch the {e requester} believes current:
+          a server at a different epoch refuses (stale-epoch fencing)
+          and answers with its own, letting the client retry against the
+          real configuration.  All three fields are non-negative by
+          construction; the codec rejects negatives at both ends. *)
+  | Reconfig_ack of { rid : int; epoch : int; ok : bool }
+      (** Answers [Reconfig]: [ok = true] carries the {e new} epoch the
+          migration installed; [ok = false] carries the server's current
+          epoch (stale requester, busy migration, or reconfiguration
+          disabled on this deployment). *)
+  | Epoch_req of { rid : int }
+      (** Ask the server for its current configuration epoch. *)
+  | Epoch_reply of { rid : int; epoch : int; shards : int }
+      (** Answers [Epoch_req] with the server's epoch and shard count. *)
 
 val max_frame : int
 (** Upper bound on an encoded message body (16 MiB), enforced

@@ -446,6 +446,192 @@ let txn_twobit_torn_exhaustive_found () =
     Alcotest.(check bool) "the violating schedule is recorded" true
       (ce.E.schedule <> [])
 
+(* --- live reconfiguration ------------------------------------------
+   The migration handoff as a schedulable event: with 2 replicas in
+   disjoint singleton groups (group_size 1) and one keyed write racing
+   the migration, the state space closes — the twobit engine exhausts
+   in seconds, ABD in the slow suite.  The [skip_dual_write] hook drops
+   the incoming-group leg of each dual write; the hunt must catch the
+   resulting lost ack, ddmin it, and replay it through the artifact. *)
+
+let reconfig_write_only =
+  [ { Net.Sim_run.xproc = 0; xscript = [ Net.Sim_run.Keyed (3, w 7) ] } ]
+
+let reconfig_write_read =
+  [
+    { Net.Sim_run.xproc = 0; xscript = [ Net.Sim_run.Keyed (3, w 7) ] };
+    { Net.Sim_run.xproc = 2; xscript = [ Net.Sim_run.Keyed (3, r) ] };
+  ]
+
+let reconfig_cfg ?engine ?skip_dual_write ?max_schedules ~xprocesses () =
+  E.config ?engine ?skip_dual_write ?max_schedules ~replicas:2 ~shards:2
+    ~group_size:1 ~keys:4 ~window:1 ~reconfig:(3, 1) ~xprocesses
+    ~processes:[] ()
+
+let reconfig_bounded_explore_clean () =
+  (* a budgeted slice of the write+read enumeration on both engines;
+     the full exhausts live in the slow suite *)
+  List.iter
+    (fun engine ->
+      let res =
+        E.explore
+          (reconfig_cfg ~engine ~max_schedules:500
+             ~xprocesses:reconfig_write_read ())
+      in
+      Alcotest.(check int)
+        (Net.Engine.kind_name engine ^ ": budget consumed")
+        500 res.E.stats.S.schedules;
+      match res.E.counterexample with
+      | None -> ()
+      | Some ce ->
+        Alcotest.failf "bounded %s reconfig exploration flagged: %s"
+          (Net.Engine.kind_name engine) ce.E.message)
+    [ Net.Engine.Abd; Net.Engine.Twobit ]
+
+let reconfig_skip_dual_write_caught_shrunk_replayed () =
+  let cfg =
+    reconfig_cfg ~skip_dual_write:true ~xprocesses:reconfig_write_read ()
+  in
+  match (E.hunt ~walks:2000 ~seed:3 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the dropped dual-write leg"
+  | Some ce ->
+    Alcotest.(check int) "violation lands on the migrating key" 3 ce.E.key;
+    let cfg', ce' = E.shrink cfg ce in
+    Alcotest.(check bool) "schedule no longer" true
+      (List.length ce'.E.schedule <= List.length ce.E.schedule);
+    let o = E.replay cfg' ce'.E.schedule in
+    Alcotest.(check bool) "shrunk schedule still loses the ack" true
+      (o.Net.Sim_run.key_violations <> []);
+    let file = Filename.temp_file "explore-reshard" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg' ce';
+        let cfg'', sched, o' = E.replay_file ~file in
+        Alcotest.(check bool) "bug hook survives the artifact" true
+          cfg''.E.skip_dual_write;
+        Alcotest.(check bool) "migration survives the artifact" true
+          (cfg''.E.reconfig = Some (3, 1));
+        Alcotest.(check (list int)) "schedule survives" ce'.E.schedule sched;
+        Alcotest.(check bool) "artifact replays to the lost ack" true
+          (o'.Net.Sim_run.key_violations <> []))
+
+let reconfig_honest_hunt_clean () =
+  (* dual writes on: the hunt that nails the hook must come up empty *)
+  match
+    (E.hunt ~walks:500 ~seed:3
+       (reconfig_cfg ~xprocesses:reconfig_write_read ()))
+      .E.counterexample
+  with
+  | None -> ()
+  | Some ce -> Alcotest.failf "honest reconfig config flagged: %s" ce.E.message
+
+let reconfig_validation () =
+  let bad name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  bad "hook without a migration" (fun () ->
+      E.config ~shards:2 ~skip_dual_write:true ~processes:two_writers ());
+  bad "migration target out of range" (fun () ->
+      E.config ~shards:2 ~reconfig:(0, 2) ~processes:two_writers ());
+  bad "negative migration key" (fun () ->
+      E.config ~shards:2 ~reconfig:(-1, 0) ~processes:two_writers ());
+  bad "non-positive group size" (fun () ->
+      E.config ~shards:2 ~group_size:0 ~processes:two_writers ());
+  (* the boundary stays legal *)
+  ignore (reconfig_cfg ~xprocesses:reconfig_write_only ())
+
+let pre_reconfig_artifact_loads () =
+  (* artifacts written before this layer carry no group_size/reconfig/
+     skip_dual_write fields: loading one must default them to off *)
+  let cfg = broken inversion_prone in
+  match (E.hunt ~seed:42 cfg).E.counterexample with
+  | None -> Alcotest.fail "hunt missed the broken-quorum violation"
+  | Some ce ->
+    let file = Filename.temp_file "explore-reshard-compat" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+      (fun () ->
+        E.save ~file cfg ce;
+        (* rewrite the artifact into the pre-reconfig config grammar
+           (the absent-migration sentinel is -1, so the value scan must
+           accept a leading sign) *)
+        let ic = open_in file in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let strip_field s field =
+          let pat = " " ^ field ^ "=" in
+          let n = String.length s and m = String.length pat in
+          let rec find i =
+            if i + m > n then None
+            else if String.sub s i m = pat then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> s
+          | Some i ->
+            let j = ref (i + m) in
+            while
+              !j < n
+              && match s.[!j] with '0' .. '9' | '-' -> true | _ -> false
+            do
+              incr j
+            done;
+            String.sub s 0 i ^ String.sub s !j (n - !j)
+        in
+        let strip s =
+          List.fold_left strip_field s
+            [ "group_size"; "reconfig_key"; "reconfig_to"; "skip_dual_write" ]
+        in
+        let oc = open_out file in
+        List.iter (fun l -> output_string oc (strip l ^ "\n"))
+          (List.rev !lines);
+        close_out oc;
+        let cfg', _, o' = E.replay_file ~file in
+        Alcotest.(check bool) "group_size defaulted" true
+          (cfg'.E.group_size = None);
+        Alcotest.(check bool) "reconfig defaulted" true
+          (cfg'.E.reconfig = None);
+        Alcotest.(check bool) "skip_dual_write defaulted" false
+          cfg'.E.skip_dual_write;
+        Alcotest.(check bool) "old artifact still replays to its verdict"
+          true
+          (o'.Net.Sim_run.key_violations <> []))
+
+(* slow: the acceptance criterion in full — both engines exhaust the
+   single-write migration config (disjoint singleton groups, one keyed
+   write racing the handoff) with every schedule atomic.  The twobit
+   engine closes the space in seconds; ABD takes ~145k schedules. *)
+let reconfig_twobit_exhausts_clean () =
+  let res =
+    E.explore
+      (reconfig_cfg ~engine:Net.Engine.Twobit
+         ~xprocesses:reconfig_write_only ())
+  in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  Alcotest.(check bool) "a real state space" true
+    (res.E.stats.S.schedules > 5_000);
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "reconfig schedule not atomic: %s" ce.E.message
+
+let reconfig_abd_exhausts_clean () =
+  let res =
+    E.explore (reconfig_cfg ~xprocesses:reconfig_write_only ())
+  in
+  Alcotest.(check bool) "exhausted" true res.E.stats.S.exhausted;
+  Alcotest.(check bool) "a real state space" true
+    (res.E.stats.S.schedules > 100_000);
+  match res.E.counterexample with
+  | None -> ()
+  | Some ce -> Alcotest.failf "reconfig schedule not atomic: %s" ce.E.message
+
 let suite =
   [
     tc "exhaustive: two writers, all schedules atomic" exhaustive_two_writers;
@@ -471,6 +657,14 @@ let suite =
     tc "txn/snap config: bounded exploration clean" txn_bounded_explore_clean;
     tc "extended workloads validated at config time" xworkload_validation;
     tc "pre-txn artifacts load with defaults" old_artifact_loads;
+    tc "reconfig: bounded exploration clean, both engines"
+      reconfig_bounded_explore_clean;
+    tc "reconfig: dropped dual write caught, shrunk, replayed"
+      reconfig_skip_dual_write_caught_shrunk_replayed;
+    tc "reconfig: honest dual writes, same hunt stays clean"
+      reconfig_honest_hunt_clean;
+    tc "reconfig: bug hooks validated at config time" reconfig_validation;
+    tc "pre-reconfig artifacts load with defaults" pre_reconfig_artifact_loads;
     tc "torture: small seeded batch clean" torture_small;
   ]
 
@@ -485,4 +679,8 @@ let slow_suite =
       txn_twobit_exhausts_clean;
     tc_slow "txn/snap config: torn hook found exhaustively"
       txn_twobit_torn_exhaustive_found;
+    tc_slow "reconfig: twobit exhausts every schedule atomic"
+      reconfig_twobit_exhausts_clean;
+    tc_slow "reconfig: abd exhausts every schedule atomic"
+      reconfig_abd_exhausts_clean;
   ]

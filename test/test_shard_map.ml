@@ -1,0 +1,190 @@
+(* Properties of the epoch-stamped shard map: placement is total and
+   stable within an epoch (and identical across independently rebuilt
+   maps — no process-local state), [advance] round-trips overrides and
+   leaves no residue on a migrate-home, rotating replica groups are
+   well-formed and cover the pool, and the key <-> global-register
+   flattening is a bijection. *)
+
+module M = Net.Shard_map
+
+let tc = Helpers.tc
+
+(* A random map as an [advance] chain from a random base — returned
+   together with the chain so the property can rebuild an identical
+   map the way a second cluster node would. *)
+let random_map rng =
+  let shards = 1 + Random.State.int rng 8 in
+  let group_size =
+    if Random.State.bool rng then Some (1 + Random.State.int rng 4) else None
+  in
+  let chain =
+    List.init (Random.State.int rng 12) (fun _ ->
+        (Random.State.int rng 64, Random.State.int rng shards))
+  in
+  let build () =
+    List.fold_left
+      (fun m (key, to_shard) -> M.advance m ~key ~to_shard)
+      (M.create ?group_size ~shards ())
+      chain
+  in
+  (build (), build, shards, chain)
+
+let placement_total_and_stable () =
+  let rng = Random.State.make [| 0x5a1 |] in
+  for i = 1 to 300 do
+    let m, rebuild, shards, chain = random_map rng in
+    let m' = rebuild () in
+    Alcotest.(check int)
+      (Fmt.str "iteration %d: epoch = chain length" i)
+      (List.length chain) (M.epoch m);
+    for key = 0 to 99 do
+      let s = M.shard_of_key m key in
+      if s < 0 || s >= shards then
+        Alcotest.failf "iteration %d: key %d placed on shard %d of %d" i key s
+          shards;
+      (* stable: asking again, and asking an independently rebuilt map
+         (same create + advance chain), gives the same answer *)
+      Alcotest.(check int)
+        (Fmt.str "iteration %d: key %d stable" i key)
+        s (M.shard_of_key m key);
+      Alcotest.(check int)
+        (Fmt.str "iteration %d: key %d same on a rebuilt map" i key)
+        s (M.shard_of_key m' key);
+      let b = M.base_shard_of_key m key in
+      if b < 0 || b >= shards then
+        Alcotest.failf "iteration %d: key %d base shard %d of %d" i key b
+          shards;
+      (* keys without an override sit on their hash placement *)
+      if not (List.mem_assoc key (M.overrides m)) then
+        Alcotest.(check int)
+          (Fmt.str "iteration %d: key %d no override -> base" i key)
+          b s
+    done
+  done
+
+let advance_round_trips () =
+  let rng = Random.State.make [| 0x5a2 |] in
+  for i = 1 to 300 do
+    let m, _, shards, _ = random_map rng in
+    let key = Random.State.int rng 64 in
+    let to_shard = Random.State.int rng shards in
+    let e = M.epoch m in
+    let before = List.init 64 (M.shard_of_key m) in
+    let m' = M.advance m ~key ~to_shard in
+    Alcotest.(check int) (Fmt.str "iteration %d: epoch + 1" i) (e + 1)
+      (M.epoch m');
+    Alcotest.(check int)
+      (Fmt.str "iteration %d: migrated key lands on target" i)
+      to_shard (M.shard_of_key m' key);
+    (* every other key is untouched, and the argument map is unchanged
+       (a reconfiguration must not disturb the epoch it replaces) *)
+    List.iteri
+      (fun k s ->
+        if k <> key then
+          Alcotest.(check int)
+            (Fmt.str "iteration %d: key %d undisturbed" i k)
+            s (M.shard_of_key m' k);
+        Alcotest.(check int)
+          (Fmt.str "iteration %d: key %d unchanged in the old epoch" i k)
+          s (M.shard_of_key m k))
+      before;
+    (* migrate home: an override restoring the hash placement leaves
+       no residue *)
+    let home = M.advance m' ~key ~to_shard:(M.base_shard_of_key m' key) in
+    if List.mem_assoc key (M.overrides home) then
+      Alcotest.failf "iteration %d: migrate-home left an override" i;
+    Alcotest.(check int)
+      (Fmt.str "iteration %d: migrate-home epoch still advances" i)
+      (e + 2) (M.epoch home)
+  done
+
+let groups_cover_the_pool () =
+  let rng = Random.State.make [| 0x5a3 |] in
+  for i = 1 to 300 do
+    let shards = 1 + Random.State.int rng 8 in
+    let g = 1 + Random.State.int rng 6 in
+    let n = 1 + Random.State.int rng 6 in
+    let replicas = List.init n (fun r -> 100 + r) in
+    let m = M.create ~group_size:g ~shards () in
+    let groups = List.init shards (M.group m ~replicas) in
+    List.iteri
+      (fun s grp ->
+        Alcotest.(check int)
+          (Fmt.str "iteration %d: shard %d group size" i s)
+          (min g n) (List.length grp);
+        List.iter
+          (fun r ->
+            if not (List.mem r replicas) then
+              Alcotest.failf "iteration %d: shard %d names stranger %d" i s r)
+          grp;
+        if List.length (List.sort_uniq compare grp) <> List.length grp then
+          Alcotest.failf "iteration %d: shard %d group repeats a replica" i s)
+      groups;
+    (* the windows rotate by shard index, so consecutive shards cover
+       a contiguous circular range of the pool *)
+    let covered =
+      List.sort_uniq compare (List.concat groups) |> List.length
+    in
+    let expected = if g >= n then n else min n (shards + g - 1) in
+    Alcotest.(check int)
+      (Fmt.str "iteration %d: %d shards x window %d over %d replicas" i
+         shards g n)
+      expected covered;
+    (* in particular a pool no larger than the shard count is fully
+       covered: every replica serves some shard *)
+    if shards >= n && covered <> n then
+      Alcotest.failf "iteration %d: replica left idle" i
+  done
+
+let flattening_round_trips () =
+  (* key <-> global register: [global_reg] tiles the naturals, two per
+     key, and [key_of_reg] inverts it *)
+  let seen = Hashtbl.create 1024 in
+  for key = 0 to 499 do
+    for i = 0 to M.regs_per_key - 1 do
+      let r = M.global_reg key i in
+      Alcotest.(check int)
+        (Fmt.str "key %d bit %d round-trips" key i)
+        key (M.key_of_reg r);
+      if Hashtbl.mem seen r then
+        Alcotest.failf "global register %d reached twice" r;
+      Hashtbl.add seen r ()
+    done
+  done;
+  (* contiguous tiling: the 2 registers of key k are exactly 2k, 2k+1 *)
+  Alcotest.(check int) "key 0 first register" 0 (M.global_reg 0 0);
+  Alcotest.(check int) "key 7 first register" (7 * M.regs_per_key)
+    (M.global_reg 7 0);
+  Alcotest.(check int) "all registers of 500 keys seen"
+    (500 * M.regs_per_key) (Hashtbl.length seen)
+
+let validation_refuses () =
+  let refused name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  refused "zero shards" (fun () -> M.create ~shards:0 ());
+  refused "negative shards" (fun () -> M.create ~shards:(-1) ());
+  refused "zero group size" (fun () -> M.create ~group_size:0 ~shards:2 ());
+  let m = M.create ~shards:2 () in
+  refused "negative key" (fun () -> M.advance m ~key:(-1) ~to_shard:0);
+  refused "target shard out of range" (fun () ->
+      M.advance m ~key:0 ~to_shard:2);
+  refused "negative target shard" (fun () ->
+      M.advance m ~key:0 ~to_shard:(-1));
+  refused "negative key flattened" (fun () -> M.global_reg (-1) 0);
+  refused "register bit out of range" (fun () ->
+      M.global_reg 0 M.regs_per_key);
+  refused "group shard out of range" (fun () ->
+      M.group m ~replicas:[ 0; 1; 2 ] 2)
+
+let suite =
+  [
+    tc "placement is total and stable per epoch" placement_total_and_stable;
+    tc "advance round-trips and leaves no residue" advance_round_trips;
+    tc "rotating groups cover the replica pool" groups_cover_the_pool;
+    tc "key <-> global register flattening round-trips"
+      flattening_round_trips;
+    tc "validation refuses malformed maps" validation_refuses;
+  ]

@@ -5,6 +5,7 @@ let () =
   Alcotest.run "bloom-register-slow"
     [
       ("net", Test_net.slow_suite);
+      ("reconfig", Test_reconfig.slow_suite);
       ("storage", Test_storage.slow_suite);
       ("explore", Test_explore.slow_suite);
       ("engine", Test_engine.slow_suite);

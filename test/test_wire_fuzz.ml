@@ -59,10 +59,19 @@ let any_seq rng =
     (* 32 uniform bits ([Random.State.int] caps below 2^30) *)
     Random.State.bits rng lor (Random.State.int rng 4 lsl 30)
 
+(* Reconfiguration fields (key, shard, epoch) are refused when
+   negative by both encoder and decoder, so their generator stays
+   non-negative (the boundary tests below cover the edges). *)
+let any_nonneg rng =
+  match Random.State.int rng 4 with
+  | 0 -> 0
+  | 1 -> max_int
+  | _ -> Random.State.bits rng
+
 (* [depth] counts enclosing batches: the decoder rejects a [Batch] tag
    at depth >= max_batch_depth, so generation stops nesting there. *)
 let rec any_msg rng depth =
-  let n_kinds = if depth < W.max_batch_depth then 17 else 16 in
+  let n_kinds = if depth < W.max_batch_depth then 21 else 20 in
   match Random.State.int rng n_kinds with
   | 0 -> W.Hello { proc = any_int rng }
   | 1 -> W.Req { seq = any_int rng; op = any_op rng }
@@ -100,6 +109,18 @@ let rec any_msg rng depth =
     let n = Random.State.int rng 8 in
     W.Resp_snap
       { seq = any_int rng; values = List.init n (fun _ -> any_int rng) }
+  | 16 ->
+    W.Reconfig
+      { rid = any_int rng; key = any_nonneg rng; to_shard = any_nonneg rng;
+        epoch = any_nonneg rng }
+  | 17 ->
+    W.Reconfig_ack
+      { rid = any_int rng; epoch = any_nonneg rng;
+        ok = Random.State.bool rng }
+  | 18 -> W.Epoch_req { rid = any_int rng }
+  | 19 ->
+    W.Epoch_reply
+      { rid = any_int rng; epoch = any_nonneg rng; shards = any_nonneg rng }
   | _ ->
     let n = Random.State.int rng 4 in
     W.Batch (List.init n (fun _ -> any_msg rng (depth + 1)))
@@ -354,6 +375,106 @@ let multi_key_forged_counts () =
       | Ok _ -> Alcotest.failf "%s accepted" (name "snapshot reply"))
     [ W.max_txn + 1; -1; max_int; min_int ]
 
+(* Reconfiguration frames: indices and epochs are non-negative by
+   construction — the encoder must refuse a negative field, and
+   hand-built frames with spliced negative fields (or an out-of-range
+   ack flag) must be thrown out by the decoder. *)
+let reconfig_field_boundaries () =
+  let refused name m =
+    match W.encode m with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted by the encoder" name
+  in
+  let ok name m =
+    match W.decode (W.encode m) with
+    | Ok m' when m' = m -> ()
+    | _ -> Alcotest.failf "%s does not round-trip" name
+  in
+  ok "reconfig at zero" (W.Reconfig { rid = -5; key = 0; to_shard = 0; epoch = 0 });
+  ok "reconfig at max_int"
+    (W.Reconfig { rid = 1; key = max_int; to_shard = max_int; epoch = max_int });
+  ok "reconfig-ack nack" (W.Reconfig_ack { rid = 1; epoch = 0; ok = false });
+  ok "reconfig-ack ok" (W.Reconfig_ack { rid = 1; epoch = max_int; ok = true });
+  ok "epoch-req" (W.Epoch_req { rid = min_int });
+  ok "epoch-reply" (W.Epoch_reply { rid = 0; epoch = 7; shards = 4 });
+  refused "negative key" (W.Reconfig { rid = 1; key = -1; to_shard = 0; epoch = 0 });
+  refused "negative shard" (W.Reconfig { rid = 1; key = 0; to_shard = -2; epoch = 0 });
+  refused "negative epoch in reconfig"
+    (W.Reconfig { rid = 1; key = 0; to_shard = 0; epoch = min_int });
+  refused "negative epoch in ack" (W.Reconfig_ack { rid = 1; epoch = -1; ok = true });
+  refused "negative epoch in reply"
+    (W.Epoch_reply { rid = 1; epoch = -1; shards = 1 });
+  refused "negative shards in reply"
+    (W.Epoch_reply { rid = 1; epoch = 0; shards = -1 })
+
+let reconfig_forged_fields () =
+  let add_int b n = Buffer.add_int64_le b (Int64.of_int n) in
+  let forged_reconfig ~key ~to_shard ~epoch =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\017' (* Reconfig *);
+    add_int b 7 (* rid *);
+    add_int b key;
+    add_int b to_shard;
+    add_int b epoch;
+    Buffer.contents b
+  in
+  let forged_ack ~epoch ~flag =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\018' (* Reconfig_ack *);
+    add_int b 7 (* rid *);
+    add_int b epoch;
+    Buffer.add_char b (Char.chr flag);
+    Buffer.contents b
+  in
+  let forged_reply ~epoch ~shards =
+    let b = Buffer.create 64 in
+    Buffer.add_char b '\020' (* Epoch_reply *);
+    add_int b 7 (* rid *);
+    add_int b epoch;
+    add_int b shards;
+    Buffer.contents b
+  in
+  (* sanity: honest fields through the same hand assembly decode *)
+  (match W.decode (forged_reconfig ~key:3 ~to_shard:1 ~epoch:0) with
+  | Ok (W.Reconfig { key = 3; to_shard = 1; epoch = 0; _ }) -> ()
+  | _ -> Alcotest.fail "hand-built reconfig frame with honest fields rejected");
+  (match W.decode (forged_ack ~epoch:2 ~flag:1) with
+  | Ok (W.Reconfig_ack { epoch = 2; ok = true; _ }) -> ()
+  | _ -> Alcotest.fail "hand-built ack frame with honest fields rejected");
+  let rejected name s =
+    match W.decode s with
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: decode raised %s" name (Printexc.to_string e)
+    | Ok _ -> Alcotest.failf "%s accepted" name
+  in
+  List.iter
+    (fun bad ->
+      rejected
+        (Fmt.str "reconfig with forged key %d" bad)
+        (forged_reconfig ~key:bad ~to_shard:0 ~epoch:0);
+      rejected
+        (Fmt.str "reconfig with forged shard %d" bad)
+        (forged_reconfig ~key:0 ~to_shard:bad ~epoch:0);
+      rejected
+        (Fmt.str "reconfig with forged epoch %d" bad)
+        (forged_reconfig ~key:0 ~to_shard:0 ~epoch:bad);
+      rejected
+        (Fmt.str "ack with forged epoch %d" bad)
+        (forged_ack ~epoch:bad ~flag:0);
+      rejected
+        (Fmt.str "epoch-reply with forged epoch %d" bad)
+        (forged_reply ~epoch:bad ~shards:1);
+      rejected
+        (Fmt.str "epoch-reply with forged shards %d" bad)
+        (forged_reply ~epoch:0 ~shards:bad))
+    [ -1; min_int ];
+  (* a flag byte that is neither 0 nor 1 is a forgery, not a bool *)
+  List.iter
+    (fun flag ->
+      rejected (Fmt.str "ack with flag byte %d" flag) (forged_ack ~epoch:0 ~flag))
+    [ 2; 255 ]
+
 let suite =
   [
     tc "fuzz: random messages round-trip" fuzz_roundtrip;
@@ -367,4 +488,6 @@ let suite =
     tc "boundary: link-layer fields" link_field_boundaries;
     tc "boundary: multi-key op size" multi_key_boundary;
     tc "boundary: forged multi-key counts" multi_key_forged_counts;
+    tc "boundary: reconfiguration fields" reconfig_field_boundaries;
+    tc "boundary: forged reconfiguration fields" reconfig_forged_fields;
   ]
